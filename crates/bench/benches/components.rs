@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of individual substrates: Memo copy-in +
+//! duplicate detection, histogram equi-join math, DXL round-trips, and the
+//! GPOS job scheduler's raw overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orca::memo::Memo;
+use orca_catalog::stats::Histogram;
+use orca_catalog::{ColumnMeta, Distribution, TableDesc};
+use orca_common::{ColId, DataType, MdId, SysId};
+use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp, TableRef};
+use orca_expr::scalar::ScalarExpr;
+use orca_gpos::sched::{Job, JobHandle, Scheduler, StepResult};
+use std::sync::Arc;
+
+fn chain_join(n: usize) -> LogicalExpr {
+    let get = |i: usize| {
+        LogicalExpr::leaf(LogicalOp::Get {
+            table: TableRef(Arc::new(TableDesc::new(
+                MdId::new(SysId::Gpdb, i as u64 + 1, 1),
+                &format!("t{i}"),
+                vec![
+                    ColumnMeta::new("a", DataType::Int),
+                    ColumnMeta::new("b", DataType::Int),
+                ],
+                Distribution::Hashed(vec![0]),
+            ))),
+            cols: vec![ColId(2 * i as u32), ColId(2 * i as u32 + 1)],
+            parts: None,
+        })
+    };
+    let mut expr = get(0);
+    for i in 1..n {
+        expr = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::col_eq_col(ColId(2 * (i - 1) as u32), ColId(2 * i as u32)),
+            },
+            vec![expr, get(i)],
+        );
+    }
+    expr
+}
+
+fn bench_memo(c: &mut Criterion) {
+    let expr = chain_join(8);
+    c.bench_function("memo_copy_in_8way_join", |b| {
+        b.iter(|| {
+            let memo = Memo::new();
+            memo.copy_in(&expr)
+        })
+    });
+    // Duplicate detection: re-inserting an identical tree must be cheap.
+    c.bench_function("memo_dedup_hit", |b| {
+        let memo = Memo::new();
+        memo.copy_in(&expr);
+        b.iter(|| memo.copy_in(&expr))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let fact = Histogram::from_values((0..100_000).map(|i| (i % 1000) as f64).collect(), 32);
+    let dim = Histogram::from_values((0..1000).map(f64::from).collect(), 32);
+    c.bench_function("histogram_equi_join", |b| b.iter(|| fact.equi_join(&dim)));
+    c.bench_function("histogram_restrict_range", |b| {
+        b.iter(|| fact.restrict_range(100.0, 500.0))
+    });
+}
+
+fn bench_dxl(c: &mut Criterion) {
+    let expr = chain_join(6);
+    let node = orca_dxl::ser::logical_to_xml(&expr);
+    let text = node.to_document();
+    c.bench_function("dxl_serialize_6way_join", |b| {
+        b.iter(|| orca_dxl::ser::logical_to_xml(&expr).to_document())
+    });
+    c.bench_function("dxl_parse_6way_join", |b| {
+        b.iter(|| orca_dxl::xml::parse(&text).expect("parses"))
+    });
+}
+
+struct CountJob(u32);
+impl Job<(), u64> for CountJob {
+    fn step(&mut self, h: &JobHandle<'_, (), u64>, _ctx: &()) -> StepResult {
+        if self.0 > 0 {
+            let next = self.0 - 1;
+            self.0 = 0;
+            h.spawn(Box::new(CountJob(next)));
+            return StepResult::Suspended;
+        }
+        StepResult::Done
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler_1000_chained_jobs", |b| {
+        b.iter(|| {
+            let sched: Scheduler<(), u64> = Scheduler::new();
+            sched.run(&(), vec![Box::new(CountJob(1000))], 1).unwrap();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_memo, bench_histogram, bench_dxl, bench_scheduler
+}
+criterion_main!(benches);

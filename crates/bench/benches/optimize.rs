@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: end-to-end optimization latency per query
+//! class (the wall-clock counterpart of the §7.2.2 statistics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orca::engine::OptimizerConfig;
+use orca_bench::BenchEnv;
+use orca_tpcds::suite;
+
+fn bench_optimize(c: &mut Criterion) {
+    let env = BenchEnv::new(0.02, 16);
+    let all = suite();
+    let mut group = c.benchmark_group("optimize");
+    for (bench_name, template) in [
+        ("star_join", "star_explicit"),
+        ("correlated_subquery", "corr_scalar_max"),
+        ("shared_cte", "cte_shared"),
+        ("setop", "channel_intersect"),
+    ] {
+        let q = all
+            .iter()
+            .find(|q| q.template == template)
+            .expect("template exists")
+            .clone();
+        group.bench_function(bench_name, |b| {
+            b.iter(|| {
+                let config = OptimizerConfig::default().with_cluster(env.cluster.clone());
+                env.optimize_only(&q, config).expect("optimizes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_optimize
+}
+criterion_main!(benches);

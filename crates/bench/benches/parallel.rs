@@ -1,0 +1,56 @@
+//! Criterion benchmark for §4.2: optimization wall time of a 7-way join
+//! query at different scheduler worker counts. Parallelism must never
+//! change the chosen plan (asserted), only how fast it is found.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orca::engine::OptimizerConfig;
+use orca_bench::BenchEnv;
+use orca_tpcds::SuiteQuery;
+
+fn big_join() -> SuiteQuery {
+    SuiteQuery {
+        id: "bigjoin".into(),
+        template: "parallel_bench",
+        sql: "SELECT i.i_brand_id, count(*) AS n \
+              FROM catalog_sales cs, item i, date_dim d, promotion p, call_center cc, \
+                   customer c, customer_address ca \
+              WHERE cs.cs_item_sk = i.i_item_sk \
+                AND cs.cs_sold_date_sk = d.d_date_sk \
+                AND cs.cs_promo_sk = p.p_promo_sk \
+                AND cs.cs_call_center_sk = cc.cc_call_center_sk \
+                AND cs.cs_bill_customer_sk = c.c_customer_sk \
+                AND c.c_current_addr_sk = ca.ca_address_sk \
+              GROUP BY i.i_brand_id LIMIT 5"
+            .into(),
+        features: vec![],
+    }
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let env = BenchEnv::new(0.02, 16);
+    let q = big_join();
+    let mut baseline_cost: Option<f64> = None;
+    let mut group = c.benchmark_group("parallel_optimization");
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let config = OptimizerConfig::default()
+                    .with_workers(w)
+                    .with_cluster(env.cluster.clone());
+                let (_, stats) = env.optimize_only(&q, config).expect("optimizes");
+                match baseline_cost {
+                    None => baseline_cost = Some(stats.plan_cost),
+                    Some(c) => assert!((c - stats.plan_cost).abs() < 1e-9),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_parallel
+}
+criterion_main!(benches);

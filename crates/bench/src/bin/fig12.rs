@@ -1,0 +1,88 @@
+//! Figure 12: "Speed-up ratio of Orca vs Planner (TPC-DS)".
+//!
+//! For every suite query, optimize + execute with Orca and with the legacy
+//! Planner on the same simulated 16-segment cluster; report the per-query
+//! speed-up ratio (legacy simulated time / Orca simulated time), capped at
+//! 1000x exactly as the paper caps timed-out Planner queries ("for 14
+//! queries Orca achieves a speed-up ratio of at least 1000x - this is due
+//! to a timeout we enforced").
+//!
+//! Usage: `fig12 [scale]` (default 0.05).
+
+use orca_bench::report::{ratio_label, row, speedup_bar};
+use orca_bench::runner::geometric_mean;
+use orca_bench::BenchEnv;
+use orca_tpcds::suite;
+
+const CAP: f64 = 1000.0;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    println!("Figure 12 — Orca vs Planner speed-up, TPC-DS (scale {scale}, 16 segments)\n");
+    let env = BenchEnv::new(scale, 16);
+
+    let mut ratios = Vec::new();
+    let mut wins = 0usize;
+    let mut capped = 0usize;
+    let mut orca_total = 0.0;
+    let mut legacy_total = 0.0;
+    println!(
+        "{}",
+        row(&[("query", 6), ("template", 22), ("speedup", 14), ("", 62)])
+    );
+    for q in suite() {
+        let orca = env.run_orca(&q, None);
+        let legacy = env.run_legacy(&q);
+        let (ratio, note) = match (orca.sim_seconds, legacy.sim_seconds) {
+            (Some(o), Some(l)) => {
+                orca_total += o;
+                legacy_total += l.min(o * CAP);
+                ((l / o).min(CAP), String::new())
+            }
+            (Some(_), None) => {
+                capped += 1;
+                (CAP, " (planner failed)".to_string())
+            }
+            (None, _) => {
+                println!("{}  ORCA FAILED: {:?}", q.id, orca.error);
+                continue;
+            }
+        };
+        if ratio >= CAP {
+            capped += 1;
+        }
+        if ratio >= 1.0 {
+            wins += 1;
+        }
+        ratios.push(ratio);
+        println!(
+            "{}{note}",
+            row(&[
+                (&q.id, 6),
+                (q.template, 22),
+                (&ratio_label(ratio, CAP), 14),
+                (&speedup_bar(ratio, CAP), 62),
+            ])
+        );
+    }
+    let n = ratios.len();
+    println!(
+        "\n--- summary (paper: similar-or-better for ~80%, 5x suite-wide, 14 queries at 1000x) ---"
+    );
+    println!(
+        "queries with speed-up >= 1.0x : {wins}/{n} ({:.0}%)",
+        wins as f64 * 100.0 / n as f64
+    );
+    println!("queries at the 1000x cap      : {capped}");
+    println!(
+        "suite-wide speed-up (total time): {:.1}x",
+        legacy_total / orca_total
+    );
+    println!(
+        "geometric-mean speed-up        : {:.1}x",
+        geometric_mean(&ratios)
+    );
+}

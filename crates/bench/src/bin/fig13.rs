@@ -1,0 +1,82 @@
+//! Figure 13: "HAWQ vs Impala (TPC-DS 256GB)" — speed-up of HAWQ (Orca
+//! plans, spilling execution) over the Impala profile (literal join order,
+//! broadcast-right joins, no spilling) on the queries Impala supports.
+//! Queries that exhaust the no-spill memory budget are marked `*`, exactly
+//! as in the paper ("the bars marked with '*' indicate the queries that
+//! run out of memory").
+//!
+//! Usage: `fig13 [scale] [impala_work_mem_bytes]`.
+
+use orca_bench::report::{ratio_label, row, speedup_bar};
+use orca_bench::runner::geometric_mean;
+use orca_bench::BenchEnv;
+use orca_planner::EngineProfile;
+use orca_tpcds::suite;
+
+const CAP: f64 = 100.0;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let work_mem: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9_000);
+    println!("Figure 13 — HAWQ vs Impala speed-up (scale {scale}, impala work_mem {work_mem}B)\n");
+    let env = BenchEnv::new(scale, 8);
+    let impala = EngineProfile::impala();
+
+    let mut ratios = Vec::new();
+    let mut oom = 0usize;
+    let mut executed = 0usize;
+    let mut supported = 0usize;
+    for q in suite() {
+        if !impala.supports_all(&q.features) {
+            continue;
+        }
+        supported += 1;
+        let hawq = env.run_orca(&q, None);
+        let rival = env.run_profile(&q, &impala, work_mem);
+        let Some(h) = hawq.sim_seconds else {
+            println!("{}  HAWQ FAILED: {:?}", q.id, hawq.error);
+            continue;
+        };
+        match rival.sim_seconds {
+            Some(i) => {
+                executed += 1;
+                let ratio = (i / h).min(CAP);
+                ratios.push(ratio);
+                println!(
+                    "{}",
+                    row(&[
+                        (&q.id, 6),
+                        (q.template, 22),
+                        (&ratio_label(ratio, CAP), 14),
+                        (&speedup_bar(ratio, CAP), 50),
+                    ])
+                );
+            }
+            None => {
+                oom += 1;
+                println!(
+                    "{}",
+                    row(&[
+                        (&q.id, 6),
+                        (q.template, 22),
+                        ("*", 14),
+                        ("(out of memory)", 50)
+                    ])
+                );
+            }
+        }
+    }
+    println!("\n--- summary (paper: 31 supported, 20 executed, avg 6x speed-up) ---");
+    println!("queries Impala optimizes : {supported}");
+    println!("queries Impala executes  : {executed} ({oom} out of memory)");
+    println!(
+        "geometric-mean HAWQ speed-up on executed queries: {:.1}x",
+        geometric_mean(&ratios)
+    );
+}

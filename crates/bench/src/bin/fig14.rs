@@ -1,0 +1,55 @@
+//! Figure 14: "HAWQ vs Stinger (TPC-DS 256GB)" — the Stinger profile runs
+//! literal join orders and pays a MapReduce stage-materialization penalty
+//! per data movement; it can spill, so all its supported queries execute.
+//!
+//! Usage: `fig14 [scale]`.
+
+use orca_bench::report::{ratio_label, row, speedup_bar};
+use orca_bench::runner::geometric_mean;
+use orca_bench::BenchEnv;
+use orca_planner::EngineProfile;
+use orca_tpcds::suite;
+
+const CAP: f64 = 100.0;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    println!("Figure 14 — HAWQ vs Stinger speed-up (scale {scale})\n");
+    let env = BenchEnv::new(scale, 8);
+    let stinger = EngineProfile::stinger();
+
+    let mut ratios = Vec::new();
+    let mut executed = 0usize;
+    for q in suite() {
+        if !stinger.supports_all(&q.features) {
+            continue;
+        }
+        let hawq = env.run_orca(&q, None);
+        let rival = env.run_profile(&q, &stinger, env.cluster.work_mem_bytes);
+        let (Some(h), Some(s)) = (hawq.sim_seconds, rival.sim_seconds) else {
+            println!("{}  failed: {:?} / {:?}", q.id, hawq.error, rival.error);
+            continue;
+        };
+        executed += 1;
+        let ratio = (s / h).min(CAP);
+        ratios.push(ratio);
+        println!(
+            "{}",
+            row(&[
+                (&q.id, 6),
+                (q.template, 22),
+                (&ratio_label(ratio, CAP), 14),
+                (&speedup_bar(ratio, CAP), 50),
+            ])
+        );
+    }
+    println!("\n--- summary (paper: 19 queries, avg 21x speed-up) ---");
+    println!("queries Stinger executes: {executed}");
+    println!(
+        "geometric-mean HAWQ speed-up: {:.1}x",
+        geometric_mean(&ratios)
+    );
+}

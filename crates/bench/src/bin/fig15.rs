@@ -1,0 +1,65 @@
+//! Figure 15: "TPC-DS query support" — how many of the 111 queries each
+//! engine can *optimize* (produce a plan: the SQL-feature matrix) and how
+//! many it can *execute* (finish under its memory discipline).
+//!
+//! Usage: `fig15 [scale]`.
+
+use orca_bench::report::row;
+use orca_bench::BenchEnv;
+use orca_planner::EngineProfile;
+use orca_tpcds::suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    println!("Figure 15 — TPC-DS query support (111 query instances, scale {scale})\n");
+    let env = BenchEnv::new(scale, 8);
+    // Per-engine no-spill memory budgets (Presto's tiny budget reproduces
+    // "we were unable to successfully run any TPC-DS query in Presto").
+    let engines: Vec<(EngineProfile, u64)> = vec![
+        (EngineProfile::hawq(), env.cluster.work_mem_bytes),
+        (EngineProfile::impala(), 9_000),
+        (EngineProfile::presto(), 256),
+        (EngineProfile::stinger(), 9_000),
+    ];
+    println!(
+        "{}",
+        row(&[("engine", 10), ("optimization", 14), ("execution", 10)])
+    );
+    for (profile, work_mem) in engines {
+        let mut optimized = 0usize;
+        let mut executed = 0usize;
+        for q in suite() {
+            if profile.name == "HAWQ" {
+                let out = env.run_orca(&q, None);
+                optimized += 1;
+                if out.sim_seconds.is_some() {
+                    executed += 1;
+                }
+                continue;
+            }
+            if !profile.supports_all(&q.features) {
+                continue;
+            }
+            optimized += 1;
+            if env
+                .run_profile(&q, &profile, work_mem)
+                .sim_seconds
+                .is_some()
+            {
+                executed += 1;
+            }
+        }
+        println!(
+            "{}",
+            row(&[
+                (profile.name, 10),
+                (&optimized.to_string(), 14),
+                (&executed.to_string(), 10),
+            ])
+        );
+    }
+    println!("\npaper: HAWQ 111/111, Impala 31/20, Presto 12/0, Stinger 19/19");
+}

@@ -1,0 +1,106 @@
+//! §4.2 ablation: multi-core optimization scaling.
+//!
+//! "Orca deploys a highly efficient multi-core aware scheduler that
+//! distributes individual fine-grained optimization subtasks across
+//! multiple cores for speed-up of the optimization process." This harness
+//! optimizes the largest join queries of the suite at 1/2/4/8 scheduler
+//! workers and reports wall-clock speed-up (plan cost must be identical —
+//! parallelism changes speed, never the chosen plan).
+//!
+//! Usage: `parallel_scaling [scale] [repetitions]`.
+
+use orca::engine::OptimizerConfig;
+use orca_bench::report::row;
+use orca_bench::BenchEnv;
+use orca_tpcds::SuiteQuery;
+use std::time::Instant;
+
+/// A wide join (7 relations) — enough independent groups to feed several
+/// cores.
+fn big_join_query(variant: usize) -> SuiteQuery {
+    SuiteQuery {
+        id: format!("big{variant}"),
+        template: "parallel_scaling",
+        sql: format!(
+            "SELECT i.i_brand_id, d.d_moy, count(*) AS n, sum(cs.cs_net_profit) AS profit \
+             FROM catalog_sales cs, item i, date_dim d, promotion p, call_center cc, \
+                  customer c, customer_address ca \
+             WHERE cs.cs_item_sk = i.i_item_sk \
+               AND cs.cs_sold_date_sk = d.d_date_sk \
+               AND cs.cs_promo_sk = p.p_promo_sk \
+               AND cs.cs_call_center_sk = cc.cc_call_center_sk \
+               AND cs.cs_bill_customer_sk = c.c_customer_sk \
+               AND c.c_current_addr_sk = ca.ca_address_sk \
+               AND d.d_date_sk > {} \
+             GROUP BY i.i_brand_id, d.d_moy ORDER BY profit DESC LIMIT 20",
+            variant * 10
+        ),
+        features: vec![],
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("§4.2 — parallel query optimization scaling ({reps} reps, 7-way join)");
+    println!("host CPUs available: {cpus}");
+    if cpus == 1 {
+        println!(
+            "NOTE: single-CPU host — wall-clock speed-up is physically impossible here;\n             the expected shape is a FLAT curve (more workers must not slow things down,\n             i.e. scheduler overhead ≈ 0). On a multi-core host the curve shows speed-up."
+        );
+    }
+    println!();
+    let env = BenchEnv::new(scale, 16);
+    println!(
+        "{}",
+        row(&[
+            ("workers", 8),
+            ("wall_ms", 10),
+            ("speedup", 9),
+            ("plan_cost", 12),
+            ("jobs", 8)
+        ])
+    );
+    let mut base_ms = None;
+    for workers in [1usize, 2, 4, 8] {
+        let mut total_ms = 0.0;
+        let mut cost = 0.0;
+        let mut jobs = 0usize;
+        for rep in 0..reps {
+            let q = big_join_query(rep % 3);
+            let config = OptimizerConfig::default()
+                .with_workers(workers)
+                .with_cluster(env.cluster.clone());
+            let t0 = Instant::now();
+            let (_, stats) = env.optimize_only(&q, config).expect("optimizes");
+            total_ms += t0.elapsed().as_secs_f64() * 1e3;
+            cost = stats.plan_cost;
+            jobs = stats.jobs_spawned;
+        }
+        let ms = total_ms / reps as f64;
+        let speedup = base_ms.map(|b: f64| b / ms).unwrap_or(1.0);
+        if base_ms.is_none() {
+            base_ms = Some(ms);
+        }
+        println!(
+            "{}",
+            row(&[
+                (&workers.to_string(), 8),
+                (&format!("{ms:.1}"), 10),
+                (&format!("{speedup:.2}x"), 9),
+                (&format!("{cost:.0}"), 12),
+                (&jobs.to_string(), 8),
+            ])
+        );
+    }
+    println!("\n(plan cost must be identical across worker counts — determinism check)");
+}

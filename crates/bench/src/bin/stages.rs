@@ -1,0 +1,125 @@
+//! §4.1 ablation: multi-stage optimization.
+//!
+//! "An optimization stage in Orca is defined as a complete optimization
+//! workflow using a subset of transformation rules and (optional) time-out
+//! and cost threshold... the most expensive transformation rules are
+//! configured to run in later stages to avoid increasing the optimization
+//! time."
+//!
+//! Three configurations over the suite's join-heavy queries:
+//!   full      — one stage, all rules;
+//!   quick     — one stage without join reordering (cheap, worse plans);
+//!   staged    — quick stage first with a cost threshold, full stage after
+//!               (the resource-constrained mode of the paper).
+//!
+//! Usage: `stages [scale]`.
+
+use orca::engine::{OptimizerConfig, StageConfig};
+use orca_bench::report::row;
+use orca_bench::BenchEnv;
+use orca_tpcds::suite;
+use std::time::Instant;
+
+fn quick_rules() -> Vec<&'static str> {
+    vec![
+        // No JoinCommutativity / JoinAssociativity / GbAggSplit.
+        "Get2TableScan",
+        "Get2IndexScan",
+        "Select2Filter",
+        "Project2Project",
+        "Join2HashJoin",
+        "Join2NLJoin",
+        "GbAgg2HashAgg",
+        "GbAgg2StreamAgg",
+        "Limit2Limit",
+        "UnionAll2UnionAll",
+        "SetOp2HashSetOp",
+        "Sequence2Sequence",
+        "CteProducer2CteProducer",
+        "CteConsumer2CteScan",
+        "ConstTable2ConstTable",
+        "MaxOneRow2Assert",
+    ]
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    println!("§4.1 — multi-stage optimization ablation (scale {scale})\n");
+    let env = BenchEnv::new(scale, 16);
+
+    let configs: Vec<(&str, Vec<StageConfig>)> = vec![
+        ("full", vec![]),
+        (
+            "quick",
+            vec![StageConfig {
+                rules: Some(quick_rules()),
+                timeout: None,
+                cost_threshold: None,
+            }],
+        ),
+        (
+            "staged",
+            vec![
+                StageConfig {
+                    rules: Some(quick_rules()),
+                    timeout: None,
+                    // Accept the quick plan only if it is already cheap.
+                    cost_threshold: Some(700.0),
+                },
+                StageConfig::default(),
+            ],
+        ),
+    ];
+
+    println!(
+        "{}",
+        row(&[
+            ("config", 8),
+            ("opt_ms_total", 13),
+            ("plan_cost_total", 16),
+            ("stages_run", 11)
+        ])
+    );
+    // Join-heavy subset: star joins + multi-fact outer joins.
+    let queries: Vec<_> = suite()
+        .into_iter()
+        .filter(|q| {
+            matches!(
+                q.template,
+                "star_explicit" | "star_comma" | "sales_returns_outer" | "narrow_date_window"
+            )
+        })
+        .collect();
+    for (name, stages) in configs {
+        let mut total_ms = 0.0;
+        let mut total_cost = 0.0;
+        let mut total_stages = 0usize;
+        for q in &queries {
+            let config = OptimizerConfig {
+                stages: stages.clone(),
+                ..OptimizerConfig::default().with_cluster(env.cluster.clone())
+            };
+            let t0 = Instant::now();
+            let (_, stats) = env.optimize_only(q, config).expect("optimizes");
+            total_ms += t0.elapsed().as_secs_f64() * 1e3;
+            total_cost += stats.plan_cost;
+            total_stages += stats.stages_run;
+        }
+        println!(
+            "{}",
+            row(&[
+                (name, 8),
+                (&format!("{total_ms:.1}"), 13),
+                (&format!("{total_cost:.0}"), 16),
+                (&total_stages.to_string(), 11),
+            ])
+        );
+    }
+    println!(
+        "\n(expected shape: quick is fastest but costliest plans; staged sits between,\n\
+         stopping early whenever the quick plan already beats the threshold)"
+    );
+}

@@ -1,0 +1,122 @@
+//! §6.2 — TAQO: Testing the Accuracy of the Query Optimizer.
+//!
+//! For a set of suite queries: optimize, sample plans uniformly from the
+//! Memo's request linkage structure, execute every sampled plan on the
+//! simulator to get ground-truth times, and compute the importance- and
+//! distance-weighted rank-correlation score between estimated costs and
+//! actual times. A deliberately mis-calibrated cost model (inverted
+//! network cost) is scored alongside as the sanity baseline — its score
+//! must be visibly worse.
+//!
+//! Usage: `taqo [scale] [samples_per_query]`.
+
+use orca::cost::CostParams;
+use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
+use orca::taqo::{correlation_score, PlanSampler};
+use orca_bench::report::row;
+use orca_bench::BenchEnv;
+use orca_executor::ExecEngine;
+use orca_tpcds::suite;
+
+fn score_with(env: &BenchEnv, params: CostParams, samples: usize) -> (f64, usize) {
+    // Score per query (comparing plans across different queries would be
+    // meaningless), then average.
+    let mut scores: Vec<f64> = Vec::new();
+    for q in suite() {
+        // Plan-diverse queries only (joins): sampling a single-plan space
+        // is uninformative.
+        if !matches!(
+            q.template,
+            "star_explicit" | "star_comma" | "narrow_date_window" | "web_by_site"
+        ) {
+            continue;
+        }
+        let (bound, registry) = match env.compile(&q) {
+            Ok(x) => x,
+            Err(_) => continue,
+        };
+        let config = OptimizerConfig {
+            cost_params: params.clone(),
+            ..OptimizerConfig::default().with_cluster(env.cluster.clone())
+        };
+        let optimizer = Optimizer::new(env.provider.clone(), config);
+        let reqs = QueryReqs {
+            output_cols: bound.output_cols.clone(),
+            order: bound.order.clone(),
+            dist: orca_expr::props::DistSpec::Singleton,
+        };
+        let Ok((memo, root, req, _, _)) =
+            optimizer.optimize_with_memo(&bound.expr, &registry, &reqs)
+        else {
+            continue;
+        };
+        let mut sampler = PlanSampler::new(&memo);
+        let Ok(sampled) = sampler.sample(root, &req, samples, 0xC0FFEE) else {
+            continue;
+        };
+        let engine = ExecEngine::new(&env.db);
+        let mut pairs = Vec::new();
+        for s in sampled {
+            if let Ok(res) = engine.run(&s.plan, &bound.output_cols) {
+                pairs.push((s.estimated_cost, res.sim_seconds));
+            }
+        }
+        if pairs.len() >= 2 {
+            scores.push(correlation_score(&pairs, 0.05));
+        }
+    }
+    let n = scores.len();
+    (scores.iter().sum::<f64>() / n.max(1) as f64, n)
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let samples: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    println!("§6.2 — TAQO cost-model accuracy ({samples} sampled plans/query)\n");
+    let env = BenchEnv::new(scale, 8);
+
+    let calibrated = CostParams::default();
+    // Mis-calibration: nested-loops pairs look nearly free while hashing
+    // and the interconnect look expensive — inverting the true trade-offs,
+    // so cheap-looking sampled plans are in fact the slow ones.
+    let broken = CostParams {
+        nl_pair: 0.0005,
+        hash_build: 12.0,
+        hash_probe: 6.0,
+        net_byte: 0.4,
+        ..CostParams::default()
+    };
+
+    println!(
+        "{}",
+        row(&[("cost model", 14), ("score", 8), ("queries", 8)])
+    );
+    let (s1, n1) = score_with(&env, calibrated, samples);
+    println!(
+        "{}",
+        row(&[
+            ("calibrated", 14),
+            (&format!("{s1:.3}"), 8),
+            (&n1.to_string(), 8)
+        ])
+    );
+    let (s2, n2) = score_with(&env, broken, samples);
+    println!(
+        "{}",
+        row(&[
+            ("miscalibrated", 14),
+            (&format!("{s2:.3}"), 8),
+            (&n2.to_string(), 8)
+        ])
+    );
+    println!(
+        "\n(score = importance/distance-weighted pairwise ordering accuracy in [0,1];\n\
+         the calibrated model must order sampled plans substantially better)"
+    );
+}

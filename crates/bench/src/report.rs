@@ -1,0 +1,61 @@
+//! Tiny ASCII reporting helpers (bar charts shaped like the paper's
+//! figures, aligned tables).
+
+/// Render a log-scale horizontal bar for a speed-up ratio (Figures 12–14
+/// are log-scale bar charts).
+pub fn speedup_bar(ratio: f64, cap: f64) -> String {
+    let capped = ratio.clamp(0.01, cap);
+    // Map log10 range [-1, log10(cap)] onto 0..60 chars.
+    let lo = -1.0;
+    let hi = cap.log10();
+    let frac = ((capped.log10() - lo) / (hi - lo)).clamp(0.0, 1.0);
+    let width = (frac * 60.0).round() as usize;
+    let marker = if ratio >= cap { ">" } else { "" };
+    format!("{}{}", "#".repeat(width.max(1)), marker)
+}
+
+/// Fixed-width row formatter.
+pub fn row(cols: &[(&str, usize)]) -> String {
+    cols.iter()
+        .map(|(text, width)| format!("{text:<width$}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Format a ratio like the paper's annotations ("1000x" at the cap).
+pub fn ratio_label(ratio: f64, cap: f64) -> String {
+    if ratio >= cap {
+        format!("{cap:.0}x (capped)")
+    } else if ratio >= 10.0 {
+        format!("{ratio:.0}x")
+    } else {
+        format!("{ratio:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_logarithmically() {
+        let b1 = speedup_bar(1.0, 1000.0).len();
+        let b10 = speedup_bar(10.0, 1000.0).len();
+        let b100 = speedup_bar(100.0, 1000.0).len();
+        assert!(b10 > b1);
+        assert!(b100 > b10);
+        // Equal log steps → roughly equal width steps.
+        let d1 = b10 as i64 - b1 as i64;
+        let d2 = b100 as i64 - b10 as i64;
+        assert!((d1 - d2).abs() <= 2, "{d1} vs {d2}");
+        assert!(speedup_bar(5000.0, 1000.0).ends_with('>'));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ratio_label(1500.0, 1000.0), "1000x (capped)");
+        assert_eq!(ratio_label(42.0, 1000.0), "42x");
+        assert_eq!(ratio_label(0.5, 1000.0), "0.50x");
+        assert_eq!(row(&[("a", 3), ("b", 2)]), "a   b ");
+    }
+}

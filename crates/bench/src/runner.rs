@@ -1,0 +1,187 @@
+//! Shared experiment plumbing: build the catalog once, compile / optimize /
+//! execute queries under each engine's planner and execution profile.
+
+use orca::engine::{OptStats, Optimizer, OptimizerConfig, QueryReqs};
+use orca_catalog::provider::MdProvider;
+use orca_catalog::{MdAccessor, MdCache, MemoryProvider};
+use orca_common::{OrcaError, Result, SegmentConfig};
+use orca_executor::{Database, ExecEngine};
+use orca_expr::physical::PhysicalPlan;
+use orca_expr::ColumnRegistry;
+use orca_planner::{EngineProfile, LegacyPlanner};
+use orca_sql::BoundQuery;
+use orca_tpcds::{build_catalog, SuiteQuery};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of running one query under one engine.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub id: String,
+    /// Simulated cluster seconds; `None` = failed (e.g. OOM).
+    pub sim_seconds: Option<f64>,
+    pub error: Option<String>,
+    pub rows: usize,
+    pub opt_wall_ms: f64,
+}
+
+/// The shared environment: a generated catalog + database.
+pub struct BenchEnv {
+    pub provider: Arc<MemoryProvider>,
+    pub db: Database,
+    pub cluster: SegmentConfig,
+}
+
+impl BenchEnv {
+    /// Default experiment scale (kept small enough that the full suite
+    /// runs in seconds; the *shape* of results is scale-stable).
+    pub fn new(scale: f64, segments: usize) -> BenchEnv {
+        let cluster = SegmentConfig::default().with_segments(segments);
+        let (provider, db) = build_catalog(scale, cluster.clone());
+        BenchEnv {
+            provider,
+            db,
+            cluster,
+        }
+    }
+
+    pub fn compile(&self, q: &SuiteQuery) -> Result<(BoundQuery, Arc<ColumnRegistry>)> {
+        let registry = Arc::new(ColumnRegistry::new());
+        let bound = orca_sql::compile(&q.sql, self.provider.as_ref(), &registry)?;
+        Ok((bound, registry))
+    }
+
+    fn reqs(bound: &BoundQuery) -> QueryReqs {
+        QueryReqs {
+            output_cols: bound.output_cols.clone(),
+            order: bound.order.clone(),
+            dist: orca_expr::props::DistSpec::Singleton,
+        }
+    }
+
+    /// Optimize with Orca (optionally overriding the config) and execute.
+    pub fn run_orca(&self, q: &SuiteQuery, config: Option<OptimizerConfig>) -> QueryOutcome {
+        let config = config.unwrap_or_else(|| {
+            OptimizerConfig::default()
+                .with_workers(2)
+                .with_cluster(self.cluster.clone())
+        });
+        let optimizer = Optimizer::new(self.provider.clone(), config);
+        match self.compile(q) {
+            Ok((bound, registry)) => {
+                let t0 = Instant::now();
+                match optimizer.optimize(&bound.expr, &registry, &Self::reqs(&bound)) {
+                    Ok((plan, _stats)) => {
+                        let opt_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        self.execute(q, &plan, &bound, &self.db, opt_wall_ms)
+                    }
+                    Err(e) => fail(q, e),
+                }
+            }
+            Err(e) => fail(q, e),
+        }
+    }
+
+    /// Optimize with Orca and return the plan + optimizer stats (for the
+    /// §7.2.2 / §4.2 experiments — no execution).
+    pub fn optimize_only(
+        &self,
+        q: &SuiteQuery,
+        config: OptimizerConfig,
+    ) -> Result<(PhysicalPlan, OptStats)> {
+        let (bound, registry) = self.compile(q)?;
+        let optimizer = Optimizer::new(self.provider.clone(), config);
+        optimizer.optimize(&bound.expr, &registry, &Self::reqs(&bound))
+    }
+
+    /// Plan with the legacy GPDB Planner and execute.
+    pub fn run_legacy(&self, q: &SuiteQuery) -> QueryOutcome {
+        match self.compile(q) {
+            Ok((bound, registry)) => {
+                let md =
+                    MdAccessor::new(MdCache::new(), self.provider.clone() as Arc<dyn MdProvider>);
+                let planner = LegacyPlanner::new(&md, &registry);
+                let t0 = Instant::now();
+                match planner.plan(&bound.expr, &bound.order) {
+                    Ok((plan, _)) => {
+                        let opt_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        self.execute(q, &plan, &bound, &self.db, opt_wall_ms)
+                    }
+                    Err(e) => fail(q, e),
+                }
+            }
+            Err(e) => fail(q, e),
+        }
+    }
+
+    /// Plan with a rival engine profile and execute under its memory
+    /// discipline (`can_spill`, `work_mem`). Stage-materialization
+    /// penalties (Stinger) inflate the simulated time per motion.
+    pub fn run_profile(
+        &self,
+        q: &SuiteQuery,
+        profile: &EngineProfile,
+        work_mem_bytes: u64,
+    ) -> QueryOutcome {
+        match self.compile(q) {
+            Ok((bound, registry)) => {
+                let t0 = Instant::now();
+                match profile.plan(&bound.expr, &q.features, &bound.order, &registry) {
+                    Ok((plan, _)) => {
+                        let opt_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        let mut db = self.db.clone();
+                        db.cluster.can_spill = profile.can_spill;
+                        db.cluster.work_mem_bytes = work_mem_bytes;
+                        let mut out = self.execute(q, &plan, &bound, &db, opt_wall_ms);
+                        if let Some(t) = out.sim_seconds.as_mut() {
+                            *t *= 1.0 + profile.stage_penalty * plan.motion_count() as f64;
+                        }
+                        out
+                    }
+                    Err(e) => fail(q, e),
+                }
+            }
+            Err(e) => fail(q, e),
+        }
+    }
+
+    fn execute(
+        &self,
+        q: &SuiteQuery,
+        plan: &PhysicalPlan,
+        bound: &BoundQuery,
+        db: &Database,
+        opt_wall_ms: f64,
+    ) -> QueryOutcome {
+        let engine = ExecEngine::new(db);
+        match engine.run(plan, &bound.output_cols) {
+            Ok(res) => QueryOutcome {
+                id: q.id.clone(),
+                sim_seconds: Some(res.sim_seconds),
+                error: None,
+                rows: res.rows.len(),
+                opt_wall_ms,
+            },
+            Err(e) => fail(q, e),
+        }
+    }
+}
+
+fn fail(q: &SuiteQuery, e: OrcaError) -> QueryOutcome {
+    QueryOutcome {
+        id: q.id.clone(),
+        sim_seconds: None,
+        error: Some(e.to_string()),
+        rows: 0,
+        opt_wall_ms: 0.0,
+    }
+}
+
+/// Geometric mean of speed-up ratios (the paper reports suite-level
+/// averages this way for ratio data).
+pub fn geometric_mean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    (ratios.iter().map(|r| r.max(1e-9).ln()).sum::<f64>() / ratios.len() as f64).exp()
+}

@@ -1,0 +1,211 @@
+//! The per-session `MdAccessor` (§5).
+//!
+//! "All accesses to metadata objects are accomplished via MD Accessor, which
+//! keeps track of objects being accessed in the optimization session, and
+//! makes sure they are released when they are no longer needed. MD Accessor
+//! is also responsible for transparently fetching metadata from the external
+//! MD Provider if the requested object is not already in the cache."
+//!
+//! Pins are released on `Drop` (RAII, as GPOS does with auto-objects), and
+//! the accessed set can be *harvested* into a minimal metadata snapshot for
+//! AMPERe dumps (§6.1).
+
+use crate::cache::{CacheKey, MdCache};
+use crate::provider::{MdObject, MdProvider, ObjKind};
+use crate::stats::TableStats;
+use crate::table::{IndexDesc, TableDesc};
+use orca_common::hash::FnvHashSet;
+use orca_common::{MdId, OrcaError, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Session-scoped metadata access: cache in front, provider behind.
+pub struct MdAccessor {
+    cache: Arc<MdCache>,
+    provider: Arc<dyn MdProvider>,
+    pinned: Mutex<FnvHashSet<CacheKey>>,
+}
+
+impl MdAccessor {
+    pub fn new(cache: Arc<MdCache>, provider: Arc<dyn MdProvider>) -> MdAccessor {
+        MdAccessor {
+            cache,
+            provider,
+            pinned: Mutex::new(FnvHashSet::default()),
+        }
+    }
+
+    /// Convenience for tests/examples: private cache + the given provider.
+    pub fn standalone(provider: Arc<dyn MdProvider>) -> MdAccessor {
+        MdAccessor::new(MdCache::new(), provider)
+    }
+
+    pub fn provider(&self) -> &Arc<dyn MdProvider> {
+        &self.provider
+    }
+
+    fn get(&self, key: CacheKey) -> Result<MdObject> {
+        // Fast path: already pinned by this session → plain cache read.
+        let already_pinned = self.pinned.lock().contains(&key);
+        if let Some(obj) = self.cache.lookup_pin(key) {
+            if already_pinned {
+                // Keep exactly one session pin.
+                self.cache.unpin(key);
+            } else {
+                self.pinned.lock().insert(key);
+            }
+            return Ok(obj);
+        }
+        // Miss: fetch through the provider, insert pinned.
+        let fetched = match key.1 {
+            ObjKind::Table => MdObject::Table(self.provider.table(key.0)?),
+            ObjKind::Stats => MdObject::Stats(self.provider.stats(key.0)?),
+            ObjKind::Indexes => MdObject::Indexes(self.provider.indexes(key.0)?),
+        };
+        let obj = self.cache.insert_pinned(key, fetched);
+        if already_pinned {
+            self.cache.unpin(key);
+        } else {
+            self.pinned.lock().insert(key);
+        }
+        Ok(obj)
+    }
+
+    pub fn table(&self, mdid: MdId) -> Result<Arc<TableDesc>> {
+        match self.get((mdid, ObjKind::Table))? {
+            MdObject::Table(t) => Ok(t),
+            _ => Err(OrcaError::Internal("cache kind mismatch".into())),
+        }
+    }
+
+    pub fn stats(&self, table: MdId) -> Result<Arc<TableStats>> {
+        match self.get((table, ObjKind::Stats))? {
+            MdObject::Stats(s) => Ok(s),
+            _ => Err(OrcaError::Internal("cache kind mismatch".into())),
+        }
+    }
+
+    pub fn indexes(&self, table: MdId) -> Result<Arc<Vec<Arc<IndexDesc>>>> {
+        match self.get((table, ObjKind::Indexes))? {
+            MdObject::Indexes(ix) => Ok(ix),
+            _ => Err(OrcaError::Internal("cache kind mismatch".into())),
+        }
+    }
+
+    pub fn table_by_name(&self, name: &str) -> Result<Arc<TableDesc>> {
+        let mdid = self
+            .provider
+            .table_by_name(name)
+            .ok_or_else(|| OrcaError::Metadata(format!("unknown table '{name}'")))?;
+        self.table(mdid)
+    }
+
+    /// Snapshot of every object touched this session — "the dump captures
+    /// the state of the MD Cache which includes only the metadata acquired
+    /// during the course of query optimization" (§6.1).
+    pub fn harvest(&self) -> Vec<(CacheKey, MdObject)> {
+        let mut keys: Vec<CacheKey> = self.pinned.lock().iter().copied().collect();
+        keys.sort();
+        keys.into_iter()
+            .filter_map(|key| {
+                let obj = self.cache.lookup_pin(key)?;
+                self.cache.unpin(key); // lookup_pin added an extra pin
+                Some((key, obj))
+            })
+            .collect()
+    }
+
+    /// Number of distinct objects pinned by this session.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.lock().len()
+    }
+}
+
+impl Drop for MdAccessor {
+    fn drop(&mut self) {
+        // "objects are pinned in an in-memory cache, and are unpinned when
+        // optimization completes or an error is thrown" — Drop covers both.
+        for key in self.pinned.lock().drain() {
+            self.cache.unpin(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::MemoryProvider;
+    use crate::table::{ColumnMeta, Distribution};
+    use orca_common::DataType;
+
+    fn setup() -> (Arc<MdCache>, Arc<MemoryProvider>, MdId) {
+        let p = Arc::new(MemoryProvider::new());
+        let id = p.register(
+            "t1",
+            vec![ColumnMeta::new("a", DataType::Int)],
+            Distribution::Hashed(vec![0]),
+        );
+        (MdCache::new(), p, id)
+    }
+
+    #[test]
+    fn fetch_pins_once_per_session() {
+        let (cache, p, id) = setup();
+        let acc = MdAccessor::new(cache.clone(), p);
+        acc.table(id).unwrap();
+        acc.table(id).unwrap();
+        acc.table(id).unwrap();
+        assert_eq!(acc.pinned_count(), 1);
+        drop(acc);
+        // Fully unpinned after drop → evictable.
+        assert_eq!(cache.evict_unpinned(), 1);
+    }
+
+    #[test]
+    fn two_sessions_share_cache() {
+        let (cache, p, id) = setup();
+        let a1 = MdAccessor::new(cache.clone(), p.clone());
+        a1.table(id).unwrap();
+        let a2 = MdAccessor::new(cache.clone(), p);
+        a2.table(id).unwrap();
+        // Second session hit the cache.
+        assert_eq!(cache.miss_count(), 1);
+        assert!(cache.hit_count() >= 1);
+        drop(a1);
+        // Still pinned by a2.
+        assert_eq!(cache.evict_unpinned(), 0);
+        drop(a2);
+        assert_eq!(cache.evict_unpinned(), 1);
+    }
+
+    #[test]
+    fn harvest_returns_touched_objects_only() {
+        let (cache, p, id) = setup();
+        let id2 = p.register(
+            "t2",
+            vec![ColumnMeta::new("x", DataType::Int)],
+            Distribution::Random,
+        );
+        let acc = MdAccessor::new(cache, p);
+        acc.table(id).unwrap();
+        acc.stats(id).unwrap();
+        let harvested = acc.harvest();
+        assert_eq!(harvested.len(), 2);
+        assert!(harvested.iter().all(|(k, _)| k.0 == id));
+        let _ = id2;
+    }
+
+    #[test]
+    fn by_name_and_missing_object() {
+        let (cache, p, _) = setup();
+        let acc = MdAccessor::new(cache, p);
+        assert!(acc.table_by_name("t1").is_ok());
+        assert!(matches!(
+            acc.table_by_name("nope"),
+            Err(OrcaError::Metadata(_))
+        ));
+        assert!(acc
+            .table(MdId::new(orca_common::SysId::Gpdb, 999, 1))
+            .is_err());
+    }
+}

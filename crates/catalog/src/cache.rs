@@ -1,0 +1,215 @@
+//! The optimizer-side metadata cache (§3 "Metadata Cache").
+//!
+//! "Since metadata changes infrequently, shipping it with every query incurs
+//! an overhead. Orca caches metadata on the optimizer side and only
+//! retrieves pieces of it from the catalog if something is unavailable in
+//! the cache, or has changed since the last time it was loaded."
+//!
+//! Invalidation rides on versioned [`MdId`]s: a modified object gets a new
+//! version, so lookups with the current id miss and refetch; stale versions
+//! are evicted once unpinned.
+
+use crate::provider::{MdObject, ObjKind};
+use orca_common::hash::FnvHashMap;
+use orca_common::MdId;
+use orca_gpos::MemTracker;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Key: which object of which kind.
+pub type CacheKey = (MdId, ObjKind);
+
+struct Entry {
+    object: MdObject,
+    pins: u32,
+}
+
+/// Shared, thread-safe metadata cache with pin counting.
+#[derive(Default)]
+pub struct MdCache {
+    entries: Mutex<FnvHashMap<CacheKey, Entry>>,
+    mem: MemTracker,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MdCache {
+    pub fn new() -> Arc<MdCache> {
+        Arc::new(MdCache::default())
+    }
+
+    /// Look up and pin. `None` means a miss — the caller (the accessor)
+    /// fetches from its provider and calls [`MdCache::insert_pinned`].
+    pub fn lookup_pin(&self, key: CacheKey) -> Option<MdObject> {
+        let mut g = self.entries.lock();
+        match g.get_mut(&key) {
+            Some(e) => {
+                e.pins += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.object.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly-fetched object, already pinned once for the caller.
+    /// Also evicts unpinned *stale versions* of the same object+kind.
+    pub fn insert_pinned(&self, key: CacheKey, object: MdObject) -> MdObject {
+        debug_assert_eq!(key.1, object.kind());
+        let mut g = self.entries.lock();
+        // Evict older unpinned versions.
+        let stale: Vec<CacheKey> = g
+            .keys()
+            .filter(|(id, kind)| {
+                *kind == key.1 && id.same_object(&key.0) && id.version < key.0.version
+            })
+            .copied()
+            .collect();
+        for k in stale {
+            if g.get(&k).map(|e| e.pins) == Some(0) {
+                if let Some(e) = g.remove(&k) {
+                    self.mem.sub(e.object.approx_bytes());
+                }
+            }
+        }
+        match g.get_mut(&key) {
+            Some(e) => {
+                // Raced with another session; keep the existing object.
+                e.pins += 1;
+                e.object.clone()
+            }
+            None => {
+                self.mem.add(object.approx_bytes());
+                g.insert(
+                    key,
+                    Entry {
+                        object: object.clone(),
+                        pins: 1,
+                    },
+                );
+                object
+            }
+        }
+    }
+
+    /// Release one pin (optimization session ended or errored).
+    pub fn unpin(&self, key: CacheKey) {
+        let mut g = self.entries.lock();
+        if let Some(e) = g.get_mut(&key) {
+            debug_assert!(e.pins > 0, "unpin without pin for {key:?}");
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+
+    /// Drop every unpinned entry (memory-pressure eviction).
+    pub fn evict_unpinned(&self) -> usize {
+        let mut g = self.entries.lock();
+        let before = g.len();
+        let keep: FnvHashMap<CacheKey, Entry> = std::mem::take(&mut *g)
+            .into_iter()
+            .filter(|(_, e)| {
+                if e.pins == 0 {
+                    self.mem.sub(e.object.approx_bytes());
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        *g = keep;
+        before - g.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Current estimated bytes held (feeds the §7.2.2 footprint stats).
+    pub fn bytes(&self) -> u64 {
+        self.mem.current()
+    }
+
+    pub fn peak_bytes(&self) -> u64 {
+        self.mem.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnMeta, Distribution, TableDesc};
+    use orca_common::{DataType, SysId};
+
+    fn obj(version: u32) -> MdObject {
+        MdObject::Table(Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, 7, version),
+            "t",
+            vec![ColumnMeta::new("a", DataType::Int)],
+            Distribution::Random,
+        )))
+    }
+
+    #[test]
+    fn miss_insert_hit_cycle() {
+        let c = MdCache::new();
+        let key = (MdId::new(SysId::Gpdb, 7, 1), ObjKind::Table);
+        assert!(c.lookup_pin(key).is_none());
+        c.insert_pinned(key, obj(1));
+        assert!(c.lookup_pin(key).is_some());
+        assert_eq!(c.hit_count(), 1);
+        assert_eq!(c.miss_count(), 1);
+        assert!(c.bytes() > 0);
+        c.unpin(key);
+        c.unpin(key);
+        assert_eq!(c.evict_unpinned(), 1);
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction() {
+        let c = MdCache::new();
+        let key = (MdId::new(SysId::Gpdb, 7, 1), ObjKind::Table);
+        c.insert_pinned(key, obj(1));
+        assert_eq!(c.evict_unpinned(), 0);
+        c.unpin(key);
+        assert_eq!(c.evict_unpinned(), 1);
+    }
+
+    #[test]
+    fn new_version_evicts_stale_unpinned() {
+        let c = MdCache::new();
+        let k1 = (MdId::new(SysId::Gpdb, 7, 1), ObjKind::Table);
+        let k2 = (MdId::new(SysId::Gpdb, 7, 2), ObjKind::Table);
+        c.insert_pinned(k1, obj(1));
+        c.unpin(k1);
+        c.insert_pinned(k2, obj(2));
+        assert_eq!(c.len(), 1, "stale version evicted on refresh");
+        assert!(c.lookup_pin(k2).is_some());
+    }
+
+    #[test]
+    fn racing_insert_keeps_first_object() {
+        let c = MdCache::new();
+        let key = (MdId::new(SysId::Gpdb, 7, 1), ObjKind::Table);
+        c.insert_pinned(key, obj(1));
+        // Second insert (race) pins the existing entry instead of replacing.
+        c.insert_pinned(key, obj(1));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! `orca-catalog` — metadata and statistics (§3 "Metadata Cache", §5
+//! "Metadata Exchange").
+//!
+//! Orca is decoupled from its host system; all metadata flows through a
+//! narrow provider interface:
+//!
+//! * [`table`] — table, column and index descriptors, including MPP
+//!   distribution policy and range partitioning.
+//! * [`stats`] — column histograms and table statistics, the raw material of
+//!   cardinality estimation (§4.1 step 2).
+//! * [`provider`] — the `MdProvider` plug-in trait with an in-memory
+//!   implementation; a DXL file-based provider lives in `orca-dxl` (it needs
+//!   the serialization layer).
+//! * [`cache`] — the optimizer-side metadata cache with pin counting and
+//!   version-based invalidation.
+//! * [`accessor`] — the per-optimization-session `MdAccessor` that pins
+//!   objects for the session, fetches through the provider on miss, and can
+//!   harvest the touched set into a minimal AMPERe dump.
+
+pub mod accessor;
+pub mod cache;
+pub mod provider;
+pub mod stats;
+pub mod table;
+
+pub use accessor::MdAccessor;
+pub use cache::MdCache;
+pub use provider::{MdProvider, MemoryProvider};
+pub use stats::{ColumnStats, Histogram, TableStats};
+pub use table::{ColumnMeta, Distribution, IndexDesc, Partitioning, TableDesc};

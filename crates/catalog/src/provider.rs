@@ -1,0 +1,274 @@
+//! Metadata providers — the system-specific plug-ins of §5.
+//!
+//! "The access to metadata is facilitated by a collection of Metadata
+//! Providers that are system-specific plug-ins to retrieve metadata from the
+//! database system." The optimizer only sees [`MdProvider`]; backends
+//! implement it. This crate ships [`MemoryProvider`] (a catalog living in
+//! process, standing in for a live GPDB/HAWQ backend); `orca-dxl` adds the
+//! file-based provider used by AMPERe replay.
+
+use crate::stats::TableStats;
+use crate::table::{IndexDesc, TableDesc};
+use orca_common::hash::FnvHashMap;
+use orca_common::{MdId, OrcaError, Result, SysId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Any metadata object that can live in the cache or a DXL dump.
+#[derive(Debug, Clone)]
+pub enum MdObject {
+    Table(Arc<TableDesc>),
+    Stats(Arc<TableStats>),
+    /// All indexes defined on one table.
+    Indexes(Arc<Vec<Arc<IndexDesc>>>),
+}
+
+impl MdObject {
+    /// Rough heap footprint for the memory tracker.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            MdObject::Table(t) => 64 + 48 * t.columns.len() as u64,
+            MdObject::Stats(s) => {
+                64 + s
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        48 + c
+                            .as_ref()
+                            .and_then(|c| c.histogram.as_ref())
+                            .map(|h| 32 * h.buckets.len() as u64)
+                            .unwrap_or(0)
+                    })
+                    .sum::<u64>()
+            }
+            MdObject::Indexes(ix) => 32 + 64 * ix.len() as u64,
+        }
+    }
+
+    pub fn kind(&self) -> ObjKind {
+        match self {
+            MdObject::Table(_) => ObjKind::Table,
+            MdObject::Stats(_) => ObjKind::Stats,
+            MdObject::Indexes(_) => ObjKind::Indexes,
+        }
+    }
+}
+
+/// Discriminant used in cache keys (one table MdId maps to several objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjKind {
+    Table,
+    Stats,
+    Indexes,
+}
+
+/// The plug-in interface backends implement.
+pub trait MdProvider: Send + Sync {
+    /// Which system this provider serves (stamped into MdIds it mints).
+    fn system(&self) -> SysId;
+
+    /// Fetch the table descriptor for `mdid`.
+    fn table(&self, mdid: MdId) -> Result<Arc<TableDesc>>;
+
+    /// Fetch statistics for table `mdid`.
+    fn stats(&self, mdid: MdId) -> Result<Arc<TableStats>>;
+
+    /// Indexes defined on table `mdid` (possibly empty).
+    fn indexes(&self, mdid: MdId) -> Result<Arc<Vec<Arc<IndexDesc>>>>;
+
+    /// Name → current MdId resolution (what the binder uses). Returns the
+    /// *latest version* of the object.
+    fn table_by_name(&self, name: &str) -> Option<MdId>;
+}
+
+/// An in-process catalog. Stands in for a live backend in tests, examples
+/// and benchmarks.
+#[derive(Default)]
+pub struct MemoryProvider {
+    inner: RwLock<MemoryInner>,
+}
+
+#[derive(Default)]
+struct MemoryInner {
+    tables: FnvHashMap<MdId, Arc<TableDesc>>,
+    stats: FnvHashMap<MdId, Arc<TableStats>>,
+    indexes: FnvHashMap<MdId, Arc<Vec<Arc<IndexDesc>>>>,
+    by_name: FnvHashMap<String, MdId>,
+    next_oid: u64,
+}
+
+impl MemoryProvider {
+    pub fn new() -> MemoryProvider {
+        MemoryProvider::default()
+    }
+
+    /// Register a table built by the caller (without an MdId yet); mints a
+    /// fresh id and installs empty stats.
+    pub fn register(
+        &self,
+        name: &str,
+        columns: Vec<crate::table::ColumnMeta>,
+        distribution: crate::table::Distribution,
+    ) -> MdId {
+        let ncols = columns.len();
+        let mdid = {
+            let mut g = self.inner.write();
+            g.next_oid += 1;
+            MdId::new(SysId::Gpdb, g.next_oid, 1)
+        };
+        let t = Arc::new(TableDesc::new(mdid, name, columns, distribution));
+        self.install_table(t);
+        self.set_stats(mdid, TableStats::new(0.0, ncols));
+        mdid
+    }
+
+    /// Install a fully-built descriptor (used by the DXL loader and tpcds).
+    pub fn install_table(&self, t: Arc<TableDesc>) {
+        let mut g = self.inner.write();
+        g.next_oid = g.next_oid.max(t.mdid.oid);
+        // Newer version replaces the name binding.
+        match g.by_name.get(&t.name) {
+            Some(old) if old.version > t.mdid.version && old.same_object(&t.mdid) => {}
+            _ => {
+                g.by_name.insert(t.name.clone(), t.mdid);
+            }
+        }
+        g.tables.insert(t.mdid, t);
+    }
+
+    pub fn set_stats(&self, table: MdId, stats: TableStats) {
+        self.inner.write().stats.insert(table, Arc::new(stats));
+    }
+
+    pub fn add_index(&self, index: IndexDesc) {
+        let mut g = self.inner.write();
+        let table = index.table;
+        let entry = g
+            .indexes
+            .entry(table)
+            .or_insert_with(|| Arc::new(Vec::new()));
+        let mut v: Vec<Arc<IndexDesc>> = entry.as_ref().clone();
+        v.push(Arc::new(index));
+        *entry = Arc::new(v);
+    }
+
+    /// Replace a table with a new version (bumped MdId); simulates ALTER /
+    /// ANALYZE invalidating cached metadata.
+    pub fn bump_table_version(&self, mdid: MdId) -> Result<MdId> {
+        let old = self.table(mdid)?;
+        let new_id = mdid.bump_version();
+        let mut t = (*old).clone();
+        t.mdid = new_id;
+        self.install_table(Arc::new(t));
+        let stats = self.inner.read().stats.get(&mdid).cloned();
+        if let Some(s) = stats {
+            self.inner.write().stats.insert(new_id, s);
+        }
+        Ok(new_id)
+    }
+
+    pub fn all_tables(&self) -> Vec<Arc<TableDesc>> {
+        let g = self.inner.read();
+        let mut v: Vec<_> = g
+            .by_name
+            .values()
+            .filter_map(|id| g.tables.get(id).cloned())
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+}
+
+impl MdProvider for MemoryProvider {
+    fn system(&self) -> SysId {
+        SysId::Gpdb
+    }
+
+    fn table(&self, mdid: MdId) -> Result<Arc<TableDesc>> {
+        self.inner
+            .read()
+            .tables
+            .get(&mdid)
+            .cloned()
+            .ok_or_else(|| OrcaError::Metadata(format!("unknown table {mdid}")))
+    }
+
+    fn stats(&self, mdid: MdId) -> Result<Arc<TableStats>> {
+        self.inner
+            .read()
+            .stats
+            .get(&mdid)
+            .cloned()
+            .ok_or_else(|| OrcaError::Metadata(format!("no stats for {mdid}")))
+    }
+
+    fn indexes(&self, mdid: MdId) -> Result<Arc<Vec<Arc<IndexDesc>>>> {
+        Ok(self
+            .inner
+            .read()
+            .indexes
+            .get(&mdid)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn table_by_name(&self, name: &str) -> Option<MdId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnMeta, Distribution};
+    use orca_common::DataType;
+
+    fn provider_with_t1() -> (MemoryProvider, MdId) {
+        let p = MemoryProvider::new();
+        let id = p.register(
+            "t1",
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        );
+        (p, id)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (p, id) = provider_with_t1();
+        assert_eq!(p.table_by_name("t1"), Some(id));
+        assert_eq!(p.table_by_name("zzz"), None);
+        let t = p.table(id).unwrap();
+        assert_eq!(t.name, "t1");
+        assert!(p.stats(id).is_ok());
+        assert!(p.indexes(id).unwrap().is_empty());
+        assert!(p.table(id.bump_version()).is_err());
+    }
+
+    #[test]
+    fn version_bump_keeps_old_and_new() {
+        let (p, id) = provider_with_t1();
+        let id2 = p.bump_table_version(id).unwrap();
+        assert!(id2.same_object(&id));
+        // Name now resolves to the newer version.
+        assert_eq!(p.table_by_name("t1"), Some(id2));
+        // Both versions remain fetchable (old cached plans may hold them).
+        assert!(p.table(id).is_ok());
+        assert!(p.table(id2).is_ok());
+    }
+
+    #[test]
+    fn indexes_accumulate() {
+        let (p, id) = provider_with_t1();
+        p.add_index(IndexDesc {
+            mdid: MdId::new(SysId::Gpdb, 900, 1),
+            name: "t1_a_idx".into(),
+            table: id,
+            key_columns: vec![0],
+        });
+        assert_eq!(p.indexes(id).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,493 @@
+//! Column histograms and table statistics.
+//!
+//! "A statistics object in Orca is mainly a collection of column histograms
+//! used to derive estimates for cardinality and data skew" (§4.1). This
+//! module implements the histogram algebra that statistics derivation
+//! (in `orca::stats`) builds on: restriction by predicates, equi-join
+//! alignment, scaling, union, and skew measurement.
+//!
+//! Histograms are numeric (ints, doubles and dates map onto `f64` bucket
+//! boundaries). String columns carry NDV/null-fraction statistics only —
+//! enough for equality selectivity, which is all the workload needs.
+
+use orca_common::hash::FnvHashMap;
+use orca_common::Datum;
+
+/// One histogram bucket: values in `[lo, hi]` (closed; buckets may share
+/// boundary points), containing `rows` rows with `ndv` distinct values,
+/// assumed uniformly spread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    pub lo: f64,
+    pub hi: f64,
+    pub rows: f64,
+    pub ndv: f64,
+}
+
+impl Bucket {
+    fn width(&self) -> f64 {
+        (self.hi - self.lo).max(f64::EPSILON)
+    }
+
+    /// Fraction of this bucket's rows falling in `[lo, hi]`.
+    fn overlap_fraction(&self, lo: f64, hi: f64) -> f64 {
+        if hi < self.lo || lo > self.hi {
+            return 0.0;
+        }
+        if self.lo >= lo && self.hi <= hi {
+            return 1.0;
+        }
+        // Point bucket handled above; interpolate linearly.
+        let olo = lo.max(self.lo);
+        let ohi = hi.min(self.hi);
+        ((ohi - olo) / self.width()).clamp(0.0, 1.0)
+    }
+}
+
+/// An equi-depth-ish histogram over the non-null values of a column.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    /// Sorted, non-overlapping (except shared endpoints) buckets.
+    pub buckets: Vec<Bucket>,
+}
+
+impl Histogram {
+    pub fn empty() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Build an equi-depth histogram with at most `max_buckets` buckets from
+    /// raw values. Used by the data generator's statistics builder.
+    pub fn from_values(mut values: Vec<f64>, max_buckets: usize) -> Histogram {
+        values.retain(|v| v.is_finite());
+        if values.is_empty() || max_buckets == 0 {
+            return Histogram::empty();
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = values.len();
+        let per = (n as f64 / max_buckets as f64).ceil() as usize;
+        let mut buckets = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let j = (i + per).min(n);
+            let slice = &values[i..j];
+            let lo = slice[0];
+            // Extend hi to include duplicates of the boundary value.
+            let mut j2 = j;
+            while j2 < n && values[j2] == values[j2 - 1] {
+                j2 += 1;
+            }
+            let slice = &values[i..j2];
+            let hi = *slice.last().expect("non-empty");
+            let mut ndv = 1.0;
+            for w in slice.windows(2) {
+                if w[1] != w[0] {
+                    ndv += 1.0;
+                }
+            }
+            buckets.push(Bucket {
+                lo,
+                hi,
+                rows: slice.len() as f64,
+                ndv,
+            });
+            i = j2;
+        }
+        Histogram { buckets }
+    }
+
+    pub fn rows(&self) -> f64 {
+        self.buckets.iter().map(|b| b.rows).sum()
+    }
+
+    pub fn ndv(&self) -> f64 {
+        self.buckets.iter().map(|b| b.ndv).sum()
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        self.buckets.first().map(|b| b.lo)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.buckets.last().map(|b| b.hi)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Multiply all row counts by `f` (NDV is capped by rows).
+    pub fn scale(&self, f: f64) -> Histogram {
+        Histogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| Bucket {
+                    lo: b.lo,
+                    hi: b.hi,
+                    rows: b.rows * f,
+                    ndv: b.ndv.min(b.rows * f),
+                })
+                .filter(|b| b.rows > 1e-9)
+                .collect(),
+        }
+    }
+
+    /// Rows with value in `[lo, hi]` (selectivity numerator).
+    pub fn rows_in_range(&self, lo: f64, hi: f64) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.rows * b.overlap_fraction(lo, hi))
+            .sum()
+    }
+
+    /// Estimated rows equal to `v`: rows in the containing bucket divided by
+    /// its NDV (uniform-within-bucket assumption).
+    pub fn rows_eq(&self, v: f64) -> f64 {
+        for b in &self.buckets {
+            if v >= b.lo && v <= b.hi {
+                return b.rows / b.ndv.max(1.0);
+            }
+        }
+        0.0
+    }
+
+    /// Restrict to `[lo, hi]`, producing the output histogram.
+    pub fn restrict_range(&self, lo: f64, hi: f64) -> Histogram {
+        let mut out = Vec::new();
+        for b in &self.buckets {
+            let f = b.overlap_fraction(lo, hi);
+            if f <= 0.0 {
+                continue;
+            }
+            out.push(Bucket {
+                lo: b.lo.max(lo),
+                hi: b.hi.min(hi),
+                rows: b.rows * f,
+                ndv: (b.ndv * f).max(1.0),
+            });
+        }
+        Histogram { buckets: out }
+    }
+
+    /// Restrict to exactly `v`.
+    pub fn restrict_eq(&self, v: f64) -> Histogram {
+        let rows = self.rows_eq(v);
+        if rows <= 0.0 {
+            return Histogram::empty();
+        }
+        Histogram {
+            buckets: vec![Bucket {
+                lo: v,
+                hi: v,
+                rows,
+                ndv: 1.0,
+            }],
+        }
+    }
+
+    /// Equi-join with `other`: returns the estimated join cardinality and
+    /// the histogram of the join key in the output.
+    ///
+    /// Buckets are split at the union of both boundary sets; within each
+    /// aligned span the classic containment estimate
+    /// `rows_a * rows_b / max(ndv_a, ndv_b)` applies.
+    pub fn equi_join(&self, other: &Histogram) -> (f64, Histogram) {
+        if self.is_empty() || other.is_empty() {
+            return (0.0, Histogram::empty());
+        }
+        let mut bounds: Vec<f64> = self
+            .buckets
+            .iter()
+            .chain(other.buckets.iter())
+            .flat_map(|b| [b.lo, b.hi])
+            .collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        bounds.dedup();
+
+        let mut total = 0.0;
+        let mut out = Vec::new();
+        let spans = bounds.windows(2).map(|w| (w[0], w[1]));
+        // Include degenerate point spans for shared boundary points by
+        // treating each span as closed; point-bucket mass concentrated at a
+        // boundary is captured because overlap_fraction of a point bucket
+        // with any range containing it is 1. To avoid double counting, point
+        // buckets are handled via their own span when lo==hi.
+        let mut point_done: Vec<f64> = Vec::new();
+        let handle_span = |lo: f64, hi: f64, out: &mut Vec<Bucket>, total: &mut f64| {
+            let ra = self.rows_in_range(lo, hi);
+            let rb = other.rows_in_range(lo, hi);
+            if ra <= 0.0 || rb <= 0.0 {
+                return;
+            }
+            let nda = self.ndv_in_range(lo, hi).max(1.0);
+            let ndb = other.ndv_in_range(lo, hi).max(1.0);
+            let rows = ra * rb / nda.max(ndb);
+            *total += rows;
+            out.push(Bucket {
+                lo,
+                hi,
+                rows,
+                ndv: nda.min(ndb),
+            });
+        };
+        for (lo, hi) in spans {
+            if lo == hi {
+                continue;
+            }
+            // Shift interior endpoints slightly is overkill; accept small
+            // double-count at shared endpoints — estimation, not arithmetic.
+            handle_span(lo, hi, &mut out, &mut total);
+        }
+        // Pure point buckets (lo == hi) that no span covers (single-bucket
+        // histograms at one value).
+        for b in self.buckets.iter().chain(other.buckets.iter()) {
+            if b.lo == b.hi && !point_done.contains(&b.lo) && bounds.len() == 1 {
+                point_done.push(b.lo);
+                handle_span(b.lo, b.hi, &mut out, &mut total);
+            }
+        }
+        (total, Histogram { buckets: out })
+    }
+
+    fn ndv_in_range(&self, lo: f64, hi: f64) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.ndv * b.overlap_fraction(lo, hi))
+            .sum()
+    }
+
+    /// Merge with `other` as UNION ALL of the underlying columns.
+    pub fn union_all(&self, other: &Histogram) -> Histogram {
+        let mut buckets: Vec<Bucket> = self
+            .buckets
+            .iter()
+            .chain(other.buckets.iter())
+            .cloned()
+            .collect();
+        buckets.sort_by(|a, b| a.lo.partial_cmp(&b.lo).expect("finite"));
+        Histogram { buckets }
+    }
+
+    /// Coefficient of variation of bucket row densities — the skew measure
+    /// used to penalize hashed distributions on skewed keys.
+    pub fn skew(&self) -> f64 {
+        if self.buckets.len() < 2 {
+            return 0.0;
+        }
+        let densities: Vec<f64> = self
+            .buckets
+            .iter()
+            .map(|b| b.rows / b.ndv.max(1.0))
+            .collect();
+        let mean = densities.iter().sum::<f64>() / densities.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var =
+            densities.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / densities.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: f64,
+    /// Fraction of rows that are NULL in this column.
+    pub null_frac: f64,
+    /// Average width in bytes.
+    pub width: u64,
+    /// Numeric histogram, when the column is numeric/date.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    pub fn new(ndv: f64, null_frac: f64, width: u64) -> ColumnStats {
+        ColumnStats {
+            ndv,
+            null_frac,
+            width,
+            histogram: None,
+        }
+    }
+
+    pub fn with_histogram(mut self, h: Histogram) -> ColumnStats {
+        self.histogram = Some(h);
+        self
+    }
+
+    /// Build from raw column values (the `tpcds::statsgen` path).
+    pub fn from_column(values: &[Datum], max_buckets: usize) -> ColumnStats {
+        let n = values.len().max(1) as f64;
+        let nulls = values.iter().filter(|v| v.is_null()).count() as f64;
+        let mut distinct: FnvHashMap<u64, ()> = FnvHashMap::default();
+        for v in values {
+            if !v.is_null() {
+                distinct.insert(orca_common::hash::fnv_hash(v), ());
+            }
+        }
+        let width =
+            (values.iter().map(Datum::width).sum::<u64>() / values.len().max(1) as u64).max(1);
+        let numeric: Vec<f64> = values.iter().filter_map(Datum::as_f64).collect();
+        let mut cs = ColumnStats::new(distinct.len() as f64, nulls / n, width);
+        if !numeric.is_empty() && numeric.len() + nulls as usize == values.len() {
+            cs.histogram = Some(Histogram::from_values(numeric, max_buckets));
+        }
+        cs
+    }
+}
+
+/// Statistics for one table, aligned with its column list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub rows: f64,
+    /// Per-column stats; `None` when never collected.
+    pub columns: Vec<Option<ColumnStats>>,
+}
+
+impl TableStats {
+    pub fn new(rows: f64, ncols: usize) -> TableStats {
+        TableStats {
+            rows,
+            columns: vec![None; ncols],
+        }
+    }
+
+    pub fn set_column(mut self, idx: usize, cs: ColumnStats) -> TableStats {
+        self.columns[idx] = Some(cs);
+        self
+    }
+
+    pub fn column(&self, idx: usize) -> Option<&ColumnStats> {
+        self.columns.get(idx).and_then(|c| c.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_hist(lo: f64, hi: f64, rows: f64, buckets: usize) -> Histogram {
+        let w = (hi - lo) / buckets as f64;
+        Histogram {
+            buckets: (0..buckets)
+                .map(|i| Bucket {
+                    lo: lo + i as f64 * w,
+                    hi: lo + (i + 1) as f64 * w,
+                    rows: rows / buckets as f64,
+                    ndv: (rows / buckets as f64).min(w.max(1.0)),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn from_values_mass_conservation() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let h = Histogram::from_values(vals, 10);
+        assert!((h.rows() - 1000.0).abs() < 1e-6);
+        assert!((h.ndv() - 100.0).abs() < 1.0);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(99.0));
+    }
+
+    #[test]
+    fn range_restriction_halves_uniform() {
+        let h = uniform_hist(0.0, 100.0, 10_000.0, 20);
+        let half = h.rows_in_range(0.0, 50.0);
+        assert!((half - 5000.0).abs() / 5000.0 < 0.02, "got {half}");
+        let r = h.restrict_range(0.0, 50.0);
+        assert!((r.rows() - half).abs() < 1e-6);
+        assert!(r.max().unwrap() <= 50.0);
+    }
+
+    #[test]
+    fn eq_restriction_uses_bucket_ndv() {
+        let h = uniform_hist(0.0, 100.0, 1000.0, 10); // 100 rows, ndv<=10 per bucket
+        let rows = h.rows_eq(5.0);
+        assert!(rows > 0.0 && rows <= 100.0);
+        let r = h.restrict_eq(5.0);
+        assert_eq!(r.buckets.len(), 1);
+        assert!((r.rows() - rows).abs() < 1e-9);
+        assert_eq!(h.rows_eq(500.0), 0.0);
+    }
+
+    #[test]
+    fn equi_join_pk_fk_shape() {
+        // Dimension: 100 distinct values 0..100, one row each.
+        let dim = Histogram::from_values((0..100).map(|i| i as f64).collect(), 10);
+        // Fact: 10k rows over the same domain.
+        let fact = Histogram::from_values((0..10_000).map(|i| (i % 100) as f64).collect(), 10);
+        let (card, out) = fact.equi_join(&dim);
+        // PK-FK join keeps the fact side cardinality (within estimate slop).
+        assert!(card > 5_000.0 && card < 20_000.0, "card = {card}");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn equi_join_disjoint_is_empty() {
+        let a = Histogram::from_values((0..100).map(|i| i as f64).collect(), 4);
+        let b = Histogram::from_values((1000..1100).map(|i| i as f64).collect(), 4);
+        let (card, out) = a.equi_join(&b);
+        assert_eq!(card, 0.0);
+        assert!(out.is_empty() || out.rows() < 1e-6);
+    }
+
+    #[test]
+    fn scale_caps_ndv() {
+        let h = Histogram::from_values((0..100).map(|i| i as f64).collect(), 4);
+        let s = h.scale(0.01); // 1 row total
+        assert!((s.rows() - 1.0).abs() < 1e-6);
+        for b in &s.buckets {
+            assert!(b.ndv <= b.rows + 1e-9);
+        }
+        // Scaling to zero removes all buckets.
+        assert!(h.scale(0.0).is_empty());
+    }
+
+    #[test]
+    fn skew_detects_heavy_bucket() {
+        let uniform = uniform_hist(0.0, 100.0, 1000.0, 10);
+        let mut skewed = uniform.clone();
+        skewed.buckets[0].rows = 10_000.0;
+        assert!(skewed.skew() > uniform.skew());
+        assert!(uniform.skew() < 0.01);
+    }
+
+    #[test]
+    fn column_stats_from_mixed_values() {
+        let vals: Vec<Datum> = (0..50)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int(i % 7)
+                }
+            })
+            .collect();
+        let cs = ColumnStats::from_column(&vals, 8);
+        assert!((cs.null_frac - 0.1).abs() < 1e-9);
+        assert!(cs.ndv >= 6.0 && cs.ndv <= 7.0);
+        assert!(cs.histogram.is_some());
+        // 45 non-null rows in the histogram.
+        assert!((cs.histogram.unwrap().rows() - 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn string_column_gets_no_histogram() {
+        let vals: Vec<Datum> = (0..10).map(|i| Datum::Str(format!("v{i}"))).collect();
+        let cs = ColumnStats::from_column(&vals, 8);
+        assert_eq!(cs.ndv, 10.0);
+        assert!(cs.histogram.is_none());
+    }
+
+    #[test]
+    fn union_all_adds_mass() {
+        let a = uniform_hist(0.0, 10.0, 100.0, 2);
+        let b = uniform_hist(5.0, 15.0, 50.0, 2);
+        let u = a.union_all(&b);
+        assert!((u.rows() - 150.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,223 @@
+//! Table, column and index descriptors.
+//!
+//! These are the metadata objects the optimizer requests from the backend
+//! (via DXL in the paper). They describe *shape* only — actual data lives in
+//! the execution engine's storage.
+
+use orca_common::{DataType, MdId};
+
+/// Column metadata within a table (an `attno`-indexed entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl ColumnMeta {
+    pub fn new(name: &str, dtype: DataType) -> ColumnMeta {
+        ColumnMeta {
+            name: name.to_string(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(mut self) -> ColumnMeta {
+        self.nullable = false;
+        self
+    }
+}
+
+/// How a table's rows are laid out across segments (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// Tuples placed by hash of the named columns (positions into
+    /// [`TableDesc::columns`]).
+    Hashed(Vec<usize>),
+    /// Tuples scattered round-robin; no co-location guarantees.
+    Random,
+    /// Every segment stores a full copy.
+    Replicated,
+    /// The whole table lives on one host (catalog tables, tiny dimensions).
+    Singleton,
+}
+
+/// Range partitioning of a table on one column (simplified from reference \[2\]:
+/// single-level range partitioning, which is what the TPC-DS fact tables
+/// use — partition by date key).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioning {
+    /// Position of the partitioning column in [`TableDesc::columns`].
+    pub column: usize,
+    /// Sorted, non-overlapping `[lo, hi)` bounds; one entry per partition.
+    pub bounds: Vec<(i64, i64)>,
+}
+
+impl Partitioning {
+    /// Equi-width partitions covering `[lo, hi)`.
+    pub fn range(column: usize, lo: i64, hi: i64, parts: usize) -> Partitioning {
+        assert!(parts > 0 && hi > lo);
+        let width = ((hi - lo) as f64 / parts as f64).ceil() as i64;
+        let mut bounds = Vec::with_capacity(parts);
+        let mut cur = lo;
+        for _ in 0..parts {
+            let next = (cur + width).min(hi);
+            bounds.push((cur, next));
+            cur = next;
+            if cur >= hi {
+                break;
+            }
+        }
+        Partitioning { column, bounds }
+    }
+
+    pub fn num_parts(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Partitions whose range intersects `[lo, hi]` (inclusive ends; use
+    /// `i64::MIN`/`i64::MAX` for open sides). This is the static-elimination
+    /// primitive.
+    pub fn parts_for_range(&self, lo: i64, hi: i64) -> Vec<usize> {
+        self.bounds
+            .iter()
+            .enumerate()
+            .filter(|(_, (plo, phi))| lo < *phi && hi >= *plo)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The single partition containing `v`, if any.
+    pub fn part_for_value(&self, v: i64) -> Option<usize> {
+        self.bounds.iter().position(|(lo, hi)| v >= *lo && v < *hi)
+    }
+}
+
+/// A table descriptor — what a `LogicalGet` binds to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDesc {
+    pub mdid: MdId,
+    pub name: String,
+    pub columns: Vec<ColumnMeta>,
+    pub distribution: Distribution,
+    pub partitioning: Option<Partitioning>,
+}
+
+impl TableDesc {
+    pub fn new(
+        mdid: MdId,
+        name: &str,
+        columns: Vec<ColumnMeta>,
+        distribution: Distribution,
+    ) -> TableDesc {
+        if let Distribution::Hashed(cols) = &distribution {
+            assert!(
+                cols.iter().all(|c| *c < columns.len()),
+                "distribution column out of range"
+            );
+        }
+        TableDesc {
+            mdid,
+            name: name.to_string(),
+            columns,
+            distribution,
+            partitioning: None,
+        }
+    }
+
+    pub fn with_partitioning(mut self, p: Partitioning) -> TableDesc {
+        assert!(p.column < self.columns.len());
+        self.partitioning = Some(p);
+        self
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Row width estimate in bytes (cost model input).
+    pub fn row_width(&self) -> u64 {
+        self.columns.iter().map(|c| c.dtype.width()).sum()
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitioning
+            .as_ref()
+            .map_or(1, Partitioning::num_parts)
+    }
+}
+
+/// A (covering, ordered) index: rows reachable in order of `key_columns`.
+/// Simplified from GPDB btrees: the index is clustered per segment, so an
+/// IndexScan delivers per-segment sort order without a Sort enforcer and can
+/// apply range predicates on the leading key column cheaply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDesc {
+    pub mdid: MdId,
+    pub name: String,
+    /// The indexed table.
+    pub table: MdId,
+    /// Positions into the table's columns, in key order.
+    pub key_columns: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_common::{DataType, SysId};
+
+    fn desc() -> TableDesc {
+        TableDesc::new(
+            MdId::new(SysId::Gpdb, 1, 1),
+            "t",
+            vec![
+                ColumnMeta::new("a", DataType::Int).not_null(),
+                ColumnMeta::new("b", DataType::Str),
+            ],
+            Distribution::Hashed(vec![0]),
+        )
+    }
+
+    #[test]
+    fn column_lookup_and_width() {
+        let t = desc();
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("zzz"), None);
+        assert_eq!(t.row_width(), 8 + 24);
+        assert_eq!(t.num_partitions(), 1);
+    }
+
+    #[test]
+    fn range_partitioning_covers_domain() {
+        let p = Partitioning::range(0, 0, 100, 4);
+        assert_eq!(p.num_parts(), 4);
+        assert_eq!(p.bounds.first().unwrap().0, 0);
+        assert_eq!(p.bounds.last().unwrap().1, 100);
+        // Every value maps to exactly one partition.
+        for v in 0..100 {
+            assert!(p.part_for_value(v).is_some(), "value {v}");
+        }
+        assert_eq!(p.part_for_value(100), None);
+    }
+
+    #[test]
+    fn partition_pruning_by_range() {
+        let p = Partitioning::range(0, 0, 100, 4); // [0,25) [25,50) [50,75) [75,100)
+        assert_eq!(p.parts_for_range(30, 30), vec![1]);
+        assert_eq!(p.parts_for_range(20, 60), vec![0, 1, 2]);
+        assert_eq!(p.parts_for_range(i64::MIN, i64::MAX).len(), 4);
+        assert!(p.parts_for_range(200, 300).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution column out of range")]
+    fn invalid_distribution_column_rejected() {
+        TableDesc::new(
+            MdId::new(SysId::Gpdb, 2, 1),
+            "bad",
+            vec![ColumnMeta::new("a", DataType::Int)],
+            Distribution::Hashed(vec![5]),
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Datums: the runtime value representation used by the binder, the
+//! statistics subsystem and the execution engine.
+//!
+//! Orca itself is value-agnostic (it sees metadata ids); our reproduction
+//! needs concrete values for constant folding, histogram boundaries and
+//! execution. A small closed set of types is enough for the TPC-DS-style
+//! workload: integers, doubles, booleans, strings and dates.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Scalar data types understood by the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    Bool,
+    Int,
+    Double,
+    Str,
+    /// Days since an arbitrary epoch; kept distinct from `Int` so the date
+    /// dimension participates in type checking like in TPC-DS.
+    Date,
+}
+
+impl DataType {
+    /// Estimated on-disk / in-flight width in bytes, used by the cost model
+    /// and the simulated network.
+    pub fn width(&self) -> u64 {
+        match self {
+            DataType::Bool => 1,
+            DataType::Int => 8,
+            DataType::Double => 8,
+            DataType::Str => 24,
+            DataType::Date => 4,
+        }
+    }
+
+    /// Whether values of this type can be redistributed by hash in the MPP
+    /// engine (mirrors `IsRedistributable` in DXL metadata).
+    pub fn is_redistributable(&self) -> bool {
+        true
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int8",
+            DataType::Double => "float8",
+            DataType::Str => "text",
+            DataType::Date => "date",
+        }
+    }
+
+    /// Inverse of [`DataType::name`].
+    pub fn from_name(s: &str) -> Option<DataType> {
+        Some(match s {
+            "bool" => DataType::Bool,
+            "int8" => DataType::Int,
+            "float8" => DataType::Double,
+            "text" => DataType::Str,
+            "date" => DataType::Date,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A runtime value. `Null` is typeless, as in SQL.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Date(i32),
+}
+
+impl Datum {
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Bool(_) => Some(DataType::Bool),
+            Datum::Int(_) => Some(DataType::Int),
+            Datum::Double(_) => Some(DataType::Double),
+            Datum::Str(_) => Some(DataType::Str),
+            Datum::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Numeric view used by arithmetic and histogram math; strings and
+    /// booleans are not numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Double(d) => Some(*d),
+            Datum::Date(d) => Some(*d as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            Datum::Date(d) => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL (unknown), or when the
+    /// operands are incomparable types.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
+            (Datum::Str(a), Datum::Str(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Total order used for sorting rows (NULLs sort last, as in GPDB's
+    /// default `NULLS LAST` for ascending order).
+    ///
+    /// To stay transitive in the presence of cross-type numeric
+    /// comparability (`Int`/`Double`/`Date` compare with each other but not
+    /// with strings), ordering goes by *comparison class* first, then by
+    /// value within the class.
+    pub fn total_cmp(&self, other: &Datum) -> Ordering {
+        let (ca, cb) = (self.cmp_class(), other.cmp_class());
+        if ca != cb {
+            return ca.cmp(&cb);
+        }
+        match (self, other) {
+            (Datum::Null, Datum::Null) => Ordering::Equal,
+            (Datum::Bool(a), Datum::Bool(b)) => a.cmp(b),
+            (Datum::Str(a), Datum::Str(b)) => a.cmp(b),
+            (a, b) => {
+                let (x, y) = (
+                    a.as_f64().expect("numeric class"),
+                    b.as_f64().expect("numeric class"),
+                );
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// Classes of mutually comparable datums; NULLs sort last.
+    fn cmp_class(&self) -> u8 {
+        match self {
+            Datum::Bool(_) => 0,
+            Datum::Int(_) | Datum::Double(_) | Datum::Date(_) => 1,
+            Datum::Str(_) => 2,
+            Datum::Null => 3,
+        }
+    }
+
+    /// Estimated width in bytes for the cost model.
+    pub fn width(&self) -> u64 {
+        match self {
+            Datum::Null => 1,
+            Datum::Str(s) => s.len() as u64 + 4,
+            d => d.data_type().map(|t| t.width()).unwrap_or(8),
+        }
+    }
+}
+
+/// Equality is SQL equality *except* that NULL == NULL, so datums can act as
+/// hash-table keys (grouping, hashed distribution).
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Datum::Null, Datum::Null) => true,
+            (Datum::Null, _) | (_, Datum::Null) => false,
+            (Datum::Bool(a), Datum::Bool(b)) => a == b,
+            (Datum::Str(a), Datum::Str(b)) => a == b,
+            (Datum::Int(a), Datum::Int(b)) => a == b,
+            (Datum::Date(a), Datum::Date(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl Eq for Datum {}
+
+impl Hash for Datum {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Datum::Null => 0u8.hash(state),
+            Datum::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int / Double / Date hash through their f64 image so that
+            // cross-type equality (Int(1) == Double(1.0)) implies equal
+            // hashes.
+            Datum::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Datum::Double(d) => {
+                2u8.hash(state);
+                d.to_bits().hash(state);
+            }
+            Datum::Date(d) => {
+                2u8.hash(state);
+                (*d as f64).to_bits().hash(state);
+            }
+            Datum::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Double(d) => write!(f, "{d}"),
+            Datum::Str(s) => write!(f, "'{s}'"),
+            Datum::Date(d) => write!(f, "date({d})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(d: &Datum) -> u64 {
+        let mut s = DefaultHasher::new();
+        d.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn cross_type_numeric_equality_and_hash() {
+        assert_eq!(Datum::Int(3), Datum::Double(3.0));
+        assert_eq!(h(&Datum::Int(3)), h(&Datum::Double(3.0)));
+        assert_ne!(Datum::Int(3), Datum::Double(3.5));
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(Datum::Null.sql_cmp(&Datum::Int(1)).is_none());
+        // Hash-key equality treats NULL = NULL.
+        assert_eq!(Datum::Null, Datum::Null);
+        assert_ne!(Datum::Null, Datum::Int(0));
+    }
+
+    #[test]
+    fn total_order_nulls_last() {
+        let mut v = vec![Datum::Int(2), Datum::Null, Datum::Int(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v, vec![Datum::Int(1), Datum::Int(2), Datum::Null]);
+    }
+
+    #[test]
+    fn sql_cmp_strings() {
+        assert_eq!(
+            Datum::Str("a".into()).sql_cmp(&Datum::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        // String vs number is incomparable.
+        assert!(Datum::Str("a".into()).sql_cmp(&Datum::Int(1)).is_none());
+    }
+
+    #[test]
+    fn type_roundtrip() {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Double,
+            DataType::Str,
+            DataType::Date,
+        ] {
+            assert_eq!(DataType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(DataType::from_name("blob"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error handling. Mirrors GPOS's `CException` taxonomy at a coarse grain:
+//! every subsystem funnels into [`OrcaError`], and the optimizer engine
+//! converts unexpected errors into AMPERe dumps (see `orca::amper`).
+
+use std::fmt;
+
+/// Unified error type for the whole workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrcaError {
+    /// SQL text could not be tokenized / parsed.
+    Parse(String),
+    /// Name resolution / type checking failed.
+    Bind(String),
+    /// A metadata object could not be found or was stale.
+    Metadata(String),
+    /// DXL (de)serialization failure.
+    Dxl(String),
+    /// Internal invariant violation inside the optimizer.
+    Internal(String),
+    /// The optimizer could not produce any plan satisfying the request.
+    NoPlan(String),
+    /// Optimization aborted: stage timeout or external cancellation.
+    Aborted(String),
+    /// Execution-time failure (e.g. simulated out-of-memory).
+    Execution(String),
+    /// A feature the query needs is unsupported by the engine being driven
+    /// (used by the Figure 15 support matrix).
+    Unsupported(String),
+    /// Injected fault for AMPERe testing (§6.1).
+    InjectedFault(String),
+}
+
+impl OrcaError {
+    /// Short machine-readable category, used in AMPERe dumps.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OrcaError::Parse(_) => "parse",
+            OrcaError::Bind(_) => "bind",
+            OrcaError::Metadata(_) => "metadata",
+            OrcaError::Dxl(_) => "dxl",
+            OrcaError::Internal(_) => "internal",
+            OrcaError::NoPlan(_) => "noplan",
+            OrcaError::Aborted(_) => "aborted",
+            OrcaError::Execution(_) => "execution",
+            OrcaError::Unsupported(_) => "unsupported",
+            OrcaError::InjectedFault(_) => "injected",
+        }
+    }
+
+    pub fn message(&self) -> &str {
+        match self {
+            OrcaError::Parse(m)
+            | OrcaError::Bind(m)
+            | OrcaError::Metadata(m)
+            | OrcaError::Dxl(m)
+            | OrcaError::Internal(m)
+            | OrcaError::NoPlan(m)
+            | OrcaError::Aborted(m)
+            | OrcaError::Execution(m)
+            | OrcaError::Unsupported(m)
+            | OrcaError::InjectedFault(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for OrcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for OrcaError {}
+
+pub type Result<T> = std::result::Result<T, OrcaError>;
+
+/// Convenience constructor macro: `err!(Internal, "bad group {}", id)`.
+#[macro_export]
+macro_rules! err {
+    ($kind:ident, $($arg:tt)*) => {
+        $crate::error::OrcaError::$kind(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind() {
+        let e = OrcaError::NoPlan("no valid plan for req #1".into());
+        assert_eq!(e.kind(), "noplan");
+        assert_eq!(e.to_string(), "noplan: no valid plan for req #1");
+    }
+
+    #[test]
+    fn macro_builds_variants() {
+        let e = err!(Internal, "group {} missing", 7);
+        assert_eq!(e, OrcaError::Internal("group 7 missing".into()));
+    }
+}

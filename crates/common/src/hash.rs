@@ -1,0 +1,105 @@
+//! Deterministic hashing.
+//!
+//! Two distinct needs:
+//! * **Memo duplicate detection** must be stable within a process but need
+//!   not be stable across runs — yet determinism across runs makes test
+//!   failures reproducible and keeps parallel/serial plan comparisons exact,
+//!   so we use a seeded FNV-1a everywhere instead of `RandomState`.
+//! * **Hashed data distribution** (the `Redistribute` motion) must agree
+//!   between the optimizer's reasoning and the executor's shuffling; both
+//!   call [`hash_datum_for_distribution`].
+
+use crate::datum::Datum;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a, deterministic across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Drop-in replacement for `RandomState` with deterministic output.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` with deterministic hashing (iteration order is still
+/// insertion-history dependent; sort before emitting user-visible output).
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+/// A `HashSet` with deterministic hashing.
+pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
+
+/// Hash any `Hash` value with FNV-1a; used for memo group-expression
+/// fingerprints.
+pub fn fnv_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FnvHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// The hash used to place a tuple on a segment under hashed distribution.
+/// The optimizer's co-location reasoning and the executor's `Redistribute`
+/// motion must use the *same* function, so it lives here.
+pub fn hash_datum_for_distribution(d: &Datum) -> u64 {
+    fnv_hash(d)
+}
+
+/// Map a composite distribution key to a segment in `[0, num_segments)`.
+pub fn segment_for_key(key: &[Datum], num_segments: usize) -> usize {
+    debug_assert!(num_segments > 0);
+    let mut h = FnvHasher::default();
+    for d in key {
+        d.hash(&mut h);
+    }
+    (h.finish() % num_segments as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic() {
+        assert_eq!(fnv_hash("hello"), fnv_hash("hello"));
+        assert_ne!(fnv_hash("hello"), fnv_hash("world"));
+    }
+
+    #[test]
+    fn equal_datums_hash_to_same_segment() {
+        // Int(5) and Double(5.0) are SQL-equal, so they must co-locate.
+        let a = segment_for_key(&[Datum::Int(5)], 16);
+        let b = segment_for_key(&[Datum::Double(5.0)], 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn segments_in_range_and_spread() {
+        let n = 8;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let s = segment_for_key(&[Datum::Int(i)], n);
+            assert!(s < n);
+            seen.insert(s);
+        }
+        // 1000 keys over 8 segments should hit every segment.
+        assert_eq!(seen.len(), n);
+    }
+}

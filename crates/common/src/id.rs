@@ -1,0 +1,145 @@
+//! Identifiers.
+//!
+//! * [`ColId`] — a query-wide unique column id handed out by the binder's
+//!   column factory (Orca's `CColRef`). All operators refer to columns by
+//!   `ColId`; names survive only as debug info.
+//! * [`MdId`] — metadata id: `(system, object id, version)` exactly as in
+//!   §4.1 of the paper ("composed of a database system identifier, an object
+//!   identifier and a version number"). Versions invalidate cached metadata.
+
+use std::fmt;
+
+/// Identifier of the backend database system an [`MdId`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SysId {
+    /// Greenplum-style MPP backend (the default in this reproduction).
+    Gpdb,
+    /// HAWQ / HDFS-backed backend.
+    Hawq,
+    /// Metadata loaded from a DXL file (AMPERe replay, tests).
+    File,
+}
+
+impl SysId {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SysId::Gpdb => "GPDB",
+            SysId::Hawq => "HAWQ",
+            SysId::File => "FILE",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<SysId> {
+        Some(match s {
+            "GPDB" => SysId::Gpdb,
+            "HAWQ" => SysId::Hawq,
+            "FILE" => SysId::File,
+            _ => return None,
+        })
+    }
+}
+
+/// Metadata id: uniquely identifies a metadata object (table, index, type,
+/// operator) across systems and versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MdId {
+    pub sysid: SysId,
+    pub oid: u64,
+    pub version: u32,
+}
+
+impl MdId {
+    pub const fn new(sysid: SysId, oid: u64, version: u32) -> MdId {
+        MdId {
+            sysid,
+            oid,
+            version,
+        }
+    }
+
+    /// A newer version of the same object (used to test cache invalidation).
+    pub fn bump_version(&self) -> MdId {
+        MdId {
+            version: self.version + 1,
+            ..*self
+        }
+    }
+
+    /// Same object regardless of version.
+    pub fn same_object(&self, other: &MdId) -> bool {
+        self.sysid == other.sysid && self.oid == other.oid
+    }
+
+    /// DXL textual form: `SYS.oid.version`, e.g. `GPDB.1639448.1`.
+    pub fn to_dxl(&self) -> String {
+        format!("{}.{}.{}", self.sysid.name(), self.oid, self.version)
+    }
+
+    pub fn parse_dxl(s: &str) -> Option<MdId> {
+        let mut it = s.split('.');
+        let sysid = SysId::from_name(it.next()?)?;
+        let oid = it.next()?.parse().ok()?;
+        let version = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(MdId::new(sysid, oid, version))
+    }
+}
+
+impl fmt::Display for MdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dxl())
+    }
+}
+
+/// A query-wide unique column reference id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColId(pub u32);
+
+impl ColId {
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ColId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a common table expression (WITH clause producer/consumer
+/// pairing, §7.2.2 "Common Expressions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CteId(pub u32);
+
+impl fmt::Display for CteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cte{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mdid_dxl_roundtrip() {
+        let id = MdId::new(SysId::Gpdb, 1639448, 1);
+        assert_eq!(id.to_dxl(), "GPDB.1639448.1");
+        assert_eq!(MdId::parse_dxl(&id.to_dxl()), Some(id));
+        assert_eq!(MdId::parse_dxl("GPDB.x.1"), None);
+        assert_eq!(MdId::parse_dxl("NOPE.1.1"), None);
+        assert_eq!(MdId::parse_dxl("GPDB.1.1.1"), None);
+    }
+
+    #[test]
+    fn version_bump_same_object() {
+        let id = MdId::new(SysId::Hawq, 42, 1);
+        let id2 = id.bump_version();
+        assert!(id.same_object(&id2));
+        assert_ne!(id, id2);
+        assert_eq!(id2.version, 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! `orca-common` — foundation types shared by every crate in the Orca
+//! reproduction: datums and data types, column / metadata identifiers,
+//! error handling, deterministic hashing, and the cluster description.
+//!
+//! Everything here is deliberately dependency-free so that the crate DAG
+//! stays acyclic (see `DESIGN.md` §4).
+
+pub mod datum;
+pub mod error;
+pub mod hash;
+pub mod id;
+pub mod segment;
+
+pub use datum::{DataType, Datum};
+pub use error::{OrcaError, Result};
+pub use id::{ColId, CteId, MdId, SysId};
+pub use segment::SegmentConfig;

@@ -1,0 +1,88 @@
+//! Cluster description (§2.1): a master plus N shared-nothing segments
+//! connected by an interconnect. Both the cost model and the execution
+//! simulator are parameterized by this.
+
+/// Static description of the simulated MPP cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentConfig {
+    /// Number of segment instances (excluding the master).
+    pub num_segments: usize,
+    /// Simulated interconnect bandwidth in bytes per simulated second,
+    /// aggregate per segment pair direction.
+    pub net_bytes_per_sec: f64,
+    /// Simulated per-tuple CPU processing rate (tuples per simulated second
+    /// per segment core).
+    pub tuples_per_sec: f64,
+    /// Per-segment working memory in bytes (drives spill / OOM modelling).
+    pub work_mem_bytes: u64,
+    /// Whether operators may spill to disk when exceeding `work_mem_bytes`.
+    /// The Hadoop engines of §7.3.2 cannot, which is why they OOM.
+    pub can_spill: bool,
+    /// Cost multiplier applied to spilled work (disk passes).
+    pub spill_penalty: f64,
+}
+
+impl SegmentConfig {
+    /// The 16-node cluster of §7.2.1 (scaled for simulation).
+    pub fn mpp_16() -> SegmentConfig {
+        SegmentConfig {
+            num_segments: 16,
+            ..SegmentConfig::default()
+        }
+    }
+
+    /// Single-segment configuration: degenerates to a non-distributed
+    /// database, useful as a correctness reference.
+    pub fn single() -> SegmentConfig {
+        SegmentConfig {
+            num_segments: 1,
+            ..SegmentConfig::default()
+        }
+    }
+
+    pub fn with_segments(mut self, n: usize) -> SegmentConfig {
+        self.num_segments = n;
+        self
+    }
+
+    pub fn with_work_mem(mut self, bytes: u64) -> SegmentConfig {
+        self.work_mem_bytes = bytes;
+        self
+    }
+
+    pub fn with_spill(mut self, can_spill: bool) -> SegmentConfig {
+        self.can_spill = can_spill;
+        self
+    }
+}
+
+impl Default for SegmentConfig {
+    fn default() -> SegmentConfig {
+        SegmentConfig {
+            num_segments: 8,
+            net_bytes_per_sec: 100.0e6,
+            tuples_per_sec: 1.0e6,
+            work_mem_bytes: 64 << 20,
+            can_spill: true,
+            spill_penalty: 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = SegmentConfig::default()
+            .with_segments(4)
+            .with_work_mem(1024)
+            .with_spill(false);
+        assert_eq!(c.num_segments, 4);
+        assert_eq!(c.work_mem_bytes, 1024);
+        assert!(!c.can_spill);
+        assert_eq!(SegmentConfig::mpp_16().num_segments, 16);
+        assert_eq!(SegmentConfig::single().num_segments, 1);
+    }
+}

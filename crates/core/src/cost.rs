@@ -1,0 +1,327 @@
+//! The MPP-aware cost model.
+//!
+//! Costs are abstract work units. The model captures exactly the effects
+//! the paper's evaluation turns on: per-tuple CPU work scaled by the
+//! parallelism of the stream (distributed streams divide work across
+//! segments, singleton streams do not), interconnect traffic for motions
+//! (Gather converges on one host; Broadcast ships a full copy everywhere;
+//! Redistribute parallelizes), hash-table build vs. probe asymmetry,
+//! spilling penalties when build sides exceed working memory, and a skew
+//! penalty that discounts the effective parallelism of hashed streams on
+//! skewed keys ("histograms used to derive estimates for cardinality and
+//! data skew", §4.1).
+
+use orca_common::SegmentConfig;
+use orca_expr::physical::{MotionKind, PhysicalOp};
+
+/// Tunable cost constants. The defaults are hand-calibrated against the
+/// execution simulator so that TAQO correlation is high by default; the
+/// `fig12`-style experiments also perturb them to study mis-calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Base cost of streaming one tuple through an operator.
+    pub tuple_proc: f64,
+    /// Additional cost per byte of tuple width.
+    pub byte_proc: f64,
+    /// Cost per build-side row of a hash table.
+    pub hash_build: f64,
+    /// Cost per probe-side row.
+    pub hash_probe: f64,
+    /// Cost per (outer row × inner row) pair in a nested-loops join.
+    pub nl_pair: f64,
+    /// Multiplier for `n·log₂(n)` sort work.
+    pub sort_factor: f64,
+    /// Cost per input row of aggregation.
+    pub agg_row: f64,
+    /// Cost per byte crossing the interconnect.
+    pub net_byte: f64,
+    /// Cost per row materialized (Spool / CTE producer).
+    pub materialize: f64,
+    /// Random-access penalty multiplier for index scans.
+    pub index_penalty: f64,
+    /// Work multiplier once an operator spills to disk.
+    pub spill_penalty: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> CostParams {
+        CostParams {
+            tuple_proc: 1.0,
+            byte_proc: 0.005,
+            hash_build: 1.8,
+            hash_probe: 1.0,
+            nl_pair: 0.35,
+            sort_factor: 0.9,
+            agg_row: 1.1,
+            net_byte: 0.02,
+            materialize: 0.6,
+            index_penalty: 1.6,
+            spill_penalty: 3.0,
+        }
+    }
+}
+
+/// Size information for one operator input/output stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamInfo {
+    pub rows: f64,
+    /// Average row width in bytes.
+    pub width: f64,
+}
+
+impl StreamInfo {
+    pub fn new(rows: f64, width: u64) -> StreamInfo {
+        StreamInfo {
+            rows: rows.max(0.0),
+            width: width.max(1) as f64,
+        }
+    }
+
+    pub fn bytes(&self) -> f64 {
+        self.rows * self.width
+    }
+}
+
+/// Everything the model needs to cost one operator locally.
+#[derive(Debug, Clone)]
+pub struct CostCtx {
+    pub output: StreamInfo,
+    pub children: Vec<StreamInfo>,
+    /// Effective parallelism of the operator's own stream (1 for
+    /// singleton; up to `num_segments`, skew-discounted, otherwise).
+    pub parallelism: f64,
+}
+
+/// The cost model: parameters plus the cluster description.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    pub params: CostParams,
+    pub cluster: SegmentConfig,
+}
+
+impl CostModel {
+    pub fn new(params: CostParams, cluster: SegmentConfig) -> CostModel {
+        CostModel { params, cluster }
+    }
+
+    /// Effective parallelism for a stream: segments discounted by skew
+    /// (coefficient of variation of key frequencies).
+    pub fn effective_parallelism(&self, skew: f64) -> f64 {
+        (self.cluster.num_segments as f64 / (1.0 + skew.max(0.0))).max(1.0)
+    }
+
+    /// Local (non-recursive) cost of one physical operator.
+    pub fn op_cost(&self, op: &PhysicalOp, ctx: &CostCtx) -> f64 {
+        let p = &self.params;
+        let par = ctx.parallelism.max(1.0);
+        let out = ctx.output;
+        let tup = |s: StreamInfo| s.rows * (p.tuple_proc + p.byte_proc * s.width);
+        match op {
+            PhysicalOp::TableScan { .. } => tup(out) / par,
+            PhysicalOp::IndexScan { .. } => tup(out) * p.index_penalty / par,
+            PhysicalOp::Filter { .. } => {
+                let input = ctx.children[0];
+                (input.rows * p.tuple_proc * 0.5 + tup(out) * 0.1) / par
+            }
+            PhysicalOp::Project { exprs } => {
+                out.rows * p.tuple_proc * 0.2 * (1.0 + exprs.len() as f64 * 0.1) / par
+            }
+            PhysicalOp::HashJoin { .. } => {
+                let probe = ctx.children[0];
+                let build = ctx.children[1];
+                let mut cost = build.rows * (p.hash_build + p.byte_proc * build.width)
+                    + probe.rows * p.hash_probe
+                    + out.rows * p.tuple_proc * 0.2;
+                // Spill when the per-segment build side exceeds work_mem.
+                if build.bytes() / par > self.cluster.work_mem_bytes as f64 {
+                    cost *= p.spill_penalty;
+                }
+                cost / par
+            }
+            PhysicalOp::NLJoin { .. } => {
+                let outer = ctx.children[0];
+                let inner = ctx.children[1];
+                // Inner is spooled (rewindable); pairs dominate.
+                (outer.rows * inner.rows * p.nl_pair + inner.rows * p.materialize) / par
+            }
+            PhysicalOp::HashAgg { .. } => {
+                let input = ctx.children[0];
+                let mut cost = input.rows * p.agg_row + out.rows * p.tuple_proc;
+                if out.bytes() / par > self.cluster.work_mem_bytes as f64 {
+                    cost *= p.spill_penalty;
+                }
+                cost / par
+            }
+            PhysicalOp::StreamAgg { .. } => {
+                let input = ctx.children[0];
+                (input.rows * p.agg_row * 0.6 + out.rows * p.tuple_proc) / par
+            }
+            PhysicalOp::Sort { .. } => {
+                let n = (out.rows / par).max(2.0);
+                par * n * n.log2() * p.sort_factor * (1.0 + p.byte_proc * out.width) / par
+            }
+            PhysicalOp::Limit { .. } => out.rows * p.tuple_proc,
+            PhysicalOp::Motion { kind } => self.motion_cost(kind, ctx.children[0]),
+            PhysicalOp::Spool => out.rows * p.materialize / par,
+            PhysicalOp::Sequence { .. } => 0.0,
+            PhysicalOp::CteProducer { .. } => out.rows * p.materialize / par,
+            PhysicalOp::CteScan { .. } => tup(out) * 0.5 / par,
+            PhysicalOp::ConstTable { rows, .. } => rows.len() as f64 * p.tuple_proc,
+            PhysicalOp::AssertOneRow => p.tuple_proc,
+            PhysicalOp::UnionAll { .. } => out.rows * p.tuple_proc * 0.2 / par,
+            PhysicalOp::HashSetOp { .. } => {
+                let input: f64 = ctx.children.iter().map(|c| c.rows).sum();
+                (input * p.hash_build + out.rows * p.tuple_proc) / par
+            }
+        }
+    }
+
+    /// Interconnect cost of a motion over an input stream.
+    pub fn motion_cost(&self, kind: &MotionKind, input: StreamInfo) -> f64 {
+        let p = &self.params;
+        let segments = self.cluster.num_segments as f64;
+        let bytes = input.bytes();
+        match kind {
+            // Everything converges on the master: the receiver is the
+            // bottleneck, no parallelism discount.
+            MotionKind::Gather => bytes * p.net_byte + input.rows * p.tuple_proc * 0.1,
+            // Merge keeps order: slightly more receiver work.
+            MotionKind::GatherMerge(_) => {
+                bytes * p.net_byte * 1.15 + input.rows * p.tuple_proc * 0.2
+            }
+            // Pairwise exchange parallelizes across segments.
+            MotionKind::Redistribute(_) => {
+                (bytes * p.net_byte + input.rows * p.tuple_proc * 0.1) / segments.max(1.0)
+            }
+            // Every segment receives a full copy: per-receiver traffic is
+            // the full input (segments × bytes total, over parallel links).
+            MotionKind::Broadcast => bytes * p.net_byte + input.rows * p.tuple_proc * 0.1,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::new(CostParams::default(), SegmentConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_common::ColId;
+    use orca_expr::props::OrderSpec;
+    use orca_expr::scalar::ScalarExpr;
+    use orca_expr::JoinKind;
+
+    fn model(segments: usize) -> CostModel {
+        CostModel::new(
+            CostParams::default(),
+            SegmentConfig::default().with_segments(segments),
+        )
+    }
+
+    fn hash_join_op() -> PhysicalOp {
+        PhysicalOp::HashJoin {
+            kind: JoinKind::Inner,
+            left_keys: vec![ColId(0)],
+            right_keys: vec![ColId(1)],
+            residual: None,
+        }
+    }
+
+    #[test]
+    fn parallelism_divides_work() {
+        let m = model(16);
+        let ctx_serial = CostCtx {
+            output: StreamInfo::new(10_000.0, 16),
+            children: vec![StreamInfo::new(10_000.0, 16)],
+            parallelism: 1.0,
+        };
+        let ctx_parallel = CostCtx {
+            parallelism: 16.0,
+            ..ctx_serial.clone()
+        };
+        let op = PhysicalOp::Filter {
+            pred: ScalarExpr::Const(orca_common::Datum::Bool(true)),
+        };
+        assert!(m.op_cost(&op, &ctx_serial) > 10.0 * m.op_cost(&op, &ctx_parallel));
+    }
+
+    #[test]
+    fn broadcast_beats_redistribute_only_for_small_inputs() {
+        let m = model(16);
+        let small = StreamInfo::new(100.0, 32);
+        let big = StreamInfo::new(1_000_000.0, 32);
+        let redist = MotionKind::Redistribute(vec![ColId(0)]);
+        let bcast = MotionKind::Broadcast;
+        // For a tiny dimension table the costs are of the same magnitude
+        // (broadcast avoids redistributing the big side at all) …
+        let ratio_small = m.motion_cost(&bcast, small) / m.motion_cost(&redist, small);
+        // … while for a big input broadcast is segments× worse.
+        let ratio_big = m.motion_cost(&bcast, big) / m.motion_cost(&redist, big);
+        assert!(ratio_small <= ratio_big + 1e-9);
+        assert!(ratio_big > 8.0, "ratio_big = {ratio_big}");
+    }
+
+    #[test]
+    fn gather_has_no_parallelism_discount() {
+        let m = model(16);
+        let s = StreamInfo::new(100_000.0, 32);
+        let gather = m.motion_cost(&MotionKind::Gather, s);
+        let redist = m.motion_cost(&MotionKind::Redistribute(vec![ColId(0)]), s);
+        assert!(gather > redist * 8.0);
+        // GatherMerge costs slightly more than Gather.
+        let gm = m.motion_cost(&MotionKind::GatherMerge(OrderSpec::by(&[ColId(0)])), s);
+        assert!(gm > gather);
+    }
+
+    #[test]
+    fn spill_penalty_kicks_in_over_work_mem() {
+        let mut m = model(4);
+        m.cluster.work_mem_bytes = 1 << 10; // 1 KiB
+        let small_build = CostCtx {
+            output: StreamInfo::new(10.0, 16),
+            children: vec![StreamInfo::new(10.0, 16), StreamInfo::new(10.0, 16)],
+            parallelism: 4.0,
+        };
+        let big_build = CostCtx {
+            output: StreamInfo::new(10_000.0, 16),
+            children: vec![StreamInfo::new(10_000.0, 16), StreamInfo::new(10_000.0, 16)],
+            parallelism: 4.0,
+        };
+        let per_row_small = m.op_cost(&hash_join_op(), &small_build) / 10.0;
+        let per_row_big = m.op_cost(&hash_join_op(), &big_build) / 10_000.0;
+        assert!(
+            per_row_big > per_row_small * 2.0,
+            "spill should raise per-row cost"
+        );
+    }
+
+    #[test]
+    fn skew_reduces_effective_parallelism() {
+        let m = model(16);
+        assert_eq!(m.effective_parallelism(0.0), 16.0);
+        assert!(m.effective_parallelism(1.0) <= 8.0);
+        assert_eq!(m.effective_parallelism(1e9), 1.0);
+    }
+
+    #[test]
+    fn sort_is_superlinear() {
+        let m = model(1);
+        let c1 = CostCtx {
+            output: StreamInfo::new(1_000.0, 8),
+            children: vec![StreamInfo::new(1_000.0, 8)],
+            parallelism: 1.0,
+        };
+        let c10 = CostCtx {
+            output: StreamInfo::new(10_000.0, 8),
+            children: vec![StreamInfo::new(10_000.0, 8)],
+            parallelism: 1.0,
+        };
+        let op = PhysicalOp::Sort {
+            order: OrderSpec::by(&[ColId(0)]),
+        };
+        assert!(m.op_cost(&op, &c10) > 10.0 * m.op_cost(&op, &c1));
+    }
+}

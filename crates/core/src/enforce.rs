@@ -1,0 +1,553 @@
+//! The property-enforcement framework (§4.1 step 4, Figure 7).
+//!
+//! Three pieces, all operator-driven:
+//!
+//! 1. [`request_alternatives`] — "for each incoming request, each physical
+//!    group expression passes corresponding requests to child groups
+//!    depending on the incoming requirements and operator's local
+//!    requirements". A hash join, for example, offers co-located,
+//!    broadcast-inner and gather-everything alternatives (Figure 7a's
+//!    footnote 2).
+//! 2. [`derive_delivered`] — combine child plans' delivered properties into
+//!    this operator's delivered properties (Figure 7b).
+//! 3. [`enforcement_chains`] — when delivered ≠ required, the ways to plug
+//!    in enforcers (Figure 7c shows the two alternatives for
+//!    `{Singleton, <T1.a>}`: Sort-below-GatherMerge vs. Gather-then-Sort).
+
+use crate::props::{DerivedProps, ReqdProps};
+use orca_catalog::Distribution;
+use orca_common::ColId;
+use orca_expr::physical::{MotionKind, PhysicalOp};
+use orca_expr::props::{DistSpec, OrderSpec};
+
+/// Child-request alternatives for one operator under one request. Each
+/// entry has exactly `op.arity()` child requests.
+pub fn request_alternatives(op: &PhysicalOp, req: &ReqdProps) -> Vec<Vec<ReqdProps>> {
+    match op {
+        // Leaves: a single, empty alternative.
+        PhysicalOp::TableScan { .. }
+        | PhysicalOp::IndexScan { .. }
+        | PhysicalOp::CteScan { .. }
+        | PhysicalOp::ConstTable { .. } => vec![vec![]],
+
+        // Streaming pass-through operators push the request down.
+        PhysicalOp::Filter { .. } => vec![vec![req.clone()]],
+
+        PhysicalOp::Project { exprs } => {
+            // Push down only the parts whose columns survive below.
+            // Pass-through entries keep their ColId, so "col defined by a
+            // non-trivial expression" = not a pure self-reference.
+            let passthrough: Vec<ColId> = exprs
+                .iter()
+                .filter_map(|(c, e)| match e {
+                    orca_expr::scalar::ScalarExpr::ColRef(src) if src == c => Some(*c),
+                    _ => None,
+                })
+                .collect();
+            let order = if req.order.cols().iter().all(|c| passthrough.contains(c)) {
+                req.order.clone()
+            } else {
+                OrderSpec::any()
+            };
+            let dist = match &req.dist {
+                DistSpec::Hashed(cols) if !cols.iter().all(|c| passthrough.contains(c)) => {
+                    DistSpec::Any
+                }
+                d => d.clone(),
+            };
+            vec![vec![ReqdProps {
+                order,
+                dist,
+                rewindable: false,
+            }]]
+        }
+
+        PhysicalOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let mut alts = vec![
+                // (1) Align child distributions on the join condition so
+                // tuples to be joined are co-located (Figure 7a).
+                vec![
+                    ReqdProps::hashed(left_keys.clone()),
+                    ReqdProps::hashed(right_keys.clone()),
+                ],
+                // (2) Broadcast the (build) inner side.
+                vec![ReqdProps::any(), ReqdProps::replicated()],
+                // (3) Gather both to the master and join there.
+                vec![
+                    ReqdProps::singleton(OrderSpec::any()),
+                    ReqdProps::singleton(OrderSpec::any()),
+                ],
+            ];
+            // (4) Replicated outer is only sound for inner joins (an outer
+            // row must not be duplicated across segments for LOJ/semi).
+            if matches!(kind, orca_expr::JoinKind::Inner) {
+                alts.push(vec![ReqdProps::replicated(), ReqdProps::any()]);
+            }
+            alts
+        }
+
+        PhysicalOp::NLJoin { kind, .. } => {
+            let rewind = |r: ReqdProps| r.with_rewind();
+            let mut alts = vec![
+                vec![ReqdProps::any(), rewind(ReqdProps::replicated())],
+                vec![
+                    ReqdProps::singleton(OrderSpec::any()),
+                    rewind(ReqdProps::singleton(OrderSpec::any())),
+                ],
+            ];
+            if matches!(kind, orca_expr::JoinKind::Inner) {
+                alts.push(vec![ReqdProps::replicated(), rewind(ReqdProps::any())]);
+            }
+            alts
+        }
+
+        // A Local-stage aggregate computes partials in place, whatever the
+        // child's distribution — its Global partner combines them later.
+        PhysicalOp::HashAgg {
+            stage: orca_expr::logical::AggStage::Local,
+            ..
+        } => vec![vec![ReqdProps::any()]],
+        PhysicalOp::StreamAgg {
+            stage: orca_expr::logical::AggStage::Local,
+            group_cols,
+            ..
+        } => vec![vec![ReqdProps::any().with_order(OrderSpec::by(group_cols))]],
+
+        PhysicalOp::HashAgg { group_cols, .. } => {
+            if group_cols.is_empty() {
+                // Scalar aggregate: must see all rows in one place. The
+                // parallel alternative is the split-agg rule's job.
+                vec![vec![ReqdProps::singleton(OrderSpec::any())]]
+            } else {
+                vec![
+                    vec![ReqdProps::hashed(group_cols.clone())],
+                    vec![ReqdProps::singleton(OrderSpec::any())],
+                ]
+            }
+        }
+
+        PhysicalOp::StreamAgg { group_cols, .. } => {
+            let order = OrderSpec::by(group_cols);
+            vec![
+                vec![ReqdProps::hashed(group_cols.clone()).with_order(order.clone())],
+                vec![ReqdProps::singleton(order)],
+            ]
+        }
+
+        PhysicalOp::Sort { .. } => vec![vec![req.without_order()]],
+
+        PhysicalOp::Limit { order, .. } => {
+            // Offset/limit semantics need a single stream in the right
+            // order.
+            vec![vec![ReqdProps::singleton(order.clone())]]
+        }
+
+        PhysicalOp::Motion { .. } => vec![vec![req.without_dist()]],
+
+        PhysicalOp::Spool => vec![vec![ReqdProps {
+            order: req.order.clone(),
+            dist: req.dist.clone(),
+            rewindable: false,
+        }]],
+
+        PhysicalOp::Sequence { .. } => {
+            // Producer side unconstrained; consumer side gets the request.
+            vec![vec![ReqdProps::any(), req.clone()]]
+        }
+
+        PhysicalOp::CteProducer { .. } => vec![vec![ReqdProps::any()]],
+
+        PhysicalOp::AssertOneRow => {
+            // Must observe the full stream to assert cardinality.
+            vec![vec![ReqdProps::singleton(OrderSpec::any())]]
+        }
+
+        PhysicalOp::UnionAll { input_cols, .. } => {
+            let n = input_cols.len();
+            vec![
+                vec![ReqdProps::any(); n],
+                vec![ReqdProps::singleton(OrderSpec::any()); n],
+            ]
+        }
+
+        PhysicalOp::HashSetOp { input_cols, .. } => {
+            // Correctness needs identical rows co-located: hash each child
+            // on all of its columns, or gather everything.
+            let hashed: Vec<ReqdProps> = input_cols
+                .iter()
+                .map(|cols| ReqdProps::hashed(cols.clone()))
+                .collect();
+            let n = input_cols.len();
+            vec![hashed, vec![ReqdProps::singleton(OrderSpec::any()); n]]
+        }
+    }
+}
+
+/// Map a base table's distribution to a `DistSpec` over the scan's output
+/// column ids.
+pub fn table_dist_spec(dist: &Distribution, cols: &[ColId]) -> DistSpec {
+    match dist {
+        Distribution::Hashed(idxs) => {
+            let mapped: Option<Vec<ColId>> = idxs.iter().map(|i| cols.get(*i).copied()).collect();
+            match mapped {
+                Some(cols) => DistSpec::Hashed(cols),
+                None => DistSpec::Random,
+            }
+        }
+        Distribution::Random => DistSpec::Random,
+        Distribution::Replicated => DistSpec::Replicated,
+        Distribution::Singleton => DistSpec::Singleton,
+    }
+}
+
+/// Combine child delivered properties into this operator's delivered
+/// properties (Figure 7b: "after child best plans are found, InnerHashJoin
+/// combines child properties to determine the delivered distribution and
+/// sort order").
+pub fn derive_delivered(
+    op: &PhysicalOp,
+    child: &[DerivedProps],
+    output_cols: &[ColId],
+) -> DerivedProps {
+    match op {
+        PhysicalOp::TableScan { table, cols, .. } => DerivedProps::new(
+            OrderSpec::any(),
+            table_dist_spec(&table.distribution, cols),
+            true,
+        ),
+        PhysicalOp::IndexScan {
+            table,
+            cols,
+            key_cols,
+            ..
+        } => DerivedProps::new(
+            OrderSpec::by(key_cols),
+            table_dist_spec(&table.distribution, cols),
+            true,
+        ),
+        PhysicalOp::Filter { .. } => child[0].clone(),
+        PhysicalOp::Project { .. } => DerivedProps::new(
+            child[0].order.project(output_cols),
+            child[0].dist.project(output_cols),
+            child[0].rewindable,
+        ),
+        PhysicalOp::HashJoin { .. } => DerivedProps::new(
+            OrderSpec::any(),
+            join_dist(&child[0].dist, &child[1].dist),
+            false,
+        ),
+        PhysicalOp::NLJoin { .. } => DerivedProps::new(
+            child[0].order.clone(),
+            join_dist(&child[0].dist, &child[1].dist),
+            false,
+        ),
+        PhysicalOp::HashAgg { .. } => {
+            DerivedProps::new(OrderSpec::any(), child[0].dist.project(output_cols), false)
+        }
+        PhysicalOp::StreamAgg { .. } => DerivedProps::new(
+            child[0].order.project(output_cols),
+            child[0].dist.project(output_cols),
+            false,
+        ),
+        PhysicalOp::Sort { order } => DerivedProps::new(order.clone(), child[0].dist.clone(), true),
+        PhysicalOp::Limit { .. } => child[0].clone(),
+        PhysicalOp::Motion { kind } => DerivedProps::new(
+            kind.delivered_order(&child[0].order),
+            kind.delivered_dist(),
+            false,
+        ),
+        PhysicalOp::Spool => DerivedProps::new(child[0].order.clone(), child[0].dist.clone(), true),
+        PhysicalOp::Sequence { .. } => child[1].clone(),
+        PhysicalOp::CteProducer { .. } => {
+            DerivedProps::new(OrderSpec::any(), child[0].dist.clone(), true)
+        }
+        // Conservative: the consumer re-reads materialized per-segment data
+        // with no co-location claim.
+        PhysicalOp::CteScan { .. } => DerivedProps::new(OrderSpec::any(), DistSpec::Random, true),
+        PhysicalOp::ConstTable { .. } => {
+            DerivedProps::new(OrderSpec::any(), DistSpec::Singleton, true)
+        }
+        PhysicalOp::AssertOneRow => child[0].clone(),
+        PhysicalOp::UnionAll { .. } | PhysicalOp::HashSetOp { .. } => {
+            let all_singleton = child.iter().all(|c| c.dist == DistSpec::Singleton);
+            DerivedProps::new(
+                OrderSpec::any(),
+                if all_singleton {
+                    DistSpec::Singleton
+                } else {
+                    DistSpec::Random
+                },
+                false,
+            )
+        }
+    }
+}
+
+fn join_dist(outer: &DistSpec, inner: &DistSpec) -> DistSpec {
+    match (outer, inner) {
+        (DistSpec::Singleton, DistSpec::Singleton) => DistSpec::Singleton,
+        // Replicated outer: results live where the inner lives.
+        (DistSpec::Replicated, d) => d.clone(),
+        (DistSpec::Hashed(c), _) => DistSpec::Hashed(c.clone()),
+        (DistSpec::Random, _) => DistSpec::Random,
+        // Singleton outer with distributed inner, or replicated inner with
+        // non-hashed outer: results follow the outer.
+        (d, _) => d.clone(),
+    }
+}
+
+/// One way of patching a delivered-properties gap with enforcers.
+#[derive(Debug, Clone)]
+pub struct EnforcerChain {
+    /// Enforcer operators, innermost first.
+    pub ops: Vec<PhysicalOp>,
+    /// Properties delivered after the whole chain.
+    pub delivered: DerivedProps,
+}
+
+/// All enforcement chains turning `delivered` into something satisfying
+/// `req`. Empty `ops` (identity chain) is returned when already satisfied.
+/// Multiple chains reflect genuinely different plans the cost model should
+/// arbitrate (Figure 7c).
+pub fn enforcement_chains(delivered: &DerivedProps, req: &ReqdProps) -> Vec<EnforcerChain> {
+    if delivered.satisfies(req) {
+        return vec![EnforcerChain {
+            ops: vec![],
+            delivered: delivered.clone(),
+        }];
+    }
+    let mut chains: Vec<EnforcerChain> = Vec::new();
+
+    // Plan A: enforce order below the motion (sorted streams + order-
+    // preserving gather).
+    {
+        let mut ops = Vec::new();
+        let mut cur = delivered.clone();
+        if !cur.order.satisfies(&req.order) && !req.order.is_any() {
+            ops.push(PhysicalOp::Sort {
+                order: req.order.clone(),
+            });
+            cur.order = req.order.clone();
+            cur.rewindable = true;
+        }
+        if !cur.dist.satisfies(&req.dist) {
+            let kind = match &req.dist {
+                DistSpec::Singleton if !req.order.is_any() => {
+                    MotionKind::GatherMerge(req.order.clone())
+                }
+                DistSpec::Singleton => MotionKind::Gather,
+                DistSpec::Hashed(cols) => MotionKind::Redistribute(cols.clone()),
+                DistSpec::Replicated => MotionKind::Broadcast,
+                DistSpec::Any | DistSpec::Random => unreachable!("satisfied above"),
+            };
+            cur.order = kind.delivered_order(&cur.order);
+            cur.dist = kind.delivered_dist();
+            cur.rewindable = false;
+            ops.push(PhysicalOp::Motion { kind });
+        }
+        // Motion may have destroyed the order (non-merge motions).
+        if !cur.order.satisfies(&req.order) {
+            ops.push(PhysicalOp::Sort {
+                order: req.order.clone(),
+            });
+            cur.order = req.order.clone();
+            cur.rewindable = true;
+        }
+        if req.rewindable && !cur.rewindable {
+            ops.push(PhysicalOp::Spool);
+            cur.rewindable = true;
+        }
+        debug_assert!(cur.satisfies(req), "chain A must satisfy the request");
+        chains.push(EnforcerChain {
+            ops,
+            delivered: cur,
+        });
+    }
+
+    // Plan B: when both distribution and order must change toward a
+    // singleton, also offer motion-first + sort-at-the-master (Figure 7c's
+    // right-hand plan).
+    if req.dist == DistSpec::Singleton
+        && !delivered.dist.satisfies(&req.dist)
+        && !req.order.is_any()
+        && !delivered.order.satisfies(&req.order)
+    {
+        let mut ops = vec![PhysicalOp::Motion {
+            kind: MotionKind::Gather,
+        }];
+        let mut cur = DerivedProps::new(OrderSpec::any(), DistSpec::Singleton, false);
+        ops.push(PhysicalOp::Sort {
+            order: req.order.clone(),
+        });
+        cur.order = req.order.clone();
+        cur.rewindable = true;
+        if req.rewindable && !cur.rewindable {
+            ops.push(PhysicalOp::Spool);
+        }
+        debug_assert!(cur.satisfies(req), "chain B must satisfy the request");
+        chains.push(EnforcerChain {
+            ops,
+            delivered: cur,
+        });
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_expr::JoinKind;
+
+    fn join_op() -> PhysicalOp {
+        PhysicalOp::HashJoin {
+            kind: JoinKind::Inner,
+            left_keys: vec![ColId(0)],
+            right_keys: vec![ColId(3)],
+            residual: None,
+        }
+    }
+
+    #[test]
+    fn hash_join_offers_colocated_broadcast_gather() {
+        let alts = request_alternatives(&join_op(), &ReqdProps::any());
+        assert_eq!(alts.len(), 4); // + replicated-outer for inner joins
+        assert_eq!(
+            alts[0],
+            vec![
+                ReqdProps::hashed(vec![ColId(0)]),
+                ReqdProps::hashed(vec![ColId(3)])
+            ]
+        );
+        assert_eq!(alts[1][1].dist, DistSpec::Replicated);
+        assert_eq!(alts[2][0].dist, DistSpec::Singleton);
+        // Semi joins drop the replicated-outer alternative.
+        let semi = PhysicalOp::HashJoin {
+            kind: JoinKind::LeftSemi,
+            left_keys: vec![ColId(0)],
+            right_keys: vec![ColId(3)],
+            residual: None,
+        };
+        assert_eq!(request_alternatives(&semi, &ReqdProps::any()).len(), 3);
+    }
+
+    #[test]
+    fn nl_join_inner_must_be_rewindable() {
+        let op = PhysicalOp::NLJoin {
+            kind: JoinKind::LeftSemi,
+            pred: orca_expr::scalar::ScalarExpr::col_eq_col(ColId(0), ColId(3)),
+        };
+        for alt in request_alternatives(&op, &ReqdProps::any()) {
+            assert!(alt[1].rewindable, "inner child must be rewindable");
+            assert!(!alt[0].rewindable);
+        }
+    }
+
+    #[test]
+    fn figure7_running_example_chains() {
+        // InnerHashJoin with co-located children delivers
+        // {Hashed(T1.a), Any-order}; the request is {Singleton, <T1.a>}.
+        let delivered =
+            DerivedProps::new(OrderSpec::any(), DistSpec::Hashed(vec![ColId(0)]), false);
+        let req = ReqdProps::singleton(OrderSpec::by(&[ColId(0)]));
+        let chains = enforcement_chains(&delivered, &req);
+        assert_eq!(chains.len(), 2, "Figure 7c shows exactly two plans");
+        // Plan A: Sort on segments, then GatherMerge.
+        let a: Vec<String> = chains[0].ops.iter().map(|o| o.name()).collect();
+        assert!(a[0].starts_with("Sort"));
+        assert!(a[1].starts_with("GatherMerge"));
+        // Plan B: Gather, then Sort at the master.
+        let b: Vec<String> = chains[1].ops.iter().map(|o| o.name()).collect();
+        assert_eq!(b[0], "Gather");
+        assert!(b[1].starts_with("Sort"));
+        for c in &chains {
+            assert!(c.delivered.satisfies(&req));
+        }
+    }
+
+    #[test]
+    fn identity_chain_when_satisfied() {
+        let delivered = DerivedProps::new(OrderSpec::by(&[ColId(1)]), DistSpec::Singleton, true);
+        let req = ReqdProps::singleton(OrderSpec::by(&[ColId(1)]));
+        let chains = enforcement_chains(&delivered, &req);
+        assert_eq!(chains.len(), 1);
+        assert!(chains[0].ops.is_empty());
+    }
+
+    #[test]
+    fn redistribute_then_sort_for_hashed_ordered_request() {
+        let delivered = DerivedProps::new(OrderSpec::any(), DistSpec::Random, false);
+        let req = ReqdProps::hashed(vec![ColId(2)]).with_order(OrderSpec::by(&[ColId(1)]));
+        let chains = enforcement_chains(&delivered, &req);
+        // Chain A: Sort first (destroyed by redistribute) is wasteful but
+        // the implementation sorts, redistributes, re-sorts; verify the
+        // final delivered properties are right regardless.
+        for c in &chains {
+            assert!(c.delivered.satisfies(&req));
+            assert!(c.ops.iter().any(|o| matches!(
+                o,
+                PhysicalOp::Motion {
+                    kind: MotionKind::Redistribute(_)
+                }
+            )));
+        }
+    }
+
+    #[test]
+    fn spool_added_for_rewind() {
+        let delivered = DerivedProps::new(OrderSpec::any(), DistSpec::Replicated, false);
+        let req = ReqdProps::replicated().with_rewind();
+        let chains = enforcement_chains(&delivered, &req);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].ops, vec![PhysicalOp::Spool]);
+        assert!(chains[0].delivered.rewindable);
+    }
+
+    #[test]
+    fn table_dist_mapping() {
+        assert_eq!(
+            table_dist_spec(&Distribution::Hashed(vec![1]), &[ColId(10), ColId(11)]),
+            DistSpec::Hashed(vec![ColId(11)])
+        );
+        assert_eq!(
+            table_dist_spec(&Distribution::Replicated, &[]),
+            DistSpec::Replicated
+        );
+        assert_eq!(
+            table_dist_spec(&Distribution::Random, &[]),
+            DistSpec::Random
+        );
+    }
+
+    #[test]
+    fn derived_props_for_scan_and_motion() {
+        use orca_catalog::{ColumnMeta, TableDesc};
+        use orca_common::{DataType, MdId, SysId};
+        use orca_expr::logical::TableRef;
+        use std::sync::Arc;
+        let t = TableRef(Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, 1, 1),
+            "t",
+            vec![ColumnMeta::new("a", DataType::Int)],
+            Distribution::Hashed(vec![0]),
+        )));
+        let scan = PhysicalOp::TableScan {
+            table: t,
+            cols: vec![ColId(5)],
+            parts: None,
+        };
+        let d = derive_delivered(&scan, &[], &[ColId(5)]);
+        assert_eq!(d.dist, DistSpec::Hashed(vec![ColId(5)]));
+        assert!(d.rewindable);
+        let motion = PhysicalOp::Motion {
+            kind: MotionKind::Gather,
+        };
+        let d2 = derive_delivered(&motion, &[d], &[ColId(5)]);
+        assert_eq!(d2.dist, DistSpec::Singleton);
+        assert!(!d2.rewindable);
+    }
+}

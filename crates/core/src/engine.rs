@@ -1,0 +1,364 @@
+//! The optimizer facade: configuration, the §4.1 workflow, multi-stage
+//! optimization, and the DXL entry points of Figure 2.
+
+use crate::cost::{CostModel, CostParams};
+use crate::memo::{GroupId, Memo};
+use crate::preprocess::preprocess;
+use crate::props::ReqdProps;
+use crate::rules::RuleSet;
+use crate::search::{self, SearchCtx};
+use crate::stats::StatsDeriver;
+use orca_catalog::provider::MdProvider;
+use orca_catalog::{MdAccessor, MdCache};
+use orca_common::{ColId, OrcaError, Result, SegmentConfig};
+use orca_dxl::{DxlPlan, DxlQuery};
+use orca_expr::logical::LogicalExpr;
+use orca_expr::physical::PhysicalPlan;
+use orca_expr::props::DistSpec;
+use orca_expr::{ColumnRegistry, OrderSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One optimization stage (§4.1 "Multi-Stage Optimization"): "a complete
+/// optimization workflow using a subset of transformation rules and
+/// (optional) time-out and cost threshold".
+#[derive(Debug, Clone, Default)]
+pub struct StageConfig {
+    /// Rules enabled in this stage (`None` = all).
+    pub rules: Option<Vec<&'static str>>,
+    /// Give up on the stage after this long.
+    pub timeout: Option<Duration>,
+    /// Stop staging once a plan at or below this cost is found.
+    pub cost_threshold: Option<f64>,
+}
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Worker threads for the job scheduler (§4.2). 1 = serial.
+    pub workers: usize,
+    /// Cluster description shared with the cost model.
+    pub cluster: SegmentConfig,
+    pub cost_params: CostParams,
+    /// Optimization stages, tried in order. Empty = single unrestricted
+    /// stage.
+    pub stages: Vec<StageConfig>,
+    /// Rules disabled globally (trace-flag style).
+    pub disabled_rules: Vec<&'static str>,
+    /// Testing hook (§6.1): raise an injected fault at the named point
+    /// ("explore", "implement", "optimize").
+    pub inject_fault: Option<&'static str>,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            workers: 1,
+            cluster: SegmentConfig::default(),
+            cost_params: CostParams::default(),
+            stages: Vec::new(),
+            disabled_rules: Vec::new(),
+            inject_fault: None,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    pub fn with_workers(mut self, workers: usize) -> OptimizerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn with_cluster(mut self, cluster: SegmentConfig) -> OptimizerConfig {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Serialize to key/value pairs for AMPERe dumps.
+    pub fn to_kv(&self) -> Vec<(String, String)> {
+        let mut kv = vec![
+            ("workers".into(), self.workers.to_string()),
+            ("segments".into(), self.cluster.num_segments.to_string()),
+        ];
+        for r in &self.disabled_rules {
+            kv.push(("disabled_rule".into(), (*r).to_string()));
+        }
+        if let Some(f) = self.inject_fault {
+            kv.push(("inject_fault".into(), f.to_string()));
+        }
+        kv
+    }
+
+    /// Rebuild (partially) from dump key/value pairs.
+    pub fn from_kv(kv: &[(String, String)]) -> OptimizerConfig {
+        let mut cfg = OptimizerConfig::default();
+        for (k, v) in kv {
+            match k.as_str() {
+                "workers" => cfg.workers = v.parse().unwrap_or(1),
+                "segments" => {
+                    cfg.cluster.num_segments = v.parse().unwrap_or(cfg.cluster.num_segments)
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+}
+
+/// Query-level requirements (what Listing 1 encodes alongside the tree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReqs {
+    pub output_cols: Vec<ColId>,
+    pub order: OrderSpec,
+    pub dist: DistSpec,
+}
+
+impl QueryReqs {
+    pub fn gather_all(output_cols: Vec<ColId>) -> QueryReqs {
+        QueryReqs {
+            output_cols,
+            order: OrderSpec::any(),
+            dist: DistSpec::Singleton,
+        }
+    }
+}
+
+/// Diagnostics from one optimization run (feeds the §7.2.2 resource
+/// statistics experiment).
+#[derive(Debug, Clone, Default)]
+pub struct OptStats {
+    pub groups: usize,
+    pub group_exprs: usize,
+    pub jobs_spawned: usize,
+    pub job_steps: usize,
+    pub memo_bytes: u64,
+    pub metadata_bytes: u64,
+    pub optimization_time: Duration,
+    pub plan_cost: f64,
+    pub stages_run: usize,
+}
+
+/// The optimizer. Holds the metadata cache (shared across sessions) and a
+/// provider plug-in; each `optimize` call is an independent session with
+/// its own `MdAccessor` (§5).
+pub struct Optimizer {
+    provider: Arc<dyn MdProvider>,
+    cache: Arc<MdCache>,
+    pub config: OptimizerConfig,
+}
+
+impl Optimizer {
+    pub fn new(provider: Arc<dyn MdProvider>, config: OptimizerConfig) -> Optimizer {
+        Optimizer {
+            provider,
+            cache: MdCache::new(),
+            config,
+        }
+    }
+
+    pub fn provider(&self) -> &Arc<dyn MdProvider> {
+        &self.provider
+    }
+
+    pub fn cache(&self) -> &Arc<MdCache> {
+        &self.cache
+    }
+
+    /// DXL entry point (Figure 2): DXL query in, DXL plan out.
+    pub fn optimize_dxl(&self, dxl: &str) -> Result<String> {
+        let query = orca_dxl::parse_query(dxl, self.provider.as_ref())?;
+        let (plan, stats) = self.optimize_query(&query)?;
+        Ok(orca_dxl::plan_to_dxl(&DxlPlan {
+            plan,
+            cost: stats.plan_cost,
+        }))
+    }
+
+    /// Optimize a parsed DXL query document.
+    pub fn optimize_query(&self, q: &DxlQuery) -> Result<(PhysicalPlan, OptStats)> {
+        let registry = Arc::new(ColumnRegistry::new());
+        for (name, ty) in &q.columns {
+            registry.fresh(name, *ty);
+        }
+        let reqs = QueryReqs {
+            output_cols: q.output_cols.clone(),
+            order: q.order.clone(),
+            dist: q.dist.clone(),
+        };
+        self.optimize(&q.expr, &registry, &reqs)
+    }
+
+    /// Optimize a logical expression tree under query requirements.
+    ///
+    /// This runs the full §4.1 workflow per stage: preprocess → copy-in →
+    /// exploration → statistics derivation → implementation →
+    /// optimization → extraction.
+    pub fn optimize(
+        &self,
+        expr: &LogicalExpr,
+        registry: &Arc<ColumnRegistry>,
+        reqs: &QueryReqs,
+    ) -> Result<(PhysicalPlan, OptStats)> {
+        let started = Instant::now();
+        let accessor = MdAccessor::new(self.cache.clone(), self.provider.clone());
+        let preprocessed = preprocess(expr, registry)?;
+        let req = ReqdProps::new(reqs.order.clone(), reqs.dist.clone());
+
+        let stages: Vec<StageConfig> = if self.config.stages.is_empty() {
+            vec![StageConfig::default()]
+        } else {
+            self.config.stages.clone()
+        };
+
+        let mut best: Option<(PhysicalPlan, f64, OptStats)> = None;
+        let mut last_err: Option<OrcaError> = None;
+        let mut stages_run = 0;
+        for stage in &stages {
+            stages_run += 1;
+            match self.run_stage(&preprocessed, registry, &accessor, &req, stage) {
+                Ok((plan, cost, mut stats)) => {
+                    stats.metadata_bytes = self.cache.bytes();
+                    let better = best.as_ref().map(|(_, c, _)| cost < *c).unwrap_or(true);
+                    if better {
+                        best = Some((plan, cost, stats));
+                    }
+                    if let (Some(th), Some((_, c, _))) = (stage.cost_threshold, best.as_ref()) {
+                        if *c <= th {
+                            break;
+                        }
+                    }
+                    if stage.cost_threshold.is_none() && stages.len() == 1 {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                }
+            }
+        }
+        match best {
+            Some((plan, cost, mut stats)) => {
+                stats.plan_cost = cost;
+                stats.optimization_time = started.elapsed();
+                stats.stages_run = stages_run;
+                Ok((plan, stats))
+            }
+            None => {
+                Err(last_err
+                    .unwrap_or_else(|| OrcaError::NoPlan("no stage produced a plan".into())))
+            }
+        }
+    }
+
+    /// Like [`Optimizer::optimize`] but single-stage, returning the Memo
+    /// alongside the plan — the entry point TAQO's plan sampler needs
+    /// (§6.2: "optimization requests' linkage structure provides the
+    /// infrastructure used by TAQO to build a uniform plan sampler").
+    pub fn optimize_with_memo(
+        &self,
+        expr: &LogicalExpr,
+        registry: &Arc<ColumnRegistry>,
+        reqs: &QueryReqs,
+    ) -> Result<(Memo, GroupId, ReqdProps, PhysicalPlan, f64)> {
+        let accessor = MdAccessor::new(self.cache.clone(), self.provider.clone());
+        let preprocessed = preprocess(expr, registry)?;
+        let req = ReqdProps::new(reqs.order.clone(), reqs.dist.clone());
+        let mut rules = RuleSet::all();
+        for r in &self.config.disabled_rules {
+            let _ = rules.disable(r);
+        }
+        let cost = CostModel::new(self.config.cost_params.clone(), self.config.cluster.clone());
+        let memo = Memo::new();
+        let root = memo.copy_in(&preprocessed);
+        let ctx = SearchCtx {
+            memo: &memo,
+            rules: &rules,
+            registry,
+            md: &accessor,
+            cost: &cost,
+        };
+        search::explore(&ctx, root, self.config.workers)?;
+        let deriver =
+            StatsDeriver::new(&memo, &accessor, registry, self.config.cluster.num_segments);
+        for g in 0..memo.num_groups() {
+            deriver.derive(GroupId(g as u32))?;
+        }
+        search::implement(&ctx, root, self.config.workers)?;
+        search::optimize(&ctx, root, &req, self.config.workers)?;
+        let plan = crate::extract::extract_plan(&memo, root, &req)?;
+        let plan_cost = crate::extract::best_cost(&memo, root, &req)?;
+        Ok((memo, root, req, plan, plan_cost))
+    }
+
+    fn run_stage(
+        &self,
+        expr: &LogicalExpr,
+        registry: &Arc<ColumnRegistry>,
+        accessor: &MdAccessor,
+        req: &ReqdProps,
+        stage: &StageConfig,
+    ) -> Result<(PhysicalPlan, f64, OptStats)> {
+        let mut rules = RuleSet::all();
+        if let Some(enabled) = &stage.rules {
+            rules.enable_only(enabled);
+        }
+        for r in &self.config.disabled_rules {
+            // Ignore unknown names: disabled lists may target rules of
+            // other stages.
+            let _ = rules.disable(r);
+        }
+        let deadline = stage.timeout.map(|t| Instant::now() + t);
+        let cost = CostModel::new(self.config.cost_params.clone(), self.config.cluster.clone());
+        let memo = Memo::new();
+        let root = memo.copy_in(expr);
+        let ctx = SearchCtx {
+            memo: &memo,
+            rules: &rules,
+            registry,
+            md: accessor,
+            cost: &cost,
+        };
+
+        self.fault_check("explore")?;
+        search::explore_with_deadline(&ctx, root, self.config.workers, deadline)?;
+
+        // Statistics derivation (§4.1 step 2) for every group the
+        // exploration produced.
+        let deriver =
+            StatsDeriver::new(&memo, accessor, registry, self.config.cluster.num_segments);
+        for g in 0..memo.num_groups() {
+            deriver.derive(GroupId(g as u32))?;
+        }
+
+        self.fault_check("implement")?;
+        search::implement_with_deadline(&ctx, root, self.config.workers, deadline)?;
+
+        self.fault_check("optimize")?;
+        let (jobs, steps) =
+            search::optimize_with_deadline(&ctx, root, req, self.config.workers, deadline)?;
+
+        let plan = crate::extract::extract_plan(&memo, root, req)?;
+        let plan_cost = crate::extract::best_cost(&memo, root, req)?;
+        let stats = OptStats {
+            groups: memo.num_groups(),
+            group_exprs: memo.num_exprs(),
+            jobs_spawned: jobs,
+            job_steps: steps,
+            memo_bytes: memo.bytes(),
+            metadata_bytes: 0,
+            optimization_time: Duration::ZERO,
+            plan_cost,
+            stages_run: 0,
+        };
+        Ok((plan, plan_cost, stats))
+    }
+
+    fn fault_check(&self, point: &str) -> Result<()> {
+        if self.config.inject_fault.is_some_and(|f| f == point) {
+            return Err(OrcaError::InjectedFault(format!(
+                "injected fault at {point}"
+            )));
+        }
+        Ok(())
+    }
+}

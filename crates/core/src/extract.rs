@@ -1,0 +1,56 @@
+//! Plan extraction (§4.1, Figure 6).
+//!
+//! "The best plan is extracted from the Memo based on the linkage structure
+//! given by optimization requests... Each local hash table maps incoming
+//! optimization request to corresponding child optimization requests."
+//!
+//! Extraction walks the winning [`crate::memo::Candidate`] of each
+//! `(group, request)` context: take its expression, recurse into the child
+//! requests it recorded, then wrap its enforcers around the result.
+
+use crate::memo::{GroupId, Memo, Operator};
+use crate::props::ReqdProps;
+use orca_common::{OrcaError, Result};
+use orca_expr::physical::PhysicalPlan;
+
+/// Extract the least-cost plan for `(group, req)`.
+pub fn extract_plan(memo: &Memo, gid: GroupId, req: &ReqdProps) -> Result<PhysicalPlan> {
+    let (op, children, child_reqs, enforcers) = {
+        let group = memo.group(gid);
+        let g = group.read();
+        let cand = g.best_for(req).ok_or_else(|| {
+            OrcaError::NoPlan(format!("no plan for request {req} in group {gid}"))
+        })?;
+        let e = &g.exprs[cand.expr];
+        let Operator::Physical(op) = e.op.clone() else {
+            return Err(OrcaError::Internal(format!(
+                "best candidate in {gid} is not physical"
+            )));
+        };
+        (
+            op,
+            e.children.clone(),
+            cand.child_reqs.clone(),
+            cand.enforcers.clone(),
+        )
+    };
+    let child_plans: Vec<PhysicalPlan> = children
+        .iter()
+        .zip(&child_reqs)
+        .map(|(c, creq)| extract_plan(memo, *c, creq))
+        .collect::<Result<_>>()?;
+    let mut plan = PhysicalPlan::new(op, child_plans);
+    for enf in enforcers {
+        plan = PhysicalPlan::new(enf, vec![plan]);
+    }
+    Ok(plan)
+}
+
+/// The estimated cost of the best plan for `(group, req)`.
+pub fn best_cost(memo: &Memo, gid: GroupId, req: &ReqdProps) -> Result<f64> {
+    let group = memo.group(gid);
+    let g = group.read();
+    g.best_for(req)
+        .map(|c| c.cost)
+        .ok_or_else(|| OrcaError::NoPlan(format!("no plan for request {req} in group {gid}")))
+}

@@ -1,0 +1,48 @@
+//! `orca` — the query optimizer itself: a modular, multi-core, Cascades-style
+//! top-down optimizer reproducing *Orca: A Modular Query Optimizer
+//! Architecture for Big Data* (SIGMOD 2014).
+//!
+//! The crate mirrors Figure 3's component layout:
+//!
+//! * [`memo`] — the Memo: groups of logically equivalent expressions with
+//!   built-in duplicate detection (§3, §4.1).
+//! * [`props`] — optimization requests (required sort order, distribution,
+//!   rewindability) and the property-enforcement framework (§4.1 step 4).
+//! * [`rules`] — transformation rules: exploration and implementation,
+//!   individually activatable (§3 "Transformations").
+//! * [`stats`] — statistics derivation on the compact Memo with
+//!   promise-based expression selection (§4.1 step 2).
+//! * [`cost`] — the MPP-aware cost model (segments, motions, spilling,
+//!   skew).
+//! * [`search`] — the seven optimization job types of §4.2 running on the
+//!   GPOS scheduler, giving multi-core optimization.
+//! * [`extract`] — plan extraction over the request linkage structure
+//!   (Figure 6).
+//! * [`preprocess`] — the pre-Memo normalization pass: subquery unnesting,
+//!   predicate pushdown, static partition elimination, CTE inlining
+//!   heuristics (see DESIGN.md §2 for how this maps to Orca).
+//! * [`engine`] — the optimizer facade: configuration, multi-stage
+//!   optimization, DXL entry points.
+//! * [`amper`] — AMPERe: automatic capture and replay of minimal repros
+//!   (§6.1).
+//! * [`taqo`] — TAQO: testing the accuracy of the cost model by sampling
+//!   plans from the Memo and rank-correlating estimated vs. actual cost
+//!   (§6.2).
+
+pub mod amper;
+pub mod cost;
+pub mod enforce;
+pub mod engine;
+pub mod extract;
+pub mod memo;
+pub mod preprocess;
+pub mod props;
+pub mod rules;
+pub mod search;
+pub mod stats;
+pub mod taqo;
+
+pub use cost::CostModel;
+pub use engine::{OptStats, Optimizer, OptimizerConfig, StageConfig};
+pub use memo::{GroupId, Memo};
+pub use props::ReqdProps;

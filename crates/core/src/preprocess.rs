@@ -1,0 +1,906 @@
+//! Pre-Memo normalization.
+//!
+//! Orca normalizes incoming queries before copy-in; this module implements
+//! the rewrites the paper's §7.2.2 credits for the largest wins:
+//!
+//! * **Correlated subqueries** — "Orca adopts and extends a unified
+//!   representation of subqueries to detect deeply correlated predicates
+//!   and pull them up into joins to avoid repeated execution of subquery
+//!   expressions." `EXISTS`/`IN` become (anti-)semi joins; scalar
+//!   subqueries become `MaxOneRow` cross joins when uncorrelated and
+//!   grouped left-outer joins when correlated through equality predicates.
+//! * **Predicate pushdown** — conjuncts migrate to the lowest operator
+//!   that can evaluate them (into inner-join conditions and down to
+//!   table-local Selects).
+//! * **Static partition elimination** — predicates on a partition key
+//!   restrict the scanned partition list of the `Get` (reference \[2\], simplified to
+//!   the static case; see DESIGN.md).
+//! * **CTE inlining heuristic** — a WITH producer consumed once is
+//!   inlined; multiple consumers keep the paper's producer/consumer
+//!   sharing model (`Sequence`).
+//!
+//! Note on `NOT IN`: rewritten as an anti-semi join, which matches SQL
+//! semantics only when the subquery column is non-nullable — the workload
+//! generator only emits `NOT IN` on non-nullable keys (documented in
+//! DESIGN.md).
+
+use orca_common::{ColId, CteId, Datum, OrcaError, Result};
+use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp};
+use orca_expr::scalar::{CmpOp, ScalarExpr};
+use orca_expr::ColumnRegistry;
+
+/// Run the full normalization pipeline.
+pub fn preprocess(expr: &LogicalExpr, registry: &ColumnRegistry) -> Result<LogicalExpr> {
+    let expr = inline_single_consumer_ctes(expr.clone());
+    let expr = unnest_subqueries(expr, registry)?;
+    let expr = push_down_predicates(expr);
+    let expr = eliminate_partitions(expr);
+    Ok(expr)
+}
+
+// =====================================================================
+// Subquery unnesting
+// =====================================================================
+
+fn unnest_subqueries(expr: LogicalExpr, registry: &ColumnRegistry) -> Result<LogicalExpr> {
+    // Bottom-up: children first.
+    let children: Vec<LogicalExpr> = expr
+        .children
+        .into_iter()
+        .map(|c| unnest_subqueries(c, registry))
+        .collect::<Result<_>>()?;
+    let mut node = LogicalExpr {
+        op: expr.op,
+        children,
+    };
+    if !node.op.has_subquery() {
+        return Ok(node);
+    }
+    match &node.op {
+        LogicalOp::Select { pred } => {
+            let pred = pred.clone();
+            let input = node.children.remove(0);
+            unnest_select(input, pred, registry)
+        }
+        LogicalOp::Project { exprs } => {
+            let exprs = exprs.clone();
+            let input = node.children.remove(0);
+            unnest_project(input, exprs, registry)
+        }
+        other => Err(OrcaError::Unsupported(format!(
+            "subquery in {} not supported",
+            other.name()
+        ))),
+    }
+}
+
+/// Turn `Select(pred-with-subqueries)` into joins.
+fn unnest_select(
+    mut input: LogicalExpr,
+    pred: ScalarExpr,
+    registry: &ColumnRegistry,
+) -> Result<LogicalExpr> {
+    let mut residual: Vec<ScalarExpr> = Vec::new();
+    for conjunct in pred.into_conjuncts() {
+        match conjunct {
+            ScalarExpr::Exists { negated, subquery } => {
+                // Unnest subqueries nested inside this subquery first.
+                let subquery = unnest_subqueries(*subquery, registry)?;
+                let (sub, lifted) = decorrelate(subquery, registry)?;
+                let kind = if negated {
+                    JoinKind::LeftAntiSemi
+                } else {
+                    JoinKind::LeftSemi
+                };
+                input = LogicalExpr::new(
+                    LogicalOp::Join {
+                        kind,
+                        pred: ScalarExpr::and(lifted),
+                    },
+                    vec![input, sub],
+                );
+            }
+            ScalarExpr::InSubquery {
+                expr,
+                subquery,
+                subquery_col,
+                negated,
+            } => {
+                let subquery = unnest_subqueries(*subquery, registry)?;
+                let (sub, mut lifted) = decorrelate(subquery, registry)?;
+                lifted.push(ScalarExpr::eq(*expr, ScalarExpr::ColRef(subquery_col)));
+                let kind = if negated {
+                    JoinKind::LeftAntiSemi
+                } else {
+                    JoinKind::LeftSemi
+                };
+                input = LogicalExpr::new(
+                    LogicalOp::Join {
+                        kind,
+                        pred: ScalarExpr::and(lifted),
+                    },
+                    vec![input, sub],
+                );
+            }
+            other if contains_scalar_subquery(&other) => {
+                let (new_input, rewritten) = extract_scalar_subqueries(input, other, registry)?;
+                input = new_input;
+                residual.push(rewritten);
+            }
+            other => residual.push(other),
+        }
+    }
+    if residual.is_empty() {
+        Ok(input)
+    } else {
+        Ok(LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::and(residual),
+            },
+            vec![input],
+        ))
+    }
+}
+
+/// Turn scalar subqueries inside projection expressions into joins.
+fn unnest_project(
+    mut input: LogicalExpr,
+    exprs: Vec<(ColId, ScalarExpr)>,
+    registry: &ColumnRegistry,
+) -> Result<LogicalExpr> {
+    let mut out_exprs = Vec::with_capacity(exprs.len());
+    for (c, e) in exprs {
+        if contains_scalar_subquery(&e) {
+            let (new_input, rewritten) = extract_scalar_subqueries(input, e, registry)?;
+            input = new_input;
+            out_exprs.push((c, rewritten));
+        } else if e.has_subquery() {
+            return Err(OrcaError::Unsupported(
+                "EXISTS/IN in projection not supported".into(),
+            ));
+        } else {
+            out_exprs.push((c, e));
+        }
+    }
+    Ok(LogicalExpr::new(
+        LogicalOp::Project { exprs: out_exprs },
+        vec![input],
+    ))
+}
+
+fn contains_scalar_subquery(e: &ScalarExpr) -> bool {
+    match e {
+        ScalarExpr::ScalarSubquery { .. } => true,
+        ScalarExpr::Exists { .. } | ScalarExpr::InSubquery { .. } => false,
+        ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+            contains_scalar_subquery(left) || contains_scalar_subquery(right)
+        }
+        ScalarExpr::And(v) | ScalarExpr::Or(v) => v.iter().any(contains_scalar_subquery),
+        ScalarExpr::Not(x) | ScalarExpr::IsNull(x) => contains_scalar_subquery(x),
+        ScalarExpr::Case {
+            branches,
+            else_value,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| contains_scalar_subquery(c) || contains_scalar_subquery(v))
+                || else_value
+                    .as_ref()
+                    .is_some_and(|e| contains_scalar_subquery(e))
+        }
+        ScalarExpr::InList { expr, list, .. } => {
+            contains_scalar_subquery(expr) || list.iter().any(contains_scalar_subquery)
+        }
+        _ => false,
+    }
+}
+
+/// Replace every `ScalarSubquery` inside `e` with a column reference,
+/// joining the subquery into `input`.
+fn extract_scalar_subqueries(
+    mut input: LogicalExpr,
+    e: ScalarExpr,
+    registry: &ColumnRegistry,
+) -> Result<(LogicalExpr, ScalarExpr)> {
+    let rewritten = rewrite_scalar(&mut input, e, registry)?;
+    Ok((input, rewritten))
+}
+
+fn rewrite_scalar(
+    input: &mut LogicalExpr,
+    e: ScalarExpr,
+    registry: &ColumnRegistry,
+) -> Result<ScalarExpr> {
+    Ok(match e {
+        ScalarExpr::ScalarSubquery {
+            subquery,
+            subquery_col,
+        } => {
+            let subquery = unnest_subqueries(*subquery, registry)?;
+            let (sub, lifted) = decorrelate(subquery, registry)?;
+            let replacement = ScalarExpr::ColRef(subquery_col);
+            let old = std::mem::replace(
+                input,
+                LogicalExpr::leaf(LogicalOp::ConstTable {
+                    cols: vec![],
+                    rows: vec![],
+                }), // placeholder, replaced below
+            );
+            if lifted.is_empty() {
+                // Uncorrelated: cross join with a guaranteed-single-row
+                // side.
+                let guarded = LogicalExpr::new(LogicalOp::MaxOneRow, vec![sub]);
+                *input = LogicalExpr::new(
+                    LogicalOp::Join {
+                        kind: JoinKind::Inner,
+                        pred: ScalarExpr::Const(Datum::Bool(true)),
+                    },
+                    vec![old, guarded],
+                );
+            } else {
+                // Correlated: left outer join on the lifted predicates
+                // (the subquery was regrouped by `decorrelate`).
+                *input = LogicalExpr::new(
+                    LogicalOp::Join {
+                        kind: JoinKind::LeftOuter,
+                        pred: ScalarExpr::and(lifted),
+                    },
+                    vec![old, sub],
+                );
+            }
+            replacement
+        }
+        ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+            op,
+            left: Box::new(rewrite_scalar(input, *left, registry)?),
+            right: Box::new(rewrite_scalar(input, *right, registry)?),
+        },
+        ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+            op,
+            left: Box::new(rewrite_scalar(input, *left, registry)?),
+            right: Box::new(rewrite_scalar(input, *right, registry)?),
+        },
+        ScalarExpr::And(v) => ScalarExpr::And(
+            v.into_iter()
+                .map(|x| rewrite_scalar(input, x, registry))
+                .collect::<Result<_>>()?,
+        ),
+        ScalarExpr::Or(v) => ScalarExpr::Or(
+            v.into_iter()
+                .map(|x| rewrite_scalar(input, x, registry))
+                .collect::<Result<_>>()?,
+        ),
+        ScalarExpr::Not(x) => ScalarExpr::Not(Box::new(rewrite_scalar(input, *x, registry)?)),
+        ScalarExpr::IsNull(x) => ScalarExpr::IsNull(Box::new(rewrite_scalar(input, *x, registry)?)),
+        other => other,
+    })
+}
+
+/// Remove correlated conjuncts from the subquery and return them as join
+/// predicates. For aggregated scalar subqueries, correlated *equality*
+/// predicates become GROUP BY columns (the classic Kim-style rewrite that
+/// lets the subquery run once instead of per outer row).
+fn decorrelate(
+    sub: LogicalExpr,
+    registry: &ColumnRegistry,
+) -> Result<(LogicalExpr, Vec<ScalarExpr>)> {
+    if sub.outer_refs().is_empty() {
+        return Ok((sub, Vec::new()));
+    }
+    match sub.op.clone() {
+        // Correlation sits directly in a Select.
+        LogicalOp::Select { pred } => {
+            let input = sub.children.into_iter().next().expect("select child");
+            let produced = input.produced_cols();
+            let (correlated, local): (Vec<ScalarExpr>, Vec<ScalarExpr>) = pred
+                .into_conjuncts()
+                .into_iter()
+                .partition(|c| c.used_cols().iter().any(|col| !produced.contains(col)));
+            let (inner, mut lifted) = decorrelate(input, registry)?;
+            lifted.extend(correlated);
+            let node = if local.is_empty() {
+                inner
+            } else {
+                LogicalExpr::new(
+                    LogicalOp::Select {
+                        pred: ScalarExpr::and(local),
+                    },
+                    vec![inner],
+                )
+            };
+            Ok((node, lifted))
+        }
+        // Correlated scalar aggregate: regroup by the correlated equality
+        // columns so the subquery computes all groups at once.
+        LogicalOp::GbAgg {
+            group_cols,
+            aggs,
+            stage,
+        } => {
+            let input = sub.children.into_iter().next().expect("agg child");
+            let (inner, lifted) = decorrelate(input, registry)?;
+            // Inner columns used by lifted equality predicates become
+            // grouping columns.
+            let inner_produced = inner.produced_cols();
+            let mut new_groups = group_cols.clone();
+            for conj in &lifted {
+                if let ScalarExpr::Cmp {
+                    op: CmpOp::Eq,
+                    left,
+                    right,
+                } = conj
+                {
+                    for side in [left.as_ref(), right.as_ref()] {
+                        if let ScalarExpr::ColRef(c) = side {
+                            if inner_produced.contains(c) && !new_groups.contains(c) {
+                                new_groups.push(*c);
+                            }
+                        }
+                    }
+                } else {
+                    return Err(OrcaError::Unsupported(
+                        "non-equality correlation under aggregate".into(),
+                    ));
+                }
+            }
+            let _ = registry;
+            Ok((
+                LogicalExpr::new(
+                    LogicalOp::GbAgg {
+                        group_cols: new_groups,
+                        aggs,
+                        stage,
+                    },
+                    vec![inner],
+                ),
+                lifted,
+            ))
+        }
+        LogicalOp::Project { exprs } => {
+            let input = sub.children.into_iter().next().expect("project child");
+            let (inner, lifted) = decorrelate(input, registry)?;
+            // Keep grouping columns visible through the projection.
+            let mut exprs = exprs;
+            for conj in &lifted {
+                for col in conj.used_cols() {
+                    if inner.output_cols().contains(&col) && !exprs.iter().any(|(c, _)| *c == col) {
+                        exprs.push((col, ScalarExpr::ColRef(col)));
+                    }
+                }
+            }
+            Ok((
+                LogicalExpr::new(LogicalOp::Project { exprs }, vec![inner]),
+                lifted,
+            ))
+        }
+        other => Err(OrcaError::Unsupported(format!(
+            "correlation under {} not supported",
+            other.name()
+        ))),
+    }
+}
+
+// =====================================================================
+// Predicate pushdown
+// =====================================================================
+
+fn push_down_predicates(expr: LogicalExpr) -> LogicalExpr {
+    let mut node = LogicalExpr {
+        op: expr.op,
+        children: expr
+            .children
+            .into_iter()
+            .map(push_down_predicates)
+            .collect(),
+    };
+    if let LogicalOp::Select { pred } = &node.op {
+        let pred = pred.clone();
+        let input = node.children.remove(0);
+        return push_conjuncts(input, pred.into_conjuncts());
+    }
+    node
+}
+
+/// Push conjuncts as deep as possible over `input`, wrapping what remains
+/// in a Select.
+fn push_conjuncts(input: LogicalExpr, conjuncts: Vec<ScalarExpr>) -> LogicalExpr {
+    match input.op.clone() {
+        // Merge into an inner join's predicate, or route to one side.
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred,
+        } => {
+            let mut children = input.children;
+            let right = children.pop().expect("join right");
+            let left = children.pop().expect("join left");
+            let left_cols = left.output_cols();
+            let right_cols = right.output_cols();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut to_join = pred.into_conjuncts();
+            for c in conjuncts {
+                let used = c.used_cols();
+                if !used.is_empty() && used.iter().all(|u| left_cols.contains(u)) {
+                    to_left.push(c);
+                } else if !used.is_empty() && used.iter().all(|u| right_cols.contains(u)) {
+                    to_right.push(c);
+                } else {
+                    to_join.push(c);
+                }
+            }
+            let left = if to_left.is_empty() {
+                left
+            } else {
+                push_conjuncts(left, to_left)
+            };
+            let right = if to_right.is_empty() {
+                right
+            } else {
+                push_conjuncts(right, to_right)
+            };
+            LogicalExpr::new(
+                LogicalOp::Join {
+                    kind: JoinKind::Inner,
+                    pred: ScalarExpr::and(to_join),
+                },
+                vec![left, right],
+            )
+        }
+        // Left-variants: predicates on left-side columns only may push to
+        // the left child without changing semantics.
+        LogicalOp::Join { kind, pred } => {
+            let mut children = input.children;
+            let right = children.pop().expect("join right");
+            let left = children.pop().expect("join left");
+            let left_cols = left.output_cols();
+            let (to_left, residual): (Vec<ScalarExpr>, Vec<ScalarExpr>) =
+                conjuncts.into_iter().partition(|c| {
+                    let used = c.used_cols();
+                    !used.is_empty() && used.iter().all(|u| left_cols.contains(u))
+                });
+            let left = if to_left.is_empty() {
+                left
+            } else {
+                push_conjuncts(left, to_left)
+            };
+            let joined = LogicalExpr::new(LogicalOp::Join { kind, pred }, vec![left, right]);
+            wrap_select(joined, residual)
+        }
+        // Merge stacked selects.
+        LogicalOp::Select { pred } => {
+            let mut all = conjuncts;
+            all.extend(pred.into_conjuncts());
+            let child = input.children.into_iter().next().expect("select child");
+            push_conjuncts(child, all)
+        }
+        // Push through a projection when the conjunct only references
+        // pass-through columns.
+        LogicalOp::Project { exprs } => {
+            let passthrough: Vec<ColId> = exprs
+                .iter()
+                .filter_map(|(c, e)| match e {
+                    ScalarExpr::ColRef(src) if src == c => Some(*c),
+                    _ => None,
+                })
+                .collect();
+            let (pushable, residual): (Vec<ScalarExpr>, Vec<ScalarExpr>) = conjuncts
+                .into_iter()
+                .partition(|c| c.used_cols().iter().all(|u| passthrough.contains(u)));
+            let child = input.children.into_iter().next().expect("project child");
+            let child = if pushable.is_empty() {
+                child
+            } else {
+                push_conjuncts(child, pushable)
+            };
+            wrap_select(
+                LogicalExpr::new(LogicalOp::Project { exprs }, vec![child]),
+                residual,
+            )
+        }
+        _ => wrap_select(input, conjuncts),
+    }
+}
+
+fn wrap_select(input: LogicalExpr, conjuncts: Vec<ScalarExpr>) -> LogicalExpr {
+    if conjuncts.is_empty() {
+        input
+    } else {
+        LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::and(conjuncts),
+            },
+            vec![input],
+        )
+    }
+}
+
+// =====================================================================
+// Static partition elimination
+// =====================================================================
+
+fn eliminate_partitions(expr: LogicalExpr) -> LogicalExpr {
+    let mut node = LogicalExpr {
+        op: expr.op,
+        children: expr
+            .children
+            .into_iter()
+            .map(eliminate_partitions)
+            .collect(),
+    };
+    if let LogicalOp::Select { pred } = &node.op {
+        if let LogicalOp::Get { table, cols, parts } = &node.children[0].op {
+            if let Some(p) = &table.partitioning {
+                if parts.is_none() {
+                    if let Some(part_col) = cols.get(p.column) {
+                        if let Some(kept) = prune_partitions(pred, *part_col, p) {
+                            let new_get = LogicalOp::Get {
+                                table: table.clone(),
+                                cols: cols.clone(),
+                                parts: Some(kept),
+                            };
+                            node.children[0] = LogicalExpr::leaf(new_get);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    node
+}
+
+/// Intersect the partition list implied by every conjunct on the partition
+/// column. `None` = no restriction found.
+fn prune_partitions(
+    pred: &ScalarExpr,
+    part_col: ColId,
+    p: &orca_catalog::Partitioning,
+) -> Option<Vec<usize>> {
+    let mut kept: Option<Vec<usize>> = None;
+    for conj in pred.conjuncts() {
+        let parts = partition_range_for(conj, part_col).map(|(lo, hi)| p.parts_for_range(lo, hi));
+        if let Some(parts) = parts {
+            kept = Some(match kept {
+                None => parts,
+                Some(prev) => prev.into_iter().filter(|i| parts.contains(i)).collect(),
+            });
+        }
+    }
+    kept
+}
+
+/// The `[lo, hi]` window a conjunct admits on `col`, if it is a simple
+/// range/equality predicate on that column.
+fn partition_range_for(conj: &ScalarExpr, col: ColId) -> Option<(i64, i64)> {
+    if let ScalarExpr::Cmp { op, left, right } = conj {
+        let (c, v, op) = match (left.as_ref(), right.as_ref()) {
+            (ScalarExpr::ColRef(c), ScalarExpr::Const(d)) => (*c, d.as_i64()?, *op),
+            (ScalarExpr::Const(d), ScalarExpr::ColRef(c)) => (*c, d.as_i64()?, op.commute()),
+            _ => return None,
+        };
+        if c != col {
+            return None;
+        }
+        return Some(match op {
+            CmpOp::Eq => (v, v),
+            CmpOp::Lt => (i64::MIN, v - 1),
+            CmpOp::Le => (i64::MIN, v),
+            CmpOp::Gt => (v + 1, i64::MAX),
+            CmpOp::Ge => (v, i64::MAX),
+            CmpOp::Ne => return None,
+        });
+    }
+    None
+}
+
+// =====================================================================
+// CTE inlining heuristic
+// =====================================================================
+
+/// Count consumers of each CTE and inline producers consumed at most once.
+/// (Orca makes this decision cost-based; a count heuristic captures the
+/// common cases and keeps the producer/consumer model for real sharing.)
+fn inline_single_consumer_ctes(expr: LogicalExpr) -> LogicalExpr {
+    let mut node = LogicalExpr {
+        op: expr.op,
+        children: expr
+            .children
+            .into_iter()
+            .map(inline_single_consumer_ctes)
+            .collect(),
+    };
+    if let LogicalOp::Sequence { id } = node.op {
+        let main = node.children.pop().expect("sequence main");
+        let producer = node.children.pop().expect("sequence producer");
+        let count = count_consumers(&main, id);
+        if count == 0 {
+            return main;
+        }
+        if count == 1 {
+            let LogicalOp::CteProducer { cols, .. } = &producer.op else {
+                // Unexpected shape; keep as-is.
+                return LogicalExpr::new(LogicalOp::Sequence { id }, vec![producer, main]);
+            };
+            let body = producer.children.into_iter().next().expect("producer body");
+            return inline_consumer(main, id, &cols.clone(), &body);
+        }
+        return LogicalExpr::new(LogicalOp::Sequence { id }, vec![producer, main]);
+    }
+    node
+}
+
+fn count_consumers(expr: &LogicalExpr, id: CteId) -> usize {
+    let own = matches!(&expr.op, LogicalOp::CteConsumer { id: cid, .. } if *cid == id) as usize;
+    own + expr
+        .children
+        .iter()
+        .map(|c| count_consumers(c, id))
+        .sum::<usize>()
+}
+
+fn inline_consumer(
+    expr: LogicalExpr,
+    id: CteId,
+    producer_cols: &[ColId],
+    body: &LogicalExpr,
+) -> LogicalExpr {
+    if let LogicalOp::CteConsumer {
+        id: cid,
+        cols,
+        producer_cols: pcols,
+    } = &expr.op
+    {
+        if *cid == id {
+            debug_assert_eq!(pcols, producer_cols);
+            // Rename the producer's outputs to the consumer's ids.
+            let exprs: Vec<(ColId, ScalarExpr)> = cols
+                .iter()
+                .zip(pcols)
+                .map(|(c, p)| (*c, ScalarExpr::ColRef(*p)))
+                .collect();
+            return LogicalExpr::new(LogicalOp::Project { exprs }, vec![body.clone()]);
+        }
+    }
+    LogicalExpr {
+        op: expr.op,
+        children: expr
+            .children
+            .into_iter()
+            .map(|c| inline_consumer(c, id, producer_cols, body))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_catalog::{ColumnMeta, Distribution, Partitioning, TableDesc};
+    use orca_common::{DataType, MdId, SysId};
+    use orca_expr::logical::AggStage;
+    use orca_expr::logical::TableRef;
+    use orca_expr::pretty::explain_logical;
+    use orca_expr::scalar::AggFunc;
+    use std::sync::Arc;
+
+    fn table(oid: u64, name: &str) -> TableRef {
+        TableRef(Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, oid, 1),
+            name,
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        )))
+    }
+
+    fn get(oid: u64, name: &str, first: u32) -> LogicalExpr {
+        LogicalExpr::leaf(LogicalOp::Get {
+            table: table(oid, name),
+            cols: vec![ColId(first), ColId(first + 1)],
+            parts: None,
+        })
+    }
+
+    #[test]
+    fn exists_becomes_semi_join() {
+        let registry = ColumnRegistry::new();
+        // SELECT * FROM t WHERE EXISTS (SELECT * FROM s WHERE s.a = t.a)
+        let sub = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::col_eq_col(ColId(10), ColId(0)),
+            },
+            vec![get(2, "s", 10)],
+        );
+        let q = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::Exists {
+                    negated: false,
+                    subquery: Box::new(sub),
+                },
+            },
+            vec![get(1, "t", 0)],
+        );
+        let out = preprocess(&q, &registry).unwrap();
+        let text = explain_logical(&out);
+        assert!(text.contains("LeftSemiJoin"), "{text}");
+        assert!(text.contains("(c10 = c0)"), "{text}");
+        assert!(!out.has_subquery());
+    }
+
+    #[test]
+    fn not_in_becomes_anti_join() {
+        let registry = ColumnRegistry::new();
+        let q = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::InSubquery {
+                    expr: Box::new(ScalarExpr::col(ColId(0))),
+                    subquery: Box::new(get(2, "s", 10)),
+                    subquery_col: ColId(10),
+                    negated: true,
+                },
+            },
+            vec![get(1, "t", 0)],
+        );
+        let out = preprocess(&q, &registry).unwrap();
+        let text = explain_logical(&out);
+        assert!(text.contains("LeftAntiSemiJoin"), "{text}");
+        assert!(text.contains("(c0 = c10)"), "{text}");
+    }
+
+    #[test]
+    fn correlated_scalar_agg_regroups() {
+        let registry = ColumnRegistry::new();
+        // Reserve ids 0..20 for the base-table columns used below.
+        for i in 0..20 {
+            registry.fresh(&format!("c{i}"), DataType::Int);
+        }
+        let avg_col = registry.fresh("max_b", DataType::Double);
+        // WHERE t.b > (SELECT max(s.b) FROM s WHERE s.a = t.a)
+        let sub = LogicalExpr::new(
+            LogicalOp::GbAgg {
+                group_cols: vec![],
+                aggs: vec![(
+                    avg_col,
+                    ScalarExpr::Agg {
+                        func: AggFunc::Max,
+                        arg: Some(Box::new(ScalarExpr::col(ColId(11)))),
+                        distinct: false,
+                    },
+                )],
+                stage: AggStage::Single,
+            },
+            vec![LogicalExpr::new(
+                LogicalOp::Select {
+                    pred: ScalarExpr::col_eq_col(ColId(10), ColId(0)),
+                },
+                vec![get(2, "s", 10)],
+            )],
+        );
+        let q = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::cmp(
+                    CmpOp::Gt,
+                    ScalarExpr::col(ColId(1)),
+                    ScalarExpr::ScalarSubquery {
+                        subquery: Box::new(sub),
+                        subquery_col: avg_col,
+                    },
+                ),
+            },
+            vec![get(1, "t", 0)],
+        );
+        let out = preprocess(&q, &registry).unwrap();
+        let text = explain_logical(&out);
+        // LOJ on the correlation key, agg regrouped by s.a (c10).
+        assert!(text.contains("LeftOuterJoin"), "{text}");
+        assert!(text.contains("GbAgg by [c10]"), "{text}");
+        assert!(!out.has_subquery());
+    }
+
+    #[test]
+    fn pushdown_routes_conjuncts() {
+        // Select(t.a<5 AND s.b>7 AND t.a=s.a) over cross join → per-side
+        // Selects plus a join condition.
+        let join = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::Const(Datum::Bool(true)),
+            },
+            vec![get(1, "t", 0), get(2, "s", 10)],
+        );
+        let q = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::and(vec![
+                    ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(ColId(0)), ScalarExpr::int(5)),
+                    ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(ColId(11)), ScalarExpr::int(7)),
+                    ScalarExpr::col_eq_col(ColId(0), ColId(10)),
+                ]),
+            },
+            vec![join],
+        );
+        let registry = ColumnRegistry::new();
+        let out = preprocess(&q, &registry).unwrap();
+        let text = explain_logical(&out);
+        // Join predicate got the equi conjunct.
+        assert!(text.contains("InnerJoin on (c0 = c10)"), "{text}");
+        // Table-local conjuncts sit below the join.
+        let join_line = text.lines().position(|l| l.contains("InnerJoin")).unwrap();
+        let lt_line = text.lines().position(|l| l.contains("(c0 < 5)")).unwrap();
+        let gt_line = text.lines().position(|l| l.contains("(c11 > 7)")).unwrap();
+        assert!(lt_line > join_line && gt_line > join_line, "{text}");
+    }
+
+    #[test]
+    fn partition_elimination_restricts_get() {
+        let t = TableDesc::new(
+            MdId::new(SysId::Gpdb, 7, 1),
+            "fact",
+            vec![
+                ColumnMeta::new("k", DataType::Int),
+                ColumnMeta::new("d", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        )
+        .with_partitioning(Partitioning::range(1, 0, 100, 10));
+        let get = LogicalExpr::leaf(LogicalOp::Get {
+            table: TableRef(Arc::new(t)),
+            cols: vec![ColId(0), ColId(1)],
+            parts: None,
+        });
+        let q = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::and(vec![
+                    ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(ColId(1)), ScalarExpr::int(20)),
+                    ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(ColId(1)), ScalarExpr::int(40)),
+                ]),
+            },
+            vec![get],
+        );
+        let registry = ColumnRegistry::new();
+        let out = preprocess(&q, &registry).unwrap();
+        let text = explain_logical(&out);
+        assert!(text.contains("parts=2/10"), "{text}");
+    }
+
+    #[test]
+    fn single_consumer_cte_inlined_shared_kept() {
+        let registry = ColumnRegistry::new();
+        let producer = LogicalExpr::new(
+            LogicalOp::CteProducer {
+                id: CteId(1),
+                cols: vec![ColId(0), ColId(1)],
+            },
+            vec![get(1, "t", 0)],
+        );
+        let consumer = |first: u32| {
+            LogicalExpr::leaf(LogicalOp::CteConsumer {
+                id: CteId(1),
+                cols: vec![ColId(first), ColId(first + 1)],
+                producer_cols: vec![ColId(0), ColId(1)],
+            })
+        };
+        // One consumer → inlined (no Sequence).
+        let single = LogicalExpr::new(
+            LogicalOp::Sequence { id: CteId(1) },
+            vec![producer.clone(), consumer(20)],
+        );
+        let out = preprocess(&single, &registry).unwrap();
+        let text = explain_logical(&out);
+        assert!(!text.contains("Sequence"), "{text}");
+        assert!(text.contains("Get(t)"), "{text}");
+        assert_eq!(out.output_cols(), vec![ColId(20), ColId(21)]);
+        // Two consumers → shared producer kept.
+        let both = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::col_eq_col(ColId(20), ColId(30)),
+            },
+            vec![consumer(20), consumer(30)],
+        );
+        let shared = LogicalExpr::new(LogicalOp::Sequence { id: CteId(1) }, vec![producer, both]);
+        let out = preprocess(&shared, &registry).unwrap();
+        let text = explain_logical(&out);
+        assert!(text.contains("Sequence"), "{text}");
+        assert!(text.contains("CTEConsumer"), "{text}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Optimization requests and derived plan properties (§4.1).
+//!
+//! "Optimization starts by submitting an initial optimization request to
+//! the Memo's root group specifying query requirements such as result
+//! distribution and sort order." A [`ReqdProps`] is exactly such a request;
+//! [`DerivedProps`] is what a concrete physical plan delivers. The
+//! enforcement framework ([`crate::search`]) plugs in Sort/Motion/Spool
+//! enforcers whenever delivered properties do not satisfy the request.
+
+use orca_expr::props::{DistSpec, OrderSpec};
+use std::fmt;
+
+/// A property request submitted to a group: "the least cost plan satisfying
+/// `r` with a root physical operator in `g`".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReqdProps {
+    pub order: OrderSpec,
+    pub dist: DistSpec,
+    /// Whether the plan must be re-scannable without recomputation (NL-join
+    /// inners). Enforced by Spool.
+    pub rewindable: bool,
+}
+
+impl ReqdProps {
+    /// The unconstrained request `{Any, Any}`.
+    pub fn any() -> ReqdProps {
+        ReqdProps {
+            order: OrderSpec::any(),
+            dist: DistSpec::Any,
+            rewindable: false,
+        }
+    }
+
+    pub fn new(order: OrderSpec, dist: DistSpec) -> ReqdProps {
+        debug_assert!(dist.is_requestable(), "cannot request {dist}");
+        ReqdProps {
+            order,
+            dist,
+            rewindable: false,
+        }
+    }
+
+    pub fn singleton(order: OrderSpec) -> ReqdProps {
+        ReqdProps::new(order, DistSpec::Singleton)
+    }
+
+    pub fn hashed(cols: Vec<orca_common::ColId>) -> ReqdProps {
+        ReqdProps::new(OrderSpec::any(), DistSpec::Hashed(cols))
+    }
+
+    pub fn replicated() -> ReqdProps {
+        ReqdProps::new(OrderSpec::any(), DistSpec::Replicated)
+    }
+
+    pub fn with_order(mut self, order: OrderSpec) -> ReqdProps {
+        self.order = order;
+        self
+    }
+
+    pub fn with_rewind(mut self) -> ReqdProps {
+        self.rewindable = true;
+        self
+    }
+
+    /// Drop the order requirement (what a Sort enforcer passes down).
+    pub fn without_order(&self) -> ReqdProps {
+        ReqdProps {
+            order: OrderSpec::any(),
+            dist: self.dist.clone(),
+            rewindable: self.rewindable,
+        }
+    }
+
+    /// Drop the distribution requirement (what a Motion enforcer passes
+    /// down).
+    pub fn without_dist(&self) -> ReqdProps {
+        ReqdProps {
+            order: self.order.clone(),
+            dist: DistSpec::Any,
+            rewindable: self.rewindable,
+        }
+    }
+
+    /// Is this request trivially satisfied by anything?
+    pub fn is_any(&self) -> bool {
+        self.order.is_any() && self.dist == DistSpec::Any && !self.rewindable
+    }
+}
+
+impl fmt::Display for ReqdProps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, {}", self.dist, self.order)?;
+        if self.rewindable {
+            write!(f, ", rewind")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// What a concrete physical (sub)plan delivers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DerivedProps {
+    pub order: OrderSpec,
+    pub dist: DistSpec,
+    pub rewindable: bool,
+}
+
+impl DerivedProps {
+    pub fn new(order: OrderSpec, dist: DistSpec, rewindable: bool) -> DerivedProps {
+        DerivedProps {
+            order,
+            dist,
+            rewindable,
+        }
+    }
+
+    /// Does this plan satisfy the request?
+    pub fn satisfies(&self, req: &ReqdProps) -> bool {
+        self.order.satisfies(&req.order)
+            && self.dist.satisfies(&req.dist)
+            && (!req.rewindable || self.rewindable)
+    }
+}
+
+impl fmt::Display for DerivedProps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.dist, self.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_common::ColId;
+
+    #[test]
+    fn satisfaction_combines_all_dimensions() {
+        let req = ReqdProps::singleton(OrderSpec::by(&[ColId(1)]));
+        let good = DerivedProps::new(
+            OrderSpec::by(&[ColId(1), ColId(2)]),
+            DistSpec::Singleton,
+            false,
+        );
+        assert!(good.satisfies(&req));
+        let wrong_order = DerivedProps::new(OrderSpec::any(), DistSpec::Singleton, false);
+        assert!(!wrong_order.satisfies(&req));
+        let wrong_dist = DerivedProps::new(OrderSpec::by(&[ColId(1)]), DistSpec::Random, false);
+        assert!(!wrong_dist.satisfies(&req));
+    }
+
+    #[test]
+    fn rewindability_is_orthogonal() {
+        let req = ReqdProps::any().with_rewind();
+        let streaming = DerivedProps::new(OrderSpec::any(), DistSpec::Random, false);
+        let spooled = DerivedProps::new(OrderSpec::any(), DistSpec::Random, true);
+        assert!(!streaming.satisfies(&req));
+        assert!(spooled.satisfies(&req));
+        // Extra rewindability is never harmful.
+        assert!(spooled.satisfies(&ReqdProps::any()));
+    }
+
+    #[test]
+    fn request_weakening_for_enforcers() {
+        let req = ReqdProps::singleton(OrderSpec::by(&[ColId(1)]));
+        assert!(req.without_order().order.is_any());
+        assert_eq!(req.without_order().dist, DistSpec::Singleton);
+        assert_eq!(req.without_dist().dist, DistSpec::Any);
+        assert!(!req.is_any());
+        assert!(ReqdProps::any().is_any());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let req = ReqdProps::singleton(OrderSpec::by(&[ColId(0)]));
+        assert_eq!(req.to_string(), "{Singleton, <c0>}");
+        assert_eq!(ReqdProps::any().to_string(), "{Any, Any}");
+    }
+}

@@ -1,0 +1,1028 @@
+//! DXL deserialization: XML → expression trees, plans, metadata, dumps.
+//!
+//! Table references inside queries and plans are resolved through an
+//! [`MdProvider`], exactly as Orca resolves `Mdid`s against its metadata
+//! cache during parsing.
+
+use crate::xml::{self, XmlNode};
+use crate::{DxlDump, DxlPlan, DxlQuery, MetadataDoc};
+use orca_catalog::provider::MdProvider;
+use orca_catalog::stats::{Bucket, ColumnStats, Histogram, TableStats};
+use orca_catalog::{ColumnMeta, Distribution, IndexDesc, MemoryProvider, Partitioning, TableDesc};
+use orca_common::{ColId, CteId, DataType, Datum, MdId, OrcaError, Result};
+use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp, SetOpKind, TableRef};
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
+use orca_expr::props::{DistSpec, OrderSpec, SortKey};
+use orca_expr::scalar::{AggFunc, ArithOp, CmpOp, ScalarExpr};
+use std::sync::Arc;
+
+fn bad(msg: impl Into<String>) -> OrcaError {
+    OrcaError::Dxl(msg.into())
+}
+
+fn parse_u64(n: &XmlNode, key: &str) -> Result<u64> {
+    n.req_attr(key)?
+        .parse()
+        .map_err(|_| bad(format!("bad integer in {key}")))
+}
+
+fn parse_f64(n: &XmlNode, key: &str) -> Result<f64> {
+    n.req_attr(key)?
+        .parse()
+        .map_err(|_| bad(format!("bad float in {key}")))
+}
+
+fn parse_bool(n: &XmlNode, key: &str) -> Result<bool> {
+    n.req_attr(key)?
+        .parse()
+        .map_err(|_| bad(format!("bad bool in {key}")))
+}
+
+fn parse_cols(s: &str) -> Result<Vec<ColId>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| {
+            t.parse()
+                .map(ColId)
+                .map_err(|_| bad(format!("bad col id '{t}'")))
+        })
+        .collect()
+}
+
+fn attr_cols(n: &XmlNode, key: &str) -> Result<Vec<ColId>> {
+    parse_cols(n.req_attr(key)?)
+}
+
+fn parse_usizes(s: &str) -> Result<Vec<usize>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| t.parse().map_err(|_| bad(format!("bad index '{t}'"))))
+        .collect()
+}
+
+fn parse_nested_cols(s: &str) -> Result<Vec<Vec<ColId>>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split('|').map(parse_cols).collect()
+}
+
+fn parse_order(s: &str) -> Result<OrderSpec> {
+    if s.is_empty() {
+        return Ok(OrderSpec::any());
+    }
+    let keys = s
+        .split(',')
+        .map(|t| {
+            let (num, dir) = t.split_at(t.len() - 1);
+            let col = num
+                .parse()
+                .map(ColId)
+                .map_err(|_| bad(format!("bad sort key '{t}'")))?;
+            match dir {
+                "a" => Ok(SortKey { col, desc: false }),
+                "d" => Ok(SortKey { col, desc: true }),
+                _ => Err(bad(format!("bad sort direction '{dir}'"))),
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(OrderSpec(keys))
+}
+
+fn parse_datum(ty: &str, val: &str) -> Result<Datum> {
+    Ok(match ty {
+        "null" => Datum::Null,
+        "bool" => Datum::Bool(val.parse().map_err(|_| bad("bad bool literal"))?),
+        "int8" => Datum::Int(val.parse().map_err(|_| bad("bad int literal"))?),
+        "float8" => Datum::Double(val.parse().map_err(|_| bad("bad float literal"))?),
+        "text" => Datum::Str(val.to_string()),
+        "date" => Datum::Date(val.parse().map_err(|_| bad("bad date literal"))?),
+        other => return Err(bad(format!("unknown datum type '{other}'"))),
+    })
+}
+
+fn parse_const(n: &XmlNode) -> Result<Datum> {
+    parse_datum(n.req_attr("Type")?, n.req_attr("Value")?)
+}
+
+fn parse_cmp_op(s: &str) -> Result<CmpOp> {
+    Ok(match s {
+        "=" => CmpOp::Eq,
+        "<>" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        other => return Err(bad(format!("unknown comparison '{other}'"))),
+    })
+}
+
+fn parse_join_kind(s: &str) -> Result<JoinKind> {
+    Ok(match s {
+        "Inner" => JoinKind::Inner,
+        "LeftOuter" => JoinKind::LeftOuter,
+        "LeftSemi" => JoinKind::LeftSemi,
+        "LeftAntiSemi" => JoinKind::LeftAntiSemi,
+        other => return Err(bad(format!("unknown join type '{other}'"))),
+    })
+}
+
+fn parse_setop_kind(s: &str) -> Result<SetOpKind> {
+    Ok(match s {
+        "UnionAll" => SetOpKind::UnionAll,
+        "Union" => SetOpKind::Union,
+        "Intersect" => SetOpKind::Intersect,
+        "Except" => SetOpKind::Except,
+        other => return Err(bad(format!("unknown set op '{other}'"))),
+    })
+}
+
+fn parse_agg_func(s: &str) -> Result<AggFunc> {
+    Ok(match s {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "avg" => AggFunc::Avg,
+        other => return Err(bad(format!("unknown aggregate '{other}'"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------
+
+fn scalar_from_xml(n: &XmlNode, md: &dyn MdProvider) -> Result<ScalarExpr> {
+    Ok(match n.name.as_str() {
+        "dxl:Ident" => ScalarExpr::ColRef(ColId(parse_u64(n, "ColId")? as u32)),
+        "dxl:Const" => ScalarExpr::Const(parse_const(n)?),
+        "dxl:Comparison" => ScalarExpr::Cmp {
+            op: parse_cmp_op(n.req_attr("Operator")?)?,
+            left: Box::new(scalar_from_xml(n.req_nth(0)?, md)?),
+            right: Box::new(scalar_from_xml(n.req_nth(1)?, md)?),
+        },
+        "dxl:BoolAnd" => ScalarExpr::And(
+            n.children
+                .iter()
+                .map(|c| scalar_from_xml(c, md))
+                .collect::<Result<_>>()?,
+        ),
+        "dxl:BoolOr" => ScalarExpr::Or(
+            n.children
+                .iter()
+                .map(|c| scalar_from_xml(c, md))
+                .collect::<Result<_>>()?,
+        ),
+        "dxl:Not" => ScalarExpr::Not(Box::new(scalar_from_xml(n.req_nth(0)?, md)?)),
+        "dxl:IsNull" => ScalarExpr::IsNull(Box::new(scalar_from_xml(n.req_nth(0)?, md)?)),
+        "dxl:Arith" => ScalarExpr::Arith {
+            op: match n.req_attr("Operator")? {
+                "+" => ArithOp::Add,
+                "-" => ArithOp::Sub,
+                "*" => ArithOp::Mul,
+                "/" => ArithOp::Div,
+                other => return Err(bad(format!("unknown arith op '{other}'"))),
+            },
+            left: Box::new(scalar_from_xml(n.req_nth(0)?, md)?),
+            right: Box::new(scalar_from_xml(n.req_nth(1)?, md)?),
+        },
+        "dxl:Case" => {
+            let mut branches = Vec::new();
+            let mut else_value = None;
+            for c in &n.children {
+                match c.name.as_str() {
+                    "dxl:When" => branches.push((
+                        scalar_from_xml(c.req_nth(0)?, md)?,
+                        scalar_from_xml(c.req_nth(1)?, md)?,
+                    )),
+                    "dxl:Else" => else_value = Some(Box::new(scalar_from_xml(c.req_nth(0)?, md)?)),
+                    other => return Err(bad(format!("unexpected <{other}> in Case"))),
+                }
+            }
+            ScalarExpr::Case {
+                branches,
+                else_value,
+            }
+        }
+        "dxl:InList" => {
+            let mut items = n.children.iter();
+            let expr = scalar_from_xml(items.next().ok_or_else(|| bad("empty InList"))?, md)?;
+            ScalarExpr::InList {
+                expr: Box::new(expr),
+                list: items
+                    .map(|c| scalar_from_xml(c, md))
+                    .collect::<Result<_>>()?,
+                negated: parse_bool(n, "Negated")?,
+            }
+        }
+        "dxl:AggFunc" => ScalarExpr::Agg {
+            func: parse_agg_func(n.req_attr("Name")?)?,
+            arg: n
+                .children
+                .first()
+                .map(|c| scalar_from_xml(c, md).map(Box::new))
+                .transpose()?,
+            distinct: parse_bool(n, "Distinct")?,
+        },
+        "dxl:SubqExists" => ScalarExpr::Exists {
+            negated: parse_bool(n, "Negated")?,
+            subquery: Box::new(logical_from_xml(n.req_nth(0)?, md)?),
+        },
+        "dxl:SubqIn" => ScalarExpr::InSubquery {
+            expr: Box::new(scalar_from_xml(n.req_nth(0)?, md)?),
+            subquery: Box::new(logical_from_xml(n.req_nth(1)?, md)?),
+            subquery_col: ColId(parse_u64(n, "SubqueryCol")? as u32),
+            negated: parse_bool(n, "Negated")?,
+        },
+        "dxl:SubqScalar" => ScalarExpr::ScalarSubquery {
+            subquery: Box::new(logical_from_xml(n.req_nth(0)?, md)?),
+            subquery_col: ColId(parse_u64(n, "SubqueryCol")? as u32),
+        },
+        other => return Err(bad(format!("unknown scalar node <{other}>"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Logical trees
+// ---------------------------------------------------------------------
+
+fn resolve_table(n: &XmlNode, md: &dyn MdProvider) -> Result<TableRef> {
+    let td = n.req_child("dxl:TableDescriptor")?;
+    let mdid =
+        MdId::parse_dxl(td.req_attr("Mdid")?).ok_or_else(|| bad("bad Mdid in TableDescriptor"))?;
+    Ok(TableRef(md.table(mdid)?))
+}
+
+fn opt_parts(n: &XmlNode) -> Result<Option<Vec<usize>>> {
+    n.get_attr("Parts").map(parse_usizes).transpose()
+}
+
+fn is_relational(name: &str) -> bool {
+    name.starts_with("dxl:Logical")
+}
+
+fn logical_from_xml(n: &XmlNode, md: &dyn MdProvider) -> Result<LogicalExpr> {
+    // Relational children come first; scalar payloads follow.
+    let rel_children: Vec<LogicalExpr> = n
+        .children
+        .iter()
+        .filter(|c| is_relational(&c.name))
+        .map(|c| logical_from_xml(c, md))
+        .collect::<Result<_>>()?;
+    let scalars: Vec<&XmlNode> = n
+        .children
+        .iter()
+        .filter(|c| {
+            !is_relational(&c.name) && c.name != "dxl:TableDescriptor" && c.name != "dxl:Row"
+        })
+        .collect();
+
+    let op = match n.name.as_str() {
+        "dxl:LogicalGet" => LogicalOp::Get {
+            table: resolve_table(n, md)?,
+            cols: attr_cols(n, "Cols")?,
+            parts: opt_parts(n)?,
+        },
+        "dxl:LogicalSelect" => LogicalOp::Select {
+            pred: scalar_from_xml(
+                scalars
+                    .first()
+                    .ok_or_else(|| bad("Select missing predicate"))?,
+                md,
+            )?,
+        },
+        "dxl:LogicalProject" => {
+            let cols = attr_cols(n, "Cols")?;
+            let exprs = scalars
+                .iter()
+                .map(|c| scalar_from_xml(c, md))
+                .collect::<Result<Vec<_>>>()?;
+            if cols.len() != exprs.len() {
+                return Err(bad("Project Cols/exprs length mismatch"));
+            }
+            LogicalOp::Project {
+                exprs: cols.into_iter().zip(exprs).collect(),
+            }
+        }
+        "dxl:LogicalJoin" => LogicalOp::Join {
+            kind: parse_join_kind(n.req_attr("JoinType")?)?,
+            pred: scalar_from_xml(
+                scalars
+                    .first()
+                    .ok_or_else(|| bad("Join missing predicate"))?,
+                md,
+            )?,
+        },
+        "dxl:LogicalGbAgg" => {
+            let group_cols = attr_cols(n, "GroupCols")?;
+            let agg_cols = attr_cols(n, "AggCols")?;
+            let exprs = scalars
+                .iter()
+                .map(|c| scalar_from_xml(c, md))
+                .collect::<Result<Vec<_>>>()?;
+            if agg_cols.len() != exprs.len() {
+                return Err(bad("GbAgg AggCols/exprs length mismatch"));
+            }
+            LogicalOp::GbAgg {
+                group_cols,
+                aggs: agg_cols.into_iter().zip(exprs).collect(),
+                stage: orca_expr::logical::AggStage::from_name(
+                    n.get_attr("Stage").unwrap_or("Single"),
+                )
+                .ok_or_else(|| bad("unknown agg stage"))?,
+            }
+        }
+        "dxl:LogicalLimit" => LogicalOp::Limit {
+            order: parse_order(n.req_attr("Sort")?)?,
+            offset: parse_u64(n, "Offset")?,
+            count: n
+                .get_attr("Count")
+                .map(|c| c.parse().map_err(|_| bad("bad Count")))
+                .transpose()?,
+        },
+        "dxl:LogicalSetOp" => LogicalOp::SetOp {
+            kind: parse_setop_kind(n.req_attr("Kind")?)?,
+            output: attr_cols(n, "Output")?,
+            input_cols: parse_nested_cols(n.req_attr("InputCols")?)?,
+        },
+        "dxl:LogicalSequence" => LogicalOp::Sequence {
+            id: CteId(parse_u64(n, "CteId")? as u32),
+        },
+        "dxl:LogicalCTEProducer" => LogicalOp::CteProducer {
+            id: CteId(parse_u64(n, "CteId")? as u32),
+            cols: attr_cols(n, "Cols")?,
+        },
+        "dxl:LogicalCTEConsumer" => LogicalOp::CteConsumer {
+            id: CteId(parse_u64(n, "CteId")? as u32),
+            cols: attr_cols(n, "Cols")?,
+            producer_cols: attr_cols(n, "ProducerCols")?,
+        },
+        "dxl:LogicalConstTable" => LogicalOp::ConstTable {
+            cols: attr_cols(n, "Cols")?,
+            rows: n
+                .children
+                .iter()
+                .filter(|c| c.name == "dxl:Row")
+                .map(|r| r.children.iter().map(parse_const).collect())
+                .collect::<Result<_>>()?,
+        },
+        "dxl:LogicalMaxOneRow" => LogicalOp::MaxOneRow,
+        other => return Err(bad(format!("unknown logical node <{other}>"))),
+    };
+    if op.arity() != rel_children.len() {
+        return Err(bad(format!(
+            "{} expects {} children, found {}",
+            op.name(),
+            op.arity(),
+            rel_children.len()
+        )));
+    }
+    Ok(LogicalExpr::new(op, rel_children))
+}
+
+// ---------------------------------------------------------------------
+// Physical plans
+// ---------------------------------------------------------------------
+
+const PHYSICAL_NAMES: &[&str] = &[
+    "dxl:TableScan",
+    "dxl:IndexScan",
+    "dxl:Filter",
+    "dxl:Project",
+    "dxl:HashJoin",
+    "dxl:NLJoin",
+    "dxl:HashAgg",
+    "dxl:StreamAgg",
+    "dxl:Sort",
+    "dxl:Limit",
+    "dxl:Gather",
+    "dxl:GatherMerge",
+    "dxl:Redistribute",
+    "dxl:Broadcast",
+    "dxl:Spool",
+    "dxl:Sequence",
+    "dxl:CTEProducer",
+    "dxl:CTEScan",
+    "dxl:ConstTable",
+    "dxl:AssertOneRow",
+    "dxl:UnionAll",
+    "dxl:HashSetOp",
+];
+
+fn physical_from_xml(n: &XmlNode, md: &dyn MdProvider) -> Result<PhysicalPlan> {
+    let rel_children: Vec<PhysicalPlan> = n
+        .children
+        .iter()
+        .filter(|c| PHYSICAL_NAMES.contains(&c.name.as_str()))
+        .map(|c| physical_from_xml(c, md))
+        .collect::<Result<_>>()?;
+    let scalars: Vec<&XmlNode> = n
+        .children
+        .iter()
+        .filter(|c| {
+            !PHYSICAL_NAMES.contains(&c.name.as_str())
+                && c.name != "dxl:TableDescriptor"
+                && c.name != "dxl:Row"
+        })
+        .collect();
+
+    let op = match n.name.as_str() {
+        "dxl:TableScan" => PhysicalOp::TableScan {
+            table: resolve_table(n, md)?,
+            cols: attr_cols(n, "Cols")?,
+            parts: opt_parts(n)?,
+        },
+        "dxl:IndexScan" => PhysicalOp::IndexScan {
+            table: resolve_table(n, md)?,
+            index_name: n.req_attr("Index")?.to_string(),
+            cols: attr_cols(n, "Cols")?,
+            key_cols: attr_cols(n, "KeyCols")?,
+            parts: opt_parts(n)?,
+        },
+        "dxl:Filter" => PhysicalOp::Filter {
+            pred: scalar_from_xml(
+                scalars
+                    .first()
+                    .ok_or_else(|| bad("Filter missing predicate"))?,
+                md,
+            )?,
+        },
+        "dxl:Project" => {
+            let cols = attr_cols(n, "Cols")?;
+            let exprs = scalars
+                .iter()
+                .map(|c| scalar_from_xml(c, md))
+                .collect::<Result<Vec<_>>>()?;
+            if cols.len() != exprs.len() {
+                return Err(bad("Project Cols/exprs length mismatch"));
+            }
+            PhysicalOp::Project {
+                exprs: cols.into_iter().zip(exprs).collect(),
+            }
+        }
+        "dxl:HashJoin" => PhysicalOp::HashJoin {
+            kind: parse_join_kind(n.req_attr("JoinType")?)?,
+            left_keys: attr_cols(n, "LeftKeys")?,
+            right_keys: attr_cols(n, "RightKeys")?,
+            residual: scalars
+                .first()
+                .map(|c| scalar_from_xml(c, md))
+                .transpose()?,
+        },
+        "dxl:NLJoin" => PhysicalOp::NLJoin {
+            kind: parse_join_kind(n.req_attr("JoinType")?)?,
+            pred: scalar_from_xml(
+                scalars
+                    .first()
+                    .ok_or_else(|| bad("NLJoin missing predicate"))?,
+                md,
+            )?,
+        },
+        "dxl:HashAgg" | "dxl:StreamAgg" => {
+            let group_cols = attr_cols(n, "GroupCols")?;
+            let agg_cols = attr_cols(n, "AggCols")?;
+            let exprs = scalars
+                .iter()
+                .map(|c| scalar_from_xml(c, md))
+                .collect::<Result<Vec<_>>>()?;
+            if agg_cols.len() != exprs.len() {
+                return Err(bad("agg AggCols/exprs length mismatch"));
+            }
+            let aggs = agg_cols.into_iter().zip(exprs).collect();
+            let stage =
+                orca_expr::logical::AggStage::from_name(n.get_attr("Stage").unwrap_or("Single"))
+                    .ok_or_else(|| bad("unknown agg stage"))?;
+            if n.name == "dxl:HashAgg" {
+                PhysicalOp::HashAgg {
+                    group_cols,
+                    aggs,
+                    stage,
+                }
+            } else {
+                PhysicalOp::StreamAgg {
+                    group_cols,
+                    aggs,
+                    stage,
+                }
+            }
+        }
+        "dxl:Sort" => PhysicalOp::Sort {
+            order: parse_order(n.req_attr("Sort")?)?,
+        },
+        "dxl:Limit" => PhysicalOp::Limit {
+            order: parse_order(n.req_attr("Sort")?)?,
+            offset: parse_u64(n, "Offset")?,
+            count: n
+                .get_attr("Count")
+                .map(|c| c.parse().map_err(|_| bad("bad Count")))
+                .transpose()?,
+        },
+        "dxl:Gather" => PhysicalOp::Motion {
+            kind: MotionKind::Gather,
+        },
+        "dxl:GatherMerge" => PhysicalOp::Motion {
+            kind: MotionKind::GatherMerge(parse_order(n.req_attr("Sort")?)?),
+        },
+        "dxl:Redistribute" => PhysicalOp::Motion {
+            kind: MotionKind::Redistribute(attr_cols(n, "Cols")?),
+        },
+        "dxl:Broadcast" => PhysicalOp::Motion {
+            kind: MotionKind::Broadcast,
+        },
+        "dxl:Spool" => PhysicalOp::Spool,
+        "dxl:Sequence" => PhysicalOp::Sequence {
+            id: CteId(parse_u64(n, "CteId")? as u32),
+        },
+        "dxl:CTEProducer" => PhysicalOp::CteProducer {
+            id: CteId(parse_u64(n, "CteId")? as u32),
+            cols: attr_cols(n, "Cols")?,
+        },
+        "dxl:CTEScan" => PhysicalOp::CteScan {
+            id: CteId(parse_u64(n, "CteId")? as u32),
+            cols: attr_cols(n, "Cols")?,
+            producer_cols: attr_cols(n, "ProducerCols")?,
+        },
+        "dxl:ConstTable" => PhysicalOp::ConstTable {
+            cols: attr_cols(n, "Cols")?,
+            rows: n
+                .children
+                .iter()
+                .filter(|c| c.name == "dxl:Row")
+                .map(|r| r.children.iter().map(parse_const).collect())
+                .collect::<Result<_>>()?,
+        },
+        "dxl:AssertOneRow" => PhysicalOp::AssertOneRow,
+        "dxl:UnionAll" => PhysicalOp::UnionAll {
+            output: attr_cols(n, "Output")?,
+            input_cols: parse_nested_cols(n.req_attr("InputCols")?)?,
+        },
+        "dxl:HashSetOp" => PhysicalOp::HashSetOp {
+            kind: parse_setop_kind(n.req_attr("Kind")?)?,
+            output: attr_cols(n, "Output")?,
+            input_cols: parse_nested_cols(n.req_attr("InputCols")?)?,
+        },
+        other => return Err(bad(format!("unknown physical node <{other}>"))),
+    };
+    if op.arity() != rel_children.len() {
+        return Err(bad(format!(
+            "{} expects {} children, found {}",
+            op.name(),
+            op.arity(),
+            rel_children.len()
+        )));
+    }
+    Ok(PhysicalPlan::new(op, rel_children))
+}
+
+// ---------------------------------------------------------------------
+// Documents
+// ---------------------------------------------------------------------
+
+fn parse_dist(n: &XmlNode) -> Result<DistSpec> {
+    Ok(match n.req_attr("Type")? {
+        "Any" => DistSpec::Any,
+        "Singleton" => DistSpec::Singleton,
+        "Replicated" => DistSpec::Replicated,
+        "Random" => DistSpec::Random,
+        "Hashed" => DistSpec::Hashed(attr_cols(n, "Cols")?),
+        other => return Err(bad(format!("unknown distribution '{other}'"))),
+    })
+}
+
+fn query_from_node(q: &XmlNode, md: &dyn MdProvider) -> Result<DxlQuery> {
+    let output_cols = q
+        .req_child("dxl:OutputColumns")?
+        .children
+        .iter()
+        .map(|c| parse_u64(c, "ColId").map(|v| ColId(v as u32)))
+        .collect::<Result<_>>()?;
+    let order = parse_order(q.req_child("dxl:SortingColumnList")?.req_attr("Sort")?)?;
+    let dist = parse_dist(q.req_child("dxl:Distribution")?)?;
+    let columns = q
+        .req_child("dxl:Columns")?
+        .children
+        .iter()
+        .map(|c| {
+            let name = c.req_attr("Name")?.to_string();
+            let ty = DataType::from_name(c.req_attr("Type")?)
+                .ok_or_else(|| bad("unknown column type"))?;
+            Ok((name, ty))
+        })
+        .collect::<Result<_>>()?;
+    let tree = q
+        .children
+        .iter()
+        .find(|c| is_relational(&c.name))
+        .ok_or_else(|| bad("query missing logical tree"))?;
+    Ok(DxlQuery {
+        expr: logical_from_xml(tree, md)?,
+        output_cols,
+        order,
+        dist,
+        columns,
+    })
+}
+
+/// Parse a DXL query document.
+pub fn parse_query(text: &str, md: &dyn MdProvider) -> Result<DxlQuery> {
+    let root = xml::parse(text)?;
+    query_from_node(root.req_child("dxl:Query")?, md)
+}
+
+fn plan_from_node(p: &XmlNode, md: &dyn MdProvider) -> Result<DxlPlan> {
+    Ok(DxlPlan {
+        cost: parse_f64(p, "Cost")?,
+        plan: physical_from_xml(p.req_nth(0)?, md)?,
+    })
+}
+
+/// Parse a DXL plan document.
+pub fn parse_plan_doc(text: &str, md: &dyn MdProvider) -> Result<DxlPlan> {
+    let root = xml::parse(text)?;
+    plan_from_node(root.req_child("dxl:Plan")?, md)
+}
+
+fn metadata_from_node(m: &XmlNode) -> Result<MetadataDoc> {
+    let mut doc = MetadataDoc::default();
+    for c in &m.children {
+        match c.name.as_str() {
+            "dxl:Relation" => {
+                let mdid =
+                    MdId::parse_dxl(c.req_attr("Mdid")?).ok_or_else(|| bad("bad Relation Mdid"))?;
+                let columns = c
+                    .children
+                    .iter()
+                    .map(|col| {
+                        let mut cm = ColumnMeta::new(
+                            col.req_attr("Name")?,
+                            DataType::from_name(col.req_attr("Type")?)
+                                .ok_or_else(|| bad("unknown column type"))?,
+                        );
+                        if !parse_bool(col, "Nullable")? {
+                            cm = cm.not_null();
+                        }
+                        Ok(cm)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let dist = match c.req_attr("DistributionPolicy")? {
+                    "Hash" => {
+                        Distribution::Hashed(parse_usizes(c.req_attr("DistributionColumns")?)?)
+                    }
+                    "Random" => Distribution::Random,
+                    "Replicated" => Distribution::Replicated,
+                    "Singleton" => Distribution::Singleton,
+                    other => return Err(bad(format!("unknown distribution policy '{other}'"))),
+                };
+                let mut t = TableDesc::new(mdid, c.req_attr("Name")?, columns, dist);
+                if let Some(pc) = c.get_attr("PartColumn") {
+                    let column = pc.parse().map_err(|_| bad("bad PartColumn"))?;
+                    let bounds = c
+                        .req_attr("PartBounds")?
+                        .split(';')
+                        .map(|b| {
+                            let (lo, hi) =
+                                b.split_once(':').ok_or_else(|| bad("bad PartBounds"))?;
+                            Ok((
+                                lo.parse().map_err(|_| bad("bad bound"))?,
+                                hi.parse().map_err(|_| bad("bad bound"))?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    t = t.with_partitioning(Partitioning { column, bounds });
+                }
+                doc.tables.push(Arc::new(t));
+            }
+            "dxl:RelStats" => {
+                let mdid =
+                    MdId::parse_dxl(c.req_attr("Mdid")?).ok_or_else(|| bad("bad RelStats Mdid"))?;
+                let ncols = doc
+                    .tables
+                    .iter()
+                    .find(|t| t.mdid == mdid)
+                    .map(|t| t.columns.len())
+                    .unwrap_or(0);
+                let mut stats = TableStats::new(parse_f64(c, "Rows")?, ncols);
+                for cs in &c.children {
+                    let idx: usize = cs
+                        .req_attr("Col")?
+                        .parse()
+                        .map_err(|_| bad("bad ColStats Col"))?;
+                    let mut col = ColumnStats::new(
+                        parse_f64(cs, "Ndv")?,
+                        parse_f64(cs, "NullFrac")?,
+                        parse_u64(cs, "Width")?,
+                    );
+                    if !cs.children.is_empty() {
+                        col.histogram = Some(Histogram {
+                            buckets: cs
+                                .children
+                                .iter()
+                                .map(|b| {
+                                    Ok(Bucket {
+                                        lo: parse_f64(b, "Lo")?,
+                                        hi: parse_f64(b, "Hi")?,
+                                        rows: parse_f64(b, "Rows")?,
+                                        ndv: parse_f64(b, "Ndv")?,
+                                    })
+                                })
+                                .collect::<Result<_>>()?,
+                        });
+                    }
+                    if idx >= stats.columns.len() {
+                        stats.columns.resize(idx + 1, None);
+                    }
+                    stats.columns[idx] = Some(col);
+                }
+                doc.stats.push((mdid, Arc::new(stats)));
+            }
+            "dxl:Index" => {
+                doc.indexes.push(Arc::new(IndexDesc {
+                    mdid: MdId::parse_dxl(c.req_attr("Mdid")?)
+                        .ok_or_else(|| bad("bad Index Mdid"))?,
+                    name: c.req_attr("Name")?.to_string(),
+                    table: MdId::parse_dxl(c.req_attr("Relation")?)
+                        .ok_or_else(|| bad("bad Index Relation"))?,
+                    key_columns: parse_usizes(c.req_attr("KeyCols")?)?,
+                }));
+            }
+            other => return Err(bad(format!("unknown metadata node <{other}>"))),
+        }
+    }
+    Ok(doc)
+}
+
+/// Parse a standalone metadata document.
+pub fn parse_metadata(text: &str) -> Result<MetadataDoc> {
+    let root = xml::parse(text)?;
+    metadata_from_node(root.req_child("dxl:Metadata")?)
+}
+
+/// Build an in-memory provider out of a parsed metadata document (used by
+/// dump replay and the file provider).
+pub fn provider_from_metadata(doc: &MetadataDoc) -> MemoryProvider {
+    let p = MemoryProvider::new();
+    for t in &doc.tables {
+        p.install_table(t.clone());
+    }
+    for (mdid, s) in &doc.stats {
+        p.set_stats(*mdid, (**s).clone());
+    }
+    for ix in &doc.indexes {
+        p.add_index((**ix).clone());
+    }
+    p
+}
+
+/// Parse an AMPERe dump. The embedded metadata section resolves the
+/// embedded query's table references, so the dump is fully self-contained
+/// ("replaying a dump outside the system where it was generated", §6.1).
+pub fn parse_dump(text: &str) -> Result<DxlDump> {
+    let root = xml::parse(text)?;
+    let thread = root.req_child("dxl:Thread")?;
+    let metadata = metadata_from_node(thread.req_child("dxl:Metadata")?)?;
+    let provider = provider_from_metadata(&metadata);
+    let query = query_from_node(thread.req_child("dxl:Query")?, &provider)?;
+    let config = thread
+        .req_child("dxl:Config")?
+        .children
+        .iter()
+        .map(|p| {
+            Ok((
+                p.req_attr("Name")?.to_string(),
+                p.req_attr("Value")?.to_string(),
+            ))
+        })
+        .collect::<Result<_>>()?;
+    let stack_trace = thread
+        .find_child("dxl:Stacktrace")
+        .and_then(|s| s.get_attr("Trace"))
+        .map(|s| s.to_string());
+    let expected_plan = thread
+        .find_child("dxl:Plan")
+        .map(|p| plan_from_node(p, &provider))
+        .transpose()?;
+    Ok(DxlDump {
+        query,
+        config,
+        metadata,
+        stack_trace,
+        expected_plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser;
+    use orca_expr::scalar::ScalarExpr as S;
+
+    fn provider() -> MemoryProvider {
+        let p = MemoryProvider::new();
+        let t1 = p.register(
+            "T1",
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        );
+        let t2 = p.register(
+            "T2",
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        );
+        let _ = (t1, t2);
+        p
+    }
+
+    /// The paper's running example (Listing 1): SELECT T1.a FROM T1, T2
+    /// WHERE T1.a = T2.b ORDER BY T1.a, result gathered to the master.
+    fn running_example(p: &MemoryProvider) -> DxlQuery {
+        let t1 = TableRef(p.table(p.table_by_name("T1").unwrap()).unwrap());
+        let t2 = TableRef(p.table(p.table_by_name("T2").unwrap()).unwrap());
+        let join = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: S::col_eq_col(ColId(0), ColId(3)),
+            },
+            vec![
+                LogicalExpr::leaf(LogicalOp::Get {
+                    table: t1,
+                    cols: vec![ColId(0), ColId(1)],
+                    parts: None,
+                }),
+                LogicalExpr::leaf(LogicalOp::Get {
+                    table: t2,
+                    cols: vec![ColId(2), ColId(3)],
+                    parts: None,
+                }),
+            ],
+        );
+        DxlQuery {
+            expr: join,
+            output_cols: vec![ColId(0)],
+            order: OrderSpec::by(&[ColId(0)]),
+            dist: DistSpec::Singleton,
+            columns: vec![
+                ("a".into(), DataType::Int),
+                ("b".into(), DataType::Int),
+                ("a".into(), DataType::Int),
+                ("b".into(), DataType::Int),
+            ],
+        }
+    }
+
+    #[test]
+    fn query_roundtrip_running_example() {
+        let p = provider();
+        let q = running_example(&p);
+        let text = ser::query_to_dxl(&q);
+        assert!(text.contains("dxl:LogicalJoin"));
+        assert!(text.contains("Singleton"));
+        let back = parse_query(&text, &p).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn scalar_roundtrip_rich_expression() {
+        let p = provider();
+        let e = S::and(vec![
+            S::InList {
+                expr: Box::new(S::col(ColId(1))),
+                list: vec![S::int(1), S::int(2)],
+                negated: true,
+            },
+            S::Case {
+                branches: vec![(
+                    S::IsNull(Box::new(S::col(ColId(0)))),
+                    S::Const(Datum::Str("null!".into())),
+                )],
+                else_value: Some(Box::new(S::Const(Datum::Double(2.5)))),
+            },
+            S::Not(Box::new(S::Or(vec![
+                S::col_eq_col(ColId(0), ColId(1)),
+                S::Const(Datum::Bool(false)),
+            ]))),
+            S::Arith {
+                op: ArithOp::Mul,
+                left: Box::new(S::col(ColId(0))),
+                right: Box::new(S::Const(Datum::Date(7))),
+            },
+        ]);
+        let xml = ser::scalar_to_xml(&e).to_document();
+        let back = scalar_from_xml(&xml::parse(&xml).unwrap(), &p).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn plan_roundtrip_with_motions() {
+        let p = provider();
+        let t1 = TableRef(p.table(p.table_by_name("T1").unwrap()).unwrap());
+        let t2 = TableRef(p.table(p.table_by_name("T2").unwrap()).unwrap());
+        // Figure 6's extracted final plan.
+        let plan = PhysicalPlan::new(
+            PhysicalOp::Motion {
+                kind: MotionKind::GatherMerge(OrderSpec::by(&[ColId(0)])),
+            },
+            vec![PhysicalPlan::new(
+                PhysicalOp::Sort {
+                    order: OrderSpec::by(&[ColId(0)]),
+                },
+                vec![PhysicalPlan::new(
+                    PhysicalOp::HashJoin {
+                        kind: JoinKind::Inner,
+                        left_keys: vec![ColId(0)],
+                        right_keys: vec![ColId(3)],
+                        residual: None,
+                    },
+                    vec![
+                        PhysicalPlan::leaf(PhysicalOp::TableScan {
+                            table: t1,
+                            cols: vec![ColId(0), ColId(1)],
+                            parts: None,
+                        }),
+                        PhysicalPlan::new(
+                            PhysicalOp::Motion {
+                                kind: MotionKind::Redistribute(vec![ColId(3)]),
+                            },
+                            vec![PhysicalPlan::leaf(PhysicalOp::TableScan {
+                                table: t2,
+                                cols: vec![ColId(2), ColId(3)],
+                                parts: None,
+                            })],
+                        ),
+                    ],
+                )],
+            )],
+        );
+        let doc = DxlPlan { plan, cost: 123.5 };
+        let text = ser::plan_to_dxl(&doc);
+        let back = parse_plan_doc(&text, &p).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn metadata_roundtrip_with_stats_and_partitioning() {
+        let p = provider();
+        let t1_id = p.table_by_name("T1").unwrap();
+        let mut fact = (*p.table(t1_id).unwrap()).clone();
+        fact.mdid = MdId::new(orca_common::SysId::Gpdb, 77, 2);
+        fact.name = "fact".into();
+        let fact = Arc::new(fact.with_partitioning(Partitioning::range(1, 0, 100, 4)));
+        let stats = TableStats::new(1000.0, 2).set_column(
+            0,
+            ColumnStats::new(50.0, 0.1, 8)
+                .with_histogram(Histogram::from_values((0..50).map(f64::from).collect(), 4)),
+        );
+        let doc = MetadataDoc {
+            tables: vec![p.table(t1_id).unwrap(), fact.clone()],
+            stats: vec![(t1_id, Arc::new(stats))],
+            indexes: vec![Arc::new(IndexDesc {
+                mdid: MdId::new(orca_common::SysId::Gpdb, 900, 1),
+                name: "fact_idx".into(),
+                table: fact.mdid,
+                key_columns: vec![1, 0],
+            })],
+        };
+        let text = ser::metadata_to_dxl(&doc);
+        let back = parse_metadata(&text).unwrap();
+        assert_eq!(back, doc);
+        // And the reconstructed provider serves the content.
+        let prov = provider_from_metadata(&back);
+        assert_eq!(prov.table(fact.mdid).unwrap().num_partitions(), 4);
+        assert_eq!(prov.stats(t1_id).unwrap().rows, 1000.0);
+        assert_eq!(prov.indexes(fact.mdid).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dump_roundtrip_self_contained() {
+        let p = provider();
+        let q = running_example(&p);
+        let t1_id = p.table_by_name("T1").unwrap();
+        let t2_id = p.table_by_name("T2").unwrap();
+        let dump = DxlDump {
+            query: q,
+            config: vec![
+                ("workers".into(), "4".into()),
+                ("gp_optimizer_hashjoin".into(), "on".into()),
+            ],
+            metadata: MetadataDoc {
+                tables: vec![p.table(t1_id).unwrap(), p.table(t2_id).unwrap()],
+                stats: vec![],
+                indexes: vec![],
+            },
+            stack_trace: Some("0 gpos::CException::Raise".into()),
+            expected_plan: None,
+        };
+        let text = ser::dump_to_dxl(&dump);
+        let back = parse_dump(&text).unwrap();
+        assert_eq!(back, dump);
+    }
+}

@@ -1,0 +1,104 @@
+//! The file-based metadata provider of §5.
+//!
+//! "Orca implements a file-based MD Provider to load metadata from a DXL
+//! file, eliminating the need to access a live backend system." Backed by
+//! [`orca_catalog::MemoryProvider`] after parsing the metadata document.
+
+use crate::de::{parse_metadata, provider_from_metadata};
+use crate::ser::metadata_to_dxl;
+use crate::MetadataDoc;
+use orca_catalog::provider::MdProvider;
+use orca_catalog::{IndexDesc, MemoryProvider, TableDesc, TableStats};
+use orca_common::{MdId, OrcaError, Result, SysId};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Metadata loaded from a DXL file (or string).
+pub struct FileProvider {
+    inner: MemoryProvider,
+}
+
+impl FileProvider {
+    /// Parse a DXL metadata document from a string.
+    pub fn from_dxl(text: &str) -> Result<FileProvider> {
+        let doc = parse_metadata(text)?;
+        Ok(FileProvider {
+            inner: provider_from_metadata(&doc),
+        })
+    }
+
+    /// Load from a file on disk.
+    pub fn open(path: &Path) -> Result<FileProvider> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| OrcaError::Metadata(format!("cannot read {}: {e}", path.display())))?;
+        FileProvider::from_dxl(&text)
+    }
+
+    /// Write a metadata document to disk (the harvesting tool's output:
+    /// "an automated tool for harvesting metadata that optimizer needs into
+    /// a minimal DXL file").
+    pub fn save(doc: &MetadataDoc, path: &Path) -> Result<()> {
+        std::fs::write(path, metadata_to_dxl(doc))
+            .map_err(|e| OrcaError::Metadata(format!("cannot write {}: {e}", path.display())))
+    }
+}
+
+impl MdProvider for FileProvider {
+    fn system(&self) -> SysId {
+        SysId::File
+    }
+
+    fn table(&self, mdid: MdId) -> Result<Arc<TableDesc>> {
+        self.inner.table(mdid)
+    }
+
+    fn stats(&self, mdid: MdId) -> Result<Arc<TableStats>> {
+        self.inner.stats(mdid)
+    }
+
+    fn indexes(&self, mdid: MdId) -> Result<Arc<Vec<Arc<IndexDesc>>>> {
+        self.inner.indexes(mdid)
+    }
+
+    fn table_by_name(&self, name: &str) -> Option<MdId> {
+        self.inner.table_by_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_catalog::{ColumnMeta, Distribution};
+    use orca_common::DataType;
+
+    #[test]
+    fn file_provider_roundtrip_via_disk() {
+        let p = MemoryProvider::new();
+        let id = p.register(
+            "r",
+            vec![ColumnMeta::new("a", DataType::Int)],
+            Distribution::Hashed(vec![0]),
+        );
+        p.set_stats(id, TableStats::new(10.0, 1));
+        let doc = MetadataDoc {
+            tables: vec![p.table(id).unwrap()],
+            stats: vec![(id, p.stats(id).unwrap())],
+            indexes: vec![],
+        };
+        let dir = std::env::temp_dir().join("orca_dxl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("md.dxl");
+        FileProvider::save(&doc, &path).unwrap();
+        let fp = FileProvider::open(&path).unwrap();
+        assert_eq!(fp.system(), SysId::File);
+        assert_eq!(fp.table_by_name("r"), Some(id));
+        assert_eq!(fp.stats(id).unwrap().rows, 10.0);
+        assert!(fp.table(MdId::new(SysId::Gpdb, 999, 1)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_errors() {
+        assert!(FileProvider::open(Path::new("/nonexistent/md.dxl")).is_err());
+    }
+}

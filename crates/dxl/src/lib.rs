@@ -1,0 +1,94 @@
+//! `orca-dxl` — the Data eXchange Language (§3, Figure 2).
+//!
+//! "Orca includes a framework for exchanging information between the
+//! optimizer and the database system called Data eXchange Language (DXL).
+//! The framework uses an XML-based language to encode the necessary
+//! information for communication, such as input queries, output plans and
+//! metadata."
+//!
+//! * [`xml`] — a small hand-written XML subset (elements, attributes,
+//!   self-closing tags, comments, escaping). No external dependency.
+//! * [`ser`] / [`de`] — serializers/deserializers for the four DXL document
+//!   kinds: **query**, **plan**, **metadata**, and the **AMPERe dump**
+//!   (§6.1) that bundles all of them with configuration and an error trace.
+//! * [`file_provider`] — the file-based `MdProvider` of §5: "Orca
+//!   implements a file-based MD Provider to load metadata from a DXL file,
+//!   eliminating the need to access a live backend system."
+
+pub mod de;
+pub mod file_provider;
+pub mod ser;
+pub mod xml;
+
+pub use de::{parse_dump, parse_metadata, parse_plan_doc, parse_query};
+pub use file_provider::FileProvider;
+pub use ser::{dump_to_dxl, metadata_to_dxl, plan_to_dxl, query_to_dxl};
+pub use xml::XmlNode;
+
+use orca_common::{ColId, Datum};
+use orca_expr::props::DistSpec;
+use orca_expr::{LogicalExpr, OrderSpec, PhysicalPlan};
+
+/// A DXL query document: the logical tree plus the query-level requirements
+/// of §4.1 ("required output columns, sorting columns, data distribution").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DxlQuery {
+    pub expr: LogicalExpr,
+    pub output_cols: Vec<ColId>,
+    pub order: OrderSpec,
+    pub dist: DistSpec,
+    /// Column registry snapshot: id → (name, type) for every minted column,
+    /// so a replay can rebuild the factory.
+    pub columns: Vec<(String, orca_common::DataType)>,
+}
+
+/// A DXL plan document: the physical tree and its estimated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DxlPlan {
+    pub plan: PhysicalPlan,
+    pub cost: f64,
+}
+
+/// An AMPERe dump (§6.1): "the input query, optimizer configurations and
+/// metadata, serialized in DXL", plus the error trace when the dump was
+/// triggered by an exception.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DxlDump {
+    pub query: DxlQuery,
+    /// Optimizer configuration as key/value pairs (trace flags, stages,
+    /// segment counts) — kept schema-free so `orca` can evolve its config
+    /// without touching this crate.
+    pub config: Vec<(String, String)>,
+    /// Harvested metadata (the pinned MD-cache content).
+    pub metadata: MetadataDoc,
+    /// Exception trace, when triggered by an error.
+    pub stack_trace: Option<String>,
+    /// The expected plan, when the dump is used as a regression test case.
+    pub expected_plan: Option<DxlPlan>,
+}
+
+/// Serialized metadata: everything a file-based provider needs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetadataDoc {
+    pub tables: Vec<std::sync::Arc<orca_catalog::TableDesc>>,
+    pub stats: Vec<(orca_common::MdId, std::sync::Arc<orca_catalog::TableStats>)>,
+    pub indexes: Vec<std::sync::Arc<orca_catalog::IndexDesc>>,
+}
+
+pub(crate) fn cols_attr(cols: &[ColId]) -> String {
+    cols.iter()
+        .map(|c| c.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+pub(crate) fn datum_attrs(d: &Datum) -> (String, String) {
+    match d {
+        Datum::Null => ("null".into(), String::new()),
+        Datum::Bool(b) => ("bool".into(), b.to_string()),
+        Datum::Int(i) => ("int8".into(), i.to_string()),
+        Datum::Double(f) => ("float8".into(), format!("{f:?}")),
+        Datum::Str(s) => ("text".into(), s.clone()),
+        Datum::Date(d) => ("date".into(), d.to_string()),
+    }
+}

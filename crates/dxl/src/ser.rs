@@ -1,0 +1,557 @@
+//! DXL serialization: expression trees, plans, metadata and dumps → XML.
+//!
+//! Layout conventions (mirrored exactly by [`crate::de`]):
+//! * scalar children come *after* relational children in mixed nodes
+//!   (`LogicalSelect` = `[pred, input]` is the one paper-faithful
+//!   exception: Listing 1 puts the comparison last, so we do too — all
+//!   relational children first, predicate last);
+//! * column lists ride in comma-separated attributes;
+//! * sort specs serialize as `"<colid>a"` / `"<colid>d"` tokens.
+
+use crate::xml::XmlNode;
+use crate::{cols_attr, datum_attrs, DxlDump, DxlPlan, DxlQuery, MetadataDoc};
+use orca_catalog::{Distribution, TableStats};
+use orca_expr::logical::{LogicalExpr, LogicalOp};
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
+use orca_expr::props::{DistSpec, OrderSpec};
+use orca_expr::scalar::ScalarExpr;
+
+pub(crate) fn order_attr(o: &OrderSpec) -> String {
+    o.0.iter()
+        .map(|k| format!("{}{}", k.col.0, if k.desc { 'd' } else { 'a' }))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn nested_cols_attr(groups: &[Vec<orca_common::ColId>]) -> String {
+    groups
+        .iter()
+        .map(|g| cols_attr(g))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+// ---------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------
+
+pub fn scalar_to_xml(e: &ScalarExpr) -> XmlNode {
+    match e {
+        ScalarExpr::ColRef(c) => XmlNode::new("dxl:Ident").attr("ColId", c.0),
+        ScalarExpr::Const(d) => {
+            let (ty, val) = datum_attrs(d);
+            XmlNode::new("dxl:Const")
+                .attr("Type", ty)
+                .attr("Value", val)
+        }
+        ScalarExpr::Cmp { op, left, right } => XmlNode::new("dxl:Comparison")
+            .attr("Operator", op.symbol())
+            .child(scalar_to_xml(left))
+            .child(scalar_to_xml(right)),
+        ScalarExpr::And(v) => XmlNode::new("dxl:BoolAnd").children(v.iter().map(scalar_to_xml)),
+        ScalarExpr::Or(v) => XmlNode::new("dxl:BoolOr").children(v.iter().map(scalar_to_xml)),
+        ScalarExpr::Not(x) => XmlNode::new("dxl:Not").child(scalar_to_xml(x)),
+        ScalarExpr::IsNull(x) => XmlNode::new("dxl:IsNull").child(scalar_to_xml(x)),
+        ScalarExpr::Arith { op, left, right } => XmlNode::new("dxl:Arith")
+            .attr("Operator", op.symbol())
+            .child(scalar_to_xml(left))
+            .child(scalar_to_xml(right)),
+        ScalarExpr::Case {
+            branches,
+            else_value,
+        } => {
+            let mut node = XmlNode::new("dxl:Case");
+            for (cond, val) in branches {
+                node = node.child(
+                    XmlNode::new("dxl:When")
+                        .child(scalar_to_xml(cond))
+                        .child(scalar_to_xml(val)),
+                );
+            }
+            if let Some(ev) = else_value {
+                node = node.child(XmlNode::new("dxl:Else").child(scalar_to_xml(ev)));
+            }
+            node
+        }
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => XmlNode::new("dxl:InList")
+            .attr("Negated", negated)
+            .child(scalar_to_xml(expr))
+            .children(list.iter().map(scalar_to_xml)),
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
+            let mut node = XmlNode::new("dxl:AggFunc")
+                .attr("Name", func.name())
+                .attr("Distinct", distinct);
+            if let Some(a) = arg {
+                node = node.child(scalar_to_xml(a));
+            }
+            node
+        }
+        ScalarExpr::Exists { negated, subquery } => XmlNode::new("dxl:SubqExists")
+            .attr("Negated", negated)
+            .child(logical_to_xml(subquery)),
+        ScalarExpr::InSubquery {
+            expr,
+            subquery,
+            subquery_col,
+            negated,
+        } => XmlNode::new("dxl:SubqIn")
+            .attr("Negated", negated)
+            .attr("SubqueryCol", subquery_col.0)
+            .child(scalar_to_xml(expr))
+            .child(logical_to_xml(subquery)),
+        ScalarExpr::ScalarSubquery {
+            subquery,
+            subquery_col,
+        } => XmlNode::new("dxl:SubqScalar")
+            .attr("SubqueryCol", subquery_col.0)
+            .child(logical_to_xml(subquery)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Logical trees
+// ---------------------------------------------------------------------
+
+fn table_descriptor(table: &orca_expr::logical::TableRef) -> XmlNode {
+    XmlNode::new("dxl:TableDescriptor")
+        .attr("Mdid", table.mdid.to_dxl())
+        .attr("Name", &table.name)
+}
+
+fn parts_attr(node: XmlNode, parts: &Option<Vec<usize>>) -> XmlNode {
+    match parts {
+        Some(p) => node.attr(
+            "Parts",
+            p.iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+        None => node,
+    }
+}
+
+pub fn logical_to_xml(e: &LogicalExpr) -> XmlNode {
+    let kids = |n: XmlNode| n.children(e.children.iter().map(logical_to_xml));
+    match &e.op {
+        LogicalOp::Get { table, cols, parts } => parts_attr(
+            XmlNode::new("dxl:LogicalGet").attr("Cols", cols_attr(cols)),
+            parts,
+        )
+        .child(table_descriptor(table)),
+        LogicalOp::Select { pred } => {
+            kids(XmlNode::new("dxl:LogicalSelect")).child(scalar_to_xml(pred))
+        }
+        LogicalOp::Project { exprs } => kids(XmlNode::new("dxl:LogicalProject").attr(
+            "Cols",
+            cols_attr(&exprs.iter().map(|(c, _)| *c).collect::<Vec<_>>()),
+        ))
+        .children(exprs.iter().map(|(_, x)| scalar_to_xml(x))),
+        LogicalOp::Join { kind, pred } => {
+            kids(XmlNode::new("dxl:LogicalJoin").attr("JoinType", kind.name()))
+                .child(scalar_to_xml(pred))
+        }
+        LogicalOp::GbAgg {
+            group_cols,
+            aggs,
+            stage,
+        } => kids(
+            XmlNode::new("dxl:LogicalGbAgg")
+                .attr("Stage", stage.name())
+                .attr("GroupCols", cols_attr(group_cols))
+                .attr(
+                    "AggCols",
+                    cols_attr(&aggs.iter().map(|(c, _)| *c).collect::<Vec<_>>()),
+                ),
+        )
+        .children(aggs.iter().map(|(_, x)| scalar_to_xml(x))),
+        LogicalOp::Limit {
+            order,
+            offset,
+            count,
+        } => {
+            let mut n = XmlNode::new("dxl:LogicalLimit")
+                .attr("Sort", order_attr(order))
+                .attr("Offset", offset);
+            if let Some(c) = count {
+                n = n.attr("Count", c);
+            }
+            kids(n)
+        }
+        LogicalOp::SetOp {
+            kind,
+            output,
+            input_cols,
+        } => kids(
+            XmlNode::new("dxl:LogicalSetOp")
+                .attr("Kind", kind.name())
+                .attr("Output", cols_attr(output))
+                .attr("InputCols", nested_cols_attr(input_cols)),
+        ),
+        LogicalOp::Sequence { id } => kids(XmlNode::new("dxl:LogicalSequence").attr("CteId", id.0)),
+        LogicalOp::CteProducer { id, cols } => kids(
+            XmlNode::new("dxl:LogicalCTEProducer")
+                .attr("CteId", id.0)
+                .attr("Cols", cols_attr(cols)),
+        ),
+        LogicalOp::CteConsumer {
+            id,
+            cols,
+            producer_cols,
+        } => XmlNode::new("dxl:LogicalCTEConsumer")
+            .attr("CteId", id.0)
+            .attr("Cols", cols_attr(cols))
+            .attr("ProducerCols", cols_attr(producer_cols)),
+        LogicalOp::ConstTable { cols, rows } => XmlNode::new("dxl:LogicalConstTable")
+            .attr("Cols", cols_attr(cols))
+            .children(rows.iter().map(|row| {
+                XmlNode::new("dxl:Row").children(row.iter().map(|d| {
+                    let (ty, val) = datum_attrs(d);
+                    XmlNode::new("dxl:Const")
+                        .attr("Type", ty)
+                        .attr("Value", val)
+                }))
+            })),
+        LogicalOp::MaxOneRow => kids(XmlNode::new("dxl:LogicalMaxOneRow")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Physical plans
+// ---------------------------------------------------------------------
+
+pub fn physical_to_xml(p: &PhysicalPlan) -> XmlNode {
+    let kids = |n: XmlNode| n.children(p.children.iter().map(physical_to_xml));
+    match &p.op {
+        PhysicalOp::TableScan { table, cols, parts } => parts_attr(
+            XmlNode::new("dxl:TableScan").attr("Cols", cols_attr(cols)),
+            parts,
+        )
+        .child(table_descriptor(table)),
+        PhysicalOp::IndexScan {
+            table,
+            index_name,
+            cols,
+            key_cols,
+            parts,
+        } => parts_attr(
+            XmlNode::new("dxl:IndexScan")
+                .attr("Index", index_name)
+                .attr("Cols", cols_attr(cols))
+                .attr("KeyCols", cols_attr(key_cols)),
+            parts,
+        )
+        .child(table_descriptor(table)),
+        PhysicalOp::Filter { pred } => kids(XmlNode::new("dxl:Filter")).child(scalar_to_xml(pred)),
+        PhysicalOp::Project { exprs } => kids(XmlNode::new("dxl:Project").attr(
+            "Cols",
+            cols_attr(&exprs.iter().map(|(c, _)| *c).collect::<Vec<_>>()),
+        ))
+        .children(exprs.iter().map(|(_, x)| scalar_to_xml(x))),
+        PhysicalOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let mut n = XmlNode::new("dxl:HashJoin")
+                .attr("JoinType", kind.name())
+                .attr("LeftKeys", cols_attr(left_keys))
+                .attr("RightKeys", cols_attr(right_keys));
+            n = n.children(p.children.iter().map(physical_to_xml));
+            if let Some(r) = residual {
+                n = n.attr("HasResidual", true).child(scalar_to_xml(r));
+            }
+            n
+        }
+        PhysicalOp::NLJoin { kind, pred } => {
+            kids(XmlNode::new("dxl:NLJoin").attr("JoinType", kind.name()))
+                .child(scalar_to_xml(pred))
+        }
+        PhysicalOp::HashAgg {
+            group_cols,
+            aggs,
+            stage,
+        } => kids(
+            XmlNode::new("dxl:HashAgg")
+                .attr("Stage", stage.name())
+                .attr("GroupCols", cols_attr(group_cols))
+                .attr(
+                    "AggCols",
+                    cols_attr(&aggs.iter().map(|(c, _)| *c).collect::<Vec<_>>()),
+                ),
+        )
+        .children(aggs.iter().map(|(_, x)| scalar_to_xml(x))),
+        PhysicalOp::StreamAgg {
+            group_cols,
+            aggs,
+            stage,
+        } => kids(
+            XmlNode::new("dxl:StreamAgg")
+                .attr("Stage", stage.name())
+                .attr("GroupCols", cols_attr(group_cols))
+                .attr(
+                    "AggCols",
+                    cols_attr(&aggs.iter().map(|(c, _)| *c).collect::<Vec<_>>()),
+                ),
+        )
+        .children(aggs.iter().map(|(_, x)| scalar_to_xml(x))),
+        PhysicalOp::Sort { order } => {
+            kids(XmlNode::new("dxl:Sort").attr("Sort", order_attr(order)))
+        }
+        PhysicalOp::Limit {
+            order,
+            offset,
+            count,
+        } => {
+            let mut n = XmlNode::new("dxl:Limit")
+                .attr("Sort", order_attr(order))
+                .attr("Offset", offset);
+            if let Some(c) = count {
+                n = n.attr("Count", c);
+            }
+            kids(n)
+        }
+        PhysicalOp::Motion { kind } => kids(match kind {
+            MotionKind::Gather => XmlNode::new("dxl:Gather"),
+            MotionKind::GatherMerge(o) => {
+                XmlNode::new("dxl:GatherMerge").attr("Sort", order_attr(o))
+            }
+            MotionKind::Redistribute(cols) => {
+                XmlNode::new("dxl:Redistribute").attr("Cols", cols_attr(cols))
+            }
+            MotionKind::Broadcast => XmlNode::new("dxl:Broadcast"),
+        }),
+        PhysicalOp::Spool => kids(XmlNode::new("dxl:Spool")),
+        PhysicalOp::Sequence { id } => kids(XmlNode::new("dxl:Sequence").attr("CteId", id.0)),
+        PhysicalOp::CteProducer { id, cols } => kids(
+            XmlNode::new("dxl:CTEProducer")
+                .attr("CteId", id.0)
+                .attr("Cols", cols_attr(cols)),
+        ),
+        PhysicalOp::CteScan {
+            id,
+            cols,
+            producer_cols,
+        } => XmlNode::new("dxl:CTEScan")
+            .attr("CteId", id.0)
+            .attr("Cols", cols_attr(cols))
+            .attr("ProducerCols", cols_attr(producer_cols)),
+        PhysicalOp::ConstTable { cols, rows } => XmlNode::new("dxl:ConstTable")
+            .attr("Cols", cols_attr(cols))
+            .children(rows.iter().map(|row| {
+                XmlNode::new("dxl:Row").children(row.iter().map(|d| {
+                    let (ty, val) = datum_attrs(d);
+                    XmlNode::new("dxl:Const")
+                        .attr("Type", ty)
+                        .attr("Value", val)
+                }))
+            })),
+        PhysicalOp::AssertOneRow => kids(XmlNode::new("dxl:AssertOneRow")),
+        PhysicalOp::UnionAll { output, input_cols } => kids(
+            XmlNode::new("dxl:UnionAll")
+                .attr("Output", cols_attr(output))
+                .attr("InputCols", nested_cols_attr(input_cols)),
+        ),
+        PhysicalOp::HashSetOp {
+            kind,
+            output,
+            input_cols,
+        } => kids(
+            XmlNode::new("dxl:HashSetOp")
+                .attr("Kind", kind.name())
+                .attr("Output", cols_attr(output))
+                .attr("InputCols", nested_cols_attr(input_cols)),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Documents
+// ---------------------------------------------------------------------
+
+fn dist_node(dist: &DistSpec) -> XmlNode {
+    let n = XmlNode::new("dxl:Distribution");
+    match dist {
+        DistSpec::Any => n.attr("Type", "Any"),
+        DistSpec::Singleton => n.attr("Type", "Singleton"),
+        DistSpec::Replicated => n.attr("Type", "Replicated"),
+        DistSpec::Random => n.attr("Type", "Random"),
+        DistSpec::Hashed(cols) => n.attr("Type", "Hashed").attr("Cols", cols_attr(cols)),
+    }
+}
+
+fn query_node(q: &DxlQuery) -> XmlNode {
+    XmlNode::new("dxl:Query")
+        .child(
+            XmlNode::new("dxl:OutputColumns").children(
+                q.output_cols
+                    .iter()
+                    .map(|c| XmlNode::new("dxl:Ident").attr("ColId", c.0)),
+            ),
+        )
+        .child(XmlNode::new("dxl:SortingColumnList").attr("Sort", order_attr(&q.order)))
+        .child(dist_node(&q.dist))
+        .child(
+            XmlNode::new("dxl:Columns").children(q.columns.iter().enumerate().map(
+                |(i, (name, ty))| {
+                    XmlNode::new("dxl:RegCol")
+                        .attr("Id", i)
+                        .attr("Name", name)
+                        .attr("Type", ty.name())
+                },
+            )),
+        )
+        .child(logical_to_xml(&q.expr))
+}
+
+/// Serialize a query document (Listing 1's shape).
+pub fn query_to_dxl(q: &DxlQuery) -> String {
+    XmlNode::new("dxl:DXLMessage")
+        .attr("xmlns:dxl", "http://greenplum.com/dxl/v1")
+        .child(query_node(q))
+        .to_document()
+}
+
+fn plan_node(p: &DxlPlan) -> XmlNode {
+    XmlNode::new("dxl:Plan")
+        .attr("Cost", format!("{:?}", p.cost))
+        .child(physical_to_xml(&p.plan))
+}
+
+/// Serialize a plan document.
+pub fn plan_to_dxl(p: &DxlPlan) -> String {
+    XmlNode::new("dxl:DXLMessage")
+        .attr("xmlns:dxl", "http://greenplum.com/dxl/v1")
+        .child(plan_node(p))
+        .to_document()
+}
+
+pub(crate) fn metadata_node(md: &MetadataDoc) -> XmlNode {
+    let mut n = XmlNode::new("dxl:Metadata").attr("SystemIds", "0.GPDB");
+    for t in &md.tables {
+        let mut rel = XmlNode::new("dxl:Relation")
+            .attr("Mdid", t.mdid.to_dxl())
+            .attr("Name", &t.name);
+        rel = match &t.distribution {
+            Distribution::Hashed(cols) => rel.attr("DistributionPolicy", "Hash").attr(
+                "DistributionColumns",
+                cols.iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            Distribution::Random => rel.attr("DistributionPolicy", "Random"),
+            Distribution::Replicated => rel.attr("DistributionPolicy", "Replicated"),
+            Distribution::Singleton => rel.attr("DistributionPolicy", "Singleton"),
+        };
+        if let Some(p) = &t.partitioning {
+            rel = rel.attr("PartColumn", p.column).attr(
+                "PartBounds",
+                p.bounds
+                    .iter()
+                    .map(|(lo, hi)| format!("{lo}:{hi}"))
+                    .collect::<Vec<_>>()
+                    .join(";"),
+            );
+        }
+        for (attno, c) in t.columns.iter().enumerate() {
+            rel = rel.child(
+                XmlNode::new("dxl:Column")
+                    .attr("Name", &c.name)
+                    .attr("Attno", attno)
+                    .attr("Type", c.dtype.name())
+                    .attr("Nullable", c.nullable),
+            );
+        }
+        n = n.child(rel);
+    }
+    for (mdid, stats) in &md.stats {
+        n = n.child(stats_node(*mdid, stats));
+    }
+    for ix in &md.indexes {
+        n = n.child(
+            XmlNode::new("dxl:Index")
+                .attr("Mdid", ix.mdid.to_dxl())
+                .attr("Name", &ix.name)
+                .attr("Relation", ix.table.to_dxl())
+                .attr(
+                    "KeyCols",
+                    ix.key_columns
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+        );
+    }
+    n
+}
+
+fn stats_node(mdid: orca_common::MdId, stats: &TableStats) -> XmlNode {
+    let mut n = XmlNode::new("dxl:RelStats")
+        .attr("Mdid", mdid.to_dxl())
+        .attr("Rows", format!("{:?}", stats.rows));
+    for (i, cs) in stats.columns.iter().enumerate() {
+        let Some(cs) = cs else { continue };
+        let mut cn = XmlNode::new("dxl:ColStats")
+            .attr("Col", i)
+            .attr("Ndv", format!("{:?}", cs.ndv))
+            .attr("NullFrac", format!("{:?}", cs.null_frac))
+            .attr("Width", cs.width);
+        if let Some(h) = &cs.histogram {
+            for b in &h.buckets {
+                cn = cn.child(
+                    XmlNode::new("dxl:Bucket")
+                        .attr("Lo", format!("{:?}", b.lo))
+                        .attr("Hi", format!("{:?}", b.hi))
+                        .attr("Rows", format!("{:?}", b.rows))
+                        .attr("Ndv", format!("{:?}", b.ndv)),
+                );
+            }
+        }
+        n = n.child(cn);
+    }
+    n
+}
+
+/// Serialize a standalone metadata document (the file-based provider's
+/// input).
+pub fn metadata_to_dxl(md: &MetadataDoc) -> String {
+    XmlNode::new("dxl:DXLMessage")
+        .attr("xmlns:dxl", "http://greenplum.com/dxl/v1")
+        .child(metadata_node(md))
+        .to_document()
+}
+
+/// Serialize an AMPERe dump (Listing 2's shape).
+pub fn dump_to_dxl(d: &DxlDump) -> String {
+    let mut thread = XmlNode::new("dxl:Thread").attr("Id", 0);
+    if let Some(st) = &d.stack_trace {
+        thread = thread.child(XmlNode::new("dxl:Stacktrace").attr("Trace", st));
+    }
+    thread = thread.child(
+        XmlNode::new("dxl:Config").children(
+            d.config
+                .iter()
+                .map(|(k, v)| XmlNode::new("dxl:Param").attr("Name", k).attr("Value", v)),
+        ),
+    );
+    thread = thread.child(metadata_node(&d.metadata));
+    thread = thread.child(query_node(&d.query));
+    if let Some(p) = &d.expected_plan {
+        thread = thread.child(plan_node(p));
+    }
+    XmlNode::new("dxl:DXLMessage")
+        .attr("xmlns:dxl", "http://greenplum.com/dxl/v1")
+        .child(thread)
+        .to_document()
+}

@@ -1,0 +1,352 @@
+//! A minimal XML subset: exactly what DXL documents need.
+//!
+//! Supported: elements, attributes (double-quoted), self-closing tags,
+//! comments, an optional leading `<?xml ...?>` declaration, and the five
+//! standard entities in attribute values. Not supported (not needed by
+//! DXL): text nodes, CDATA, namespaces beyond literal prefixes in names,
+//! DOCTYPE.
+
+use orca_common::{OrcaError, Result};
+
+/// One XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlNode {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlNode {
+    pub fn new(name: &str) -> XmlNode {
+        XmlNode {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    pub fn attr(mut self, key: &str, value: impl ToString) -> XmlNode {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn child(mut self, c: XmlNode) -> XmlNode {
+        self.children.push(c);
+        self
+    }
+
+    pub fn children(mut self, cs: impl IntoIterator<Item = XmlNode>) -> XmlNode {
+        self.children.extend(cs);
+        self
+    }
+
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required attribute or a descriptive error.
+    pub fn req_attr(&self, key: &str) -> Result<&str> {
+        self.get_attr(key)
+            .ok_or_else(|| OrcaError::Dxl(format!("<{}> missing attribute '{key}'", self.name)))
+    }
+
+    /// The single child with the given name.
+    pub fn find_child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    pub fn req_child(&self, name: &str) -> Result<&XmlNode> {
+        self.find_child(name)
+            .ok_or_else(|| OrcaError::Dxl(format!("<{}> missing child <{name}>", self.name)))
+    }
+
+    /// The n-th child or an error.
+    pub fn req_nth(&self, n: usize) -> Result<&XmlNode> {
+        self.children
+            .get(n)
+            .ok_or_else(|| OrcaError::Dxl(format!("<{}> missing child #{n}", self.name)))
+    }
+
+    /// Serialize with 2-space indentation and a declaration header.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push_str(">\n");
+        for c in &self.children {
+            c.write(out, depth + 1);
+        }
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| OrcaError::Dxl("unterminated entity".into()))?;
+        match &rest[..=semi] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            e => return Err(OrcaError::Dxl(format!("unknown entity {e}"))),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parse a document into its root element.
+pub fn parse(input: &str) -> Result<XmlNode> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_ws_and_comments()?;
+    if p.pos != p.bytes.len() {
+        return Err(OrcaError::Dxl("trailing content after root element".into()));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn err(&self, msg: &str) -> OrcaError {
+        OrcaError::Dxl(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.bytes[self.pos..].windows(3).position(|w| w == b"-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
+                Some(i) => self.pos += i + 2,
+                None => return Err(self.err("unterminated declaration")),
+            }
+        }
+        self.skip_ws_and_comments()
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b':' | b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf8 in name"))?
+            .to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut node = XmlNode::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    self.expect(b'"')?;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'"') {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf8 in attribute"))?;
+                    self.expect(b'"')?;
+                    node.attrs.push((key, unescape(raw)?));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Children until the closing tag.
+        loop {
+            self.skip_ws_and_comments()?;
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(&format!("mismatched </{close}>, expected </{name}>")));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                return Ok(node);
+            }
+            if self.peek() == Some(b'<') {
+                node.children.push(self.parse_element()?);
+            } else if self.peek().is_none() {
+                return Err(self.err(&format!("unterminated element <{name}>")));
+            } else {
+                return Err(self.err("text content not supported"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_document() {
+        let doc = XmlNode::new("dxl:DXLMessage")
+            .attr("xmlns:dxl", "http://greenplum.com/dxl/v1")
+            .child(
+                XmlNode::new("dxl:Query").child(
+                    XmlNode::new("dxl:LogicalGet")
+                        .attr("Name", "T1")
+                        .attr("Mdid", "GPDB.1.1"),
+                ),
+            );
+        let text = doc.to_document();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let doc = XmlNode::new("a").attr("v", "x < 1 & \"y\" > 'z'");
+        let parsed = parse(&doc.to_document()).unwrap();
+        assert_eq!(parsed.get_attr("v"), Some("x < 1 & \"y\" > 'z'"));
+    }
+
+    #[test]
+    fn comments_and_declaration_skipped() {
+        let text = "<?xml version=\"1.0\"?>\n<!-- hello -->\n<root><!-- inner --><leaf/></root>";
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.name, "root");
+        assert_eq!(parsed.children.len(), 1);
+        assert_eq!(parsed.children[0].name, "leaf");
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("<a><b></a>").is_err());
+        assert!(parse("<a>text</a>").is_err());
+        assert!(parse("<a").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        let e = parse("<a foo=bar/>").unwrap_err();
+        assert_eq!(e.kind(), "dxl");
+    }
+
+    #[test]
+    fn helpers() {
+        let n = XmlNode::new("x")
+            .attr("k", 5)
+            .child(XmlNode::new("c1"))
+            .child(XmlNode::new("c2"));
+        assert_eq!(n.req_attr("k").unwrap(), "5");
+        assert!(n.req_attr("missing").is_err());
+        assert!(n.req_child("c2").is_ok());
+        assert!(n.req_child("zzz").is_err());
+        assert_eq!(n.req_nth(1).unwrap().name, "c2");
+        assert!(n.req_nth(2).is_err());
+    }
+}

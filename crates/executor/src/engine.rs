@@ -1,0 +1,74 @@
+//! Public execution entry point.
+
+use crate::exec::{exec, ExecCtx, StreamSet};
+use crate::storage::{Database, Row};
+use orca_common::{ColId, OrcaError, Result};
+use orca_expr::physical::PhysicalPlan;
+
+pub use crate::exec::ExecStats;
+
+/// Result of executing one plan.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Final rows, projected to the requested output columns, in stream
+    /// order (sorted iff the plan enforced an order).
+    pub rows: Vec<Row>,
+    /// Deterministic simulated cluster time (seconds) — max over segments
+    /// of per-segment work plus interconnect transfers.
+    pub sim_seconds: f64,
+    pub stats: ExecStats,
+}
+
+/// Executes physical plans against a loaded [`Database`].
+pub struct ExecEngine<'a> {
+    pub db: &'a Database,
+}
+
+impl<'a> ExecEngine<'a> {
+    pub fn new(db: &'a Database) -> ExecEngine<'a> {
+        ExecEngine { db }
+    }
+
+    /// Run a plan and project its output to `output_cols` (in order).
+    pub fn run(&self, plan: &PhysicalPlan, output_cols: &[ColId]) -> Result<ExecResult> {
+        let mut ctx = ExecCtx::new(self.db);
+        let stream = exec(plan, &mut ctx)?;
+        let rows = project_output(&stream, output_cols)?;
+        Ok(ExecResult {
+            rows,
+            sim_seconds: stream.elapsed(),
+            stats: ctx.stats,
+        })
+    }
+}
+
+fn project_output(stream: &StreamSet, output_cols: &[ColId]) -> Result<Vec<Row>> {
+    let positions: Vec<usize> = output_cols
+        .iter()
+        .map(|c| {
+            stream.layout.iter().position(|x| x == c).ok_or_else(|| {
+                OrcaError::Execution(format!("output column {c} missing from plan output"))
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(stream
+        .gathered()
+        .iter()
+        .map(|row| positions.iter().map(|&p| row[p].clone()).collect())
+        .collect())
+}
+
+/// Canonicalize rows for order-insensitive comparison in tests: sort by a
+/// total order over all columns.
+pub fn sort_rows(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}

@@ -1,0 +1,497 @@
+//! Scalar evaluation and aggregate accumulators.
+//!
+//! Expressions are evaluated against a row plus its *layout* (the `ColId`
+//! of each position). An optional *environment* supplies bindings for
+//! columns not present in the layout — the reference interpreter uses it
+//! to evaluate correlated subqueries per outer row.
+
+use crate::storage::Row;
+use orca_common::hash::FnvHashMap;
+use orca_common::{ColId, Datum, OrcaError, Result};
+use orca_expr::scalar::{AggFunc, ArithOp, ScalarExpr};
+
+/// Bindings for out-of-layout columns (correlation environment).
+pub type Env = FnvHashMap<ColId, Datum>;
+
+/// Resolve a column either from the row layout or the environment.
+pub fn resolve_col(col: ColId, layout: &[ColId], row: &Row, env: &Env) -> Result<Datum> {
+    if let Some(pos) = layout.iter().position(|c| *c == col) {
+        return Ok(row[pos].clone());
+    }
+    env.get(&col)
+        .cloned()
+        .ok_or_else(|| OrcaError::Execution(format!("unbound column {col}")))
+}
+
+/// Evaluate a scalar expression. Subquery markers and aggregates are not
+/// valid here (aggregates are handled by [`AggAccumulator`]; the reference
+/// interpreter intercepts subqueries before calling this).
+pub fn eval(e: &ScalarExpr, layout: &[ColId], row: &Row, env: &Env) -> Result<Datum> {
+    Ok(match e {
+        ScalarExpr::ColRef(c) => resolve_col(*c, layout, row, env)?,
+        ScalarExpr::Const(d) => d.clone(),
+        ScalarExpr::Cmp { op, left, right } => {
+            let l = eval(left, layout, row, env)?;
+            let r = eval(right, layout, row, env)?;
+            match l.sql_cmp(&r) {
+                Some(ord) => Datum::Bool(op.evaluate(ord)),
+                None => Datum::Null,
+            }
+        }
+        ScalarExpr::And(parts) => {
+            // SQL three-valued AND.
+            let mut saw_null = false;
+            for p in parts {
+                match eval(p, layout, row, env)? {
+                    Datum::Bool(false) => return Ok(Datum::Bool(false)),
+                    Datum::Null => saw_null = true,
+                    Datum::Bool(true) => {}
+                    other => {
+                        return Err(OrcaError::Execution(format!("non-boolean in AND: {other}")))
+                    }
+                }
+            }
+            if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(true)
+            }
+        }
+        ScalarExpr::Or(parts) => {
+            let mut saw_null = false;
+            for p in parts {
+                match eval(p, layout, row, env)? {
+                    Datum::Bool(true) => return Ok(Datum::Bool(true)),
+                    Datum::Null => saw_null = true,
+                    Datum::Bool(false) => {}
+                    other => {
+                        return Err(OrcaError::Execution(format!("non-boolean in OR: {other}")))
+                    }
+                }
+            }
+            if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(false)
+            }
+        }
+        ScalarExpr::Not(x) => match eval(x, layout, row, env)? {
+            Datum::Bool(b) => Datum::Bool(!b),
+            Datum::Null => Datum::Null,
+            other => return Err(OrcaError::Execution(format!("non-boolean in NOT: {other}"))),
+        },
+        ScalarExpr::IsNull(x) => Datum::Bool(eval(x, layout, row, env)?.is_null()),
+        ScalarExpr::Arith { op, left, right } => {
+            let l = eval(left, layout, row, env)?;
+            let r = eval(right, layout, row, env)?;
+            eval_arith(*op, &l, &r)?
+        }
+        ScalarExpr::Case {
+            branches,
+            else_value,
+        } => {
+            for (cond, value) in branches {
+                if eval(cond, layout, row, env)? == Datum::Bool(true) {
+                    return eval(value, layout, row, env);
+                }
+            }
+            match else_value {
+                Some(ev) => eval(ev, layout, row, env)?,
+                None => Datum::Null,
+            }
+        }
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, layout, row, env)?;
+            if v.is_null() {
+                return Ok(Datum::Null);
+            }
+            let mut found = false;
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, layout, row, env)?;
+                if iv.is_null() {
+                    saw_null = true;
+                } else if v.sql_cmp(&iv) == Some(std::cmp::Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            match (found, saw_null, negated) {
+                (true, _, false) => Datum::Bool(true),
+                (true, _, true) => Datum::Bool(false),
+                (false, true, _) => Datum::Null,
+                (false, false, n) => Datum::Bool(*n),
+            }
+        }
+        ScalarExpr::Agg { .. } => {
+            return Err(OrcaError::Execution(
+                "aggregate evaluated outside aggregation".into(),
+            ))
+        }
+        ScalarExpr::Exists { .. }
+        | ScalarExpr::InSubquery { .. }
+        | ScalarExpr::ScalarSubquery { .. } => {
+            return Err(OrcaError::Execution(
+                "subquery marker reached the executor".into(),
+            ))
+        }
+    })
+}
+
+fn eval_arith(op: ArithOp, l: &Datum, r: &Datum) -> Result<Datum> {
+    if l.is_null() || r.is_null() {
+        return Ok(Datum::Null);
+    }
+    // Integer arithmetic when both sides are integers (except division by
+    // zero → NULL, matching a forgiving engine).
+    if let (Datum::Int(a), Datum::Int(b)) = (l, r) {
+        return Ok(match op {
+            ArithOp::Add => Datum::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Datum::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Datum::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Double(*a as f64 / *b as f64)
+                }
+            }
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(OrcaError::Execution(format!(
+                "non-numeric arithmetic: {l} {} {r}",
+                op.symbol()
+            )))
+        }
+    };
+    Ok(match op {
+        ArithOp::Add => Datum::Double(a + b),
+        ArithOp::Sub => Datum::Double(a - b),
+        ArithOp::Mul => Datum::Double(a * b),
+        ArithOp::Div => {
+            if b == 0.0 {
+                Datum::Null
+            } else {
+                Datum::Double(a / b)
+            }
+        }
+    })
+}
+
+/// Does the predicate accept the row (NULL = reject, as in SQL WHERE)?
+pub fn accepts(pred: &ScalarExpr, layout: &[ColId], row: &Row, env: &Env) -> Result<bool> {
+    Ok(eval(pred, layout, row, env)? == Datum::Bool(true))
+}
+
+/// Streaming aggregate accumulator for one aggregate call.
+#[derive(Debug, Clone)]
+pub struct AggAccumulator {
+    func: AggFunc,
+    arg: Option<ScalarExpr>,
+    distinct: bool,
+    count: i64,
+    sum: f64,
+    sum_is_int: bool,
+    min: Option<Datum>,
+    max: Option<Datum>,
+    seen: Vec<Datum>,
+}
+
+impl AggAccumulator {
+    pub fn from_expr(e: &ScalarExpr) -> Result<AggAccumulator> {
+        let ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } = e
+        else {
+            return Err(OrcaError::Execution(format!(
+                "aggregation column bound to non-aggregate {e}"
+            )));
+        };
+        Ok(AggAccumulator {
+            func: *func,
+            arg: arg.as_ref().map(|a| (**a).clone()),
+            distinct: *distinct,
+            count: 0,
+            sum: 0.0,
+            sum_is_int: true,
+            min: None,
+            max: None,
+            seen: Vec::new(),
+        })
+    }
+
+    pub fn update(&mut self, layout: &[ColId], row: &Row, env: &Env) -> Result<()> {
+        let value = match &self.arg {
+            Some(a) => eval(a, layout, row, env)?,
+            None => Datum::Int(1), // count(*)
+        };
+        if value.is_null() {
+            return Ok(());
+        }
+        if self.distinct {
+            if self.seen.contains(&value) {
+                return Ok(());
+            }
+            self.seen.push(value.clone());
+        }
+        self.count += 1;
+        if let Some(v) = value.as_f64() {
+            self.sum += v;
+            if !matches!(value, Datum::Int(_) | Datum::Date(_)) {
+                self.sum_is_int = false;
+            }
+        }
+        let better_min = self
+            .min
+            .as_ref()
+            .map(|m| value.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+            .unwrap_or(true);
+        if better_min {
+            self.min = Some(value.clone());
+        }
+        let better_max = self
+            .max
+            .as_ref()
+            .map(|m| value.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+            .unwrap_or(true);
+        if better_max {
+            self.max = Some(value);
+        }
+        Ok(())
+    }
+
+    /// Final value (SQL semantics: empty input → NULL except count → 0).
+    pub fn finish(&self) -> Datum {
+        match self.func {
+            AggFunc::Count => Datum::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Datum::Null
+                } else if self.sum_is_int {
+                    Datum::Int(self.sum as i64)
+                } else {
+                    Datum::Double(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Double(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Datum::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Datum::Null),
+        }
+    }
+}
+
+/// Compare two rows under an order spec over a layout.
+pub fn compare_rows(
+    a: &Row,
+    b: &Row,
+    order: &orca_expr::OrderSpec,
+    layout: &[ColId],
+) -> std::cmp::Ordering {
+    for key in &order.0 {
+        if let Some(pos) = layout.iter().position(|c| *c == key.col) {
+            let ord = a[pos].total_cmp(&b[pos]);
+            let ord = if key.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_expr::scalar::CmpOp;
+
+    fn env() -> Env {
+        Env::default()
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let layout = [ColId(0)];
+        let row = vec![Datum::Null];
+        // NULL AND false = false; NULL AND true = NULL.
+        let e = ScalarExpr::And(vec![
+            ScalarExpr::IsNull(Box::new(ScalarExpr::int(1))), // false
+            ScalarExpr::eq(ScalarExpr::col(ColId(0)), ScalarExpr::int(1)), // NULL
+        ]);
+        assert_eq!(eval(&e, &layout, &row, &env()).unwrap(), Datum::Bool(false));
+        // NOT NULL = NULL; OR short-circuits through NULL.
+        let not_null_cmp = ScalarExpr::Not(Box::new(ScalarExpr::eq(
+            ScalarExpr::col(ColId(0)),
+            ScalarExpr::int(1),
+        )));
+        assert_eq!(
+            eval(&not_null_cmp, &layout, &row, &env()).unwrap(),
+            Datum::Null
+        );
+        let or_true = ScalarExpr::Or(vec![
+            ScalarExpr::eq(ScalarExpr::col(ColId(0)), ScalarExpr::int(1)), // NULL
+            ScalarExpr::Const(Datum::Bool(true)),
+        ]);
+        assert_eq!(
+            eval(&or_true, &layout, &row, &env()).unwrap(),
+            Datum::Bool(true)
+        );
+        let null_cmp = ScalarExpr::eq(ScalarExpr::col(ColId(0)), ScalarExpr::int(1));
+        assert_eq!(eval(&null_cmp, &layout, &row, &env()).unwrap(), Datum::Null);
+        // WHERE semantics: NULL rejects.
+        assert!(!accepts(&null_cmp, &layout, &row, &env()).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let layout: [ColId; 0] = [];
+        let row: Row = vec![];
+        let add = ScalarExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(ScalarExpr::int(2)),
+            right: Box::new(ScalarExpr::int(3)),
+        };
+        assert_eq!(eval(&add, &layout, &row, &env()).unwrap(), Datum::Int(5));
+        let div0 = ScalarExpr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(ScalarExpr::int(1)),
+            right: Box::new(ScalarExpr::int(0)),
+        };
+        assert_eq!(eval(&div0, &layout, &row, &env()).unwrap(), Datum::Null);
+        let mixed = ScalarExpr::Arith {
+            op: ArithOp::Mul,
+            left: Box::new(ScalarExpr::Const(Datum::Double(1.5))),
+            right: Box::new(ScalarExpr::int(4)),
+        };
+        assert_eq!(
+            eval(&mixed, &layout, &row, &env()).unwrap(),
+            Datum::Double(6.0)
+        );
+    }
+
+    #[test]
+    fn case_and_inlist() {
+        let layout = [ColId(0)];
+        let case = ScalarExpr::Case {
+            branches: vec![(
+                ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(ColId(0)), ScalarExpr::int(5)),
+                ScalarExpr::Const(Datum::Str("big".into())),
+            )],
+            else_value: Some(Box::new(ScalarExpr::Const(Datum::Str("small".into())))),
+        };
+        assert_eq!(
+            eval(&case, &layout, &vec![Datum::Int(9)], &env()).unwrap(),
+            Datum::Str("big".into())
+        );
+        assert_eq!(
+            eval(&case, &layout, &vec![Datum::Int(1)], &env()).unwrap(),
+            Datum::Str("small".into())
+        );
+        let inlist = ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::col(ColId(0))),
+            list: vec![ScalarExpr::int(1), ScalarExpr::int(2)],
+            negated: true,
+        };
+        assert_eq!(
+            eval(&inlist, &layout, &vec![Datum::Int(3)], &env()).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(
+            eval(&inlist, &layout, &vec![Datum::Int(2)], &env()).unwrap(),
+            Datum::Bool(false)
+        );
+    }
+
+    #[test]
+    fn env_resolves_correlated_columns() {
+        let layout = [ColId(0)];
+        let mut e = env();
+        e.insert(ColId(9), Datum::Int(42));
+        let pred = ScalarExpr::col_eq_col(ColId(0), ColId(9));
+        assert!(accepts(&pred, &layout, &vec![Datum::Int(42)], &e).unwrap());
+        assert!(!accepts(&pred, &layout, &vec![Datum::Int(1)], &e).unwrap());
+        // Unbound column errors.
+        assert!(eval(
+            &ScalarExpr::col(ColId(7)),
+            &layout,
+            &vec![Datum::Int(0)],
+            &env()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accumulators_follow_sql_semantics() {
+        let layout = [ColId(0)];
+        let rows = [
+            vec![Datum::Int(1)],
+            vec![Datum::Int(3)],
+            vec![Datum::Null],
+            vec![Datum::Int(3)],
+        ];
+        let mk = |func, distinct| {
+            AggAccumulator::from_expr(&ScalarExpr::Agg {
+                func,
+                arg: Some(Box::new(ScalarExpr::col(ColId(0)))),
+                distinct,
+            })
+            .unwrap()
+        };
+        let mut sum = mk(AggFunc::Sum, false);
+        let mut cnt = mk(AggFunc::Count, false);
+        let mut cntd = mk(AggFunc::Count, true);
+        let mut avg = mk(AggFunc::Avg, false);
+        let mut mn = mk(AggFunc::Min, false);
+        let mut star = AggAccumulator::from_expr(&ScalarExpr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        })
+        .unwrap();
+        for r in &rows {
+            for a in [&mut sum, &mut cnt, &mut cntd, &mut avg, &mut mn, &mut star] {
+                a.update(&layout, r, &env()).unwrap();
+            }
+        }
+        assert_eq!(sum.finish(), Datum::Int(7));
+        assert_eq!(cnt.finish(), Datum::Int(3), "count skips NULL");
+        assert_eq!(cntd.finish(), Datum::Int(2), "distinct count");
+        assert_eq!(avg.finish(), Datum::Double(7.0 / 3.0));
+        assert_eq!(mn.finish(), Datum::Int(1));
+        assert_eq!(star.finish(), Datum::Int(4), "count(*) counts all rows");
+        // Empty input.
+        let empty = mk(AggFunc::Sum, false);
+        assert_eq!(empty.finish(), Datum::Null);
+        let empty_cnt = mk(AggFunc::Count, false);
+        assert_eq!(empty_cnt.finish(), Datum::Int(0));
+    }
+
+    #[test]
+    fn row_comparison_with_desc_and_layout() {
+        use orca_expr::props::SortKey;
+        let layout = [ColId(0), ColId(1)];
+        let order =
+            orca_expr::OrderSpec(vec![SortKey::asc(ColId(1)), SortKey::descending(ColId(0))]);
+        let a = vec![Datum::Int(1), Datum::Int(5)];
+        let b = vec![Datum::Int(2), Datum::Int(5)];
+        // Same c1; c0 DESC → b first.
+        assert_eq!(
+            compare_rows(&a, &b, &order, &layout),
+            std::cmp::Ordering::Greater
+        );
+    }
+}

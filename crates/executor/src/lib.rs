@@ -1,0 +1,28 @@
+//! `orca-executor` — a shared-nothing MPP execution engine (§2.1).
+//!
+//! The paper evaluates Orca on physical GPDB/HAWQ clusters; this crate is
+//! the simulated substitute (DESIGN.md §2): it *really executes* physical
+//! plans — segmented storage, hash/NL joins, aggregation, sorts, motions —
+//! and additionally maintains a deterministic **simulated cluster clock**
+//! (per-segment work + interconnect transfer model), so experiments
+//! measure plan quality rather than host-machine noise.
+//!
+//! * [`storage`] — per-segment, per-partition row storage and loading
+//!   under the four GPDB distribution policies.
+//! * [`eval`] — scalar expression evaluation and aggregate accumulators.
+//! * [`exec`] — the operator interpreter over per-segment streams.
+//! * [`engine`] — the public entry point: run a plan, get rows, the
+//!   simulated elapsed time, and execution statistics.
+//! * [`mod@reference`] — an independent, naive single-node interpreter of
+//!   *logical* trees (including correlated-subquery markers, evaluated per
+//!   row). It serves as the correctness oracle for every physical plan and
+//!   doubles as the execution model of engines without decorrelation.
+
+pub mod engine;
+pub mod eval;
+pub mod exec;
+pub mod reference;
+pub mod storage;
+
+pub use engine::{ExecEngine, ExecResult, ExecStats};
+pub use storage::{Database, Row};

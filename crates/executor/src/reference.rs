@@ -1,0 +1,461 @@
+//! A naive single-node reference interpreter of *logical* trees.
+//!
+//! Independent of the physical executor in both code and algorithm
+//! (nested-loops everywhere, no segments, no motions), so agreement
+//! between the two is strong evidence of plan correctness. Subquery
+//! markers are evaluated literally — correlated subqueries re-run per
+//! outer row — which also makes this the execution model of the legacy
+//! planner's un-decorrelated plans (§7.2.2) and the basis of their
+//! simulated cost.
+
+use crate::eval::{accepts, compare_rows, eval, AggAccumulator, Env};
+use crate::storage::{Database, Row};
+use orca_common::hash::FnvHashMap;
+use orca_common::{ColId, CteId, Datum, OrcaError, Result};
+use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp, SetOpKind};
+use orca_expr::scalar::ScalarExpr;
+
+/// Counters exposed so baselines can derive simulated costs from reference
+/// execution (e.g. how many times correlated subqueries re-ran).
+#[derive(Debug, Clone, Default)]
+pub struct RefStats {
+    pub rows_processed: u64,
+    pub subquery_executions: u64,
+}
+
+/// Evaluate a logical tree against the database, single-node semantics.
+pub fn run_reference(db: &Database, expr: &LogicalExpr, output_cols: &[ColId]) -> Result<Vec<Row>> {
+    let mut stats = RefStats::default();
+    run_reference_with_stats(db, expr, output_cols, &mut stats)
+}
+
+/// As [`run_reference`], also reporting effort counters.
+pub fn run_reference_with_stats(
+    db: &Database,
+    expr: &LogicalExpr,
+    output_cols: &[ColId],
+    stats: &mut RefStats,
+) -> Result<Vec<Row>> {
+    let mut interp = Interp {
+        db,
+        cte: FnvHashMap::default(),
+        stats,
+    };
+    let (layout, rows) = interp.eval_rel(expr, &Env::default())?;
+    let positions: Vec<usize> = output_cols
+        .iter()
+        .map(|c| {
+            layout.iter().position(|x| x == c).ok_or_else(|| {
+                OrcaError::Execution(format!("output column {c} missing from reference output"))
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(rows
+        .iter()
+        .map(|row| positions.iter().map(|&p| row[p].clone()).collect())
+        .collect())
+}
+
+/// Evaluate one scalar expression that may contain subquery markers,
+/// executing subqueries against the database per call (the PostgreSQL
+/// "SubPlan" execution model the legacy Planner is stuck with, §7.2.2).
+/// Returns the value and accumulates effort into `stats`.
+pub fn eval_scalar_with_subplans(
+    db: &Database,
+    e: &ScalarExpr,
+    layout: &[ColId],
+    row: &Row,
+    env: &Env,
+    stats: &mut RefStats,
+) -> Result<Datum> {
+    let mut interp = Interp {
+        db,
+        cte: FnvHashMap::default(),
+        stats,
+    };
+    interp.eval_with_subqueries(e, layout, row, env)
+}
+
+struct Interp<'a> {
+    db: &'a Database,
+    cte: FnvHashMap<CteId, (Vec<ColId>, Vec<Row>)>,
+    stats: &'a mut RefStats,
+}
+
+type Rel = (Vec<ColId>, Vec<Row>);
+
+impl Interp<'_> {
+    fn eval_rel(&mut self, expr: &LogicalExpr, env: &Env) -> Result<Rel> {
+        match &expr.op {
+            LogicalOp::Get { table, cols, parts } => {
+                let t = self.db.table(table.mdid)?;
+                let rows = t.all_rows(parts);
+                self.stats.rows_processed += rows.len() as u64;
+                Ok((cols.clone(), rows))
+            }
+            LogicalOp::Select { pred } => {
+                let (layout, rows) = self.eval_rel(&expr.children[0], env)?;
+                let mut kept = Vec::new();
+                for row in rows {
+                    self.stats.rows_processed += 1;
+                    if self.accepts_with_subqueries(pred, &layout, &row, env)? {
+                        kept.push(row);
+                    }
+                }
+                Ok((layout, kept))
+            }
+            LogicalOp::Project { exprs } => {
+                let (layout, rows) = self.eval_rel(&expr.children[0], env)?;
+                let out_layout: Vec<ColId> = exprs.iter().map(|(c, _)| *c).collect();
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let projected: Vec<Datum> = exprs
+                        .iter()
+                        .map(|(_, e)| self.eval_with_subqueries(e, &layout, &row, env))
+                        .collect::<Result<_>>()?;
+                    out.push(projected);
+                }
+                Ok((out_layout, out))
+            }
+            LogicalOp::Join { kind, pred } => {
+                let (llayout, lrows) = self.eval_rel(&expr.children[0], env)?;
+                let (rlayout, rrows) = self.eval_rel(&expr.children[1], env)?;
+                let combined: Vec<ColId> = llayout.iter().chain(rlayout.iter()).copied().collect();
+                let mut out_layout = llayout.clone();
+                if kind.outputs_right() {
+                    out_layout.extend_from_slice(&rlayout);
+                }
+                let mut out = Vec::new();
+                for lrow in &lrows {
+                    let mut matched = false;
+                    for rrow in &rrows {
+                        self.stats.rows_processed += 1;
+                        let joined: Row = lrow.iter().chain(rrow.iter()).cloned().collect();
+                        if self.accepts_with_subqueries(pred, &combined, &joined, env)? {
+                            matched = true;
+                            match kind {
+                                JoinKind::Inner | JoinKind::LeftOuter => out.push(joined),
+                                JoinKind::LeftSemi => {
+                                    out.push(lrow.clone());
+                                    break;
+                                }
+                                JoinKind::LeftAntiSemi => break,
+                            }
+                        }
+                    }
+                    if !matched {
+                        match kind {
+                            JoinKind::LeftOuter => {
+                                let mut joined = lrow.clone();
+                                joined.extend(vec![Datum::Null; rlayout.len()]);
+                                out.push(joined);
+                            }
+                            JoinKind::LeftAntiSemi => out.push(lrow.clone()),
+                            _ => {}
+                        }
+                    }
+                }
+                Ok((out_layout, out))
+            }
+            LogicalOp::GbAgg {
+                group_cols, aggs, ..
+            } => {
+                let (layout, rows) = self.eval_rel(&expr.children[0], env)?;
+                let gpos: Vec<usize> = group_cols
+                    .iter()
+                    .map(|c| {
+                        layout.iter().position(|x| x == c).ok_or_else(|| {
+                            OrcaError::Execution(format!("group column {c} missing"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let mut groups: FnvHashMap<Vec<Datum>, Vec<AggAccumulator>> = FnvHashMap::default();
+                let mut order: Vec<Vec<Datum>> = Vec::new();
+                for row in &rows {
+                    self.stats.rows_processed += 1;
+                    let key: Vec<Datum> = gpos.iter().map(|&p| row[p].clone()).collect();
+                    let accs = match groups.get_mut(&key) {
+                        Some(a) => a,
+                        None => {
+                            order.push(key.clone());
+                            groups.entry(key.clone()).or_insert(
+                                aggs.iter()
+                                    .map(|(_, e)| AggAccumulator::from_expr(e))
+                                    .collect::<Result<_>>()?,
+                            )
+                        }
+                    };
+                    for acc in accs.iter_mut() {
+                        acc.update(&layout, row, env)?;
+                    }
+                }
+                let mut out_layout = group_cols.clone();
+                out_layout.extend(aggs.iter().map(|(c, _)| *c));
+                let mut out = Vec::new();
+                for key in &order {
+                    let mut row = key.clone();
+                    row.extend(groups[key].iter().map(AggAccumulator::finish));
+                    out.push(row);
+                }
+                if group_cols.is_empty() && out.is_empty() {
+                    let accs: Vec<AggAccumulator> = aggs
+                        .iter()
+                        .map(|(_, e)| AggAccumulator::from_expr(e))
+                        .collect::<Result<_>>()?;
+                    out.push(accs.iter().map(AggAccumulator::finish).collect());
+                }
+                Ok((out_layout, out))
+            }
+            LogicalOp::Limit {
+                order,
+                offset,
+                count,
+            } => {
+                let (layout, mut rows) = self.eval_rel(&expr.children[0], env)?;
+                rows.sort_by(|a, b| compare_rows(a, b, order, &layout));
+                let rows: Vec<Row> = rows
+                    .into_iter()
+                    .skip(*offset as usize)
+                    .take(count.map(|c| c as usize).unwrap_or(usize::MAX))
+                    .collect();
+                Ok((layout, rows))
+            }
+            LogicalOp::SetOp {
+                kind,
+                output,
+                input_cols,
+            } => {
+                let mut aligned: Vec<Vec<Row>> = Vec::new();
+                for (i, child) in expr.children.iter().enumerate() {
+                    let (layout, rows) = self.eval_rel(child, env)?;
+                    let positions: Vec<usize> = input_cols[i]
+                        .iter()
+                        .map(|c| {
+                            layout.iter().position(|x| x == c).ok_or_else(|| {
+                                OrcaError::Execution(format!("setop column {c} missing"))
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                    aligned.push(
+                        rows.iter()
+                            .map(|row| positions.iter().map(|&p| row[p].clone()).collect())
+                            .collect(),
+                    );
+                }
+                let rows = match kind {
+                    SetOpKind::UnionAll => aligned.into_iter().flatten().collect(),
+                    SetOpKind::Union => dedup(aligned.into_iter().flatten().collect::<Vec<Row>>()),
+                    SetOpKind::Intersect => {
+                        let mut result = dedup(aligned[0].clone());
+                        for other in &aligned[1..] {
+                            result.retain(|r| other.contains(r));
+                        }
+                        result
+                    }
+                    SetOpKind::Except => {
+                        let mut result = dedup(aligned[0].clone());
+                        for other in &aligned[1..] {
+                            result.retain(|r| !other.contains(r));
+                        }
+                        result
+                    }
+                };
+                Ok((output.clone(), rows))
+            }
+            LogicalOp::Sequence { .. } => {
+                self.eval_rel(&expr.children[0], env)?;
+                self.eval_rel(&expr.children[1], env)
+            }
+            LogicalOp::CteProducer { id, cols } => {
+                let (_, rows) = self.eval_rel(&expr.children[0], env)?;
+                self.cte.insert(*id, (cols.clone(), rows.clone()));
+                Ok((cols.clone(), rows))
+            }
+            LogicalOp::CteConsumer {
+                id,
+                cols,
+                producer_cols,
+            } => {
+                let (stash_layout, stash_rows) = self
+                    .cte
+                    .get(id)
+                    .cloned()
+                    .ok_or_else(|| OrcaError::Execution(format!("CTE {id} not produced")))?;
+                let positions: Vec<usize> = producer_cols
+                    .iter()
+                    .map(|p| {
+                        stash_layout.iter().position(|c| c == p).ok_or_else(|| {
+                            OrcaError::Execution(format!("CTE {id} missing column {p}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                Ok((
+                    cols.clone(),
+                    stash_rows
+                        .iter()
+                        .map(|row| positions.iter().map(|&p| row[p].clone()).collect())
+                        .collect(),
+                ))
+            }
+            LogicalOp::ConstTable { cols, rows } => Ok((cols.clone(), rows.clone())),
+            LogicalOp::MaxOneRow => {
+                let (layout, rows) = self.eval_rel(&expr.children[0], env)?;
+                if rows.len() > 1 {
+                    return Err(OrcaError::Execution(
+                        "more than one row returned by a subquery used as an expression".into(),
+                    ));
+                }
+                Ok((layout, rows))
+            }
+        }
+    }
+
+    /// Scalar evaluation that interprets subquery markers by executing
+    /// them (per row, with the outer row's bindings in `env`).
+    fn eval_with_subqueries(
+        &mut self,
+        e: &ScalarExpr,
+        layout: &[ColId],
+        row: &Row,
+        env: &Env,
+    ) -> Result<Datum> {
+        match e {
+            ScalarExpr::Exists { negated, subquery } => {
+                let sub_env = self.bind_env(layout, row, env);
+                self.stats.subquery_executions += 1;
+                let (_, rows) = self.eval_rel(subquery, &sub_env)?;
+                Ok(Datum::Bool(rows.is_empty() == *negated))
+            }
+            ScalarExpr::InSubquery {
+                expr,
+                subquery,
+                subquery_col,
+                negated,
+            } => {
+                let v = self.eval_with_subqueries(expr, layout, row, env)?;
+                if v.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let sub_env = self.bind_env(layout, row, env);
+                self.stats.subquery_executions += 1;
+                let (sub_layout, rows) = self.eval_rel(subquery, &sub_env)?;
+                let pos = sub_layout
+                    .iter()
+                    .position(|c| c == subquery_col)
+                    .ok_or_else(|| OrcaError::Execution("IN subquery column missing".into()))?;
+                let mut saw_null = false;
+                for r in &rows {
+                    if r[pos].is_null() {
+                        saw_null = true;
+                    } else if v.sql_cmp(&r[pos]) == Some(std::cmp::Ordering::Equal) {
+                        return Ok(Datum::Bool(!negated));
+                    }
+                }
+                if saw_null {
+                    Ok(Datum::Null)
+                } else {
+                    Ok(Datum::Bool(*negated))
+                }
+            }
+            ScalarExpr::ScalarSubquery {
+                subquery,
+                subquery_col,
+            } => {
+                let sub_env = self.bind_env(layout, row, env);
+                self.stats.subquery_executions += 1;
+                let (sub_layout, rows) = self.eval_rel(subquery, &sub_env)?;
+                if rows.len() > 1 {
+                    return Err(OrcaError::Execution(
+                        "more than one row returned by a subquery used as an expression".into(),
+                    ));
+                }
+                let pos = sub_layout
+                    .iter()
+                    .position(|c| c == subquery_col)
+                    .ok_or_else(|| OrcaError::Execution("scalar subquery column missing".into()))?;
+                Ok(rows.first().map(|r| r[pos].clone()).unwrap_or(Datum::Null))
+            }
+            // Recurse through compound expressions that may hold markers.
+            ScalarExpr::Cmp { op, left, right } => {
+                let l = self.eval_with_subqueries(left, layout, row, env)?;
+                let r = self.eval_with_subqueries(right, layout, row, env)?;
+                Ok(match l.sql_cmp(&r) {
+                    Some(ord) => Datum::Bool(op.evaluate(ord)),
+                    None => Datum::Null,
+                })
+            }
+            ScalarExpr::And(parts) => {
+                let mut saw_null = false;
+                for p in parts {
+                    match self.eval_with_subqueries(p, layout, row, env)? {
+                        Datum::Bool(false) => return Ok(Datum::Bool(false)),
+                        Datum::Null => saw_null = true,
+                        _ => {}
+                    }
+                }
+                Ok(if saw_null {
+                    Datum::Null
+                } else {
+                    Datum::Bool(true)
+                })
+            }
+            ScalarExpr::Or(parts) => {
+                let mut saw_null = false;
+                for p in parts {
+                    match self.eval_with_subqueries(p, layout, row, env)? {
+                        Datum::Bool(true) => return Ok(Datum::Bool(true)),
+                        Datum::Null => saw_null = true,
+                        _ => {}
+                    }
+                }
+                Ok(if saw_null {
+                    Datum::Null
+                } else {
+                    Datum::Bool(false)
+                })
+            }
+            ScalarExpr::Not(x) => Ok(match self.eval_with_subqueries(x, layout, row, env)? {
+                Datum::Bool(b) => Datum::Bool(!b),
+                _ => Datum::Null,
+            }),
+            e if !e.has_subquery() => eval(e, layout, row, env),
+            other => Err(OrcaError::Execution(format!(
+                "subquery in unsupported position: {other}"
+            ))),
+        }
+    }
+
+    fn accepts_with_subqueries(
+        &mut self,
+        pred: &ScalarExpr,
+        layout: &[ColId],
+        row: &Row,
+        env: &Env,
+    ) -> Result<bool> {
+        if !pred.has_subquery() {
+            return accepts(pred, layout, row, env);
+        }
+        Ok(self.eval_with_subqueries(pred, layout, row, env)? == Datum::Bool(true))
+    }
+
+    /// Bindings for a subquery: the outer row's columns plus any enclosing
+    /// bindings.
+    fn bind_env(&self, layout: &[ColId], row: &Row, env: &Env) -> Env {
+        let mut out = env.clone();
+        for (c, v) in layout.iter().zip(row.iter()) {
+            out.insert(*c, v.clone());
+        }
+        out
+    }
+}
+
+fn dedup(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: FnvHashMap<Vec<Datum>, ()> = FnvHashMap::default();
+    let mut out = Vec::new();
+    for r in rows {
+        if seen.insert(r.clone(), ()).is_none() {
+            out.push(r);
+        }
+    }
+    out
+}

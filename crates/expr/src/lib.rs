@@ -1,0 +1,33 @@
+//! `orca-expr` — the operator and expression model (§3 "Operators").
+//!
+//! "Orca represents all elements of a query and its optimization as
+//! first-class citizens of equal footing": logical operators, physical
+//! operators and scalar expressions. This crate defines those algebras,
+//! independent of the Memo (which lives in `orca`), so that the SQL binder,
+//! the DXL layer, the baseline planners and the execution engine can all
+//! share one vocabulary.
+//!
+//! * [`scalar`] — scalar expressions (column refs, constants, predicates,
+//!   arithmetic, CASE, aggregates, and pre-normalization subquery markers).
+//! * [`logical`] — logical operators; [`logical::LogicalExpr`] is the tree
+//!   form produced by the binder and copied into the Memo.
+//! * [`physical`] — physical operators (scans, joins, aggs, motions,
+//!   enforcers); [`physical::PhysicalPlan`] is the tree form extracted from
+//!   the Memo and handed to an executor.
+//! * [`props`] — logical property derivation (output columns, cardinality
+//!   caps) and the [`props::OrderSpec`] sort-order vocabulary.
+//! * [`registry`] — the column factory: query-wide `ColId` → name/type.
+//! * [`pretty`] — EXPLAIN-style plan rendering.
+
+pub mod logical;
+pub mod physical;
+pub mod pretty;
+pub mod props;
+pub mod registry;
+pub mod scalar;
+
+pub use logical::{JoinKind, LogicalExpr, LogicalOp, SetOpKind};
+pub use physical::{MotionKind, PhysicalOp, PhysicalPlan};
+pub use props::{DistSpec, OrderSpec, SortKey};
+pub use registry::ColumnRegistry;
+pub use scalar::{AggFunc, ArithOp, CmpOp, ScalarExpr};

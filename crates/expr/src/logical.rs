@@ -1,0 +1,648 @@
+//! Logical operators.
+//!
+//! [`LogicalOp`] is *child-free*: children live either in a [`LogicalExpr`]
+//! tree (binder output) or as Memo group references (inside `orca`). This is
+//! what lets the Memo encode a huge plan space compactly — the same operator
+//! value can sit in a tree or in a group expression.
+
+use crate::props::OrderSpec;
+use crate::scalar::ScalarExpr;
+use orca_catalog::TableDesc;
+use orca_common::{ColId, CteId, Datum};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Shared table descriptor that hashes/compares by MdId (descriptors are
+/// immutable per version, so the id is the identity).
+#[derive(Debug, Clone)]
+pub struct TableRef(pub Arc<TableDesc>);
+
+impl PartialEq for TableRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.mdid == other.0.mdid
+    }
+}
+impl Eq for TableRef {}
+impl Hash for TableRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.mdid.hash(state);
+    }
+}
+
+impl std::ops::Deref for TableRef {
+    type Target = TableDesc;
+    fn deref(&self) -> &TableDesc {
+        &self.0
+    }
+}
+
+/// Join flavors. Left-variants suffice: the binder normalizes RIGHT joins by
+/// swapping inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    /// `EXISTS` / `IN` unnesting.
+    LeftSemi,
+    /// `NOT EXISTS` / `NOT IN` unnesting.
+    LeftAntiSemi,
+}
+
+impl JoinKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinKind::Inner => "Inner",
+            JoinKind::LeftOuter => "LeftOuter",
+            JoinKind::LeftSemi => "LeftSemi",
+            JoinKind::LeftAntiSemi => "LeftAntiSemi",
+        }
+    }
+
+    /// Commutativity only holds for inner joins (in our rule set).
+    pub fn is_commutable(&self) -> bool {
+        matches!(self, JoinKind::Inner)
+    }
+
+    /// Whether the join outputs right-side columns.
+    pub fn outputs_right(&self) -> bool {
+        matches!(self, JoinKind::Inner | JoinKind::LeftOuter)
+    }
+}
+
+/// Set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOpKind {
+    UnionAll,
+    Union,
+    Intersect,
+    Except,
+}
+
+impl SetOpKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SetOpKind::UnionAll => "UnionAll",
+            SetOpKind::Union => "Union",
+            SetOpKind::Intersect => "Intersect",
+            SetOpKind::Except => "Except",
+        }
+    }
+}
+
+/// Stage marker for split (two-stage) aggregation (§7.2.2 "multi-stage
+/// aggregation"): a `Local` agg computes partial results wherever its input
+/// lives; the `Global` agg combines partials after redistribution. `Single`
+/// is an unsplit aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggStage {
+    Single,
+    Local,
+    Global,
+}
+
+impl AggStage {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggStage::Single => "Single",
+            AggStage::Local => "Local",
+            AggStage::Global => "Global",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<AggStage> {
+        Some(match s {
+            "Single" => AggStage::Single,
+            "Local" => AggStage::Local,
+            "Global" => AggStage::Global,
+            _ => return None,
+        })
+    }
+}
+
+/// A logical operator (child-free; arity listed per variant).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LogicalOp {
+    /// Leaf: read a base table. `cols[i]` is the query-wide id bound to the
+    /// table's i-th column. `parts` restricts scanned partitions (`None` =
+    /// all) — produced by the static partition-elimination rule.
+    Get {
+        table: TableRef,
+        cols: Vec<ColId>,
+        parts: Option<Vec<usize>>,
+    },
+    /// Unary: filter by a predicate.
+    Select { pred: ScalarExpr },
+    /// Unary: compute projections; output columns are exactly the listed
+    /// ids (pass-through entries are plain `ColRef`s).
+    Project { exprs: Vec<(ColId, ScalarExpr)> },
+    /// Binary: join children under a predicate.
+    Join { kind: JoinKind, pred: ScalarExpr },
+    /// Unary: grouped aggregation; output is `group_cols ++ agg ids`.
+    GbAgg {
+        group_cols: Vec<ColId>,
+        aggs: Vec<(ColId, ScalarExpr)>,
+        stage: AggStage,
+    },
+    /// Unary: ORDER BY + OFFSET/LIMIT. The order is a *logical* requirement
+    /// here; physical plans satisfy it via Sort enforcers.
+    Limit {
+        order: OrderSpec,
+        offset: u64,
+        count: Option<u64>,
+    },
+    /// N-ary: set operation. `output` are fresh ids; `input_cols[i]` aligns
+    /// child i's columns with the output positions.
+    SetOp {
+        kind: SetOpKind,
+        output: Vec<ColId>,
+        input_cols: Vec<Vec<ColId>>,
+    },
+    /// Binary: evaluate child 0 (the CTE producer side) once, then child 1
+    /// (the consuming tree). The paper's producer-consumer WITH model.
+    Sequence { id: CteId },
+    /// Unary: marks the shared subtree; output columns are `cols`.
+    CteProducer { id: CteId, cols: Vec<ColId> },
+    /// Leaf: reads the producer's materialized output. `cols` are fresh ids
+    /// aligned positionally with the producer's `cols`.
+    CteConsumer {
+        id: CteId,
+        cols: Vec<ColId>,
+        producer_cols: Vec<ColId>,
+    },
+    /// Leaf: literal rows.
+    ConstTable {
+        cols: Vec<ColId>,
+        rows: Vec<Vec<Datum>>,
+    },
+    /// Unary: runtime assertion that the child yields at most one row
+    /// (scalar-subquery semantics).
+    MaxOneRow,
+}
+
+impl LogicalOp {
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalOp::Get { .. } => "Get",
+            LogicalOp::Select { .. } => "Select",
+            LogicalOp::Project { .. } => "Project",
+            LogicalOp::Join { kind, .. } => match kind {
+                JoinKind::Inner => "InnerJoin",
+                JoinKind::LeftOuter => "LeftOuterJoin",
+                JoinKind::LeftSemi => "LeftSemiJoin",
+                JoinKind::LeftAntiSemi => "LeftAntiSemiJoin",
+            },
+            LogicalOp::GbAgg { .. } => "GbAgg",
+            LogicalOp::Limit { .. } => "Limit",
+            LogicalOp::SetOp { kind, .. } => kind.name(),
+            LogicalOp::Sequence { .. } => "Sequence",
+            LogicalOp::CteProducer { .. } => "CTEProducer",
+            LogicalOp::CteConsumer { .. } => "CTEConsumer",
+            LogicalOp::ConstTable { .. } => "ConstTable",
+            LogicalOp::MaxOneRow => "MaxOneRow",
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        match self {
+            LogicalOp::Get { .. }
+            | LogicalOp::CteConsumer { .. }
+            | LogicalOp::ConstTable { .. } => 0,
+            LogicalOp::Select { .. }
+            | LogicalOp::Project { .. }
+            | LogicalOp::GbAgg { .. }
+            | LogicalOp::Limit { .. }
+            | LogicalOp::CteProducer { .. }
+            | LogicalOp::MaxOneRow => 1,
+            LogicalOp::Join { .. } | LogicalOp::Sequence { .. } => 2,
+            LogicalOp::SetOp { input_cols, .. } => input_cols.len(),
+        }
+    }
+
+    /// Output columns given each child's output columns.
+    pub fn output_cols(&self, child_outputs: &[Vec<ColId>]) -> Vec<ColId> {
+        match self {
+            LogicalOp::Get { cols, .. } => cols.clone(),
+            LogicalOp::Select { .. } | LogicalOp::Limit { .. } | LogicalOp::MaxOneRow => {
+                child_outputs[0].clone()
+            }
+            LogicalOp::Project { exprs } => exprs.iter().map(|(c, _)| *c).collect(),
+            LogicalOp::Join { kind, .. } => {
+                let mut out = child_outputs[0].clone();
+                if kind.outputs_right() {
+                    out.extend_from_slice(&child_outputs[1]);
+                }
+                out
+            }
+            LogicalOp::GbAgg {
+                group_cols, aggs, ..
+            } => {
+                let mut out = group_cols.clone();
+                out.extend(aggs.iter().map(|(c, _)| *c));
+                out
+            }
+            LogicalOp::SetOp { output, .. } => output.clone(),
+            LogicalOp::Sequence { .. } => child_outputs.last().cloned().unwrap_or_default(),
+            LogicalOp::CteProducer { cols, .. } => cols.clone(),
+            LogicalOp::CteConsumer { cols, .. } => cols.clone(),
+            LogicalOp::ConstTable { cols, .. } => cols.clone(),
+        }
+    }
+
+    /// Columns this operator's own scalars reference (children not
+    /// included).
+    pub fn local_used_cols(&self) -> Vec<ColId> {
+        let mut out = Vec::new();
+        self.for_each_scalar(&mut |e| out.extend(e.used_cols()));
+        match self {
+            LogicalOp::GbAgg { group_cols, .. } => out.extend_from_slice(group_cols),
+            LogicalOp::Limit { order, .. } => out.extend(order.cols()),
+            LogicalOp::SetOp { input_cols, .. } => {
+                for ic in input_cols {
+                    out.extend_from_slice(ic);
+                }
+            }
+            LogicalOp::CteConsumer { producer_cols, .. } => {
+                out.extend_from_slice(producer_cols);
+            }
+            _ => {}
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Visit every scalar expression owned by this operator.
+    pub fn for_each_scalar(&self, f: &mut dyn FnMut(&ScalarExpr)) {
+        match self {
+            LogicalOp::Select { pred } | LogicalOp::Join { pred, .. } => f(pred),
+            LogicalOp::Project { exprs } => {
+                for (_, e) in exprs {
+                    f(e);
+                }
+            }
+            LogicalOp::GbAgg { aggs, .. } => {
+                for (_, e) in aggs {
+                    f(e);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rebuild the operator with every scalar mapped through `f`.
+    pub fn map_scalars(&self, f: &dyn Fn(&ScalarExpr) -> ScalarExpr) -> LogicalOp {
+        match self {
+            LogicalOp::Select { pred } => LogicalOp::Select { pred: f(pred) },
+            LogicalOp::Join { kind, pred } => LogicalOp::Join {
+                kind: *kind,
+                pred: f(pred),
+            },
+            LogicalOp::Project { exprs } => LogicalOp::Project {
+                exprs: exprs.iter().map(|(c, e)| (*c, f(e))).collect(),
+            },
+            LogicalOp::GbAgg {
+                group_cols,
+                aggs,
+                stage,
+            } => LogicalOp::GbAgg {
+                group_cols: group_cols.clone(),
+                aggs: aggs.iter().map(|(c, e)| (*c, f(e))).collect(),
+                stage: *stage,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Whether any owned scalar still contains a subquery marker.
+    pub fn has_subquery(&self) -> bool {
+        let mut found = false;
+        self.for_each_scalar(&mut |e| found |= e.has_subquery());
+        found
+    }
+}
+
+/// A logical expression tree — the binder's output and the optimizer's
+/// input ("the DXL query message is parsed and transformed to an in-memory
+/// logical expression tree that is copied-in to the Memo", §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicalExpr {
+    pub op: LogicalOp,
+    pub children: Vec<LogicalExpr>,
+}
+
+impl LogicalExpr {
+    pub fn new(op: LogicalOp, children: Vec<LogicalExpr>) -> LogicalExpr {
+        debug_assert_eq!(
+            op.arity(),
+            children.len(),
+            "arity mismatch for {}",
+            op.name()
+        );
+        LogicalExpr { op, children }
+    }
+
+    pub fn leaf(op: LogicalOp) -> LogicalExpr {
+        LogicalExpr::new(op, Vec::new())
+    }
+
+    /// Columns this tree outputs.
+    pub fn output_cols(&self) -> Vec<ColId> {
+        let child_outputs: Vec<Vec<ColId>> =
+            self.children.iter().map(|c| c.output_cols()).collect();
+        self.op.output_cols(&child_outputs)
+    }
+
+    /// Columns produced *anywhere* inside this tree (not just at the root).
+    pub fn produced_cols(&self) -> Vec<ColId> {
+        let mut out = Vec::new();
+        self.collect_produced(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_produced(&self, out: &mut Vec<ColId>) {
+        out.extend(self.output_cols());
+        for c in &self.children {
+            c.collect_produced(out);
+        }
+    }
+
+    /// Columns referenced inside the tree but produced outside it — the
+    /// correlation witnesses that drive subquery unnesting (§7.2.2
+    /// "Correlated Subqueries").
+    pub fn outer_refs(&self) -> Vec<ColId> {
+        let produced = self.produced_cols();
+        let mut used = Vec::new();
+        self.collect_used(&mut used);
+        used.sort();
+        used.dedup();
+        used.retain(|c| !produced.contains(c));
+        used
+    }
+
+    fn collect_used(&self, out: &mut Vec<ColId>) {
+        out.extend(self.op.local_used_cols());
+        // Descend into subquery markers' trees too.
+        self.op
+            .for_each_scalar(&mut |e| collect_subquery_used(e, out));
+        for c in &self.children {
+            c.collect_used(out);
+        }
+    }
+
+    /// Remap references to *outer* columns (those not produced inside this
+    /// tree) through `map`. Inner columns are untouched.
+    pub fn remap_outer_cols(&self, map: &dyn Fn(ColId) -> ColId) -> LogicalExpr {
+        let produced = self.produced_cols();
+        let wrapper = |c: ColId| if produced.contains(&c) { c } else { map(c) };
+        self.remap_all(&wrapper)
+    }
+
+    /// Remap *every* column reference in the tree (outer and inner alike).
+    /// Used when duplicating a subtree (e.g. CTE inlining) so the copy gets
+    /// fresh column identities.
+    pub fn remap_all(&self, map: &dyn Fn(ColId) -> ColId) -> LogicalExpr {
+        let op = self.op.map_scalars(&|e| e.remap_cols(map));
+        let op = remap_op_cols(&op, map);
+        LogicalExpr {
+            op,
+            children: self.children.iter().map(|c| c.remap_all(map)).collect(),
+        }
+    }
+
+    /// Total number of operators in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(LogicalExpr::size).sum::<usize>()
+    }
+
+    /// Whether any operator in the tree still holds a subquery marker.
+    pub fn has_subquery(&self) -> bool {
+        self.op.has_subquery() || self.children.iter().any(LogicalExpr::has_subquery)
+    }
+}
+
+/// Remap the column ids an operator *defines or lists* (scalars are
+/// handled separately by `map_scalars`).
+fn remap_op_cols(op: &LogicalOp, map: &dyn Fn(ColId) -> ColId) -> LogicalOp {
+    let mv = |cols: &[ColId]| cols.iter().map(|c| map(*c)).collect::<Vec<_>>();
+    match op {
+        LogicalOp::Get { table, cols, parts } => LogicalOp::Get {
+            table: table.clone(),
+            cols: mv(cols),
+            parts: parts.clone(),
+        },
+        LogicalOp::Project { exprs } => LogicalOp::Project {
+            exprs: exprs.iter().map(|(c, e)| (map(*c), e.clone())).collect(),
+        },
+        LogicalOp::GbAgg {
+            group_cols,
+            aggs,
+            stage,
+        } => LogicalOp::GbAgg {
+            group_cols: mv(group_cols),
+            aggs: aggs.iter().map(|(c, e)| (map(*c), e.clone())).collect(),
+            stage: *stage,
+        },
+        LogicalOp::Limit {
+            order,
+            offset,
+            count,
+        } => LogicalOp::Limit {
+            order: crate::props::OrderSpec(
+                order
+                    .0
+                    .iter()
+                    .map(|k| crate::props::SortKey {
+                        col: map(k.col),
+                        desc: k.desc,
+                    })
+                    .collect(),
+            ),
+            offset: *offset,
+            count: *count,
+        },
+        LogicalOp::SetOp {
+            kind,
+            output,
+            input_cols,
+        } => LogicalOp::SetOp {
+            kind: *kind,
+            output: mv(output),
+            input_cols: input_cols.iter().map(|ic| mv(ic)).collect(),
+        },
+        LogicalOp::CteProducer { id, cols } => LogicalOp::CteProducer {
+            id: *id,
+            cols: mv(cols),
+        },
+        LogicalOp::CteConsumer {
+            id,
+            cols,
+            producer_cols,
+        } => LogicalOp::CteConsumer {
+            id: *id,
+            cols: mv(cols),
+            producer_cols: producer_cols.clone(),
+        },
+        LogicalOp::ConstTable { cols, rows } => LogicalOp::ConstTable {
+            cols: mv(cols),
+            rows: rows.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn collect_subquery_used(e: &ScalarExpr, out: &mut Vec<ColId>) {
+    match e {
+        ScalarExpr::Exists { subquery, .. } => {
+            out.extend(subquery.outer_refs());
+        }
+        ScalarExpr::InSubquery { expr, subquery, .. } => {
+            collect_subquery_used(expr, out);
+            out.extend(subquery.outer_refs());
+        }
+        ScalarExpr::ScalarSubquery { subquery, .. } => {
+            out.extend(subquery.outer_refs());
+        }
+        ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+            collect_subquery_used(left, out);
+            collect_subquery_used(right, out);
+        }
+        ScalarExpr::And(v) | ScalarExpr::Or(v) => {
+            for x in v {
+                collect_subquery_used(x, out);
+            }
+        }
+        ScalarExpr::Not(x) | ScalarExpr::IsNull(x) => collect_subquery_used(x, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_catalog::{ColumnMeta, Distribution};
+    use orca_common::{DataType, MdId, SysId};
+
+    fn table(name: &str, oid: u64, ncols: usize) -> TableRef {
+        TableRef(Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, oid, 1),
+            name,
+            (0..ncols)
+                .map(|i| ColumnMeta::new(&format!("c{i}"), DataType::Int))
+                .collect(),
+            Distribution::Hashed(vec![0]),
+        )))
+    }
+
+    fn get(name: &str, oid: u64, first_col: u32, ncols: usize) -> LogicalExpr {
+        LogicalExpr::leaf(LogicalOp::Get {
+            table: table(name, oid, ncols),
+            cols: (0..ncols as u32).map(|i| ColId(first_col + i)).collect(),
+            parts: None,
+        })
+    }
+
+    #[test]
+    fn join_output_cols_by_kind() {
+        let t1 = get("t1", 1, 0, 2);
+        let t2 = get("t2", 2, 10, 2);
+        let inner = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::col_eq_col(ColId(0), ColId(10)),
+            },
+            vec![t1.clone(), t2.clone()],
+        );
+        assert_eq!(
+            inner.output_cols(),
+            vec![ColId(0), ColId(1), ColId(10), ColId(11)]
+        );
+        let semi = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::LeftSemi,
+                pred: ScalarExpr::col_eq_col(ColId(0), ColId(10)),
+            },
+            vec![t1, t2],
+        );
+        assert_eq!(semi.output_cols(), vec![ColId(0), ColId(1)]);
+    }
+
+    #[test]
+    fn outer_refs_detect_correlation() {
+        // Subquery: SELECT ... FROM t2 WHERE t2.c10 = outer.c0
+        let sub = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::col_eq_col(ColId(10), ColId(0)),
+            },
+            vec![get("t2", 2, 10, 2)],
+        );
+        assert_eq!(sub.outer_refs(), vec![ColId(0)]);
+        // Uncorrelated subquery has none.
+        let sub2 = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::cmp(
+                    crate::scalar::CmpOp::Gt,
+                    ScalarExpr::col(ColId(10)),
+                    ScalarExpr::int(5),
+                ),
+            },
+            vec![get("t2", 2, 10, 2)],
+        );
+        assert!(sub2.outer_refs().is_empty());
+    }
+
+    #[test]
+    fn gbagg_outputs_groups_then_aggs() {
+        let agg = LogicalExpr::new(
+            LogicalOp::GbAgg {
+                stage: AggStage::Single,
+                group_cols: vec![ColId(1)],
+                aggs: vec![(
+                    ColId(50),
+                    ScalarExpr::Agg {
+                        func: crate::scalar::AggFunc::Sum,
+                        arg: Some(Box::new(ScalarExpr::col(ColId(0)))),
+                        distinct: false,
+                    },
+                )],
+            },
+            vec![get("t1", 1, 0, 2)],
+        );
+        assert_eq!(agg.output_cols(), vec![ColId(1), ColId(50)]);
+        assert!(!agg.has_subquery());
+    }
+
+    #[test]
+    fn remap_outer_only() {
+        let sub = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::col_eq_col(ColId(10), ColId(0)),
+            },
+            vec![get("t2", 2, 10, 2)],
+        );
+        let remapped = sub.remap_outer_cols(&|c| ColId(c.0 + 100));
+        // Outer ref c0 → c100; inner c10 untouched.
+        assert_eq!(remapped.outer_refs(), vec![ColId(100)]);
+        assert_eq!(remapped.output_cols(), vec![ColId(10), ColId(11)]);
+    }
+
+    #[test]
+    fn size_counts_operators() {
+        let t1 = get("t1", 1, 0, 2);
+        let sel = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::col_eq_col(ColId(0), ColId(1)),
+            },
+            vec![t1],
+        );
+        assert_eq!(sel.size(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // debug_assert compiles out in release
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked_in_debug() {
+        let _ = LogicalExpr::new(LogicalOp::MaxOneRow, vec![]);
+    }
+}

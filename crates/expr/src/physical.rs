@@ -1,0 +1,455 @@
+//! Physical operators and executable plan trees.
+//!
+//! Like [`crate::logical::LogicalOp`], [`PhysicalOp`] is child-free so it
+//! can live both in Memo group expressions and in extracted
+//! [`PhysicalPlan`] trees. Motions and Sort are the *enforcer* operators of
+//! §4.1 — they change only physical properties, never logical content.
+
+use crate::logical::{AggStage, JoinKind, SetOpKind, TableRef};
+use crate::props::{DistSpec, OrderSpec};
+use crate::scalar::ScalarExpr;
+use orca_common::{ColId, CteId, Datum};
+
+/// Data-movement operators (§4.1): "Gather operator gathers tuples from all
+/// segments to the master. GatherMerge gathers sorted data from all
+/// segments to the master, while keeping the sort order. Redistribute
+/// distributes tuples across segments based on the hash value of given
+/// argument." Broadcast replicates its input to all segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MotionKind {
+    Gather,
+    GatherMerge(OrderSpec),
+    Redistribute(Vec<ColId>),
+    Broadcast,
+}
+
+impl MotionKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            MotionKind::Gather => "Gather",
+            MotionKind::GatherMerge(_) => "GatherMerge",
+            MotionKind::Redistribute(_) => "Redistribute",
+            MotionKind::Broadcast => "Broadcast",
+        }
+    }
+
+    /// The distribution this motion delivers.
+    pub fn delivered_dist(&self) -> DistSpec {
+        match self {
+            MotionKind::Gather | MotionKind::GatherMerge(_) => DistSpec::Singleton,
+            MotionKind::Redistribute(cols) => DistSpec::Hashed(cols.clone()),
+            MotionKind::Broadcast => DistSpec::Replicated,
+        }
+    }
+
+    /// The order this motion preserves from its input.
+    pub fn delivered_order(&self, input: &OrderSpec) -> OrderSpec {
+        match self {
+            // GatherMerge preserves exactly the merge order.
+            MotionKind::GatherMerge(o) => o.clone(),
+            // Streams interleave arbitrarily across senders.
+            _ => {
+                let _ = input;
+                OrderSpec::any()
+            }
+        }
+    }
+}
+
+/// A physical operator (child-free; see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PhysicalOp {
+    /// Leaf: sequential scan. `parts` = surviving partitions after static
+    /// elimination (`None` = unpartitioned or all).
+    TableScan {
+        table: TableRef,
+        cols: Vec<ColId>,
+        parts: Option<Vec<usize>>,
+    },
+    /// Leaf: ordered scan through a covering index — delivers sort order on
+    /// the index key columns without a Sort.
+    IndexScan {
+        table: TableRef,
+        index_name: String,
+        cols: Vec<ColId>,
+        /// ColIds of the key columns, in key order.
+        key_cols: Vec<ColId>,
+        parts: Option<Vec<usize>>,
+    },
+    /// Unary: predicate filter.
+    Filter { pred: ScalarExpr },
+    /// Unary: projection/computation.
+    Project { exprs: Vec<(ColId, ScalarExpr)> },
+    /// Binary: hash join; build side is the right child.
+    HashJoin {
+        kind: JoinKind,
+        left_keys: Vec<ColId>,
+        right_keys: Vec<ColId>,
+        residual: Option<ScalarExpr>,
+    },
+    /// Binary: nested-loops join; inner (right) side is re-scanned per
+    /// outer row, so executors materialize it.
+    NLJoin { kind: JoinKind, pred: ScalarExpr },
+    /// Unary: hash aggregation. Empty `group_cols` = scalar aggregate.
+    /// A `Local`-stage agg may aggregate in place over any distribution
+    /// (its Global partner combines the partials); other stages need
+    /// grouping keys co-located.
+    HashAgg {
+        group_cols: Vec<ColId>,
+        aggs: Vec<(ColId, ScalarExpr)>,
+        stage: AggStage,
+    },
+    /// Unary: sorted-input aggregation (requires order on `group_cols`).
+    StreamAgg {
+        group_cols: Vec<ColId>,
+        aggs: Vec<(ColId, ScalarExpr)>,
+        stage: AggStage,
+    },
+    /// Unary **enforcer**: sort.
+    Sort { order: OrderSpec },
+    /// Unary: OFFSET/LIMIT (executed where the data is singleton). The
+    /// order spec is what the *logical* Limit demanded — the physical op
+    /// requests it from its child; by execution time it is already
+    /// enforced.
+    Limit {
+        order: OrderSpec,
+        offset: u64,
+        count: Option<u64>,
+    },
+    /// Unary **enforcer**: data movement.
+    Motion { kind: MotionKind },
+    /// Unary: materialize child output (rewindability for NLJoin inners).
+    Spool,
+    /// Binary: run child 0 (CTE producer), then child 1 (consumer tree).
+    Sequence { id: CteId },
+    /// Unary: materialize the shared CTE result under `id`.
+    CteProducer { id: CteId, cols: Vec<ColId> },
+    /// Leaf: scan the materialized CTE.
+    CteScan {
+        id: CteId,
+        cols: Vec<ColId>,
+        producer_cols: Vec<ColId>,
+    },
+    /// Leaf: literal rows.
+    ConstTable {
+        cols: Vec<ColId>,
+        rows: Vec<Vec<Datum>>,
+    },
+    /// Unary: runtime check that at most one row flows through.
+    AssertOneRow,
+    /// N-ary: bag union.
+    UnionAll {
+        output: Vec<ColId>,
+        input_cols: Vec<Vec<ColId>>,
+    },
+    /// N-ary: hash-based INTERSECT / EXCEPT / UNION-distinct.
+    HashSetOp {
+        kind: SetOpKind,
+        output: Vec<ColId>,
+        input_cols: Vec<Vec<ColId>>,
+    },
+}
+
+impl PhysicalOp {
+    pub fn name(&self) -> String {
+        match self {
+            PhysicalOp::TableScan { table, .. } => format!("TableScan({})", table.name),
+            PhysicalOp::IndexScan { index_name, .. } => format!("IndexScan({index_name})"),
+            PhysicalOp::Filter { .. } => "Filter".into(),
+            PhysicalOp::Project { .. } => "Project".into(),
+            PhysicalOp::HashJoin { kind, .. } => format!("{}HashJoin", kind.name()),
+            PhysicalOp::NLJoin { kind, .. } => format!("{}NLJoin", kind.name()),
+            PhysicalOp::HashAgg { group_cols, .. } if group_cols.is_empty() => "ScalarAgg".into(),
+            PhysicalOp::HashAgg {
+                stage: AggStage::Local,
+                ..
+            } => "LocalHashAgg".into(),
+            PhysicalOp::HashAgg { .. } => "HashAgg".into(),
+            PhysicalOp::StreamAgg { .. } => "StreamAgg".into(),
+            PhysicalOp::Sort { order } => format!("Sort{order}"),
+            PhysicalOp::Limit { .. } => "Limit".into(),
+            PhysicalOp::Motion { kind } => match kind {
+                MotionKind::Redistribute(cols) => {
+                    format!(
+                        "Redistribute({:?})",
+                        cols.iter().map(|c| c.0).collect::<Vec<_>>()
+                    )
+                }
+                MotionKind::GatherMerge(o) => format!("GatherMerge{o}"),
+                k => k.name().into(),
+            },
+            PhysicalOp::Spool => "Spool".into(),
+            PhysicalOp::Sequence { id } => format!("Sequence({id})"),
+            PhysicalOp::CteProducer { id, .. } => format!("CTEProducer({id})"),
+            PhysicalOp::CteScan { id, .. } => format!("CTEScan({id})"),
+            PhysicalOp::ConstTable { .. } => "ConstTable".into(),
+            PhysicalOp::AssertOneRow => "AssertOneRow".into(),
+            PhysicalOp::UnionAll { .. } => "UnionAll".into(),
+            PhysicalOp::HashSetOp { kind, .. } => format!("Hash{}", kind.name()),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        match self {
+            PhysicalOp::TableScan { .. }
+            | PhysicalOp::IndexScan { .. }
+            | PhysicalOp::CteScan { .. }
+            | PhysicalOp::ConstTable { .. } => 0,
+            PhysicalOp::Filter { .. }
+            | PhysicalOp::Project { .. }
+            | PhysicalOp::HashAgg { .. }
+            | PhysicalOp::StreamAgg { .. }
+            | PhysicalOp::Sort { .. }
+            | PhysicalOp::Limit { .. }
+            | PhysicalOp::Motion { .. }
+            | PhysicalOp::Spool
+            | PhysicalOp::CteProducer { .. }
+            | PhysicalOp::AssertOneRow => 1,
+            PhysicalOp::HashJoin { .. }
+            | PhysicalOp::NLJoin { .. }
+            | PhysicalOp::Sequence { .. } => 2,
+            PhysicalOp::UnionAll { input_cols, .. } | PhysicalOp::HashSetOp { input_cols, .. } => {
+                input_cols.len()
+            }
+        }
+    }
+
+    /// Output columns given child outputs (mirrors the logical derivation).
+    pub fn output_cols(&self, child_outputs: &[Vec<ColId>]) -> Vec<ColId> {
+        match self {
+            PhysicalOp::TableScan { cols, .. }
+            | PhysicalOp::IndexScan { cols, .. }
+            | PhysicalOp::CteScan { cols, .. }
+            | PhysicalOp::ConstTable { cols, .. }
+            | PhysicalOp::CteProducer { cols, .. } => cols.clone(),
+            PhysicalOp::Filter { .. }
+            | PhysicalOp::Sort { .. }
+            | PhysicalOp::Limit { .. }
+            | PhysicalOp::Motion { .. }
+            | PhysicalOp::Spool
+            | PhysicalOp::AssertOneRow => child_outputs[0].clone(),
+            PhysicalOp::Project { exprs } => exprs.iter().map(|(c, _)| *c).collect(),
+            PhysicalOp::HashJoin { kind, .. } | PhysicalOp::NLJoin { kind, .. } => {
+                let mut out = child_outputs[0].clone();
+                if kind.outputs_right() {
+                    out.extend_from_slice(&child_outputs[1]);
+                }
+                out
+            }
+            PhysicalOp::HashAgg {
+                group_cols, aggs, ..
+            }
+            | PhysicalOp::StreamAgg {
+                group_cols, aggs, ..
+            } => {
+                let mut out = group_cols.clone();
+                out.extend(aggs.iter().map(|(c, _)| *c));
+                out
+            }
+            PhysicalOp::Sequence { .. } => child_outputs.last().cloned().unwrap_or_default(),
+            PhysicalOp::UnionAll { output, .. } | PhysicalOp::HashSetOp { output, .. } => {
+                output.clone()
+            }
+        }
+    }
+
+    /// Is this an enforcer (adds physical properties only)?
+    pub fn is_enforcer(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::Sort { .. } | PhysicalOp::Motion { .. } | PhysicalOp::Spool
+        )
+    }
+
+    /// Is this a motion (crosses the interconnect)?
+    pub fn is_motion(&self) -> bool {
+        matches!(self, PhysicalOp::Motion { .. })
+    }
+}
+
+/// An executable plan tree — what plan extraction produces and the executor
+/// consumes (the DXL plan of Figure 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PhysicalPlan {
+    pub op: PhysicalOp,
+    pub children: Vec<PhysicalPlan>,
+}
+
+impl PhysicalPlan {
+    pub fn new(op: PhysicalOp, children: Vec<PhysicalPlan>) -> PhysicalPlan {
+        debug_assert_eq!(
+            op.arity(),
+            children.len(),
+            "arity mismatch for {}",
+            op.name()
+        );
+        PhysicalPlan { op, children }
+    }
+
+    pub fn leaf(op: PhysicalOp) -> PhysicalPlan {
+        PhysicalPlan::new(op, Vec::new())
+    }
+
+    pub fn output_cols(&self) -> Vec<ColId> {
+        let child_outputs: Vec<Vec<ColId>> =
+            self.children.iter().map(|c| c.output_cols()).collect();
+        self.op.output_cols(&child_outputs)
+    }
+
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PhysicalPlan::size).sum::<usize>()
+    }
+
+    /// Count of motion operators — a quick plan-shape fingerprint used in
+    /// tests and the experiment reports.
+    pub fn motion_count(&self) -> usize {
+        let own = usize::from(self.op.is_motion());
+        own + self
+            .children
+            .iter()
+            .map(PhysicalPlan::motion_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first preorder visit.
+    pub fn visit(&self, f: &mut dyn FnMut(&PhysicalPlan)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+
+    /// Find all operators matching a predicate.
+    pub fn find_ops(&self, pred: &dyn Fn(&PhysicalOp) -> bool) -> Vec<&PhysicalOp> {
+        let mut out = Vec::new();
+        self.visit_collect(pred, &mut out);
+        out
+    }
+
+    fn visit_collect<'a>(
+        &'a self,
+        pred: &dyn Fn(&PhysicalOp) -> bool,
+        out: &mut Vec<&'a PhysicalOp>,
+    ) {
+        if pred(&self.op) {
+            out.push(&self.op);
+        }
+        for c in &self.children {
+            c.visit_collect(pred, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_catalog::{ColumnMeta, Distribution, TableDesc};
+    use orca_common::{DataType, MdId, SysId};
+    use std::sync::Arc;
+
+    fn scan(oid: u64, first: u32, n: usize) -> PhysicalPlan {
+        PhysicalPlan::leaf(PhysicalOp::TableScan {
+            table: TableRef(Arc::new(TableDesc::new(
+                MdId::new(SysId::Gpdb, oid, 1),
+                &format!("t{oid}"),
+                (0..n)
+                    .map(|i| ColumnMeta::new(&format!("c{i}"), DataType::Int))
+                    .collect(),
+                Distribution::Hashed(vec![0]),
+            ))),
+            cols: (0..n as u32).map(|i| ColId(first + i)).collect(),
+            parts: None,
+        })
+    }
+
+    #[test]
+    fn motion_properties() {
+        let g = MotionKind::Gather;
+        assert_eq!(g.delivered_dist(), DistSpec::Singleton);
+        assert!(g.delivered_order(&OrderSpec::by(&[ColId(1)])).is_any());
+        let gm = MotionKind::GatherMerge(OrderSpec::by(&[ColId(1)]));
+        assert_eq!(
+            gm.delivered_order(&OrderSpec::any()),
+            OrderSpec::by(&[ColId(1)])
+        );
+        let r = MotionKind::Redistribute(vec![ColId(3)]);
+        assert_eq!(r.delivered_dist(), DistSpec::Hashed(vec![ColId(3)]));
+        assert_eq!(MotionKind::Broadcast.delivered_dist(), DistSpec::Replicated);
+    }
+
+    #[test]
+    fn plan_shape_helpers() {
+        // Gather(HashJoin(Scan(t1), Redistribute(Scan(t2)))) — Figure 6's
+        // right-hand extracted plan minus the sort.
+        let join = PhysicalPlan::new(
+            PhysicalOp::HashJoin {
+                kind: JoinKind::Inner,
+                left_keys: vec![ColId(0)],
+                right_keys: vec![ColId(3)],
+                residual: None,
+            },
+            vec![
+                scan(1, 0, 2),
+                PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::Redistribute(vec![ColId(3)]),
+                    },
+                    vec![scan(2, 2, 2)],
+                ),
+            ],
+        );
+        let plan = PhysicalPlan::new(
+            PhysicalOp::Motion {
+                kind: MotionKind::Gather,
+            },
+            vec![join],
+        );
+        assert_eq!(plan.size(), 5);
+        assert_eq!(plan.motion_count(), 2);
+        assert_eq!(
+            plan.output_cols(),
+            vec![ColId(0), ColId(1), ColId(2), ColId(3)]
+        );
+        assert_eq!(
+            plan.find_ops(&|op| matches!(op, PhysicalOp::HashJoin { .. }))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn agg_and_setop_outputs() {
+        let agg = PhysicalOp::HashAgg {
+            stage: AggStage::Single,
+            group_cols: vec![ColId(1)],
+            aggs: vec![(
+                ColId(9),
+                ScalarExpr::Agg {
+                    func: crate::scalar::AggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                },
+            )],
+        };
+        assert_eq!(
+            agg.output_cols(&[vec![ColId(0), ColId(1)]]),
+            vec![ColId(1), ColId(9)]
+        );
+        assert_eq!(agg.name(), "HashAgg");
+        let scalar = PhysicalOp::HashAgg {
+            group_cols: vec![],
+            aggs: vec![],
+            stage: AggStage::Single,
+        };
+        assert_eq!(scalar.name(), "ScalarAgg");
+        let u = PhysicalOp::UnionAll {
+            output: vec![ColId(5)],
+            input_cols: vec![vec![ColId(0)], vec![ColId(1)]],
+        };
+        assert_eq!(u.arity(), 2);
+        assert_eq!(
+            u.output_cols(&[vec![ColId(0)], vec![ColId(1)]]),
+            vec![ColId(5)]
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! EXPLAIN-style rendering of logical and physical trees.
+
+use crate::logical::{LogicalExpr, LogicalOp};
+use crate::physical::{PhysicalOp, PhysicalPlan};
+
+/// Render a logical tree as an indented outline.
+pub fn explain_logical(expr: &LogicalExpr) -> String {
+    let mut out = String::new();
+    fmt_logical(expr, 0, &mut out);
+    out
+}
+
+fn fmt_logical(e: &LogicalExpr, depth: usize, out: &mut String) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(e.op.name());
+    match &e.op {
+        LogicalOp::Get { table, parts, .. } => {
+            out.push_str(&format!("({})", table.name));
+            if let Some(p) = parts {
+                out.push_str(&format!(" parts={}/{}", p.len(), table.num_partitions()));
+            }
+        }
+        LogicalOp::Select { pred } => out.push_str(&format!(" {pred}")),
+        LogicalOp::Join { pred, .. } => out.push_str(&format!(" on {pred}")),
+        LogicalOp::GbAgg { group_cols, .. } => {
+            out.push_str(&format!(
+                " by [{}]",
+                group_cols
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        LogicalOp::Limit {
+            order,
+            offset,
+            count,
+        } => {
+            out.push_str(&format!(" order={order} offset={offset} count={count:?}"));
+        }
+        _ => {}
+    }
+    out.push('\n');
+    for c in &e.children {
+        fmt_logical(c, depth + 1, out);
+    }
+}
+
+/// Render a physical plan as an indented outline (the shape shown in
+/// Figure 6's "extracted final plan").
+pub fn explain_physical(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    fmt_physical(plan, 0, &mut out);
+    out
+}
+
+fn fmt_physical(p: &PhysicalPlan, depth: usize, out: &mut String) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&p.op.name());
+    match &p.op {
+        PhysicalOp::Filter { pred } => out.push_str(&format!(" {pred}")),
+        PhysicalOp::HashJoin {
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let pairs: Vec<String> = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(l, r)| format!("{l}={r}"))
+                .collect();
+            out.push_str(&format!(" on [{}]", pairs.join(", ")));
+        }
+        PhysicalOp::NLJoin { pred, .. } => out.push_str(&format!(" on {pred}")),
+        PhysicalOp::TableScan {
+            parts: Some(p),
+            table,
+            ..
+        } => {
+            out.push_str(&format!(" parts={}/{}", p.len(), table.num_partitions()));
+        }
+        PhysicalOp::HashAgg { group_cols, .. } | PhysicalOp::StreamAgg { group_cols, .. }
+            if !group_cols.is_empty() =>
+        {
+            out.push_str(&format!(
+                " by [{}]",
+                group_cols
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        PhysicalOp::Limit { offset, count, .. } => {
+            out.push_str(&format!(" offset={offset} count={count:?}"));
+        }
+        _ => {}
+    }
+    out.push('\n');
+    for c in &p.children {
+        fmt_physical(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{JoinKind, TableRef};
+    use crate::physical::MotionKind;
+    use crate::scalar::ScalarExpr;
+    use orca_catalog::{ColumnMeta, Distribution, TableDesc};
+    use orca_common::{ColId, DataType, MdId, SysId};
+    use std::sync::Arc;
+
+    fn tref(oid: u64) -> TableRef {
+        TableRef(Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, oid, 1),
+            &format!("t{oid}"),
+            vec![ColumnMeta::new("a", DataType::Int)],
+            Distribution::Random,
+        )))
+    }
+
+    #[test]
+    fn logical_tree_renders_nested() {
+        let e = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::col_eq_col(ColId(0), ColId(1)),
+            },
+            vec![
+                LogicalExpr::leaf(LogicalOp::Get {
+                    table: tref(1),
+                    cols: vec![ColId(0)],
+                    parts: None,
+                }),
+                LogicalExpr::leaf(LogicalOp::Get {
+                    table: tref(2),
+                    cols: vec![ColId(1)],
+                    parts: None,
+                }),
+            ],
+        );
+        let s = explain_logical(&e);
+        assert!(s.contains("InnerJoin on (c0 = c1)"));
+        assert!(s.contains("  Get(t1)"));
+        assert!(s.contains("  Get(t2)"));
+    }
+
+    #[test]
+    fn physical_plan_renders_motions() {
+        let p = PhysicalPlan::new(
+            PhysicalOp::Motion {
+                kind: MotionKind::Gather,
+            },
+            vec![PhysicalPlan::leaf(PhysicalOp::TableScan {
+                table: tref(1),
+                cols: vec![ColId(0)],
+                parts: None,
+            })],
+        );
+        let s = explain_physical(&p);
+        assert!(s.starts_with("Gather\n"));
+        assert!(s.contains("  TableScan(t1)"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Property vocabulary: sort orders and data distributions.
+//!
+//! These are the *physical properties* of §4.1's enforcement framework.
+//! The request/derivation machinery lives in `orca::props`; the baseline
+//! planner and the executor share the same vocabulary, so it is defined
+//! here.
+
+use orca_common::ColId;
+use std::fmt;
+
+/// One sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SortKey {
+    pub col: ColId,
+    pub desc: bool,
+}
+
+impl SortKey {
+    pub fn asc(col: ColId) -> SortKey {
+        SortKey { col, desc: false }
+    }
+
+    pub fn descending(col: ColId) -> SortKey {
+        SortKey { col, desc: true }
+    }
+}
+
+/// A sort order: empty means "no particular order" (`Any`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct OrderSpec(pub Vec<SortKey>);
+
+impl OrderSpec {
+    pub fn any() -> OrderSpec {
+        OrderSpec(Vec::new())
+    }
+
+    pub fn by(cols: &[ColId]) -> OrderSpec {
+        OrderSpec(cols.iter().copied().map(SortKey::asc).collect())
+    }
+
+    pub fn is_any(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn cols(&self) -> Vec<ColId> {
+        self.0.iter().map(|k| k.col).collect()
+    }
+
+    /// `self` (delivered) satisfies `req` iff `req` is a prefix of `self`.
+    /// Sorting by `(a, b)` delivers order by `(a)` too.
+    pub fn satisfies(&self, req: &OrderSpec) -> bool {
+        req.0.len() <= self.0.len() && self.0[..req.0.len()] == req.0[..]
+    }
+
+    /// Restrict to keys over `cols` only (order properties don't survive
+    /// projections that drop their columns).
+    pub fn project(&self, cols: &[ColId]) -> OrderSpec {
+        // Order is meaningful only up to the first dropped key.
+        let kept: Vec<SortKey> = self
+            .0
+            .iter()
+            .take_while(|k| cols.contains(&k.col))
+            .copied()
+            .collect();
+        OrderSpec(kept)
+    }
+}
+
+impl fmt::Display for OrderSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            return write!(f, "Any");
+        }
+        write!(f, "<")?;
+        for (i, k) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}{}", k.col, if k.desc { " DESC" } else { "" })?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Data distribution across segments (§2.1 / §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DistSpec {
+    /// As a *requirement*: anything goes. Never derived.
+    Any,
+    /// All rows on a single host (the master after a Gather).
+    Singleton,
+    /// Rows placed by hash of these columns; equal keys co-located.
+    Hashed(Vec<ColId>),
+    /// Every segment holds a full copy.
+    Replicated,
+    /// Scattered with no co-location guarantee (e.g. randomly-distributed
+    /// tables). Only ever *derived*.
+    Random,
+}
+
+impl DistSpec {
+    /// Does a plan *delivering* `self` satisfy a request for `req`?
+    ///
+    /// Replication deliberately does **not** satisfy `Hashed` — a
+    /// replicated child would duplicate join results; the broadcast-join
+    /// alternative is generated explicitly by the operator instead (§4.1
+    /// footnote 2).
+    pub fn satisfies(&self, req: &DistSpec) -> bool {
+        match (self, req) {
+            (_, DistSpec::Any) => true,
+            (DistSpec::Singleton, DistSpec::Singleton) => true,
+            (DistSpec::Replicated, DistSpec::Replicated) => true,
+            (DistSpec::Hashed(a), DistSpec::Hashed(b)) => a == b,
+            // A singleton trivially co-locates every key... but a Hashed
+            // request also implies parallelism placement; Orca treats
+            // Singleton as not satisfying Hashed, and so do we.
+            _ => false,
+        }
+    }
+
+    /// Is this a valid *requirement* (vs. derived-only variants)?
+    pub fn is_requestable(&self) -> bool {
+        !matches!(self, DistSpec::Random)
+    }
+
+    /// Rewrite hashed columns through a projection map; hashed distribution
+    /// survives only if every key column survives.
+    pub fn project(&self, cols: &[ColId]) -> DistSpec {
+        match self {
+            DistSpec::Hashed(keys) if !keys.iter().all(|k| cols.contains(k)) => DistSpec::Random,
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for DistSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistSpec::Any => write!(f, "Any"),
+            DistSpec::Singleton => write!(f, "Singleton"),
+            DistSpec::Hashed(cols) => {
+                write!(f, "Hashed(")?;
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            DistSpec::Replicated => write!(f, "Replicated"),
+            DistSpec::Random => write!(f, "Random"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_prefix_satisfaction() {
+        let ab = OrderSpec::by(&[ColId(1), ColId(2)]);
+        let a = OrderSpec::by(&[ColId(1)]);
+        let b = OrderSpec::by(&[ColId(2)]);
+        assert!(ab.satisfies(&a));
+        assert!(!a.satisfies(&ab));
+        assert!(!ab.satisfies(&b));
+        assert!(ab.satisfies(&OrderSpec::any()));
+        assert!(OrderSpec::any().satisfies(&OrderSpec::any()));
+        // Direction matters.
+        let a_desc = OrderSpec(vec![SortKey::descending(ColId(1))]);
+        assert!(!a_desc.satisfies(&a));
+    }
+
+    #[test]
+    fn order_projection_stops_at_dropped_key() {
+        let abc = OrderSpec::by(&[ColId(1), ColId(2), ColId(3)]);
+        let proj = abc.project(&[ColId(1), ColId(3)]);
+        // c2 dropped → order only meaningful on the c1 prefix.
+        assert_eq!(proj, OrderSpec::by(&[ColId(1)]));
+    }
+
+    #[test]
+    fn dist_satisfaction_lattice() {
+        let h1 = DistSpec::Hashed(vec![ColId(1)]);
+        let h2 = DistSpec::Hashed(vec![ColId(2)]);
+        assert!(h1.satisfies(&DistSpec::Any));
+        assert!(h1.satisfies(&h1));
+        assert!(!h1.satisfies(&h2));
+        assert!(!DistSpec::Replicated.satisfies(&h1));
+        assert!(!DistSpec::Singleton.satisfies(&h1));
+        assert!(!DistSpec::Random.satisfies(&DistSpec::Singleton));
+        assert!(DistSpec::Singleton.satisfies(&DistSpec::Singleton));
+        assert!(!DistSpec::Random.is_requestable());
+        assert!(h1.is_requestable());
+    }
+
+    #[test]
+    fn dist_projection_loses_hash_on_dropped_key() {
+        let h = DistSpec::Hashed(vec![ColId(1), ColId(2)]);
+        assert_eq!(h.project(&[ColId(1), ColId(2), ColId(9)]), h);
+        assert_eq!(h.project(&[ColId(1)]), DistSpec::Random);
+        assert_eq!(DistSpec::Singleton.project(&[]), DistSpec::Singleton);
+    }
+}

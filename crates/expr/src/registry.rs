@@ -1,0 +1,108 @@
+//! The column factory: query-wide unique column ids.
+//!
+//! Orca's `CColumnFactory` mints a `CColRef` per produced column; here the
+//! binder mints [`ColId`]s for base-table columns, projections, aggregates
+//! and CTE consumers, and optimizer rules mint more (e.g. the local-stage
+//! columns of a split aggregate). The registry is therefore shared and
+//! thread-safe: exploration jobs on different cores may mint concurrently.
+
+use orca_common::{ColId, DataType};
+use parking_lot::RwLock;
+
+/// Metadata for one column id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnInfo {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+/// Shared, append-only registry of column ids.
+#[derive(Debug, Default)]
+pub struct ColumnRegistry {
+    cols: RwLock<Vec<ColumnInfo>>,
+}
+
+impl ColumnRegistry {
+    pub fn new() -> ColumnRegistry {
+        ColumnRegistry::default()
+    }
+
+    /// Mint a fresh column id.
+    pub fn fresh(&self, name: &str, dtype: DataType) -> ColId {
+        let mut g = self.cols.write();
+        let id = ColId(g.len() as u32);
+        g.push(ColumnInfo {
+            name: name.to_string(),
+            dtype,
+        });
+        id
+    }
+
+    pub fn info(&self, col: ColId) -> ColumnInfo {
+        self.cols.read()[col.index()].clone()
+    }
+
+    pub fn dtype(&self, col: ColId) -> DataType {
+        self.cols.read()[col.index()].dtype
+    }
+
+    pub fn name(&self, col: ColId) -> String {
+        self.cols.read()[col.index()].name.clone()
+    }
+
+    /// Byte width of one column (cost model / motion volume input).
+    pub fn width(&self, col: ColId) -> u64 {
+        self.dtype(col).width()
+    }
+
+    /// Total width of a row of `cols`.
+    pub fn row_width(&self, cols: &[ColId]) -> u64 {
+        cols.iter().map(|c| self.width(*c)).sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_and_lookup() {
+        let r = ColumnRegistry::new();
+        let a = r.fresh("a", DataType::Int);
+        let b = r.fresh("b", DataType::Str);
+        assert_ne!(a, b);
+        assert_eq!(r.info(a).name, "a");
+        assert_eq!(r.dtype(b), DataType::Str);
+        assert_eq!(r.row_width(&[a, b]), 8 + 24);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_minting_yields_unique_ids() {
+        let r = std::sync::Arc::new(ColumnRegistry::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|i| r.fresh(&format!("t{t}_{i}"), DataType::Int))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<ColId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panic"))
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 400);
+    }
+}

@@ -1,0 +1,635 @@
+//! Scalar expressions.
+//!
+//! The binder produces scalar trees that may still contain *subquery
+//! markers* (`Exists`, `InSubquery`, `ScalarSubquery`); the normalization
+//! pass in `orca::preprocess` unnests those into joins before anything is
+//! copied into the Memo (see DESIGN.md §2). Everything else survives into
+//! physical plans and is evaluated by the execution engine.
+
+use crate::logical::LogicalExpr;
+use orca_common::{ColId, Datum};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The operator with sides swapped: `a < b` ⇔ `b > a`.
+    pub fn commute(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    pub fn evaluate(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// Binary arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl ArithOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Whether the two-stage (local/global) split rule applies (§7.2.2
+    /// multi-stage aggregation). `avg` is handled by the binder rewriting it
+    /// into `sum/count`, so it never reaches the splitter.
+    pub fn splittable(&self) -> bool {
+        !matches!(self, AggFunc::Avg)
+    }
+
+    /// The global-stage function combining partial results of `self`:
+    /// `count → sum`, others combine with themselves.
+    pub fn combiner(&self) -> AggFunc {
+        match self {
+            AggFunc::Count => AggFunc::Sum,
+            f => *f,
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScalarExpr {
+    /// Reference to a column produced below.
+    ColRef(ColId),
+    /// Literal.
+    Const(Datum),
+    /// Binary comparison.
+    Cmp {
+        op: CmpOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// N-ary conjunction.
+    And(Vec<ScalarExpr>),
+    /// N-ary disjunction.
+    Or(Vec<ScalarExpr>),
+    Not(Box<ScalarExpr>),
+    IsNull(Box<ScalarExpr>),
+    /// Binary arithmetic.
+    Arith {
+        op: ArithOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// Searched CASE: WHEN cond THEN value ... [ELSE value].
+    Case {
+        branches: Vec<(ScalarExpr, ScalarExpr)>,
+        else_value: Option<Box<ScalarExpr>>,
+    },
+    /// `expr IN (v1, v2, ...)` value list.
+    InList {
+        expr: Box<ScalarExpr>,
+        list: Vec<ScalarExpr>,
+        negated: bool,
+    },
+    /// Aggregate call — legal only in `GbAgg` projections.
+    Agg {
+        func: AggFunc,
+        /// `None` encodes `count(*)`.
+        arg: Option<Box<ScalarExpr>>,
+        distinct: bool,
+    },
+    /// `[NOT] EXISTS (subquery)` — pre-normalization only.
+    Exists {
+        negated: bool,
+        subquery: Box<LogicalExpr>,
+    },
+    /// `expr [NOT] IN (subquery)` — pre-normalization only.
+    InSubquery {
+        expr: Box<ScalarExpr>,
+        subquery: Box<LogicalExpr>,
+        /// Output column of the subquery compared against `expr`.
+        subquery_col: ColId,
+        negated: bool,
+    },
+    /// Scalar subquery producing a single value — pre-normalization only.
+    ScalarSubquery {
+        subquery: Box<LogicalExpr>,
+        subquery_col: ColId,
+    },
+}
+
+impl ScalarExpr {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    pub fn col(id: ColId) -> ScalarExpr {
+        ScalarExpr::ColRef(id)
+    }
+
+    pub fn int(v: i64) -> ScalarExpr {
+        ScalarExpr::Const(Datum::Int(v))
+    }
+
+    pub fn cmp(op: CmpOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::cmp(CmpOp::Eq, left, right)
+    }
+
+    pub fn col_eq_col(a: ColId, b: ColId) -> ScalarExpr {
+        ScalarExpr::eq(ScalarExpr::col(a), ScalarExpr::col(b))
+    }
+
+    /// Conjunction, flattening nested `And`s and dropping `true`.
+    pub fn and(conjuncts: Vec<ScalarExpr>) -> ScalarExpr {
+        let mut flat = Vec::new();
+        for c in conjuncts {
+            match c {
+                ScalarExpr::And(inner) => flat.extend(inner),
+                ScalarExpr::Const(Datum::Bool(true)) => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => ScalarExpr::Const(Datum::Bool(true)),
+            1 => flat.pop().expect("len checked"),
+            _ => ScalarExpr::And(flat),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis
+    // ------------------------------------------------------------------
+
+    /// All columns referenced (not descending into subqueries — their
+    /// internal columns are a different scope; correlated outer references
+    /// *are* collected because they belong to this scope).
+    pub fn used_cols(&self) -> Vec<ColId> {
+        let mut out = Vec::new();
+        self.collect_cols(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_cols(&self, out: &mut Vec<ColId>) {
+        match self {
+            ScalarExpr::ColRef(c) => out.push(*c),
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+                left.collect_cols(out);
+                right.collect_cols(out);
+            }
+            ScalarExpr::And(v) | ScalarExpr::Or(v) => {
+                for e in v {
+                    e.collect_cols(out);
+                }
+            }
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.collect_cols(out),
+            ScalarExpr::Case {
+                branches,
+                else_value,
+            } => {
+                for (c, v) in branches {
+                    c.collect_cols(out);
+                    v.collect_cols(out);
+                }
+                if let Some(e) = else_value {
+                    e.collect_cols(out);
+                }
+            }
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.collect_cols(out);
+                for e in list {
+                    e.collect_cols(out);
+                }
+            }
+            ScalarExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_cols(out);
+                }
+            }
+            ScalarExpr::Exists { subquery, .. } => {
+                // Correlated references: columns used inside the subquery
+                // that the subquery itself does not produce.
+                for c in subquery.outer_refs() {
+                    out.push(c);
+                }
+            }
+            ScalarExpr::InSubquery { expr, subquery, .. } => {
+                expr.collect_cols(out);
+                for c in subquery.outer_refs() {
+                    out.push(c);
+                }
+            }
+            ScalarExpr::ScalarSubquery { subquery, .. } => {
+                for c in subquery.outer_refs() {
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    /// Split a conjunction into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&ScalarExpr> {
+        match self {
+            ScalarExpr::And(v) => v.iter().flat_map(|e| e.conjuncts()).collect(),
+            e => vec![e],
+        }
+    }
+
+    pub fn into_conjuncts(self) -> Vec<ScalarExpr> {
+        match self {
+            ScalarExpr::And(v) => v.into_iter().flat_map(|e| e.into_conjuncts()).collect(),
+            e => vec![e],
+        }
+    }
+
+    /// Whether this expression contains any subquery marker (must be false
+    /// by the time expressions enter the Memo).
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            ScalarExpr::Exists { .. }
+            | ScalarExpr::InSubquery { .. }
+            | ScalarExpr::ScalarSubquery { .. } => true,
+            ScalarExpr::ColRef(_) | ScalarExpr::Const(_) => false,
+            ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+                left.has_subquery() || right.has_subquery()
+            }
+            ScalarExpr::And(v) | ScalarExpr::Or(v) => v.iter().any(|e| e.has_subquery()),
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.has_subquery(),
+            ScalarExpr::Case {
+                branches,
+                else_value,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.has_subquery() || v.has_subquery())
+                    || else_value.as_ref().is_some_and(|e| e.has_subquery())
+            }
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.has_subquery() || list.iter().any(|e| e.has_subquery())
+            }
+            ScalarExpr::Agg { arg, .. } => arg.as_ref().is_some_and(|a| a.has_subquery()),
+        }
+    }
+
+    /// Whether this expression contains an aggregate call.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            ScalarExpr::Agg { .. } => true,
+            ScalarExpr::ColRef(_) | ScalarExpr::Const(_) => false,
+            ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+                left.has_agg() || right.has_agg()
+            }
+            ScalarExpr::And(v) | ScalarExpr::Or(v) => v.iter().any(|e| e.has_agg()),
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.has_agg(),
+            ScalarExpr::Case {
+                branches,
+                else_value,
+            } => {
+                branches.iter().any(|(c, v)| c.has_agg() || v.has_agg())
+                    || else_value.as_ref().is_some_and(|e| e.has_agg())
+            }
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.has_agg() || list.iter().any(|e| e.has_agg())
+            }
+            ScalarExpr::Exists { .. }
+            | ScalarExpr::InSubquery { .. }
+            | ScalarExpr::ScalarSubquery { .. } => false,
+        }
+    }
+
+    /// If this is `col = col` between the two given sides, return the pair
+    /// `(left_side_col, right_side_col)`. Used to extract hash-join keys.
+    pub fn as_equi_pair(
+        &self,
+        left_cols: &[ColId],
+        right_cols: &[ColId],
+    ) -> Option<(ColId, ColId)> {
+        if let ScalarExpr::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } = self
+        {
+            if let (ScalarExpr::ColRef(a), ScalarExpr::ColRef(b)) = (left.as_ref(), right.as_ref())
+            {
+                if left_cols.contains(a) && right_cols.contains(b) {
+                    return Some((*a, *b));
+                }
+                if left_cols.contains(b) && right_cols.contains(a) {
+                    return Some((*b, *a));
+                }
+            }
+        }
+        None
+    }
+
+    /// Rewrite column references through `map` (old → new). References not
+    /// in the map are left untouched.
+    pub fn remap_cols(&self, map: &dyn Fn(ColId) -> ColId) -> ScalarExpr {
+        match self {
+            ScalarExpr::ColRef(c) => ScalarExpr::ColRef(map(*c)),
+            ScalarExpr::Const(d) => ScalarExpr::Const(d.clone()),
+            ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op: *op,
+                left: Box::new(left.remap_cols(map)),
+                right: Box::new(right.remap_cols(map)),
+            },
+            ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+                op: *op,
+                left: Box::new(left.remap_cols(map)),
+                right: Box::new(right.remap_cols(map)),
+            },
+            ScalarExpr::And(v) => ScalarExpr::And(v.iter().map(|e| e.remap_cols(map)).collect()),
+            ScalarExpr::Or(v) => ScalarExpr::Or(v.iter().map(|e| e.remap_cols(map)).collect()),
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.remap_cols(map))),
+            ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(e.remap_cols(map))),
+            ScalarExpr::Case {
+                branches,
+                else_value,
+            } => ScalarExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| (c.remap_cols(map), v.remap_cols(map)))
+                    .collect(),
+                else_value: else_value.as_ref().map(|e| Box::new(e.remap_cols(map))),
+            },
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
+                expr: Box::new(expr.remap_cols(map)),
+                list: list.iter().map(|e| e.remap_cols(map)).collect(),
+                negated: *negated,
+            },
+            ScalarExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } => ScalarExpr::Agg {
+                func: *func,
+                arg: arg.as_ref().map(|a| Box::new(a.remap_cols(map))),
+                distinct: *distinct,
+            },
+            ScalarExpr::Exists { negated, subquery } => ScalarExpr::Exists {
+                negated: *negated,
+                subquery: Box::new(subquery.remap_outer_cols(map)),
+            },
+            ScalarExpr::InSubquery {
+                expr,
+                subquery,
+                subquery_col,
+                negated,
+            } => ScalarExpr::InSubquery {
+                expr: Box::new(expr.remap_cols(map)),
+                subquery: Box::new(subquery.remap_outer_cols(map)),
+                subquery_col: *subquery_col,
+                negated: *negated,
+            },
+            ScalarExpr::ScalarSubquery {
+                subquery,
+                subquery_col,
+            } => ScalarExpr::ScalarSubquery {
+                subquery: Box::new(subquery.remap_outer_cols(map)),
+                subquery_col: *subquery_col,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::ColRef(c) => write!(f, "{c}"),
+            ScalarExpr::Const(d) => write!(f, "{d}"),
+            ScalarExpr::Cmp { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            ScalarExpr::And(v) => {
+                let parts: Vec<String> = v.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" AND "))
+            }
+            ScalarExpr::Or(v) => {
+                let parts: Vec<String> = v.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" OR "))
+            }
+            ScalarExpr::Not(e) => write!(f, "NOT {e}"),
+            ScalarExpr::IsNull(e) => write!(f, "{e} IS NULL"),
+            ScalarExpr::Arith { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            ScalarExpr::Case {
+                branches,
+                else_value,
+            } => {
+                write!(f, "CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = else_value {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let parts: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    parts.join(", ")
+                )
+            }
+            ScalarExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } => match arg {
+                Some(a) => write!(
+                    f,
+                    "{}({}{a})",
+                    func.name(),
+                    if *distinct { "DISTINCT " } else { "" }
+                ),
+                None => write!(f, "count(*)"),
+            },
+            ScalarExpr::Exists { negated, .. } => {
+                write!(
+                    f,
+                    "{}EXISTS(<subquery>)",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+            ScalarExpr::InSubquery { expr, negated, .. } => {
+                write!(
+                    f,
+                    "{expr} {}IN (<subquery>)",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+            ScalarExpr::ScalarSubquery { .. } => write!(f, "(<scalar subquery>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens_and_simplifies() {
+        let e = ScalarExpr::and(vec![
+            ScalarExpr::Const(Datum::Bool(true)),
+            ScalarExpr::and(vec![
+                ScalarExpr::col_eq_col(ColId(1), ColId(2)),
+                ScalarExpr::col_eq_col(ColId(3), ColId(4)),
+            ]),
+        ]);
+        assert_eq!(e.conjuncts().len(), 2);
+        let single = ScalarExpr::and(vec![ScalarExpr::col_eq_col(ColId(1), ColId(2))]);
+        assert!(matches!(single, ScalarExpr::Cmp { .. }));
+        let empty = ScalarExpr::and(vec![]);
+        assert_eq!(empty, ScalarExpr::Const(Datum::Bool(true)));
+    }
+
+    #[test]
+    fn used_cols_dedups_and_sorts() {
+        let e = ScalarExpr::and(vec![
+            ScalarExpr::col_eq_col(ColId(5), ColId(2)),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(ColId(2)), ScalarExpr::int(10)),
+        ]);
+        assert_eq!(e.used_cols(), vec![ColId(2), ColId(5)]);
+    }
+
+    #[test]
+    fn equi_pair_extraction_normalizes_sides() {
+        let l = [ColId(1), ColId(2)];
+        let r = [ColId(10), ColId(11)];
+        let e1 = ScalarExpr::col_eq_col(ColId(1), ColId(10));
+        let e2 = ScalarExpr::col_eq_col(ColId(10), ColId(1));
+        assert_eq!(e1.as_equi_pair(&l, &r), Some((ColId(1), ColId(10))));
+        assert_eq!(e2.as_equi_pair(&l, &r), Some((ColId(1), ColId(10))));
+        // Both columns from the same side: not an equi-join pair.
+        let e3 = ScalarExpr::col_eq_col(ColId(1), ColId(2));
+        assert_eq!(e3.as_equi_pair(&l, &r), None);
+        // Non-equality: not a pair.
+        let e4 = ScalarExpr::cmp(
+            CmpOp::Lt,
+            ScalarExpr::col(ColId(1)),
+            ScalarExpr::col(ColId(10)),
+        );
+        assert_eq!(e4.as_equi_pair(&l, &r), None);
+    }
+
+    #[test]
+    fn remap_rewrites_refs() {
+        let e = ScalarExpr::col_eq_col(ColId(1), ColId(2));
+        let m = e.remap_cols(&|c| if c == ColId(1) { ColId(100) } else { c });
+        assert_eq!(m.used_cols(), vec![ColId(2), ColId(100)]);
+    }
+
+    #[test]
+    fn cmp_commute_and_eval() {
+        use std::cmp::Ordering::*;
+        assert_eq!(CmpOp::Lt.commute(), CmpOp::Gt);
+        assert!(CmpOp::Le.evaluate(Equal));
+        assert!(!CmpOp::Ne.evaluate(Equal));
+        assert!(CmpOp::Ne.evaluate(Less));
+    }
+
+    #[test]
+    fn agg_split_metadata() {
+        assert!(AggFunc::Sum.splittable());
+        assert!(!AggFunc::Avg.splittable());
+        assert_eq!(AggFunc::Count.combiner(), AggFunc::Sum);
+        assert_eq!(AggFunc::Max.combiner(), AggFunc::Max);
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = ScalarExpr::and(vec![
+            ScalarExpr::col_eq_col(ColId(0), ColId(3)),
+            ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(ColId(1)), ScalarExpr::int(7)),
+        ]);
+        assert_eq!(e.to_string(), "((c0 = c3) AND (c1 >= 7))");
+    }
+}

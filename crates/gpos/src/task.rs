@@ -1,0 +1,144 @@
+//! Cooperative cancellation and error capture.
+//!
+//! Orca's exception handling unwinds an optimization session when a job
+//! raises; here a failing job records its error in the shared
+//! [`AbortSignal`], every worker observes the flag and stops picking up
+//! work, and the session entry point surfaces the first recorded error.
+//! Deadlines implement the per-stage timeouts of §4.1 (multi-stage
+//! optimization).
+
+use orca_common::{OrcaError, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared cancellation token for one optimization session (or stage).
+///
+/// The hot path ([`AbortSignal::is_aborted`]) is lock-free — it is called
+/// once per scheduler job step by every worker, so a mutex here would
+/// serialize the whole optimizer.
+#[derive(Debug)]
+pub struct AbortSignal {
+    aborted: AtomicBool,
+    reason: Mutex<Option<OrcaError>>,
+    /// Deadline as nanoseconds after `base`; 0 = no deadline.
+    deadline_ns: AtomicU64,
+    base: Instant,
+}
+
+impl Default for AbortSignal {
+    fn default() -> AbortSignal {
+        AbortSignal {
+            aborted: AtomicBool::new(false),
+            reason: Mutex::new(None),
+            deadline_ns: AtomicU64::new(0),
+            base: Instant::now(),
+        }
+    }
+}
+
+impl AbortSignal {
+    pub fn new() -> AbortSignal {
+        AbortSignal::default()
+    }
+
+    /// Install a deadline; [`AbortSignal::check`] starts failing once it has
+    /// passed.
+    pub fn set_deadline(&self, deadline: Instant) {
+        let ns = deadline
+            .saturating_duration_since(self.base)
+            .as_nanos()
+            .max(1) as u64;
+        self.deadline_ns.store(ns, Ordering::SeqCst);
+    }
+
+    pub fn clear_deadline(&self) {
+        self.deadline_ns.store(0, Ordering::SeqCst);
+    }
+
+    /// Record an error and trip the flag. The first error wins; later ones
+    /// are dropped (they are almost always consequences of the first).
+    pub fn abort_with(&self, err: OrcaError) {
+        {
+            let mut r = self.reason.lock();
+            if r.is_none() {
+                *r = Some(err);
+            }
+        }
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    /// Trip the flag without an error payload (external cancellation).
+    pub fn abort(&self) {
+        self.abort_with(OrcaError::Aborted("cancelled".into()));
+    }
+
+    pub fn is_aborted(&self) -> bool {
+        if self.aborted.load(Ordering::Relaxed) {
+            return true;
+        }
+        let deadline = self.deadline_ns.load(Ordering::Relaxed);
+        if deadline != 0 && self.base.elapsed().as_nanos() as u64 >= deadline {
+            self.abort_with(OrcaError::Aborted("stage timeout".into()));
+            return true;
+        }
+        false
+    }
+
+    /// `Err` once aborted; call this at job boundaries and inside long loops.
+    pub fn check(&self) -> Result<()> {
+        if self.is_aborted() {
+            Err(self.error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The recorded error, or a generic `Aborted` if only the flag was set.
+    pub fn error(&self) -> OrcaError {
+        self.reason
+            .lock()
+            .clone()
+            .unwrap_or_else(|| OrcaError::Aborted("aborted".into()))
+    }
+
+    /// Reset for reuse across optimization stages. Only meaningful between
+    /// `Scheduler::run` calls.
+    pub fn reset(&self) {
+        self.aborted.store(false, Ordering::SeqCst);
+        *self.reason.lock() = None;
+        self.deadline_ns.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn abort_records_first_error() {
+        let s = AbortSignal::new();
+        assert!(s.check().is_ok());
+        s.abort_with(OrcaError::Internal("first".into()));
+        s.abort_with(OrcaError::Internal("second".into()));
+        assert!(s.is_aborted());
+        assert_eq!(s.error(), OrcaError::Internal("first".into()));
+    }
+
+    #[test]
+    fn deadline_trips_abort() {
+        let s = AbortSignal::new();
+        s.set_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(s.check().is_err());
+        assert_eq!(s.error().kind(), "aborted");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let s = AbortSignal::new();
+        s.abort();
+        s.reset();
+        assert!(s.check().is_ok());
+    }
+}

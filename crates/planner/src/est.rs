@@ -1,0 +1,179 @@
+//! A deliberately crude cardinality estimator.
+//!
+//! The baselines share this NDV-only estimator (no histograms, fixed
+//! default selectivities) — both because that matches the sophistication
+//! gap the paper describes and because it keeps the baseline self-contained.
+
+use orca_catalog::MdAccessor;
+use orca_common::{ColId, Result};
+use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp};
+use orca_expr::scalar::{CmpOp, ScalarExpr};
+use std::collections::HashMap;
+
+/// Rough per-relation statistics: rows and per-column NDV.
+#[derive(Debug, Clone, Default)]
+pub struct RoughStats {
+    pub rows: f64,
+    pub ndv: HashMap<ColId, f64>,
+}
+
+impl RoughStats {
+    pub fn ndv_of(&self, c: ColId) -> f64 {
+        self.ndv.get(&c).copied().unwrap_or(self.rows).max(1.0)
+    }
+}
+
+const EQ_SEL: f64 = 0.005;
+const RANGE_SEL: f64 = 0.33;
+
+/// Estimate output statistics of a logical tree (no histogram math; NDVs
+/// from the catalog, default selectivities otherwise).
+pub fn estimate(expr: &LogicalExpr, md: &MdAccessor) -> Result<RoughStats> {
+    Ok(match &expr.op {
+        LogicalOp::Get { table, cols, parts } => {
+            let ts = md.stats(table.mdid)?;
+            let frac = match (parts, &table.partitioning) {
+                (Some(p), Some(part)) => p.len() as f64 / part.num_parts().max(1) as f64,
+                _ => 1.0,
+            };
+            let mut ndv = HashMap::new();
+            for (i, c) in cols.iter().enumerate() {
+                if let Some(cs) = ts.column(i) {
+                    ndv.insert(*c, cs.ndv);
+                }
+            }
+            RoughStats {
+                rows: ts.rows * frac,
+                ndv,
+            }
+        }
+        LogicalOp::Select { pred } => {
+            let mut s = estimate(&expr.children[0], md)?;
+            let sel = pred_selectivity(pred, &s);
+            s.rows *= sel;
+            s
+        }
+        LogicalOp::Project { exprs } => {
+            let child = estimate(&expr.children[0], md)?;
+            let mut ndv = HashMap::new();
+            for (c, e) in exprs {
+                if let ScalarExpr::ColRef(src) = e {
+                    if let Some(n) = child.ndv.get(src) {
+                        ndv.insert(*c, *n);
+                    }
+                }
+            }
+            RoughStats {
+                rows: child.rows,
+                ndv,
+            }
+        }
+        LogicalOp::Join { kind, pred } => {
+            let l = estimate(&expr.children[0], md)?;
+            let r = estimate(&expr.children[1], md)?;
+            let mut combined = RoughStats {
+                rows: 0.0,
+                ndv: l.ndv.clone(),
+            };
+            combined.ndv.extend(r.ndv.clone());
+            let cross = l.rows * r.rows;
+            let mut sel = 1.0;
+            for conj in pred.conjuncts() {
+                sel *= match equi_cols(conj) {
+                    Some((a, b)) => 1.0 / combined.ndv_of(a).max(combined.ndv_of(b)),
+                    None => RANGE_SEL,
+                };
+            }
+            combined.rows = match kind {
+                JoinKind::Inner => cross * sel,
+                JoinKind::LeftOuter => (cross * sel).max(l.rows),
+                JoinKind::LeftSemi => (cross * sel).min(l.rows),
+                JoinKind::LeftAntiSemi => (l.rows - (cross * sel).min(l.rows)).max(0.0),
+            };
+            combined
+        }
+        LogicalOp::GbAgg { group_cols, .. } => {
+            let child = estimate(&expr.children[0], md)?;
+            let rows = if group_cols.is_empty() {
+                1.0
+            } else {
+                group_cols
+                    .iter()
+                    .map(|c| child.ndv_of(*c))
+                    .product::<f64>()
+                    .min(child.rows)
+                    .max(1.0)
+            };
+            RoughStats {
+                rows,
+                ndv: child.ndv,
+            }
+        }
+        LogicalOp::Limit { count, .. } => {
+            let child = estimate(&expr.children[0], md)?;
+            RoughStats {
+                rows: count
+                    .map(|c| child.rows.min(c as f64))
+                    .unwrap_or(child.rows),
+                ndv: child.ndv,
+            }
+        }
+        LogicalOp::SetOp { .. } => {
+            let mut rows = 0.0;
+            for c in &expr.children {
+                rows += estimate(c, md)?.rows;
+            }
+            RoughStats {
+                rows,
+                ndv: HashMap::new(),
+            }
+        }
+        LogicalOp::Sequence { .. } => estimate(&expr.children[1], md)?,
+        LogicalOp::CteProducer { .. } | LogicalOp::MaxOneRow => estimate(&expr.children[0], md)?,
+        LogicalOp::CteConsumer { .. } => RoughStats {
+            rows: 1000.0,
+            ndv: HashMap::new(),
+        },
+        LogicalOp::ConstTable { rows, .. } => RoughStats {
+            rows: rows.len() as f64,
+            ndv: HashMap::new(),
+        },
+    })
+}
+
+fn pred_selectivity(pred: &ScalarExpr, s: &RoughStats) -> f64 {
+    let mut sel = 1.0;
+    for conj in pred.conjuncts() {
+        sel *= match conj {
+            ScalarExpr::Cmp {
+                op: CmpOp::Eq,
+                left,
+                right,
+            } => match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::ColRef(c), ScalarExpr::Const(_))
+                | (ScalarExpr::Const(_), ScalarExpr::ColRef(c)) => 1.0 / s.ndv_of(*c),
+                _ => EQ_SEL.max(1.0 / s.rows.max(1.0)),
+            },
+            ScalarExpr::Cmp { .. } => RANGE_SEL,
+            ScalarExpr::InList { list, .. } => (list.len() as f64 * EQ_SEL).min(1.0),
+            // Subqueries etc.: pretend they are moderately selective.
+            _ => 0.5,
+        };
+    }
+    sel.clamp(0.0, 1.0)
+}
+
+/// `col = col` conjunct columns.
+pub fn equi_cols(conj: &ScalarExpr) -> Option<(ColId, ColId)> {
+    if let ScalarExpr::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = conj
+    {
+        if let (ScalarExpr::ColRef(a), ScalarExpr::ColRef(b)) = (left.as_ref(), right.as_ref()) {
+            return Some((*a, *b));
+        }
+    }
+    None
+}

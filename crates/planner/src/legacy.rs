@@ -1,0 +1,975 @@
+//! The legacy GPDB **Planner** (§7.2): a PostgreSQL-style bottom-up
+//! optimizer used as the baseline for Figure 12.
+//!
+//! Faithful in what it *can* do — cost-based left-deep join ordering via
+//! dynamic programming over join subsets, distribution-aware co-location
+//! through Redistribute motions, predicate pushdown — and faithful in what
+//! it cannot:
+//!
+//! * correlated subqueries stay as per-row **SubPlans** in filter
+//!   predicates (the executor runs them per outer row);
+//! * WITH clauses are **inlined at every consumer** (re-executing the
+//!   shared expression);
+//! * no partition elimination — partitioned tables are scanned fully;
+//! * no broadcast joins, no multi-stage aggregation, no index paths;
+//! * NDV-only cardinality estimation ([`crate::est`]).
+
+use crate::est::{self, RoughStats};
+use orca_catalog::MdAccessor;
+use orca_common::hash::FnvHashMap;
+use orca_common::{ColId, OrcaError, Result};
+use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp};
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
+use orca_expr::props::{DistSpec, OrderSpec};
+use orca_expr::scalar::ScalarExpr;
+use orca_expr::ColumnRegistry;
+
+/// The baseline planner.
+pub struct LegacyPlanner<'a> {
+    pub md: &'a MdAccessor,
+    pub registry: &'a ColumnRegistry,
+    /// Exhaustive left-deep DP up to this many relations; greedy beyond.
+    pub dp_threshold: usize,
+}
+
+/// A planned subtree with its delivered distribution and estimated rows.
+struct Planned {
+    plan: PhysicalPlan,
+    dist: DistSpec,
+    stats: RoughStats,
+    /// Accumulated estimated cost (row-count based).
+    cost: f64,
+}
+
+impl<'a> LegacyPlanner<'a> {
+    pub fn new(md: &'a MdAccessor, registry: &'a ColumnRegistry) -> LegacyPlanner<'a> {
+        LegacyPlanner {
+            md,
+            registry,
+            dp_threshold: 8,
+        }
+    }
+
+    /// Plan a query: the result gathers to the master with the given sort
+    /// order (same contract as Orca's root optimization request).
+    pub fn plan(&self, expr: &LogicalExpr, order: &OrderSpec) -> Result<(PhysicalPlan, f64)> {
+        // Legacy preprocessing: inline all CTEs (re-execution!), push
+        // predicates down. Subqueries remain as markers.
+        let expr = inline_all_ctes(expr.clone(), self.registry);
+        let planned = self.plan_rel(&expr)?;
+        let mut plan = planned.plan;
+        let mut cost = planned.cost;
+        // Gather to the master.
+        if planned.dist != DistSpec::Singleton {
+            plan = PhysicalPlan::new(
+                PhysicalOp::Motion {
+                    kind: MotionKind::Gather,
+                },
+                vec![plan],
+            );
+            cost += planned.stats.rows;
+        }
+        if !order.is_any() {
+            plan = PhysicalPlan::new(
+                PhysicalOp::Sort {
+                    order: order.clone(),
+                },
+                vec![plan],
+            );
+            cost += planned.stats.rows.max(2.0) * planned.stats.rows.max(2.0).log2() * 0.01;
+        }
+        Ok((plan, cost))
+    }
+
+    fn plan_rel(&self, expr: &LogicalExpr) -> Result<Planned> {
+        match &expr.op {
+            LogicalOp::Get { table, cols, .. } => {
+                // No partition elimination: scan everything.
+                let stats = est::estimate(
+                    &LogicalExpr::leaf(LogicalOp::Get {
+                        table: table.clone(),
+                        cols: cols.clone(),
+                        parts: None,
+                    }),
+                    self.md,
+                )?;
+                Ok(Planned {
+                    plan: PhysicalPlan::leaf(PhysicalOp::TableScan {
+                        table: table.clone(),
+                        cols: cols.clone(),
+                        parts: None,
+                    }),
+                    dist: crate::rivals::table_dist(table, cols),
+                    cost: stats.rows,
+                    stats,
+                })
+            }
+            LogicalOp::Select { pred } => {
+                // Like PostgreSQL, plain WHERE conjuncts participate in
+                // join planning; SubPlan conjuncts stay in a Filter above
+                // (executed per row — where the 10x–1000x of Figure 12
+                // comes from).
+                let (plain, subplans): (Vec<ScalarExpr>, Vec<ScalarExpr>) = pred
+                    .clone()
+                    .into_conjuncts()
+                    .into_iter()
+                    .partition(|c| !c.has_subquery());
+                let child = if matches!(
+                    &expr.children[0].op,
+                    LogicalOp::Join {
+                        kind: JoinKind::Inner,
+                        ..
+                    }
+                ) && !plain.is_empty()
+                {
+                    self.plan_join_tree_with(&expr.children[0], plain)?
+                } else if plain.is_empty() {
+                    self.plan_rel(&expr.children[0])?
+                } else {
+                    let inner = self.plan_rel(&expr.children[0])?;
+                    let stats = derive_rough_filter(&inner.stats);
+                    Planned {
+                        plan: PhysicalPlan::new(
+                            PhysicalOp::Filter {
+                                pred: ScalarExpr::and(plain),
+                            },
+                            vec![inner.plan],
+                        ),
+                        dist: inner.dist,
+                        cost: inner.cost + inner.stats.rows,
+                        stats,
+                    }
+                };
+                if subplans.is_empty() {
+                    return Ok(child);
+                }
+                let pred = ScalarExpr::and(subplans);
+                let cost = child.cost
+                    + child.stats.rows
+                    + subplan_penalty(&pred, child.stats.rows, self.md)?;
+                let stats = derive_rough_filter(&child.stats);
+                Ok(Planned {
+                    plan: PhysicalPlan::new(PhysicalOp::Filter { pred }, vec![child.plan]),
+                    dist: child.dist,
+                    stats,
+                    cost,
+                })
+            }
+            LogicalOp::Project { exprs } => {
+                let child = self.plan_rel(&expr.children[0])?;
+                let stats = est::estimate(expr, self.md)?;
+                let cost = child.cost
+                    + child.stats.rows * 0.1
+                    + exprs
+                        .iter()
+                        .map(|(_, e)| subplan_penalty(e, child.stats.rows, self.md).unwrap_or(0.0))
+                        .sum::<f64>();
+                Ok(Planned {
+                    plan: PhysicalPlan::new(
+                        PhysicalOp::Project {
+                            exprs: exprs.clone(),
+                        },
+                        vec![child.plan],
+                    ),
+                    dist: child
+                        .dist
+                        .project(&exprs.iter().map(|(c, _)| *c).collect::<Vec<_>>()),
+                    stats,
+                    cost,
+                })
+            }
+            LogicalOp::Join { .. } => self.plan_join_tree(expr),
+            LogicalOp::GbAgg {
+                group_cols, aggs, ..
+            } => {
+                let child = self.plan_rel(&expr.children[0])?;
+                let stats = est::estimate(expr, self.md)?;
+                // Single-stage only: co-locate on grouping columns first.
+                let (input, moved) = if group_cols.is_empty() {
+                    self.to_singleton(child)
+                } else {
+                    self.to_hashed(child, group_cols)
+                };
+                let cost = input.cost + moved + input.stats.rows;
+                Ok(Planned {
+                    plan: PhysicalPlan::new(
+                        PhysicalOp::HashAgg {
+                            group_cols: group_cols.clone(),
+                            aggs: aggs.clone(),
+                            stage: orca_expr::logical::AggStage::Single,
+                        },
+                        vec![input.plan],
+                    ),
+                    dist: input.dist,
+                    stats,
+                    cost,
+                })
+            }
+            LogicalOp::Limit {
+                order,
+                offset,
+                count,
+            } => {
+                let child = self.plan_rel(&expr.children[0])?;
+                let stats = est::estimate(expr, self.md)?;
+                let (mut input, moved) = self.to_singleton(child);
+                if !order.is_any() {
+                    input.plan = PhysicalPlan::new(
+                        PhysicalOp::Sort {
+                            order: order.clone(),
+                        },
+                        vec![input.plan],
+                    );
+                }
+                let cost = input.cost + moved + input.stats.rows;
+                Ok(Planned {
+                    plan: PhysicalPlan::new(
+                        PhysicalOp::Limit {
+                            order: order.clone(),
+                            offset: *offset,
+                            count: *count,
+                        },
+                        vec![input.plan],
+                    ),
+                    dist: DistSpec::Singleton,
+                    stats,
+                    cost,
+                })
+            }
+            LogicalOp::SetOp {
+                kind,
+                output,
+                input_cols,
+            } => {
+                let mut children = Vec::new();
+                let mut cost = 0.0;
+                let mut rows = 0.0;
+                for c in &expr.children {
+                    let p = self.plan_rel(c)?;
+                    let (p, moved) = self.to_singleton(p);
+                    cost += p.cost + moved;
+                    rows += p.stats.rows;
+                    children.push(p.plan);
+                }
+                let op = if *kind == orca_expr::logical::SetOpKind::UnionAll {
+                    PhysicalOp::UnionAll {
+                        output: output.clone(),
+                        input_cols: input_cols.clone(),
+                    }
+                } else {
+                    PhysicalOp::HashSetOp {
+                        kind: *kind,
+                        output: output.clone(),
+                        input_cols: input_cols.clone(),
+                    }
+                };
+                Ok(Planned {
+                    plan: PhysicalPlan::new(op, children),
+                    dist: DistSpec::Singleton,
+                    stats: RoughStats {
+                        rows,
+                        ndv: Default::default(),
+                    },
+                    cost: cost + rows,
+                })
+            }
+            LogicalOp::MaxOneRow => {
+                let child = self.plan_rel(&expr.children[0])?;
+                let (input, moved) = self.to_singleton(child);
+                Ok(Planned {
+                    plan: PhysicalPlan::new(PhysicalOp::AssertOneRow, vec![input.plan]),
+                    dist: DistSpec::Singleton,
+                    stats: RoughStats {
+                        rows: 1.0,
+                        ndv: Default::default(),
+                    },
+                    cost: input.cost + moved,
+                })
+            }
+            LogicalOp::Sequence { .. }
+            | LogicalOp::CteProducer { .. }
+            | LogicalOp::CteConsumer { .. } => Err(OrcaError::Internal(
+                "CTE nodes must be inlined before legacy planning".into(),
+            )),
+            LogicalOp::ConstTable { cols, rows } => Ok(Planned {
+                plan: PhysicalPlan::leaf(PhysicalOp::ConstTable {
+                    cols: cols.clone(),
+                    rows: rows.clone(),
+                }),
+                dist: DistSpec::Singleton,
+                stats: RoughStats {
+                    rows: rows.len() as f64,
+                    ndv: Default::default(),
+                },
+                cost: rows.len() as f64,
+            }),
+        }
+    }
+
+    /// Flatten a tree of inner joins, DP over left-deep orders, emit
+    /// redistribute-based hash joins.
+    fn plan_join_tree(&self, expr: &LogicalExpr) -> Result<Planned> {
+        self.plan_join_tree_with(expr, Vec::new())
+    }
+
+    /// As [`LegacyPlanner::plan_join_tree`], with extra WHERE conjuncts
+    /// folded into the DP.
+    fn plan_join_tree_with(
+        &self,
+        expr: &LogicalExpr,
+        extra_conjuncts: Vec<ScalarExpr>,
+    ) -> Result<Planned> {
+        let LogicalOp::Join { kind, pred } = &expr.op else {
+            unreachable!()
+        };
+        if *kind != JoinKind::Inner {
+            // Non-inner joins keep the written order: plan both sides,
+            // co-locate, hash or NL join.
+            let left = self.plan_rel(&expr.children[0])?;
+            let right = self.plan_rel(&expr.children[1])?;
+            let joined = self.emit_join(*kind, left, right, pred.clone())?;
+            return Ok(if extra_conjuncts.is_empty() {
+                joined
+            } else {
+                let stats = derive_rough_filter(&joined.stats);
+                Planned {
+                    plan: PhysicalPlan::new(
+                        PhysicalOp::Filter {
+                            pred: ScalarExpr::and(extra_conjuncts),
+                        },
+                        vec![joined.plan],
+                    ),
+                    dist: joined.dist,
+                    cost: joined.cost + joined.stats.rows,
+                    stats,
+                }
+            });
+        }
+        // Collect the flattened inner-join list.
+        let mut relations: Vec<&LogicalExpr> = Vec::new();
+        let mut conjuncts: Vec<ScalarExpr> = extra_conjuncts;
+        conjuncts.retain(|c| !matches!(c, ScalarExpr::Const(orca_common::Datum::Bool(true))));
+        flatten_inner_joins(expr, &mut relations, &mut conjuncts);
+        if relations.len() > 12 {
+            // Too large for the DP: literal order.
+            let left = self.plan_rel(&expr.children[0])?;
+            let right = self.plan_rel(&expr.children[1])?;
+            return self.emit_join(JoinKind::Inner, left, right, pred.clone());
+        }
+        let planned: Vec<Planned> = relations
+            .iter()
+            .map(|r| self.plan_rel(r))
+            .collect::<Result<_>>()?;
+        let order = self.choose_left_deep_order(&planned, &conjuncts)?;
+        // Emit in the chosen order.
+        let mut iter = order.into_iter();
+        let first = iter.next().expect("non-empty join order");
+        let mut acc = self.plan_rel(relations[first])?;
+        let mut remaining = conjuncts;
+        let mut joined_cols: Vec<ColId> = acc.plan.output_cols();
+        for idx in iter {
+            let right = self.plan_rel(relations[idx])?;
+            let right_cols = right.plan.output_cols();
+            let mut all_cols = joined_cols.clone();
+            all_cols.extend_from_slice(&right_cols);
+            // Conjuncts now evaluable.
+            let (usable, rest): (Vec<ScalarExpr>, Vec<ScalarExpr>) = remaining
+                .into_iter()
+                .partition(|c| c.used_cols().iter().all(|u| all_cols.contains(u)));
+            remaining = rest;
+            acc = self.emit_join(JoinKind::Inner, acc, right, ScalarExpr::and(usable))?;
+            joined_cols = all_cols;
+        }
+        if !remaining.is_empty() {
+            let stats = acc.stats.clone();
+            acc = Planned {
+                plan: PhysicalPlan::new(
+                    PhysicalOp::Filter {
+                        pred: ScalarExpr::and(remaining),
+                    },
+                    vec![acc.plan],
+                ),
+                dist: acc.dist,
+                cost: acc.cost + stats.rows,
+                stats,
+            };
+        }
+        Ok(acc)
+    }
+
+    /// Left-deep DP (≤ `dp_threshold` relations) or greedy smallest-next.
+    #[allow(clippy::needless_range_loop)] // bitmask-indexed DP reads clearer
+    fn choose_left_deep_order(
+        &self,
+        planned: &[Planned],
+        conjuncts: &[ScalarExpr],
+    ) -> Result<Vec<usize>> {
+        let n = planned.len();
+        let rows: Vec<f64> = planned.iter().map(|p| p.stats.rows).collect();
+        let cols: Vec<Vec<ColId>> = planned.iter().map(|p| p.plan.output_cols()).collect();
+        // Join cardinality estimate for a set of relations: product of
+        // rows × equi selectivities of applicable conjuncts.
+        let card = |mask: u32| -> f64 {
+            let mut r = 1.0;
+            let mut in_cols: Vec<ColId> = Vec::new();
+            for (i, c) in cols.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    r *= rows[i];
+                    in_cols.extend_from_slice(c);
+                }
+            }
+            for conj in conjuncts {
+                if conj.used_cols().iter().all(|u| in_cols.contains(u)) {
+                    r *= 0.001_f64.max(1.0 / rows.iter().cloned().fold(f64::INFINITY, f64::min));
+                }
+            }
+            r.max(1.0)
+        };
+        // Connectivity: joining rel j to set S must share a conjunct.
+        let connected = |mask: u32, j: usize| -> bool {
+            let mut set_cols: Vec<ColId> = Vec::new();
+            for (i, c) in cols.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    set_cols.extend_from_slice(c);
+                }
+            }
+            conjuncts.iter().any(|conj| {
+                let used = conj.used_cols();
+                !used.is_empty()
+                    && used.iter().any(|u| set_cols.contains(u))
+                    && used.iter().any(|u| cols[j].contains(u))
+                    && used
+                        .iter()
+                        .all(|u| set_cols.contains(u) || cols[j].contains(u))
+            })
+        };
+        if n <= self.dp_threshold {
+            // dp[mask] = (cost, last order)
+            let full = (1u32 << n) - 1;
+            let mut dp: FnvHashMap<u32, (f64, Vec<usize>)> = FnvHashMap::default();
+            for i in 0..n {
+                dp.insert(1 << i, (rows[i], vec![i]));
+            }
+            for mask in 1..=full {
+                let Some((base_cost, order)) = dp.get(&mask).cloned() else {
+                    continue;
+                };
+                for j in 0..n {
+                    if mask & (1 << j) != 0 {
+                        continue;
+                    }
+                    // Avoid cross joins when a connected extension exists;
+                    // allow them as fallback with a penalty.
+                    let next = mask | (1 << j);
+                    let penalty = if connected(mask, j) { 1.0 } else { 1e6 };
+                    let cost = base_cost + card(next) * penalty + rows[j];
+                    let better = dp.get(&next).map(|(c, _)| cost < *c).unwrap_or(true);
+                    if better {
+                        let mut o = order.clone();
+                        o.push(j);
+                        dp.insert(next, (cost, o));
+                    }
+                }
+            }
+            Ok(dp
+                .remove(&full)
+                .map(|(_, o)| o)
+                .ok_or_else(|| OrcaError::Internal("join DP found no order".into()))?)
+        } else {
+            // Greedy: start from the smallest relation, repeatedly add the
+            // connected relation minimizing the intermediate cardinality.
+            let mut order = Vec::with_capacity(n);
+            let mut mask = 0u32;
+            let first = (0..n)
+                .min_by(|&a, &b| rows[a].partial_cmp(&rows[b]).expect("finite"))
+                .expect("non-empty");
+            order.push(first);
+            mask |= 1 << first;
+            while order.len() < n {
+                let next = (0..n)
+                    .filter(|j| mask & (1 << j) == 0)
+                    .min_by(|&a, &b| {
+                        let ca = card(mask | (1 << a)) * if connected(mask, a) { 1.0 } else { 1e6 };
+                        let cb = card(mask | (1 << b)) * if connected(mask, b) { 1.0 } else { 1e6 };
+                        ca.partial_cmp(&cb).expect("finite")
+                    })
+                    .expect("remaining relation");
+                order.push(next);
+                mask |= 1 << next;
+            }
+            Ok(order)
+        }
+    }
+
+    /// Join two planned sides: hash join on equi conjuncts (co-locating by
+    /// redistribution), NL join at the master otherwise.
+    fn emit_join(
+        &self,
+        kind: JoinKind,
+        left: Planned,
+        right: Planned,
+        pred: ScalarExpr,
+    ) -> Result<Planned> {
+        let left_cols = left.plan.output_cols();
+        let right_cols = right.plan.output_cols();
+        let mut lkeys = Vec::new();
+        let mut rkeys = Vec::new();
+        let mut residual = Vec::new();
+        for conj in pred.clone().into_conjuncts() {
+            match conj.as_equi_pair(&left_cols, &right_cols) {
+                Some((l, r)) => {
+                    lkeys.push(l);
+                    rkeys.push(r);
+                }
+                None => residual.push(conj),
+            }
+        }
+        let out_rows = (left.stats.rows * right.stats.rows * 0.001).max(1.0);
+        let mut ndv = left.stats.ndv.clone();
+        ndv.extend(right.stats.ndv.clone());
+        let out_stats = RoughStats {
+            rows: out_rows,
+            ndv,
+        };
+        if lkeys.is_empty() {
+            // No equi keys: gather both sides, NL join at the master.
+            let (l, lm) = self.to_singleton(left);
+            let (r, rm) = self.to_singleton(right);
+            let cost = l.cost + r.cost + lm + rm + l.stats.rows * r.stats.rows * 0.35;
+            return Ok(Planned {
+                plan: PhysicalPlan::new(PhysicalOp::NLJoin { kind, pred }, vec![l.plan, r.plan]),
+                dist: DistSpec::Singleton,
+                stats: out_stats,
+                cost,
+            });
+        }
+        let (l, lm) = self.to_hashed(left, &lkeys);
+        let (r, rm) = self.to_hashed(right, &rkeys);
+        let cost = l.cost + r.cost + lm + rm + l.stats.rows + r.stats.rows * 1.8;
+        Ok(Planned {
+            dist: l.dist.clone(),
+            plan: PhysicalPlan::new(
+                PhysicalOp::HashJoin {
+                    kind,
+                    left_keys: lkeys,
+                    right_keys: rkeys,
+                    residual: if residual.is_empty() {
+                        None
+                    } else {
+                        Some(ScalarExpr::and(residual))
+                    },
+                },
+                vec![l.plan, r.plan],
+            ),
+            stats: out_stats,
+            cost,
+        })
+    }
+
+    /// Redistribute a side onto `keys` unless already co-located. Returns
+    /// the new plan and the movement cost charged.
+    fn to_hashed(&self, p: Planned, keys: &[ColId]) -> (Planned, f64) {
+        if p.dist == DistSpec::Hashed(keys.to_vec()) {
+            return (p, 0.0);
+        }
+        let moved = p.stats.rows;
+        (
+            Planned {
+                plan: PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::Redistribute(keys.to_vec()),
+                    },
+                    vec![p.plan],
+                ),
+                dist: DistSpec::Hashed(keys.to_vec()),
+                stats: p.stats,
+                cost: p.cost,
+            },
+            moved,
+        )
+    }
+
+    fn to_singleton(&self, p: Planned) -> (Planned, f64) {
+        if p.dist == DistSpec::Singleton {
+            return (p, 0.0);
+        }
+        let moved = p.stats.rows * 2.0;
+        (
+            Planned {
+                plan: PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::Gather,
+                    },
+                    vec![p.plan],
+                ),
+                dist: DistSpec::Singleton,
+                stats: p.stats,
+                cost: p.cost,
+            },
+            moved,
+        )
+    }
+}
+
+/// Rough post-filter statistics (fixed 1/3 selectivity — the legacy
+/// estimator has no histograms to do better).
+fn derive_rough_filter(input: &RoughStats) -> RoughStats {
+    RoughStats {
+        rows: input.rows * 0.33,
+        ndv: input.ndv.clone(),
+    }
+}
+
+/// Estimated extra work for SubPlan predicates: each subquery re-runs per
+/// outer row.
+fn subplan_penalty(pred: &ScalarExpr, outer_rows: f64, md: &MdAccessor) -> Result<f64> {
+    if !pred.has_subquery() {
+        return Ok(0.0);
+    }
+    let mut inner_rows = 0.0;
+    collect_subquery_rows(pred, md, &mut inner_rows)?;
+    Ok(outer_rows * inner_rows)
+}
+
+fn collect_subquery_rows(e: &ScalarExpr, md: &MdAccessor, total: &mut f64) -> Result<()> {
+    match e {
+        ScalarExpr::Exists { subquery, .. } | ScalarExpr::ScalarSubquery { subquery, .. } => {
+            *total += est::estimate(subquery, md)?.rows;
+        }
+        ScalarExpr::InSubquery { expr, subquery, .. } => {
+            collect_subquery_rows(expr, md, total)?;
+            *total += est::estimate(subquery, md)?.rows;
+        }
+        ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+            collect_subquery_rows(left, md, total)?;
+            collect_subquery_rows(right, md, total)?;
+        }
+        ScalarExpr::And(v) | ScalarExpr::Or(v) => {
+            for x in v {
+                collect_subquery_rows(x, md, total)?;
+            }
+        }
+        ScalarExpr::Not(x) | ScalarExpr::IsNull(x) => collect_subquery_rows(x, md, total)?,
+        _ => {}
+    }
+    Ok(())
+}
+
+fn flatten_inner_joins<'e>(
+    expr: &'e LogicalExpr,
+    relations: &mut Vec<&'e LogicalExpr>,
+    conjuncts: &mut Vec<ScalarExpr>,
+) {
+    match &expr.op {
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred,
+        } => {
+            conjuncts.extend(
+                pred.clone()
+                    .into_conjuncts()
+                    .into_iter()
+                    .filter(|c| !matches!(c, ScalarExpr::Const(orca_common::Datum::Bool(true)))),
+            );
+            flatten_inner_joins(&expr.children[0], relations, conjuncts);
+            flatten_inner_joins(&expr.children[1], relations, conjuncts);
+        }
+        _ => relations.push(expr),
+    }
+}
+
+/// Inline every CTE consumer with a fresh-column copy of the producer body
+/// (the legacy re-execution model).
+pub fn inline_all_ctes(expr: LogicalExpr, registry: &ColumnRegistry) -> LogicalExpr {
+    let mut node = LogicalExpr {
+        op: expr.op,
+        children: expr
+            .children
+            .into_iter()
+            .map(|c| inline_all_ctes(c, registry))
+            .collect(),
+    };
+    if let LogicalOp::Sequence { id } = node.op {
+        let main = node.children.pop().expect("sequence main");
+        let producer = node.children.pop().expect("sequence producer");
+        let LogicalOp::CteProducer { cols, .. } = &producer.op else {
+            return LogicalExpr::new(LogicalOp::Sequence { id }, vec![producer, main]);
+        };
+        let cols = cols.clone();
+        let body = producer.children.into_iter().next().expect("producer body");
+        return replace_consumers(main, id, &cols, &body, registry);
+    }
+    node
+}
+
+fn replace_consumers(
+    expr: LogicalExpr,
+    id: orca_common::CteId,
+    producer_cols: &[ColId],
+    body: &LogicalExpr,
+    registry: &ColumnRegistry,
+) -> LogicalExpr {
+    if let LogicalOp::CteConsumer { id: cid, cols, .. } = &expr.op {
+        if *cid == id {
+            // Fresh copy of the body with brand-new column ids.
+            let produced = body.produced_cols();
+            let mut map: FnvHashMap<ColId, ColId> = FnvHashMap::default();
+            for c in &produced {
+                map.insert(
+                    *c,
+                    registry.fresh(&format!("cte_copy_{}", c.0), registry.dtype(*c)),
+                );
+            }
+            let copy = body.remap_all(&|c| map.get(&c).copied().unwrap_or(c));
+            // Project the copy's producer columns onto the consumer's ids.
+            let exprs: Vec<(ColId, ScalarExpr)> = cols
+                .iter()
+                .zip(producer_cols)
+                .map(|(c, p)| (*c, ScalarExpr::ColRef(map[p])))
+                .collect();
+            return LogicalExpr::new(LogicalOp::Project { exprs }, vec![copy]);
+        }
+    }
+    LogicalExpr {
+        op: expr.op,
+        children: expr
+            .children
+            .into_iter()
+            .map(|c| replace_consumers(c, id, producer_cols, body, registry))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_catalog::provider::MdProvider;
+    use orca_catalog::stats::ColumnStats;
+    use orca_catalog::{ColumnMeta, MdAccessor, MdCache, MemoryProvider, TableStats};
+    use orca_common::{CteId, DataType, Datum};
+    use orca_expr::pretty::explain_physical;
+    use std::sync::Arc;
+
+    /// Catalog: a big fact table and two small dimensions.
+    fn setup() -> (Arc<MemoryProvider>, Arc<ColumnRegistry>) {
+        let p = Arc::new(MemoryProvider::new());
+        let registry = Arc::new(ColumnRegistry::new());
+        for (name, rows) in [("fact", 100_000.0), ("dim1", 100.0), ("dim2", 500.0)] {
+            let id = p.register(
+                name,
+                vec![
+                    ColumnMeta::new("k", DataType::Int),
+                    ColumnMeta::new("v", DataType::Int),
+                ],
+                orca_catalog::Distribution::Hashed(vec![0]),
+            );
+            let values: Vec<Datum> = (0..100).map(Datum::Int).collect();
+            p.set_stats(
+                id,
+                TableStats::new(rows, 2)
+                    .set_column(0, ColumnStats::from_column(&values, 8))
+                    .set_column(1, ColumnStats::from_column(&values, 8)),
+            );
+            registry.fresh(&format!("{name}.k"), DataType::Int);
+            registry.fresh(&format!("{name}.v"), DataType::Int);
+        }
+        (p, registry)
+    }
+
+    fn get(p: &MemoryProvider, name: &str, first: u32) -> LogicalExpr {
+        let t = p.table(p.table_by_name(name).unwrap()).unwrap();
+        LogicalExpr::leaf(LogicalOp::Get {
+            table: orca_expr::logical::TableRef(t),
+            cols: vec![ColId(first), ColId(first + 1)],
+            parts: None,
+        })
+    }
+
+    /// DP join ordering: written as fact ⋈ dim1 ⋈ dim2 with the fact last
+    /// in predicates, the planner should avoid fact-first cross products
+    /// and still join through connected edges.
+    #[test]
+    fn dp_reorders_connected_joins() {
+        let (p, registry) = setup();
+        // ((dim1 ⋈ dim2 on nothing-direct) ⋈ fact) written badly: put the
+        // two dims first with a pred that connects each dim to the fact.
+        let join_inner = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::Const(Datum::Bool(true)), // cross as written
+            },
+            vec![get(&p, "dim1", 2), get(&p, "dim2", 4)],
+        );
+        let query = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::and(vec![
+                    ScalarExpr::col_eq_col(ColId(0), ColId(2)), // fact.k = dim1.k
+                    ScalarExpr::col_eq_col(ColId(1), ColId(4)), // fact.v = dim2.k
+                ]),
+            },
+            vec![LogicalExpr::new(
+                LogicalOp::Join {
+                    kind: JoinKind::Inner,
+                    pred: ScalarExpr::Const(Datum::Bool(true)),
+                },
+                vec![join_inner, get(&p, "fact", 0)],
+            )],
+        );
+        let md = MdAccessor::new(MdCache::new(), p.clone() as Arc<dyn MdProvider>);
+        let planner = LegacyPlanner::new(&md, &registry);
+        let (plan, cost) = planner.plan(&query, &OrderSpec::any()).unwrap();
+        let text = explain_physical(&plan);
+        // Equi hash joins, not NL cross joins.
+        assert_eq!(
+            plan.find_ops(&|op| matches!(op, PhysicalOp::HashJoin { .. }))
+                .len(),
+            2,
+            "{text}"
+        );
+        assert!(
+            plan.find_ops(&|op| matches!(op, PhysicalOp::NLJoin { .. }))
+                .is_empty(),
+            "no cross joins: {text}"
+        );
+        assert!(cost.is_finite());
+    }
+
+    /// The legacy planner never prunes partitions and keeps subplans in
+    /// filters.
+    #[test]
+    fn no_partition_elimination_and_subplans_stay() {
+        let (p, registry) = setup();
+        // A partitioned copy of fact.
+        let id = p.table_by_name("fact").unwrap();
+        let mut t = (*p.table(id).unwrap()).clone();
+        t.name = "fact_part".into();
+        t.mdid = orca_common::MdId::new(orca_common::SysId::Gpdb, 77, 1);
+        let t = t.with_partitioning(orca_catalog::Partitioning::range(0, 0, 100, 10));
+        p.install_table(Arc::new(t));
+        p.set_stats(
+            orca_common::MdId::new(orca_common::SysId::Gpdb, 77, 1),
+            TableStats::new(1000.0, 2),
+        );
+        let scan = LogicalExpr::leaf(LogicalOp::Get {
+            table: orca_expr::logical::TableRef(
+                p.table(orca_common::MdId::new(orca_common::SysId::Gpdb, 77, 1))
+                    .unwrap(),
+            ),
+            cols: vec![ColId(10), ColId(11)],
+            parts: None,
+        });
+        let query = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::and(vec![
+                    ScalarExpr::cmp(
+                        orca_expr::scalar::CmpOp::Lt,
+                        ScalarExpr::col(ColId(10)),
+                        ScalarExpr::int(10),
+                    ),
+                    ScalarExpr::Exists {
+                        negated: false,
+                        subquery: Box::new(get(&p, "dim1", 2)),
+                    },
+                ]),
+            },
+            vec![scan],
+        );
+        let md = MdAccessor::new(MdCache::new(), p.clone() as Arc<dyn MdProvider>);
+        let planner = LegacyPlanner::new(&md, &registry);
+        let (plan, _) = planner.plan(&query, &OrderSpec::any()).unwrap();
+        // Scan keeps parts=None (full scan) and a Filter with the subplan
+        // marker survives.
+        let scans = plan.find_ops(&|op| matches!(op, PhysicalOp::TableScan { .. }));
+        assert!(scans
+            .iter()
+            .all(|s| matches!(s, PhysicalOp::TableScan { parts: None, .. })));
+        let has_subplan_filter = plan
+            .find_ops(&|op| matches!(op, PhysicalOp::Filter { pred } if pred.has_subquery()))
+            .len()
+            == 1;
+        assert!(has_subplan_filter);
+    }
+
+    /// CTE inlining duplicates the producer with fresh column ids.
+    #[test]
+    fn cte_inlining_copies_with_fresh_cols() {
+        let (p, registry) = setup();
+        let producer = LogicalExpr::new(
+            LogicalOp::CteProducer {
+                id: CteId(1),
+                cols: vec![ColId(0), ColId(1)],
+            },
+            vec![get(&p, "fact", 0)],
+        );
+        let consumer = |first: u32| {
+            LogicalExpr::leaf(LogicalOp::CteConsumer {
+                id: CteId(1),
+                cols: vec![ColId(first), ColId(first + 1)],
+                producer_cols: vec![ColId(0), ColId(1)],
+            })
+        };
+        // Register consumer col ids so the registry can type them.
+        for i in 0..30 {
+            let _ = i;
+            registry.fresh("pad", DataType::Int);
+        }
+        let join = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::col_eq_col(ColId(10), ColId(20)),
+            },
+            vec![consumer(10), consumer(20)],
+        );
+        let seq = LogicalExpr::new(LogicalOp::Sequence { id: CteId(1) }, vec![producer, join]);
+        let inlined = inline_all_ctes(seq, &registry);
+        let text = orca_expr::pretty::explain_logical(&inlined);
+        assert!(!text.contains("Sequence"), "{text}");
+        assert!(!text.contains("CTEConsumer"), "{text}");
+        // The fact table is scanned twice (re-execution).
+        assert_eq!(text.matches("Get(fact)").count(), 2, "{text}");
+        // The two copies must not share column ids.
+        let mut get_cols: Vec<Vec<ColId>> = Vec::new();
+        fn collect(e: &LogicalExpr, out: &mut Vec<Vec<ColId>>) {
+            if let LogicalOp::Get { cols, .. } = &e.op {
+                out.push(cols.clone());
+            }
+            for c in &e.children {
+                collect(c, out);
+            }
+        }
+        collect(&inlined, &mut get_cols);
+        assert_eq!(get_cols.len(), 2);
+        assert_ne!(get_cols[0], get_cols[1], "copies get fresh columns");
+    }
+
+    /// Engine profiles expose the §7.3.1 feature matrices.
+    #[test]
+    fn engine_profiles_match_paper_support_lists() {
+        use crate::rivals::{EngineProfile, QueryFeature::*};
+        let impala = EngineProfile::impala();
+        assert!(!impala.supports(OrderByWithoutLimit));
+        assert!(!impala.supports(CorrelatedSubquery));
+        assert!(impala.supports(WithClause));
+        assert!(impala.supports(CaseStatement));
+        let presto = EngineProfile::presto();
+        assert!(!presto.supports(NonEquiJoin));
+        assert!(!presto.supports(ImplicitCrossJoin));
+        let stinger = EngineProfile::stinger();
+        assert!(!stinger.supports(WithClause));
+        assert!(!stinger.supports(CaseStatement));
+        assert!(stinger.supports(OrderByWithoutLimit));
+        assert!(stinger.can_spill);
+        assert!(!impala.can_spill);
+        assert!(EngineProfile::hawq().supports_all(&[
+            CorrelatedSubquery,
+            WithClause,
+            IntersectExcept,
+            CaseStatement
+        ]));
+        assert_eq!(impala.first_unsupported(&[WithClause]), None);
+        assert_eq!(
+            impala.first_unsupported(&[WithClause, CorrelatedSubquery]),
+            Some(CorrelatedSubquery)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! `orca-planner` — the comparison optimizers of §7.
+//!
+//! * [`legacy`] — the GPDB **Planner**: a PostgreSQL-style bottom-up
+//!   dynamic-programming optimizer ("inherits part of its design from the
+//!   PostgreSQL optimizer", §7.2). Distribution-aware and cost-based for
+//!   join ordering, but with the documented legacy gaps that §7.2.2
+//!   attributes Orca's wins to: correlated subqueries stay as per-row
+//!   SubPlans, WITH clauses are inlined per consumer (no shared CTEs),
+//!   partitioned tables are scanned in full (no partition elimination),
+//!   aggregates are never split into local/global stages, and join trees
+//!   are left-deep only.
+//! * [`rivals`] — simulated Hadoop SQL engines (§7.3): Impala-, Presto-
+//!   and Stinger-like profiles with literal join ordering ("Impala and
+//!   Stinger handle join orders as literally specified in the query"),
+//!   per-engine SQL feature support matrices (§7.3.1), no-spill execution
+//!   and MapReduce stage-materialization penalties.
+//! * [`est`] — the crude shared cardinality estimator these planners use
+//!   (deliberately simpler than Orca's histogram machinery).
+
+pub mod est;
+pub mod legacy;
+pub mod rivals;
+
+pub use legacy::LegacyPlanner;
+pub use rivals::{EngineProfile, QueryFeature};
+
+/// Map a table distribution to a `DistSpec` over scan output columns
+/// (shared by both baseline planners; mirrors `orca::enforce`).
+pub(crate) fn shared_table_dist(
+    dist: &orca_catalog::Distribution,
+    cols: &[orca_common::ColId],
+) -> orca_expr::props::DistSpec {
+    use orca_catalog::Distribution;
+    use orca_expr::props::DistSpec;
+    match dist {
+        Distribution::Hashed(idxs) => {
+            let mapped: Option<Vec<orca_common::ColId>> =
+                idxs.iter().map(|i| cols.get(*i).copied()).collect();
+            match mapped {
+                Some(cols) => DistSpec::Hashed(cols),
+                None => DistSpec::Random,
+            }
+        }
+        Distribution::Random => DistSpec::Random,
+        Distribution::Replicated => DistSpec::Replicated,
+        Distribution::Singleton => DistSpec::Singleton,
+    }
+}

@@ -1,0 +1,392 @@
+//! Simulated Hadoop SQL engines (§7.3): rule-based planners with literal
+//! join ordering and per-engine feature-support matrices.
+//!
+//! §7.3.1/§7.3.2 describe the behaviors modelled here:
+//! * "Impala does not yet support window functions, ORDER BY statement
+//!   without LIMIT and some analytic functions like ROLLUP and CUBE.
+//!   Presto does not yet support non-equi joins. Stinger currently does
+//!   not support WITH clause and CASE statement. In addition, none of the
+//!   systems supports INTERSECT, EXCEPT, disjunctive join conditions and
+//!   correlated subqueries."
+//! * "Impala and Stinger handle join orders as literally specified in the
+//!   query" and "Impala recommends users to write joins in the descending
+//!   order of the sizes of joined tables" — the literal planner broadcasts
+//!   the right side of every join (Impala's default without statistics).
+//! * The out-of-memory failures of Figure 13 come from "the inability of
+//!   these systems to spill partial results to disk" — expressed through
+//!   the engine's `can_spill` flag, enforced by the execution simulator.
+
+use orca_common::{ColId, OrcaError, Result};
+use orca_expr::logical::{LogicalExpr, LogicalOp, TableRef};
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
+use orca_expr::props::{DistSpec, OrderSpec};
+use orca_expr::scalar::ScalarExpr;
+
+/// SQL features a query may require (the Figure 15 support dimensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryFeature {
+    WindowFunctions,
+    RollupCube,
+    OrderByWithoutLimit,
+    NonEquiJoin,
+    WithClause,
+    CaseStatement,
+    IntersectExcept,
+    DisjunctiveJoin,
+    CorrelatedSubquery,
+    UncorrelatedSubquery,
+    OuterJoin,
+    ImplicitCrossJoin,
+}
+
+/// One engine's capabilities.
+#[derive(Debug, Clone)]
+pub struct EngineProfile {
+    pub name: &'static str,
+    unsupported: &'static [QueryFeature],
+    /// Joins planned exactly as written, no reordering.
+    pub literal_join_order: bool,
+    /// Whether operators may spill (Figure 13's `*` bars are engines that
+    /// cannot).
+    pub can_spill: bool,
+    /// Simulated-time multiplier per plan stage, modelling MapReduce
+    /// materialization between stages (Stinger).
+    pub stage_penalty: f64,
+}
+
+impl EngineProfile {
+    /// HAWQ: full SQL support, cost-based (planned by Orca, not here).
+    pub fn hawq() -> EngineProfile {
+        EngineProfile {
+            name: "HAWQ",
+            unsupported: &[],
+            literal_join_order: false,
+            can_spill: true,
+            stage_penalty: 0.0,
+        }
+    }
+
+    pub fn impala() -> EngineProfile {
+        EngineProfile {
+            name: "Impala",
+            unsupported: &[
+                QueryFeature::WindowFunctions,
+                QueryFeature::RollupCube,
+                QueryFeature::OrderByWithoutLimit,
+                QueryFeature::IntersectExcept,
+                QueryFeature::DisjunctiveJoin,
+                QueryFeature::CorrelatedSubquery,
+            ],
+            literal_join_order: true,
+            can_spill: false,
+            stage_penalty: 0.0,
+        }
+    }
+
+    pub fn presto() -> EngineProfile {
+        EngineProfile {
+            name: "Presto",
+            unsupported: &[
+                QueryFeature::NonEquiJoin,
+                QueryFeature::WindowFunctions,
+                QueryFeature::RollupCube,
+                QueryFeature::IntersectExcept,
+                QueryFeature::DisjunctiveJoin,
+                QueryFeature::CorrelatedSubquery,
+                QueryFeature::ImplicitCrossJoin,
+                QueryFeature::OuterJoin,
+                QueryFeature::UncorrelatedSubquery,
+            ],
+            literal_join_order: true,
+            can_spill: false,
+            stage_penalty: 0.0,
+        }
+    }
+
+    pub fn stinger() -> EngineProfile {
+        EngineProfile {
+            name: "Stinger",
+            unsupported: &[
+                QueryFeature::WithClause,
+                QueryFeature::CaseStatement,
+                QueryFeature::IntersectExcept,
+                QueryFeature::DisjunctiveJoin,
+                QueryFeature::CorrelatedSubquery,
+                QueryFeature::ImplicitCrossJoin,
+            ],
+            literal_join_order: true,
+            can_spill: true,
+            stage_penalty: 0.4,
+        }
+    }
+
+    pub fn supports(&self, f: QueryFeature) -> bool {
+        !self.unsupported.contains(&f)
+    }
+
+    /// Can this engine produce a plan for a query needing `features`?
+    pub fn supports_all(&self, features: &[QueryFeature]) -> bool {
+        features.iter().all(|f| self.supports(*f))
+    }
+
+    /// First unsupported feature, for error messages.
+    pub fn first_unsupported(&self, features: &[QueryFeature]) -> Option<QueryFeature> {
+        features.iter().copied().find(|f| !self.supports(*f))
+    }
+
+    /// Plan a query this engine supports: literal join order, broadcast
+    /// joins, no subquery decorrelation (unsupported queries must have
+    /// been filtered by the feature check). WITH clauses are inlined per
+    /// consumer (none of these engines share CTE results).
+    pub fn plan(
+        &self,
+        expr: &LogicalExpr,
+        features: &[QueryFeature],
+        order: &OrderSpec,
+        registry: &orca_expr::ColumnRegistry,
+    ) -> Result<(PhysicalPlan, DistSpec)> {
+        if let Some(f) = self.first_unsupported(features) {
+            return Err(OrcaError::Unsupported(format!(
+                "{} does not support {f:?}",
+                self.name
+            )));
+        }
+        let expr = crate::legacy::inline_all_ctes(expr.clone(), registry);
+        let (mut plan, dist) = plan_literal(&expr)?;
+        let mut out_dist = dist;
+        if out_dist != DistSpec::Singleton {
+            plan = PhysicalPlan::new(
+                PhysicalOp::Motion {
+                    kind: MotionKind::Gather,
+                },
+                vec![plan],
+            );
+            out_dist = DistSpec::Singleton;
+        }
+        if !order.is_any() {
+            plan = PhysicalPlan::new(
+                PhysicalOp::Sort {
+                    order: order.clone(),
+                },
+                vec![plan],
+            );
+        }
+        Ok((plan, out_dist))
+    }
+}
+
+/// Distribution of a base table scan over its output columns.
+pub fn table_dist(table: &TableRef, cols: &[ColId]) -> DistSpec {
+    crate::shared_table_dist(&table.distribution, cols)
+}
+
+/// Literal (no-reordering) physical planning: hash join with the right
+/// side always broadcast (Impala's stats-free default), single-stage
+/// aggregation, full scans.
+fn plan_literal(expr: &LogicalExpr) -> Result<(PhysicalPlan, DistSpec)> {
+    Ok(match &expr.op {
+        LogicalOp::Get { table, cols, .. } => (
+            PhysicalPlan::leaf(PhysicalOp::TableScan {
+                table: table.clone(),
+                cols: cols.clone(),
+                parts: None,
+            }),
+            table_dist(table, cols),
+        ),
+        LogicalOp::Select { pred } => {
+            let (child, dist) = plan_literal(&expr.children[0])?;
+            (
+                PhysicalPlan::new(PhysicalOp::Filter { pred: pred.clone() }, vec![child]),
+                dist,
+            )
+        }
+        LogicalOp::Project { exprs } => {
+            let (child, dist) = plan_literal(&expr.children[0])?;
+            let out_cols: Vec<ColId> = exprs.iter().map(|(c, _)| *c).collect();
+            (
+                PhysicalPlan::new(
+                    PhysicalOp::Project {
+                        exprs: exprs.clone(),
+                    },
+                    vec![child],
+                ),
+                dist.project(&out_cols),
+            )
+        }
+        LogicalOp::Join { kind, pred } => {
+            let (left, ldist) = plan_literal(&expr.children[0])?;
+            let (right, _) = plan_literal(&expr.children[1])?;
+            let left_cols = left.output_cols();
+            let right_cols = right.output_cols();
+            let mut lkeys = Vec::new();
+            let mut rkeys = Vec::new();
+            let mut residual = Vec::new();
+            for conj in pred.clone().into_conjuncts() {
+                match conj.as_equi_pair(&left_cols, &right_cols) {
+                    Some((l, r)) => {
+                        lkeys.push(l);
+                        rkeys.push(r);
+                    }
+                    None => residual.push(conj),
+                }
+            }
+            // Broadcast the right side as written — no size reasoning.
+            let bright = PhysicalPlan::new(
+                PhysicalOp::Motion {
+                    kind: MotionKind::Broadcast,
+                },
+                vec![right],
+            );
+            let plan = if lkeys.is_empty() {
+                PhysicalPlan::new(
+                    PhysicalOp::NLJoin {
+                        kind: *kind,
+                        pred: pred.clone(),
+                    },
+                    vec![left, bright],
+                )
+            } else {
+                PhysicalPlan::new(
+                    PhysicalOp::HashJoin {
+                        kind: *kind,
+                        left_keys: lkeys,
+                        right_keys: rkeys,
+                        residual: if residual.is_empty() {
+                            None
+                        } else {
+                            Some(ScalarExpr::and(residual))
+                        },
+                    },
+                    vec![left, bright],
+                )
+            };
+            (plan, ldist)
+        }
+        LogicalOp::GbAgg {
+            group_cols, aggs, ..
+        } => {
+            let (child, _) = plan_literal(&expr.children[0])?;
+            let input = if group_cols.is_empty() {
+                PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::Gather,
+                    },
+                    vec![child],
+                )
+            } else {
+                PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::Redistribute(group_cols.clone()),
+                    },
+                    vec![child],
+                )
+            };
+            let dist = if group_cols.is_empty() {
+                DistSpec::Singleton
+            } else {
+                DistSpec::Hashed(group_cols.clone())
+            };
+            (
+                PhysicalPlan::new(
+                    PhysicalOp::HashAgg {
+                        group_cols: group_cols.clone(),
+                        aggs: aggs.clone(),
+                        stage: orca_expr::logical::AggStage::Single,
+                    },
+                    vec![input],
+                ),
+                dist,
+            )
+        }
+        LogicalOp::Limit {
+            order,
+            offset,
+            count,
+        } => {
+            let (child, _) = plan_literal(&expr.children[0])?;
+            let gathered = PhysicalPlan::new(
+                PhysicalOp::Motion {
+                    kind: MotionKind::Gather,
+                },
+                vec![child],
+            );
+            let sorted = if order.is_any() {
+                gathered
+            } else {
+                PhysicalPlan::new(
+                    PhysicalOp::Sort {
+                        order: order.clone(),
+                    },
+                    vec![gathered],
+                )
+            };
+            (
+                PhysicalPlan::new(
+                    PhysicalOp::Limit {
+                        order: order.clone(),
+                        offset: *offset,
+                        count: *count,
+                    },
+                    vec![sorted],
+                ),
+                DistSpec::Singleton,
+            )
+        }
+        LogicalOp::SetOp {
+            kind,
+            output,
+            input_cols,
+        } => {
+            let mut children = Vec::new();
+            for c in &expr.children {
+                let (p, dist) = plan_literal(c)?;
+                children.push(if dist == DistSpec::Singleton {
+                    p
+                } else {
+                    PhysicalPlan::new(
+                        PhysicalOp::Motion {
+                            kind: MotionKind::Gather,
+                        },
+                        vec![p],
+                    )
+                });
+            }
+            let op = if *kind == orca_expr::logical::SetOpKind::UnionAll {
+                PhysicalOp::UnionAll {
+                    output: output.clone(),
+                    input_cols: input_cols.clone(),
+                }
+            } else {
+                PhysicalOp::HashSetOp {
+                    kind: *kind,
+                    output: output.clone(),
+                    input_cols: input_cols.clone(),
+                }
+            };
+            (PhysicalPlan::new(op, children), DistSpec::Singleton)
+        }
+        LogicalOp::MaxOneRow => {
+            let (child, dist) = plan_literal(&expr.children[0])?;
+            let input = if dist == DistSpec::Singleton {
+                child
+            } else {
+                PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::Gather,
+                    },
+                    vec![child],
+                )
+            };
+            (
+                PhysicalPlan::new(PhysicalOp::AssertOneRow, vec![input]),
+                DistSpec::Singleton,
+            )
+        }
+        other => {
+            return Err(OrcaError::Unsupported(format!(
+                "literal planner cannot handle {}",
+                other.name()
+            )))
+        }
+    })
+}

@@ -1,0 +1,138 @@
+//! SQL abstract syntax.
+
+use orca_common::Datum;
+use orca_expr::scalar::{AggFunc, ArithOp, CmpOp};
+
+/// A full query: optional WITH clause, a set-operation tree of SELECTs,
+/// plus query-level ORDER BY / LIMIT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub ctes: Vec<(String, Query)>,
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRefAst>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// expression with optional alias
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRefAst {
+    /// base table or CTE reference with optional alias
+    Named { name: String, alias: Option<String> },
+    /// derived table
+    Subquery { query: Box<Query>, alias: String },
+    /// `left [LEFT] JOIN right ON cond`
+    Join {
+        left: Box<TableRefAst>,
+        right: Box<TableRefAst>,
+        kind: JoinType,
+        on: Expr,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    LeftOuter,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `name` or `alias.name`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Datum),
+    Cmp {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_value: Option<Box<Expr>>,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Agg {
+        func: AggFunc,
+        /// `None` = `count(*)`
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    ScalarSubquery(Box<Query>),
+}

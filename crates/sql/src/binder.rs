@@ -1,0 +1,1050 @@
+//! Name resolution and logical-tree construction.
+//!
+//! The binder resolves table/column names against the metadata provider,
+//! mints query-wide `ColId`s in the shared `ColumnRegistry` (Orca's column
+//! factory), and produces the `LogicalExpr` tree with subqueries embedded
+//! as scalar markers — exactly the representation `orca::preprocess`
+//! unnests. Correlated references resolve through a scope chain, so a
+//! subquery referencing an enclosing alias simply captures the outer
+//! `ColId`.
+
+use crate::ast::{
+    self, Expr, JoinType, OrderItem, Query, Select, SelectItem, SetExpr, TableRefAst,
+};
+use orca_catalog::provider::MdProvider;
+use orca_common::{ColId, CteId, DataType, Datum, OrcaError, Result};
+use orca_expr::logical::{AggStage, JoinKind, LogicalExpr, LogicalOp, SetOpKind, TableRef};
+use orca_expr::props::{OrderSpec, SortKey};
+use orca_expr::scalar::ScalarExpr;
+use orca_expr::ColumnRegistry;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A bound query, ready for the optimizer (the payload of a DXL query).
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    pub expr: LogicalExpr,
+    pub output_cols: Vec<ColId>,
+    pub output_names: Vec<String>,
+    /// Query-level ORDER BY (delivered via the root optimization request
+    /// when there is no LIMIT; baked into a Limit operator otherwise).
+    pub order: OrderSpec,
+}
+
+/// Bind a parsed query.
+pub fn bind(
+    query: &Query,
+    provider: &dyn MdProvider,
+    registry: &Arc<ColumnRegistry>,
+) -> Result<BoundQuery> {
+    let binder = Binder {
+        provider,
+        registry,
+        next_cte: AtomicU32::new(1),
+    };
+    let scope = Scope::root();
+    let bound = binder.bind_query(query, &scope)?;
+    Ok(BoundQuery {
+        expr: bound.expr,
+        output_cols: bound.columns.iter().map(|c| c.id).collect(),
+        output_names: bound.columns.iter().map(|c| c.name.clone()).collect(),
+        order: bound.order,
+    })
+}
+
+/// One visible column in a scope.
+#[derive(Debug, Clone)]
+struct BoundCol {
+    id: ColId,
+    name: String,
+}
+
+/// A relation's worth of columns under an alias.
+#[derive(Debug, Clone)]
+struct RelScope {
+    alias: String,
+    columns: Vec<BoundCol>,
+}
+
+/// Lexical scope chain: the current FROM relations plus the enclosing
+/// query's scope (for correlated subqueries).
+struct Scope<'a> {
+    relations: Vec<RelScope>,
+    ctes: Vec<(String, CteBinding)>,
+    parent: Option<&'a Scope<'a>>,
+}
+
+#[derive(Debug, Clone)]
+struct CteBinding {
+    id: CteId,
+    producer_cols: Vec<ColId>,
+    names: Vec<String>,
+}
+
+impl<'a> Scope<'a> {
+    fn root() -> Scope<'static> {
+        Scope {
+            relations: Vec::new(),
+            ctes: Vec::new(),
+            parent: None,
+        }
+    }
+
+    fn child(&'a self) -> Scope<'a> {
+        Scope {
+            relations: Vec::new(),
+            ctes: Vec::new(),
+            parent: Some(self),
+        }
+    }
+
+    fn find_cte(&self, name: &str) -> Option<&CteBinding> {
+        self.ctes
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b)
+            .or_else(|| self.parent.and_then(|p| p.find_cte(name)))
+    }
+
+    /// Resolve `qualifier.name` or `name` through the scope chain.
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<ColId> {
+        let mut matches = Vec::new();
+        for rel in &self.relations {
+            if let Some(q) = qualifier {
+                if rel.alias != q {
+                    continue;
+                }
+            }
+            for c in &rel.columns {
+                if c.name == name {
+                    matches.push(c.id);
+                }
+            }
+        }
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => match self.parent {
+                Some(p) => p.resolve(qualifier, name),
+                None => Err(OrcaError::Bind(format!(
+                    "column '{}{}{}' not found",
+                    qualifier.unwrap_or(""),
+                    if qualifier.is_some() { "." } else { "" },
+                    name
+                ))),
+            },
+            _ => Err(OrcaError::Bind(format!("column '{name}' is ambiguous"))),
+        }
+    }
+}
+
+/// A bound relational expression with its visible columns.
+struct Bound {
+    expr: LogicalExpr,
+    columns: Vec<BoundCol>,
+    order: OrderSpec,
+}
+
+struct Binder<'p> {
+    provider: &'p dyn MdProvider,
+    registry: &'p Arc<ColumnRegistry>,
+    next_cte: AtomicU32,
+}
+
+impl Binder<'_> {
+    // -----------------------------------------------------------------
+    // Query level
+    // -----------------------------------------------------------------
+
+    fn bind_query(&self, q: &Query, outer: &Scope<'_>) -> Result<Bound> {
+        let mut scope = outer.child();
+        // Bind CTEs in order; later CTEs see earlier ones.
+        let mut producers: Vec<(CteId, Vec<ColId>, LogicalExpr)> = Vec::new();
+        for (name, cq) in &q.ctes {
+            let bound = self.bind_query(cq, &scope)?;
+            let id = CteId(self.next_cte.fetch_add(1, Ordering::Relaxed));
+            let producer_cols: Vec<ColId> = bound.columns.iter().map(|c| c.id).collect();
+            scope.ctes.push((
+                name.clone(),
+                CteBinding {
+                    id,
+                    producer_cols: producer_cols.clone(),
+                    names: bound.columns.iter().map(|c| c.name.clone()).collect(),
+                },
+            ));
+            producers.push((id, producer_cols, bound.expr));
+        }
+
+        let mut body = self.bind_set_expr(&q.body, &scope)?;
+
+        // ORDER BY resolves against the output columns (aliases first),
+        // then the underlying scope.
+        let order = self.bind_order(&q.order_by, &body, &scope)?;
+        body.order = order.clone();
+
+        if q.limit.is_some() || q.offset.is_some() {
+            body.expr = LogicalExpr::new(
+                LogicalOp::Limit {
+                    order: order.clone(),
+                    offset: q.offset.unwrap_or(0),
+                    count: q.limit,
+                },
+                vec![body.expr],
+            );
+        }
+
+        // Wrap Sequence nodes for each CTE (inner-most CTE outermost so
+        // later producers may consume earlier ones).
+        for (id, cols, tree) in producers.into_iter().rev() {
+            let producer = LogicalExpr::new(LogicalOp::CteProducer { id, cols }, vec![tree]);
+            body.expr = LogicalExpr::new(LogicalOp::Sequence { id }, vec![producer, body.expr]);
+        }
+        Ok(body)
+    }
+
+    fn bind_order(
+        &self,
+        items: &[OrderItem],
+        body: &Bound,
+        scope: &Scope<'_>,
+    ) -> Result<OrderSpec> {
+        let mut keys = Vec::new();
+        for item in items {
+            let col = match &item.expr {
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } => body
+                    .columns
+                    .iter()
+                    .find(|c| &c.name == name)
+                    .map(|c| c.id)
+                    .map(Ok)
+                    .unwrap_or_else(|| scope.resolve(None, name)),
+                Expr::Column {
+                    qualifier: Some(q),
+                    name,
+                } => scope.resolve(Some(q), name),
+                Expr::Literal(Datum::Int(i)) => {
+                    // ORDER BY ordinal.
+                    let idx = (*i as usize)
+                        .checked_sub(1)
+                        .filter(|i| *i < body.columns.len())
+                        .ok_or_else(|| {
+                            OrcaError::Bind(format!("ORDER BY position {i} out of range"))
+                        })?;
+                    Ok(body.columns[idx].id)
+                }
+                other => Err(OrcaError::Bind(format!(
+                    "ORDER BY supports columns and ordinals, got {other:?}"
+                ))),
+            }?;
+            keys.push(SortKey {
+                col,
+                desc: item.desc,
+            });
+        }
+        Ok(OrderSpec(keys))
+    }
+
+    fn bind_set_expr(&self, e: &SetExpr, scope: &Scope<'_>) -> Result<Bound> {
+        match e {
+            SetExpr::Select(sel) => self.bind_select(sel, scope),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.bind_set_expr(left, scope)?;
+                let r = self.bind_set_expr(right, scope)?;
+                if l.columns.len() != r.columns.len() {
+                    return Err(OrcaError::Bind(format!(
+                        "set operation arity mismatch: {} vs {}",
+                        l.columns.len(),
+                        r.columns.len()
+                    )));
+                }
+                let kind = match (op, all) {
+                    (ast::SetOp::Union, true) => SetOpKind::UnionAll,
+                    (ast::SetOp::Union, false) => SetOpKind::Union,
+                    (ast::SetOp::Intersect, _) => SetOpKind::Intersect,
+                    (ast::SetOp::Except, _) => SetOpKind::Except,
+                };
+                let columns: Vec<BoundCol> = l
+                    .columns
+                    .iter()
+                    .map(|c| BoundCol {
+                        id: self.registry.fresh(&c.name, self.registry.dtype(c.id)),
+                        name: c.name.clone(),
+                    })
+                    .collect();
+                let expr = LogicalExpr::new(
+                    LogicalOp::SetOp {
+                        kind,
+                        output: columns.iter().map(|c| c.id).collect(),
+                        input_cols: vec![
+                            l.columns.iter().map(|c| c.id).collect(),
+                            r.columns.iter().map(|c| c.id).collect(),
+                        ],
+                    },
+                    vec![l.expr, r.expr],
+                );
+                Ok(Bound {
+                    expr,
+                    columns,
+                    order: OrderSpec::any(),
+                })
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // SELECT
+    // -----------------------------------------------------------------
+
+    fn bind_select(&self, sel: &Select, outer: &Scope<'_>) -> Result<Bound> {
+        let mut scope = outer.child();
+        scope.ctes = Vec::new();
+
+        // FROM: comma-separated refs become a cross-join chain.
+        let mut from_expr: Option<LogicalExpr> = None;
+        for tr in &sel.from {
+            let bound = self.bind_table_ref(tr, &mut scope, outer)?;
+            from_expr = Some(match from_expr {
+                None => bound,
+                Some(prev) => LogicalExpr::new(
+                    LogicalOp::Join {
+                        kind: JoinKind::Inner,
+                        pred: ScalarExpr::Const(Datum::Bool(true)),
+                    },
+                    vec![prev, bound],
+                ),
+            });
+        }
+        let mut expr = from_expr.unwrap_or_else(|| {
+            // SELECT without FROM: a one-row const table.
+            LogicalExpr::leaf(LogicalOp::ConstTable {
+                cols: vec![],
+                rows: vec![vec![]],
+            })
+        });
+
+        // WHERE.
+        if let Some(w) = &sel.selection {
+            let pred = self.bind_scalar(w, &scope)?;
+            expr = LogicalExpr::new(LogicalOp::Select { pred }, vec![expr]);
+        }
+
+        // Select list expansion (wildcards first).
+        let mut items: Vec<(Expr, Option<String>)> = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for rel in &scope.relations {
+                        for c in &rel.columns {
+                            items.push((
+                                Expr::Column {
+                                    qualifier: Some(rel.alias.clone()),
+                                    name: c.name.clone(),
+                                },
+                                Some(c.name.clone()),
+                            ));
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let rel = scope
+                        .relations
+                        .iter()
+                        .find(|r| &r.alias == q)
+                        .ok_or_else(|| OrcaError::Bind(format!("unknown alias '{q}'")))?;
+                    for c in &rel.columns {
+                        items.push((
+                            Expr::Column {
+                                qualifier: Some(q.clone()),
+                                name: c.name.clone(),
+                            },
+                            Some(c.name.clone()),
+                        ));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => items.push((expr.clone(), alias.clone())),
+            }
+        }
+
+        // Aggregation?
+        let has_agg = !sel.group_by.is_empty()
+            || sel.having.is_some()
+            || items.iter().any(|(e, _)| contains_agg(e));
+
+        let (expr, columns) = if has_agg {
+            self.bind_aggregate_full(sel, &items, expr, &scope)?
+        } else {
+            // Plain projection.
+            let mut columns = Vec::with_capacity(items.len());
+            let mut proj: Vec<(ColId, ScalarExpr)> = Vec::with_capacity(items.len());
+            for (e, alias) in &items {
+                let scalar = self.bind_scalar(e, &scope)?;
+                let name = alias.clone().unwrap_or_else(|| derive_name(e));
+                let id = match &scalar {
+                    ScalarExpr::ColRef(c) => *c,
+                    _ => self
+                        .registry
+                        .fresh(&name, infer_type(&scalar, self.registry)),
+                };
+                proj.push((id, scalar));
+                columns.push(BoundCol { id, name });
+            }
+            (
+                LogicalExpr::new(LogicalOp::Project { exprs: proj }, vec![expr]),
+                columns,
+            )
+        };
+
+        // DISTINCT: group by all output columns.
+        let (expr, columns) = if sel.distinct {
+            let group_cols: Vec<ColId> = columns.iter().map(|c| c.id).collect();
+            (
+                LogicalExpr::new(
+                    LogicalOp::GbAgg {
+                        group_cols,
+                        aggs: vec![],
+                        stage: AggStage::Single,
+                    },
+                    vec![expr],
+                ),
+                columns,
+            )
+        } else {
+            (expr, columns)
+        };
+
+        Ok(Bound {
+            expr,
+            columns,
+            order: OrderSpec::any(),
+        })
+    }
+
+    /// Grouped aggregation: GbAgg over the input, HAVING as a Select above
+    /// it, then a Project computing the final select-list expressions from
+    /// group columns and aggregate outputs.
+    fn bind_aggregate_full(
+        &self,
+        sel: &Select,
+        items: &[(Expr, Option<String>)],
+        input: LogicalExpr,
+        scope: &Scope<'_>,
+    ) -> Result<(LogicalExpr, Vec<BoundCol>)> {
+        // Group columns must be plain column references.
+        let mut group_cols = Vec::new();
+        for g in &sel.group_by {
+            match self.bind_scalar(g, scope)? {
+                ScalarExpr::ColRef(c) => group_cols.push(c),
+                other => {
+                    return Err(OrcaError::Bind(format!(
+                        "GROUP BY supports plain columns, got {other}"
+                    )))
+                }
+            }
+        }
+        // Collect aggregate calls from select list + HAVING; replace each
+        // with a fresh output column.
+        let mut aggs: Vec<(ColId, ScalarExpr)> = Vec::new();
+        let mut bind_with_agg = |e: &Expr| -> Result<ScalarExpr> {
+            let scalar = self.bind_scalar(e, scope)?;
+            Ok(self.extract_aggs(scalar, &mut aggs))
+        };
+        let mut final_exprs: Vec<(ScalarExpr, String)> = Vec::new();
+        for (e, alias) in items {
+            let rewritten = bind_with_agg(e)?;
+            final_exprs.push((rewritten, alias.clone().unwrap_or_else(|| derive_name(e))));
+        }
+        let having = sel.having.as_ref().map(&mut bind_with_agg).transpose()?;
+
+        let mut tree = LogicalExpr::new(
+            LogicalOp::GbAgg {
+                group_cols: group_cols.clone(),
+                aggs,
+                stage: AggStage::Single,
+            },
+            vec![input],
+        );
+        if let Some(h) = having {
+            tree = LogicalExpr::new(LogicalOp::Select { pred: h }, vec![tree]);
+        }
+        // Final projection.
+        let mut columns = Vec::with_capacity(final_exprs.len());
+        let mut proj = Vec::with_capacity(final_exprs.len());
+        for (scalar, name) in final_exprs {
+            let id = match &scalar {
+                ScalarExpr::ColRef(c) => *c,
+                _ => self
+                    .registry
+                    .fresh(&name, infer_type(&scalar, self.registry)),
+            };
+            proj.push((id, scalar));
+            columns.push(BoundCol { id, name });
+        }
+        Ok((
+            LogicalExpr::new(LogicalOp::Project { exprs: proj }, vec![tree]),
+            columns,
+        ))
+    }
+
+    /// Replace aggregate calls in a bound scalar with references to fresh
+    /// aggregate output columns, appending them to `aggs` (deduplicated).
+    fn extract_aggs(&self, e: ScalarExpr, aggs: &mut Vec<(ColId, ScalarExpr)>) -> ScalarExpr {
+        match e {
+            ScalarExpr::Agg { .. } => {
+                if let Some((id, _)) = aggs.iter().find(|(_, a)| *a == e) {
+                    return ScalarExpr::ColRef(*id);
+                }
+                let ScalarExpr::Agg { func, .. } = &e else {
+                    unreachable!()
+                };
+                let id = self.registry.fresh(
+                    func.name(),
+                    match func {
+                        orca_expr::scalar::AggFunc::Avg => DataType::Double,
+                        orca_expr::scalar::AggFunc::Count => DataType::Int,
+                        _ => DataType::Int,
+                    },
+                );
+                aggs.push((id, e));
+                ScalarExpr::ColRef(id)
+            }
+            ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op,
+                left: Box::new(self.extract_aggs(*left, aggs)),
+                right: Box::new(self.extract_aggs(*right, aggs)),
+            },
+            ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+                op,
+                left: Box::new(self.extract_aggs(*left, aggs)),
+                right: Box::new(self.extract_aggs(*right, aggs)),
+            },
+            ScalarExpr::And(v) => {
+                ScalarExpr::And(v.into_iter().map(|x| self.extract_aggs(x, aggs)).collect())
+            }
+            ScalarExpr::Or(v) => {
+                ScalarExpr::Or(v.into_iter().map(|x| self.extract_aggs(x, aggs)).collect())
+            }
+            ScalarExpr::Not(x) => ScalarExpr::Not(Box::new(self.extract_aggs(*x, aggs))),
+            ScalarExpr::IsNull(x) => ScalarExpr::IsNull(Box::new(self.extract_aggs(*x, aggs))),
+            ScalarExpr::Case {
+                branches,
+                else_value,
+            } => ScalarExpr::Case {
+                branches: branches
+                    .into_iter()
+                    .map(|(c, v)| (self.extract_aggs(c, aggs), self.extract_aggs(v, aggs)))
+                    .collect(),
+                else_value: else_value.map(|x| Box::new(self.extract_aggs(*x, aggs))),
+            },
+            other => other,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // FROM items
+    // -----------------------------------------------------------------
+
+    fn bind_table_ref(
+        &self,
+        tr: &TableRefAst,
+        scope: &mut Scope<'_>,
+        outer: &Scope<'_>,
+    ) -> Result<LogicalExpr> {
+        match tr {
+            TableRefAst::Named { name, alias } => {
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                // CTE reference?
+                if let Some(cte) = scope
+                    .find_cte(name)
+                    .cloned()
+                    .or_else(|| outer.find_cte(name).cloned())
+                {
+                    let cols: Vec<ColId> = cte
+                        .names
+                        .iter()
+                        .zip(&cte.producer_cols)
+                        .map(|(n, p)| self.registry.fresh(n, self.registry.dtype(*p)))
+                        .collect();
+                    scope.relations.push(RelScope {
+                        alias,
+                        columns: cte
+                            .names
+                            .iter()
+                            .zip(&cols)
+                            .map(|(n, c)| BoundCol {
+                                id: *c,
+                                name: n.clone(),
+                            })
+                            .collect(),
+                    });
+                    return Ok(LogicalExpr::leaf(LogicalOp::CteConsumer {
+                        id: cte.id,
+                        cols,
+                        producer_cols: cte.producer_cols.clone(),
+                    }));
+                }
+                // Base table.
+                let mdid = self
+                    .provider
+                    .table_by_name(name)
+                    .ok_or_else(|| OrcaError::Bind(format!("unknown table '{name}'")))?;
+                let table = self.provider.table(mdid)?;
+                let cols: Vec<ColId> = table
+                    .columns
+                    .iter()
+                    .map(|c| self.registry.fresh(&format!("{alias}.{}", c.name), c.dtype))
+                    .collect();
+                scope.relations.push(RelScope {
+                    alias,
+                    columns: table
+                        .columns
+                        .iter()
+                        .zip(&cols)
+                        .map(|(c, id)| BoundCol {
+                            id: *id,
+                            name: c.name.clone(),
+                        })
+                        .collect(),
+                });
+                Ok(LogicalExpr::leaf(LogicalOp::Get {
+                    table: TableRef(table),
+                    cols,
+                    parts: None,
+                }))
+            }
+            TableRefAst::Subquery { query, alias } => {
+                let bound = self.bind_query(query, outer)?;
+                scope.relations.push(RelScope {
+                    alias: alias.clone(),
+                    columns: bound.columns.clone(),
+                });
+                Ok(bound.expr)
+            }
+            TableRefAst::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let l = self.bind_table_ref(left, scope, outer)?;
+                let r = self.bind_table_ref(right, scope, outer)?;
+                let pred = self.bind_scalar(on, scope)?;
+                Ok(LogicalExpr::new(
+                    LogicalOp::Join {
+                        kind: match kind {
+                            JoinType::Inner => JoinKind::Inner,
+                            JoinType::LeftOuter => JoinKind::LeftOuter,
+                        },
+                        pred,
+                    },
+                    vec![l, r],
+                ))
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Scalars
+    // -----------------------------------------------------------------
+
+    fn bind_scalar(&self, e: &Expr, scope: &Scope<'_>) -> Result<ScalarExpr> {
+        Ok(match e {
+            Expr::Column { qualifier, name } => {
+                ScalarExpr::ColRef(scope.resolve(qualifier.as_deref(), name)?)
+            }
+            Expr::Literal(d) => ScalarExpr::Const(d.clone()),
+            Expr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op: *op,
+                left: Box::new(self.bind_scalar(left, scope)?),
+                right: Box::new(self.bind_scalar(right, scope)?),
+            },
+            Expr::And(l, r) => ScalarExpr::and(vec![
+                self.bind_scalar(l, scope)?,
+                self.bind_scalar(r, scope)?,
+            ]),
+            Expr::Or(l, r) => ScalarExpr::Or(vec![
+                self.bind_scalar(l, scope)?,
+                self.bind_scalar(r, scope)?,
+            ]),
+            Expr::Not(x) => match x.as_ref() {
+                // NOT EXISTS sugar.
+                Expr::Exists { query, negated } => {
+                    let sub = self.bind_subquery(query, scope)?;
+                    ScalarExpr::Exists {
+                        negated: !negated,
+                        subquery: Box::new(sub.expr),
+                    }
+                }
+                _ => ScalarExpr::Not(Box::new(self.bind_scalar(x, scope)?)),
+            },
+            Expr::IsNull { expr, negated } => {
+                let inner = ScalarExpr::IsNull(Box::new(self.bind_scalar(expr, scope)?));
+                if *negated {
+                    ScalarExpr::Not(Box::new(inner))
+                } else {
+                    inner
+                }
+            }
+            Expr::Arith { op, left, right } => ScalarExpr::Arith {
+                op: *op,
+                left: Box::new(self.bind_scalar(left, scope)?),
+                right: Box::new(self.bind_scalar(right, scope)?),
+            },
+            Expr::Case {
+                branches,
+                else_value,
+            } => ScalarExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Ok((self.bind_scalar(c, scope)?, self.bind_scalar(v, scope)?)))
+                    .collect::<Result<_>>()?,
+                else_value: else_value
+                    .as_ref()
+                    .map(|x| Ok::<_, OrcaError>(Box::new(self.bind_scalar(x, scope)?)))
+                    .transpose()?,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
+                expr: Box::new(self.bind_scalar(expr, scope)?),
+                list: list
+                    .iter()
+                    .map(|x| self.bind_scalar(x, scope))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let e = self.bind_scalar(expr, scope)?;
+                let both = ScalarExpr::and(vec![
+                    ScalarExpr::cmp(
+                        orca_expr::scalar::CmpOp::Ge,
+                        e.clone(),
+                        self.bind_scalar(low, scope)?,
+                    ),
+                    ScalarExpr::cmp(
+                        orca_expr::scalar::CmpOp::Le,
+                        e,
+                        self.bind_scalar(high, scope)?,
+                    ),
+                ]);
+                if *negated {
+                    ScalarExpr::Not(Box::new(both))
+                } else {
+                    both
+                }
+            }
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => ScalarExpr::Agg {
+                func: *func,
+                arg: arg
+                    .as_ref()
+                    .map(|a| Ok::<_, OrcaError>(Box::new(self.bind_scalar(a, scope)?)))
+                    .transpose()?,
+                distinct: *distinct,
+            },
+            Expr::Exists { query, negated } => {
+                let sub = self.bind_subquery(query, scope)?;
+                ScalarExpr::Exists {
+                    negated: *negated,
+                    subquery: Box::new(sub.expr),
+                }
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let sub = self.bind_subquery(query, scope)?;
+                if sub.columns.len() != 1 {
+                    return Err(OrcaError::Bind(format!(
+                        "IN subquery must return one column, got {}",
+                        sub.columns.len()
+                    )));
+                }
+                ScalarExpr::InSubquery {
+                    expr: Box::new(self.bind_scalar(expr, scope)?),
+                    subquery_col: sub.columns[0].id,
+                    subquery: Box::new(sub.expr),
+                    negated: *negated,
+                }
+            }
+            Expr::ScalarSubquery(query) => {
+                let sub = self.bind_subquery(query, scope)?;
+                if sub.columns.len() != 1 {
+                    return Err(OrcaError::Bind(format!(
+                        "scalar subquery must return one column, got {}",
+                        sub.columns.len()
+                    )));
+                }
+                ScalarExpr::ScalarSubquery {
+                    subquery_col: sub.columns[0].id,
+                    subquery: Box::new(sub.expr),
+                }
+            }
+        })
+    }
+
+    fn bind_subquery(&self, q: &Query, scope: &Scope<'_>) -> Result<Bound> {
+        self.bind_query(q, scope)
+    }
+}
+
+fn contains_agg(e: &Expr) -> bool {
+    match e {
+        Expr::Agg { .. } => true,
+        Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+            contains_agg(left) || contains_agg(right)
+        }
+        Expr::And(l, r) | Expr::Or(l, r) => contains_agg(l) || contains_agg(r),
+        Expr::Not(x) => contains_agg(x),
+        Expr::IsNull { expr, .. } => contains_agg(expr),
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| contains_agg(c) || contains_agg(v))
+                || else_value.as_ref().is_some_and(|x| contains_agg(x))
+        }
+        Expr::InList { expr, list, .. } => contains_agg(expr) || list.iter().any(contains_agg),
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_agg(expr) || contains_agg(low) || contains_agg(high),
+        _ => false,
+    }
+}
+
+fn derive_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Agg { func, .. } => func.name().to_string(),
+        _ => "expr".to_string(),
+    }
+}
+
+fn infer_type(e: &ScalarExpr, registry: &ColumnRegistry) -> DataType {
+    match e {
+        ScalarExpr::ColRef(c) => registry.dtype(*c),
+        ScalarExpr::Const(d) => d.data_type().unwrap_or(DataType::Int),
+        ScalarExpr::Cmp { .. }
+        | ScalarExpr::And(_)
+        | ScalarExpr::Or(_)
+        | ScalarExpr::Not(_)
+        | ScalarExpr::IsNull(_) => DataType::Bool,
+        ScalarExpr::Arith { left, right, .. } => {
+            if infer_type(left, registry) == DataType::Double
+                || infer_type(right, registry) == DataType::Double
+            {
+                DataType::Double
+            } else {
+                DataType::Int
+            }
+        }
+        ScalarExpr::Case {
+            branches,
+            else_value,
+        } => branches
+            .first()
+            .map(|(_, v)| infer_type(v, registry))
+            .or_else(|| else_value.as_ref().map(|x| infer_type(x, registry)))
+            .unwrap_or(DataType::Int),
+        ScalarExpr::InList { .. } => DataType::Bool,
+        ScalarExpr::Agg { func, .. } => match func {
+            orca_expr::scalar::AggFunc::Avg => DataType::Double,
+            _ => DataType::Int,
+        },
+        ScalarExpr::ScalarSubquery { subquery_col, .. } => registry.dtype(*subquery_col),
+        _ => DataType::Bool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use orca_catalog::{ColumnMeta, Distribution, MemoryProvider};
+    use orca_expr::pretty::explain_logical;
+
+    fn provider() -> MemoryProvider {
+        let p = MemoryProvider::new();
+        p.register(
+            "orders",
+            vec![
+                ColumnMeta::new("id", DataType::Int).not_null(),
+                ColumnMeta::new("cust_id", DataType::Int).not_null(),
+                ColumnMeta::new("amount", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        );
+        p.register(
+            "customers",
+            vec![
+                ColumnMeta::new("id", DataType::Int).not_null(),
+                ColumnMeta::new("name", DataType::Str),
+            ],
+            Distribution::Hashed(vec![0]),
+        );
+        p
+    }
+
+    fn bind_sql(sql: &str) -> Result<BoundQuery> {
+        let p = provider();
+        let registry = Arc::new(ColumnRegistry::new());
+        let q = parse_query(sql)?;
+        bind(&q, &p, &registry)
+    }
+
+    #[test]
+    fn resolves_qualified_and_unqualified_columns() {
+        let b = bind_sql("SELECT o.id, name FROM orders o JOIN customers c ON o.cust_id = c.id")
+            .unwrap();
+        assert_eq!(b.output_names, vec!["id", "name"]);
+        assert_eq!(b.output_cols.len(), 2);
+        let text = explain_logical(&b.expr);
+        assert!(text.contains("InnerJoin"), "{text}");
+        // Ambiguity is rejected.
+        let err =
+            bind_sql("SELECT id FROM orders o JOIN customers c ON o.cust_id = c.id").unwrap_err();
+        assert!(err.message().contains("ambiguous"), "{err}");
+        // Unknown names are rejected.
+        assert_eq!(
+            bind_sql("SELECT nope FROM orders").unwrap_err().kind(),
+            "bind"
+        );
+        assert_eq!(bind_sql("SELECT x FROM nope").unwrap_err().kind(), "bind");
+    }
+
+    #[test]
+    fn aggregation_with_having_builds_gbagg_select_project() {
+        let b = bind_sql(
+            "SELECT cust_id, sum(amount) AS total, count(*) \
+             FROM orders GROUP BY cust_id HAVING sum(amount) > 100",
+        )
+        .unwrap();
+        let text = explain_logical(&b.expr);
+        assert!(text.contains("GbAgg"), "{text}");
+        assert!(text.contains("Select"), "{text}");
+        assert!(text.contains("Project"), "{text}");
+        assert_eq!(b.output_names, vec!["cust_id", "total", "count"]);
+        // sum(amount) appears once even though used in HAVING too.
+        let LogicalOp::Project { .. } = &b.expr.op else {
+            panic!("projection on top")
+        };
+    }
+
+    #[test]
+    fn distinct_becomes_group_by_all() {
+        let b = bind_sql("SELECT DISTINCT cust_id FROM orders").unwrap();
+        let LogicalOp::GbAgg {
+            group_cols, aggs, ..
+        } = &b.expr.op
+        else {
+            panic!("distinct should aggregate")
+        };
+        assert_eq!(group_cols.len(), 1);
+        assert!(aggs.is_empty());
+    }
+
+    #[test]
+    fn correlated_subquery_captures_outer_col() {
+        let b = bind_sql(
+            "SELECT id FROM orders o WHERE EXISTS \
+             (SELECT 1 FROM customers c WHERE c.id = o.cust_id)",
+        )
+        .unwrap();
+        assert!(b.expr.has_subquery());
+        // The subquery references o.cust_id from the outer scope.
+        let mut found = false;
+        b.expr.op.for_each_scalar(&mut |_| {});
+        fn find_exists(e: &LogicalExpr, found: &mut bool) {
+            e.op.for_each_scalar(&mut |s| {
+                if let ScalarExpr::Exists { subquery, .. } = s {
+                    *found |= !subquery.outer_refs().is_empty();
+                }
+            });
+            for c in &e.children {
+                find_exists(c, found);
+            }
+        }
+        find_exists(&b.expr, &mut found);
+        assert!(found, "EXISTS should be correlated");
+    }
+
+    #[test]
+    fn cte_produces_sequence_and_consumers() {
+        let b = bind_sql(
+            "WITH big AS (SELECT cust_id, amount FROM orders WHERE amount > 10) \
+             SELECT a.cust_id FROM big a, big b WHERE a.cust_id = b.cust_id",
+        )
+        .unwrap();
+        let text = explain_logical(&b.expr);
+        assert!(text.contains("Sequence"), "{text}");
+        assert!(text.matches("CTEConsumer").count() == 2, "{text}");
+        // Unused CTEs still bind (the Sequence wraps regardless; the
+        // optimizer's preprocessing drops it).
+        let b2 = bind_sql("WITH unused AS (SELECT id FROM orders) SELECT id FROM orders").unwrap();
+        assert!(explain_logical(&b2.expr).contains("Sequence"));
+    }
+
+    #[test]
+    fn order_by_alias_ordinal_and_limit() {
+        let b = bind_sql(
+            "SELECT cust_id, sum(amount) AS total FROM orders \
+             GROUP BY cust_id ORDER BY total DESC, 1 LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(b.order.0.len(), 2);
+        assert!(b.order.0[0].desc);
+        assert_eq!(b.order.0[1].col, b.output_cols[0]);
+        let LogicalOp::Limit { count, .. } = &b.expr.op else {
+            panic!("LIMIT wraps the tree")
+        };
+        assert_eq!(*count, Some(10));
+    }
+
+    #[test]
+    fn set_op_binds_with_fresh_outputs() {
+        let b = bind_sql("SELECT id FROM orders UNION SELECT id FROM customers").unwrap();
+        let LogicalOp::SetOp {
+            kind,
+            output,
+            input_cols,
+        } = &b.expr.op
+        else {
+            panic!("set op root")
+        };
+        assert_eq!(*kind, SetOpKind::Union);
+        assert_eq!(output.len(), 1);
+        assert_eq!(input_cols.len(), 2);
+        // Arity mismatch rejected.
+        assert!(bind_sql("SELECT id, cust_id FROM orders UNION SELECT id FROM customers").is_err());
+    }
+
+    #[test]
+    fn between_and_case_and_wildcards() {
+        let b = bind_sql(
+            "SELECT *, CASE WHEN amount BETWEEN 1 AND 5 THEN 'low' ELSE 'high' END AS bucket \
+             FROM orders",
+        )
+        .unwrap();
+        assert_eq!(b.output_names, vec!["id", "cust_id", "amount", "bucket"]);
+    }
+}

@@ -1,0 +1,210 @@
+//! SQL tokenizer.
+
+use orca_common::{OrcaError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier, uppercased for keywords comparison; the
+    /// original case is kept for identifiers (we lowercase them — SQL
+    /// folds unquoted identifiers).
+    Word(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(Sym),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                // Line comment.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::Symbol(Sym::Ne));
+                i += 2;
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return Err(OrcaError::Parse("unterminated string literal".into()));
+                    }
+                    if b[i] == b'\'' {
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = std::str::from_utf8(&b[start..i]).expect("ascii");
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| OrcaError::Parse(format!("bad float '{text}'")))?,
+                    ));
+                } else {
+                    let text = std::str::from_utf8(&b[start..i]).expect("ascii");
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        OrcaError::Parse(format!("bad integer '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&b[start..i]).expect("ascii");
+                out.push(Token::Word(word.to_ascii_lowercase()));
+            }
+            other => {
+                return Err(OrcaError::Parse(format!(
+                    "unexpected character '{}' at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_fold_and_symbols_split() {
+        let toks = tokenize("SELECT a.B, 42, 1.5, 'o''brien' FROM t WHERE x<>2 AND y>=3").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Word("a".into()));
+        assert_eq!(toks[2], Token::Symbol(Sym::Dot));
+        assert_eq!(toks[3], Token::Word("b".into()));
+        assert!(toks.contains(&Token::Int(42)));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Str("o'brien".into())));
+        assert!(toks.contains(&Token::Symbol(Sym::Ne)));
+        assert!(toks.contains(&Token::Symbol(Sym::Ge)));
+    }
+
+    #[test]
+    fn comments_skipped_and_errors_reported() {
+        let toks = tokenize("select -- comment here\n 1").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert!(tokenize("select 'oops").is_err());
+        assert!(tokenize("select #").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! `orca-sql` — a SQL frontend for the workload the paper's evaluation
+//! needs (TPC-DS-style analytics): SELECT/FROM/WHERE with explicit and
+//! implicit joins, GROUP BY/HAVING, ORDER BY/LIMIT/OFFSET, WITH (CTEs),
+//! UNION/INTERSECT/EXCEPT, CASE, IN lists, and — crucially for §7.2.2 —
+//! `EXISTS` / `IN` / scalar subqueries including correlated ones.
+//!
+//! The [`binder`] resolves names against an [`orca_catalog::MdProvider`],
+//! mints query-wide [`orca_common::ColId`]s in a
+//! [`orca_expr::ColumnRegistry`], and emits the [`orca_expr::LogicalExpr`]
+//! tree plus query requirements — the same payload a DXL query document
+//! carries (Listing 1).
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::{bind, BoundQuery};
+pub use parser::parse_query;
+
+use orca_catalog::provider::MdProvider;
+use orca_common::Result;
+use orca_expr::ColumnRegistry;
+use std::sync::Arc;
+
+/// One-call convenience: SQL text → bound logical query.
+pub fn compile(
+    sql: &str,
+    provider: &dyn MdProvider,
+    registry: &Arc<ColumnRegistry>,
+) -> Result<BoundQuery> {
+    let ast = parse_query(sql)?;
+    bind(&ast, provider, registry)
+}

@@ -1,0 +1,783 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Sym, Token};
+use orca_common::{Datum, OrcaError, Result};
+use orca_expr::scalar::{AggFunc, ArithOp, CmpOp};
+
+/// Parse one SQL query (optionally `;`-terminated).
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_symbol(Sym::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> OrcaError {
+        OrcaError::Parse(format!(
+            "{msg} near token {:?} (#{})",
+            self.tokens.get(self.pos),
+            self.pos
+        ))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {}", kw.to_uppercase())))
+        }
+    }
+
+    fn peek_symbol(&self, s: Sym) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(x)) if *x == s)
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.peek_symbol(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Word(w)) if !is_reserved(w) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Query / set operations
+    // -----------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw("as")?;
+                self.expect_symbol(Sym::LParen)?;
+                let q = self.query()?;
+                self.expect_symbol(Sym::RParen)?;
+                ctes.push((name, q));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("limit") {
+            limit = Some(self.unsigned()?);
+        }
+        if self.eat_kw("offset") {
+            offset = Some(self.unsigned()?);
+        }
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn unsigned(&mut self) -> Result<u64> {
+        match self.peek() {
+            Some(Token::Int(i)) if *i >= 0 => {
+                let v = *i as u64;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err("expected non-negative integer")),
+        }
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.set_term()?;
+        loop {
+            let op = if self.peek_kw("union") {
+                SetOp::Union
+            } else if self.peek_kw("intersect") {
+                SetOp::Intersect
+            } else if self.peek_kw("except") {
+                SetOp::Except
+            } else {
+                return Ok(left);
+            };
+            self.pos += 1;
+            let all = self.eat_kw("all");
+            let right = self.set_term()?;
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn set_term(&mut self) -> Result<SetExpr> {
+        if self.eat_symbol(Sym::LParen) {
+            let e = self.set_expr()?;
+            self.expect_symbol(Sym::RParen)?;
+            Ok(e)
+        } else {
+            Ok(SetExpr::Select(Box::new(self.select()?)))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // SELECT
+    // -----------------------------------------------------------------
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.table_ref()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let selection = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* pattern
+        if let Some(Token::Word(w)) = self.peek() {
+            if !is_reserved(w)
+                && matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(Sym::Dot)))
+                && matches!(
+                    self.tokens.get(self.pos + 2),
+                    Some(Token::Symbol(Sym::Star))
+                )
+            {
+                let q = w.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if let Some(Token::Word(w)) = self.peek() {
+            if !is_reserved(w) {
+                let a = w.clone();
+                self.pos += 1;
+                Some(a)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRefAst> {
+        let mut left = self.table_factor()?;
+        loop {
+            let kind = if self.peek_kw("join") || self.peek_kw("inner") {
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                JoinType::Inner
+            } else if self.peek_kw("left") {
+                self.pos += 1;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinType::LeftOuter
+            } else {
+                return Ok(left);
+            };
+            let right = self.table_factor()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            left = TableRefAst::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+    }
+
+    fn table_factor(&mut self) -> Result<TableRefAst> {
+        if self.eat_symbol(Sym::LParen) {
+            let q = self.query()?;
+            self.expect_symbol(Sym::RParen)?;
+            self.eat_kw("as");
+            let alias = self.ident()?;
+            return Ok(TableRefAst::Subquery {
+                query: Box::new(q),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if let Some(Token::Word(w)) = self.peek() {
+            if !is_reserved(w) {
+                let a = w.clone();
+                self.pos += 1;
+                Some(a)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(TableRefAst::Named { name, alias })
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // -----------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / BETWEEN
+        let negated = self.eat_kw("not");
+        if self.eat_kw("in") {
+            self.expect_symbol(Sym::LParen)?;
+            if self.peek_kw("select") || self.peek_kw("with") {
+                let q = self.query()?;
+                self.expect_symbol(Sym::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err("expected IN or BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => CmpOp::Eq,
+            Some(Token::Symbol(Sym::Ne)) => CmpOp::Ne,
+            Some(Token::Symbol(Sym::Lt)) => CmpOp::Lt,
+            Some(Token::Symbol(Sym::Le)) => CmpOp::Le,
+            Some(Token::Symbol(Sym::Gt)) => CmpOp::Gt,
+            Some(Token::Symbol(Sym::Ge)) => CmpOp::Ge,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.additive()?;
+        Ok(Expr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Plus) {
+                ArithOp::Add
+            } else if self.eat_symbol(Sym::Minus) {
+                ArithOp::Sub
+            } else {
+                return Ok(left);
+            };
+            let right = self.multiplicative()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Star) {
+                ArithOp::Mul
+            } else if self.eat_symbol(Sym::Slash) {
+                ArithOp::Div
+            } else {
+                return Ok(left);
+            };
+            let right = self.unary()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(Sym::Minus) {
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Literal(Datum::Int(i)) => Expr::Literal(Datum::Int(-i)),
+                Expr::Literal(Datum::Double(d)) => Expr::Literal(Datum::Double(-d)),
+                other => Expr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(Expr::Literal(Datum::Int(0))),
+                    right: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Datum::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Datum::Double(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Datum::Str(s)))
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                self.pos += 1;
+                if self.peek_kw("select") || self.peek_kw("with") {
+                    let q = self.query()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) => {
+                match w.as_str() {
+                    "true" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Datum::Bool(true)));
+                    }
+                    "false" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Datum::Bool(false)));
+                    }
+                    "null" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Datum::Null));
+                    }
+                    "date" => {
+                        // date <int>: our workload's date literal.
+                        if let Some(Token::Int(_)) = self.tokens.get(self.pos + 1) {
+                            self.pos += 1;
+                            let v = self.unsigned()? as i32;
+                            return Ok(Expr::Literal(Datum::Date(v)));
+                        }
+                    }
+                    "case" => return self.case_expr(),
+                    "exists" => {
+                        self.pos += 1;
+                        self.expect_symbol(Sym::LParen)?;
+                        let q = self.query()?;
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(Expr::Exists {
+                            query: Box::new(q),
+                            negated: false,
+                        });
+                    }
+                    "count" | "sum" | "min" | "max" | "avg" => {
+                        if matches!(
+                            self.tokens.get(self.pos + 1),
+                            Some(Token::Symbol(Sym::LParen))
+                        ) {
+                            return self.agg_call(&w);
+                        }
+                    }
+                    _ => {}
+                }
+                if is_reserved(&w) {
+                    return Err(self.err("unexpected keyword in expression"));
+                }
+                self.pos += 1;
+                if self.eat_symbol(Sym::Dot) {
+                    let name = self.ident()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(w),
+                        name,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name: w,
+                    })
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    fn agg_call(&mut self, name: &str) -> Result<Expr> {
+        let func = match name {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "avg" => AggFunc::Avg,
+            _ => unreachable!("checked by caller"),
+        };
+        self.pos += 1; // function name
+        self.expect_symbol(Sym::LParen)?;
+        if self.eat_symbol(Sym::Star) {
+            self.expect_symbol(Sym::RParen)?;
+            if func != AggFunc::Count {
+                return Err(self.err("only count(*) takes '*'"));
+            }
+            return Ok(Expr::Agg {
+                func,
+                arg: None,
+                distinct: false,
+            });
+        }
+        let distinct = self.eat_kw("distinct");
+        let arg = self.expr()?;
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Expr::Agg {
+            func,
+            arg: Some(Box::new(arg)),
+            distinct,
+        })
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        self.expect_kw("case")?;
+        let mut branches = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let value = self.expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN"));
+        }
+        let else_value = if self.eat_kw("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(Expr::Case {
+            branches,
+            else_value,
+        })
+    }
+}
+
+fn is_reserved(w: &str) -> bool {
+    matches!(
+        w,
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "order"
+            | "limit"
+            | "offset"
+            | "join"
+            | "inner"
+            | "left"
+            | "outer"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "is"
+            | "null"
+            | "between"
+            | "exists"
+            | "case"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "union"
+            | "intersect"
+            | "except"
+            | "all"
+            | "distinct"
+            | "with"
+            | "as"
+            | "asc"
+            | "desc"
+            | "true"
+            | "false"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_query_shape() {
+        let q = parse_query(
+            "WITH top AS (SELECT a FROM t LIMIT 5) \
+             SELECT x.a, count(*) AS n FROM top x, s \
+             WHERE x.a = s.b AND s.c BETWEEN 1 AND 10 \
+             GROUP BY x.a HAVING count(*) > 2 ORDER BY n DESC LIMIT 3 OFFSET 1;",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 1);
+        assert_eq!(q.limit, Some(3));
+        assert_eq!(q.offset, Some(1));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+    }
+
+    #[test]
+    fn joins_and_subqueries() {
+        let q = parse_query(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y \
+             WHERE EXISTS (SELECT 1 FROM d WHERE d.k = a.x) \
+               AND a.v NOT IN (SELECT v FROM e) \
+               AND a.w > (SELECT max(w) FROM f WHERE f.k = a.x)",
+        )
+        .unwrap();
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(&sel.from[0], TableRefAst::Join { .. }));
+        let w = sel.selection.as_ref().unwrap();
+        // AND tree with Exists / InSubquery / Cmp(ScalarSubquery).
+        let text = format!("{w:?}");
+        assert!(text.contains("Exists"));
+        assert!(text.contains("InSubquery"));
+        assert!(text.contains("ScalarSubquery"));
+    }
+
+    #[test]
+    fn set_ops_and_case() {
+        let q = parse_query(
+            "SELECT a FROM t UNION ALL SELECT b FROM s \
+             INTERSECT SELECT CASE WHEN c > 0 THEN 1 ELSE 0 END FROM u",
+        )
+        .unwrap();
+        let SetExpr::SetOp { op, all, .. } = &q.body else {
+            panic!()
+        };
+        assert_eq!(*op, SetOp::Intersect);
+        assert!(!all);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse_query("SELECT a + b * 2 - c FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        // a + (b*2) - c
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        let text = format!("{expr:?}");
+        assert!(text.starts_with("Arith { op: Sub"));
+        // OR(x=1, AND(y=2, z=3))
+        let w = format!("{:?}", sel.selection.as_ref().unwrap());
+        assert!(w.starts_with("Or("));
+    }
+
+    #[test]
+    fn errors_are_parse_kind() {
+        for bad in [
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT sum(*) FROM t",
+            "SELECT a FROM t GROUP",
+            "SELECT a a a FROM t",
+        ] {
+            let e = parse_query(bad).unwrap_err();
+            assert_eq!(e.kind(), "parse", "{bad}");
+        }
+    }
+
+    #[test]
+    fn derived_table_and_qualified_wildcard() {
+        let q = parse_query("SELECT x.*, y.a FROM (SELECT a FROM t) AS x, s AS y").unwrap();
+        let SetExpr::Select(sel) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(&sel.items[0], SelectItem::QualifiedWildcard(q) if q == "x"));
+        assert!(matches!(&sel.from[0], TableRefAst::Subquery { alias, .. } if alias == "x"));
+    }
+}

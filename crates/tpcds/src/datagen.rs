@@ -1,0 +1,246 @@
+//! Deterministic scale-factor data generation + statistics.
+//!
+//! Value distributions follow the TPC-DS spirit: surrogate keys uniform
+//! over the referenced dimension, sale amounts skewed (a few hot items
+//! dominate — exercising Orca's skew-aware costing), dates uniform over a
+//! two-year calendar.
+
+use crate::schema::{TableDef, DATE_KEYS, TABLES};
+use orca_catalog::provider::MdProvider as _;
+use orca_catalog::stats::ColumnStats;
+use orca_catalog::{MemoryProvider, TableStats};
+use orca_common::{DataType, Datum, SegmentConfig};
+use orca_executor::{Database, Row};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const STATES: &[&str] = &["CA", "TX", "NY", "WA", "OR", "FL", "GA", "IL"];
+const CATEGORIES: &[&str] = &["Books", "Music", "Sports", "Home", "Shoes", "Electronics"];
+const FLAGS: &[&str] = &["Y", "N"];
+
+/// Generate one table's rows at the given scale factor.
+pub fn generate_rows(def: &TableDef, scale: f64, seed: u64) -> Vec<Row> {
+    let eff = if def.scales { scale } else { 1.0 };
+    let n = ((def.base_rows as f64) * eff).ceil().max(1.0) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ orca_common::hash::fnv_hash(def.name));
+    // Dimension key spaces scale only if the dimension itself scales.
+    let dim_rows = |name: &str| -> i64 {
+        let d = TABLES.iter().find(|t| t.name == name).expect("known dim");
+        let eff = if d.scales { scale } else { 1.0 };
+        (((d.base_rows as f64) * eff).ceil() as i64).max(1)
+    };
+    let items = dim_rows("item");
+    let customers = dim_rows("customer");
+    let stores = dim_rows("store");
+    let promos = dim_rows("promotion");
+    let warehouses = dim_rows("warehouse");
+    let ccs = dim_rows("call_center");
+    let webs = dim_rows("web_site");
+    let addrs = dim_rows("customer_address");
+    let hdemos = dim_rows("household_demographics");
+
+    (0..n)
+        .map(|i| {
+            let i = i as i64;
+            def.columns
+                .iter()
+                .map(|(col, ty, nullable)| {
+                    // 3% NULLs on nullable columns.
+                    if *nullable && rng.gen_ratio(3, 100) {
+                        return Datum::Null;
+                    }
+                    value_for(
+                        col,
+                        *ty,
+                        i,
+                        &mut rng,
+                        ValueCtx {
+                            items,
+                            customers,
+                            stores,
+                            promos,
+                            warehouses,
+                            ccs,
+                            webs,
+                            addrs,
+                            hdemos,
+                        },
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct ValueCtx {
+    items: i64,
+    customers: i64,
+    stores: i64,
+    promos: i64,
+    warehouses: i64,
+    ccs: i64,
+    webs: i64,
+    addrs: i64,
+    hdemos: i64,
+}
+
+/// Zipf-ish skewed key in `[0, n)`: square the uniform draw so small keys
+/// are hot.
+fn skewed(rng: &mut StdRng, n: i64) -> i64 {
+    let u: f64 = rng.gen();
+    ((u * u) * n as f64) as i64
+}
+
+fn value_for(col: &str, ty: DataType, i: i64, rng: &mut StdRng, ctx: ValueCtx) -> Datum {
+    // Surrogate keys of dimension tables are sequential.
+    match col {
+        "d_date_sk" => return Datum::Date(i as i32),
+        "d_year" => return Datum::Int(2000 + i / 365),
+        "d_moy" => return Datum::Int((i / 30) % 12 + 1),
+        "d_dow" => return Datum::Int(i % 7),
+        "d_qoy" => return Datum::Int((i / 91) % 4 + 1),
+        "t_time_sk" | "i_item_sk" | "c_customer_sk" | "ca_address_sk" | "cd_demo_sk"
+        | "hd_demo_sk" | "ib_income_band_sk" | "p_promo_sk" | "r_reason_sk" | "sm_ship_mode_sk"
+        | "s_store_sk" | "w_warehouse_sk" | "wp_web_page_sk" | "web_site_sk"
+        | "cc_call_center_sk" | "cp_catalog_page_sk" => return Datum::Int(i),
+        "ss_ticket_number" | "cs_order_number" | "ws_order_number" | "sr_ticket_number"
+        | "cr_order_number" | "wr_order_number" => return Datum::Int(i),
+        _ => {}
+    }
+    // Fact foreign keys & measures by suffix.
+    if col.ends_with("date_sk") {
+        return Datum::Date(rng.gen_range(0..DATE_KEYS) as i32);
+    }
+    if col.ends_with("item_sk") {
+        return Datum::Int(skewed(rng, ctx.items));
+    }
+    if col.ends_with("customer_sk") {
+        return Datum::Int(skewed(rng, ctx.customers));
+    }
+    if col.ends_with("store_sk") {
+        return Datum::Int(rng.gen_range(0..ctx.stores));
+    }
+    if col.ends_with("promo_sk") {
+        return Datum::Int(rng.gen_range(0..ctx.promos));
+    }
+    if col.ends_with("warehouse_sk") {
+        return Datum::Int(rng.gen_range(0..ctx.warehouses));
+    }
+    if col.ends_with("call_center_sk") {
+        return Datum::Int(rng.gen_range(0..ctx.ccs));
+    }
+    if col.ends_with("web_site_sk") {
+        return Datum::Int(rng.gen_range(0..ctx.webs));
+    }
+    if col.ends_with("addr_sk") {
+        return Datum::Int(rng.gen_range(0..ctx.addrs));
+    }
+    if col.ends_with("hdemo_sk") || col.ends_with("income_band_sk") {
+        return Datum::Int(rng.gen_range(0..ctx.hdemos.max(2)));
+    }
+    match (col, ty) {
+        (_, DataType::Str) => {
+            let pool: &[&str] = if col.contains("state") {
+                STATES
+            } else if col.contains("category") {
+                CATEGORIES
+            } else if col.contains("flag") || col.contains("channel") {
+                FLAGS
+            } else {
+                &["AAA", "BBB", "CCC", "DDD"]
+            };
+            Datum::Str(pool[rng.gen_range(0..pool.len())].to_string())
+        }
+        (c, _)
+            if c.contains("price")
+                || c.contains("amt")
+                || c.contains("amount")
+                || c.contains("cost") =>
+        {
+            Datum::Int(rng.gen_range(1..200))
+        }
+        (c, _) if c.contains("profit") => Datum::Int(rng.gen_range(-50..150)),
+        (c, _) if c.contains("quantity") => Datum::Int(rng.gen_range(1..100)),
+        (_, DataType::Date) => Datum::Date(rng.gen_range(0..DATE_KEYS) as i32),
+        _ => Datum::Int(rng.gen_range(0..1000)),
+    }
+}
+
+/// Build the full catalog + loaded database at a scale factor.
+///
+/// Returns the provider (tables + statistics harvested from the generated
+/// data, as ANALYZE would) and the executable database.
+pub fn build_catalog(scale: f64, cluster: SegmentConfig) -> (Arc<MemoryProvider>, Database) {
+    let provider = Arc::new(MemoryProvider::new());
+    let mut db = Database::new(cluster);
+    for def in TABLES {
+        let id = provider.register(def.name, def.column_metas(), def.distribution());
+        if let Some(p) = def.partitioning() {
+            let t = (*provider.table(id).expect("just registered")).clone();
+            provider.install_table(Arc::new(t.with_partitioning(p)));
+        }
+        let rows = generate_rows(def, scale, 0xDA7A);
+        // Statistics (the reversed-statistics data generator of §6 works
+        // the other way around; here data comes first, stats second).
+        let mut stats = TableStats::new(rows.len() as f64, def.columns.len());
+        for c in 0..def.columns.len() {
+            let values: Vec<Datum> = rows.iter().map(|r| r[c].clone()).collect();
+            stats.columns[c] = Some(ColumnStats::from_column(&values, 32));
+        }
+        provider.set_stats(id, stats);
+        let table = provider.table(id).expect("registered");
+        db.load_table(table, rows).expect("rows match schema");
+    }
+    (provider, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_scaled() {
+        let ss = TABLES.iter().find(|t| t.name == "store_sales").unwrap();
+        let a = generate_rows(ss, 0.1, 42);
+        let b = generate_rows(ss, 0.1, 42);
+        assert_eq!(a, b, "same seed, same data");
+        assert_eq!(a.len(), 2400);
+        let big = generate_rows(ss, 0.2, 42);
+        assert_eq!(big.len(), 4800);
+    }
+
+    #[test]
+    fn item_keys_are_skewed() {
+        let ss = TABLES.iter().find(|t| t.name == "store_sales").unwrap();
+        let rows = generate_rows(ss, 0.5, 7);
+        let idx = ss.col_index("ss_item_sk");
+        let items = TABLES.iter().find(|t| t.name == "item").unwrap().base_rows as f64 * 0.5;
+        let low_half = rows
+            .iter()
+            .filter(|r| (r[idx].as_i64().unwrap() as f64) < items / 2.0)
+            .count();
+        // Squared-uniform puts ~70% of the mass in the lower half.
+        assert!(
+            low_half as f64 > rows.len() as f64 * 0.6,
+            "{low_half}/{} not skewed",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn build_catalog_loads_everything_with_stats() {
+        let (provider, db) = build_catalog(0.05, SegmentConfig::default().with_segments(2));
+        for def in TABLES {
+            let id = provider.table_by_name(def.name).expect(def.name);
+            let stats = provider.stats(id).unwrap();
+            assert!(stats.rows >= 1.0, "{} has rows", def.name);
+            assert!(db.table(id).unwrap().total_rows() >= 1);
+        }
+        // Partitioned fact: every partition key within bounds.
+        let ss = provider
+            .table(provider.table_by_name("store_sales").unwrap())
+            .unwrap();
+        assert_eq!(ss.num_partitions(), crate::schema::DATE_PARTS);
+    }
+}

@@ -1,0 +1,22 @@
+//! `orca-tpcds` — the TPC-DS-style workload of §7.1.
+//!
+//! "TPC-DS with its 25 tables, 429 columns and 99 query templates can well
+//! represent a modern decision-supporting system and is an excellent
+//! benchmark for testing query optimizers."
+//!
+//! This crate is the simulated stand-in for the official benchmark
+//! (DESIGN.md §2): the same 25 table names with simplified but
+//! realistically-shaped columns, a deterministic scale-factor data
+//! generator with skewed distributions, statistics derived from the
+//! generated data, and a suite of **111 query instances** expanded from
+//! hand-written templates whose SQL-feature mix (correlated subqueries,
+//! WITH, set operations, CASE, outer joins, multi-fact joins) drives the
+//! Figure 12–15 reproductions.
+
+pub mod datagen;
+pub mod queries;
+pub mod schema;
+pub mod suite;
+
+pub use datagen::build_catalog;
+pub use suite::{suite, SuiteQuery};

@@ -1,0 +1,435 @@
+//! The 25-table TPC-DS schema (simplified columns, real table names).
+//!
+//! Fact tables are hash-distributed on their item key and range-partitioned
+//! by sold-date key (the classic GPDB layout that partition elimination
+//! exploits). Small dimensions are replicated; the rest are hashed on
+//! their surrogate key.
+
+use orca_catalog::{ColumnMeta, Distribution, Partitioning};
+use orca_common::DataType;
+
+/// Days in the generated calendar (two years).
+pub const DATE_KEYS: i64 = 730;
+/// Date partitions on fact tables (monthly-ish).
+pub const DATE_PARTS: usize = 24;
+
+/// Declarative table description used by the generator.
+pub struct TableDef {
+    pub name: &'static str,
+    /// `(column, type, nullable)`
+    pub columns: &'static [(&'static str, DataType, bool)],
+    pub distribution: Dist,
+    /// Range-partitioned on this column over `[0, DATE_KEYS)`.
+    pub partition_col: Option<&'static str>,
+    /// Base row count at scale factor 1.0.
+    pub base_rows: usize,
+    /// Whether the table grows with the scale factor. Calendar and
+    /// organizational dimensions (dates, stores, call centers, ...) have a
+    /// fixed size in TPC-DS regardless of scale.
+    pub scales: bool,
+}
+
+pub enum Dist {
+    Hashed(&'static str),
+    Replicated,
+    Singleton,
+}
+
+use DataType::{Date, Int, Str};
+
+/// All 25 tables (24 content tables + dbgen_version, as in TPC-DS).
+pub const TABLES: &[TableDef] = &[
+    // ------------------------- fact tables -------------------------
+    TableDef {
+        name: "store_sales",
+        columns: &[
+            ("ss_sold_date_sk", Date, false),
+            ("ss_item_sk", Int, false),
+            ("ss_customer_sk", Int, true),
+            ("ss_store_sk", Int, true),
+            ("ss_promo_sk", Int, true),
+            ("ss_ticket_number", Int, false),
+            ("ss_quantity", Int, true),
+            ("ss_sales_price", Int, true),
+            ("ss_net_profit", Int, true),
+        ],
+        distribution: Dist::Hashed("ss_item_sk"),
+        partition_col: Some("ss_sold_date_sk"),
+        base_rows: 24_000,
+        scales: true,
+    },
+    TableDef {
+        name: "store_returns",
+        columns: &[
+            ("sr_returned_date_sk", Date, false),
+            ("sr_item_sk", Int, false),
+            ("sr_customer_sk", Int, true),
+            ("sr_ticket_number", Int, false),
+            ("sr_return_quantity", Int, true),
+            ("sr_return_amt", Int, true),
+        ],
+        distribution: Dist::Hashed("sr_item_sk"),
+        partition_col: Some("sr_returned_date_sk"),
+        base_rows: 2_400,
+        scales: true,
+    },
+    TableDef {
+        name: "catalog_sales",
+        columns: &[
+            ("cs_sold_date_sk", Date, false),
+            ("cs_item_sk", Int, false),
+            ("cs_bill_customer_sk", Int, true),
+            ("cs_call_center_sk", Int, true),
+            ("cs_promo_sk", Int, true),
+            ("cs_order_number", Int, false),
+            ("cs_quantity", Int, true),
+            ("cs_sales_price", Int, true),
+            ("cs_net_profit", Int, true),
+        ],
+        distribution: Dist::Hashed("cs_item_sk"),
+        partition_col: Some("cs_sold_date_sk"),
+        base_rows: 14_000,
+        scales: true,
+    },
+    TableDef {
+        name: "catalog_returns",
+        columns: &[
+            ("cr_returned_date_sk", Date, false),
+            ("cr_item_sk", Int, false),
+            ("cr_customer_sk", Int, true),
+            ("cr_order_number", Int, false),
+            ("cr_return_amount", Int, true),
+        ],
+        distribution: Dist::Hashed("cr_item_sk"),
+        partition_col: Some("cr_returned_date_sk"),
+        base_rows: 1_400,
+        scales: true,
+    },
+    TableDef {
+        name: "web_sales",
+        columns: &[
+            ("ws_sold_date_sk", Date, false),
+            ("ws_item_sk", Int, false),
+            ("ws_bill_customer_sk", Int, true),
+            ("ws_web_site_sk", Int, true),
+            ("ws_promo_sk", Int, true),
+            ("ws_order_number", Int, false),
+            ("ws_quantity", Int, true),
+            ("ws_sales_price", Int, true),
+            ("ws_net_profit", Int, true),
+        ],
+        distribution: Dist::Hashed("ws_item_sk"),
+        partition_col: Some("ws_sold_date_sk"),
+        base_rows: 7_000,
+        scales: true,
+    },
+    TableDef {
+        name: "web_returns",
+        columns: &[
+            ("wr_returned_date_sk", Date, false),
+            ("wr_item_sk", Int, false),
+            ("wr_refunded_customer_sk", Int, true),
+            ("wr_order_number", Int, false),
+            ("wr_return_amt", Int, true),
+        ],
+        distribution: Dist::Hashed("wr_item_sk"),
+        partition_col: Some("wr_returned_date_sk"),
+        base_rows: 700,
+        scales: true,
+    },
+    TableDef {
+        name: "inventory",
+        columns: &[
+            ("inv_date_sk", Date, false),
+            ("inv_item_sk", Int, false),
+            ("inv_warehouse_sk", Int, false),
+            ("inv_quantity_on_hand", Int, true),
+        ],
+        distribution: Dist::Hashed("inv_item_sk"),
+        partition_col: Some("inv_date_sk"),
+        base_rows: 8_000,
+        scales: true,
+    },
+    // ------------------------ dimensions ---------------------------
+    TableDef {
+        name: "date_dim",
+        columns: &[
+            ("d_date_sk", Date, false),
+            ("d_year", Int, false),
+            ("d_moy", Int, false),
+            ("d_dow", Int, false),
+            ("d_qoy", Int, false),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: DATE_KEYS as usize,
+        scales: false,
+    },
+    TableDef {
+        name: "time_dim",
+        columns: &[
+            ("t_time_sk", Int, false),
+            ("t_hour", Int, false),
+            ("t_minute", Int, false),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 240,
+        scales: false,
+    },
+    TableDef {
+        name: "item",
+        columns: &[
+            ("i_item_sk", Int, false),
+            ("i_brand_id", Int, true),
+            ("i_class_id", Int, true),
+            ("i_category_id", Int, true),
+            ("i_category", Str, true),
+            ("i_current_price", Int, true),
+        ],
+        distribution: Dist::Hashed("i_item_sk"),
+        partition_col: None,
+        base_rows: 1_000,
+        scales: true,
+    },
+    TableDef {
+        name: "customer",
+        columns: &[
+            ("c_customer_sk", Int, false),
+            ("c_current_addr_sk", Int, true),
+            ("c_current_hdemo_sk", Int, true),
+            ("c_birth_year", Int, true),
+            ("c_preferred_cust_flag", Str, true),
+        ],
+        distribution: Dist::Hashed("c_customer_sk"),
+        partition_col: None,
+        base_rows: 2_000,
+        scales: true,
+    },
+    TableDef {
+        name: "customer_address",
+        columns: &[
+            ("ca_address_sk", Int, false),
+            ("ca_state", Str, true),
+            ("ca_zip", Int, true),
+            ("ca_gmt_offset", Int, true),
+        ],
+        distribution: Dist::Hashed("ca_address_sk"),
+        partition_col: None,
+        base_rows: 1_000,
+        scales: true,
+    },
+    TableDef {
+        name: "customer_demographics",
+        columns: &[
+            ("cd_demo_sk", Int, false),
+            ("cd_gender", Str, true),
+            ("cd_marital_status", Str, true),
+            ("cd_education_status", Str, true),
+        ],
+        distribution: Dist::Hashed("cd_demo_sk"),
+        partition_col: None,
+        base_rows: 800,
+        scales: true,
+    },
+    TableDef {
+        name: "household_demographics",
+        columns: &[
+            ("hd_demo_sk", Int, false),
+            ("hd_income_band_sk", Int, true),
+            ("hd_dep_count", Int, true),
+            ("hd_vehicle_count", Int, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 144,
+        scales: false,
+    },
+    TableDef {
+        name: "income_band",
+        columns: &[
+            ("ib_income_band_sk", Int, false),
+            ("ib_lower_bound", Int, true),
+            ("ib_upper_bound", Int, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 20,
+        scales: false,
+    },
+    TableDef {
+        name: "promotion",
+        columns: &[
+            ("p_promo_sk", Int, false),
+            ("p_channel_email", Str, true),
+            ("p_channel_tv", Str, true),
+            ("p_cost", Int, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 60,
+        scales: false,
+    },
+    TableDef {
+        name: "reason",
+        columns: &[("r_reason_sk", Int, false), ("r_reason_desc", Str, true)],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 35,
+        scales: false,
+    },
+    TableDef {
+        name: "ship_mode",
+        columns: &[("sm_ship_mode_sk", Int, false), ("sm_type", Str, true)],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 20,
+        scales: false,
+    },
+    TableDef {
+        name: "store",
+        columns: &[
+            ("s_store_sk", Int, false),
+            ("s_state", Str, true),
+            ("s_market_id", Int, true),
+            ("s_number_employees", Int, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 12,
+        scales: false,
+    },
+    TableDef {
+        name: "warehouse",
+        columns: &[
+            ("w_warehouse_sk", Int, false),
+            ("w_warehouse_sq_ft", Int, true),
+            ("w_state", Str, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 5,
+        scales: false,
+    },
+    TableDef {
+        name: "web_page",
+        columns: &[
+            ("wp_web_page_sk", Int, false),
+            ("wp_char_count", Int, true),
+            ("wp_link_count", Int, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 60,
+        scales: false,
+    },
+    TableDef {
+        name: "web_site",
+        columns: &[
+            ("web_site_sk", Int, false),
+            ("web_market_class", Str, true),
+            ("web_tax_percentage", Int, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 30,
+        scales: false,
+    },
+    TableDef {
+        name: "call_center",
+        columns: &[
+            ("cc_call_center_sk", Int, false),
+            ("cc_employees", Int, true),
+            ("cc_state", Str, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 6,
+        scales: false,
+    },
+    TableDef {
+        name: "catalog_page",
+        columns: &[
+            ("cp_catalog_page_sk", Int, false),
+            ("cp_catalog_number", Int, true),
+            ("cp_type", Str, true),
+        ],
+        distribution: Dist::Replicated,
+        partition_col: None,
+        base_rows: 100,
+        scales: false,
+    },
+    TableDef {
+        name: "dbgen_version",
+        columns: &[
+            ("dv_version", Str, false),
+            ("dv_create_date_sk", Date, true),
+        ],
+        distribution: Dist::Singleton,
+        partition_col: None,
+        base_rows: 1,
+        scales: false,
+    },
+];
+
+impl TableDef {
+    pub fn column_metas(&self) -> Vec<ColumnMeta> {
+        self.columns
+            .iter()
+            .map(|(n, t, nullable)| {
+                let m = ColumnMeta::new(n, *t);
+                if *nullable {
+                    m
+                } else {
+                    m.not_null()
+                }
+            })
+            .collect()
+    }
+
+    pub fn col_index(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|(n, _, _)| *n == name)
+            .unwrap_or_else(|| panic!("no column {name} in {}", self.name))
+    }
+
+    pub fn distribution(&self) -> Distribution {
+        match &self.distribution {
+            Dist::Hashed(col) => Distribution::Hashed(vec![self.col_index(col)]),
+            Dist::Replicated => Distribution::Replicated,
+            Dist::Singleton => Distribution::Singleton,
+        }
+    }
+
+    pub fn partitioning(&self) -> Option<Partitioning> {
+        self.partition_col
+            .map(|c| Partitioning::range(self.col_index(c), 0, DATE_KEYS, DATE_PARTS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_tables_with_unique_names() {
+        assert_eq!(TABLES.len(), 25);
+        let mut names: Vec<&str> = TABLES.iter().map(|t| t.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn fact_tables_partitioned_on_date() {
+        let ss = TABLES.iter().find(|t| t.name == "store_sales").unwrap();
+        let p = ss.partitioning().unwrap();
+        assert_eq!(p.num_parts(), DATE_PARTS);
+        assert_eq!(p.column, ss.col_index("ss_sold_date_sk"));
+        assert!(matches!(ss.distribution(), Distribution::Hashed(_)));
+        let dd = TABLES.iter().find(|t| t.name == "date_dim").unwrap();
+        assert!(dd.partitioning().is_none());
+        assert!(matches!(dd.distribution(), Distribution::Replicated));
+    }
+}

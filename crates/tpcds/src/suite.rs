@@ -1,0 +1,77 @@
+//! The 111-instance query suite (§7.2.2: "We generated 111 queries out of
+//! the 99 templates of TPC-DS").
+
+use crate::queries::templates;
+use orca_planner::QueryFeature;
+
+/// One benchmark query instance.
+#[derive(Debug, Clone)]
+pub struct SuiteQuery {
+    /// `q1`..`q111`, plus the originating template name.
+    pub id: String,
+    pub template: &'static str,
+    pub sql: String,
+    pub features: Vec<QueryFeature>,
+}
+
+/// Expand every template into its parameterized instances.
+pub fn suite() -> Vec<SuiteQuery> {
+    let mut out = Vec::with_capacity(111);
+    let mut n = 0usize;
+    for t in templates() {
+        for i in 0..t.count {
+            n += 1;
+            out.push(SuiteQuery {
+                id: format!("q{n}"),
+                template: t.name,
+                sql: (t.sql)(i),
+                features: t.features.to_vec(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_planner::EngineProfile;
+
+    #[test]
+    fn suite_has_111_instances() {
+        let s = suite();
+        assert_eq!(s.len(), 111);
+        assert_eq!(s[0].id, "q1");
+        assert_eq!(s[110].id, "q111");
+    }
+
+    /// The Figure 15 support counts: HAWQ 111, Impala 31, Stinger 19,
+    /// Presto 12.
+    #[test]
+    fn support_counts_match_figure15() {
+        let s = suite();
+        let count = |p: &EngineProfile| s.iter().filter(|q| p.supports_all(&q.features)).count();
+        assert_eq!(count(&EngineProfile::hawq()), 111);
+        assert_eq!(count(&EngineProfile::impala()), 31);
+        assert_eq!(count(&EngineProfile::stinger()), 19);
+        assert_eq!(count(&EngineProfile::presto()), 12);
+    }
+
+    /// Every query binds against the generated catalog.
+    #[test]
+    fn all_queries_bind() {
+        let (provider, _db) =
+            crate::build_catalog(0.02, orca_common::SegmentConfig::default().with_segments(2));
+        let registry = std::sync::Arc::new(orca_expr::ColumnRegistry::new());
+        for q in suite() {
+            let bound = orca_sql::compile(&q.sql, provider.as_ref(), &registry);
+            assert!(
+                bound.is_ok(),
+                "{} failed to bind: {:?}\n{}",
+                q.id,
+                bound.err(),
+                q.sql
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! AMPERe (§6.1): trigger an optimizer fault, capture a minimal portable
+//! repro dump, then replay it **without any live backend** — the dump's
+//! embedded metadata acts as the file-based MD provider of Figure 10.
+//! Finally, use a dump with an expected plan as a regression test case.
+//!
+//! Run: `cargo run --release --example amper_replay`
+
+use orca::amper;
+use orca::engine::{Optimizer, OptimizerConfig};
+use orca_common::SegmentConfig;
+use orca_dxl::{DxlPlan, DxlQuery};
+use orca_tpcds::{build_catalog, suite};
+use std::sync::Arc;
+
+fn main() {
+    let cluster = SegmentConfig::default().with_segments(8);
+    let (provider, _db) = build_catalog(0.02, cluster.clone());
+    let q = suite()
+        .into_iter()
+        .find(|q| q.template == "star_explicit")
+        .expect("suite query");
+    let registry = Arc::new(orca_expr::ColumnRegistry::new());
+    let bound = orca_sql::compile(&q.sql, provider.as_ref(), &registry).expect("binds");
+    let dxl_query = DxlQuery {
+        expr: bound.expr.clone(),
+        output_cols: bound.output_cols.clone(),
+        order: bound.order.clone(),
+        dist: orca_expr::props::DistSpec::Singleton,
+        columns: (0..registry.len())
+            .map(|i| {
+                let info = registry.info(orca_common::ColId(i as u32));
+                (info.name, info.dtype)
+            })
+            .collect(),
+    };
+
+    // ------------------------------------------------------------------
+    // 1. A "customer issue": a fault fires inside the optimizer.
+    // ------------------------------------------------------------------
+    let faulty = Optimizer::new(
+        provider.clone(),
+        OptimizerConfig {
+            inject_fault: Some("optimize"),
+            ..OptimizerConfig::default().with_cluster(cluster.clone())
+        },
+    );
+    let dump_path = std::env::temp_dir().join("orca_amper_example.dxl");
+    let err =
+        amper::optimize_with_capture(&faulty, &dxl_query, &dump_path).expect_err("fault fires");
+    println!("optimizer failed: {err}");
+    println!("AMPERe dump written to {}\n", dump_path.display());
+
+    // ------------------------------------------------------------------
+    // 2. Replay the dump on a machine with NO access to the backend.
+    // ------------------------------------------------------------------
+    let dump = amper::load(&dump_path).expect("dump loads");
+    println!(
+        "dump contents: {} tables, {} stats objects, stack trace:\n{}\n",
+        dump.metadata.tables.len(),
+        dump.metadata.stats.len(),
+        dump.stack_trace.as_deref().unwrap_or("-")
+    );
+    let (plan, stats) = amper::replay(&dump).expect("replays cleanly without the fault");
+    println!(
+        "replayed optimization: cost {:.2}\n{}",
+        stats.plan_cost,
+        orca_expr::pretty::explain_physical(&plan)
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Turn the dump into a regression test case: record the plan as
+    //    expected; future replays fail on any plan change.
+    // ------------------------------------------------------------------
+    let test_case = amper::capture(
+        &dxl_query,
+        &faulty.config,
+        provider.as_ref(),
+        None,
+        Some(DxlPlan {
+            plan: plan.clone(),
+            cost: stats.plan_cost,
+        }),
+    )
+    .expect("captures");
+    let test_path = std::env::temp_dir().join("orca_amper_testcase.dxl");
+    amper::save(&test_case, &test_path).expect("saves");
+    let replayed = amper::replay_as_test(&amper::load(&test_path).expect("loads"))
+        .expect("plan matches the recorded expectation");
+    assert_eq!(replayed, plan);
+    println!("regression test case replayed: plan matches ✓");
+    std::fs::remove_file(&dump_path).ok();
+    std::fs::remove_file(&test_path).ok();
+}

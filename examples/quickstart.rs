@@ -1,0 +1,130 @@
+//! Quickstart: the paper's §4.1 running example, end to end.
+//!
+//! ```sql
+//! SELECT T1.a FROM T1, T2 WHERE T1.a = T2.b ORDER BY T1.a;
+//! ```
+//! with `T1` hash-distributed on `a` and `T2` hash-distributed on `a` — so
+//! the optimizer must redistribute `T2` on `b` to co-locate the join, then
+//! sort and gather-merge (Figure 6's extracted plan).
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
+use orca_catalog::provider::MdProvider as _;
+use orca_catalog::stats::ColumnStats;
+use orca_catalog::{ColumnMeta, Distribution, MemoryProvider, TableStats};
+use orca_common::{DataType, Datum, SegmentConfig};
+use orca_dxl::{DxlPlan, DxlQuery};
+use orca_executor::{Database, ExecEngine};
+use orca_expr::ColumnRegistry;
+use std::sync::Arc;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A backend: catalog (metadata provider) + segmented storage.
+    // ------------------------------------------------------------------
+    let cluster = SegmentConfig::default().with_segments(4);
+    let provider = Arc::new(MemoryProvider::new());
+    let mut db = Database::new(cluster.clone());
+    for name in ["t1", "t2"] {
+        let id = provider.register(
+            name,
+            vec![
+                ColumnMeta::new("a", DataType::Int).not_null(),
+                ColumnMeta::new("b", DataType::Int).not_null(),
+            ],
+            Distribution::Hashed(vec![0]), // hashed on column a
+        );
+        let rows: Vec<Vec<Datum>> = (0..1000)
+            .map(|i| vec![Datum::Int(i % 100), Datum::Int(i % 40)])
+            .collect();
+        let mut stats = TableStats::new(rows.len() as f64, 2);
+        for c in 0..2 {
+            let values: Vec<Datum> = rows.iter().map(|r| r[c].clone()).collect();
+            stats.columns[c] = Some(ColumnStats::from_column(&values, 16));
+        }
+        provider.set_stats(id, stats);
+        db.load_table(provider.table(id).expect("registered"), rows)
+            .expect("load");
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Compile SQL → bound logical tree (what a DXL query carries).
+    // ------------------------------------------------------------------
+    let sql = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY a";
+    let registry = Arc::new(ColumnRegistry::new());
+    let bound = orca_sql::compile(sql, provider.as_ref(), &registry).expect("compiles");
+    println!("SQL: {sql}\n");
+    println!(
+        "Logical tree:\n{}",
+        orca_expr::pretty::explain_logical(&bound.expr)
+    );
+
+    // The same query as a DXL document (Listing 1's shape).
+    let dxl_query = DxlQuery {
+        expr: bound.expr.clone(),
+        output_cols: bound.output_cols.clone(),
+        order: bound.order.clone(),
+        dist: orca_expr::props::DistSpec::Singleton,
+        columns: (0..registry.len())
+            .map(|i| {
+                let info = registry.info(orca_common::ColId(i as u32));
+                (info.name, info.dtype)
+            })
+            .collect(),
+    };
+    println!(
+        "DXL query document:\n{}",
+        orca_dxl::query_to_dxl(&dxl_query)
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Optimize: exploration → stats → implementation → optimization.
+    // ------------------------------------------------------------------
+    let optimizer = Optimizer::new(
+        provider.clone(),
+        OptimizerConfig::default()
+            .with_workers(4)
+            .with_cluster(cluster),
+    );
+    let reqs = QueryReqs {
+        output_cols: bound.output_cols.clone(),
+        order: bound.order.clone(),
+        dist: orca_expr::props::DistSpec::Singleton,
+    };
+    let (plan, stats) = optimizer
+        .optimize(&bound.expr, &registry, &reqs)
+        .expect("optimizes");
+    println!(
+        "Optimized in {:?}: {} memo groups, {} group expressions, {} jobs\n",
+        stats.optimization_time, stats.groups, stats.group_exprs, stats.jobs_spawned
+    );
+    println!(
+        "Physical plan (cost {:.2}):\n{}",
+        stats.plan_cost,
+        orca_expr::pretty::explain_physical(&plan)
+    );
+    println!(
+        "DXL plan document:\n{}",
+        orca_dxl::plan_to_dxl(&DxlPlan {
+            plan: plan.clone(),
+            cost: stats.plan_cost,
+        })
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Execute on the simulated MPP cluster.
+    // ------------------------------------------------------------------
+    let engine = ExecEngine::new(&db);
+    let result = engine.run(&plan, &bound.output_cols).expect("executes");
+    println!(
+        "Executed: {} rows, simulated cluster time {:.4}s, {} bytes moved",
+        result.rows.len(),
+        result.sim_seconds,
+        result.stats.bytes_moved
+    );
+    println!(
+        "First rows (ordered by a): {:?}",
+        result.rows.iter().take(5).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,16 @@
+//! `orca-repro` — umbrella crate for the Orca (SIGMOD 2014) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests have a single dependency. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+
+pub use orca;
+pub use orca_catalog as catalog;
+pub use orca_common as common;
+pub use orca_dxl as dxl;
+pub use orca_executor as executor;
+pub use orca_expr as expr;
+pub use orca_gpos as gpos;
+pub use orca_planner as planner;
+pub use orca_sql as sql;
+pub use orca_tpcds as tpcds;

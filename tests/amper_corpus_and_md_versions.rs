@@ -1,0 +1,168 @@
+//! §6.1 as a testing framework: a corpus of AMPERe dumps with expected
+//! plans acts as a plan-regression suite ("any bug with an accompanying
+//! AMPERe dump ... can be automatically turned into a self-contained test
+//! case"). Plus §5's metadata versioning: changed metadata (new MdId
+//! version) must be refetched, and plans must react to the new statistics.
+
+use orca::amper;
+use orca::engine::{Optimizer, OptimizerConfig};
+use orca_catalog::provider::MdProvider;
+use orca_catalog::stats::ColumnStats;
+use orca_catalog::{ColumnMeta, Distribution, MemoryProvider, TableStats};
+use orca_common::{DataType, Datum, SegmentConfig};
+use orca_dxl::{DxlPlan, DxlQuery};
+use orca_expr::physical::{MotionKind, PhysicalOp};
+use orca_tpcds::{build_catalog, suite};
+use std::sync::Arc;
+
+/// Build dumps (with expected plans) for a slice of the suite, then replay
+/// every dump offline and require identical plans.
+#[test]
+fn amper_dump_corpus_replays_identically() {
+    let (provider, _db) = build_catalog(0.02, SegmentConfig::default().with_segments(4));
+    let optimizer = Optimizer::new(provider.clone(), OptimizerConfig::default());
+    let dir = std::env::temp_dir().join("orca_amper_corpus");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut corpus = Vec::new();
+    for (i, q) in suite().into_iter().enumerate() {
+        if i % 12 != 0 {
+            continue; // every 12th query → ~9 dumps
+        }
+        let registry = Arc::new(orca_expr::ColumnRegistry::new());
+        let bound = orca_sql::compile(&q.sql, provider.as_ref(), &registry).expect(&q.id);
+        let dxl_query = DxlQuery {
+            expr: bound.expr.clone(),
+            output_cols: bound.output_cols.clone(),
+            order: bound.order.clone(),
+            dist: orca_expr::props::DistSpec::Singleton,
+            columns: (0..registry.len())
+                .map(|c| {
+                    let info = registry.info(orca_common::ColId(c as u32));
+                    (info.name, info.dtype)
+                })
+                .collect(),
+        };
+        let (plan, stats) = optimizer.optimize_query(&dxl_query).expect(&q.id);
+        let dump = amper::capture(
+            &dxl_query,
+            &optimizer.config,
+            provider.as_ref(),
+            None,
+            Some(DxlPlan {
+                plan,
+                cost: stats.plan_cost,
+            }),
+        )
+        .expect(&q.id);
+        let path = dir.join(format!("{}.dxl", q.id));
+        amper::save(&dump, &path).expect(&q.id);
+        corpus.push((q.id.clone(), path));
+    }
+    assert!(corpus.len() >= 8);
+
+    // Replay phase: a fresh process would do exactly this — no provider,
+    // no catalog, just the dump files.
+    for (id, path) in &corpus {
+        let dump = amper::load(path).unwrap_or_else(|e| panic!("{id}: load: {e}"));
+        amper::replay_as_test(&dump).unwrap_or_else(|e| panic!("{id}: {e}"));
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// Metadata versioning: after stats change under a bumped MdId, a new
+/// optimization session fetches the new version and may flip the plan.
+#[test]
+fn metadata_version_bump_changes_plan() {
+    let provider = Arc::new(MemoryProvider::new());
+    // big(k,v) hashed(k); small(k,v) hashed(k) but *initially misdeclared*
+    // as huge, so the optimizer avoids broadcasting it.
+    let big = provider.register(
+        "big",
+        vec![
+            ColumnMeta::new("k", DataType::Int),
+            ColumnMeta::new("v", DataType::Int),
+        ],
+        // Hashed on v, NOT the join key — co-location would have to move
+        // the big side.
+        Distribution::Hashed(vec![1]),
+    );
+    let small = provider.register(
+        "small",
+        vec![
+            ColumnMeta::new("k", DataType::Int),
+            ColumnMeta::new("v", DataType::Int),
+        ],
+        Distribution::Hashed(vec![1]), // not on the join key
+    );
+    let values: Vec<Datum> = (0..100).map(Datum::Int).collect();
+    let big_stats = TableStats::new(1_000_000.0, 2)
+        .set_column(0, ColumnStats::from_column(&values, 8))
+        .set_column(1, ColumnStats::from_column(&values, 8));
+    provider.set_stats(big, big_stats);
+    let huge_small = TableStats::new(900_000.0, 2)
+        .set_column(0, ColumnStats::from_column(&values, 8))
+        .set_column(1, ColumnStats::from_column(&values, 8));
+    provider.set_stats(small, huge_small);
+
+    let sql = "SELECT big.v FROM big, small WHERE big.k = small.k";
+    let optimizer = Optimizer::new(
+        provider.clone(),
+        OptimizerConfig::default().with_cluster(SegmentConfig::mpp_16()),
+    );
+    let registry = Arc::new(orca_expr::ColumnRegistry::new());
+    let bound = orca_sql::compile(sql, provider.as_ref(), &registry).expect("binds");
+    let reqs = orca::engine::QueryReqs::gather_all(bound.output_cols.clone());
+    let (plan_before, _) = optimizer
+        .optimize(&bound.expr, &registry, &reqs)
+        .expect("first plan");
+    let broadcasts_before = plan_before
+        .find_ops(&|op| {
+            matches!(
+                op,
+                PhysicalOp::Motion {
+                    kind: MotionKind::Broadcast
+                }
+            )
+        })
+        .len();
+    assert_eq!(
+        broadcasts_before,
+        0,
+        "two huge sides must not broadcast:\n{}",
+        orca_expr::pretty::explain_physical(&plan_before)
+    );
+
+    // ANALYZE discovers `small` is actually tiny → version bump.
+    let new_id = provider.bump_table_version(small).expect("bumps");
+    let tiny = TableStats::new(50.0, 2)
+        .set_column(0, ColumnStats::from_column(&values[..50].to_vec(), 8))
+        .set_column(1, ColumnStats::from_column(&values[..50].to_vec(), 8));
+    provider.set_stats(new_id, tiny);
+
+    // A *new binding* resolves the table name to the new version; the
+    // optimizer session fetches the fresh metadata (the old cache entries
+    // are keyed by the old MdId and become unreachable).
+    let registry2 = Arc::new(orca_expr::ColumnRegistry::new());
+    let bound2 = orca_sql::compile(sql, provider.as_ref(), &registry2).expect("rebinds");
+    let reqs2 = orca::engine::QueryReqs::gather_all(bound2.output_cols.clone());
+    let (plan_after, _) = optimizer
+        .optimize(&bound2.expr, &registry2, &reqs2)
+        .expect("second plan");
+    let broadcasts_after = plan_after
+        .find_ops(&|op| {
+            matches!(
+                op,
+                PhysicalOp::Motion {
+                    kind: MotionKind::Broadcast
+                }
+            )
+        })
+        .len();
+    assert_eq!(
+        broadcasts_after,
+        1,
+        "a tiny build side should now broadcast:\n{}",
+        orca_expr::pretty::explain_physical(&plan_after)
+    );
+}

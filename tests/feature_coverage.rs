@@ -1,0 +1,254 @@
+//! Feature-level integration tests for paths the suite exercises lightly:
+//! index scans through the optimizer (order delivery without Sort),
+//! non-equi joins (NL join + Spool rewindability enforcement), DISTINCT
+//! aggregates, nested subqueries, and NULL-heavy predicates — each checked
+//! against the reference interpreter.
+
+use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
+use orca_catalog::provider::MdProvider;
+use orca_catalog::stats::ColumnStats;
+use orca_catalog::{ColumnMeta, Distribution, IndexDesc, MemoryProvider, TableStats};
+use orca_common::{ColId, DataType, Datum, MdId, SegmentConfig, SysId};
+use orca_executor::engine::sort_rows;
+use orca_executor::reference::run_reference;
+use orca_executor::{Database, ExecEngine};
+use orca_expr::physical::PhysicalOp;
+use orca_expr::props::DistSpec;
+use orca_expr::ColumnRegistry;
+use std::sync::Arc;
+
+const SEGMENTS: usize = 4;
+
+fn setup() -> (Arc<MemoryProvider>, Database) {
+    let p = Arc::new(MemoryProvider::new());
+    let mut db = Database::new(SegmentConfig::default().with_segments(SEGMENTS));
+    // orders(id, cust, qty, note) hashed(id), with an index on qty.
+    let orders = p.register(
+        "orders",
+        vec![
+            ColumnMeta::new("id", DataType::Int).not_null(),
+            ColumnMeta::new("cust", DataType::Int),
+            ColumnMeta::new("qty", DataType::Int),
+            ColumnMeta::new("note", DataType::Str),
+        ],
+        Distribution::Hashed(vec![0]),
+    );
+    p.add_index(IndexDesc {
+        mdid: MdId::new(SysId::Gpdb, 9001, 1),
+        name: "orders_qty_idx".into(),
+        table: orders,
+        key_columns: vec![2],
+    });
+    let rows: Vec<Vec<Datum>> = (0..500)
+        .map(|i| {
+            vec![
+                Datum::Int(i),
+                if i % 11 == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int(i % 40)
+                },
+                Datum::Int((i * 37) % 100),
+                Datum::Str(format!("n{}", i % 5)),
+            ]
+        })
+        .collect();
+    let mut stats = TableStats::new(rows.len() as f64, 4);
+    for c in 0..4 {
+        let values: Vec<Datum> = rows.iter().map(|r| r[c].clone()).collect();
+        stats.columns[c] = Some(ColumnStats::from_column(&values, 16));
+    }
+    p.set_stats(orders, stats);
+    db.load_table(p.table(orders).unwrap(), rows).unwrap();
+
+    // tiers(lo, hi, name) replicated — for the non-equi join.
+    let tiers = p.register(
+        "tiers",
+        vec![
+            ColumnMeta::new("lo", DataType::Int).not_null(),
+            ColumnMeta::new("hi", DataType::Int).not_null(),
+            ColumnMeta::new("name", DataType::Str),
+        ],
+        Distribution::Replicated,
+    );
+    let tier_rows: Vec<Vec<Datum>> = (0..5)
+        .map(|i| {
+            vec![
+                Datum::Int(i * 20),
+                Datum::Int((i + 1) * 20),
+                Datum::Str(format!("tier{i}")),
+            ]
+        })
+        .collect();
+    let mut tstats = TableStats::new(5.0, 3);
+    for c in 0..3 {
+        let values: Vec<Datum> = tier_rows.iter().map(|r| r[c].clone()).collect();
+        tstats.columns[c] = Some(ColumnStats::from_column(&values, 4));
+    }
+    p.set_stats(tiers, tstats);
+    db.load_table(p.table(tiers).unwrap(), tier_rows).unwrap();
+    (p, db)
+}
+
+fn run_sql(
+    p: &Arc<MemoryProvider>,
+    db: &Database,
+    sql: &str,
+) -> (Vec<Vec<Datum>>, orca_expr::physical::PhysicalPlan) {
+    let registry = Arc::new(ColumnRegistry::new());
+    let bound = orca_sql::compile(sql, p.as_ref(), &registry).expect("binds");
+    let optimizer = Optimizer::new(
+        p.clone(),
+        OptimizerConfig::default()
+            .with_workers(2)
+            .with_cluster(SegmentConfig::default().with_segments(SEGMENTS)),
+    );
+    let reqs = QueryReqs {
+        output_cols: bound.output_cols.clone(),
+        order: bound.order.clone(),
+        dist: DistSpec::Singleton,
+    };
+    let (plan, _) = optimizer
+        .optimize(&bound.expr, &registry, &reqs)
+        .expect("optimizes");
+    let engine = ExecEngine::new(db);
+    let got = engine.run(&plan, &bound.output_cols).expect("executes");
+    let expected = run_reference(db, &bound.expr, &bound.output_cols).expect("reference");
+    assert_eq!(
+        sort_rows(got.rows.clone()),
+        sort_rows(expected),
+        "results diverged for: {sql}\n{}",
+        orca_expr::pretty::explain_physical(&plan)
+    );
+    (got.rows, plan)
+}
+
+/// ORDER BY on the indexed column: the optimizer may pick IndexScan to
+/// avoid the Sort; either way results are correct and sorted.
+#[test]
+fn index_scan_delivers_order() {
+    let (p, db) = setup();
+    let (rows, plan) = run_sql(&p, &db, "SELECT qty, id FROM orders ORDER BY qty");
+    // Sorted output, full cardinality.
+    assert_eq!(rows.len(), 500);
+    let quantities: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    let mut sorted = quantities.clone();
+    sorted.sort();
+    assert_eq!(quantities, sorted);
+    // The Memo considered the index path; assert the chosen plan uses it
+    // (an ordered index scan beats scan+sort under the default model).
+    let used_index = !plan
+        .find_ops(&|op| matches!(op, PhysicalOp::IndexScan { .. }))
+        .is_empty();
+    let used_sort = !plan
+        .find_ops(&|op| matches!(op, PhysicalOp::Sort { .. }))
+        .is_empty();
+    assert!(
+        used_index || used_sort,
+        "some order mechanism must exist:\n{}",
+        orca_expr::pretty::explain_physical(&plan)
+    );
+    assert!(
+        used_index,
+        "index scan should win for a full-table ordered read:\n{}",
+        orca_expr::pretty::explain_physical(&plan)
+    );
+}
+
+/// Non-equi join (range bucketing): only NL join applies; the inner side
+/// needs rewindability (Spool or an inherently rewindable subtree).
+#[test]
+fn non_equi_join_uses_nl_with_rewindable_inner() {
+    let (p, db) = setup();
+    let (rows, plan) = run_sql(
+        &p,
+        &db,
+        "SELECT o.id, t.name FROM orders o, tiers t \
+         WHERE o.qty >= t.lo AND o.qty < t.hi",
+    );
+    assert_eq!(rows.len(), 500, "every order falls into exactly one tier");
+    assert!(
+        !plan
+            .find_ops(&|op| matches!(op, PhysicalOp::NLJoin { .. }))
+            .is_empty(),
+        "non-equi predicates require NL join:\n{}",
+        orca_expr::pretty::explain_physical(&plan)
+    );
+    assert!(plan
+        .find_ops(&|op| matches!(op, PhysicalOp::HashJoin { .. }))
+        .is_empty());
+}
+
+/// DISTINCT aggregates and expression-level aggregation.
+#[test]
+fn distinct_aggregates() {
+    let (p, db) = setup();
+    let (rows, _) = run_sql(
+        &p,
+        &db,
+        "SELECT count(DISTINCT cust) AS c, count(*) AS n, sum(qty) / count(*) AS avg_qty \
+         FROM orders",
+    );
+    assert_eq!(rows.len(), 1);
+    let distinct_cust = rows[0][0].as_i64().unwrap();
+    assert_eq!(distinct_cust, 40, "40 distinct non-null cust values");
+    assert_eq!(rows[0][1].as_i64().unwrap(), 500);
+}
+
+/// Nested subqueries: an IN subquery whose body contains its own EXISTS.
+#[test]
+fn nested_subqueries() {
+    let (p, db) = setup();
+    run_sql(
+        &p,
+        &db,
+        "SELECT id FROM orders o \
+         WHERE o.cust IN (SELECT o2.cust FROM orders o2 \
+                          WHERE o2.qty > 90 \
+                            AND EXISTS (SELECT 1 FROM tiers t WHERE t.lo = 80)) \
+         ORDER BY id LIMIT 30",
+    );
+}
+
+/// NULL-heavy predicates: IS NULL / IS NOT NULL and NULL-key join
+/// semantics survive distribution.
+#[test]
+fn null_handling_predicates_and_joins() {
+    let (p, db) = setup();
+    let (null_rows, _) = run_sql(&p, &db, "SELECT id FROM orders WHERE cust IS NULL");
+    assert_eq!(null_rows.len(), 500 / 11 + 1, "ids divisible by 11");
+    let (rows, _) = run_sql(
+        &p,
+        &db,
+        "SELECT o1.id, o2.id FROM orders o1 JOIN orders o2 ON o1.cust = o2.cust \
+         WHERE o1.id = o2.id",
+    );
+    // NULL cust never joins, even to itself.
+    assert!(rows.iter().all(|r| r[0].as_i64().unwrap() % 11 != 0));
+}
+
+/// CASE inside aggregation, HAVING over an aggregate, ORDER BY DESC.
+#[test]
+fn case_having_desc() {
+    let (p, db) = setup();
+    let (rows, _) = run_sql(
+        &p,
+        &db,
+        "SELECT note, sum(CASE WHEN qty >= 50 THEN 1 ELSE 0 END) AS big \
+         FROM orders GROUP BY note HAVING count(*) > 10 ORDER BY big DESC, note",
+    );
+    assert_eq!(rows.len(), 5);
+    let bigs: Vec<i64> = rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+    let mut sorted = bigs.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(bigs, sorted, "descending by the CASE sum");
+}
+
+/// A replicated table scanned standalone must not duplicate rows on its
+/// way to the master.
+#[test]
+fn replicated_scan_gathers_single_copy() {
+    let (p, db) = setup();
+    let (rows, _) = run_sql(&p, &db, "SELECT name FROM tiers ORDER BY name");
+    assert_eq!(rows.len(), 5);
+}

@@ -1,0 +1,554 @@
+//! Integration: plans produced by the Orca optimizer, executed on the MPP
+//! simulator, must return exactly the rows the naive single-node reference
+//! interpreter computes from the original logical tree — across joins,
+//! subqueries, aggregation, CTEs, set operations and partitioned tables.
+
+use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
+use orca_catalog::provider::MdProvider as _;
+use orca_catalog::stats::ColumnStats;
+use orca_catalog::{ColumnMeta, Distribution, MemoryProvider, Partitioning, TableStats};
+use orca_common::{ColId, CteId, DataType, Datum, SegmentConfig};
+use orca_executor::engine::sort_rows;
+use orca_executor::reference::run_reference;
+use orca_executor::{Database, ExecEngine, Row};
+use orca_expr::logical::{AggStage, JoinKind, LogicalExpr, LogicalOp, SetOpKind, TableRef};
+use orca_expr::props::{DistSpec, OrderSpec};
+use orca_expr::scalar::{AggFunc, CmpOp, ScalarExpr};
+use orca_expr::ColumnRegistry;
+use std::sync::Arc;
+
+/// Test fixture: a small star schema loaded into both the catalog (for the
+/// optimizer) and the database (for execution).
+struct Fixture {
+    provider: Arc<MemoryProvider>,
+    registry: Arc<ColumnRegistry>,
+    db: Database,
+}
+
+const SEGMENTS: usize = 4;
+
+impl Fixture {
+    fn new() -> Fixture {
+        let provider = Arc::new(MemoryProvider::new());
+        let registry = Arc::new(ColumnRegistry::new());
+        let mut db = Database::new(SegmentConfig::default().with_segments(SEGMENTS));
+
+        // fact(k int, dim_id int, date_k int, amount int) hashed(k),
+        // partitioned by date_k into 10 parts over [0, 100).
+        let fact_rows: Vec<Row> = (0..2000)
+            .map(|i| {
+                vec![
+                    Datum::Int(i),
+                    Datum::Int(i % 50),
+                    Datum::Int(i % 100),
+                    Datum::Int(i % 7),
+                ]
+            })
+            .collect();
+        Self::install(
+            &provider,
+            &registry,
+            &mut db,
+            "fact",
+            vec![
+                ColumnMeta::new("k", DataType::Int).not_null(),
+                ColumnMeta::new("dim_id", DataType::Int).not_null(),
+                ColumnMeta::new("date_k", DataType::Int).not_null(),
+                ColumnMeta::new("amount", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+            Some(Partitioning::range(2, 0, 100, 10)),
+            fact_rows,
+        );
+        // dim(id int, grp int) hashed(id).
+        let dim_rows: Vec<Row> = (0..50)
+            .map(|i| vec![Datum::Int(i), Datum::Int(i % 5)])
+            .collect();
+        Self::install(
+            &provider,
+            &registry,
+            &mut db,
+            "dim",
+            vec![
+                ColumnMeta::new("id", DataType::Int).not_null(),
+                ColumnMeta::new("grp", DataType::Int).not_null(),
+            ],
+            Distribution::Hashed(vec![0]),
+            None,
+            dim_rows,
+        );
+        // small(id int, v int) replicated.
+        let small_rows: Vec<Row> = (0..10)
+            .map(|i| vec![Datum::Int(i * 5), Datum::Int(i)])
+            .collect();
+        Self::install(
+            &provider,
+            &registry,
+            &mut db,
+            "small",
+            vec![
+                ColumnMeta::new("id", DataType::Int).not_null(),
+                ColumnMeta::new("v", DataType::Int),
+            ],
+            Distribution::Replicated,
+            None,
+            small_rows,
+        );
+        Fixture {
+            provider,
+            registry,
+            db,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn install(
+        provider: &Arc<MemoryProvider>,
+        registry: &Arc<ColumnRegistry>,
+        db: &mut Database,
+        name: &str,
+        cols: Vec<ColumnMeta>,
+        dist: Distribution,
+        part: Option<Partitioning>,
+        rows: Vec<Row>,
+    ) {
+        let ncols = cols.len();
+        let id = provider.register(name, cols, dist);
+        if let Some(p) = part {
+            let mut t = (*provider.table(id).unwrap()).clone();
+            t = t.with_partitioning(p);
+            provider.install_table(Arc::new(t));
+        }
+        // Statistics from the actual data.
+        let mut stats = TableStats::new(rows.len() as f64, ncols);
+        for c in 0..ncols {
+            let values: Vec<Datum> = rows.iter().map(|r| r[c].clone()).collect();
+            stats.columns[c] = Some(ColumnStats::from_column(&values, 16));
+        }
+        provider.set_stats(id, stats);
+        for c in 0..ncols {
+            let t = provider.table(id).unwrap();
+            registry.fresh(&format!("{name}.{}", t.columns[c].name), t.columns[c].dtype);
+        }
+        let t = provider.table(id).unwrap();
+        db.load_table(t, rows).unwrap();
+    }
+
+    fn tref(&self, name: &str) -> TableRef {
+        TableRef(
+            self.provider
+                .table(self.provider.table_by_name(name).unwrap())
+                .unwrap(),
+        )
+    }
+
+    /// ColIds for a table, assuming registration order fact, dim, small.
+    fn cols(&self, name: &str) -> Vec<ColId> {
+        let (first, n) = match name {
+            "fact" => (0u32, 4),
+            "dim" => (4, 2),
+            "small" => (6, 2),
+            _ => panic!("unknown table"),
+        };
+        (first..first + n).map(ColId).collect()
+    }
+
+    fn get(&self, name: &str) -> LogicalExpr {
+        LogicalExpr::leaf(LogicalOp::Get {
+            table: self.tref(name),
+            cols: self.cols(name),
+            parts: None,
+        })
+    }
+
+    /// Optimize and execute `expr`; compare with the reference interpreter
+    /// of the same tree. Returns (rows, simulated seconds, plan motions).
+    fn check(&self, expr: &LogicalExpr, output: &[ColId], workers: usize) -> (usize, f64, usize) {
+        let config = OptimizerConfig::default()
+            .with_workers(workers)
+            .with_cluster(SegmentConfig::default().with_segments(SEGMENTS));
+        let optimizer = Optimizer::new(self.provider.clone(), config);
+        let reqs = QueryReqs::gather_all(output.to_vec());
+        let (plan, stats) = optimizer
+            .optimize(expr, &self.registry, &reqs)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "optimize failed: {e}\n{}",
+                    orca_expr::pretty::explain_logical(expr)
+                )
+            });
+        let engine = ExecEngine::new(&self.db);
+        let got = engine.run(&plan, output).unwrap_or_else(|e| {
+            panic!(
+                "exec failed: {e}\n{}",
+                orca_expr::pretty::explain_physical(&plan)
+            )
+        });
+        let expected = run_reference(&self.db, expr, output).expect("reference failed");
+        assert_eq!(
+            sort_rows(got.rows.clone()),
+            sort_rows(expected),
+            "plan diverged:\n{}",
+            orca_expr::pretty::explain_physical(&plan)
+        );
+        assert!(stats.plan_cost.is_finite());
+        (got.rows.len(), got.sim_seconds, plan.motion_count())
+    }
+}
+
+#[test]
+fn simple_filter_scan() {
+    let f = Fixture::new();
+    let q = LogicalExpr::new(
+        LogicalOp::Select {
+            pred: ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(ColId(3)), ScalarExpr::int(3)),
+        },
+        vec![f.get("fact")],
+    );
+    let (n, sim, _) = f.check(&q, &[ColId(0), ColId(3)], 1);
+    assert!(n > 0);
+    assert!(sim > 0.0);
+}
+
+#[test]
+fn two_way_join_co_location() {
+    let f = Fixture::new();
+    // fact ⋈ dim on dim_id = id.
+    let q = LogicalExpr::new(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred: ScalarExpr::col_eq_col(ColId(1), ColId(4)),
+        },
+        vec![f.get("fact"), f.get("dim")],
+    );
+    let (n, _, motions) = f.check(&q, &[ColId(0), ColId(5)], 2);
+    assert_eq!(n, 2000, "PK-FK join preserves fact rows");
+    assert!(motions >= 1);
+}
+
+#[test]
+fn three_way_join_orders_explored() {
+    let f = Fixture::new();
+    let join_fd = LogicalExpr::new(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred: ScalarExpr::col_eq_col(ColId(1), ColId(4)),
+        },
+        vec![f.get("fact"), f.get("dim")],
+    );
+    let q = LogicalExpr::new(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred: ScalarExpr::col_eq_col(ColId(0), ColId(6)),
+        },
+        vec![join_fd, f.get("small")],
+    );
+    f.check(&q, &[ColId(0), ColId(5), ColId(7)], 4);
+}
+
+#[test]
+fn grouped_aggregation_possibly_two_stage() {
+    let f = Fixture::new();
+    let sum_col = f.registry.fresh("sum_amount", DataType::Int);
+    let cnt_col = f.registry.fresh("cnt", DataType::Int);
+    let q = LogicalExpr::new(
+        LogicalOp::GbAgg {
+            group_cols: vec![ColId(1)],
+            aggs: vec![
+                (
+                    sum_col,
+                    ScalarExpr::Agg {
+                        func: AggFunc::Sum,
+                        arg: Some(Box::new(ScalarExpr::col(ColId(3)))),
+                        distinct: false,
+                    },
+                ),
+                (
+                    cnt_col,
+                    ScalarExpr::Agg {
+                        func: AggFunc::Count,
+                        arg: None,
+                        distinct: false,
+                    },
+                ),
+            ],
+            stage: AggStage::Single,
+        },
+        vec![f.get("fact")],
+    );
+    let (n, _, _) = f.check(&q, &[ColId(1), sum_col, cnt_col], 2);
+    assert_eq!(n, 50);
+}
+
+#[test]
+fn scalar_aggregate() {
+    let f = Fixture::new();
+    let max_col = f.registry.fresh("max_amount", DataType::Int);
+    let q = LogicalExpr::new(
+        LogicalOp::GbAgg {
+            group_cols: vec![],
+            aggs: vec![(
+                max_col,
+                ScalarExpr::Agg {
+                    func: AggFunc::Max,
+                    arg: Some(Box::new(ScalarExpr::col(ColId(3)))),
+                    distinct: false,
+                },
+            )],
+            stage: AggStage::Single,
+        },
+        vec![f.get("fact")],
+    );
+    let (n, _, _) = f.check(&q, &[max_col], 1);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn exists_subquery_decorrelated() {
+    let f = Fixture::new();
+    // fact rows whose dim_id has a dim row with grp = 2.
+    let sub = LogicalExpr::new(
+        LogicalOp::Select {
+            pred: ScalarExpr::and(vec![
+                ScalarExpr::col_eq_col(ColId(4), ColId(1)), // correlated
+                ScalarExpr::eq(ScalarExpr::col(ColId(5)), ScalarExpr::int(2)),
+            ]),
+        },
+        vec![f.get("dim")],
+    );
+    let q = LogicalExpr::new(
+        LogicalOp::Select {
+            pred: ScalarExpr::Exists {
+                negated: false,
+                subquery: Box::new(sub),
+            },
+        },
+        vec![f.get("fact")],
+    );
+    let (n, _, _) = f.check(&q, &[ColId(0)], 2);
+    assert!(n > 0 && n < 2000);
+}
+
+#[test]
+fn not_in_subquery() {
+    let f = Fixture::new();
+    let q = LogicalExpr::new(
+        LogicalOp::Select {
+            pred: ScalarExpr::InSubquery {
+                expr: Box::new(ScalarExpr::col(ColId(1))),
+                subquery: Box::new(f.get("small")),
+                subquery_col: ColId(6),
+                negated: true,
+            },
+        },
+        vec![f.get("fact")],
+    );
+    f.check(&q, &[ColId(0), ColId(1)], 2);
+}
+
+#[test]
+fn correlated_scalar_agg_subquery() {
+    let f = Fixture::new();
+    let avg = f.registry.fresh("max_v", DataType::Int);
+    // fact rows with amount > (SELECT max(grp) FROM dim WHERE id = dim_id)
+    let sub = LogicalExpr::new(
+        LogicalOp::GbAgg {
+            group_cols: vec![],
+            aggs: vec![(
+                avg,
+                ScalarExpr::Agg {
+                    func: AggFunc::Max,
+                    arg: Some(Box::new(ScalarExpr::col(ColId(5)))),
+                    distinct: false,
+                },
+            )],
+            stage: AggStage::Single,
+        },
+        vec![LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::col_eq_col(ColId(4), ColId(1)),
+            },
+            vec![f.get("dim")],
+        )],
+    );
+    let q = LogicalExpr::new(
+        LogicalOp::Select {
+            pred: ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(ColId(3)),
+                ScalarExpr::ScalarSubquery {
+                    subquery: Box::new(sub),
+                    subquery_col: avg,
+                },
+            ),
+        },
+        vec![f.get("fact")],
+    );
+    f.check(&q, &[ColId(0), ColId(3)], 2);
+}
+
+#[test]
+fn partition_elimination_prunes_and_matches() {
+    let f = Fixture::new();
+    let q = LogicalExpr::new(
+        LogicalOp::Select {
+            pred: ScalarExpr::and(vec![
+                ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(ColId(2)), ScalarExpr::int(20)),
+                ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(ColId(2)), ScalarExpr::int(40)),
+            ]),
+        },
+        vec![f.get("fact")],
+    );
+    let (n, _, _) = f.check(&q, &[ColId(0), ColId(2)], 1);
+    assert_eq!(n, 400, "20 date keys × 20 rows each");
+}
+
+#[test]
+fn shared_cte_two_consumers() {
+    let f = Fixture::new();
+    let cte = CteId(7);
+    let prod_cols = vec![ColId(100), ColId(101)];
+    let producer_body = LogicalExpr::new(
+        LogicalOp::Project {
+            exprs: vec![
+                (ColId(100), ScalarExpr::col(ColId(1))),
+                (ColId(101), ScalarExpr::col(ColId(3))),
+            ],
+        },
+        vec![f.get("fact")],
+    );
+    let producer = LogicalExpr::new(
+        LogicalOp::CteProducer {
+            id: cte,
+            cols: prod_cols.clone(),
+        },
+        vec![producer_body],
+    );
+    let consumer = |first: u32| {
+        LogicalExpr::leaf(LogicalOp::CteConsumer {
+            id: cte,
+            cols: vec![ColId(first), ColId(first + 1)],
+            producer_cols: prod_cols.clone(),
+        })
+    };
+    let join = LogicalExpr::new(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred: ScalarExpr::and(vec![
+                ScalarExpr::col_eq_col(ColId(110), ColId(120)),
+                ScalarExpr::col_eq_col(ColId(111), ColId(121)),
+            ]),
+        },
+        vec![consumer(110), consumer(120)],
+    );
+    let q = LogicalExpr::new(LogicalOp::Sequence { id: cte }, vec![producer, join]);
+    f.check(&q, &[ColId(110), ColId(121)], 2);
+}
+
+#[test]
+fn set_operations() {
+    let f = Fixture::new();
+    let out = vec![ColId(200)];
+    let mk_side = |table: &str, col: u32| {
+        LogicalExpr::new(
+            LogicalOp::Project {
+                exprs: vec![(
+                    ColId(col),
+                    ScalarExpr::col(ColId(if table == "dim" { 4 } else { 6 })),
+                )],
+            },
+            vec![f.get(table)],
+        )
+    };
+    for kind in [
+        SetOpKind::UnionAll,
+        SetOpKind::Union,
+        SetOpKind::Intersect,
+        SetOpKind::Except,
+    ] {
+        let q = LogicalExpr::new(
+            LogicalOp::SetOp {
+                kind,
+                output: out.clone(),
+                input_cols: vec![vec![ColId(210)], vec![ColId(211)]],
+            },
+            vec![mk_side("dim", 210), mk_side("small", 211)],
+        );
+        f.check(&q, &out, 2);
+    }
+}
+
+#[test]
+fn order_by_limit_top_n() {
+    let f = Fixture::new();
+    let q = LogicalExpr::new(
+        LogicalOp::Limit {
+            order: OrderSpec::by(&[ColId(0)]),
+            offset: 5,
+            count: Some(10),
+        },
+        vec![f.get("fact")],
+    );
+    let config =
+        OptimizerConfig::default().with_cluster(SegmentConfig::default().with_segments(SEGMENTS));
+    let optimizer = Optimizer::new(f.provider.clone(), config);
+    let reqs = QueryReqs::gather_all(vec![ColId(0)]);
+    let (plan, _) = optimizer.optimize(&q, &f.registry, &reqs).unwrap();
+    let engine = ExecEngine::new(&f.db);
+    let got = engine.run(&plan, &[ColId(0)]).unwrap();
+    let keys: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(keys, (5..15).collect::<Vec<i64>>());
+}
+
+#[test]
+fn ordered_output_respects_query_requirement() {
+    let f = Fixture::new();
+    let q = LogicalExpr::new(
+        LogicalOp::Select {
+            pred: ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(ColId(0)), ScalarExpr::int(100)),
+        },
+        vec![f.get("fact")],
+    );
+    let config =
+        OptimizerConfig::default().with_cluster(SegmentConfig::default().with_segments(SEGMENTS));
+    let optimizer = Optimizer::new(f.provider.clone(), config);
+    let reqs = QueryReqs {
+        output_cols: vec![ColId(0)],
+        order: OrderSpec::by(&[ColId(0)]),
+        dist: DistSpec::Singleton,
+    };
+    let (plan, _) = optimizer.optimize(&q, &f.registry, &reqs).unwrap();
+    let engine = ExecEngine::new(&f.db);
+    let got = engine.run(&plan, &[ColId(0)]).unwrap();
+    let keys: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "query-level ORDER BY must be enforced");
+    assert_eq!(keys.len(), 100);
+}
+
+#[test]
+fn parallel_and_serial_plans_agree_on_cost() {
+    let f = Fixture::new();
+    let q = LogicalExpr::new(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred: ScalarExpr::col_eq_col(ColId(1), ColId(4)),
+        },
+        vec![f.get("fact"), f.get("dim")],
+    );
+    let reqs = QueryReqs::gather_all(vec![ColId(0)]);
+    let mut costs = Vec::new();
+    for workers in [1, 2, 8] {
+        let config = OptimizerConfig::default()
+            .with_workers(workers)
+            .with_cluster(SegmentConfig::default().with_segments(SEGMENTS));
+        let optimizer = Optimizer::new(f.provider.clone(), config);
+        let (_, stats) = optimizer.optimize(&q, &f.registry, &reqs).unwrap();
+        costs.push(stats.plan_cost);
+    }
+    assert!(
+        costs.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+        "worker count must not change the chosen plan cost: {costs:?}"
+    );
+}

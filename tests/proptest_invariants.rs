@@ -1,0 +1,243 @@
+//! Property-based tests on core data-structure invariants: histogram
+//! algebra, datum ordering/hashing, the property-satisfaction lattice, and
+//! DXL round-trips of randomized scalar expressions.
+
+use orca_catalog::stats::Histogram;
+use orca_common::hash::segment_for_key;
+use orca_common::{ColId, Datum};
+use orca_expr::props::{DistSpec, OrderSpec, SortKey};
+use orca_expr::scalar::{AggFunc, ArithOp, CmpOp, ScalarExpr};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+fn values_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000i32..1000, 1..400)
+        .prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Building a histogram conserves row mass and brackets the domain.
+    #[test]
+    fn histogram_mass_conservation(values in values_strategy(), buckets in 1usize..32) {
+        let n = values.len() as f64;
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let h = Histogram::from_values(values, buckets);
+        prop_assert!((h.rows() - n).abs() < 1e-6);
+        prop_assert_eq!(h.min().unwrap(), lo);
+        prop_assert_eq!(h.max().unwrap(), hi);
+        prop_assert!(h.ndv() <= n + 1e-6);
+        // Buckets are sorted and non-overlapping (shared endpoints allowed).
+        for w in h.buckets.windows(2) {
+            prop_assert!(w[0].hi <= w[1].lo + 1e-9);
+        }
+    }
+
+    /// Range restriction never creates mass, and splitting a domain into
+    /// two halves conserves it.
+    #[test]
+    fn histogram_restriction_bounds(values in values_strategy(), split in -1000i32..1000) {
+        let h = Histogram::from_values(values, 16);
+        let split = f64::from(split);
+        let below = h.restrict_range(f64::NEG_INFINITY, split);
+        let above = h.restrict_range(split, f64::INFINITY);
+        prop_assert!(below.rows() <= h.rows() + 1e-6);
+        prop_assert!(above.rows() <= h.rows() + 1e-6);
+        // Halves cover everything; the shared point may be double counted
+        // within one bucket's interpolation, so allow bucket-level slop.
+        let total = below.rows() + above.rows();
+        prop_assert!(total >= h.rows() - 1e-6);
+    }
+
+    /// Equi-join cardinality is symmetric and bounded by the cross product.
+    #[test]
+    fn histogram_join_symmetry(a in values_strategy(), b in values_strategy()) {
+        let ha = Histogram::from_values(a, 8);
+        let hb = Histogram::from_values(b, 8);
+        let (ab, _) = ha.equi_join(&hb);
+        let (ba, _) = hb.equi_join(&ha);
+        prop_assert!((ab - ba).abs() <= 1e-6 * (1.0 + ab.abs()));
+        prop_assert!(ab <= ha.rows() * hb.rows() + 1e-6);
+        prop_assert!(ab >= 0.0);
+    }
+
+    /// Scaling by f scales rows by f and never inflates NDV beyond rows.
+    #[test]
+    fn histogram_scaling(values in values_strategy(), f in 0.0f64..2.0) {
+        let h = Histogram::from_values(values, 8);
+        let s = h.scale(f);
+        prop_assert!((s.rows() - h.rows() * f).abs() < 1e-6 * (1.0 + h.rows()));
+        for b in &s.buckets {
+            prop_assert!(b.ndv <= b.rows + 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Datums
+// ---------------------------------------------------------------------
+
+fn datum_strategy() -> impl Strategy<Value = Datum> {
+    prop_oneof![
+        Just(Datum::Null),
+        any::<bool>().prop_map(Datum::Bool),
+        (-1000i64..1000).prop_map(Datum::Int),
+        (-1000i32..1000).prop_map(|v| Datum::Double(v as f64 / 4.0)),
+        "[a-z]{0,6}".prop_map(Datum::Str),
+        (-500i32..500).prop_map(Datum::Date),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// total_cmp is a total order (antisymmetric + transitive on triples).
+    #[test]
+    fn datum_total_order(a in datum_strategy(), b in datum_strategy(), c in datum_strategy()) {
+        use std::cmp::Ordering::*;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Greater && b.total_cmp(&c) != Greater {
+            prop_assert_ne!(a.total_cmp(&c), Greater);
+        }
+    }
+
+    /// Hash-equal placement: SQL-equal datums land on the same segment.
+    #[test]
+    fn equal_datums_colocate(v in -1000i64..1000, segs in 1usize..32) {
+        let a = Datum::Int(v);
+        let b = Datum::Double(v as f64);
+        prop_assert_eq!(segment_for_key(&[a], segs), segment_for_key(&[b], segs));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property lattice
+// ---------------------------------------------------------------------
+
+fn order_strategy() -> impl Strategy<Value = OrderSpec> {
+    prop::collection::vec((0u32..6, any::<bool>()), 0..4).prop_map(|keys| {
+        OrderSpec(
+            keys.into_iter()
+                .map(|(c, desc)| SortKey {
+                    col: ColId(c),
+                    desc,
+                })
+                .collect(),
+        )
+    })
+}
+
+fn dist_strategy() -> impl Strategy<Value = DistSpec> {
+    prop_oneof![
+        Just(DistSpec::Any),
+        Just(DistSpec::Singleton),
+        Just(DistSpec::Replicated),
+        Just(DistSpec::Random),
+        prop::collection::vec(0u32..6, 1..3)
+            .prop_map(|cols| DistSpec::Hashed(cols.into_iter().map(ColId).collect())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Order satisfaction is reflexive and transitive, and extending a
+    /// delivered order never breaks satisfaction.
+    #[test]
+    fn order_satisfaction_lattice(a in order_strategy(), b in order_strategy(), extra in 0u32..6) {
+        prop_assert!(a.satisfies(&a));
+        if a.satisfies(&b) {
+            let mut longer = a.clone();
+            longer.0.push(SortKey::asc(ColId(extra + 100)));
+            prop_assert!(longer.satisfies(&b), "extending keeps satisfaction");
+        }
+        prop_assert!(a.satisfies(&OrderSpec::any()));
+    }
+
+    /// Dist satisfaction: reflexive for requestable specs; Any is top.
+    #[test]
+    fn dist_satisfaction_lattice(d in dist_strategy()) {
+        prop_assert!(d.satisfies(&DistSpec::Any));
+        if d.is_requestable() && d != DistSpec::Any {
+            prop_assert!(d.satisfies(&d));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DXL round-trips of random scalar expressions
+// ---------------------------------------------------------------------
+
+fn scalar_strategy() -> impl Strategy<Value = ScalarExpr> {
+    let leaf = prop_oneof![
+        (0u32..8).prop_map(|c| ScalarExpr::ColRef(ColId(c))),
+        datum_strategy().prop_map(ScalarExpr::Const),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| ScalarExpr::Cmp {
+                op: CmpOp::Le,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| ScalarExpr::Arith {
+                op: ArithOp::Add,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(ScalarExpr::And),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(ScalarExpr::Or),
+            inner.clone().prop_map(|e| ScalarExpr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| ScalarExpr::IsNull(Box::new(e))),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| ScalarExpr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            inner.clone().prop_map(|e| ScalarExpr::Agg {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(e)),
+                distinct: false,
+            }),
+            (inner.clone(), inner).prop_map(|(c, v)| ScalarExpr::Case {
+                branches: vec![(c, v)],
+                else_value: None,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse(print(expr)) == expr for arbitrary scalar trees.
+    #[test]
+    fn dxl_scalar_roundtrip(e in scalar_strategy()) {
+        let provider = orca_catalog::MemoryProvider::new();
+        let doc = orca_dxl::ser::scalar_to_xml(&e).to_document();
+        let node = orca_dxl::xml::parse(&doc).expect("well-formed");
+        // Scalar parsing is exposed through query parsing; go through a
+        // wrapper Select document to exercise the public path.
+        let _ = node;
+        // Direct structural check via a Filter plan wrapper:
+        let plan = orca_expr::physical::PhysicalPlan::new(
+            orca_expr::physical::PhysicalOp::Filter { pred: e.clone() },
+            vec![orca_expr::physical::PhysicalPlan::leaf(
+                orca_expr::physical::PhysicalOp::ConstTable { cols: vec![], rows: vec![] },
+            )],
+        );
+        let text = orca_dxl::plan_to_dxl(&orca_dxl::DxlPlan { plan: plan.clone(), cost: 1.0 });
+        let back = orca_dxl::parse_plan_doc(&text, &provider).expect("parses");
+        prop_assert_eq!(back.plan, plan);
+    }
+}
