@@ -25,6 +25,10 @@ fn main() {
             ("groups", 7),
             ("exprs", 7),
             ("jobs", 7),
+            ("goalhit", 8),
+            ("pruned", 7),
+            ("dd_hit", 7),
+            ("dd_col", 7),
             ("memo_KB", 8),
             ("md_KB", 7),
         ])
@@ -32,6 +36,7 @@ fn main() {
     let mut times = Vec::new();
     let mut memo_bytes = Vec::new();
     let mut jobs_all = Vec::new();
+    let mut pruned_all = Vec::new();
     for q in suite() {
         let config = OptimizerConfig::default()
             .with_workers(2)
@@ -42,6 +47,7 @@ fn main() {
                 times.push(ms);
                 memo_bytes.push(stats.memo_bytes as f64);
                 jobs_all.push(stats.jobs_spawned as f64);
+                pruned_all.push(stats.search.contexts_pruned as f64);
                 println!(
                     "{}",
                     row(&[
@@ -50,6 +56,10 @@ fn main() {
                         (&stats.groups.to_string(), 7),
                         (&stats.group_exprs.to_string(), 7),
                         (&stats.jobs_spawned.to_string(), 7),
+                        (&stats.goal_hits.to_string(), 8),
+                        (&stats.search.contexts_pruned.to_string(), 7),
+                        (&stats.search.dedup_hits.to_string(), 7),
+                        (&stats.search.dedup_shard_collisions.to_string(), 7),
                         (&format!("{}", stats.memo_bytes / 1024), 8),
                         (&format!("{}", stats.metadata_bytes / 1024), 7),
                     ])
@@ -75,5 +85,9 @@ fn main() {
     println!(
         "avg optimization jobs    : {:.0} per query (paper: \"hundreds or even thousands\")",
         avg(&jobs_all)
+    );
+    println!(
+        "avg contexts pruned      : {:.0} per query (cost-bound branch-and-bound)",
+        avg(&pruned_all)
     );
 }

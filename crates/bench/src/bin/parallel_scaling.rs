@@ -4,8 +4,12 @@
 //! distributes individual fine-grained optimization subtasks across
 //! multiple cores for speed-up of the optimization process." This harness
 //! optimizes the largest join queries of the suite at 1/2/4/8 scheduler
-//! workers and reports wall-clock speed-up (plan cost must be identical —
-//! parallelism changes speed, never the chosen plan).
+//! workers and reports wall-clock speed-up (plan cost AND plan shape must
+//! be identical — parallelism changes speed, never the chosen plan).
+//!
+//! Besides the table it writes `BENCH_parallel.json` (schema documented in
+//! EXPERIMENTS.md) with per-worker wall time, speed-up, and the search
+//! metrics (pruned contexts, dedup-shard collisions, goal hits).
 //!
 //! Usage: `parallel_scaling [scale] [repetitions]`.
 
@@ -39,6 +43,18 @@ fn big_join_query(variant: usize) -> SuiteQuery {
     }
 }
 
+/// One row of the emitted report.
+struct WorkerResult {
+    workers: usize,
+    wall_ms: f64,
+    speedup: f64,
+    plan_cost: f64,
+    jobs: usize,
+    goal_hits: usize,
+    contexts_pruned: u64,
+    dedup_shard_collisions: u64,
+}
+
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
@@ -47,7 +63,8 @@ fn main() {
     let reps: usize = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+        .unwrap_or(5)
+        .max(1);
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -67,24 +84,45 @@ fn main() {
             ("wall_ms", 10),
             ("speedup", 9),
             ("plan_cost", 12),
-            ("jobs", 8)
+            ("jobs", 8),
+            ("pruned", 8),
+            ("shard_col", 9),
+            ("goal_hit", 8),
         ])
     );
     let mut base_ms = None;
+    let mut baseline_plans: Vec<orca_expr::physical::PhysicalPlan> = Vec::new();
+    let mut results: Vec<WorkerResult> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let mut total_ms = 0.0;
         let mut cost = 0.0;
         let mut jobs = 0usize;
+        let mut goal_hits = 0usize;
+        let mut pruned = 0u64;
+        let mut collisions = 0u64;
         for rep in 0..reps {
             let q = big_join_query(rep % 3);
             let config = OptimizerConfig::default()
                 .with_workers(workers)
                 .with_cluster(env.cluster.clone());
             let t0 = Instant::now();
-            let (_, stats) = env.optimize_only(&q, config).expect("optimizes");
+            let (plan, stats) = env.optimize_only(&q, config).expect("optimizes");
             total_ms += t0.elapsed().as_secs_f64() * 1e3;
             cost = stats.plan_cost;
             jobs = stats.jobs_spawned;
+            goal_hits = stats.goal_hits;
+            pruned += stats.search.contexts_pruned;
+            collisions += stats.search.dedup_shard_collisions;
+            // Determinism: every worker count must produce the exact plan
+            // the single-worker baseline produced for this variant.
+            if workers == 1 && rep < 3 {
+                baseline_plans.push(plan);
+            } else if rep < 3 {
+                assert!(
+                    plan == baseline_plans[rep],
+                    "worker count {workers} changed the chosen plan for variant {rep}"
+                );
+            }
         }
         let ms = total_ms / reps as f64;
         let speedup = base_ms.map(|b: f64| b / ms).unwrap_or(1.0);
@@ -99,8 +137,57 @@ fn main() {
                 (&format!("{speedup:.2}x"), 9),
                 (&format!("{cost:.0}"), 12),
                 (&jobs.to_string(), 8),
+                (&pruned.to_string(), 8),
+                (&collisions.to_string(), 9),
+                (&goal_hits.to_string(), 8),
             ])
         );
+        results.push(WorkerResult {
+            workers,
+            wall_ms: ms,
+            speedup,
+            plan_cost: cost,
+            jobs,
+            goal_hits,
+            contexts_pruned: pruned,
+            dedup_shard_collisions: collisions,
+        });
     }
-    println!("\n(plan cost must be identical across worker counts — determinism check)");
+    assert!(
+        results.iter().all(|r| r.contexts_pruned > 0),
+        "branch-and-bound pruning never fired on the 7-way join"
+    );
+    let json = render_json(scale, reps, cpus, &results);
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+    println!("(plan cost and plan shape are identical across worker counts — determinism check)");
+}
+
+/// Hand-rolled JSON (the build has no serde); schema in EXPERIMENTS.md.
+fn render_json(scale: f64, reps: usize, cpus: usize, results: &[WorkerResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"parallel_scaling\",\n");
+    out.push_str("  \"query\": \"7-way join, 3 variants\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"repetitions\": {reps},\n"));
+    out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    out.push_str("  \"workers\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"plan_cost\": {:.3}, \"jobs\": {}, \"goal_hits\": {}, \
+             \"contexts_pruned\": {}, \"dedup_shard_collisions\": {}}}{}\n",
+            r.workers,
+            r.wall_ms,
+            r.speedup,
+            r.plan_cost,
+            r.jobs,
+            r.goal_hits,
+            r.contexts_pruned,
+            r.dedup_shard_collisions,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

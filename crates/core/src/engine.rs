@@ -2,7 +2,7 @@
 //! optimization, and the DXL entry points of Figure 2.
 
 use crate::cost::{CostModel, CostParams};
-use crate::memo::{GroupId, Memo};
+use crate::memo::{GroupId, Memo, SearchMetricsSnapshot};
 use crate::preprocess::preprocess;
 use crate::props::ReqdProps;
 use crate::rules::RuleSet;
@@ -131,11 +131,16 @@ pub struct OptStats {
     pub group_exprs: usize,
     pub jobs_spawned: usize,
     pub job_steps: usize,
+    /// Scheduler goal requests answered by an existing job (§4.2 dedup).
+    pub goal_hits: usize,
     pub memo_bytes: u64,
     pub metadata_bytes: u64,
     pub optimization_time: Duration,
     pub plan_cost: f64,
     pub stages_run: usize,
+    /// Memo-level search counters (dedup hits, shard collisions, pruned
+    /// contexts, ...) from the winning stage.
+    pub search: SearchMetricsSnapshot,
 }
 
 /// The optimizer. Holds the metadata cache (shared across sessions) and a
@@ -334,21 +339,22 @@ impl Optimizer {
         search::implement_with_deadline(&ctx, root, self.config.workers, deadline)?;
 
         self.fault_check("optimize")?;
-        let (jobs, steps) =
-            search::optimize_with_deadline(&ctx, root, req, self.config.workers, deadline)?;
+        let run = search::optimize_with_deadline(&ctx, root, req, self.config.workers, deadline)?;
 
         let plan = crate::extract::extract_plan(&memo, root, req)?;
         let plan_cost = crate::extract::best_cost(&memo, root, req)?;
         let stats = OptStats {
             groups: memo.num_groups(),
             group_exprs: memo.num_exprs(),
-            jobs_spawned: jobs,
-            job_steps: steps,
+            jobs_spawned: run.jobs_spawned,
+            job_steps: run.job_steps,
+            goal_hits: run.goal_hits,
             memo_bytes: memo.bytes(),
             metadata_bytes: 0,
             optimization_time: Duration::ZERO,
             plan_cost,
             stages_run: 0,
+            search: memo.metrics().snapshot(),
         };
         Ok((plan, plan_cost, stats))
     }

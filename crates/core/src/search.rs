@@ -11,6 +11,14 @@
 //! optimizing the same `(group, request)` pair — are deduplicated through
 //! the scheduler's goal queues, exactly as §4.2 describes ("incoming jobs
 //! are queued as long as there exists an active job with the same goal").
+//!
+//! Costing applies Cascades-style branch-and-bound: `Opt(g, req)` seeds
+//! each `Opt(gexpr, req)` job with the cost of the context's incumbent
+//! best, and the job abandons an alternative (or an enforcer chain) as
+//! soon as its accumulated cost *strictly exceeds* that bound. Because
+//! only provably-worse candidates are discarded — equal-cost ones survive
+//! for the deterministic tie-break in `OptContext::add` — pruning never
+//! changes the chosen plan (see the invariant in `memo.rs`).
 
 use crate::cost::{CostCtx, CostModel, StreamInfo};
 use crate::enforce::{derive_delivered, enforcement_chains, request_alternatives};
@@ -47,6 +55,20 @@ type Sched<'a> = Scheduler<SearchCtx<'a>, GoalKey>;
 type Handle<'h, 'a> = JobHandle<'h, SearchCtx<'a>, GoalKey>;
 
 /// Run the exploration phase from the root group (step 1 of §4.1).
+///
+/// Exploration always runs on one worker, regardless of the configured
+/// parallelism. The duplicate-detection index maps each expression topology
+/// to a single home group, so when a transformation output targeted at
+/// group `g` collides with an identical sub-expression spelled standalone,
+/// whichever insertion ran first decides where the shape lives — and with
+/// it which groups later sub-expressions resolve to. Without Orca's group
+/// merging (future work, DESIGN.md §4.2) that tie can only be broken
+/// deterministically by fixing the order, i.e. running exploration
+/// serially. This is cheap: exploration is a small fraction of total jobs
+/// (logical transformations only), while the implementation and
+/// optimization phases — property derivation and costing, which dominate
+/// wall time — parallelize freely because their insertions are
+/// group-targeted and collision-free.
 pub fn explore(ctx: &SearchCtx<'_>, root: GroupId, workers: usize) -> Result<()> {
     explore_with_deadline(ctx, root, workers, None)
 }
@@ -55,14 +77,16 @@ pub fn explore(ctx: &SearchCtx<'_>, root: GroupId, workers: usize) -> Result<()>
 pub fn explore_with_deadline(
     ctx: &SearchCtx<'_>,
     root: GroupId,
-    workers: usize,
+    _workers: usize,
     deadline: Option<std::time::Instant>,
 ) -> Result<()> {
     let sched: Sched<'_> = Scheduler::new();
     if let Some(d) = deadline {
         sched.abort_signal().set_deadline(d);
     }
-    sched.run(ctx, vec![Box::new(ExploreGroupJob { gid: root })], workers)
+    // Serial by construction — see `explore` on why this phase must not be
+    // reordered by worker interleaving.
+    sched.run(ctx, vec![Box::new(ExploreGroupJob { gid: root })], 1)
 }
 
 /// Run the implementation phase (step 3 of §4.1).
@@ -88,14 +112,24 @@ pub fn implement_with_deadline(
     )
 }
 
+/// Scheduler-side statistics of one optimization phase (feeds the §7.2.2
+/// resource report).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchRunStats {
+    pub jobs_spawned: usize,
+    pub job_steps: usize,
+    /// Goal requests deduplicated against an active or finished job.
+    pub goal_hits: usize,
+}
+
 /// Run the optimization phase for the root request (step 4 of §4.1).
-/// Returns scheduler statistics (jobs, steps) for the §7.2.2 report.
+/// Returns scheduler statistics for the §7.2.2 report.
 pub fn optimize(
     ctx: &SearchCtx<'_>,
     root: GroupId,
     req: &ReqdProps,
     workers: usize,
-) -> Result<(usize, usize)> {
+) -> Result<SearchRunStats> {
     optimize_with_deadline(ctx, root, req, workers, None)
 }
 
@@ -106,7 +140,7 @@ pub fn optimize_with_deadline(
     req: &ReqdProps,
     workers: usize,
     deadline: Option<std::time::Instant>,
-) -> Result<(usize, usize)> {
+) -> Result<SearchRunStats> {
     let sched: Sched<'_> = Scheduler::new();
     if let Some(d) = deadline {
         sched.abort_signal().set_deadline(d);
@@ -120,7 +154,11 @@ pub fn optimize_with_deadline(
         })],
         workers,
     )?;
-    Ok((sched.jobs_spawned(), sched.steps_executed()))
+    Ok(SearchRunStats {
+        jobs_spawned: sched.jobs_spawned(),
+        job_steps: sched.steps_executed(),
+        goal_hits: sched.goal_hits(),
+    })
 }
 
 // =====================================================================
@@ -355,12 +393,17 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeGroupJob {
                 let g = group.read();
                 g.physical_exprs().map(|(i, _)| i).collect()
             };
+            // Seed the branch-and-bound upper limit from the incumbent
+            // best of this very context (present when the goal was already
+            // optimized through another parent's request).
+            let bound = ctx.memo.best_cost(self.gid, &self.req);
             for eid in exprs {
                 h.spawn(Box::new(OptimizeExprJob {
                     gid: self.gid,
                     eid,
                     req: self.req.clone(),
                     alts: None,
+                    bound,
                 }));
             }
             return StepResult::Suspended;
@@ -380,6 +423,11 @@ struct OptimizeExprJob {
     req: ReqdProps,
     /// Child-request alternatives, filled on the first step.
     alts: Option<Vec<Vec<ReqdProps>>>,
+    /// Branch-and-bound upper limit: the cost of this context's incumbent
+    /// best when the job was spawned. Refreshed (only ever tightened)
+    /// during costing; a candidate whose partial cost strictly exceeds it
+    /// is abandoned. `None` until the context produces its first plan.
+    bound: Option<f64>,
 }
 
 impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeExprJob {
@@ -446,18 +494,36 @@ impl OptimizeExprJob {
             })
             .collect::<Result<_>>()?;
 
-        for alt in alts {
-            // Collect the best child plans for this alternative.
+        // Branch-and-bound bound: tightest of the spawn-time seed and the
+        // context's current incumbent (other jobs may have improved it
+        // while this one waited on child goals).
+        let mut bound = match (self.bound, ctx.memo.best_cost(self.gid, &self.req)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        // Strict comparison: an equal-cost candidate is NOT pruned, so the
+        // deterministic tie-break in `OptContext::add` still sees it.
+        let exceeds = |cost: f64, bound: Option<f64>| bound.is_some_and(|b| cost > b);
+
+        'alts: for alt in alts {
+            // Collect the best child plans for this alternative, aborting
+            // as soon as the accumulated child cost alone beats the bound.
             let mut child_costs = Vec::with_capacity(children.len());
             let mut child_derived: Vec<DerivedProps> = Vec::with_capacity(children.len());
             let mut ok = true;
+            let mut child_sum = 0.0;
             for (child, creq) in children.iter().zip(&alt) {
                 let group = ctx.memo.group(*child);
                 let g = group.read();
                 match g.best_for(creq) {
                     Some(cand) => {
+                        child_sum += cand.cost;
                         child_costs.push(cand.cost);
                         child_derived.push(cand.derived.clone());
+                        if exceeds(child_sum, bound) {
+                            ctx.memo.metrics().note_context_pruned();
+                            continue 'alts;
+                        }
                     }
                     None => {
                         ok = false;
@@ -489,9 +555,13 @@ impl OptimizeExprJob {
             };
             let local = ctx.cost.op_cost(op, &cost_ctx);
             let base_cost: f64 = local + child_costs.iter().sum::<f64>();
+            if exceeds(base_cost, bound) {
+                ctx.memo.metrics().note_context_pruned();
+                continue;
+            }
 
             // Enforce missing properties; each chain is its own candidate.
-            for chain in enforcement_chains(&delivered, &self.req) {
+            'chains: for chain in enforcement_chains(&delivered, &self.req) {
                 let mut cost = base_cost;
                 let mut cur_dist = delivered.dist.clone();
                 for enf in &chain.ops {
@@ -505,10 +575,19 @@ impl OptimizeExprJob {
                     if let PhysicalOp::Motion { kind } = enf {
                         cur_dist = kind.delivered_dist();
                     }
-                    // Record the enforcer in the Memo (Figure 6 fidelity).
+                    if exceeds(cost, bound) {
+                        ctx.memo.metrics().note_context_pruned();
+                        continue 'chains;
+                    }
+                }
+                // The chain survived the bound: record its enforcers in
+                // the Memo (Figure 6 fidelity) and add the candidate.
+                // Pruned chains leave no trace.
+                for enf in &chain.ops {
                     ctx.memo.insert_enforcer(self.gid, enf.clone());
                 }
                 debug_assert!(chain.delivered.satisfies(&self.req));
+                let fingerprint = Candidate::shape_fingerprint(op, &alt, &chain.ops);
                 ctx.memo.add_candidate(
                     self.gid,
                     &self.req,
@@ -517,9 +596,14 @@ impl OptimizeExprJob {
                         child_reqs: alt.clone(),
                         enforcers: chain.ops.clone(),
                         cost,
+                        fingerprint,
                         derived: chain.delivered.clone(),
                     },
                 );
+                // Tighten the bound with the candidate we just proved.
+                if bound.is_none_or(|b| cost < b) {
+                    bound = Some(cost);
+                }
             }
         }
         Ok(())
@@ -672,6 +756,21 @@ mod tests {
             (c1 - c4).abs() < 1e-9,
             "parallel and serial optimization must agree: {c1} vs {c4}"
         );
+        // Equal cost is necessary but not sufficient: the deterministic
+        // tie-break must make the *extracted plans* structurally identical
+        // even though group/expr ids differ between the two runs.
+        let p1 = crate::extract::extract_plan(&memo1, root1, &req).unwrap();
+        let p4 = crate::extract::extract_plan(&memo4, root4, &req4).unwrap();
+        assert_eq!(
+            p1,
+            p4,
+            "serial plan:\n{}\nparallel plan:\n{}",
+            orca_expr::pretty::explain_physical(&p1),
+            orca_expr::pretty::explain_physical(&p4)
+        );
+        // Both memos pass the dedup/directory cross-check.
+        memo1.check_integrity().unwrap();
+        memo4.check_integrity().unwrap();
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::memo::{GroupId, Memo, Operator};
 use orca_catalog::stats::Histogram;
 use orca_catalog::MdAccessor;
-use orca_common::hash::FnvHashMap;
+use orca_common::hash::{fnv_hash, FnvHashMap};
 use orca_common::{ColId, Datum, OrcaError, Result};
 use orca_expr::logical::{JoinKind, LogicalOp, SetOpKind};
 use orca_expr::scalar::{AggFunc, CmpOp, ScalarExpr};
@@ -142,31 +142,39 @@ impl<'a> StatsDeriver<'a> {
         if let Some(s) = self.memo.stats(gid) {
             return Ok(s);
         }
-        // Pick the most promising logical expression.
-        let (op, children) = {
+        // Pick the most promising logical expression. Promise ties are
+        // broken by a content fingerprint (operator + child output columns),
+        // never by expression id: under the parallel search, insertion order
+        // of equivalent expressions varies between runs, and the stats source
+        // must not — otherwise estimates (and plan choice) become
+        // nondeterministic.
+        let candidates: Vec<(u32, LogicalOp, Vec<GroupId>)> = {
             let group = self.memo.group(gid);
             let g = group.read();
-            let mut best: Option<(u32, &crate::memo::GroupExpr)> = None;
-            for (_, e) in g.logical_exprs() {
-                let p = match &e.op {
-                    Operator::Logical(op) => promise(op),
-                    Operator::Physical(_) => 0,
-                };
-                if best.as_ref().map(|(bp, _)| p > *bp).unwrap_or(true) {
-                    best = Some((p, e));
-                }
-            }
-            let (_, e) = best.ok_or_else(|| {
-                OrcaError::Internal(format!("group {gid} has no logical expression"))
-            })?;
-            (
-                match &e.op {
-                    Operator::Logical(op) => op.clone(),
-                    Operator::Physical(_) => unreachable!("logical_exprs filtered"),
-                },
-                e.children.clone(),
-            )
+            g.logical_exprs()
+                .filter_map(|(_, e)| match &e.op {
+                    Operator::Logical(op) => Some((promise(op), op.clone(), e.children.clone())),
+                    Operator::Physical(_) => None,
+                })
+                .collect()
         };
+        let mut best: Option<(u32, u64, LogicalOp, Vec<GroupId>)> = None;
+        for (p, op, children) in candidates {
+            let child_cols: Vec<Vec<ColId>> = children
+                .iter()
+                .map(|c| self.memo.group(*c).read().output_cols.clone())
+                .collect();
+            let fp = fnv_hash(&(&op, &child_cols));
+            let replace = match &best {
+                None => true,
+                Some((bp, bfp, _, _)) => p > *bp || (p == *bp && fp < *bfp),
+            };
+            if replace {
+                best = Some((p, fp, op, children));
+            }
+        }
+        let (_, _, op, children) = best
+            .ok_or_else(|| OrcaError::Internal(format!("group {gid} has no logical expression")))?;
         // Recursively derive children (top-down requests, bottom-up
         // combination — Figure 5).
         let child_stats: Vec<Arc<GroupStats>> = children

@@ -93,6 +93,7 @@ pub struct Scheduler<C: ?Sized, K> {
     abort: AbortSignal,
     steps: AtomicUsize,
     spawned: AtomicUsize,
+    goal_hits: AtomicUsize,
 }
 
 /// Handle passed to a running job, used to spawn children. Spawned jobs go
@@ -113,6 +114,7 @@ impl<C: ?Sized + Sync, K: Hash + Eq + Clone + Send + Sync> Scheduler<C, K> {
             abort: AbortSignal::new(),
             steps: AtomicUsize::new(0),
             spawned: AtomicUsize::new(0),
+            goal_hits: AtomicUsize::new(0),
         }
     }
 
@@ -130,6 +132,13 @@ impl<C: ?Sized + Sync, K: Hash + Eq + Clone + Send + Sync> Scheduler<C, K> {
     /// even thousands of job instances" per query).
     pub fn jobs_spawned(&self) -> usize {
         self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// `spawn_goal` requests answered by an existing (active or finished)
+    /// goal job instead of creating a new one — the effectiveness of the
+    /// §4.2 goal deduplication.
+    pub fn goal_hits(&self) -> usize {
+        self.goal_hits.load(Ordering::Relaxed)
     }
 
     /// Create a job entry (not yet queued).
@@ -344,8 +353,12 @@ impl<C: ?Sized + Sync, K: Hash + Eq + Clone + Send + Sync> JobHandle<'_, C, K> {
         // completion path takes the same lock to mark Done).
         let mut goals = self.sched.goals.lock();
         match goals.get(&goal) {
-            Some(GoalState::Done) => false,
+            Some(GoalState::Done) => {
+                self.sched.goal_hits.fetch_add(1, Ordering::Relaxed);
+                false
+            }
             Some(GoalState::Active(entry)) => {
+                self.sched.goal_hits.fetch_add(1, Ordering::Relaxed);
                 let entry = entry.clone();
                 drop(goals);
                 // Raise the dependency first, then register under the

@@ -6,7 +6,6 @@
 
 use orca::amper;
 use orca::engine::{Optimizer, OptimizerConfig};
-use orca_catalog::provider::MdProvider;
 use orca_catalog::stats::ColumnStats;
 use orca_catalog::{ColumnMeta, Distribution, MemoryProvider, TableStats};
 use orca_common::{DataType, Datum, SegmentConfig};
@@ -136,8 +135,8 @@ fn metadata_version_bump_changes_plan() {
     // ANALYZE discovers `small` is actually tiny → version bump.
     let new_id = provider.bump_table_version(small).expect("bumps");
     let tiny = TableStats::new(50.0, 2)
-        .set_column(0, ColumnStats::from_column(&values[..50].to_vec(), 8))
-        .set_column(1, ColumnStats::from_column(&values[..50].to_vec(), 8));
+        .set_column(0, ColumnStats::from_column(&values[..50], 8))
+        .set_column(1, ColumnStats::from_column(&values[..50], 8));
     provider.set_stats(new_id, tiny);
 
     // A *new binding* resolves the table name to the new version; the

@@ -8,7 +8,7 @@ use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
 use orca_catalog::provider::MdProvider;
 use orca_catalog::stats::ColumnStats;
 use orca_catalog::{ColumnMeta, Distribution, IndexDesc, MemoryProvider, TableStats};
-use orca_common::{ColId, DataType, Datum, MdId, SegmentConfig, SysId};
+use orca_common::{DataType, Datum, MdId, SegmentConfig, SysId};
 use orca_executor::engine::sort_rows;
 use orca_executor::reference::run_reference;
 use orca_executor::{Database, ExecEngine};

@@ -1,0 +1,174 @@
+//! Multi-threaded Memo stress tests (§4.2).
+//!
+//! The Memo's two concurrent hot paths — sharded duplicate detection on
+//! insert and the lock-free chunked group directory — must keep the
+//! structure canonical under insert storms: identical expression topologies
+//! inserted from many threads land in one group, group ids stay dense and
+//! stable, and the dedup index always agrees with the directory
+//! (`Memo::check_integrity`).
+
+use orca::memo::{GroupId, Memo, Operator};
+use orca_catalog::{ColumnMeta, Distribution, TableDesc};
+use orca_common::{ColId, DataType, MdId, SysId};
+use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp, TableRef};
+use orca_expr::scalar::ScalarExpr;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+
+fn tref(oid: u64) -> TableRef {
+    TableRef(Arc::new(TableDesc::new(
+        MdId::new(SysId::Gpdb, oid, 1),
+        &format!("t{oid}"),
+        vec![
+            ColumnMeta::new("a", DataType::Int),
+            ColumnMeta::new("b", DataType::Int),
+        ],
+        Distribution::Hashed(vec![0]),
+    )))
+}
+
+fn leaf(oid: u64) -> LogicalExpr {
+    let first = (oid as u32 - 1) * 2;
+    LogicalExpr::leaf(LogicalOp::Get {
+        table: tref(oid),
+        cols: vec![ColId(first), ColId(first + 1)],
+        parts: None,
+    })
+}
+
+fn join(l: LogicalExpr, r: LogicalExpr, lcol: u32, rcol: u32) -> LogicalExpr {
+    LogicalExpr::new(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            pred: ScalarExpr::col_eq_col(ColId(lcol), ColId(rcol)),
+        },
+        vec![l, r],
+    )
+}
+
+/// A family of join trees over a shared pool of leaves, with heavily
+/// overlapping sub-trees (every tree `i` reuses the `leaf(i) ⋈ leaf(i+1)`
+/// spine of its neighbours).
+fn workload(trees: u64) -> Vec<LogicalExpr> {
+    (1..=trees)
+        .map(|i| {
+            let base = join(leaf(i), leaf(i + 1), (i as u32 - 1) * 2, i as u32 * 2);
+            join(base, leaf(i + 2), (i as u32 - 1) * 2, (i as u32 + 1) * 2)
+        })
+        .collect()
+}
+
+/// Copy the workload into `memo` from `THREADS` threads, each walking the
+/// tree list starting at a different offset so insert orders differ.
+fn storm(memo: &Arc<Memo>, work: &[LogicalExpr]) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let memo = Arc::clone(memo);
+            s.spawn(move || {
+                for i in 0..work.len() {
+                    memo.copy_in(&work[(i + t * 3) % work.len()]);
+                }
+            });
+        }
+    });
+}
+
+/// Every distinct topology must occupy exactly one slot in exactly one
+/// group, no matter how the threads interleaved.
+fn assert_no_duplicate_topologies(memo: &Memo) {
+    let mut seen: HashMap<(Operator, Vec<GroupId>), (GroupId, usize)> = HashMap::new();
+    for idx in 0..memo.num_groups() {
+        let gid = GroupId(idx as u32);
+        let group = memo.group(gid);
+        let g = group.read();
+        assert_eq!(g.id, gid, "directory slot {idx} holds the wrong group");
+        for (eid, e) in g.exprs.iter().enumerate() {
+            let prev = seen.insert((e.op.clone(), e.children.clone()), (gid, eid));
+            assert!(
+                prev.is_none(),
+                "topology stored twice: {gid}/{eid} and {:?}",
+                prev
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_copy_in_storm_is_canonical() {
+    let work = workload(24);
+    let memo = Arc::new(Memo::new());
+    storm(&memo, &work);
+
+    // Serial reference: the storm must produce exactly the groups a
+    // single-threaded copy-in produces.
+    let reference = Memo::new();
+    for tree in &work {
+        reference.copy_in(tree);
+    }
+    assert_eq!(memo.num_groups(), reference.num_groups());
+    assert_eq!(memo.num_exprs(), reference.num_exprs());
+
+    assert_no_duplicate_topologies(&memo);
+    memo.check_integrity().expect("index/directory agreement");
+
+    // The overlap was real: most insertions were answered by dedup.
+    let snap = memo.metrics().snapshot();
+    assert!(snap.dedup_hits > snap.exprs_inserted);
+}
+
+#[test]
+fn repeated_storms_reach_identical_group_counts() {
+    let work = workload(16);
+    let counts: Vec<(usize, usize)> = (0..3)
+        .map(|_| {
+            let memo = Arc::new(Memo::new());
+            storm(&memo, &work);
+            memo.check_integrity().expect("index/directory agreement");
+            (memo.num_groups(), memo.num_exprs())
+        })
+        .collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "group/expr counts varied across storms: {counts:?}"
+    );
+}
+
+#[test]
+fn targeted_insert_storm_no_intra_group_duplicates() {
+    // One join group per tree; every thread re-inserts the original and the
+    // commuted variant into the SAME group, racing on the dedup shards.
+    let work = workload(8);
+    let memo = Arc::new(Memo::new());
+    let roots: Vec<GroupId> = work.iter().map(|t| memo.copy_in(t)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let memo = Arc::clone(&memo);
+            let roots = roots.clone();
+            s.spawn(move || {
+                for &root in &roots {
+                    let (op, c1, c2) = {
+                        let group = memo.group(root);
+                        let g = group.read();
+                        let e = &g.exprs[0];
+                        (e.op.clone(), e.children[0], e.children[1])
+                    };
+                    for _ in 0..50 {
+                        memo.insert_expr(Some(root), op.clone(), vec![c1, c2]);
+                        memo.insert_expr(Some(root), op.clone(), vec![c2, c1]);
+                    }
+                }
+            });
+        }
+    });
+    for &root in &roots {
+        assert_eq!(
+            memo.group(root).read().exprs.len(),
+            2,
+            "group {root} holds exactly the original and the commuted join"
+        );
+    }
+    assert_no_duplicate_topologies(&memo);
+    memo.check_integrity().expect("index/directory agreement");
+}
