@@ -8,10 +8,16 @@
 //! be identical — parallelism changes speed, never the chosen plan).
 //!
 //! Besides the table it writes `BENCH_parallel.json` (schema documented in
-//! EXPERIMENTS.md) with per-worker wall time, speed-up, and the search
+//! EXPERIMENTS.md) with per-worker wall time, per-phase wall time
+//! (explore / implement / optimize — exploration runs on the full pool now
+//! that the Memo merges groups), speed-up, merge counts and the search
 //! metrics (pruned contexts, dedup-shard collisions, goal hits).
 //!
-//! Usage: `parallel_scaling [scale] [repetitions]`.
+//! Usage: `parallel_scaling [scale] [repetitions] [--smoke]`.
+//!
+//! `--smoke` is the CI determinism gate: workers 1 and 4 only, no JSON
+//! written — the run fails (asserts) if any worker count changes the
+//! extracted plan, the plan cost, or the job count by more than 10%.
 
 use orca::engine::OptimizerConfig;
 use orca_bench::report::row;
@@ -47,23 +53,30 @@ fn big_join_query(variant: usize) -> SuiteQuery {
 struct WorkerResult {
     workers: usize,
     wall_ms: f64,
+    explore_ms: f64,
+    implement_ms: f64,
+    optimize_ms: f64,
     speedup: f64,
     plan_cost: f64,
     jobs: usize,
     goal_hits: usize,
     contexts_pruned: u64,
     dedup_shard_collisions: u64,
+    groups_merged: u64,
 }
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale: f64 = positional
+        .first()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
-    let reps: usize = std::env::args()
-        .nth(2)
+        .unwrap_or(if smoke { 0.01 } else { 0.05 });
+    let reps: usize = positional
+        .get(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(5)
+        .unwrap_or(if smoke { 3 } else { 5 })
         .max(1);
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -82,24 +95,33 @@ fn main() {
         row(&[
             ("workers", 8),
             ("wall_ms", 10),
+            ("expl_ms", 9),
+            ("impl_ms", 9),
+            ("opt_ms", 8),
             ("speedup", 9),
             ("plan_cost", 12),
             ("jobs", 8),
+            ("merged", 7),
             ("pruned", 8),
             ("shard_col", 9),
             ("goal_hit", 8),
         ])
     );
+    let worker_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
     let mut base_ms = None;
     let mut baseline_plans: Vec<orca_expr::physical::PhysicalPlan> = Vec::new();
     let mut results: Vec<WorkerResult> = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
+    for &workers in worker_counts {
         let mut total_ms = 0.0;
+        let mut explore_ms = 0.0;
+        let mut implement_ms = 0.0;
+        let mut optimize_ms = 0.0;
         let mut cost = 0.0;
         let mut jobs = 0usize;
         let mut goal_hits = 0usize;
         let mut pruned = 0u64;
         let mut collisions = 0u64;
+        let mut merged = 0u64;
         for rep in 0..reps {
             let q = big_join_query(rep % 3);
             let config = OptimizerConfig::default()
@@ -108,11 +130,15 @@ fn main() {
             let t0 = Instant::now();
             let (plan, stats) = env.optimize_only(&q, config).expect("optimizes");
             total_ms += t0.elapsed().as_secs_f64() * 1e3;
+            explore_ms += stats.explore_time.as_secs_f64() * 1e3;
+            implement_ms += stats.implement_time.as_secs_f64() * 1e3;
+            optimize_ms += stats.optimize_time.as_secs_f64() * 1e3;
             cost = stats.plan_cost;
             jobs = stats.jobs_spawned;
             goal_hits = stats.goal_hits;
             pruned += stats.search.contexts_pruned;
             collisions += stats.search.dedup_shard_collisions;
+            merged = stats.search.groups_merged;
             // Determinism: every worker count must produce the exact plan
             // the single-worker baseline produced for this variant.
             if workers == 1 && rep < 3 {
@@ -134,9 +160,13 @@ fn main() {
             row(&[
                 (&workers.to_string(), 8),
                 (&format!("{ms:.1}"), 10),
+                (&format!("{:.1}", explore_ms / reps as f64), 9),
+                (&format!("{:.1}", implement_ms / reps as f64), 9),
+                (&format!("{:.1}", optimize_ms / reps as f64), 8),
                 (&format!("{speedup:.2}x"), 9),
                 (&format!("{cost:.0}"), 12),
                 (&jobs.to_string(), 8),
+                (&merged.to_string(), 7),
                 (&pruned.to_string(), 8),
                 (&collisions.to_string(), 9),
                 (&goal_hits.to_string(), 8),
@@ -145,18 +175,43 @@ fn main() {
         results.push(WorkerResult {
             workers,
             wall_ms: ms,
+            explore_ms: explore_ms / reps as f64,
+            implement_ms: implement_ms / reps as f64,
+            optimize_ms: optimize_ms / reps as f64,
             speedup,
             plan_cost: cost,
             jobs,
             goal_hits,
             contexts_pruned: pruned,
             dedup_shard_collisions: collisions,
+            groups_merged: merged,
         });
     }
     assert!(
         results.iter().all(|r| r.contexts_pruned > 0),
         "branch-and-bound pruning never fired on the 7-way join"
     );
+    // Merging replaced the serial-exploration pin: job counts must not
+    // blow up when exploration runs parallel. Every worker count has to
+    // stay within 10% of the single-worker job count (they are identical
+    // when the memo converges to the same content — the slack only covers
+    // scheduler-level goal-dedup timing).
+    let base_jobs = results[0].jobs as f64;
+    for r in &results[1..] {
+        let drift = (r.jobs as f64 - base_jobs).abs() / base_jobs;
+        assert!(
+            drift <= 0.10,
+            "job count at {} workers drifted {:.1}% from the 1-worker baseline ({} vs {})",
+            r.workers,
+            drift * 100.0,
+            r.jobs,
+            results[0].jobs
+        );
+    }
+    if smoke {
+        println!("\nsmoke gate passed: identical plans/costs at 1 vs 4 workers, job drift <= 10%");
+        return;
+    }
     let json = render_json(scale, reps, cpus, &results);
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json");
@@ -174,17 +229,23 @@ fn render_json(scale: f64, reps: usize, cpus: usize, results: &[WorkerResult]) -
     out.push_str("  \"workers\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
+            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"explore_ms\": {:.3}, \
+             \"implement_ms\": {:.3}, \"optimize_ms\": {:.3}, \"speedup\": {:.3}, \
              \"plan_cost\": {:.3}, \"jobs\": {}, \"goal_hits\": {}, \
-             \"contexts_pruned\": {}, \"dedup_shard_collisions\": {}}}{}\n",
+             \"contexts_pruned\": {}, \"dedup_shard_collisions\": {}, \
+             \"groups_merged\": {}}}{}\n",
             r.workers,
             r.wall_ms,
+            r.explore_ms,
+            r.implement_ms,
+            r.optimize_ms,
             r.speedup,
             r.plan_cost,
             r.jobs,
             r.goal_hits,
             r.contexts_pruned,
             r.dedup_shard_collisions,
+            r.groups_merged,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

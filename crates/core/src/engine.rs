@@ -48,6 +48,10 @@ pub struct OptimizerConfig {
     /// Testing hook (§6.1): raise an injected fault at the named point
     /// ("explore", "implement", "optimize").
     pub inject_fault: Option<&'static str>,
+    /// Shards in the Memo's duplicate-detection index (rounded up to a
+    /// power of two; 1 serializes every insert, useful for exercising the
+    /// shard-collision counter in tests).
+    pub dedup_shards: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -59,6 +63,7 @@ impl Default for OptimizerConfig {
             stages: Vec::new(),
             disabled_rules: Vec::new(),
             inject_fault: None,
+            dedup_shards: crate::memo::DEDUP_SHARDS,
         }
     }
 }
@@ -74,11 +79,17 @@ impl OptimizerConfig {
         self
     }
 
+    pub fn with_dedup_shards(mut self, shards: usize) -> OptimizerConfig {
+        self.dedup_shards = shards.max(1);
+        self
+    }
+
     /// Serialize to key/value pairs for AMPERe dumps.
     pub fn to_kv(&self) -> Vec<(String, String)> {
         let mut kv = vec![
             ("workers".into(), self.workers.to_string()),
             ("segments".into(), self.cluster.num_segments.to_string()),
+            ("dedup_shards".into(), self.dedup_shards.to_string()),
         ];
         for r in &self.disabled_rules {
             kv.push(("disabled_rule".into(), (*r).to_string()));
@@ -98,6 +109,7 @@ impl OptimizerConfig {
                 "segments" => {
                     cfg.cluster.num_segments = v.parse().unwrap_or(cfg.cluster.num_segments)
                 }
+                "dedup_shards" => cfg.dedup_shards = v.parse().unwrap_or(cfg.dedup_shards),
                 _ => {}
             }
         }
@@ -136,6 +148,11 @@ pub struct OptStats {
     pub memo_bytes: u64,
     pub metadata_bytes: u64,
     pub optimization_time: Duration,
+    /// Per-phase wall time of the winning stage (§4.2 scaling bench needs
+    /// exploration separated out, now that it runs on the full pool).
+    pub explore_time: Duration,
+    pub implement_time: Duration,
+    pub optimize_time: Duration,
     pub plan_cost: f64,
     pub stages_run: usize,
     /// Memo-level search counters (dedup hits, shard collisions, pruned
@@ -273,7 +290,7 @@ impl Optimizer {
             let _ = rules.disable(r);
         }
         let cost = CostModel::new(self.config.cost_params.clone(), self.config.cluster.clone());
-        let memo = Memo::new();
+        let memo = Memo::with_shards(self.config.dedup_shards);
         let root = memo.copy_in(&preprocessed);
         let ctx = SearchCtx {
             memo: &memo,
@@ -285,8 +302,8 @@ impl Optimizer {
         search::explore(&ctx, root, self.config.workers)?;
         let deriver =
             StatsDeriver::new(&memo, &accessor, registry, self.config.cluster.num_segments);
-        for g in 0..memo.num_groups() {
-            deriver.derive(GroupId(g as u32))?;
+        for g in memo.canonical_groups() {
+            deriver.derive(g)?;
         }
         search::implement(&ctx, root, self.config.workers)?;
         search::optimize(&ctx, root, &req, self.config.workers)?;
@@ -314,7 +331,7 @@ impl Optimizer {
         }
         let deadline = stage.timeout.map(|t| Instant::now() + t);
         let cost = CostModel::new(self.config.cost_params.clone(), self.config.cluster.clone());
-        let memo = Memo::new();
+        let memo = Memo::with_shards(self.config.dedup_shards);
         let root = memo.copy_in(expr);
         let ctx = SearchCtx {
             memo: &memo,
@@ -325,26 +342,32 @@ impl Optimizer {
         };
 
         self.fault_check("explore")?;
+        let t_explore = Instant::now();
         search::explore_with_deadline(&ctx, root, self.config.workers, deadline)?;
+        let explore_time = t_explore.elapsed();
 
-        // Statistics derivation (§4.1 step 2) for every group the
-        // exploration produced.
+        // Statistics derivation (§4.1 step 2) for every canonical group the
+        // exploration produced (merged shells resolve to their winners).
         let deriver =
             StatsDeriver::new(&memo, accessor, registry, self.config.cluster.num_segments);
-        for g in 0..memo.num_groups() {
-            deriver.derive(GroupId(g as u32))?;
+        for g in memo.canonical_groups() {
+            deriver.derive(g)?;
         }
 
         self.fault_check("implement")?;
+        let t_implement = Instant::now();
         search::implement_with_deadline(&ctx, root, self.config.workers, deadline)?;
+        let implement_time = t_implement.elapsed();
 
         self.fault_check("optimize")?;
+        let t_optimize = Instant::now();
         let run = search::optimize_with_deadline(&ctx, root, req, self.config.workers, deadline)?;
+        let optimize_time = t_optimize.elapsed();
 
         let plan = crate::extract::extract_plan(&memo, root, req)?;
         let plan_cost = crate::extract::best_cost(&memo, root, req)?;
         let stats = OptStats {
-            groups: memo.num_groups(),
+            groups: memo.num_canonical_groups(),
             group_exprs: memo.num_exprs(),
             jobs_spawned: run.jobs_spawned,
             job_steps: run.job_steps,
@@ -352,6 +375,9 @@ impl Optimizer {
             memo_bytes: memo.bytes(),
             metadata_bytes: 0,
             optimization_time: Duration::ZERO,
+            explore_time,
+            implement_time,
+            optimize_time,
             plan_cost,
             stages_run: 0,
             search: memo.metrics().snapshot(),

@@ -14,6 +14,13 @@ use orca_common::{OrcaError, Result};
 use orca_expr::physical::PhysicalPlan;
 
 /// Extract the least-cost plan for `(group, req)`.
+///
+/// `gid` may be any member of its §4.2 merge equivalence class —
+/// `Memo::group` resolves it to the canonical group. The candidate's
+/// expression id is trusted directly: `Memo::add_candidate` re-resolves
+/// ids under the merge gate when recording, and no merge can run after
+/// the optimization phase (its only inserts are self-referential
+/// enforcers), so recorded ids cannot go stale by extraction time.
 pub fn extract_plan(memo: &Memo, gid: GroupId, req: &ReqdProps) -> Result<PhysicalPlan> {
     let (op, children, child_reqs, enforcers) = {
         let group = memo.group(gid);

@@ -54,39 +54,63 @@ pub struct SearchCtx<'a> {
 type Sched<'a> = Scheduler<SearchCtx<'a>, GoalKey>;
 type Handle<'h, 'a> = JobHandle<'h, SearchCtx<'a>, GoalKey>;
 
-/// Run the exploration phase from the root group (step 1 of §4.1).
+/// Run the exploration phase from the root group (step 1 of §4.1) on the
+/// full worker pool.
 ///
-/// Exploration always runs on one worker, regardless of the configured
-/// parallelism. The duplicate-detection index maps each expression topology
-/// to a single home group, so when a transformation output targeted at
+/// Exploration is fully parallel. When a transformation output targeted at
 /// group `g` collides with an identical sub-expression spelled standalone,
-/// whichever insertion ran first decides where the shape lives — and with
-/// it which groups later sub-expressions resolve to. Without Orca's group
-/// merging (future work, DESIGN.md §4.2) that tie can only be broken
-/// deterministically by fixing the order, i.e. running exploration
-/// serially. This is cheap: exploration is a small fraction of total jobs
-/// (logical transformations only), while the implementation and
-/// optimization phases — property derivation and costing, which dominate
-/// wall time — parallelize freely because their insertions are
-/// group-targeted and collision-free.
+/// the duplicate-detection index proves the two groups logically
+/// equivalent and the Memo *merges* them (§4.2, `Memo::merge`) — so the
+/// insertion race that once forced this phase onto one worker no longer
+/// decides where a shape lives. Determinism now comes from confluence:
+/// whatever order insertions and merges interleave in, exploration is run
+/// to a fixpoint (below) whose final memo content is the closure of the
+/// initial memo under the enabled rules — identical across worker counts
+/// up to group-id renaming.
+///
+/// The fixpoint: a merge can enlarge a group AFTER a deep rule (one whose
+/// pattern binds into child-group contents, e.g. join associativity)
+/// already fired on some parent expression, leaving bindings unseen — and
+/// *which* bindings were missed depends on thread timing. So after every
+/// pass in which the merge counter advanced, the driver re-arms exactly
+/// the deep rules (`Memo::reset_exploration`) and runs another pass.
+/// Shallow rules stay fired: their output depends only on their own
+/// expression and is invariant under child re-canonicalization. Each pass
+/// either merges nothing (done) or permanently reduces the number of
+/// canonical groups, so the loop terminates.
 pub fn explore(ctx: &SearchCtx<'_>, root: GroupId, workers: usize) -> Result<()> {
     explore_with_deadline(ctx, root, workers, None)
 }
 
 /// Exploration with an optional stage deadline (§4.1 multi-stage).
+/// Returns after the merge-confluence fixpoint is reached (or the deadline
+/// expires).
 pub fn explore_with_deadline(
     ctx: &SearchCtx<'_>,
     root: GroupId,
-    _workers: usize,
+    workers: usize,
     deadline: Option<std::time::Instant>,
 ) -> Result<()> {
-    let sched: Sched<'_> = Scheduler::new();
-    if let Some(d) = deadline {
-        sched.abort_signal().set_deadline(d);
+    let deep = ctx.rules.deep_exploration_indices();
+    loop {
+        let merged_before = ctx.memo.metrics().snapshot().groups_merged;
+        let sched: Sched<'_> = Scheduler::new();
+        if let Some(d) = deadline {
+            sched.abort_signal().set_deadline(d);
+        }
+        sched.run(ctx, vec![Box::new(ExploreGroupJob { gid: root })], workers)?;
+        let merged_after = ctx.memo.metrics().snapshot().groups_merged;
+        if merged_after == merged_before {
+            return Ok(());
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            // Timed out mid-fixpoint: the memo is valid (all ids resolve),
+            // just not closed under the deep rules. §4.1 stage semantics
+            // accept a truncated search.
+            return Ok(());
+        }
+        ctx.memo.reset_exploration(&deep);
     }
-    // Serial by construction — see `explore` on why this phase must not be
-    // reordered by worker interleaving.
-    sched.run(ctx, vec![Box::new(ExploreGroupJob { gid: root })], 1)
 }
 
 /// Run the implementation phase (step 3 of §4.1).
@@ -177,29 +201,33 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ExploreGroupJob {
 
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
         // Loop until no expression is left unexplored: transformations add
-        // new expressions to this group while we wait.
-        let to_spawn: Vec<ExprId> = {
-            let group = ctx.memo.group(self.gid);
-            let mut g = group.write();
+        // new expressions to this group while we wait, and merges migrate
+        // whole expression sets in. The gate-held accessor re-resolves the
+        // canonical group on every step — `self.gid` may have become a
+        // drained shell since the job was spawned.
+        let (gid, to_spawn) = ctx.memo.with_group(self.gid, |gid, g| {
             let ids: Vec<ExprId> = g
                 .exprs
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| e.op.is_logical() && !e.explore_spawned)
+                .filter(|(_, e)| e.op.is_logical() && !e.dead && !e.explore_spawned)
                 .map(|(i, _)| i)
                 .collect();
             for &i in &ids {
                 g.exprs[i].explore_spawned = true;
             }
-            ids
-        };
+            if ids.is_empty() {
+                g.explored = true;
+            }
+            (gid, ids)
+        });
+        self.gid = gid;
         if to_spawn.is_empty() {
-            ctx.memo.group(self.gid).write().explored = true;
             return StepResult::Done;
         }
         for eid in to_spawn {
             h.spawn(Box::new(ExploreExprJob {
-                gid: self.gid,
+                gid,
                 eid,
                 spawned_children: false,
             }));
@@ -227,11 +255,11 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ExploreExprJob {
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
         if !self.spawned_children {
             self.spawned_children = true;
-            let children = {
-                let group = ctx.memo.group(self.gid);
-                let g = group.read();
-                g.exprs[self.eid].children.clone()
-            };
+            // Merges can relocate the expression between job spawn and this
+            // step; resolve to its live location and canonical children.
+            let (gid, eid, _, children) = ctx.memo.expr_op_children(self.gid, self.eid);
+            self.gid = gid;
+            self.eid = eid;
             for c in children {
                 h.spawn_goal(GoalKey::Exp(c), || Box::new(ExploreGroupJob { gid: c }));
             }
@@ -251,12 +279,20 @@ fn spawn_xforms<'a>(
     exploration: bool,
 ) {
     let rules = ctx.rules.of_kind(exploration);
-    let group = ctx.memo.group(gid);
-    let mut g = group.write();
-    for (idx, rule) in rules {
-        if g.exprs[eid].applied_rules.insert(idx) {
-            h.spawn(Box::new(XformJob { gid, eid, rule }));
-        }
+    // Claim the not-yet-applied rules atomically on the expression's LIVE
+    // copy (the `(gid, eid)` captured at spawn time may have been forwarded
+    // by a merge; the gate-held accessor re-resolves it). Claiming under
+    // the expression's group lock keeps each `(expr, rule)` pair fired at
+    // most once even when two jobs race onto the same migrated expression.
+    let (gid, eid, fire) = ctx.memo.with_expr(gid, eid, |e| {
+        rules
+            .into_iter()
+            .filter(|(idx, _)| e.applied_rules.insert(*idx))
+            .map(|(_, r)| r)
+            .collect::<Vec<_>>()
+    });
+    for rule in fire {
+        h.spawn(Box::new(XformJob { gid, eid, rule }));
     }
 }
 
@@ -280,10 +316,13 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for XformJob {
             registry: ctx.registry,
             md: ctx.md,
         };
-        match self.rule.apply(ctx.memo, self.gid, self.eid, &rctx) {
+        // Track the expression to its live location; rules re-resolve
+        // internally too, but copy-in should target the canonical group.
+        let (gid, eid) = ctx.memo.resolve_expr(self.gid, self.eid);
+        match self.rule.apply(ctx.memo, gid, eid, &rctx) {
             Ok(results) => {
                 for partial in results {
-                    partial.copy_in(ctx.memo, self.gid);
+                    partial.copy_in(ctx.memo, gid);
                 }
             }
             Err(e) => h.abort_signal().abort_with(e),
@@ -306,28 +345,29 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ImplementGroupJob {
     }
 
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
-        let to_spawn: Vec<ExprId> = {
-            let group = ctx.memo.group(self.gid);
-            let mut g = group.write();
+        let (gid, to_spawn) = ctx.memo.with_group(self.gid, |gid, g| {
             let ids: Vec<ExprId> = g
                 .exprs
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| e.op.is_logical() && !e.implement_spawned)
+                .filter(|(_, e)| e.op.is_logical() && !e.dead && !e.implement_spawned)
                 .map(|(i, _)| i)
                 .collect();
             for &i in &ids {
                 g.exprs[i].implement_spawned = true;
             }
-            ids
-        };
+            if ids.is_empty() {
+                g.implemented = true;
+            }
+            (gid, ids)
+        });
+        self.gid = gid;
         if to_spawn.is_empty() {
-            ctx.memo.group(self.gid).write().implemented = true;
             return StepResult::Done;
         }
         for eid in to_spawn {
             h.spawn(Box::new(ImplementExprJob {
-                gid: self.gid,
+                gid,
                 eid,
                 spawned_children: false,
             }));
@@ -350,11 +390,9 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ImplementExprJob {
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
         if !self.spawned_children {
             self.spawned_children = true;
-            let children = {
-                let group = ctx.memo.group(self.gid);
-                let g = group.read();
-                g.exprs[self.eid].children.clone()
-            };
+            let (gid, eid, _, children) = ctx.memo.expr_op_children(self.gid, self.eid);
+            self.gid = gid;
+            self.eid = eid;
             for c in children {
                 h.spawn_goal(GoalKey::Imp(c), || Box::new(ImplementGroupJob { gid: c }));
             }
@@ -388,6 +426,11 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeGroupJob {
         }
         if !self.spawned {
             self.spawned = true;
+            // The optimization phase is merge-free (all inserts by then are
+            // enforcers, whose self-referential keys can never collide
+            // across groups), but resolve to the canonical group anyway so
+            // ids captured before the implement phase stay valid.
+            self.gid = ctx.memo.resolve(self.gid);
             let exprs: Vec<ExprId> = {
                 let group = ctx.memo.group(self.gid);
                 let g = group.read();
@@ -439,14 +482,9 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeExprJob {
         if h.abort_signal().is_aborted() {
             return StepResult::Done;
         }
-        let (op, children) = {
-            let group = ctx.memo.group(self.gid);
-            let g = group.read();
-            (
-                g.exprs[self.eid].op.clone(),
-                g.exprs[self.eid].children.clone(),
-            )
-        };
+        let (gid, eid, op, children) = ctx.memo.expr_op_children(self.gid, self.eid);
+        self.gid = gid;
+        self.eid = eid;
         let Operator::Physical(op) = op else {
             h.abort_signal()
                 .abort_with(OrcaError::Internal("Opt job on logical expression".into()));
@@ -714,10 +752,10 @@ mod tests {
         StatsDeriver::new(&memo, &md, &registry, 16)
             .derive(root)
             .unwrap();
-        // Stats for every group (rules created some).
-        for g in 0..memo.num_groups() {
+        // Stats for every canonical group (rules created some).
+        for g in memo.canonical_groups() {
             StatsDeriver::new(&memo, &md, &registry, 16)
-                .derive(GroupId(g as u32))
+                .derive(g)
                 .unwrap();
         }
         implement(&ctx, root, workers).unwrap();
@@ -748,6 +786,8 @@ mod tests {
 
     #[test]
     fn parallel_search_matches_serial_cost() {
+        // Exploration now runs on the full worker pool (no serial pin), so
+        // the 4-worker run exercises concurrent exploration end to end.
         let (memo1, root1, req, _) = run_search(1);
         let (memo4, root4, req4, _) = run_search(4);
         let c1 = memo1.group(root1).read().best_for(&req).unwrap().cost;
@@ -756,6 +796,14 @@ mod tests {
             (c1 - c4).abs() < 1e-9,
             "parallel and serial optimization must agree: {c1} vs {c4}"
         );
+        // Confluence: both runs must converge on the same memo content —
+        // same number of canonical groups and live expressions.
+        assert_eq!(
+            memo1.num_canonical_groups(),
+            memo4.num_canonical_groups(),
+            "serial and parallel exploration reached different group counts"
+        );
+        assert_eq!(memo1.num_exprs(), memo4.num_exprs());
         // Equal cost is necessary but not sufficient: the deterministic
         // tie-break must make the *extracted plans* structurally identical
         // even though group/expr ids differ between the two runs.

@@ -137,7 +137,10 @@ impl<'a> StatsDeriver<'a> {
         }
     }
 
-    /// Derive (or fetch memoized) statistics for a group.
+    /// Derive (or fetch memoized) statistics for a group. `gid` may be any
+    /// member of its merge equivalence class: `Memo::stats`/`Memo::group`
+    /// resolve through the §4.2 union-find, so stats are derived for and
+    /// memoized on the canonical group exactly once.
     pub fn derive(&self, gid: GroupId) -> Result<Arc<GroupStats>> {
         if let Some(s) = self.memo.stats(gid) {
             return Ok(s);

@@ -69,8 +69,12 @@ impl<'a> PlanSampler<'a> {
     }
 
     /// Number of distinct plans recorded for `(group, req)` — the product
-    /// space of candidates × child plans.
+    /// space of candidates × child plans. `gid` is canonicalized first so
+    /// the memo table keys one entry per §4.2 merge equivalence class
+    /// (child lists stored post-merge are already canonical; only
+    /// caller-supplied roots can be stale shells).
     pub fn count(&mut self, gid: GroupId, req: &ReqdProps) -> f64 {
+        let gid = self.memo.resolve(gid);
         if let Some(c) = self.counts.get(&(gid, req.clone())) {
             return *c;
         }

@@ -20,6 +20,13 @@ pub struct ColumnInfo {
 #[derive(Debug, Default)]
 pub struct ColumnRegistry {
     cols: RwLock<Vec<ColumnInfo>>,
+    /// Memoized rule-derived columns, keyed by the column they derive from
+    /// (e.g. the partial-aggregate column for a split aggregate's output).
+    /// Keying makes derived-column minting idempotent: concurrent or
+    /// repeated rule firings on the same logical site converge on one id
+    /// instead of minting a fresh id per firing, which would make memo
+    /// content depend on scheduling order.
+    derived: RwLock<std::collections::HashMap<ColId, ColId>>,
 }
 
 impl ColumnRegistry {
@@ -35,6 +42,22 @@ impl ColumnRegistry {
             name: name.to_string(),
             dtype,
         });
+        id
+    }
+
+    /// Mint (or look up) the column derived from `source`. The first call
+    /// for a given `source` allocates a fresh id; every later call — from
+    /// any thread — returns that same id, ignoring `name`/`dtype`.
+    pub fn derived(&self, source: ColId, name: &str, dtype: DataType) -> ColId {
+        if let Some(&id) = self.derived.read().get(&source) {
+            return id;
+        }
+        let mut g = self.derived.write();
+        if let Some(&id) = g.get(&source) {
+            return id;
+        }
+        let id = self.fresh(name, dtype);
+        g.insert(source, id);
         id
     }
 

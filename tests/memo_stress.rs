@@ -135,6 +135,137 @@ fn repeated_storms_reach_identical_group_counts() {
     );
 }
 
+/// Canonical-aware duplicate check: across all *canonical* groups, every
+/// live topology must be stored exactly once. (Merged shells are drained,
+/// so they are skipped by construction.)
+fn assert_single_canonical_home_per_topology(memo: &Memo) {
+    let mut seen: HashMap<(Operator, Vec<GroupId>), (GroupId, usize)> = HashMap::new();
+    for gid in memo.canonical_groups() {
+        let group = memo.group(gid);
+        let g = group.read();
+        for (eid, e) in g.exprs.iter().enumerate() {
+            if e.dead {
+                continue;
+            }
+            let prev = seen.insert((e.op.clone(), e.children.clone()), (gid, eid));
+            assert!(
+                prev.is_none(),
+                "topology stored twice after merges: {gid}/{eid} and {:?}",
+                prev
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_storm_single_canonical_group_per_topology() {
+    // N threads race standalone spellings of shared join shapes against
+    // targeted copies of the same shapes aimed at thread-private host
+    // groups — exactly the collision §4.2 group merging resolves. Every
+    // host must end up merged with the shape's standalone home, leaving
+    // one canonical group per topology no matter how the threads
+    // interleaved.
+    const SHAPES: u64 = 6;
+    let memo = Arc::new(Memo::new());
+    // Shared leaf groups minted up front so every thread references the
+    // same children.
+    let shapes: Vec<(GroupId, GroupId, Operator)> = (1..=SHAPES)
+        .map(|i| {
+            let l = memo.copy_in(&leaf(i));
+            let r = memo.copy_in(&leaf(i + 1));
+            let op = Operator::Logical(LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::col_eq_col(ColId((i as u32 - 1) * 2), ColId(i as u32 * 2)),
+            });
+            (l, r, op)
+        })
+        .collect();
+    let hosts: Vec<std::sync::Mutex<Vec<(usize, GroupId)>>> = (0..THREADS)
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+    std::thread::scope(|s| {
+        for (t, host_log) in hosts.iter().enumerate() {
+            let memo = Arc::clone(&memo);
+            let shapes = &shapes;
+            s.spawn(move || {
+                for k in 0..shapes.len() {
+                    let (l, r, op) = &shapes[(k + t) % shapes.len()];
+                    if t % 2 == 0 {
+                        // Standalone spelling: lands in (or dedups to) the
+                        // shape's home group.
+                        memo.insert_expr(None, op.clone(), vec![*l, *r]);
+                    } else {
+                        // Thread-private host group (unique predicate makes
+                        // the topology unique), then a targeted copy of the
+                        // shared shape — the merge trigger.
+                        let unique = Operator::Logical(LogicalOp::Join {
+                            kind: JoinKind::Inner,
+                            pred: ScalarExpr::col_eq_col(
+                                ColId(1000 + (t * SHAPES as usize + k) as u32),
+                                ColId(0),
+                            ),
+                        });
+                        let (host, _, _) = memo.insert_expr(None, unique, vec![*l, *r]);
+                        let (home, _, _) = memo.insert_expr(Some(host), op.clone(), vec![*l, *r]);
+                        host_log
+                            .lock()
+                            .unwrap()
+                            .push(((k + t) % shapes.len(), home));
+                    }
+                }
+            });
+        }
+    });
+    // Merges actually happened (every odd thread forced at least one).
+    let snap = memo.metrics().snapshot();
+    assert!(snap.groups_merged > 0, "storm never triggered a merge");
+    // Every host that received a targeted copy of shape k now resolves to
+    // the same canonical group as every other copy of shape k.
+    for host_log in &hosts {
+        for &(k, home) in host_log.lock().unwrap().iter() {
+            let (l, r, op) = &shapes[k];
+            let (canon, _, added) = memo.insert_expr(None, op.clone(), vec![*l, *r]);
+            assert!(!added, "shape {k} lost its dedup entry");
+            assert_eq!(
+                memo.resolve(home),
+                memo.resolve(canon),
+                "shape {k}: targeted home and standalone home did not merge"
+            );
+        }
+    }
+    assert_single_canonical_home_per_topology(&memo);
+    memo.check_integrity().expect("index/directory agreement");
+}
+
+#[test]
+fn single_shard_memo_behaves_identically() {
+    // The dedup shard count is a pure performance knob: a 1-shard Memo
+    // (every insert serialized through one mutex) must converge on exactly
+    // the same groups and expressions as the default-sharded one.
+    let work = workload(16);
+    let single = Arc::new(Memo::with_shards(1));
+    assert_eq!(single.dedup_shards(), 1);
+    storm(&single, &work);
+    let reference = Memo::new();
+    for tree in &work {
+        reference.copy_in(tree);
+    }
+    assert_eq!(single.num_groups(), reference.num_groups());
+    assert_eq!(single.num_exprs(), reference.num_exprs());
+    single.check_integrity().expect("index/directory agreement");
+    // With one shard and many threads the opportunistic try_lock misses
+    // are the expected signal — but only observable with real parallelism.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cpus > 1 {
+        assert!(
+            single.metrics().snapshot().dedup_shard_collisions > 0,
+            "8-thread storm on a 1-shard index never contended"
+        );
+    }
+}
+
 #[test]
 fn targeted_insert_storm_no_intra_group_duplicates() {
     // One join group per tree; every thread re-inserts the original and the
