@@ -1,0 +1,222 @@
+//! Optimize-phase hot-path microbench.
+//!
+//! Times ONLY the optimization phase (`OptStats::optimize_time`) of the
+//! 7-way-join suite while reporting the hot-path cache counters this
+//! phase lives on: selectivity/cardinality cache hits vs misses and the
+//! scalar/property interner hit counts. The exploration and
+//! implementation phases run too (the memo must be populated) but are
+//! excluded from the headline number.
+//!
+//! Determinism gate: the plan cost must be bit-identical across every
+//! worker count — caching changes speed, never the chosen plan.
+//!
+//! Usage: `optimize_bench [scale] [repetitions] [--smoke]`.
+//!
+//! `--smoke` (CI) runs workers 1 and 4 at a small scale, writes no JSON,
+//! and asserts a >= 50% selectivity-cache hit rate plus cost equality.
+//! The full run writes `BENCH_optimize.json` (schema in EXPERIMENTS.md).
+
+use orca::engine::OptimizerConfig;
+use orca_bench::report::row;
+use orca_bench::BenchEnv;
+use orca_tpcds::SuiteQuery;
+
+/// Same 7-relation join shape as `parallel_scaling` — wide enough that
+/// selectivity derivation is a measurable slice of optimization time.
+fn big_join_query(variant: usize) -> SuiteQuery {
+    SuiteQuery {
+        id: format!("opt{variant}"),
+        template: "optimize_bench",
+        sql: format!(
+            "SELECT i.i_brand_id, d.d_moy, count(*) AS n, sum(cs.cs_net_profit) AS profit \
+             FROM catalog_sales cs, item i, date_dim d, promotion p, call_center cc, \
+                  customer c, customer_address ca \
+             WHERE cs.cs_item_sk = i.i_item_sk \
+               AND cs.cs_sold_date_sk = d.d_date_sk \
+               AND cs.cs_promo_sk = p.p_promo_sk \
+               AND cs.cs_call_center_sk = cc.cc_call_center_sk \
+               AND cs.cs_bill_customer_sk = c.c_customer_sk \
+               AND c.c_current_addr_sk = ca.ca_address_sk \
+               AND d.d_date_sk > {} \
+             GROUP BY i.i_brand_id, d.d_moy ORDER BY profit DESC LIMIT 20",
+            variant * 10
+        ),
+        features: vec![],
+    }
+}
+
+struct OptResult {
+    workers: usize,
+    optimize_ms: f64,
+    explore_ms: f64,
+    implement_ms: f64,
+    plan_cost: f64,
+    sel_cache_hits: u64,
+    sel_cache_misses: u64,
+    intern_hits: u64,
+    exprs_interned: u64,
+}
+
+impl OptResult {
+    fn sel_hit_rate(&self) -> f64 {
+        let total = self.sel_cache_hits + self.sel_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.sel_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale: f64 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.01 } else { 0.05 });
+    let reps: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 5 })
+        .max(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("optimize-phase hot-path microbench ({reps} reps, 7-way join)");
+    println!("host CPUs available: {cpus}");
+    println!();
+    let env = BenchEnv::new(scale, 16);
+    println!(
+        "{}",
+        row(&[
+            ("workers", 8),
+            ("opt_ms", 9),
+            ("expl_ms", 9),
+            ("impl_ms", 9),
+            ("plan_cost", 12),
+            ("sel_hits", 9),
+            ("sel_miss", 9),
+            ("sel_hit%", 8),
+            ("int_hits", 9),
+            ("interned", 9),
+        ])
+    );
+    let worker_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let mut results: Vec<OptResult> = Vec::new();
+    for &workers in worker_counts {
+        let mut optimize_ms = 0.0;
+        let mut explore_ms = 0.0;
+        let mut implement_ms = 0.0;
+        let mut cost = 0.0;
+        let mut sel_hits = 0u64;
+        let mut sel_misses = 0u64;
+        let mut intern_hits = 0u64;
+        let mut exprs_interned = 0u64;
+        for rep in 0..reps {
+            let q = big_join_query(rep % 3);
+            let config = OptimizerConfig::default()
+                .with_workers(workers)
+                .with_cluster(env.cluster.clone());
+            let (_plan, stats) = env.optimize_only(&q, config).expect("optimizes");
+            optimize_ms += stats.optimize_time.as_secs_f64() * 1e3;
+            explore_ms += stats.explore_time.as_secs_f64() * 1e3;
+            implement_ms += stats.implement_time.as_secs_f64() * 1e3;
+            cost = stats.plan_cost;
+            sel_hits += stats.search.sel_cache_hits;
+            sel_misses += stats.search.sel_cache_misses;
+            intern_hits += stats.search.intern_hits;
+            exprs_interned += stats.search.exprs_interned;
+        }
+        let result = OptResult {
+            workers,
+            optimize_ms: optimize_ms / reps as f64,
+            explore_ms: explore_ms / reps as f64,
+            implement_ms: implement_ms / reps as f64,
+            plan_cost: cost,
+            sel_cache_hits: sel_hits,
+            sel_cache_misses: sel_misses,
+            intern_hits,
+            exprs_interned,
+        };
+        println!(
+            "{}",
+            row(&[
+                (&workers.to_string(), 8),
+                (&format!("{:.1}", result.optimize_ms), 9),
+                (&format!("{:.1}", result.explore_ms), 9),
+                (&format!("{:.1}", result.implement_ms), 9),
+                (&format!("{cost:.0}"), 12),
+                (&sel_hits.to_string(), 9),
+                (&sel_misses.to_string(), 9),
+                (&format!("{:.1}", result.sel_hit_rate() * 100.0), 8),
+                (&intern_hits.to_string(), 9),
+                (&exprs_interned.to_string(), 9),
+            ])
+        );
+        results.push(result);
+    }
+    // Determinism: caching must never change the chosen plan's cost.
+    let base_cost = results[0].plan_cost;
+    for r in &results[1..] {
+        assert!(
+            r.plan_cost == base_cost,
+            "plan cost at {} workers diverged from the 1-worker baseline ({} vs {})",
+            r.workers,
+            r.plan_cost,
+            base_cost
+        );
+    }
+    // The 7-way join re-derives the same predicates across alternatives;
+    // the memoized caches must absorb at least half of all probes.
+    for r in &results {
+        assert!(
+            r.sel_hit_rate() >= 0.5,
+            "selectivity/cardinality cache hit rate at {} workers is {:.1}% (< 50%)",
+            r.workers,
+            r.sel_hit_rate() * 100.0
+        );
+    }
+    if smoke {
+        println!(
+            "\nsmoke gate passed: equal plan cost at 1 vs 4 workers, sel-cache hit rate >= 50%"
+        );
+        return;
+    }
+    let json = render_json(scale, reps, cpus, &results);
+    std::fs::write("BENCH_optimize.json", &json).expect("write BENCH_optimize.json");
+    println!("\nwrote BENCH_optimize.json");
+}
+
+/// Hand-rolled JSON (the build has no serde); schema in EXPERIMENTS.md.
+fn render_json(scale: f64, reps: usize, cpus: usize, results: &[OptResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"optimize_bench\",\n");
+    out.push_str("  \"query\": \"7-way join, 3 variants\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"repetitions\": {reps},\n"));
+    out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    out.push_str("  \"workers\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"optimize_ms\": {:.3}, \"explore_ms\": {:.3}, \
+             \"implement_ms\": {:.3}, \"plan_cost\": {:.3}, \"sel_cache_hits\": {}, \
+             \"sel_cache_misses\": {}, \"sel_cache_hit_rate\": {:.3}, \
+             \"intern_hits\": {}, \"exprs_interned\": {}}}{}\n",
+            r.workers,
+            r.optimize_ms,
+            r.explore_ms,
+            r.implement_ms,
+            r.plan_cost,
+            r.sel_cache_hits,
+            r.sel_cache_misses,
+            r.sel_hit_rate(),
+            r.intern_hits,
+            r.exprs_interned,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -56,13 +56,32 @@ struct WorkerResult {
     explore_ms: f64,
     implement_ms: f64,
     optimize_ms: f64,
-    speedup: f64,
+    /// `None` when the worker count oversubscribes the host CPUs — a
+    /// wall-clock ratio measured there is scheduler noise, not scaling
+    /// data, so no speed-up is claimed.
+    speedup: Option<f64>,
+    oversubscribed: bool,
     plan_cost: f64,
     jobs: usize,
     goal_hits: usize,
     contexts_pruned: u64,
     dedup_shard_collisions: u64,
     groups_merged: u64,
+    sel_cache_hits: u64,
+    sel_cache_misses: u64,
+    intern_hits: u64,
+    exprs_interned: u64,
+}
+
+impl WorkerResult {
+    fn sel_hit_rate(&self) -> f64 {
+        let total = self.sel_cache_hits + self.sel_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.sel_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 fn main() {
@@ -105,6 +124,7 @@ fn main() {
             ("pruned", 8),
             ("shard_col", 9),
             ("goal_hit", 8),
+            ("sel_hit%", 8),
         ])
     );
     let worker_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
@@ -122,6 +142,10 @@ fn main() {
         let mut pruned = 0u64;
         let mut collisions = 0u64;
         let mut merged = 0u64;
+        let mut sel_hits = 0u64;
+        let mut sel_misses = 0u64;
+        let mut intern_hits = 0u64;
+        let mut exprs_interned = 0u64;
         for rep in 0..reps {
             let q = big_join_query(rep % 3);
             let config = OptimizerConfig::default()
@@ -139,6 +163,10 @@ fn main() {
             pruned += stats.search.contexts_pruned;
             collisions += stats.search.dedup_shard_collisions;
             merged = stats.search.groups_merged;
+            sel_hits += stats.search.sel_cache_hits;
+            sel_misses += stats.search.sel_cache_misses;
+            intern_hits += stats.search.intern_hits;
+            exprs_interned += stats.search.exprs_interned;
             // Determinism: every worker count must produce the exact plan
             // the single-worker baseline produced for this variant.
             if workers == 1 && rep < 3 {
@@ -151,41 +179,61 @@ fn main() {
             }
         }
         let ms = total_ms / reps as f64;
-        let speedup = base_ms.map(|b: f64| b / ms).unwrap_or(1.0);
+        // Worker counts beyond the physical CPUs cannot demonstrate
+        // scaling — record the timing but make no speed-up claim.
+        let oversubscribed = workers > cpus;
+        let speedup = if oversubscribed {
+            None
+        } else {
+            Some(base_ms.map(|b: f64| b / ms).unwrap_or(1.0))
+        };
         if base_ms.is_none() {
             base_ms = Some(ms);
         }
-        println!(
-            "{}",
-            row(&[
-                (&workers.to_string(), 8),
-                (&format!("{ms:.1}"), 10),
-                (&format!("{:.1}", explore_ms / reps as f64), 9),
-                (&format!("{:.1}", implement_ms / reps as f64), 9),
-                (&format!("{:.1}", optimize_ms / reps as f64), 8),
-                (&format!("{speedup:.2}x"), 9),
-                (&format!("{cost:.0}"), 12),
-                (&jobs.to_string(), 8),
-                (&merged.to_string(), 7),
-                (&pruned.to_string(), 8),
-                (&collisions.to_string(), 9),
-                (&goal_hits.to_string(), 8),
-            ])
-        );
-        results.push(WorkerResult {
+        let result = WorkerResult {
             workers,
             wall_ms: ms,
             explore_ms: explore_ms / reps as f64,
             implement_ms: implement_ms / reps as f64,
             optimize_ms: optimize_ms / reps as f64,
             speedup,
+            oversubscribed,
             plan_cost: cost,
             jobs,
             goal_hits,
             contexts_pruned: pruned,
             dedup_shard_collisions: collisions,
             groups_merged: merged,
-        });
+            sel_cache_hits: sel_hits,
+            sel_cache_misses: sel_misses,
+            intern_hits,
+            exprs_interned,
+        };
+        println!(
+            "{}",
+            row(&[
+                (&workers.to_string(), 8),
+                (&format!("{ms:.1}"), 10),
+                (&format!("{:.1}", result.explore_ms), 9),
+                (&format!("{:.1}", result.implement_ms), 9),
+                (&format!("{:.1}", result.optimize_ms), 8),
+                (
+                    &match speedup {
+                        Some(s) => format!("{s:.2}x"),
+                        None => "n/a".to_string(),
+                    },
+                    9
+                ),
+                (&format!("{cost:.0}"), 12),
+                (&jobs.to_string(), 8),
+                (&merged.to_string(), 7),
+                (&pruned.to_string(), 8),
+                (&collisions.to_string(), 9),
+                (&goal_hits.to_string(), 8),
+                (&format!("{:.1}", result.sel_hit_rate() * 100.0), 8),
+            ])
+        );
+        results.push(result);
     }
     assert!(
         results.iter().all(|r| r.contexts_pruned > 0),
@@ -209,7 +257,23 @@ fn main() {
         );
     }
     if smoke {
-        println!("\nsmoke gate passed: identical plans/costs at 1 vs 4 workers, job drift <= 10%");
+        // Hot-path cache gate: the 7-way join re-derives the same filter /
+        // join predicates across alternatives, so the memoized selectivity
+        // and cardinality caches must absorb at least half of the probes.
+        for r in &results {
+            assert!(
+                r.sel_hit_rate() >= 0.5,
+                "selectivity/cardinality cache hit rate at {} workers is {:.1}% (< 50%): {} hits / {} misses",
+                r.workers,
+                r.sel_hit_rate() * 100.0,
+                r.sel_cache_hits,
+                r.sel_cache_misses
+            );
+        }
+        println!(
+            "\nsmoke gate passed: identical plans/costs at 1 vs 4 workers, job drift <= 10%, \
+             sel-cache hit rate >= 50%"
+        );
         return;
     }
     let json = render_json(scale, reps, cpus, &results);
@@ -228,24 +292,35 @@ fn render_json(scale: f64, reps: usize, cpus: usize, results: &[WorkerResult]) -
     out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
     out.push_str("  \"workers\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let speedup = match r.speedup {
+            Some(s) => format!("{s:.3}"),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
             "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"explore_ms\": {:.3}, \
-             \"implement_ms\": {:.3}, \"optimize_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"plan_cost\": {:.3}, \"jobs\": {}, \"goal_hits\": {}, \
+             \"implement_ms\": {:.3}, \"optimize_ms\": {:.3}, \"speedup\": {}, \
+             \"oversubscribed\": {}, \"plan_cost\": {:.3}, \"jobs\": {}, \"goal_hits\": {}, \
              \"contexts_pruned\": {}, \"dedup_shard_collisions\": {}, \
-             \"groups_merged\": {}}}{}\n",
+             \"groups_merged\": {}, \"sel_cache_hits\": {}, \"sel_cache_misses\": {}, \
+             \"sel_cache_hit_rate\": {:.3}, \"intern_hits\": {}, \"exprs_interned\": {}}}{}\n",
             r.workers,
             r.wall_ms,
             r.explore_ms,
             r.implement_ms,
             r.optimize_ms,
-            r.speedup,
+            speedup,
+            r.oversubscribed,
             r.plan_cost,
             r.jobs,
             r.goal_hits,
             r.contexts_pruned,
             r.dedup_shard_collisions,
             r.groups_merged,
+            r.sel_cache_hits,
+            r.sel_cache_misses,
+            r.sel_hit_rate(),
+            r.intern_hits,
+            r.exprs_interned,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

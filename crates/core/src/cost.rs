@@ -80,6 +80,15 @@ impl StreamInfo {
     pub fn bytes(&self) -> f64 {
         self.rows * self.width
     }
+
+    /// Per-segment view of a stream: `rows / parallelism` rows at the given
+    /// width. The optimize-phase fast path builds these directly from a
+    /// group's cached estimation snapshot (`GroupEst` carries the rows and
+    /// the precomputed output width), so candidate costing does no
+    /// per-candidate width or stats recomputation.
+    pub fn per_segment(rows: f64, width: u64, parallelism: f64) -> StreamInfo {
+        StreamInfo::new(rows / parallelism.max(1.0), width)
+    }
 }
 
 /// Everything the model needs to cost one operator locally.

@@ -380,7 +380,7 @@ impl Optimizer {
             optimize_time,
             plan_cost,
             stages_run: 0,
-            search: memo.metrics().snapshot(),
+            search: memo.metrics_snapshot(),
         };
         Ok((plan, plan_cost, stats))
     }

@@ -7,9 +7,12 @@
 //! Extraction walks the winning [`crate::memo::Candidate`] of each
 //! `(group, request)` context: take its expression, recurse into the child
 //! requests it recorded, then wrap its enforcers around the result.
+//! Candidates store child requests as interned [`ReqId`]s, so the recursion
+//! never re-hashes a `ReqdProps` — the public entry points intern the
+//! caller's request once and walk by id.
 
 use crate::memo::{GroupId, Memo, Operator};
-use crate::props::ReqdProps;
+use crate::props::{ReqId, ReqdProps};
 use orca_common::{OrcaError, Result};
 use orca_expr::physical::PhysicalPlan;
 
@@ -22,10 +25,17 @@ use orca_expr::physical::PhysicalPlan;
 /// the optimization phase (its only inserts are self-referential
 /// enforcers), so recorded ids cannot go stale by extraction time.
 pub fn extract_plan(memo: &Memo, gid: GroupId, req: &ReqdProps) -> Result<PhysicalPlan> {
+    extract_by_id(memo, gid, memo.intern_req(req))
+}
+
+/// Id-keyed extraction workhorse: the recursion over candidate child
+/// requests stays in `ReqId` space.
+pub fn extract_by_id(memo: &Memo, gid: GroupId, rid: ReqId) -> Result<PhysicalPlan> {
     let (op, children, child_reqs, enforcers) = {
         let group = memo.group(gid);
         let g = group.read();
-        let cand = g.best_for(req).ok_or_else(|| {
+        let cand = g.best_for(rid).ok_or_else(|| {
+            let req = memo.req_props(rid);
             OrcaError::NoPlan(format!("no plan for request {req} in group {gid}"))
         })?;
         let e = &g.exprs[cand.expr];
@@ -44,7 +54,7 @@ pub fn extract_plan(memo: &Memo, gid: GroupId, req: &ReqdProps) -> Result<Physic
     let child_plans: Vec<PhysicalPlan> = children
         .iter()
         .zip(&child_reqs)
-        .map(|(c, creq)| extract_plan(memo, *c, creq))
+        .map(|(c, creq)| extract_by_id(memo, *c, *creq))
         .collect::<Result<_>>()?;
     let mut plan = PhysicalPlan::new(op, child_plans);
     for enf in enforcers {
@@ -55,9 +65,10 @@ pub fn extract_plan(memo: &Memo, gid: GroupId, req: &ReqdProps) -> Result<Physic
 
 /// The estimated cost of the best plan for `(group, req)`.
 pub fn best_cost(memo: &Memo, gid: GroupId, req: &ReqdProps) -> Result<f64> {
+    let rid = memo.intern_req(req);
     let group = memo.group(gid);
     let g = group.read();
-    g.best_for(req)
+    g.best_for(rid)
         .map(|c| c.cost)
         .ok_or_else(|| OrcaError::NoPlan(format!("no plan for request {req} in group {gid}")))
 }

@@ -10,6 +10,22 @@
 use orca_expr::props::{DistSpec, OrderSpec};
 use std::fmt;
 
+/// Compact id of an interned [`ReqdProps`] (see `Memo::intern_req`). Within
+/// one Memo, equal ids ⟺ equal requests, so context and goal tables key on
+/// a `u32` instead of deep-hashing order/distribution specs per probe. Id
+/// *values* are assigned in arrival order and differ between runs and
+/// worker counts: they are safe for equality-keyed maps but must never
+/// feed ordering decisions or content fingerprints (see DESIGN.md
+/// "Hot-path caches").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqId(pub u32);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
 /// A property request submitted to a group: "the least cost plan satisfying
 /// `r` with a root physical operator in `g`".
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

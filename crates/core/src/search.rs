@@ -22,11 +22,11 @@
 
 use crate::cost::{CostCtx, CostModel, StreamInfo};
 use crate::enforce::{derive_delivered, enforcement_chains, request_alternatives};
-use crate::memo::{Candidate, ExprId, GroupId, Memo, Operator};
-use crate::props::{DerivedProps, ReqdProps};
+use crate::memo::{Candidate, ExprId, GroupEst, GroupId, Memo, Operator};
+use crate::props::{DerivedProps, ReqId, ReqdProps};
 use crate::rules::{Rule, RuleCtx, RuleSet};
-use crate::stats::GroupStats;
 use orca_catalog::MdAccessor;
+use orca_common::hash::FnvHashMap;
 use orca_common::{OrcaError, Result};
 use orca_expr::physical::PhysicalOp;
 use orca_expr::props::DistSpec;
@@ -35,11 +35,14 @@ use orca_gpos::sched::{Job, JobHandle, Scheduler, StepResult};
 use std::sync::Arc;
 
 /// Goal keys for job deduplication (the per-group job queues of §4.2).
+/// `Opt` goals carry the *interned* request id, so hashing a goal — done on
+/// every `spawn_goal` and every queue probe — mixes two `u32`s instead of
+/// walking an order/distribution spec, and cloning the key is a copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GoalKey {
     Exp(GroupId),
     Imp(GroupId),
-    Opt(GroupId, ReqdProps),
+    Opt(GroupId, ReqId),
 }
 
 /// Shared context for all jobs in one optimization session.
@@ -169,11 +172,13 @@ pub fn optimize_with_deadline(
     if let Some(d) = deadline {
         sched.abort_signal().set_deadline(d);
     }
+    // Intern the root request once; everything below runs in id space.
+    let rid = ctx.memo.intern_req(req);
     sched.run(
         ctx,
         vec![Box::new(OptimizeGroupJob {
             gid: root,
-            req: req.clone(),
+            rid,
             spawned: false,
         })],
         workers,
@@ -411,7 +416,7 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ImplementExprJob {
 
 struct OptimizeGroupJob {
     gid: GroupId,
-    req: ReqdProps,
+    rid: ReqId,
     spawned: bool,
 }
 
@@ -439,12 +444,12 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeGroupJob {
             // Seed the branch-and-bound upper limit from the incumbent
             // best of this very context (present when the goal was already
             // optimized through another parent's request).
-            let bound = ctx.memo.best_cost(self.gid, &self.req);
+            let bound = ctx.memo.best_cost(self.gid, self.rid);
             for eid in exprs {
                 h.spawn(Box::new(OptimizeExprJob {
                     gid: self.gid,
                     eid,
-                    req: self.req.clone(),
+                    rid: self.rid,
                     alts: None,
                     bound,
                 }));
@@ -460,12 +465,22 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeGroupJob {
 // its child-request alternatives, adding enforcers where needed.
 // =====================================================================
 
+/// One child-request alternative, carried in both representations: the
+/// values feed property derivation and the content-based shape fingerprint
+/// (interned id *values* are arrival-order dependent and must never reach
+/// it), while the ids feed goal spawning, context probes and candidate
+/// storage.
+struct Alt {
+    reqs: Vec<ReqdProps>,
+    ids: Vec<ReqId>,
+}
+
 struct OptimizeExprJob {
     gid: GroupId,
     eid: ExprId,
-    req: ReqdProps,
+    rid: ReqId,
     /// Child-request alternatives, filled on the first step.
-    alts: Option<Vec<Vec<ReqdProps>>>,
+    alts: Option<Vec<Alt>>,
     /// Branch-and-bound upper limit: the cost of this context's incumbent
     /// best when the job was spawned. Refreshed (only ever tightened)
     /// during costing; a candidate whose partial cost strictly exceeds it
@@ -491,15 +506,22 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeExprJob {
             return StepResult::Done;
         };
         if self.alts.is_none() {
-            let alts = request_alternatives(&op, &self.req);
+            let req = ctx.memo.req_props(self.rid);
+            let alts: Vec<Alt> = request_alternatives(&op, &req)
+                .into_iter()
+                .map(|reqs| {
+                    let ids = reqs.iter().map(|r| ctx.memo.intern_req(r)).collect();
+                    Alt { reqs, ids }
+                })
+                .collect();
             for alt in &alts {
-                debug_assert_eq!(alt.len(), children.len());
-                for (child, creq) in children.iter().zip(alt) {
-                    let (gid, req) = (*child, creq.clone());
-                    h.spawn_goal(GoalKey::Opt(gid, req.clone()), || {
+                debug_assert_eq!(alt.reqs.len(), children.len());
+                for (child, &crid) in children.iter().zip(&alt.ids) {
+                    let gid = *child;
+                    h.spawn_goal(GoalKey::Opt(gid, crid), || {
                         Box::new(OptimizeGroupJob {
                             gid,
-                            req,
+                            rid: crid,
                             spawned: false,
                         })
                     });
@@ -519,23 +541,26 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for OptimizeExprJob {
 impl OptimizeExprJob {
     fn finish(&mut self, ctx: &SearchCtx<'_>, op: &PhysicalOp, children: &[GroupId]) -> Result<()> {
         let alts = self.alts.take().expect("set in first step");
-        let own_stats = group_stats(ctx, self.gid)?;
-        let own_group = ctx.memo.group(self.gid);
-        let output_cols = own_group.read().output_cols.clone();
-        let out_width = own_stats.width_of(&output_cols, ctx.registry);
-        let child_infos: Vec<(Arc<GroupStats>, Vec<orca_common::ColId>)> = children
+        let req = ctx.memo.req_props(self.rid);
+        // Estimation snapshots (`Memo::group_est`): width, skew and stats
+        // handles computed once per group instead of once per candidate.
+        let own = group_est(ctx, self.gid)?;
+        let child_ests: Vec<Arc<GroupEst>> = children
             .iter()
-            .map(|c| {
-                let s = group_stats(ctx, *c)?;
-                let cols = ctx.memo.group(*c).read().output_cols.clone();
-                Ok((s, cols))
-            })
+            .map(|c| group_est(ctx, *c))
             .collect::<Result<_>>()?;
+
+        // Child-cost fast path: alternatives frequently re-request the same
+        // `(child, creq)` context (e.g. `Any` from several join variants).
+        // Memoize the lock-protected `best_for` probe locally so each
+        // distinct context is read once per job.
+        let mut child_best: FnvHashMap<(GroupId, ReqId), Option<(f64, DerivedProps)>> =
+            FnvHashMap::default();
 
         // Branch-and-bound bound: tightest of the spawn-time seed and the
         // context's current incumbent (other jobs may have improved it
         // while this one waited on child goals).
-        let mut bound = match (self.bound, ctx.memo.best_cost(self.gid, &self.req)) {
+        let mut bound = match (self.bound, ctx.memo.best_cost(self.gid, self.rid)) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
@@ -550,14 +575,17 @@ impl OptimizeExprJob {
             let mut child_derived: Vec<DerivedProps> = Vec::with_capacity(children.len());
             let mut ok = true;
             let mut child_sum = 0.0;
-            for (child, creq) in children.iter().zip(&alt) {
-                let group = ctx.memo.group(*child);
-                let g = group.read();
-                match g.best_for(creq) {
-                    Some(cand) => {
-                        child_sum += cand.cost;
-                        child_costs.push(cand.cost);
-                        child_derived.push(cand.derived.clone());
+            for (child, &crid) in children.iter().zip(&alt.ids) {
+                let best = child_best.entry((*child, crid)).or_insert_with(|| {
+                    let group = ctx.memo.group(*child);
+                    let g = group.read();
+                    g.best_for(crid).map(|c| (c.cost, c.derived.clone()))
+                });
+                match best {
+                    Some((cost, derived)) => {
+                        child_sum += *cost;
+                        child_costs.push(*cost);
+                        child_derived.push(derived.clone());
                         if exceeds(child_sum, bound) {
                             ctx.memo.metrics().note_context_pruned();
                             continue 'alts;
@@ -572,21 +600,21 @@ impl OptimizeExprJob {
             if !ok {
                 continue;
             }
-            let delivered = derive_delivered(op, &child_derived, &output_cols);
+            let delivered = derive_delivered(op, &child_derived, &own.output_cols);
 
             // Local cost, computed on *per-segment* stream sizes: a
             // replicated child is processed in full on every segment,
             // while a hashed/random child splits across segments. This is
             // exactly what makes broadcast joins lose on large inputs.
-            let parallelism = self.parallelism_for(ctx, &delivered.dist, &own_stats);
+            let parallelism = parallelism_for(ctx, &delivered.dist, &own);
             let cost_ctx = CostCtx {
-                output: StreamInfo::new(own_stats.rows / parallelism, out_width),
-                children: child_infos
+                output: StreamInfo::per_segment(own.stats.rows, own.width, parallelism),
+                children: child_ests
                     .iter()
                     .zip(&child_derived)
-                    .map(|((s, cols), d)| {
-                        let child_par = self.parallelism_for(ctx, &d.dist, s);
-                        StreamInfo::new(s.rows / child_par, s.width_of(cols, ctx.registry))
+                    .map(|(est, d)| {
+                        let child_par = parallelism_for(ctx, &d.dist, est);
+                        StreamInfo::per_segment(est.stats.rows, est.width, child_par)
                     })
                     .collect(),
                 parallelism: 1.0,
@@ -599,14 +627,14 @@ impl OptimizeExprJob {
             }
 
             // Enforce missing properties; each chain is its own candidate.
-            'chains: for chain in enforcement_chains(&delivered, &self.req) {
+            'chains: for chain in enforcement_chains(&delivered, &req) {
                 let mut cost = base_cost;
                 let mut cur_dist = delivered.dist.clone();
                 for enf in &chain.ops {
-                    let par = self.parallelism_for(ctx, &cur_dist, &own_stats);
+                    let par = parallelism_for(ctx, &cur_dist, &own);
                     let enf_ctx = CostCtx {
-                        output: StreamInfo::new(own_stats.rows, out_width),
-                        children: vec![StreamInfo::new(own_stats.rows, out_width)],
+                        output: StreamInfo::new(own.stats.rows, own.width),
+                        children: vec![StreamInfo::new(own.stats.rows, own.width)],
                         parallelism: par,
                     };
                     cost += ctx.cost.op_cost(enf, &enf_ctx);
@@ -624,14 +652,16 @@ impl OptimizeExprJob {
                 for enf in &chain.ops {
                     ctx.memo.insert_enforcer(self.gid, enf.clone());
                 }
-                debug_assert!(chain.delivered.satisfies(&self.req));
-                let fingerprint = Candidate::shape_fingerprint(op, &alt, &chain.ops);
+                debug_assert!(chain.delivered.satisfies(&req));
+                // Fingerprint from the request *values*, never the ids:
+                // ids are arrival-order dependent across worker counts.
+                let fingerprint = Candidate::shape_fingerprint(op, &alt.reqs, &chain.ops);
                 ctx.memo.add_candidate(
                     self.gid,
-                    &self.req,
+                    self.rid,
                     Candidate {
                         expr: self.eid,
-                        child_reqs: alt.clone(),
+                        child_reqs: alt.ids.clone(),
                         enforcers: chain.ops.clone(),
                         cost,
                         fingerprint,
@@ -646,24 +676,25 @@ impl OptimizeExprJob {
         }
         Ok(())
     }
+}
 
-    /// Effective parallelism of a stream with the given distribution,
-    /// discounting skew on hashed keys.
-    fn parallelism_for(&self, ctx: &SearchCtx<'_>, dist: &DistSpec, stats: &GroupStats) -> f64 {
-        match dist {
-            DistSpec::Singleton | DistSpec::Replicated => 1.0,
-            DistSpec::Hashed(cols) => {
-                let skew = cols.iter().map(|c| stats.skew(*c)).fold(0.0_f64, f64::max);
-                ctx.cost.effective_parallelism(skew)
-            }
-            DistSpec::Any | DistSpec::Random => ctx.cost.cluster.num_segments as f64,
+/// Effective parallelism of a stream with the given distribution,
+/// discounting skew on hashed keys (precomputed in the group's estimation
+/// snapshot).
+fn parallelism_for(ctx: &SearchCtx<'_>, dist: &DistSpec, est: &GroupEst) -> f64 {
+    match dist {
+        DistSpec::Singleton | DistSpec::Replicated => 1.0,
+        DistSpec::Hashed(cols) => {
+            let skew = cols.iter().map(|c| est.skew_of(*c)).fold(0.0_f64, f64::max);
+            ctx.cost.effective_parallelism(skew)
         }
+        DistSpec::Any | DistSpec::Random => ctx.cost.cluster.num_segments as f64,
     }
 }
 
-fn group_stats(ctx: &SearchCtx<'_>, gid: GroupId) -> Result<Arc<GroupStats>> {
+fn group_est(ctx: &SearchCtx<'_>, gid: GroupId) -> Result<Arc<GroupEst>> {
     ctx.memo
-        .stats(gid)
+        .group_est(gid, ctx.registry)
         .ok_or_else(|| OrcaError::Internal(format!("group {gid} missing statistics")))
 }
 
@@ -776,7 +807,9 @@ mod tests {
         assert!(names.iter().any(|n| n == "InnerHashJoin"));
         assert!(names.iter().any(|n| n == "InnerNLJoin"));
         // A best plan exists for the root request.
-        let best = g.best_for(&req).expect("plan for root request");
+        let best = g
+            .best_for(memo.intern_req(&req))
+            .expect("plan for root request");
         assert!(best.cost.is_finite() && best.cost > 0.0);
         // The winning candidate satisfies the request.
         assert!(best.derived.satisfies(&req));
@@ -790,8 +823,10 @@ mod tests {
         // the 4-worker run exercises concurrent exploration end to end.
         let (memo1, root1, req, _) = run_search(1);
         let (memo4, root4, req4, _) = run_search(4);
-        let c1 = memo1.group(root1).read().best_for(&req).unwrap().cost;
-        let c4 = memo4.group(root4).read().best_for(&req4).unwrap().cost;
+        let rid1 = memo1.intern_req(&req);
+        let rid4 = memo4.intern_req(&req4);
+        let c1 = memo1.group(root1).read().best_for(rid1).unwrap().cost;
+        let c4 = memo4.group(root4).read().best_for(rid4).unwrap().cost;
         assert!(
             (c1 - c4).abs() < 1e-9,
             "parallel and serial optimization must agree: {c1} vs {c4}"

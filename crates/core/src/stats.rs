@@ -184,7 +184,7 @@ impl<'a> StatsDeriver<'a> {
             .iter()
             .map(|c| self.derive(*c))
             .collect::<Result<_>>()?;
-        let stats = Arc::new(self.derive_op(&op, &child_stats)?);
+        let stats = Arc::new(self.derive_op(&op, &children, &child_stats)?);
         let group = self.memo.group(gid);
         let mut g = group.write();
         if g.stats.is_none() {
@@ -193,10 +193,15 @@ impl<'a> StatsDeriver<'a> {
         Ok(g.stats.clone().expect("just set"))
     }
 
-    fn derive_op(&self, op: &LogicalOp, child: &[Arc<GroupStats>]) -> Result<GroupStats> {
+    fn derive_op(
+        &self,
+        op: &LogicalOp,
+        children: &[GroupId],
+        child: &[Arc<GroupStats>],
+    ) -> Result<GroupStats> {
         Ok(match op {
             LogicalOp::Get { table, cols, parts } => self.derive_get(table, cols, parts)?,
-            LogicalOp::Select { pred } => derive_filter(&child[0], pred),
+            LogicalOp::Select { pred } => self.derive_filter_cached(children[0], &child[0], pred),
             LogicalOp::Project { exprs } => {
                 let mut out = GroupStats {
                     rows: child[0].rows,
@@ -214,7 +219,9 @@ impl<'a> StatsDeriver<'a> {
                 }
                 out
             }
-            LogicalOp::Join { kind, pred } => derive_join(*kind, pred, &child[0], &child[1]),
+            LogicalOp::Join { kind, pred } => {
+                self.derive_join_cached(*kind, pred, children[0], children[1], &child[0], &child[1])
+            }
             LogicalOp::GbAgg {
                 group_cols,
                 aggs,
@@ -359,6 +366,53 @@ impl<'a> StatsDeriver<'a> {
         }
         Ok(out)
     }
+
+    /// Filter derivation through the Memo's selectivity cache: the
+    /// predicate is hash-consed and the conjunct-damping computation keyed
+    /// by `(canonical input group, interned predicate)`. Filter scopes use
+    /// the doubled `(g, g)` key so they share the cache with join scopes.
+    fn derive_filter_cached(
+        &self,
+        gid: GroupId,
+        input: &GroupStats,
+        pred: &ScalarExpr,
+    ) -> GroupStats {
+        let pid = self.memo.intern_scalar(pred);
+        let sel = match self.memo.cached_selectivity(gid, gid, pid) {
+            Some(s) => s,
+            None => {
+                let s = selectivity(input, pred);
+                self.memo.note_selectivity(gid, gid, pid, s);
+                s
+            }
+        };
+        derive_filter_with_sel(input, pred, sel)
+    }
+
+    /// Join derivation through the selectivity cache, keyed by
+    /// `(canonical left, canonical right, interned predicate)` — the same
+    /// join condition over the same child groups (re-derived via merged
+    /// groups or alternative orderings) computes histogram joins once.
+    fn derive_join_cached(
+        &self,
+        kind: JoinKind,
+        pred: &ScalarExpr,
+        lgid: GroupId,
+        rgid: GroupId,
+        left: &GroupStats,
+        right: &GroupStats,
+    ) -> GroupStats {
+        let pid = self.memo.intern_scalar(pred);
+        let sel = match self.memo.cached_selectivity(lgid, rgid, pid) {
+            Some(s) => s,
+            None => {
+                let s = join_selectivity(pred, left, right);
+                self.memo.note_selectivity(lgid, rgid, pid, s);
+                s
+            }
+        };
+        derive_join_with_sel(kind, left, right, sel)
+    }
 }
 
 fn promise(op: &LogicalOp) -> u32 {
@@ -479,7 +533,12 @@ fn col_const_selectivity(stats: &GroupStats, c: ColId, op: CmpOp, d: &Datum) -> 
 /// Apply a filter: scale rows by selectivity and restrict histograms for
 /// the predicates we understand.
 pub fn derive_filter(input: &GroupStats, pred: &ScalarExpr) -> GroupStats {
-    let sel = selectivity(input, pred);
+    derive_filter_with_sel(input, pred, selectivity(input, pred))
+}
+
+/// [`derive_filter`] with the selectivity precomputed (or served from the
+/// Memo's cache): applies the scale and histogram sharpening only.
+pub fn derive_filter_with_sel(input: &GroupStats, pred: &ScalarExpr, sel: f64) -> GroupStats {
     let mut out = input.scale_all(sel);
     // Sharpen histograms for simple col-vs-const conjuncts.
     for conjunct in pred.conjuncts() {
@@ -523,11 +582,21 @@ pub fn derive_join(
     left: &GroupStats,
     right: &GroupStats,
 ) -> GroupStats {
+    derive_join_with_sel(kind, left, right, join_selectivity(pred, left, right))
+}
+
+/// Combined selectivity of a join predicate: per-conjunct histogram equi
+/// joins, damped across conjuncts (the expensive half of [`derive_join`],
+/// memoized by the Memo's selectivity cache).
+pub fn join_selectivity(pred: &ScalarExpr, left: &GroupStats, right: &GroupStats) -> f64 {
     let left_cols: Vec<ColId> = left.cols.keys().copied().collect();
     let right_cols: Vec<ColId> = right.cols.keys().copied().collect();
     let cross = (left.rows * right.rows).max(0.0);
 
     // Per-conjunct selectivities with histogram joins for equi conditions.
+    // The merged stats view for non-equi conjuncts clones both column maps,
+    // so it is built lazily, at most once per predicate.
+    let mut combined: Option<GroupStats> = None;
     let mut sels: Vec<f64> = Vec::new();
     for conjunct in pred.conjuncts() {
         if let Some((lc, rc)) = conjunct.as_equi_pair(&left_cols, &right_cols) {
@@ -544,8 +613,8 @@ pub fn derive_join(
             };
             sels.push(sel);
         } else {
-            let combined = combined_stats_for_pred(left, right);
-            sels.push(conjunct_selectivity(&combined, conjunct));
+            let combined = combined.get_or_insert_with(|| combined_stats_for_pred(left, right));
+            sels.push(conjunct_selectivity(combined, conjunct));
         }
     }
     sels.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -555,7 +624,18 @@ pub fn derive_join(
         sel *= s.powf(damp);
         damp *= DAMPING;
     }
+    sel
+}
 
+/// [`derive_join`] with the predicate selectivity precomputed (or served
+/// from the Memo's cache).
+pub fn derive_join_with_sel(
+    kind: JoinKind,
+    left: &GroupStats,
+    right: &GroupStats,
+    sel: f64,
+) -> GroupStats {
+    let cross = (left.rows * right.rows).max(0.0);
     let inner_rows = cross * sel;
     let rows = match kind {
         JoinKind::Inner => inner_rows,

@@ -18,7 +18,7 @@
 //! estimated costs of plans that are actually close in execution time)".
 
 use crate::memo::{Candidate, GroupId, Memo, Operator};
-use crate::props::ReqdProps;
+use crate::props::{ReqId, ReqdProps};
 use orca_common::hash::FnvHashMap;
 use orca_common::{OrcaError, Result};
 use orca_expr::physical::PhysicalPlan;
@@ -57,7 +57,9 @@ impl Rng {
 /// Uniform plan sampler over one optimized Memo.
 pub struct PlanSampler<'a> {
     memo: &'a Memo,
-    counts: FnvHashMap<(GroupId, ReqdProps), f64>,
+    /// Keyed on the interned request id: probes hash two `u32`s instead of
+    /// cloning and deep-hashing a `ReqdProps` per lookup.
+    counts: FnvHashMap<(GroupId, ReqId), f64>,
 }
 
 impl<'a> PlanSampler<'a> {
@@ -74,17 +76,22 @@ impl<'a> PlanSampler<'a> {
     /// (child lists stored post-merge are already canonical; only
     /// caller-supplied roots can be stale shells).
     pub fn count(&mut self, gid: GroupId, req: &ReqdProps) -> f64 {
+        let rid = self.memo.intern_req(req);
+        self.count_by_id(gid, rid)
+    }
+
+    fn count_by_id(&mut self, gid: GroupId, rid: ReqId) -> f64 {
         let gid = self.memo.resolve(gid);
-        if let Some(c) = self.counts.get(&(gid, req.clone())) {
+        if let Some(c) = self.counts.get(&(gid, rid)) {
             return *c;
         }
         // Temporarily claim 0 to break any accidental cycles.
-        self.counts.insert((gid, req.clone()), 0.0);
+        self.counts.insert((gid, rid), 0.0);
         let candidates: Vec<Candidate> = {
             let group = self.memo.group(gid);
             let g = group.read();
             g.ctxs
-                .get(req)
+                .get(&rid)
                 .map(|c| c.candidates.clone())
                 .unwrap_or_default()
         };
@@ -92,7 +99,7 @@ impl<'a> PlanSampler<'a> {
         for cand in &candidates {
             total += self.candidate_count(gid, cand);
         }
-        self.counts.insert((gid, req.clone()), total);
+        self.counts.insert((gid, rid), total);
         total
     }
 
@@ -104,7 +111,7 @@ impl<'a> PlanSampler<'a> {
         };
         let mut prod = 1.0;
         for (child, creq) in children.iter().zip(&cand.child_reqs) {
-            prod *= self.count(*child, creq);
+            prod *= self.count_by_id(*child, *creq);
         }
         prod
     }
@@ -118,7 +125,8 @@ impl<'a> PlanSampler<'a> {
         n: usize,
         seed: u64,
     ) -> Result<Vec<SampledPlan>> {
-        let total = self.count(root, req);
+        let rid = self.memo.intern_req(req);
+        let total = self.count_by_id(root, rid);
         if total < 1.0 {
             return Err(OrcaError::Internal(
                 "no plans recorded for the root request".into(),
@@ -128,19 +136,19 @@ impl<'a> PlanSampler<'a> {
         (0..n)
             .map(|_| {
                 let r = rng.below(total);
-                self.unrank(root, req, r)
+                self.unrank(root, rid, r)
             })
             .collect()
     }
 
     /// Unrank the `r`-th plan of `(gid, req)` (mixed-radix decomposition
     /// over candidates and children).
-    fn unrank(&mut self, gid: GroupId, req: &ReqdProps, mut r: f64) -> Result<SampledPlan> {
+    fn unrank(&mut self, gid: GroupId, rid: ReqId, mut r: f64) -> Result<SampledPlan> {
         let candidates: Vec<Candidate> = {
             let group = self.memo.group(gid);
             let g = group.read();
             g.ctxs
-                .get(req)
+                .get(&rid)
                 .map(|c| c.candidates.clone())
                 .unwrap_or_default()
         };
@@ -176,15 +184,15 @@ impl<'a> PlanSampler<'a> {
         let mut child_plans = Vec::with_capacity(children.len());
         let mut estimated_cost = cand.cost;
         for (child, creq) in children.iter().zip(&cand.child_reqs) {
-            let c = self.count(*child, creq).max(1.0);
+            let c = self.count_by_id(*child, *creq).max(1.0);
             let digit = r % c;
             r = (r / c).floor();
             let best_child_cost = {
                 let group = self.memo.group(*child);
                 let g = group.read();
-                g.best_for(creq).map(|b| b.cost).unwrap_or(0.0)
+                g.best_for(*creq).map(|b| b.cost).unwrap_or(0.0)
             };
-            let sampled = self.unrank(*child, creq, digit)?;
+            let sampled = self.unrank(*child, *creq, digit)?;
             estimated_cost += sampled.estimated_cost - best_child_cost;
             child_plans.push(sampled.plan);
         }

@@ -18,7 +18,11 @@
 //!   caps) and the [`props::OrderSpec`] sort-order vocabulary.
 //! * [`registry`] — the column factory: query-wide `ColId` → name/type.
 //! * [`pretty`] — EXPLAIN-style plan rendering.
+//! * [`intern`] — hash-consing: structural dedup of scalar expressions
+//!   (and, generically, any optimizer value) into compact u32 ids so
+//!   hot-path equality and hashing become id compares.
 
+pub mod intern;
 pub mod logical;
 pub mod physical;
 pub mod pretty;
@@ -26,6 +30,7 @@ pub mod props;
 pub mod registry;
 pub mod scalar;
 
+pub use intern::{ExprId, ExprInterner, Interner};
 pub use logical::{JoinKind, LogicalExpr, LogicalOp, SetOpKind};
 pub use physical::{MotionKind, PhysicalOp, PhysicalPlan};
 pub use props::{DistSpec, OrderSpec, SortKey};

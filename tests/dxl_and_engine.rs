@@ -327,7 +327,7 @@ fn memo_explain_shows_figure6_structure() {
     // The root group's context satisfies the original request.
     let group = memo.group(root);
     let g = group.read();
-    let best = g.best_for(&req).expect("best candidate");
+    let best = g.best_for(memo.intern_req(&req)).expect("best candidate");
     assert!(best.derived.satisfies(&req));
     // TAQO can count a non-trivial plan space from this memo.
     let mut sampler = orca::taqo::PlanSampler::new(&memo);

@@ -7,11 +7,14 @@
 //! stable, and the dedup index always agrees with the directory
 //! (`Memo::check_integrity`).
 
+use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
 use orca::memo::{GroupId, Memo, Operator};
-use orca_catalog::{ColumnMeta, Distribution, TableDesc};
-use orca_common::{ColId, DataType, MdId, SysId};
+use orca_catalog::stats::ColumnStats;
+use orca_catalog::{ColumnMeta, Distribution, MdProvider, MemoryProvider, TableDesc, TableStats};
+use orca_common::{ColId, DataType, Datum, MdId, SysId};
 use orca_expr::logical::{JoinKind, LogicalExpr, LogicalOp, TableRef};
 use orca_expr::scalar::ScalarExpr;
+use orca_expr::ColumnRegistry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -235,6 +238,152 @@ fn merge_storm_single_canonical_group_per_topology() {
     }
     assert_single_canonical_home_per_topology(&memo);
     memo.check_integrity().expect("index/directory agreement");
+}
+
+#[test]
+fn merge_purges_loser_scoped_selectivity_entries() {
+    // Warm the selectivity cache under two groups that are about to merge,
+    // then force the merge (targeted copy of a shared shape, exactly as in
+    // `merge_storm_...`). Probes under the pre-merge loser id must resolve
+    // through the union-find to the surviving winner-scoped entry — the
+    // loser-keyed value is purged at merge time and can never be served.
+    let memo = Arc::new(Memo::new());
+    let l = memo.copy_in(&leaf(1));
+    let r = memo.copy_in(&leaf(2));
+    let shared = Operator::Logical(LogicalOp::Join {
+        kind: JoinKind::Inner,
+        pred: ScalarExpr::col_eq_col(ColId(0), ColId(2)),
+    });
+    let (home, _, _) = memo.insert_expr(None, shared.clone(), vec![l, r]);
+    let unique = Operator::Logical(LogicalOp::Join {
+        kind: JoinKind::Inner,
+        pred: ScalarExpr::col_eq_col(ColId(1000), ColId(0)),
+    });
+    let (host, _, _) = memo.insert_expr(None, unique, vec![l, r]);
+    assert_ne!(home, host);
+
+    let pid = memo.intern_scalar(&ScalarExpr::col_eq_col(ColId(0), ColId(2)));
+    const HOME_SEL: f64 = 0.25;
+    const HOST_SEL: f64 = 0.5;
+    memo.note_selectivity(home, home, pid, HOME_SEL);
+    memo.note_selectivity(host, host, pid, HOST_SEL);
+    assert_eq!(memo.cached_selectivity(home, home, pid), Some(HOME_SEL));
+    assert_eq!(memo.cached_selectivity(host, host, pid), Some(HOST_SEL));
+
+    // Targeted copy of the shared shape into `host` triggers the merge.
+    memo.insert_expr(Some(host), shared, vec![l, r]);
+    let winner = memo.resolve(host);
+    assert_eq!(winner, memo.resolve(home), "host and home did not merge");
+    assert!(memo.metrics().snapshot().groups_merged > 0);
+
+    // Only the entry noted under the surviving canonical id is left; the
+    // loser-scoped entry is gone. Probing under EITHER pre-merge id now
+    // canonicalizes to the winner and yields the winner's value.
+    let winner_sel = if winner == home { HOME_SEL } else { HOST_SEL };
+    let loser_sel = if winner == home { HOST_SEL } else { HOME_SEL };
+    for scope in [home, host, winner] {
+        let got = memo.cached_selectivity(scope, scope, pid);
+        assert_eq!(got, Some(winner_sel), "scope {scope} served a stale value");
+        assert_ne!(got, Some(loser_sel));
+    }
+    // check_integrity additionally walks every cache shard and rejects any
+    // key whose scope ids are not union-find roots.
+    memo.check_integrity().expect("no stale loser-scoped keys");
+}
+
+#[test]
+fn merge_heavy_optimization_cost_stable_across_workers() {
+    // A 5-way star-with-tail join (s2/s3 hang off s1, s5 chains off s4 —
+    // the shape of the parallel_scaling bench query) explores equivalent
+    // join orders whose associativity rewrites re-derive the same topology
+    // in two homes, triggering §4.2 group merging with the estimation
+    // caches already warm. The cached selectivities must
+    // migrate/invalidate coherently: the winning plan cost has to be
+    // bit-identical at 1 and 4 workers.
+    let p = Arc::new(MemoryProvider::new());
+    for (i, (name, rows)) in [
+        ("s1", 10_000.0),
+        ("s2", 50_000.0),
+        ("s3", 20_000.0),
+        ("s4", 5_000.0),
+        ("s5", 40_000.0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let id = p.register(
+            name,
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        );
+        let values: Vec<Datum> = (0..1000)
+            .map(|v| Datum::Int((v + i as i64) % 250))
+            .collect();
+        p.set_stats(
+            id,
+            TableStats::new(*rows, 2)
+                .set_column(0, ColumnStats::from_column(&values, 16))
+                .set_column(1, ColumnStats::from_column(&values, 16)),
+        );
+    }
+    let registry = Arc::new(ColumnRegistry::new());
+    for name in [
+        "s1.a", "s1.b", "s2.a", "s2.b", "s3.a", "s3.b", "s4.a", "s4.b", "s5.a", "s5.b",
+    ] {
+        registry.fresh(name, DataType::Int);
+    }
+    let get = |name: &str, first: u32| {
+        LogicalExpr::leaf(LogicalOp::Get {
+            table: TableRef(p.table(p.table_by_name(name).unwrap()).unwrap()),
+            cols: vec![ColId(first), ColId(first + 1)],
+            parts: None,
+        })
+    };
+    let join2 = |l: LogicalExpr, r: LogicalExpr, lc: u32, rc: u32| {
+        LogicalExpr::new(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                pred: ScalarExpr::col_eq_col(ColId(lc), ColId(rc)),
+            },
+            vec![l, r],
+        )
+    };
+    let chain = join2(
+        join2(
+            join2(join2(get("s1", 0), get("s2", 2), 0, 2), get("s3", 4), 0, 4),
+            get("s4", 6),
+            1,
+            6,
+        ),
+        get("s5", 8),
+        7,
+        8,
+    );
+    let reqs = QueryReqs::gather_all(vec![ColId(0)]);
+
+    let mut costs = Vec::new();
+    for workers in [1usize, 4] {
+        let optimizer = Optimizer::new(p.clone(), OptimizerConfig::default().with_workers(workers));
+        let (_, stats) = optimizer.optimize(&chain, &registry, &reqs).expect("plans");
+        assert!(
+            stats.search.groups_merged > 0,
+            "5-way star at {workers} workers never merged a group"
+        );
+        assert!(
+            stats.search.sel_cache_hits > 0,
+            "estimation caches never hit at {workers} workers"
+        );
+        costs.push(stats.plan_cost);
+    }
+    assert!(
+        costs[0] == costs[1],
+        "plan cost changed with worker count: {} vs {}",
+        costs[0],
+        costs[1]
+    );
 }
 
 #[test]
