@@ -1,0 +1,358 @@
+//! Serving-layer benchmark: plan-cache economics and admission behavior
+//! of `orca-service` over the TPC-DS-style suite.
+//!
+//! Two phases:
+//!
+//! 1. **Cache economics** (single session, DXL round trip per request):
+//!    cold-optimize every corpus query, then serve many repeat rounds and
+//!    compare cold latency vs cache-hit latency. The cached plan's DXL is
+//!    also diffed byte-for-byte against an independent fresh optimization
+//!    — determinism is what makes plan caching sound.
+//! 2. **Concurrency sweep** (1/4/16 sessions): each session thread
+//!    replays the corpus for several rounds against one shared service;
+//!    reports throughput (QPS), cache hit rate and p99 request latency.
+//!
+//! Usage: `service_bench [scale] [rounds] [--smoke]`.
+//!
+//! `--smoke` (CI) runs a reduced sweep, writes no JSON, and asserts the
+//! serving-layer gates: a hit rate of at least 90% on the repeated
+//! workload, zero degraded plans under no contention, byte-identical
+//! cached DXL, and a cache speed-up of at least 10x. The full run writes
+//! `BENCH_service.json` (schema in EXPERIMENTS.md).
+
+use orca::engine::OptimizerConfig;
+use orca::Optimizer;
+use orca_bench::report::row;
+use orca_bench::BenchEnv;
+use orca_dxl::{plan_to_dxl, query_to_dxl, DxlPlan, DxlQuery};
+use orca_expr::props::DistSpec;
+use orca_service::{PlanSource, Service, ServiceConfig};
+use orca_tpcds::suite;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many suite queries feed the corpus (enough shapes to exercise the
+/// sharded cache, few enough that the sweep finishes in seconds).
+const CORPUS_CAP: usize = 12;
+
+fn service_config(env: &BenchEnv) -> ServiceConfig {
+    ServiceConfig {
+        optimizer: OptimizerConfig::default()
+            .with_workers(2)
+            .with_cluster(env.cluster.clone()),
+        // Enough slots that the 16-session sweep queues rather than sheds.
+        max_concurrent: 4,
+        queue_depth: 64,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Compile the suite into DXL query documents, keeping only queries the
+/// optimizer handles (the suite deliberately includes unsupported shapes
+/// for the Figure 15 matrix).
+fn build_corpus(env: &BenchEnv) -> Vec<DxlQuery> {
+    let mut corpus = Vec::new();
+    for q in suite() {
+        if corpus.len() >= CORPUS_CAP {
+            break;
+        }
+        let Ok((bound, registry)) = env.compile(&q) else {
+            continue;
+        };
+        let query = DxlQuery {
+            expr: bound.expr,
+            output_cols: bound.output_cols,
+            order: bound.order,
+            dist: DistSpec::Singleton,
+            columns: registry.snapshot(),
+        };
+        // Probe once: drop queries the Memo search rejects.
+        let probe = Optimizer::new(
+            env.provider.clone(),
+            OptimizerConfig::default().with_cluster(env.cluster.clone()),
+        );
+        if probe.optimize_query(&query).is_ok() {
+            corpus.push(query);
+        }
+    }
+    corpus
+}
+
+struct SweepResult {
+    sessions: usize,
+    requests: usize,
+    wall_ms: f64,
+    qps: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+    degraded: u64,
+    rejected: u64,
+}
+
+/// Phase 2: `sessions` threads replay the corpus `rounds` times against a
+/// fresh service.
+fn run_sweep(
+    env: &BenchEnv,
+    corpus: &Arc<Vec<DxlQuery>>,
+    sessions: usize,
+    rounds: usize,
+) -> SweepResult {
+    let svc = Arc::new(Service::new(env.provider.clone(), service_config(env)));
+    let started = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..sessions {
+            let svc = svc.clone();
+            let corpus = corpus.clone();
+            handles.push(scope.spawn(move || {
+                let session = svc.open_session();
+                let mut lat = Vec::with_capacity(rounds * corpus.len());
+                for _ in 0..rounds {
+                    for q in corpus.iter() {
+                        let t0 = Instant::now();
+                        let ticket = svc.submit_query(session, q, None).expect("submit");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        assert!(matches!(
+                            ticket.response.source,
+                            PlanSource::Fresh | PlanSource::Cache
+                        ));
+                    }
+                }
+                lat
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let requests = latencies_ms.len();
+    let p99_ms = latencies_ms[((requests - 1) as f64 * 0.99).round() as usize];
+    let stats = svc.stats();
+    SweepResult {
+        sessions,
+        requests,
+        wall_ms,
+        qps: requests as f64 / (wall_ms / 1e3),
+        p99_ms,
+        hit_rate: stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64,
+        degraded: stats.degraded,
+        rejected: stats.rejected,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale: f64 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.01 } else { 0.05 });
+    let rounds: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 10 } else { 20 })
+        .max(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("serving-layer bench (scale {scale}, {rounds} rounds/session)");
+    println!("host CPUs available: {cpus}");
+    println!();
+    let env = BenchEnv::new(scale, 16);
+    let corpus = Arc::new(build_corpus(&env));
+    assert!(
+        corpus.len() >= 4,
+        "corpus too small: only {} optimizable suite queries",
+        corpus.len()
+    );
+    println!("corpus: {} suite queries", corpus.len());
+
+    // ------------------------------------------------------------------
+    // Phase 1: cache economics over the DXL round trip.
+    // ------------------------------------------------------------------
+    let svc = Service::new(env.provider.clone(), service_config(&env));
+    let session = svc.open_session();
+    let dxl_texts: Vec<String> = corpus.iter().map(query_to_dxl).collect();
+    let mut cold_ms = 0.0;
+    let mut cached_dxl: Vec<String> = Vec::new();
+    for dxl in &dxl_texts {
+        let t0 = Instant::now();
+        let ticket = svc.submit(session, dxl).expect("cold submit");
+        cold_ms += t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(ticket.response.source, PlanSource::Fresh);
+        cached_dxl.push(ticket.response.plan_dxl);
+    }
+    let cold_avg_ms = cold_ms / corpus.len() as f64;
+    let hit_rounds = rounds.max(20);
+    let mut hit_ms = 0.0;
+    for _ in 0..hit_rounds {
+        for dxl in &dxl_texts {
+            let t0 = Instant::now();
+            let ticket = svc.submit(session, dxl).expect("hot submit");
+            hit_ms += t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(ticket.response.source, PlanSource::Cache);
+        }
+    }
+    let hit_avg_ms = hit_ms / (hit_rounds * corpus.len()) as f64;
+    let speedup = cold_avg_ms / hit_avg_ms;
+    let phase1 = svc.stats();
+    let hit_rate = phase1.cache_hits as f64 / (phase1.cache_hits + phase1.cache_misses) as f64;
+    println!();
+    println!(
+        "cache economics: cold {:.2} ms/query, hit {:.4} ms/query, speedup {:.0}x, hit rate {:.1}%",
+        cold_avg_ms,
+        hit_avg_ms,
+        speedup,
+        hit_rate * 100.0
+    );
+
+    // Determinism gate: the cached DXL must be byte-identical to an
+    // independent fresh optimization of the same query.
+    let fresh_opt = Optimizer::new(
+        env.provider.clone(),
+        OptimizerConfig::default()
+            .with_workers(2)
+            .with_cluster(env.cluster.clone()),
+    );
+    for (q, cached) in corpus.iter().zip(&cached_dxl).take(4) {
+        let (plan, stats) = fresh_opt.optimize_query(q).expect("fresh re-optimization");
+        let fresh = plan_to_dxl(&DxlPlan {
+            plan,
+            cost: stats.plan_cost,
+        });
+        assert_eq!(
+            &fresh, cached,
+            "cached plan DXL diverged from a fresh optimization"
+        );
+    }
+    println!("determinism: cached DXL byte-identical to fresh optimization (4 queries)");
+
+    // Serving-layer gates (always on; `--smoke` is just the reduced run).
+    assert!(
+        hit_rate >= 0.90,
+        "repeated-workload cache hit rate {:.1}% < 90%",
+        hit_rate * 100.0
+    );
+    assert_eq!(
+        phase1.degraded, 0,
+        "degraded plans under zero contention: {}",
+        phase1.degraded
+    );
+    assert!(
+        speedup >= 10.0,
+        "cache speedup {speedup:.1}x < 10x (cold {cold_avg_ms:.2} ms vs hit {hit_avg_ms:.4} ms)"
+    );
+
+    // ------------------------------------------------------------------
+    // Phase 2: concurrency sweep.
+    // ------------------------------------------------------------------
+    println!();
+    println!(
+        "{}",
+        row(&[
+            ("sessions", 9),
+            ("requests", 9),
+            ("wall_ms", 9),
+            ("qps", 9),
+            ("p99_ms", 8),
+            ("hit%", 6),
+            ("degraded", 9),
+            ("rejected", 9),
+        ])
+    );
+    let levels: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 16] };
+    let sweep_rounds = if smoke { 5 } else { rounds };
+    let mut sweeps = Vec::new();
+    for &sessions in levels {
+        let r = run_sweep(&env, &corpus, sessions, sweep_rounds);
+        println!(
+            "{}",
+            row(&[
+                (&r.sessions.to_string(), 9),
+                (&r.requests.to_string(), 9),
+                (&format!("{:.1}", r.wall_ms), 9),
+                (&format!("{:.0}", r.qps), 9),
+                (&format!("{:.2}", r.p99_ms), 8),
+                (&format!("{:.1}", r.hit_rate * 100.0), 6),
+                (&r.degraded.to_string(), 9),
+                (&r.rejected.to_string(), 9),
+            ])
+        );
+        sweeps.push(r);
+    }
+    // The queue is deep enough for every level: nothing may be shed.
+    for r in &sweeps {
+        assert_eq!(r.rejected, 0, "{} sessions shed load", r.sessions);
+        assert_eq!(r.degraded, 0, "{} sessions degraded plans", r.sessions);
+    }
+
+    if smoke {
+        println!(
+            "\nsmoke gate passed: hit rate {:.1}% >= 90%, zero degraded, \
+             byte-identical cached DXL, cache speedup {:.0}x >= 10x",
+            hit_rate * 100.0,
+            speedup
+        );
+        return;
+    }
+    let json = render_json(
+        scale,
+        rounds,
+        cpus,
+        corpus.len(),
+        cold_avg_ms,
+        hit_avg_ms,
+        speedup,
+        hit_rate,
+        &sweeps,
+    );
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("\nwrote BENCH_service.json");
+}
+
+/// Hand-rolled JSON (the build has no serde); schema in EXPERIMENTS.md.
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: f64,
+    rounds: usize,
+    cpus: usize,
+    corpus: usize,
+    cold_avg_ms: f64,
+    hit_avg_ms: f64,
+    speedup: f64,
+    hit_rate: f64,
+    sweeps: &[SweepResult],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"service_bench\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    out.push_str(&format!("  \"corpus_queries\": {corpus},\n"));
+    out.push_str(&format!("  \"cold_ms_avg\": {cold_avg_ms:.4},\n"));
+    out.push_str(&format!("  \"cache_hit_ms_avg\": {hit_avg_ms:.5},\n"));
+    out.push_str(&format!("  \"cache_speedup\": {speedup:.2},\n"));
+    out.push_str(&format!("  \"repeat_hit_rate\": {hit_rate:.4},\n"));
+    out.push_str("  \"sessions\": [\n");
+    for (i, r) in sweeps.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"requests\": {}, \"wall_ms\": {:.2}, \"qps\": {:.1}, \
+             \"p99_ms\": {:.3}, \"hit_rate\": {:.4}, \"degraded\": {}, \"rejected\": {}}}{}\n",
+            r.sessions,
+            r.requests,
+            r.wall_ms,
+            r.qps,
+            r.p99_ms,
+            r.hit_rate,
+            r.degraded,
+            r.rejected,
+            if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

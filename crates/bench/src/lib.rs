@@ -12,6 +12,7 @@
 //! | `parallel_scaling`       | §4.2 ablation — multi-core optimization speed-up |
 //! | `stages`                 | §4.1 ablation — multi-stage optimization |
 //! | `taqo`                   | §6.2 — cost-model accuracy score |
+//! | `service_bench`          | §3 serving layer — plan-cache economics & session sweep |
 //!
 //! All experiments run on the simulated cluster; reported times are
 //! *simulated* seconds (deterministic), so shapes are reproducible on any

@@ -119,6 +119,17 @@ impl MdAccessor {
     pub fn pinned_count(&self) -> usize {
         self.pinned.lock().len()
     }
+
+    /// Distinct metadata ids (versions included) accessed this session,
+    /// sorted for determinism. This is the invalidation half of a plan-cache
+    /// key: a `bump_table_version` changes the id set a fresh optimization
+    /// would record, so entries stored under the old set go stale.
+    pub fn accessed_mdids(&self) -> Vec<MdId> {
+        let mut ids: Vec<MdId> = self.pinned.lock().iter().map(|k| k.0).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
 }
 
 impl Drop for MdAccessor {

@@ -19,8 +19,13 @@ pub enum OrcaError {
     Internal(String),
     /// The optimizer could not produce any plan satisfying the request.
     NoPlan(String),
-    /// Optimization aborted: stage timeout or external cancellation.
+    /// Optimization aborted by external cancellation.
     Aborted(String),
+    /// A deadline expired before the search produced a usable plan. Unlike
+    /// [`OrcaError::Aborted`], a timeout is an *expected* outcome under
+    /// admission control: callers may degrade to a fallback plan instead of
+    /// failing the request.
+    Timeout(String),
     /// Execution-time failure (e.g. simulated out-of-memory).
     Execution(String),
     /// A feature the query needs is unsupported by the engine being driven
@@ -41,6 +46,7 @@ impl OrcaError {
             OrcaError::Internal(_) => "internal",
             OrcaError::NoPlan(_) => "noplan",
             OrcaError::Aborted(_) => "aborted",
+            OrcaError::Timeout(_) => "timeout",
             OrcaError::Execution(_) => "execution",
             OrcaError::Unsupported(_) => "unsupported",
             OrcaError::InjectedFault(_) => "injected",
@@ -56,6 +62,7 @@ impl OrcaError {
             | OrcaError::Internal(m)
             | OrcaError::NoPlan(m)
             | OrcaError::Aborted(m)
+            | OrcaError::Timeout(m)
             | OrcaError::Execution(m)
             | OrcaError::Unsupported(m)
             | OrcaError::InjectedFault(m) => m,

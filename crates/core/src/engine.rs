@@ -10,7 +10,7 @@ use crate::search::{self, SearchCtx};
 use crate::stats::StatsDeriver;
 use orca_catalog::provider::MdProvider;
 use orca_catalog::{MdAccessor, MdCache};
-use orca_common::{ColId, OrcaError, Result, SegmentConfig};
+use orca_common::{ColId, MdId, OrcaError, Result, SegmentConfig};
 use orca_dxl::{DxlPlan, DxlQuery};
 use orca_expr::logical::LogicalExpr;
 use orca_expr::physical::PhysicalPlan;
@@ -158,6 +158,15 @@ pub struct OptStats {
     /// Memo-level search counters (dedup hits, shard collisions, pruned
     /// contexts, ...) from the winning stage.
     pub search: SearchMetricsSnapshot,
+    /// Distinct metadata ids (version included) accessed during
+    /// optimization — the invalidation component of a plan-cache key: a
+    /// `bump_table_version` changes the current id set, so a cached plan
+    /// stored under the old set misses on next lookup.
+    pub md_ids: Vec<MdId>,
+    /// The deadline expired mid-search: the plan (if any) is the best found
+    /// so far, not the exhaustive optimum. Serving layers surface this as
+    /// `degraded`.
+    pub timed_out: bool,
 }
 
 /// The optimizer. Holds the metadata cache (shared across sessions) and a
@@ -198,6 +207,16 @@ impl Optimizer {
 
     /// Optimize a parsed DXL query document.
     pub fn optimize_query(&self, q: &DxlQuery) -> Result<(PhysicalPlan, OptStats)> {
+        self.optimize_query_with_deadline(q, None)
+    }
+
+    /// Optimize a parsed DXL query document under an optional wall-clock
+    /// deadline (the serving layer's per-request budget).
+    pub fn optimize_query_with_deadline(
+        &self,
+        q: &DxlQuery,
+        deadline: Option<Instant>,
+    ) -> Result<(PhysicalPlan, OptStats)> {
         let registry = Arc::new(ColumnRegistry::new());
         for (name, ty) in &q.columns {
             registry.fresh(name, *ty);
@@ -207,7 +226,7 @@ impl Optimizer {
             order: q.order.clone(),
             dist: q.dist.clone(),
         };
-        self.optimize(&q.expr, &registry, &reqs)
+        self.optimize_inner(&q.expr, &registry, &reqs, deadline)
     }
 
     /// Optimize a logical expression tree under query requirements.
@@ -220,6 +239,31 @@ impl Optimizer {
         expr: &LogicalExpr,
         registry: &Arc<ColumnRegistry>,
         reqs: &QueryReqs,
+    ) -> Result<(PhysicalPlan, OptStats)> {
+        self.optimize_inner(expr, registry, reqs, None)
+    }
+
+    /// Like [`Optimizer::optimize`] but with a hard wall-clock deadline
+    /// spanning *all* stages. On expiry the best plan found so far is
+    /// returned with `OptStats::timed_out = true`; if no stage produced any
+    /// plan by then, a typed [`OrcaError::Timeout`] surfaces so callers can
+    /// degrade (e.g. to a heuristic fallback plan) instead of failing.
+    pub fn optimize_with_deadline(
+        &self,
+        expr: &LogicalExpr,
+        registry: &Arc<ColumnRegistry>,
+        reqs: &QueryReqs,
+        deadline: Instant,
+    ) -> Result<(PhysicalPlan, OptStats)> {
+        self.optimize_inner(expr, registry, reqs, Some(deadline))
+    }
+
+    fn optimize_inner(
+        &self,
+        expr: &LogicalExpr,
+        registry: &Arc<ColumnRegistry>,
+        reqs: &QueryReqs,
+        deadline: Option<Instant>,
     ) -> Result<(PhysicalPlan, OptStats)> {
         let started = Instant::now();
         let accessor = MdAccessor::new(self.cache.clone(), self.provider.clone());
@@ -237,7 +281,7 @@ impl Optimizer {
         let mut stages_run = 0;
         for stage in &stages {
             stages_run += 1;
-            match self.run_stage(&preprocessed, registry, &accessor, &req, stage) {
+            match self.run_stage(&preprocessed, registry, &accessor, &req, stage, deadline) {
                 Ok((plan, cost, mut stats)) => {
                     stats.metadata_bytes = self.cache.bytes();
                     let better = best.as_ref().map(|(_, c, _)| cost < *c).unwrap_or(true);
@@ -257,12 +301,18 @@ impl Optimizer {
                     last_err = Some(e);
                 }
             }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                // The request's whole budget is spent; later stages would
+                // abort on their first scheduler step anyway.
+                break;
+            }
         }
         match best {
             Some((plan, cost, mut stats)) => {
                 stats.plan_cost = cost;
                 stats.optimization_time = started.elapsed();
                 stats.stages_run = stages_run;
+                stats.md_ids = accessor.accessed_mdids();
                 Ok((plan, stats))
             }
             None => {
@@ -319,6 +369,7 @@ impl Optimizer {
         accessor: &MdAccessor,
         req: &ReqdProps,
         stage: &StageConfig,
+        global_deadline: Option<Instant>,
     ) -> Result<(PhysicalPlan, f64, OptStats)> {
         let mut rules = RuleSet::all();
         if let Some(enabled) = &stage.rules {
@@ -329,7 +380,13 @@ impl Optimizer {
             // other stages.
             let _ = rules.disable(r);
         }
-        let deadline = stage.timeout.map(|t| Instant::now() + t);
+        // A stage runs under the tighter of its own timeout and the
+        // request-level deadline.
+        let stage_deadline = stage.timeout.map(|t| Instant::now() + t);
+        let deadline = match (stage_deadline, global_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let cost = CostModel::new(self.config.cost_params.clone(), self.config.cluster.clone());
         let memo = Memo::with_shards(self.config.dedup_shards);
         let root = memo.copy_in(expr);
@@ -343,7 +400,7 @@ impl Optimizer {
 
         self.fault_check("explore")?;
         let t_explore = Instant::now();
-        search::explore_with_deadline(&ctx, root, self.config.workers, deadline)?;
+        let explore_to = search::explore_with_deadline(&ctx, root, self.config.workers, deadline)?;
         let explore_time = t_explore.elapsed();
 
         // Statistics derivation (§4.1 step 2) for every canonical group the
@@ -356,7 +413,8 @@ impl Optimizer {
 
         self.fault_check("implement")?;
         let t_implement = Instant::now();
-        search::implement_with_deadline(&ctx, root, self.config.workers, deadline)?;
+        let implement_to =
+            search::implement_with_deadline(&ctx, root, self.config.workers, deadline)?;
         let implement_time = t_implement.elapsed();
 
         self.fault_check("optimize")?;
@@ -364,8 +422,23 @@ impl Optimizer {
         let run = search::optimize_with_deadline(&ctx, root, req, self.config.workers, deadline)?;
         let optimize_time = t_optimize.elapsed();
 
-        let plan = crate::extract::extract_plan(&memo, root, req)?;
-        let plan_cost = crate::extract::best_cost(&memo, root, req)?;
+        let timed_out = explore_to || implement_to || run.timed_out;
+        // Extraction walks only fully-costed optimization contexts, so even
+        // after a mid-phase timeout it yields a consistent best-so-far plan —
+        // or fails cleanly when no context finished costing, which under a
+        // timeout is reported as the typed `Timeout` the serving layer
+        // degrades on (not as a spurious `NoPlan`).
+        let extracted = crate::extract::extract_plan(&memo, root, req)
+            .and_then(|plan| crate::extract::best_cost(&memo, root, req).map(|c| (plan, c)));
+        let (plan, plan_cost) = match extracted {
+            Ok(pc) => pc,
+            Err(e) if timed_out => {
+                return Err(OrcaError::Timeout(format!(
+                    "deadline expired before any complete plan was costed ({e})"
+                )));
+            }
+            Err(e) => return Err(e),
+        };
         let stats = OptStats {
             groups: memo.num_canonical_groups(),
             group_exprs: memo.num_exprs(),
@@ -381,6 +454,8 @@ impl Optimizer {
             plan_cost,
             stages_run: 0,
             search: memo.metrics_snapshot(),
+            md_ids: Vec::new(),
+            timed_out,
         };
         Ok((plan, plan_cost, stats))
     }

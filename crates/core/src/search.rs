@@ -82,18 +82,21 @@ type Handle<'h, 'a> = JobHandle<'h, SearchCtx<'a>, GoalKey>;
 /// either merges nothing (done) or permanently reduces the number of
 /// canonical groups, so the loop terminates.
 pub fn explore(ctx: &SearchCtx<'_>, root: GroupId, workers: usize) -> Result<()> {
-    explore_with_deadline(ctx, root, workers, None)
+    explore_with_deadline(ctx, root, workers, None).map(|_| ())
 }
 
 /// Exploration with an optional stage deadline (§4.1 multi-stage).
-/// Returns after the merge-confluence fixpoint is reached (or the deadline
-/// expires).
+/// Returns after the merge-confluence fixpoint is reached, or `Ok(true)`
+/// when the deadline expired first: a timed-out pass leaves a *consistent*
+/// memo (every id resolves, every inserted expression is complete — jobs
+/// finish their current step before workers observe the abort), it is just
+/// not closed under the rule set. Only hard errors propagate as `Err`.
 pub fn explore_with_deadline(
     ctx: &SearchCtx<'_>,
     root: GroupId,
     workers: usize,
     deadline: Option<std::time::Instant>,
-) -> Result<()> {
+) -> Result<bool> {
     let deep = ctx.rules.deep_exploration_indices();
     loop {
         let merged_before = ctx.memo.metrics().snapshot().groups_merged;
@@ -101,16 +104,20 @@ pub fn explore_with_deadline(
         if let Some(d) = deadline {
             sched.abort_signal().set_deadline(d);
         }
-        sched.run(ctx, vec![Box::new(ExploreGroupJob { gid: root })], workers)?;
+        match sched.run(ctx, vec![Box::new(ExploreGroupJob { gid: root })], workers) {
+            Ok(()) => {}
+            Err(OrcaError::Timeout(_)) => return Ok(true),
+            Err(e) => return Err(e),
+        }
         let merged_after = ctx.memo.metrics().snapshot().groups_merged;
         if merged_after == merged_before {
-            return Ok(());
+            return Ok(false);
         }
         if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
             // Timed out mid-fixpoint: the memo is valid (all ids resolve),
             // just not closed under the deep rules. §4.1 stage semantics
             // accept a truncated search.
-            return Ok(());
+            return Ok(true);
         }
         ctx.memo.reset_exploration(&deep);
     }
@@ -118,25 +125,30 @@ pub fn explore_with_deadline(
 
 /// Run the implementation phase (step 3 of §4.1).
 pub fn implement(ctx: &SearchCtx<'_>, root: GroupId, workers: usize) -> Result<()> {
-    implement_with_deadline(ctx, root, workers, None)
+    implement_with_deadline(ctx, root, workers, None).map(|_| ())
 }
 
-/// Implementation with an optional stage deadline.
+/// Implementation with an optional stage deadline. Returns `Ok(true)` when
+/// the deadline truncated the phase (see [`explore_with_deadline`]).
 pub fn implement_with_deadline(
     ctx: &SearchCtx<'_>,
     root: GroupId,
     workers: usize,
     deadline: Option<std::time::Instant>,
-) -> Result<()> {
+) -> Result<bool> {
     let sched: Sched<'_> = Scheduler::new();
     if let Some(d) = deadline {
         sched.abort_signal().set_deadline(d);
     }
-    sched.run(
+    match sched.run(
         ctx,
         vec![Box::new(ImplementGroupJob { gid: root })],
         workers,
-    )
+    ) {
+        Ok(()) => Ok(false),
+        Err(OrcaError::Timeout(_)) => Ok(true),
+        Err(e) => Err(e),
+    }
 }
 
 /// Scheduler-side statistics of one optimization phase (feeds the §7.2.2
@@ -147,6 +159,10 @@ pub struct SearchRunStats {
     pub job_steps: usize,
     /// Goal requests deduplicated against an active or finished job.
     pub goal_hits: usize,
+    /// The phase's deadline expired before the job graph drained; whatever
+    /// contexts were completed by then are valid (candidates are recorded
+    /// atomically, after full costing), but the search is not exhaustive.
+    pub timed_out: bool,
 }
 
 /// Run the optimization phase for the root request (step 4 of §4.1).
@@ -174,7 +190,7 @@ pub fn optimize_with_deadline(
     }
     // Intern the root request once; everything below runs in id space.
     let rid = ctx.memo.intern_req(req);
-    sched.run(
+    let timed_out = match sched.run(
         ctx,
         vec![Box::new(OptimizeGroupJob {
             gid: root,
@@ -182,11 +198,16 @@ pub fn optimize_with_deadline(
             spawned: false,
         })],
         workers,
-    )?;
+    ) {
+        Ok(()) => false,
+        Err(OrcaError::Timeout(_)) => true,
+        Err(e) => return Err(e),
+    };
     Ok(SearchRunStats {
         jobs_spawned: sched.jobs_spawned(),
         job_steps: sched.steps_executed(),
         goal_hits: sched.goal_hits(),
+        timed_out,
     })
 }
 
@@ -205,6 +226,9 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ExploreGroupJob {
     }
 
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
+        if h.abort_signal().is_aborted() {
+            return StepResult::Done;
+        }
         // Loop until no expression is left unexplored: transformations add
         // new expressions to this group while we wait, and merges migrate
         // whole expression sets in. The gate-held accessor re-resolves the
@@ -258,6 +282,9 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ExploreExprJob {
     }
 
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
+        if h.abort_signal().is_aborted() {
+            return StepResult::Done;
+        }
         if !self.spawned_children {
             self.spawned_children = true;
             // Merges can relocate the expression between job spawn and this
@@ -317,6 +344,9 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for XformJob {
     }
 
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
+        if h.abort_signal().is_aborted() {
+            return StepResult::Done;
+        }
         let rctx = RuleCtx {
             registry: ctx.registry,
             md: ctx.md,
@@ -350,6 +380,9 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ImplementGroupJob {
     }
 
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
+        if h.abort_signal().is_aborted() {
+            return StepResult::Done;
+        }
         let (gid, to_spawn) = ctx.memo.with_group(self.gid, |gid, g| {
             let ids: Vec<ExprId> = g
                 .exprs
@@ -393,6 +426,9 @@ impl<'a> Job<SearchCtx<'a>, GoalKey> for ImplementExprJob {
     }
 
     fn step(&mut self, h: &Handle<'_, 'a>, ctx: &SearchCtx<'a>) -> StepResult {
+        if h.abort_signal().is_aborted() {
+            return StepResult::Done;
+        }
         if !self.spawned_children {
             self.spawned_children = true;
             let (gid, eid, _, children) = ctx.memo.expr_op_children(self.gid, self.eid);

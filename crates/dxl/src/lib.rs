@@ -22,7 +22,10 @@ pub mod xml;
 
 pub use de::{parse_dump, parse_metadata, parse_plan_doc, parse_query};
 pub use file_provider::FileProvider;
-pub use ser::{dump_to_dxl, metadata_to_dxl, plan_to_dxl, query_to_dxl};
+pub use ser::{
+    dump_to_dxl, metadata_to_dxl, normalize_mdid_versions, plan_to_dxl, query_fingerprint,
+    query_to_dxl,
+};
 pub use xml::XmlNode;
 
 use orca_common::{ColId, Datum};

@@ -421,6 +421,40 @@ pub fn query_to_dxl(q: &DxlQuery) -> String {
         .to_document()
 }
 
+/// Strip the version component from every `Mdid="SYS.oid.version"`
+/// attribute, leaving `Mdid="SYS.oid"`. A plan-cache fingerprint must be
+/// version-*independent*: after a `bump_table_version` the same query text
+/// has to land on the same cache slot so the stale entry is found and
+/// evicted — the versions travel separately, in the entry's recorded
+/// `MdId` set.
+pub fn normalize_mdid_versions(dxl: &str) -> String {
+    let mut out = String::with_capacity(dxl.len());
+    let mut rest = dxl;
+    while let Some(pos) = rest.find("Mdid=\"") {
+        let val_start = pos + "Mdid=\"".len();
+        out.push_str(&rest[..val_start]);
+        rest = &rest[val_start..];
+        let Some(end) = rest.find('"') else { break };
+        let value = &rest[..end];
+        // Keep "SYS.oid", drop the final ".version" component (if present).
+        match value.rmatch_indices('.').next() {
+            Some((last_dot, _)) if value[..last_dot].contains('.') => {
+                out.push_str(&value[..last_dot]);
+            }
+            _ => out.push_str(value),
+        }
+        rest = &rest[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Deterministic fingerprint of a query document, invariant under metadata
+/// version bumps — the identity half of a plan-cache key.
+pub fn query_fingerprint(q: &DxlQuery) -> u64 {
+    orca_common::hash::fnv_hash(&normalize_mdid_versions(&query_to_dxl(q)))
+}
+
 fn plan_node(p: &DxlPlan) -> XmlNode {
     XmlNode::new("dxl:Plan")
         .attr("Cost", format!("{:?}", p.cost))

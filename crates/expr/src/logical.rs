@@ -8,7 +8,7 @@
 use crate::props::OrderSpec;
 use crate::scalar::ScalarExpr;
 use orca_catalog::TableDesc;
-use orca_common::{ColId, CteId, Datum};
+use orca_common::{ColId, CteId, Datum, Result};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -420,6 +420,199 @@ impl LogicalExpr {
     pub fn has_subquery(&self) -> bool {
         self.op.has_subquery() || self.children.iter().any(LogicalExpr::has_subquery)
     }
+
+    /// Visit every base-table reference in the tree, descending into
+    /// subquery markers that have not been unnested yet.
+    pub fn visit_tables(&self, f: &mut dyn FnMut(&TableRef)) {
+        if let LogicalOp::Get { table, .. } = &self.op {
+            f(table);
+        }
+        self.op.for_each_scalar(&mut |e| visit_scalar_tables(e, f));
+        for c in &self.children {
+            c.visit_tables(f);
+        }
+    }
+
+    /// Rebuild the tree with every base-table reference mapped through `f`
+    /// — e.g. rebinding a cached query shape to the *current* catalog
+    /// version of each table. Column ids are untouched, so the mapped
+    /// descriptor must be positionally compatible with the original.
+    pub fn try_map_tables(
+        &self,
+        f: &mut dyn FnMut(&TableRef) -> Result<TableRef>,
+    ) -> Result<LogicalExpr> {
+        let op = match &self.op {
+            LogicalOp::Get { table, cols, parts } => LogicalOp::Get {
+                table: f(table)?,
+                cols: cols.clone(),
+                parts: parts.clone(),
+            },
+            LogicalOp::Select { pred } => LogicalOp::Select {
+                pred: try_map_scalar_tables(pred, f)?,
+            },
+            LogicalOp::Join { kind, pred } => LogicalOp::Join {
+                kind: *kind,
+                pred: try_map_scalar_tables(pred, f)?,
+            },
+            LogicalOp::Project { exprs } => LogicalOp::Project {
+                exprs: exprs
+                    .iter()
+                    .map(|(c, e)| Ok((*c, try_map_scalar_tables(e, f)?)))
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            LogicalOp::GbAgg {
+                group_cols,
+                aggs,
+                stage,
+            } => LogicalOp::GbAgg {
+                group_cols: group_cols.clone(),
+                aggs: aggs
+                    .iter()
+                    .map(|(c, e)| Ok((*c, try_map_scalar_tables(e, f)?)))
+                    .collect::<Result<Vec<_>>>()?,
+                stage: *stage,
+            },
+            other => other.clone(),
+        };
+        let children = self
+            .children
+            .iter()
+            .map(|c| c.try_map_tables(f))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LogicalExpr { op, children })
+    }
+}
+
+fn visit_scalar_tables(e: &ScalarExpr, f: &mut dyn FnMut(&TableRef)) {
+    match e {
+        ScalarExpr::Exists { subquery, .. } | ScalarExpr::ScalarSubquery { subquery, .. } => {
+            subquery.visit_tables(f);
+        }
+        ScalarExpr::InSubquery { expr, subquery, .. } => {
+            visit_scalar_tables(expr, f);
+            subquery.visit_tables(f);
+        }
+        ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+            visit_scalar_tables(left, f);
+            visit_scalar_tables(right, f);
+        }
+        ScalarExpr::And(v) | ScalarExpr::Or(v) => {
+            for x in v {
+                visit_scalar_tables(x, f);
+            }
+        }
+        ScalarExpr::Not(x) | ScalarExpr::IsNull(x) => visit_scalar_tables(x, f),
+        ScalarExpr::Case {
+            branches,
+            else_value,
+        } => {
+            for (c, v) in branches {
+                visit_scalar_tables(c, f);
+                visit_scalar_tables(v, f);
+            }
+            if let Some(ev) = else_value {
+                visit_scalar_tables(ev, f);
+            }
+        }
+        ScalarExpr::InList { expr, list, .. } => {
+            visit_scalar_tables(expr, f);
+            for x in list {
+                visit_scalar_tables(x, f);
+            }
+        }
+        ScalarExpr::Agg { arg: Some(a), .. } => visit_scalar_tables(a, f),
+        _ => {}
+    }
+}
+
+fn try_map_scalar_tables(
+    e: &ScalarExpr,
+    f: &mut dyn FnMut(&TableRef) -> Result<TableRef>,
+) -> Result<ScalarExpr> {
+    Ok(match e {
+        ScalarExpr::Exists { negated, subquery } => ScalarExpr::Exists {
+            negated: *negated,
+            subquery: Box::new(subquery.try_map_tables(f)?),
+        },
+        ScalarExpr::InSubquery {
+            expr,
+            subquery,
+            subquery_col,
+            negated,
+        } => ScalarExpr::InSubquery {
+            expr: Box::new(try_map_scalar_tables(expr, f)?),
+            subquery: Box::new(subquery.try_map_tables(f)?),
+            subquery_col: *subquery_col,
+            negated: *negated,
+        },
+        ScalarExpr::ScalarSubquery {
+            subquery,
+            subquery_col,
+        } => ScalarExpr::ScalarSubquery {
+            subquery: Box::new(subquery.try_map_tables(f)?),
+            subquery_col: *subquery_col,
+        },
+        ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+            op: *op,
+            left: Box::new(try_map_scalar_tables(left, f)?),
+            right: Box::new(try_map_scalar_tables(right, f)?),
+        },
+        ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+            op: *op,
+            left: Box::new(try_map_scalar_tables(left, f)?),
+            right: Box::new(try_map_scalar_tables(right, f)?),
+        },
+        ScalarExpr::And(v) => ScalarExpr::And(
+            v.iter()
+                .map(|x| try_map_scalar_tables(x, f))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        ScalarExpr::Or(v) => ScalarExpr::Or(
+            v.iter()
+                .map(|x| try_map_scalar_tables(x, f))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        ScalarExpr::Not(x) => ScalarExpr::Not(Box::new(try_map_scalar_tables(x, f)?)),
+        ScalarExpr::IsNull(x) => ScalarExpr::IsNull(Box::new(try_map_scalar_tables(x, f)?)),
+        ScalarExpr::Case {
+            branches,
+            else_value,
+        } => ScalarExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((try_map_scalar_tables(c, f)?, try_map_scalar_tables(v, f)?)))
+                .collect::<Result<Vec<_>>>()?,
+            else_value: match else_value {
+                Some(ev) => Some(Box::new(try_map_scalar_tables(ev, f)?)),
+                None => None,
+            },
+        },
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => ScalarExpr::InList {
+            expr: Box::new(try_map_scalar_tables(expr, f)?),
+            list: list
+                .iter()
+                .map(|x| try_map_scalar_tables(x, f))
+                .collect::<Result<Vec<_>>>()?,
+            negated: *negated,
+        },
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => ScalarExpr::Agg {
+            func: *func,
+            arg: match arg {
+                Some(a) => Some(Box::new(try_map_scalar_tables(a, f)?)),
+                None => None,
+            },
+            distinct: *distinct,
+        },
+        other @ (ScalarExpr::ColRef(_) | ScalarExpr::Const(_)) => other.clone(),
+    })
 }
 
 /// Remap the column ids an operator *defines or lists* (scalars are

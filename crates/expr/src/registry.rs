@@ -83,6 +83,17 @@ impl ColumnRegistry {
         cols.iter().map(|c| self.width(*c)).sum()
     }
 
+    /// Every `(name, dtype)` pair in mint order — the shape a `DxlQuery`'s
+    /// `columns` preamble carries, so a bound query can be re-serialized or
+    /// submitted to the serving layer.
+    pub fn snapshot(&self) -> Vec<(String, DataType)> {
+        self.cols
+            .read()
+            .iter()
+            .map(|c| (c.name.clone(), c.dtype))
+            .collect()
+    }
+
     pub fn len(&self) -> usize {
         self.cols.read().len()
     }

@@ -79,10 +79,18 @@ impl AbortSignal {
         }
         let deadline = self.deadline_ns.load(Ordering::Relaxed);
         if deadline != 0 && self.base.elapsed().as_nanos() as u64 >= deadline {
-            self.abort_with(OrcaError::Aborted("stage timeout".into()));
+            self.abort_with(OrcaError::Timeout("deadline expired".into()));
             return true;
         }
         false
+    }
+
+    /// Whether the abort (if any) was caused by deadline expiry rather than
+    /// a hard error. Search drivers use this to truncate gracefully — a
+    /// timed-out phase leaves a consistent (if incomplete) memo — while
+    /// still surfacing real errors.
+    pub fn deadline_expired(&self) -> bool {
+        self.is_aborted() && matches!(&*self.reason.lock(), Some(OrcaError::Timeout(_)))
     }
 
     /// `Err` once aborted; call this at job boundaries and inside long loops.
@@ -127,11 +135,17 @@ mod tests {
     }
 
     #[test]
-    fn deadline_trips_abort() {
+    fn deadline_trips_typed_timeout() {
         let s = AbortSignal::new();
         s.set_deadline(Instant::now() - Duration::from_millis(1));
         assert!(s.check().is_err());
-        assert_eq!(s.error().kind(), "aborted");
+        assert_eq!(s.error().kind(), "timeout");
+        assert!(s.deadline_expired());
+        // An externally-cancelled signal is NOT a deadline expiry.
+        let c = AbortSignal::new();
+        c.abort();
+        assert!(!c.deadline_expired());
+        assert_eq!(c.error().kind(), "aborted");
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! Optimizer-as-a-service (§3): an in-process serving layer in front of
+//! [`orca::Optimizer`].
+//!
+//! The paper's headline architectural claim is that Orca runs *outside*
+//! the host DBMS as a standalone service exchanging DXL. This crate
+//! supplies the serving substrate that claim implies:
+//!
+//! * **sessions** ([`session`]) — one per client connection, each owning a
+//!   per-session `MdAccessor` over the shared metadata cache;
+//! * **admission control** ([`admission`]) — a bounded set of concurrent
+//!   optimizations with a FIFO overflow queue and per-request deadlines;
+//! * **a versioned plan cache** ([`cache`]) — keyed on a
+//!   version-normalized query fingerprint, invalidated by `MdId` version
+//!   drift, evicted LRU under a byte budget;
+//! * **graceful degradation** — on deadline expiry or queue rejection the
+//!   service answers with the best-so-far plan or the legacy planner's
+//!   heuristic plan, tagged `degraded: true`, instead of an error;
+//! * **metrics** ([`metrics`]) — admission/cache counters and optimize
+//!   latency percentiles.
+//!
+//! ```text
+//! submit(dxl) ─ parse ─ rebind tables to current versions ─ fingerprint
+//!    ├─ cache hit (id set matches) ──────────────────────► cached plan
+//!    └─ miss/stale ─ admission gate ─┬─ admitted ─ optimize(deadline)
+//!                                    │     ├─ done ── cache + return
+//!                                    │     ├─ truncated ─ degraded plan
+//!                                    │     └─ timeout ─ fallback, degraded
+//!                                    └─ rejected/queue-timeout ─ fallback
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod metrics;
+pub mod session;
+
+pub use admission::{Admission, AdmissionGate};
+pub use cache::{CacheLookup, CachedPlan, PinGuard, PlanCache};
+pub use metrics::{ServiceMetrics, ServiceStats};
+pub use session::{Session, SessionId, SessionManager};
+
+use orca::engine::QueryReqs;
+use orca::{OptStats, Optimizer, OptimizerConfig};
+use orca_catalog::provider::MdProvider;
+use orca_catalog::MdAccessor;
+use orca_common::{MdId, OrcaError, Result};
+use orca_dxl::{plan_to_dxl, query_fingerprint, DxlPlan, DxlQuery};
+use orca_expr::logical::TableRef;
+use orca_expr::ColumnRegistry;
+use orca_planner::LegacyPlanner;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    pub optimizer: OptimizerConfig,
+    /// Concurrent optimizations admitted at once. `0` = the optimizer's
+    /// worker count (the default: one full search saturates the pool, so
+    /// admitting more only adds queueing inside the scheduler).
+    pub max_concurrent: usize,
+    /// FIFO overflow queue depth; arrivals beyond it are shed to the
+    /// fallback planner.
+    pub queue_depth: usize,
+    /// Per-request optimization budget (admission wait + search). `None` =
+    /// unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Plan-cache byte budget across all shards.
+    pub cache_bytes: u64,
+    /// Plan-cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            optimizer: OptimizerConfig::default(),
+            max_concurrent: 0,
+            queue_depth: 32,
+            default_deadline: None,
+            cache_bytes: 8 << 20,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Where a response's plan came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Served from the plan cache (no optimization ran).
+    Cache,
+    /// Freshly optimized this request.
+    Fresh,
+    /// The legacy planner's heuristic plan (always `degraded`).
+    Fallback,
+}
+
+/// The service's answer to one submitted query.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// Serialized DXL plan document (Figure 2's output message).
+    pub plan_dxl: String,
+    pub cost: f64,
+    /// The plan is best-effort: a truncated search's best-so-far result or
+    /// the fallback planner's heuristic, not the exhaustive optimum.
+    pub degraded: bool,
+    pub source: PlanSource,
+    /// Version-normalized query fingerprint (the cache key's identity
+    /// half); stable across catalog version bumps.
+    pub fingerprint: u64,
+    /// Time spent in the admission queue.
+    pub queue_wait: Duration,
+    /// End-to-end service latency for this request.
+    pub latency: Duration,
+    /// Diagnostics of the optimization that produced the plan (`None` for
+    /// fallback plans; for cache hits, the stats of the original run).
+    pub stats: Option<OptStats>,
+}
+
+/// Receipt for one submission.
+#[derive(Debug, Clone)]
+pub struct PlanTicket {
+    pub id: u64,
+    pub session: SessionId,
+    pub response: PlanResponse,
+}
+
+/// The optimizer service.
+pub struct Service {
+    optimizer: Optimizer,
+    config: ServiceConfig,
+    sessions: SessionManager,
+    gate: AdmissionGate,
+    cache: Arc<PlanCache>,
+    metrics: ServiceMetrics,
+    next_ticket: AtomicU64,
+}
+
+impl Service {
+    pub fn new(provider: Arc<dyn MdProvider>, config: ServiceConfig) -> Service {
+        let optimizer = Optimizer::new(provider, config.optimizer.clone());
+        let max_concurrent = if config.max_concurrent == 0 {
+            optimizer.config.workers
+        } else {
+            config.max_concurrent
+        };
+        Service {
+            gate: AdmissionGate::new(max_concurrent, config.queue_depth),
+            cache: Arc::new(PlanCache::new(config.cache_bytes, config.cache_shards)),
+            metrics: ServiceMetrics::new(),
+            sessions: SessionManager::new(),
+            next_ticket: AtomicU64::new(0),
+            optimizer,
+            config,
+        }
+    }
+
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Open a session: mints a per-session `MdAccessor` over the shared
+    /// metadata cache.
+    pub fn open_session(&self) -> SessionId {
+        let accessor = MdAccessor::new(
+            self.optimizer.cache().clone(),
+            self.optimizer.provider().clone(),
+        );
+        self.sessions.open(accessor)
+    }
+
+    pub fn close_session(&self, id: SessionId) -> Result<()> {
+        self.sessions.close(id)
+    }
+
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.live_count()
+    }
+
+    /// Submit a DXL query document under the configured default deadline.
+    pub fn submit(&self, session: SessionId, dxl: &str) -> Result<PlanTicket> {
+        self.submit_with_deadline(session, dxl, self.config.default_deadline)
+    }
+
+    /// Submit with an explicit per-request budget (overrides the default).
+    pub fn submit_with_deadline(
+        &self,
+        session: SessionId,
+        dxl: &str,
+        budget: Option<Duration>,
+    ) -> Result<PlanTicket> {
+        let query = orca_dxl::parse_query(dxl, self.optimizer.provider().as_ref())?;
+        self.submit_query(session, &query, budget)
+    }
+
+    /// Submit an already-parsed query document (what in-process callers and
+    /// the bench harness use to skip XML parsing).
+    pub fn submit_query(
+        &self,
+        session: SessionId,
+        query: &DxlQuery,
+        budget: Option<Duration>,
+    ) -> Result<PlanTicket> {
+        let started = Instant::now();
+        let deadline = budget.map(|b| started + b);
+        let sess = self.sessions.get(session)?;
+        sess.submitted.fetch_add(1, Ordering::Relaxed);
+        let ticket_id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+
+        // Rebind every table to its *current* catalog version. DXL carries
+        // explicit versioned MdIds, so without this a resubmission after
+        // `bump_table_version` would silently optimize against stale
+        // metadata — and the cache could never be told apart from it.
+        let expr = query.expr.try_map_tables(&mut |t: &TableRef| {
+            sess.accessor.table_by_name(&t.name).map(TableRef)
+        })?;
+        let query = DxlQuery {
+            expr,
+            output_cols: query.output_cols.clone(),
+            order: query.order.clone(),
+            dist: query.dist.clone(),
+            columns: query.columns.clone(),
+        };
+        let fingerprint = query_fingerprint(&query);
+        let mut current_ids: Vec<MdId> = Vec::new();
+        query.expr.visit_tables(&mut |t| current_ids.push(t.mdid));
+        current_ids.sort();
+        current_ids.dedup();
+
+        match self.cache.lookup(fingerprint, &current_ids) {
+            CacheLookup::Hit(cached) => {
+                ServiceMetrics::bump(&self.metrics.cache_hits);
+                return Ok(self.ticket(
+                    ticket_id,
+                    session,
+                    PlanResponse {
+                        plan_dxl: cached.plan_dxl.clone(),
+                        cost: cached.cost,
+                        degraded: false,
+                        source: PlanSource::Cache,
+                        fingerprint,
+                        queue_wait: Duration::ZERO,
+                        latency: started.elapsed(),
+                        stats: Some(cached.stats.clone()),
+                    },
+                ));
+            }
+            CacheLookup::Stale | CacheLookup::Miss => {
+                ServiceMetrics::bump(&self.metrics.cache_misses);
+            }
+        }
+
+        let queue_wait = match self.gate.acquire(ticket_id, deadline) {
+            Admission::Immediate => Duration::ZERO,
+            Admission::Queued(w) => {
+                ServiceMetrics::bump(&self.metrics.queued);
+                w
+            }
+            Admission::Rejected => {
+                ServiceMetrics::bump(&self.metrics.rejected);
+                return self.fallback(
+                    ticket_id,
+                    session,
+                    &sess.accessor,
+                    &query,
+                    fingerprint,
+                    started,
+                    Duration::ZERO,
+                );
+            }
+            Admission::TimedOut => {
+                ServiceMetrics::bump(&self.metrics.queued);
+                return self.fallback(
+                    ticket_id,
+                    session,
+                    &sess.accessor,
+                    &query,
+                    fingerprint,
+                    started,
+                    started.elapsed(),
+                );
+            }
+        };
+        ServiceMetrics::bump(&self.metrics.admitted);
+        let result = self
+            .optimizer
+            .optimize_query_with_deadline(&query, deadline);
+        self.gate.release();
+
+        match result {
+            Ok((plan, stats)) => {
+                let plan_dxl = plan_to_dxl(&DxlPlan {
+                    plan,
+                    cost: stats.plan_cost,
+                });
+                let degraded = stats.timed_out;
+                if degraded {
+                    // Best-so-far from a truncated search: usable, but not
+                    // worth caching — the next uncontended request should
+                    // produce (and cache) the real optimum.
+                    ServiceMetrics::bump(&self.metrics.degraded);
+                } else {
+                    self.cache.insert(
+                        fingerprint,
+                        stats.md_ids.clone(),
+                        Arc::new(CachedPlan {
+                            plan_dxl: plan_dxl.clone(),
+                            cost: stats.plan_cost,
+                            stats: stats.clone(),
+                        }),
+                    );
+                }
+                self.metrics.record_latency(started.elapsed());
+                Ok(self.ticket(
+                    ticket_id,
+                    session,
+                    PlanResponse {
+                        plan_dxl,
+                        cost: stats.plan_cost,
+                        degraded,
+                        source: PlanSource::Fresh,
+                        fingerprint,
+                        queue_wait,
+                        latency: started.elapsed(),
+                        stats: Some(stats),
+                    },
+                ))
+            }
+            Err(OrcaError::Timeout(_)) => self.fallback(
+                ticket_id,
+                session,
+                &sess.accessor,
+                &query,
+                fingerprint,
+                started,
+                queue_wait,
+            ),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Pin a cached plan (by response fingerprint) so LRU pressure cannot
+    /// evict it — prepared-statement semantics. Version invalidation still
+    /// applies.
+    pub fn pin_plan(&self, fingerprint: u64) -> Option<PinGuard> {
+        self.cache.pin(fingerprint)
+    }
+
+    /// Metrics snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = self.metrics.snapshot(0, 0);
+        self.cache.fill_stats(&mut s);
+        s
+    }
+
+    fn ticket(&self, id: u64, session: SessionId, response: PlanResponse) -> PlanTicket {
+        PlanTicket {
+            id,
+            session,
+            response,
+        }
+    }
+
+    /// Heuristic degradation path: the legacy bottom-up planner is orders
+    /// of magnitude cheaper than the Memo search, so it always answers —
+    /// the serving equivalent of the §4.1 stage fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn fallback(
+        &self,
+        ticket_id: u64,
+        session: SessionId,
+        accessor: &MdAccessor,
+        query: &DxlQuery,
+        fingerprint: u64,
+        started: Instant,
+        queue_wait: Duration,
+    ) -> Result<PlanTicket> {
+        let registry = ColumnRegistry::new();
+        for (name, ty) in &query.columns {
+            registry.fresh(name, *ty);
+        }
+        let (plan, cost) =
+            LegacyPlanner::new(accessor, &registry).plan(&query.expr, &query.order)?;
+        ServiceMetrics::bump(&self.metrics.degraded);
+        Ok(self.ticket(
+            ticket_id,
+            session,
+            PlanResponse {
+                plan_dxl: plan_to_dxl(&DxlPlan { plan, cost }),
+                cost,
+                degraded: true,
+                source: PlanSource::Fallback,
+                fingerprint,
+                queue_wait,
+                latency: started.elapsed(),
+                stats: None,
+            },
+        ))
+    }
+}
+
+/// Re-exported for callers that submit raw logical trees (tests/bench):
+/// build query requirements the same way `optimize_query` does.
+pub fn reqs_of(query: &DxlQuery) -> QueryReqs {
+    QueryReqs {
+        output_cols: query.output_cols.clone(),
+        order: query.order.clone(),
+        dist: query.dist.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_catalog::provider::MemoryProvider;
+    use orca_catalog::{ColumnMeta, Distribution};
+    use orca_common::{ColId, DataType};
+    use orca_expr::logical::{LogicalExpr, LogicalOp};
+    use orca_expr::props::DistSpec;
+    use orca_expr::props::OrderSpec;
+    use orca_expr::scalar::{CmpOp, ScalarExpr};
+
+    fn provider_with_tables(n: usize) -> Arc<MemoryProvider> {
+        let p = Arc::new(MemoryProvider::new());
+        for i in 0..n {
+            p.register(
+                &format!("t{i}"),
+                vec![
+                    ColumnMeta::new("a", DataType::Int),
+                    ColumnMeta::new("b", DataType::Int),
+                ],
+                Distribution::Hashed(vec![0]),
+            );
+        }
+        p
+    }
+
+    fn two_table_query(p: &MemoryProvider) -> DxlQuery {
+        let registry = ColumnRegistry::new();
+        let mut tables = Vec::new();
+        let mut first_col = Vec::new();
+        for name in ["t0", "t1"] {
+            let mdid = p.table_by_name(name).unwrap();
+            let desc = p.table(mdid).unwrap();
+            let cols: Vec<ColId> = desc
+                .columns
+                .iter()
+                .map(|c| registry.fresh(&format!("{name}.{}", c.name), c.dtype))
+                .collect();
+            first_col.push(cols[0]);
+            tables.push(LogicalExpr::leaf(LogicalOp::Get {
+                table: TableRef(desc),
+                cols,
+                parts: None,
+            }));
+        }
+        let join = LogicalExpr::new(
+            LogicalOp::Join {
+                kind: orca_expr::logical::JoinKind::Inner,
+                pred: ScalarExpr::cmp(
+                    CmpOp::Eq,
+                    ScalarExpr::col(first_col[0]),
+                    ScalarExpr::col(first_col[1]),
+                ),
+            },
+            tables,
+        );
+        DxlQuery {
+            output_cols: vec![first_col[0]],
+            order: OrderSpec::any(),
+            dist: DistSpec::Singleton,
+            columns: registry.snapshot(),
+            expr: join,
+        }
+    }
+
+    #[test]
+    fn repeat_submission_hits_cache_with_identical_dxl() {
+        let p = provider_with_tables(2);
+        let svc = Service::new(p.clone(), ServiceConfig::default());
+        let s = svc.open_session();
+        let q = two_table_query(&p);
+        let fresh = svc.submit_query(s, &q, None).unwrap();
+        assert_eq!(fresh.response.source, PlanSource::Fresh);
+        assert!(!fresh.response.degraded);
+        let hit = svc.submit_query(s, &q, None).unwrap();
+        assert_eq!(hit.response.source, PlanSource::Cache);
+        assert_eq!(hit.response.plan_dxl, fresh.response.plan_dxl);
+        assert_eq!(hit.response.cost, fresh.response.cost);
+        let st = svc.stats();
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.cache_misses, 1);
+        assert_eq!(st.degraded, 0);
+    }
+
+    #[test]
+    fn version_bump_invalidates_and_reoptimizes() {
+        let p = provider_with_tables(2);
+        let svc = Service::new(p.clone(), ServiceConfig::default());
+        let s = svc.open_session();
+        let q = two_table_query(&p);
+        let first = svc.submit_query(s, &q, None).unwrap();
+        let t0 = p.table_by_name("t0").unwrap();
+        p.bump_table_version(t0).unwrap();
+        let second = svc.submit_query(s, &q, None).unwrap();
+        // Same query shape → same fingerprint, but the bumped version
+        // forces a re-optimization.
+        assert_eq!(first.response.fingerprint, second.response.fingerprint);
+        assert_eq!(second.response.source, PlanSource::Fresh);
+        let st = svc.stats();
+        assert_eq!(st.cache_invalidations, 1);
+        assert_eq!(st.cache_misses, 2);
+        // The re-optimized plan is cached again under the new id set.
+        let third = svc.submit_query(s, &q, None).unwrap();
+        assert_eq!(third.response.source, PlanSource::Cache);
+    }
+
+    #[test]
+    fn sessions_open_and_close() {
+        let p = provider_with_tables(1);
+        let svc = Service::new(p, ServiceConfig::default());
+        let a = svc.open_session();
+        let b = svc.open_session();
+        assert_ne!(a, b);
+        assert_eq!(svc.live_sessions(), 2);
+        svc.close_session(a).unwrap();
+        assert!(svc.close_session(a).is_err());
+        assert_eq!(svc.live_sessions(), 1);
+        let q = two_table_query_single(&svc);
+        assert!(svc.submit_query(a, &q, None).is_err());
+        assert!(svc.submit_query(b, &q, None).is_ok());
+    }
+
+    fn two_table_query_single(svc: &Service) -> DxlQuery {
+        let registry = ColumnRegistry::new();
+        let mdid = svc.optimizer().provider().table_by_name("t0").unwrap();
+        let desc = svc.optimizer().provider().table(mdid).unwrap();
+        let cols: Vec<ColId> = desc
+            .columns
+            .iter()
+            .map(|c| registry.fresh(&c.name, c.dtype))
+            .collect();
+        DxlQuery {
+            output_cols: vec![cols[0]],
+            order: OrderSpec::any(),
+            dist: DistSpec::Singleton,
+            columns: registry.snapshot(),
+            expr: LogicalExpr::leaf(LogicalOp::Get {
+                table: TableRef(desc),
+                cols,
+                parts: None,
+            }),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Service-level observability, in the style of the Memo's
+//! `SearchMetrics`: lock-free counters on the hot path, an explicit
+//! snapshot type for consumers.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How many optimize latencies the reservoir keeps. Old samples are
+/// overwritten ring-buffer style, so percentiles reflect recent traffic.
+const LATENCY_SAMPLES: usize = 4096;
+
+/// Point-in-time snapshot of every service counter (the `ServiceStats` of
+/// the serving-layer design).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests that entered optimization (immediately or after queueing).
+    pub admitted: u64,
+    /// Admitted requests that had to wait in the overflow queue first.
+    pub queued: u64,
+    /// Requests turned away because the overflow queue was full.
+    pub rejected: u64,
+    /// Responses tagged `degraded: true` (fallback plan or truncated
+    /// search).
+    pub degraded: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Entries displaced by the byte-budget LRU.
+    pub cache_evictions: u64,
+    /// Entries dropped because a referenced `MdId` version moved on.
+    pub cache_invalidations: u64,
+    /// Median full-optimization latency (admission wait included).
+    pub p50_optimize: Duration,
+    /// Tail full-optimization latency.
+    pub p99_optimize: Duration,
+    /// Latency samples currently in the reservoir.
+    pub latency_samples: usize,
+}
+
+/// Shared counters. Cache-side counters (evictions/invalidations) live in
+/// the cache itself and are merged at snapshot time by the service.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    pub admitted: AtomicU64,
+    pub queued: AtomicU64,
+    pub rejected: AtomicU64,
+    pub degraded: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>, // microseconds
+    next: usize,
+}
+
+impl ServiceMetrics {
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_latency(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let mut ring = self.latencies.lock();
+        if ring.samples.len() < LATENCY_SAMPLES {
+            ring.samples.push(us);
+        } else {
+            let slot = ring.next;
+            ring.samples[slot] = us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_SAMPLES;
+    }
+
+    /// Snapshot counters and compute latency percentiles. Cache counters
+    /// are passed in by the owner (they live next to the shards).
+    pub fn snapshot(&self, cache_evictions: u64, cache_invalidations: u64) -> ServiceStats {
+        let (p50, p99, n) = {
+            let ring = self.latencies.lock();
+            let mut sorted = ring.samples.clone();
+            sorted.sort_unstable();
+            let pct = |p: f64| -> Duration {
+                if sorted.is_empty() {
+                    return Duration::ZERO;
+                }
+                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+                Duration::from_micros(sorted[idx])
+            };
+            (pct(0.50), pct(0.99), sorted.len())
+        };
+        ServiceStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions,
+            cache_invalidations,
+            p50_optimize: p50,
+            p99_optimize: p99,
+            latency_samples: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_reservoir() {
+        let m = ServiceMetrics::new();
+        for i in 1..=100u64 {
+            m.record_latency(Duration::from_micros(i * 10));
+        }
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.latency_samples, 100);
+        // Index: round((100-1) * 0.5) = 50 → the 51st sample.
+        assert_eq!(s.p50_optimize, Duration::from_micros(510));
+        assert_eq!(s.p99_optimize, Duration::from_micros(990));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let m = ServiceMetrics::new();
+        for _ in 0..(LATENCY_SAMPLES + 100) {
+            m.record_latency(Duration::from_micros(7));
+        }
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.latency_samples, LATENCY_SAMPLES);
+        assert_eq!(s.p99_optimize, Duration::from_micros(7));
+    }
+}

@@ -283,7 +283,9 @@ fn stage_timeout_falls_through() {
         },
     );
     let err = all_timeout.optimize(&expr, &registry, &reqs).unwrap_err();
-    assert_eq!(err.kind(), "aborted");
+    // Deadline expiry surfaces as the *typed* timeout (distinct from
+    // external cancellation) so serving layers can degrade instead of fail.
+    assert_eq!(err.kind(), "timeout");
 }
 
 /// Disabling join reordering globally changes nothing about correctness
