@@ -1,0 +1,313 @@
+//! Executor benchmark: the serial engine vs the parallel slice scheduler
+//! + batched interconnect (`ParallelEngine`) over the TPC-DS-style suite.
+//!
+//! Every suite plan is executed once on the serial engine to establish a
+//! baseline row checksum, then on the parallel engine at 1/2/4/8 compute
+//! workers. The hard gate — enforced on every run, not just `--smoke` —
+//! is byte-identical results: the checksum at every worker count must
+//! match the serial checksum for every plan.
+//!
+//! Usage: `exec_bench [scale] [iters] [--smoke]`.
+//!
+//! `--smoke` (CI) runs a reduced corpus, writes no JSON, and asserts the
+//! gates: identical checksums everywhere, and (only when the host has
+//! more than one CPU) parallel throughput at the best worker count no
+//! worse than 0.8x serial. The full run writes `BENCH_exec.json`
+//! (schema in EXPERIMENTS.md).
+
+use orca::engine::OptimizerConfig;
+use orca::Optimizer;
+use orca_bench::report::row;
+use orca_bench::BenchEnv;
+use orca_common::hash::fnv_hash;
+use orca_common::ColId;
+use orca_executor::{ExecEngine, ParallelConfig, ParallelEngine, Row};
+use orca_expr::physical::PhysicalPlan;
+use orca_tpcds::suite;
+use std::time::Instant;
+
+const WORKER_LEVELS: &[usize] = &[1, 2, 4, 8];
+
+struct BenchQuery {
+    id: String,
+    plan: PhysicalPlan,
+    output_cols: Vec<ColId>,
+}
+
+/// Deterministic digest of a result set; order-sensitive, so it captures
+/// the byte-identity contract, not just multiset equality.
+fn checksum(rows: &[Row]) -> u64 {
+    fnv_hash(&format!("{rows:?}"))
+}
+
+/// Compile + optimize the suite, keeping plans the serial engine can run.
+fn build_corpus(env: &BenchEnv, cap: usize) -> Vec<BenchQuery> {
+    let optimizer = Optimizer::new(
+        env.provider.clone(),
+        OptimizerConfig::default()
+            .with_workers(2)
+            .with_cluster(env.cluster.clone()),
+    );
+    let mut corpus = Vec::new();
+    for q in suite() {
+        if corpus.len() >= cap {
+            break;
+        }
+        let Ok((bound, registry)) = env.compile(&q) else {
+            continue;
+        };
+        let reqs = orca::engine::QueryReqs {
+            output_cols: bound.output_cols.clone(),
+            order: bound.order.clone(),
+            dist: orca_expr::props::DistSpec::Singleton,
+        };
+        let Ok((plan, _stats)) = optimizer.optimize(&bound.expr, &registry, &reqs) else {
+            continue;
+        };
+        if ExecEngine::new(&env.db)
+            .run(&plan, &bound.output_cols)
+            .is_ok()
+        {
+            corpus.push(BenchQuery {
+                id: q.id.clone(),
+                plan,
+                output_cols: bound.output_cols,
+            });
+        }
+    }
+    corpus
+}
+
+struct SerialBaseline {
+    wall_ms: f64,
+    rows: usize,
+    checksums: Vec<u64>,
+}
+
+fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize) -> SerialBaseline {
+    let engine = ExecEngine::new(&env.db);
+    let mut checksums = Vec::with_capacity(corpus.len());
+    let mut rows = 0;
+    let mut wall_ms = f64::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let mut iter_checksums = Vec::with_capacity(corpus.len());
+        rows = 0;
+        for q in corpus {
+            let res = engine.run(&q.plan, &q.output_cols).expect("serial exec");
+            rows += res.rows.len();
+            iter_checksums.push(checksum(&res.rows));
+        }
+        wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        checksums = iter_checksums;
+    }
+    SerialBaseline {
+        wall_ms,
+        rows,
+        checksums,
+    }
+}
+
+struct ParallelRun {
+    workers: usize,
+    wall_ms: f64,
+    speedup: f64,
+    motion_rows: u64,
+    motion_bytes: u64,
+    peak_queue_depth: usize,
+    slices: usize,
+    serial_fallbacks: usize,
+}
+
+fn run_parallel(
+    env: &BenchEnv,
+    corpus: &[BenchQuery],
+    baseline: &SerialBaseline,
+    workers: usize,
+    iters: usize,
+) -> ParallelRun {
+    let engine = ParallelEngine::with_config(
+        &env.db,
+        ParallelConfig {
+            workers,
+            ..ParallelConfig::default()
+        },
+    );
+    let mut wall_ms = f64::MAX;
+    let mut motion_rows = 0;
+    let mut motion_bytes = 0;
+    let mut peak_queue_depth = 0;
+    let mut slices = 0;
+    let mut serial_fallbacks = 0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        motion_rows = 0;
+        motion_bytes = 0;
+        peak_queue_depth = 0;
+        slices = 0;
+        serial_fallbacks = 0;
+        for (i, q) in corpus.iter().enumerate() {
+            let res = engine.run(&q.plan, &q.output_cols).expect("parallel exec");
+            let sum = checksum(&res.rows);
+            assert_eq!(
+                sum, baseline.checksums[i],
+                "query {} at {workers} workers diverged from the serial engine",
+                q.id
+            );
+            motion_rows += res.parallel.motion_rows();
+            motion_bytes += res.parallel.motion_bytes();
+            peak_queue_depth = peak_queue_depth.max(res.parallel.peak_queue_depth());
+            slices += res.parallel.num_slices;
+            serial_fallbacks += usize::from(res.parallel.serial_fallback);
+        }
+        wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    ParallelRun {
+        workers,
+        wall_ms,
+        speedup: baseline.wall_ms / wall_ms,
+        motion_rows,
+        motion_bytes,
+        peak_queue_depth,
+        slices,
+        serial_fallbacks,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale: f64 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.02 } else { 0.05 });
+    let iters: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("executor bench: serial vs parallel slices (scale {scale}, {iters} iters)");
+    println!("host CPUs available: {cpus}");
+    println!();
+
+    let env = BenchEnv::new(scale, 8);
+    let corpus = build_corpus(&env, if smoke { 8 } else { 16 });
+    assert!(
+        corpus.len() >= 4,
+        "corpus too small: only {} executable suite queries",
+        corpus.len()
+    );
+    println!("corpus: {} suite queries, 8 segments", corpus.len());
+
+    let baseline = run_serial(&env, &corpus, iters);
+    println!(
+        "serial: {:.1} ms for {} rows across the corpus",
+        baseline.wall_ms, baseline.rows
+    );
+    println!();
+    println!(
+        "{}",
+        row(&[
+            ("workers", 8),
+            ("wall_ms", 9),
+            ("speedup", 8),
+            ("mot_rows", 9),
+            ("mot_bytes", 10),
+            ("peak_q", 7),
+            ("slices", 7),
+            ("fallback", 9),
+        ])
+    );
+    let mut runs = Vec::new();
+    for &workers in WORKER_LEVELS {
+        let r = run_parallel(&env, &corpus, &baseline, workers, iters);
+        println!(
+            "{}",
+            row(&[
+                (&r.workers.to_string(), 8),
+                (&format!("{:.1}", r.wall_ms), 9),
+                (&format!("{:.2}", r.speedup), 8),
+                (&r.motion_rows.to_string(), 9),
+                (&r.motion_bytes.to_string(), 10),
+                (&r.peak_queue_depth.to_string(), 7),
+                (&r.slices.to_string(), 7),
+                (&r.serial_fallbacks.to_string(), 9),
+            ])
+        );
+        runs.push(r);
+    }
+    println!();
+    println!(
+        "correctness: checksums byte-identical to serial at every worker count \
+         ({} queries x {} levels)",
+        corpus.len(),
+        WORKER_LEVELS.len()
+    );
+
+    // Throughput gate: scheduling + interconnect overhead must not sink
+    // the engine. Only meaningful with real parallel hardware; on a
+    // single-CPU host the worker pool can't outrun the serial loop.
+    if cpus > 1 {
+        let best = runs.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
+        assert!(
+            best >= 0.8,
+            "best parallel speedup {best:.2}x < 0.8x serial on a {cpus}-CPU host"
+        );
+        println!("throughput gate: best speedup {best:.2}x >= 0.8x serial");
+    } else {
+        println!("throughput gate skipped: single-CPU host");
+    }
+
+    if smoke {
+        println!("\nsmoke gate passed: identical results at workers 1/2/4/8");
+        return;
+    }
+    let json = render_json(scale, iters, cpus, corpus.len(), &baseline, &runs);
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("\nwrote BENCH_exec.json");
+}
+
+/// Hand-rolled JSON (the build has no serde); schema in EXPERIMENTS.md.
+fn render_json(
+    scale: f64,
+    iters: usize,
+    cpus: usize,
+    queries: usize,
+    baseline: &SerialBaseline,
+    runs: &[ParallelRun],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"exec_bench\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    out.push_str("  \"segments\": 8,\n");
+    out.push_str(&format!("  \"queries\": {queries},\n"));
+    out.push_str(&format!(
+        "  \"serial\": {{\"wall_ms\": {:.3}, \"rows\": {}}},\n",
+        baseline.wall_ms, baseline.rows
+    ));
+    out.push_str("  \"parallel\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"motion_rows\": {}, \"motion_bytes\": {}, \"peak_queue_depth\": {}, \
+             \"slices\": {}, \"serial_fallbacks\": {}, \"checksum_ok\": true}}{}\n",
+            r.workers,
+            r.wall_ms,
+            r.speedup,
+            r.motion_rows,
+            r.motion_bytes,
+            r.peak_queue_depth,
+            r.slices,
+            r.serial_fallbacks,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

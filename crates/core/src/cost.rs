@@ -177,6 +177,9 @@ impl CostModel {
             PhysicalOp::CteScan { .. } => tup(out) * 0.5 / par,
             PhysicalOp::ConstTable { rows, .. } => rows.len() as f64 * p.tuple_proc,
             PhysicalOp::AssertOneRow => p.tuple_proc,
+            // Slicer-internal leaf; never costed (the slicer runs on
+            // already-extracted plans, downstream of the Memo).
+            PhysicalOp::ExchangeRecv { .. } => 0.0,
             PhysicalOp::UnionAll { .. } => out.rows * p.tuple_proc * 0.2 / par,
             PhysicalOp::HashSetOp { .. } => {
                 let input: f64 = ctx.children.iter().map(|c| c.rows).sum();

@@ -28,7 +28,10 @@ pub fn request_alternatives(op: &PhysicalOp, req: &ReqdProps) -> Vec<Vec<ReqdPro
         PhysicalOp::TableScan { .. }
         | PhysicalOp::IndexScan { .. }
         | PhysicalOp::CteScan { .. }
-        | PhysicalOp::ConstTable { .. } => vec![vec![]],
+        | PhysicalOp::ConstTable { .. }
+        // Slicer-internal leaf; never enters the Memo, but the leaf shape
+        // keeps this total over PhysicalOp.
+        | PhysicalOp::ExchangeRecv { .. } => vec![vec![]],
 
         // Streaming pass-through operators push the request down.
         PhysicalOp::Filter { .. } => vec![vec![req.clone()]],
@@ -273,6 +276,11 @@ pub fn derive_delivered(
             DerivedProps::new(OrderSpec::any(), DistSpec::Singleton, true)
         }
         PhysicalOp::AssertOneRow => child[0].clone(),
+        // Slicer-internal leaf (never in the Memo): delivers whatever the
+        // interconnect hands it — nothing can be promised statically.
+        PhysicalOp::ExchangeRecv { .. } => {
+            DerivedProps::new(OrderSpec::any(), DistSpec::Any, false)
+        }
         PhysicalOp::UnionAll { .. } | PhysicalOp::HashSetOp { .. } => {
             let all_singleton = child.iter().all(|c| c.dist == DistSpec::Singleton);
             DerivedProps::new(

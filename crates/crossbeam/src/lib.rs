@@ -1,13 +1,17 @@
 //! Offline shim for the `crossbeam` crate (the build environment has no
-//! crates.io access). Only `crossbeam::deque` is provided — the surface
-//! the GPOS scheduler uses for work distribution.
+//! crates.io access). Two surfaces are provided: `crossbeam::deque` (the
+//! GPOS scheduler's work-distribution queues) and `crossbeam::channel`
+//! (the bounded batch channels of the parallel executor's interconnect).
 //!
 //! The implementation favours simplicity over the lock-free Chase–Lev
 //! algorithm of the real crate: each queue is a `Mutex<VecDeque>`. The
 //! scheduler's jobs are coarse enough (rule binding, costing) that queue
 //! transfer time is noise; fairness and the `Steal` protocol (including
 //! `steal_batch_and_pop` moving half the injector backlog to the local
-//! queue) are preserved so the scheduler code runs unchanged.
+//! queue) are preserved so the scheduler code runs unchanged. Likewise
+//! the channels move row *batches*, so a Mutex+Condvar ring is far from
+//! the bottleneck; blocking, timeout, and disconnect semantics match
+//! `crossbeam-channel` where callers depend on them.
 
 pub mod deque {
     use std::collections::VecDeque;
@@ -123,6 +127,330 @@ pub mod deque {
             }
             Steal::Success(first)
         }
+    }
+}
+
+pub mod channel {
+    //! Bounded MPMC channels, mirroring the `crossbeam-channel` API subset
+    //! the interconnect uses: blocking `send`/`recv`, the `_timeout`
+    //! variants, capacity introspection (`len`), and disconnection when
+    //! the last peer on the other side drops. A zero-capacity request is
+    //! rounded up to one slot (the shim has no rendezvous mode; the
+    //! interconnect always wants at least one in-flight batch).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        /// Signalled when a slot frees up or the receiving side vanishes.
+        not_full: Condvar,
+        /// Signalled when a message arrives or the sending side vanishes.
+        not_empty: Condvar,
+    }
+
+    /// Create a bounded channel with room for `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    fn lock<T, R>(inner: &Inner<T>, f: impl FnOnce(&mut State<T>) -> R) -> R {
+        f(&mut inner.state.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued or every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match self.send_deadline(msg, None) {
+                Ok(()) => Ok(()),
+                Err(SendTimeoutError::Disconnected(m)) | Err(SendTimeoutError::Timeout(m)) => {
+                    Err(SendError(m))
+                }
+            }
+        }
+
+        /// Block up to `timeout`; `Timeout(msg)` hands the message back so
+        /// the caller can re-check its abort signal and retry.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            self.send_deadline(msg, Some(Instant::now() + timeout))
+        }
+
+        fn send_deadline(
+            &self,
+            msg: T,
+            deadline: Option<Instant>,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                if state.buf.len() < self.inner.cap {
+                    state.buf.push_back(msg);
+                    drop(state);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = match deadline {
+                    None => self
+                        .inner
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                        self.inner
+                            .not_full
+                            .wait_timeout(state, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                };
+            }
+        }
+
+        /// Messages currently queued (racy; for observability only).
+        pub fn len(&self) -> usize {
+            lock(&self.inner, |s| s.buf.len())
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            lock(&self.inner, |s| s.senders += 1);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let last = lock(&self.inner, |s| {
+                s.senders -= 1;
+                s.senders == 0
+            });
+            if last {
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match self.recv_deadline(None) {
+                Ok(m) => Ok(m),
+                Err(_) => Err(RecvError),
+            }
+        }
+
+        /// Block up to `timeout`; `Timeout` lets the caller re-check its
+        /// abort signal between waits.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Some(Instant::now() + timeout))
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            lock(&self.inner, |s| match s.buf.pop_front() {
+                Some(m) => Ok(m),
+                None if s.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            })
+            .inspect(|_| self.inner.not_full.notify_one())
+        }
+
+        fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(m) = state.buf.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(m);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                state = match deadline {
+                    None => self
+                        .inner
+                        .not_empty
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        self.inner
+                            .not_empty
+                            .wait_timeout(state, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                };
+            }
+        }
+
+        /// Messages currently queued (racy; for observability only).
+        pub fn len(&self) -> usize {
+            lock(&self.inner, |s| s.buf.len())
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            lock(&self.inner, |s| s.receivers += 1);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let last = lock(&self.inner, |s| {
+                s.receivers -= 1;
+                s.receivers == 0
+            });
+            if last {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::{bounded, RecvTimeoutError, SendTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn backpressure_blocks_and_drains() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        // Full: send_timeout hands the message back.
+        assert_eq!(
+            tx.send_timeout(1, Duration::from_millis(5)),
+            Err(SendTimeoutError::Timeout(1))
+        );
+        let h = std::thread::spawn(move || {
+            for i in 1..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_disconnects_both_ways() {
+        let (tx, rx) = bounded(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7)); // buffered survives sender drop
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        let (tx2, rx2) = bounded(1);
+        drop(rx2);
+        assert!(tx2.send(1).is_err());
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let h = std::thread::spawn(move || tx.send(1).is_err());
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        // The blocked send must observe the disconnect and error out.
+        assert!(h.join().unwrap());
     }
 }
 

@@ -330,6 +330,12 @@ pub fn physical_to_xml(p: &PhysicalPlan) -> XmlNode {
             }
             MotionKind::Broadcast => XmlNode::new("dxl:Broadcast"),
         }),
+        // Slicer-internal placeholder: plans shipped over DXL are always
+        // whole (the slicer runs inside the executor), but serializing it
+        // keeps `explain`-style dumps of sliced plans well-formed.
+        PhysicalOp::ExchangeRecv { motion } => {
+            XmlNode::new("dxl:ExchangeRecv").attr("Motion", *motion)
+        }
         PhysicalOp::Spool => kids(XmlNode::new("dxl:Spool")),
         PhysicalOp::Sequence { id } => kids(XmlNode::new("dxl:Sequence").attr("CteId", id.0)),
         PhysicalOp::CteProducer { id, cols } => kids(

@@ -42,7 +42,7 @@ impl<'a> ExecEngine<'a> {
     }
 }
 
-fn project_output(stream: &StreamSet, output_cols: &[ColId]) -> Result<Vec<Row>> {
+pub(crate) fn project_output(stream: &StreamSet, output_cols: &[ColId]) -> Result<Vec<Row>> {
     let positions: Vec<usize> = output_cols
         .iter()
         .map(|c| {

@@ -8,12 +8,15 @@
 //! deterministic "cluster elapsed time" measurements (DESIGN.md §2).
 
 use crate::eval::{accepts, compare_rows, eval, AggAccumulator, Env};
+use crate::merge::{kway_merge, VecSource};
 use crate::storage::{Database, Row};
 use orca_common::hash::{segment_for_key, FnvHashMap};
 use orca_common::{ColId, CteId, Datum, OrcaError, Result, SegmentConfig};
 use orca_expr::logical::{AggStage, JoinKind, SetOpKind};
 use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
 use orca_expr::scalar::ScalarExpr;
+use orca_gpos::AbortSignal;
+use std::sync::Arc;
 
 /// A per-segment row stream with its layout and completion times.
 #[derive(Debug, Clone)]
@@ -30,7 +33,7 @@ pub struct StreamSet {
 }
 
 impl StreamSet {
-    fn empty(layout: Vec<ColId>, segments: usize) -> StreamSet {
+    pub(crate) fn empty(layout: Vec<ColId>, segments: usize) -> StreamSet {
         StreamSet {
             layout,
             per_seg: vec![Vec::new(); segments],
@@ -88,11 +91,31 @@ pub struct ExecStats {
 }
 
 /// Per-query execution context.
+///
+/// Two modes share the same interpreter:
+///
+/// * **cluster mode** (`local_segment == None`) — the serial engine: every
+///   stream has one slot per segment and motions move rows between slots.
+/// * **single-segment mode** (`local_segment == Some(s)`) — the parallel
+///   engine's within-slice kernel: streams have exactly one slot holding
+///   segment `s`'s share, scans read physical segment `s`, and
+///   [`PhysicalOp::ExchangeRecv`] leaves resolve against [`ExecCtx::recv`]
+///   (pre-delivered by the interconnect). Motions never appear (the slicer
+///   cut them out), and master-only conventions (ConstTable rows, scalar
+///   aggregate emission, AssertOneRow) key on the *physical* segment so
+///   an n-instance gang reproduces the serial engine's placement exactly.
 pub struct ExecCtx<'a> {
     pub db: &'a Database,
     pub cluster: &'a SegmentConfig,
     pub cte: FnvHashMap<CteId, StreamSet>,
     pub stats: ExecStats,
+    /// `Some(s)` = single-segment mode on physical segment `s`.
+    pub local_segment: Option<usize>,
+    /// Streams delivered by the interconnect, keyed by motion id (consumed
+    /// by `ExchangeRecv`; each motion is delivered to a slice exactly once).
+    pub recv: FnvHashMap<usize, StreamSet>,
+    /// Cooperative cancellation: checked at every operator boundary.
+    pub abort: Option<Arc<AbortSignal>>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -102,6 +125,63 @@ impl<'a> ExecCtx<'a> {
             cluster: &db.cluster,
             cte: FnvHashMap::default(),
             stats: ExecStats::default(),
+            local_segment: None,
+            recv: FnvHashMap::default(),
+            abort: None,
+        }
+    }
+
+    /// A single-segment kernel context for one slice instance of a gang.
+    pub fn for_segment(
+        db: &'a Database,
+        segment: usize,
+        recv: FnvHashMap<usize, StreamSet>,
+        abort: Arc<AbortSignal>,
+    ) -> ExecCtx<'a> {
+        ExecCtx {
+            db,
+            cluster: &db.cluster,
+            cte: FnvHashMap::default(),
+            stats: ExecStats::default(),
+            local_segment: Some(segment),
+            recv,
+            abort: Some(abort),
+        }
+    }
+
+    /// Stream slots per `StreamSet` in this context (see struct docs).
+    fn seg_slots(&self) -> usize {
+        match self.local_segment {
+            Some(_) => 1,
+            None => self.cluster.num_segments,
+        }
+    }
+
+    /// Physical storage segment behind stream slot `slot`.
+    fn storage_segment(&self, slot: usize) -> usize {
+        self.local_segment.unwrap_or(slot)
+    }
+
+    /// Per-slot view with exactly one copy of a (possibly replicated)
+    /// stream: the serial convention keeps the surviving copy on the
+    /// master segment, which single-segment mode must reproduce from the
+    /// physical segment id rather than the slot index.
+    fn one_copy_of(&self, s: &StreamSet) -> Vec<Vec<Row>> {
+        if !s.replicated {
+            return s.per_seg.clone();
+        }
+        match self.local_segment {
+            None => s.one_copy(),
+            Some(0) => vec![s.per_seg[0].clone()],
+            Some(_) => vec![Vec::new()],
+        }
+    }
+
+    /// Cooperative cancellation check, called once per operator.
+    fn check_abort(&self) -> Result<()> {
+        match &self.abort {
+            Some(a) => a.check(),
+            None => Ok(()),
         }
     }
 
@@ -116,14 +196,15 @@ impl<'a> ExecCtx<'a> {
 
 /// Execute a plan, producing the output stream set.
 pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
-    let n = ctx.cluster.num_segments;
+    ctx.check_abort()?;
+    let n = ctx.seg_slots();
     match &plan.op {
         PhysicalOp::TableScan { table, cols, parts } => {
             let t = ctx.db.table(table.mdid)?;
             let mut out = StreamSet::empty(cols.clone(), n);
             out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
             for s in 0..n {
-                let rows = t.scan(s, parts);
+                let rows = t.scan(ctx.storage_segment(s), parts);
                 ctx.stats.rows_processed += rows.len() as u64;
                 out.avail[s] = ctx.tup_time(rows.len());
                 out.per_seg[s] = rows;
@@ -142,7 +223,7 @@ pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
             let mut out = StreamSet::empty(cols.clone(), n);
             out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
             for s in 0..n {
-                let mut rows = t.scan(s, parts);
+                let mut rows = t.scan(ctx.storage_segment(s), parts);
                 rows.sort_by(|a, b| compare_rows(a, b, &order, cols));
                 ctx.stats.rows_processed += rows.len() as u64;
                 // Ordered retrieval: random-access penalty, but no sort
@@ -342,13 +423,27 @@ pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
         }
         PhysicalOp::ConstTable { cols, rows } => {
             let mut out = StreamSet::empty(cols.clone(), n);
-            out.per_seg[0] = rows.clone();
+            // Const rows live on the master by convention; a non-master
+            // slice instance materializes an empty stream.
+            if ctx.storage_segment(0) == 0 {
+                out.per_seg[0] = rows.clone();
+            }
             Ok(out)
         }
         PhysicalOp::AssertOneRow => {
             let input = exec(&plan.children[0], ctx)?;
             let mut out = StreamSet::empty(input.layout.clone(), n);
             let total = input.total_rows();
+            if ctx.storage_segment(0) != 0 {
+                // The enforcer requires singleton input, so every row lives
+                // on the master; a non-master instance must see none.
+                if total != 0 {
+                    return Err(OrcaError::Execution(
+                        "AssertOneRow input off the master segment".into(),
+                    ));
+                }
+                return Ok(out);
+            }
             if total > 1 {
                 return Err(OrcaError::Execution(
                     "more than one row returned by a subquery used as an expression".into(),
@@ -375,7 +470,7 @@ pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
                         })
                     })
                     .collect::<Result<_>>()?;
-                let copies = c.one_copy();
+                let copies = ctx.one_copy_of(&c);
                 for (s, seg_rows) in copies.iter().enumerate() {
                     for row in seg_rows {
                         out.per_seg[s].push(positions.iter().map(|&p| row[p].clone()).collect());
@@ -391,6 +486,9 @@ pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
             output,
             input_cols,
         } => exec_setop(plan, ctx, *kind, output, input_cols),
+        PhysicalOp::ExchangeRecv { motion } => ctx.recv.remove(motion).ok_or_else(|| {
+            OrcaError::Execution(format!("motion {motion} not delivered to this slice"))
+        }),
     }
 }
 
@@ -417,7 +515,7 @@ fn exec_hash_join(
     right_keys: &[ColId],
     residual: Option<&ScalarExpr>,
 ) -> Result<StreamSet> {
-    let n = ctx.cluster.num_segments;
+    let n = ctx.seg_slots();
     let left = exec(&plan.children[0], ctx)?;
     let right = exec(&plan.children[1], ctx)?;
     let lpos = key_positions(&left.layout, left_keys)?;
@@ -520,7 +618,7 @@ fn exec_nl_join(
     kind: JoinKind,
     pred: &ScalarExpr,
 ) -> Result<StreamSet> {
-    let n = ctx.cluster.num_segments;
+    let n = ctx.seg_slots();
     let left = exec(&plan.children[0], ctx)?;
     let right = exec(&plan.children[1], ctx)?;
     let env = Env::default();
@@ -601,7 +699,7 @@ fn exec_agg(
     stage: AggStage,
     stream: bool,
 ) -> Result<StreamSet> {
-    let n = ctx.cluster.num_segments;
+    let n = ctx.seg_slots();
     let input = exec(&plan.children[0], ctx)?;
     let gpos = key_positions(&input.layout, group_cols)?;
     let env = Env::default();
@@ -643,7 +741,7 @@ fn exec_agg(
         if group_cols.is_empty() && rows.is_empty() {
             let emit_here = match stage {
                 AggStage::Local => true,
-                _ => s == 0,
+                _ => ctx.storage_segment(s) == 0,
             };
             if emit_here {
                 let accs: Vec<AggAccumulator> = aggs
@@ -662,14 +760,29 @@ fn exec_agg(
     Ok(out)
 }
 
-fn exec_motion(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>, kind: &MotionKind) -> Result<StreamSet> {
-    let n = ctx.cluster.num_segments;
-    let input = exec(&plan.children[0], ctx)?;
-    let bytes = if input.replicated {
+/// One distinct copy of a stream's bytes: a replicated input holds `n`
+/// identical copies, of which a motion reads (and ships) exactly one.
+/// Shared by every motion kind so replicated inputs are accounted the
+/// same way under Gather, Redistribute, and Broadcast.
+fn distinct_bytes(input: &StreamSet, n: usize) -> f64 {
+    if input.replicated {
         input.bytes() / n as f64
     } else {
         input.bytes()
-    };
+    }
+}
+
+fn exec_motion(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>, kind: &MotionKind) -> Result<StreamSet> {
+    if ctx.local_segment.is_some() {
+        // The slicer cuts plans at motions; a motion inside a slice means
+        // the slicer was bypassed or produced a malformed slice.
+        return Err(OrcaError::Execution(
+            "Motion executed inside a single-segment slice".into(),
+        ));
+    }
+    let n = ctx.cluster.num_segments;
+    let input = exec(&plan.children[0], ctx)?;
+    let bytes = distinct_bytes(&input, n);
     let mut out = StreamSet::empty(input.layout.clone(), n);
     match kind {
         MotionKind::Gather => {
@@ -678,10 +791,12 @@ fn exec_motion(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>, kind: &MotionKind) ->
             out.avail[0] = input.elapsed() + ctx.net_time(bytes);
         }
         MotionKind::GatherMerge(order) => {
-            let mut rows = input.gathered();
-            // Inputs are per-segment sorted; a k-way merge is emulated by a
-            // stable sort (identical output, appropriate merge charge).
-            rows.sort_by(|a, b| compare_rows(a, b, order, &input.layout));
+            // Inputs are per-segment sorted: a true streaming k-way merge,
+            // tie-breaking on the lowest source segment so the output is
+            // byte-identical to a stable sort of the gathered stream.
+            let sources: Vec<VecSource> =
+                input.one_copy().into_iter().map(VecSource::new).collect();
+            let rows = kway_merge(sources, order, &input.layout)?;
             let len = rows.len();
             out.per_seg[0] = rows;
             ctx.stats.bytes_moved += bytes as u64;
@@ -704,7 +819,9 @@ fn exec_motion(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>, kind: &MotionKind) ->
         MotionKind::Broadcast => {
             let all = input.gathered();
             out.replicated = true;
-            ctx.stats.bytes_moved += (bytes as u64) * n as u64;
+            // n full copies leave the wire: scale in f64 *before* the
+            // integer conversion so large streams don't truncate per-copy.
+            ctx.stats.bytes_moved += (bytes * n as f64) as u64;
             let base = input.elapsed();
             for s in 0..n {
                 out.per_seg[s] = all.clone();
@@ -722,7 +839,7 @@ fn exec_setop(
     output: &[ColId],
     input_cols: &[Vec<ColId>],
 ) -> Result<StreamSet> {
-    let n = ctx.cluster.num_segments;
+    let n = ctx.seg_slots();
     let mut aligned: Vec<StreamSet> = Vec::with_capacity(plan.children.len());
     for (i, child) in plan.children.iter().enumerate() {
         let c = exec(child, ctx)?;
@@ -735,7 +852,7 @@ fn exec_setop(
                     .ok_or_else(|| OrcaError::Execution(format!("setop input missing {col}")))
             })
             .collect::<Result<_>>()?;
-        let copies = c.one_copy();
+        let copies = ctx.one_copy_of(&c);
         let mut a = StreamSet::empty(output.to_vec(), n);
         for (s, seg_rows) in copies.iter().enumerate() {
             a.per_seg[s] = seg_rows

@@ -13,6 +13,12 @@
 //! * [`exec`] — the operator interpreter over per-segment streams.
 //! * [`engine`] — the public entry point: run a plan, get rows, the
 //!   simulated elapsed time, and execution statistics.
+//! * [`merge`] — streaming k-way merge shared by the serial GatherMerge
+//!   motion and the parallel interconnect's merge receiver.
+//! * [`parallel`] — the parallel engine: plans cut into slices at motion
+//!   boundaries, one gang of single-segment kernels per slice, batched
+//!   bounded-channel interconnect with backpressure (§2.1's dispatcher /
+//!   interconnect, realized with host threads).
 //! * [`mod@reference`] — an independent, naive single-node interpreter of
 //!   *logical* trees (including correlated-subquery markers, evaluated per
 //!   row). It serves as the correctness oracle for every physical plan and
@@ -21,8 +27,11 @@
 pub mod engine;
 pub mod eval;
 pub mod exec;
+pub mod merge;
+pub mod parallel;
 pub mod reference;
 pub mod storage;
 
 pub use engine::{ExecEngine, ExecResult, ExecStats};
+pub use parallel::{ParallelConfig, ParallelEngine, ParallelStats};
 pub use storage::{Database, Row};

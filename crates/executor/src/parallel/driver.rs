@@ -1,0 +1,676 @@
+//! The parallel driver: gang scheduling, cancellation, result assembly.
+//!
+//! Each slice×segment pair is one **task** with a three-phase lifecycle:
+//! receive every input motion's stream, run the serial kernel in
+//! single-segment mode, then send the output into the slice's parent
+//! motion (the root slice instead parks its stream for final assembly).
+//! Tasks get a dedicated thread — threads are cheap at gang scale — but
+//! only `workers` of them may be in the compute phase at once (a
+//! semaphore bounds CPU parallelism without ever being held across a
+//! channel operation, which is what makes the pool deadlock-free even at
+//! `workers == 1`: channel traffic always progresses).
+//!
+//! Failure of any task trips the shared [`AbortSignal`]; every blocked
+//! channel wait and kernel operator boundary re-checks it within ~10ms,
+//! so the whole gang drains, closes its channels, and joins — no leaked
+//! threads, no deadlock. Deadlines ride the same signal.
+
+use crate::engine::{project_output, ExecEngine};
+use crate::exec::{exec, ExecCtx, ExecStats, StreamSet};
+use crate::parallel::interconnect::{
+    receive_stream, send_stream, MotionChannels, MotionCounters, Msg,
+};
+use crate::parallel::metrics::{MotionMetrics, ParallelStats, SliceMetrics};
+use crate::parallel::slice::{cte_local, slice_plan, Slice, SlicedPlan};
+use crate::storage::{Database, Row};
+use crossbeam::channel::{Receiver, Sender};
+use orca_common::hash::FnvHashMap;
+use orca_common::{ColId, OrcaError, Result};
+use orca_expr::physical::PhysicalPlan;
+use orca_gpos::AbortSignal;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one [`ParallelEngine`].
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Max tasks simultaneously in the compute phase (≥ 1).
+    pub workers: usize,
+    /// Rows per interconnect batch.
+    pub batch_rows: usize,
+    /// Bounded channel capacity in *batches* — the backpressure window.
+    pub channel_capacity: usize,
+    /// Overall execution deadline, enforced via the abort signal.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            batch_rows: 256,
+            channel_capacity: 4,
+            deadline: None,
+        }
+    }
+}
+
+/// Result of one parallel execution.
+#[derive(Debug, Clone)]
+pub struct ParallelResult {
+    /// Final rows, projected to the requested output columns —
+    /// byte-identical to [`ExecEngine::run`] on the same plan.
+    pub rows: Vec<Row>,
+    /// Kernel counters summed across all slice instances, plus the
+    /// interconnect's measured wire bytes.
+    pub stats: ExecStats,
+    pub parallel: ParallelStats,
+}
+
+/// Executes sliced physical plans on a gang-per-slice worker pool.
+pub struct ParallelEngine<'a> {
+    pub db: &'a Database,
+    pub cfg: ParallelConfig,
+}
+
+impl<'a> ParallelEngine<'a> {
+    pub fn new(db: &'a Database) -> ParallelEngine<'a> {
+        ParallelEngine {
+            db,
+            cfg: ParallelConfig::default(),
+        }
+    }
+
+    pub fn with_config(db: &'a Database, cfg: ParallelConfig) -> ParallelEngine<'a> {
+        ParallelEngine { db, cfg }
+    }
+
+    /// Run a plan and project its output to `output_cols` (in order).
+    pub fn run(&self, plan: &PhysicalPlan, output_cols: &[ColId]) -> Result<ParallelResult> {
+        self.run_with_abort(plan, output_cols, &Arc::new(AbortSignal::new()))
+    }
+
+    /// Run under an external cancellation token (e.g. a session abort).
+    /// A configured deadline is installed on — and cleared from — the
+    /// provided signal.
+    pub fn run_with_abort(
+        &self,
+        plan: &PhysicalPlan,
+        output_cols: &[ColId],
+        abort: &Arc<AbortSignal>,
+    ) -> Result<ParallelResult> {
+        let t0 = Instant::now();
+        if let Some(d) = self.cfg.deadline {
+            abort.set_deadline(Instant::now() + d);
+        }
+        let mut result = self.run_inner(plan, output_cols, abort);
+        if self.cfg.deadline.is_some() {
+            abort.clear_deadline();
+        }
+        if let Ok(r) = result.as_mut() {
+            r.parallel.wall_seconds = t0.elapsed().as_secs_f64();
+        }
+        result
+    }
+
+    fn run_inner(
+        &self,
+        plan: &PhysicalPlan,
+        output_cols: &[ColId],
+        abort: &Arc<AbortSignal>,
+    ) -> Result<ParallelResult> {
+        abort.check()?;
+        let sliced = slice_plan(plan);
+        let n = self.db.cluster.num_segments;
+        let workers = self.cfg.workers.max(1);
+        if !cte_local(&sliced) {
+            // A CTE's producer and consumer landed in different slices —
+            // the stash is kernel-local, so this plan cannot be sliced.
+            // Run it on the serial engine and say so in the stats.
+            let r = ExecEngine::new(self.db).run(plan, output_cols)?;
+            abort.check()?;
+            return Ok(ParallelResult {
+                rows: r.rows,
+                stats: r.stats,
+                parallel: ParallelStats {
+                    workers,
+                    num_slices: sliced.slices.len(),
+                    serial_fallback: true,
+                    ..ParallelStats::default()
+                },
+            });
+        }
+
+        // Interconnect state, one channel matrix + counter block per motion.
+        let mut channels: Vec<MotionChannels> = sliced
+            .motions
+            .iter()
+            .map(|_| MotionChannels::new(n, self.cfg.channel_capacity))
+            .collect();
+        let counters: Vec<MotionCounters> = sliced
+            .motions
+            .iter()
+            .map(|_| MotionCounters::default())
+            .collect();
+        let gate = ComputeGate::new(workers);
+        let first_err: Mutex<Option<OrcaError>> = Mutex::new(None);
+        let merged_stats: Mutex<ExecStats> = Mutex::new(ExecStats::default());
+        let root_out: Mutex<Vec<Option<StreamSet>>> = Mutex::new((0..n).map(|_| None).collect());
+        // Per-slice timing maxima over gang instances, in nanoseconds.
+        let wall_ns: Vec<AtomicU64> = sliced.slices.iter().map(|_| AtomicU64::new(0)).collect();
+        let compute_ns: Vec<AtomicU64> = sliced.slices.iter().map(|_| AtomicU64::new(0)).collect();
+
+        std::thread::scope(|scope| {
+            for slice in &sliced.slices {
+                for seg in 0..n {
+                    let txs: Option<Vec<Sender<Msg>>> =
+                        slice.output.map(|m| channels[m].tx[seg].take().unwrap());
+                    let rxs: Vec<(usize, Vec<Receiver<Msg>>)> = slice
+                        .inputs
+                        .iter()
+                        .map(|&m| (m, channels[m].rx[seg].take().unwrap()))
+                        .collect();
+                    let task = TaskCtx {
+                        db: self.db,
+                        sliced: &sliced,
+                        slice,
+                        seg,
+                        txs,
+                        rxs,
+                        batch_rows: self.cfg.batch_rows,
+                        abort,
+                        gate: &gate,
+                        counters: &counters,
+                        merged_stats: &merged_stats,
+                        root_out: &root_out,
+                        wall_ns: &wall_ns,
+                        compute_ns: &compute_ns,
+                    };
+                    let first_err = &first_err;
+                    scope.spawn(move || {
+                        let abort = Arc::clone(task.abort);
+                        if let Err(e) = run_task(task) {
+                            abort_once(first_err, &abort, e);
+                        }
+                    });
+                }
+            }
+        });
+
+        // `scope` joined every task; surface the root cause (a task error,
+        // or an external abort/deadline that fired after the last task).
+        if let Some(e) = first_err.into_inner().unwrap() {
+            return Err(e);
+        }
+        abort.check()?;
+
+        let streams = root_out.into_inner().unwrap();
+        let mut combined = StreamSet::empty(Vec::new(), n);
+        for (s, stream) in streams.into_iter().enumerate() {
+            let stream = stream
+                .ok_or_else(|| OrcaError::Execution("root slice produced no stream".into()))?;
+            combined.layout = stream.layout.clone();
+            combined.replicated = stream.replicated;
+            combined.per_seg[s] = stream.per_seg.into_iter().next().unwrap_or_default();
+        }
+        let rows = project_output(&combined, output_cols)?;
+
+        let mut stats = merged_stats.into_inner().unwrap();
+        stats.bytes_moved += counters
+            .iter()
+            .map(|c| c.bytes.load(Ordering::Relaxed))
+            .sum::<u64>();
+        let parallel = ParallelStats {
+            workers,
+            num_slices: sliced.slices.len(),
+            serial_fallback: false,
+            wall_seconds: 0.0, // stamped by run_with_abort
+            slices: sliced
+                .slices
+                .iter()
+                .map(|s| SliceMetrics {
+                    slice: s.id,
+                    wall_seconds: wall_ns[s.id].load(Ordering::Relaxed) as f64 / 1e9,
+                    compute_seconds: compute_ns[s.id].load(Ordering::Relaxed) as f64 / 1e9,
+                })
+                .collect(),
+            motions: sliced
+                .motions
+                .iter()
+                .map(|m| MotionMetrics {
+                    motion: m.id,
+                    kind: format!("{:?}", m.kind),
+                    rows: counters[m.id].rows.load(Ordering::Relaxed),
+                    bytes: counters[m.id].bytes.load(Ordering::Relaxed),
+                    peak_queue_depth: counters[m.id].peak_queue.load(Ordering::Relaxed),
+                })
+                .collect(),
+        };
+        Ok(ParallelResult {
+            rows,
+            stats,
+            parallel,
+        })
+    }
+}
+
+/// Everything one slice×segment task needs, bundled so the spawn closure
+/// stays a single move.
+struct TaskCtx<'env> {
+    db: &'env Database,
+    sliced: &'env SlicedPlan,
+    slice: &'env Slice,
+    seg: usize,
+    txs: Option<Vec<Sender<Msg>>>,
+    rxs: Vec<(usize, Vec<Receiver<Msg>>)>,
+    batch_rows: usize,
+    abort: &'env Arc<AbortSignal>,
+    gate: &'env ComputeGate,
+    counters: &'env [MotionCounters],
+    merged_stats: &'env Mutex<ExecStats>,
+    root_out: &'env Mutex<Vec<Option<StreamSet>>>,
+    wall_ns: &'env [AtomicU64],
+    compute_ns: &'env [AtomicU64],
+}
+
+fn run_task(task: TaskCtx<'_>) -> Result<()> {
+    let t_start = Instant::now();
+    // Phase 1 — receive every input motion (no compute slot held; a
+    // blocked receive must not starve the senders feeding it).
+    let mut delivered: FnvHashMap<usize, StreamSet> = FnvHashMap::default();
+    for (m, rxs) in &task.rxs {
+        let kind = &task.sliced.motions[*m].kind;
+        delivered.insert(*m, receive_stream(kind, rxs, task.abort)?);
+    }
+    // Phase 2 — the kernel, under the compute gate.
+    task.gate.acquire(task.abort)?;
+    let t_compute = Instant::now();
+    let mut ctx = ExecCtx::for_segment(task.db, task.seg, delivered, task.abort.clone());
+    let out = exec(&task.slice.root, &mut ctx);
+    let compute = t_compute.elapsed().as_nanos() as u64;
+    task.gate.release();
+    merge_stats(&mut task.merged_stats.lock().unwrap(), &ctx.stats);
+    let out = out?;
+    // Phase 3 — ship the output (or park it, for the root slice).
+    match (&task.txs, task.slice.output) {
+        (Some(txs), Some(m)) => {
+            let kind = &task.sliced.motions[m].kind;
+            send_stream(
+                kind,
+                out,
+                task.seg,
+                txs,
+                task.batch_rows,
+                task.abort,
+                &task.counters[m],
+            )?;
+        }
+        _ => {
+            task.root_out.lock().unwrap()[task.seg] = Some(out);
+        }
+    }
+    task.compute_ns[task.slice.id].fetch_max(compute, Ordering::Relaxed);
+    task.wall_ns[task.slice.id].fetch_max(t_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
+    into.rows_processed += from.rows_processed;
+    into.bytes_moved += from.bytes_moved;
+    into.spills += from.spills;
+    into.oom_risk_bytes = into.oom_risk_bytes.max(from.oom_risk_bytes);
+}
+
+/// Record the first task error and trip the abort so every other task
+/// drains. Later errors are almost always consequences of the first
+/// (disconnects, aborts) and are dropped.
+fn abort_once(first_err: &Mutex<Option<OrcaError>>, abort: &AbortSignal, err: OrcaError) {
+    {
+        let mut slot = first_err.lock().unwrap();
+        // An abort-shaped error is a symptom, not a cause: never let it
+        // shadow a real error, and prefer a real error over it even if
+        // the symptom arrived first.
+        let symptom = matches!(err, OrcaError::Aborted(_));
+        match &*slot {
+            None => *slot = Some(err.clone()),
+            Some(OrcaError::Aborted(_)) if !symptom => *slot = Some(err.clone()),
+            _ => {}
+        }
+    }
+    abort.abort_with(err);
+}
+
+/// Bounds the number of tasks in the compute phase. Plain
+/// mutex+condvar (the hot path is per-task, not per-row), with a short
+/// wait timeout so an abort is observed promptly.
+struct ComputeGate {
+    slots: Mutex<usize>,
+    ready: Condvar,
+}
+
+impl ComputeGate {
+    fn new(workers: usize) -> ComputeGate {
+        ComputeGate {
+            slots: Mutex::new(workers.max(1)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, abort: &AbortSignal) -> Result<()> {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            abort.check()?;
+            if *slots > 0 {
+                *slots -= 1;
+                return Ok(());
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(slots, Duration::from_millis(10))
+                .unwrap();
+            slots = guard;
+        }
+    }
+
+    fn release(&self) {
+        *self.slots.lock().unwrap() += 1;
+        self.ready.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Row;
+    use orca_catalog::{ColumnMeta, Distribution, TableDesc};
+    use orca_common::{ColId, DataType, Datum, MdId, SysId};
+    use orca_expr::logical::{AggStage, JoinKind, TableRef};
+    use orca_expr::physical::{MotionKind, PhysicalOp};
+    use orca_expr::props::OrderSpec;
+    use orca_expr::scalar::{AggFunc, ScalarExpr};
+
+    fn db() -> (Database, TableRef, TableRef, TableRef) {
+        let mut db = Database::new(orca_common::SegmentConfig::default().with_segments(4));
+        let t1 = std::sync::Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, 1, 1),
+            "t1",
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        ));
+        let t2 = std::sync::Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, 2, 1),
+            "t2",
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Hashed(vec![0]),
+        ));
+        let tr = std::sync::Arc::new(TableDesc::new(
+            MdId::new(SysId::Gpdb, 3, 1),
+            "tr",
+            vec![
+                ColumnMeta::new("a", DataType::Int),
+                ColumnMeta::new("b", DataType::Int),
+            ],
+            Distribution::Replicated,
+        ));
+        let rows1: Vec<Row> = (0..100)
+            .map(|i| vec![Datum::Int(i % 20), Datum::Int(i)])
+            .collect();
+        let rows2: Vec<Row> = (0..40)
+            .map(|i| vec![Datum::Int(i), Datum::Int(i % 20)])
+            .collect();
+        let rowsr: Vec<Row> = (0..10)
+            .map(|i| vec![Datum::Int(i), Datum::Int(100 + i)])
+            .collect();
+        db.load_table(t1.clone(), rows1).unwrap();
+        db.load_table(t2.clone(), rows2).unwrap();
+        db.load_table(tr.clone(), rowsr).unwrap();
+        (db, TableRef(t1), TableRef(t2), TableRef(tr))
+    }
+
+    fn scan(t: &TableRef, first: u32) -> PhysicalPlan {
+        PhysicalPlan::leaf(PhysicalOp::TableScan {
+            table: t.clone(),
+            cols: vec![ColId(first), ColId(first + 1)],
+            parts: None,
+        })
+    }
+
+    fn motion(kind: MotionKind, child: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::new(PhysicalOp::Motion { kind }, vec![child])
+    }
+
+    /// Assert the parallel engine matches the serial engine byte for byte
+    /// at several worker counts, and return the last parallel result.
+    fn assert_identical(db: &Database, plan: &PhysicalPlan, out_cols: &[ColId]) -> ParallelResult {
+        let serial = ExecEngine::new(db).run(plan, out_cols).unwrap();
+        let mut last = None;
+        for workers in [1, 2, 4] {
+            let cfg = ParallelConfig {
+                workers,
+                batch_rows: 7, // deliberately odd, exercises batching
+                channel_capacity: 2,
+                deadline: None,
+            };
+            let par = ParallelEngine::with_config(db, cfg)
+                .run(plan, out_cols)
+                .unwrap();
+            assert_eq!(par.rows, serial.rows, "workers={workers} diverged");
+            last = Some(par);
+        }
+        last.unwrap()
+    }
+
+    /// The paper's Figure 6 shape: join with a redistribute under one
+    /// side, sorted, gather-merged to the master.
+    #[test]
+    fn figure6_plan_identical_to_serial() {
+        let (db, t1, t2, _) = db();
+        let join = PhysicalPlan::new(
+            PhysicalOp::HashJoin {
+                kind: JoinKind::Inner,
+                left_keys: vec![ColId(0)],
+                right_keys: vec![ColId(3)],
+                residual: None,
+            },
+            vec![
+                scan(&t1, 0),
+                motion(MotionKind::Redistribute(vec![ColId(3)]), scan(&t2, 2)),
+            ],
+        );
+        let plan = motion(
+            MotionKind::GatherMerge(OrderSpec::by(&[ColId(0)])),
+            PhysicalPlan::new(
+                PhysicalOp::Sort {
+                    order: OrderSpec::by(&[ColId(0)]),
+                },
+                vec![join],
+            ),
+        );
+        let par = assert_identical(&db, &plan, &[ColId(0), ColId(2)]);
+        assert_eq!(par.parallel.num_slices, 3);
+        assert!(!par.parallel.serial_fallback);
+        assert!(par.parallel.motion_rows() > 0);
+        assert!(par.parallel.motion_bytes() > 0);
+        assert_eq!(par.parallel.slices.len(), 3);
+        assert!(par.parallel.slices.iter().all(|s| s.wall_seconds > 0.0));
+    }
+
+    #[test]
+    fn broadcast_join_identical_to_serial() {
+        let (db, t1, t2, _) = db();
+        let plan = motion(
+            MotionKind::Gather,
+            PhysicalPlan::new(
+                PhysicalOp::HashJoin {
+                    kind: JoinKind::LeftOuter,
+                    left_keys: vec![ColId(0)],
+                    right_keys: vec![ColId(3)],
+                    residual: None,
+                },
+                vec![scan(&t1, 0), motion(MotionKind::Broadcast, scan(&t2, 2))],
+            ),
+        );
+        assert_identical(&db, &plan, &[ColId(0), ColId(1), ColId(2)]);
+    }
+
+    /// Replicated base table under a gather: exactly one copy survives.
+    #[test]
+    fn replicated_scan_identical_to_serial() {
+        let (db, _, _, tr) = db();
+        let plan = motion(MotionKind::Gather, scan(&tr, 0));
+        let par = assert_identical(&db, &plan, &[ColId(0), ColId(1)]);
+        assert_eq!(par.rows.len(), 10);
+    }
+
+    /// Two-stage aggregation across two redistributions.
+    #[test]
+    fn split_agg_identical_to_serial() {
+        let (db, t1, _, _) = db();
+        let agg = |stage: AggStage, in_col: ColId, out_col: ColId, child: PhysicalPlan| {
+            PhysicalPlan::new(
+                PhysicalOp::HashAgg {
+                    group_cols: vec![ColId(0)],
+                    aggs: vec![(
+                        out_col,
+                        ScalarExpr::Agg {
+                            func: AggFunc::Sum,
+                            arg: Some(Box::new(ScalarExpr::ColRef(in_col))),
+                            distinct: false,
+                        },
+                    )],
+                    stage,
+                },
+                vec![child],
+            )
+        };
+        let local = agg(
+            AggStage::Local,
+            ColId(1),
+            ColId(11),
+            motion(MotionKind::Redistribute(vec![ColId(1)]), scan(&t1, 0)),
+        );
+        let global = agg(
+            AggStage::Global,
+            ColId(11),
+            ColId(10),
+            motion(MotionKind::Redistribute(vec![ColId(0)]), local),
+        );
+        let plan = motion(MotionKind::Gather, global);
+        let par = assert_identical(&db, &plan, &[ColId(0), ColId(10)]);
+        assert_eq!(par.parallel.num_slices, 4);
+    }
+
+    /// A plan with no motions still runs (single-slice gang).
+    #[test]
+    fn motionless_plan_identical_to_serial() {
+        let (db, t1, _, _) = db();
+        let plan = scan(&t1, 0);
+        let par = assert_identical(&db, &plan, &[ColId(0), ColId(1)]);
+        assert_eq!(par.parallel.num_slices, 1);
+        assert!(par.parallel.motions.is_empty());
+    }
+
+    /// Cross-slice CTE triggers the serial fallback, with identical rows.
+    #[test]
+    fn cross_slice_cte_falls_back_to_serial() {
+        let (db, t1, _, _) = db();
+        let cte = orca_common::CteId(1);
+        let producer = PhysicalPlan::new(
+            PhysicalOp::CteProducer {
+                id: cte,
+                cols: vec![ColId(0), ColId(1)],
+            },
+            vec![scan(&t1, 0)],
+        );
+        let consumer = PhysicalPlan::leaf(PhysicalOp::CteScan {
+            id: cte,
+            cols: vec![ColId(20), ColId(21)],
+            producer_cols: vec![ColId(0), ColId(1)],
+        });
+        // Motion between producer and consumer → unslicable.
+        let plan = motion(
+            MotionKind::Gather,
+            PhysicalPlan::new(
+                PhysicalOp::Sequence { id: cte },
+                vec![
+                    producer,
+                    motion(MotionKind::Redistribute(vec![ColId(21)]), consumer),
+                ],
+            ),
+        );
+        let serial = ExecEngine::new(&db).run(&plan, &[ColId(20)]).unwrap();
+        let par = ParallelEngine::new(&db).run(&plan, &[ColId(20)]).unwrap();
+        assert!(par.parallel.serial_fallback);
+        assert_eq!(par.rows, serial.rows);
+    }
+
+    /// A mid-query abort drains the gang: the run errors out promptly,
+    /// every thread joins (scope guarantees it), nothing deadlocks even
+    /// with a tiny interconnect window.
+    #[test]
+    fn abort_mid_query_drains_without_deadlock() {
+        let (db, t1, t2, _) = db();
+        let plan = motion(
+            MotionKind::Gather,
+            PhysicalPlan::new(
+                PhysicalOp::HashJoin {
+                    kind: JoinKind::Inner,
+                    left_keys: vec![ColId(0)],
+                    right_keys: vec![ColId(3)],
+                    residual: None,
+                },
+                vec![scan(&t1, 0), motion(MotionKind::Broadcast, scan(&t2, 2))],
+            ),
+        );
+        let cfg = ParallelConfig {
+            workers: 2,
+            batch_rows: 1,
+            channel_capacity: 1,
+            deadline: None,
+        };
+        let engine = ParallelEngine::with_config(&db, cfg);
+        let abort = Arc::new(AbortSignal::new());
+        abort.abort(); // already cancelled before the gang starts
+        let err = engine
+            .run_with_abort(&plan, &[ColId(0)], &abort)
+            .unwrap_err();
+        assert_eq!(err.kind(), "aborted");
+    }
+
+    /// An expired deadline surfaces as a timeout error.
+    #[test]
+    fn deadline_expiry_is_a_timeout() {
+        let (db, t1, t2, _) = db();
+        let plan = motion(
+            MotionKind::Gather,
+            PhysicalPlan::new(
+                PhysicalOp::HashJoin {
+                    kind: JoinKind::Inner,
+                    left_keys: vec![ColId(0)],
+                    right_keys: vec![ColId(3)],
+                    residual: None,
+                },
+                vec![scan(&t1, 0), motion(MotionKind::Broadcast, scan(&t2, 2))],
+            ),
+        );
+        let cfg = ParallelConfig {
+            workers: 1,
+            batch_rows: 1,
+            channel_capacity: 1,
+            deadline: Some(Duration::from_nanos(1)),
+        };
+        let err = ParallelEngine::with_config(&db, cfg)
+            .run(&plan, &[ColId(0)])
+            .unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+    }
+}

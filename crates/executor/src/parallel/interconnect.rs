@@ -1,0 +1,473 @@
+//! The interconnect: batched, bounded channels between slice gangs.
+//!
+//! For each motion edge the driver builds an n×n matrix of bounded
+//! channels — one per (sender instance, receiver instance) pair. A
+//! channel carries a short protocol: `Open(layout)`, zero or more
+//! `Batch` messages of up to `batch_rows` rows, then `Eos`. Bounded
+//! capacity is the backpressure mechanism: a fast sender blocks (in
+//! 10ms abort-checking slices) once `capacity` batches are in flight.
+//!
+//! Determinism: receivers drain sender channels **in sender-segment
+//! order** (GatherMerge instead merges all senders, breaking ties toward
+//! the lowest sender), which reproduces the serial engine's stream order
+//! byte for byte. A sender whose stream is replicated ships only its
+//! segment-0 copy — the parallel analogue of the serial `one_copy()`.
+
+use crate::exec::StreamSet;
+use crate::merge::{kway_merge, RowSource};
+use crate::storage::Row;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use orca_common::hash::segment_for_key;
+use orca_common::{ColId, Datum, OrcaError, Result};
+use orca_expr::physical::MotionKind;
+use orca_gpos::AbortSignal;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// How long a blocked channel operation waits before re-checking the
+/// abort signal. Small enough that cancellation is prompt; large enough
+/// that a healthy pipeline never spins.
+const POLL: Duration = Duration::from_millis(10);
+
+/// One message on an interconnect channel.
+#[derive(Debug)]
+pub enum Msg {
+    /// Stream prologue: the row layout (sent by every sender instance,
+    /// identical across a motion — layouts travel in-band so empty
+    /// streams still carry their schema).
+    Open {
+        layout: Vec<ColId>,
+    },
+    Batch(Vec<Row>),
+    /// End of stream: the sender instance is done with this receiver.
+    Eos,
+}
+
+/// Wire counters for one motion, shared by all its channels.
+#[derive(Debug, Default)]
+pub struct MotionCounters {
+    pub rows: AtomicU64,
+    pub bytes: AtomicU64,
+    /// Highest observed in-flight batch count on any single channel —
+    /// `capacity` here means the backpressure bound was hit.
+    pub peak_queue: AtomicUsize,
+}
+
+/// The channel matrix for one motion: `n` sender instances × `n`
+/// receiver instances.
+pub struct MotionChannels {
+    /// `tx[sender][receiver]`, handed out to sender tasks.
+    pub tx: Vec<Option<Vec<Sender<Msg>>>>,
+    /// `rx[receiver][sender]`, handed out to receiver tasks.
+    pub rx: Vec<Option<Vec<Receiver<Msg>>>>,
+}
+
+impl MotionChannels {
+    pub fn new(n: usize, capacity: usize) -> MotionChannels {
+        let mut tx: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rx: Vec<Vec<Receiver<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        for tx_row in tx.iter_mut() {
+            for rx_row in rx.iter_mut() {
+                let (s, r) = bounded(capacity);
+                tx_row.push(s);
+                rx_row.push(r);
+            }
+        }
+        MotionChannels {
+            tx: tx.into_iter().map(Some).collect(),
+            rx: rx.into_iter().map(Some).collect(),
+        }
+    }
+}
+
+fn batch_bytes(rows: &[Row]) -> u64 {
+    rows.iter()
+        .map(|r| r.iter().map(Datum::width).sum::<u64>())
+        .sum()
+}
+
+fn send_msg(tx: &Sender<Msg>, mut msg: Msg, abort: &AbortSignal) -> Result<()> {
+    loop {
+        abort.check()?;
+        match tx.send_timeout(msg, POLL) {
+            Ok(()) => return Ok(()),
+            Err(SendTimeoutError::Timeout(m)) => msg = m,
+            Err(SendTimeoutError::Disconnected(_)) => {
+                // The receiver died; its error (or the abort) is the root
+                // cause — this is just the upstream symptom.
+                return Err(abort_error(abort, "interconnect receiver disconnected"));
+            }
+        }
+    }
+}
+
+fn recv_msg(rx: &Receiver<Msg>, abort: &AbortSignal) -> Result<Msg> {
+    loop {
+        abort.check()?;
+        match rx.recv_timeout(POLL) {
+            Ok(m) => return Ok(m),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(abort_error(abort, "interconnect sender disconnected"));
+            }
+        }
+    }
+}
+
+/// Prefer the recorded root-cause error over a generic disconnect.
+fn abort_error(abort: &AbortSignal, fallback: &str) -> OrcaError {
+    if abort.is_aborted() {
+        abort.error()
+    } else {
+        OrcaError::Execution(fallback.into())
+    }
+}
+
+/// Send one slice instance's output stream into its motion.
+///
+/// `stream` is the single-slot output of the kernel on physical segment
+/// `segment`; `txs[r]` is the channel to receiver instance `r`.
+#[allow(clippy::too_many_arguments)]
+pub fn send_stream(
+    kind: &MotionKind,
+    stream: StreamSet,
+    segment: usize,
+    txs: &[Sender<Msg>],
+    batch_rows: usize,
+    abort: &AbortSignal,
+    counters: &MotionCounters,
+) -> Result<()> {
+    for tx in txs {
+        send_msg(
+            tx,
+            Msg::Open {
+                layout: stream.layout.clone(),
+            },
+            abort,
+        )?;
+    }
+    // One distinct copy: replicated streams ship only their master copy,
+    // mirroring the serial engine's `one_copy()` / `gathered()` reads.
+    let rows: Vec<Row> = if stream.replicated && segment != 0 {
+        Vec::new()
+    } else {
+        stream.per_seg.into_iter().next().unwrap_or_default()
+    };
+    match kind {
+        MotionKind::Gather | MotionKind::GatherMerge(_) => {
+            // All rows land on the receiving gang's master instance.
+            send_batches(&txs[0], rows, batch_rows, abort, counters)?;
+        }
+        MotionKind::Redistribute(cols) => {
+            let pos: Vec<usize> = cols
+                .iter()
+                .map(|k| {
+                    stream.layout.iter().position(|c| c == k).ok_or_else(|| {
+                        OrcaError::Execution(format!("key column {k} not in layout"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let mut parts: Vec<Vec<Row>> = vec![Vec::new(); txs.len()];
+            for row in rows {
+                let key: Vec<Datum> = pos.iter().map(|&p| row[p].clone()).collect();
+                let dest = segment_for_key(&key, txs.len());
+                parts[dest].push(row);
+            }
+            for (dest, part) in parts.into_iter().enumerate() {
+                send_batches(&txs[dest], part, batch_rows, abort, counters)?;
+            }
+        }
+        MotionKind::Broadcast => {
+            for tx in txs {
+                send_batches(tx, rows.clone(), batch_rows, abort, counters)?;
+            }
+        }
+    }
+    for tx in txs {
+        send_msg(tx, Msg::Eos, abort)?;
+    }
+    Ok(())
+}
+
+fn send_batches(
+    tx: &Sender<Msg>,
+    rows: Vec<Row>,
+    batch_rows: usize,
+    abort: &AbortSignal,
+    counters: &MotionCounters,
+) -> Result<()> {
+    let batch_rows = batch_rows.max(1);
+    let mut rows = rows;
+    // Drain front-to-back in batch_rows chunks without re-allocating the
+    // remainder each time: split off the tail, send the head.
+    while !rows.is_empty() {
+        let tail = if rows.len() > batch_rows {
+            rows.split_off(batch_rows)
+        } else {
+            Vec::new()
+        };
+        let batch = std::mem::replace(&mut rows, tail);
+        counters
+            .rows
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        counters
+            .bytes
+            .fetch_add(batch_bytes(&batch), Ordering::Relaxed);
+        send_msg(tx, Msg::Batch(batch), abort)?;
+        counters.peak_queue.fetch_max(tx.len(), Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// A streaming [`RowSource`] over one sender's channel (post-`Open`),
+/// used by the GatherMerge receiver to merge without materializing.
+struct ChannelSource<'a> {
+    rx: &'a Receiver<Msg>,
+    buf: std::vec::IntoIter<Row>,
+    done: bool,
+    abort: &'a AbortSignal,
+}
+
+impl RowSource for ChannelSource<'_> {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.buf.next() {
+                return Ok(Some(row));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match recv_msg(self.rx, self.abort)? {
+                Msg::Batch(rows) => self.buf = rows.into_iter(),
+                Msg::Eos => self.done = true,
+                Msg::Open { .. } => {
+                    return Err(OrcaError::Execution(
+                        "interconnect protocol error: Open after stream start".into(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Receive one motion's stream for receiver instance `segment`.
+///
+/// `rxs[s]` is the channel from sender instance `s`. Returns the
+/// delivered single-slot `StreamSet` the kernel's `ExchangeRecv` leaf
+/// will resolve to.
+pub fn receive_stream(
+    kind: &MotionKind,
+    rxs: &[Receiver<Msg>],
+    abort: &AbortSignal,
+) -> Result<StreamSet> {
+    // Every sender opens with the (shared) layout, even when it will
+    // contribute no rows.
+    let mut layout: Vec<ColId> = Vec::new();
+    for rx in rxs {
+        match recv_msg(rx, abort)? {
+            Msg::Open { layout: l } => layout = l,
+            _ => {
+                return Err(OrcaError::Execution(
+                    "interconnect protocol error: stream did not start with Open".into(),
+                ))
+            }
+        }
+    }
+    let mut out = StreamSet::empty(layout, 1);
+    match kind {
+        MotionKind::GatherMerge(order) => {
+            // True streaming k-way merge across sender channels; ties
+            // break toward the lowest sender, matching the serial
+            // stable-sort-of-concatenation order.
+            let sources: Vec<ChannelSource<'_>> = rxs
+                .iter()
+                .map(|rx| ChannelSource {
+                    rx,
+                    buf: Vec::new().into_iter(),
+                    done: false,
+                    abort,
+                })
+                .collect();
+            let layout = out.layout.clone();
+            out.per_seg[0] = kway_merge(sources, order, &layout)?;
+        }
+        _ => {
+            // Concatenate sender streams in sender-segment order.
+            let mut rows: Vec<Row> = Vec::new();
+            for rx in rxs {
+                loop {
+                    match recv_msg(rx, abort)? {
+                        Msg::Batch(mut b) => rows.append(&mut b),
+                        Msg::Eos => break,
+                        Msg::Open { .. } => {
+                            return Err(OrcaError::Execution(
+                                "interconnect protocol error: duplicate Open".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+            out.per_seg[0] = rows;
+        }
+    }
+    out.replicated = matches!(kind, MotionKind::Broadcast);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_expr::props::OrderSpec;
+    use std::sync::Arc;
+
+    fn stream(rows: Vec<Row>, replicated: bool) -> StreamSet {
+        let mut s = StreamSet::empty(vec![ColId(0), ColId(1)], 1);
+        s.per_seg[0] = rows;
+        s.replicated = replicated;
+        s
+    }
+
+    fn rows2(vals: &[(i64, i64)]) -> Vec<Row> {
+        vals.iter()
+            .map(|&(a, b)| vec![Datum::Int(a), Datum::Int(b)])
+            .collect()
+    }
+
+    /// Run `n` senders and one receiving gang over real threads; returns
+    /// each receiver instance's delivered rows.
+    fn round_trip(
+        kind: MotionKind,
+        per_sender: Vec<StreamSet>,
+        batch_rows: usize,
+        capacity: usize,
+    ) -> Vec<Vec<Row>> {
+        let n = per_sender.len();
+        let mut ch = MotionChannels::new(n, capacity);
+        let abort = Arc::new(AbortSignal::new());
+        let counters = MotionCounters::default();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (s, stream) in per_sender.into_iter().enumerate() {
+                let txs = ch.tx[s].take().unwrap();
+                let kind = &kind;
+                let abort = &abort;
+                let counters = &counters;
+                scope.spawn(move || {
+                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters).unwrap();
+                });
+            }
+            for r in 0..n {
+                let rxs = ch.rx[r].take().unwrap();
+                let kind = &kind;
+                let abort = &abort;
+                handles.push(
+                    scope.spawn(move || {
+                        receive_stream(kind, &rxs, abort).unwrap().per_seg[0].clone()
+                    }),
+                );
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn gather_concatenates_in_sender_order() {
+        let got = round_trip(
+            MotionKind::Gather,
+            vec![
+                stream(rows2(&[(3, 0), (1, 1)]), false),
+                stream(rows2(&[(2, 2)]), false),
+                stream(rows2(&[]), false),
+            ],
+            2,
+            1,
+        );
+        assert_eq!(got[0], rows2(&[(3, 0), (1, 1), (2, 2)]));
+        assert!(got[1].is_empty() && got[2].is_empty());
+    }
+
+    #[test]
+    fn gather_merge_streams_sorted() {
+        let order = OrderSpec::by(&[ColId(0)]);
+        let got = round_trip(
+            MotionKind::GatherMerge(order),
+            vec![
+                stream(rows2(&[(1, 10), (4, 11)]), false),
+                stream(rows2(&[(1, 20), (2, 21)]), false),
+            ],
+            1,
+            1,
+        );
+        // Ties (key 1) break toward sender 0.
+        assert_eq!(got[0], rows2(&[(1, 10), (1, 20), (2, 21), (4, 11)]));
+    }
+
+    #[test]
+    fn redistribute_partitions_by_hash() {
+        let input = rows2(&[(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]);
+        let got = round_trip(
+            MotionKind::Redistribute(vec![ColId(0)]),
+            vec![stream(input.clone(), false), stream(rows2(&[]), false)],
+            2,
+            1,
+        );
+        // Every row lands exactly once, on its hash segment.
+        let mut all: Vec<Row> = got.iter().flatten().cloned().collect();
+        assert_eq!(all.len(), input.len());
+        for (r, seg_rows) in got.iter().enumerate() {
+            for row in seg_rows {
+                assert_eq!(segment_for_key(&row[..1], 2), r);
+            }
+        }
+        all.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(all, input);
+    }
+
+    #[test]
+    fn broadcast_replicates_and_skips_duplicate_copies() {
+        // A replicated sender stream: only segment 0's copy ships.
+        let copy = rows2(&[(7, 7), (8, 8)]);
+        let got = round_trip(
+            MotionKind::Broadcast,
+            vec![stream(copy.clone(), true), stream(copy.clone(), true)],
+            1,
+            1,
+        );
+        assert_eq!(got[0], copy);
+        assert_eq!(got[1], copy);
+    }
+
+    #[test]
+    fn tiny_capacity_backpressures_without_deadlock() {
+        let big: Vec<Row> = (0..500)
+            .map(|i| vec![Datum::Int(i), Datum::Int(i)])
+            .collect();
+        let got = round_trip(
+            MotionKind::Gather,
+            vec![stream(big.clone(), false)],
+            1, // one-row batches
+            1, // one batch in flight
+        );
+        assert_eq!(got[0], big);
+    }
+
+    #[test]
+    fn abort_unblocks_a_stuck_sender() {
+        let mut ch = MotionChannels::new(1, 1);
+        let abort = Arc::new(AbortSignal::new());
+        let counters = MotionCounters::default();
+        let txs = ch.tx[0].take().unwrap();
+        let _rxs = ch.rx[0].take().unwrap(); // held, never drained
+        let rows: Vec<Row> = (0..100).map(|i| vec![Datum::Int(i)]).collect();
+        let mut s = StreamSet::empty(vec![ColId(0)], 1);
+        s.per_seg[0] = rows;
+        let t = std::thread::spawn({
+            let abort = abort.clone();
+            move || send_stream(&MotionKind::Gather, s, 0, &txs, 1, &abort, &counters)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        abort.abort();
+        let err = t.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), "aborted");
+    }
+}

@@ -1,0 +1,61 @@
+//! Observability for parallel execution.
+
+/// Timing for one slice, taken as the maximum over its gang instances
+/// (the slice is done when its slowest instance is).
+#[derive(Debug, Clone, Default)]
+pub struct SliceMetrics {
+    pub slice: usize,
+    /// Full task lifecycle: receive + compute + send.
+    pub wall_seconds: f64,
+    /// Kernel time only (under the compute gate).
+    pub compute_seconds: f64,
+}
+
+/// Wire traffic for one motion, summed over its channels.
+#[derive(Debug, Clone, Default)]
+pub struct MotionMetrics {
+    pub motion: usize,
+    /// Debug rendering of the [`orca_expr::physical::MotionKind`].
+    pub kind: String,
+    pub rows: u64,
+    pub bytes: u64,
+    /// Highest observed in-flight batch count on any single channel.
+    /// Equal to the configured channel capacity ⇒ backpressure engaged.
+    pub peak_queue_depth: usize,
+}
+
+/// Execution-wide parallel statistics, returned alongside the rows.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelStats {
+    /// Compute-phase parallelism the run was configured with.
+    pub workers: usize,
+    pub num_slices: usize,
+    /// The plan could not be sliced (cross-slice CTE) and ran on the
+    /// serial engine instead; slice/motion vectors are empty.
+    pub serial_fallback: bool,
+    /// End-to-end wall time of the parallel run.
+    pub wall_seconds: f64,
+    pub slices: Vec<SliceMetrics>,
+    pub motions: Vec<MotionMetrics>,
+}
+
+impl ParallelStats {
+    /// Total rows that crossed the interconnect.
+    pub fn motion_rows(&self) -> u64 {
+        self.motions.iter().map(|m| m.rows).sum()
+    }
+
+    /// Total bytes that crossed the interconnect.
+    pub fn motion_bytes(&self) -> u64 {
+        self.motions.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Highest channel occupancy seen on any motion.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.motions
+            .iter()
+            .map(|m| m.peak_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,34 @@
+//! Parallel MPP execution: slice scheduler + batched interconnect.
+//!
+//! The serial [`crate::engine::ExecEngine`] *simulates* the cluster of
+//! §2.1 inside one thread: streams carry one slot per segment and
+//! motions shuffle rows between slots. This module realizes the same
+//! model with actual concurrency, the way GPDB runs Orca's plans:
+//!
+//! * [`slice`] cuts a physical plan at every Motion into a DAG of
+//!   **slices**; each slice is instantiated once per segment (a *gang*),
+//!   and each instance runs the unmodified serial interpreter in
+//!   single-segment mode (see [`crate::exec::ExecCtx`]).
+//! * [`interconnect`] moves row batches between gangs over bounded
+//!   channels — Gather, GatherMerge (true streaming k-way merge at the
+//!   receiver), Redistribute (hash fan-out), Broadcast — with bounded
+//!   capacity providing backpressure and EOS markers ending streams.
+//! * [`driver`] schedules the slice×segment tasks on a worker pool,
+//!   propagates errors/cancellation/deadlines through a shared
+//!   [`orca_gpos::AbortSignal`], and assembles the final result.
+//! * [`metrics`] reports per-slice wall times, per-motion rows/bytes,
+//!   and peak channel occupancy.
+//!
+//! Correctness bar: for any plan the serial engine can run, the parallel
+//! engine returns a **byte-identical** result set at every worker count.
+//! Receivers drain senders in segment order and merge ties toward the
+//! lowest sender, exactly reproducing the serial engine's deterministic
+//! stream order.
+
+pub mod driver;
+pub mod interconnect;
+pub mod metrics;
+pub mod slice;
+
+pub use driver::{ParallelConfig, ParallelEngine, ParallelResult};
+pub use metrics::{MotionMetrics, ParallelStats, SliceMetrics};

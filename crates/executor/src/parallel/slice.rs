@@ -1,0 +1,229 @@
+//! Cutting a physical plan into slices at motion boundaries.
+//!
+//! A **slice** is a maximal motion-free fragment of the plan. Each
+//! Motion node becomes an edge between two slices: its child subtree is
+//! the *sender* slice's plan, and the Motion node itself is replaced in
+//! the parent fragment by an [`PhysicalOp::ExchangeRecv`] leaf that the
+//! kernel resolves against the interconnect. Because every slice feeds
+//! exactly one parent motion, the slice graph is a tree rooted at slice
+//! 0 (the fragment containing the plan root) — which is what makes the
+//! receive-all → compute → send task lifecycle deadlock-free.
+
+use orca_common::CteId;
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
+use std::collections::HashSet;
+
+/// One motion edge between a sender slice and a receiver slice.
+#[derive(Debug, Clone)]
+pub struct MotionEdge {
+    pub id: usize,
+    pub kind: MotionKind,
+    pub sender: usize,
+    pub receiver: usize,
+}
+
+/// A motion-free plan fragment plus its interconnect endpoints.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    pub id: usize,
+    /// The fragment, with each Motion child replaced by `ExchangeRecv`.
+    pub root: PhysicalPlan,
+    /// Motions whose receiving end is in this slice (discovery order).
+    pub inputs: Vec<usize>,
+    /// The motion this slice feeds; `None` for the root slice.
+    pub output: Option<usize>,
+}
+
+/// A plan cut into slices. Slice 0 is the root slice (produces the
+/// query result); `motions[i].id == i`.
+#[derive(Debug, Clone)]
+pub struct SlicedPlan {
+    pub slices: Vec<Slice>,
+    pub motions: Vec<MotionEdge>,
+}
+
+/// Cut `plan` at every Motion.
+pub fn slice_plan(plan: &PhysicalPlan) -> SlicedPlan {
+    let mut cutter = Cutter {
+        slices: vec![Slice {
+            id: 0,
+            // Placeholder; replaced with the cut root fragment below.
+            root: PhysicalPlan::leaf(PhysicalOp::ExchangeRecv { motion: usize::MAX }),
+            inputs: Vec::new(),
+            output: None,
+        }],
+        motions: Vec::new(),
+    };
+    let root = cutter.cut(plan, 0);
+    cutter.slices[0].root = root;
+    SlicedPlan {
+        slices: cutter.slices,
+        motions: cutter.motions,
+    }
+}
+
+struct Cutter {
+    slices: Vec<Slice>,
+    motions: Vec<MotionEdge>,
+}
+
+impl Cutter {
+    fn cut(&mut self, plan: &PhysicalPlan, current: usize) -> PhysicalPlan {
+        if let PhysicalOp::Motion { kind } = &plan.op {
+            let motion = self.motions.len();
+            let sender = self.slices.len();
+            self.motions.push(MotionEdge {
+                id: motion,
+                kind: kind.clone(),
+                sender,
+                receiver: current,
+            });
+            self.slices.push(Slice {
+                id: sender,
+                root: PhysicalPlan::leaf(PhysicalOp::ExchangeRecv { motion: usize::MAX }),
+                inputs: Vec::new(),
+                output: Some(motion),
+            });
+            let frag = self.cut(&plan.children[0], sender);
+            self.slices[sender].root = frag;
+            self.slices[current].inputs.push(motion);
+            return PhysicalPlan::leaf(PhysicalOp::ExchangeRecv { motion });
+        }
+        let children = plan.children.iter().map(|c| self.cut(c, current)).collect();
+        PhysicalPlan::new(plan.op.clone(), children)
+    }
+}
+
+/// Whether every CTE consumer shares a slice with its producer.
+///
+/// CTE materialization lives in the per-kernel context, so a CteScan in
+/// a different slice than its CteProducer would read an empty stash. The
+/// optimizer keeps CTE pipelines motion-free between producer and
+/// consumer in the common case; when it doesn't, the driver falls back
+/// to the serial engine (flagged in [`super::metrics::ParallelStats`]).
+pub fn cte_local(sliced: &SlicedPlan) -> bool {
+    sliced.slices.iter().all(|slice| {
+        let mut produced: HashSet<CteId> = HashSet::new();
+        let mut consumed: HashSet<CteId> = HashSet::new();
+        collect_ctes(&slice.root, &mut produced, &mut consumed);
+        consumed.is_subset(&produced)
+    })
+}
+
+fn collect_ctes(plan: &PhysicalPlan, produced: &mut HashSet<CteId>, consumed: &mut HashSet<CteId>) {
+    match &plan.op {
+        PhysicalOp::CteProducer { id, .. } => {
+            produced.insert(*id);
+        }
+        PhysicalOp::CteScan { id, .. } => {
+            consumed.insert(*id);
+        }
+        _ => {}
+    }
+    for c in &plan.children {
+        collect_ctes(c, produced, consumed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_common::ColId;
+    use orca_expr::props::OrderSpec;
+
+    fn leaf() -> PhysicalPlan {
+        PhysicalPlan::leaf(PhysicalOp::ConstTable {
+            cols: vec![ColId(0)],
+            rows: Vec::new(),
+        })
+    }
+
+    fn motion(kind: MotionKind, child: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::new(PhysicalOp::Motion { kind }, vec![child])
+    }
+
+    #[test]
+    fn no_motion_is_one_slice() {
+        let sliced = slice_plan(&leaf());
+        assert_eq!(sliced.slices.len(), 1);
+        assert!(sliced.motions.is_empty());
+        assert!(sliced.slices[0].inputs.is_empty());
+        assert!(sliced.slices[0].output.is_none());
+    }
+
+    #[test]
+    fn nested_motions_form_a_chain() {
+        // Gather over Redistribute: three slices, two motions.
+        let plan = motion(
+            MotionKind::Gather,
+            motion(MotionKind::Redistribute(vec![ColId(0)]), leaf()),
+        );
+        let sliced = slice_plan(&plan);
+        assert_eq!(sliced.slices.len(), 3);
+        assert_eq!(sliced.motions.len(), 2);
+        // Root slice receives motion 0 (the Gather edge).
+        assert_eq!(sliced.slices[0].inputs, vec![0]);
+        assert!(matches!(
+            sliced.slices[0].root.op,
+            PhysicalOp::ExchangeRecv { motion: 0 }
+        ));
+        // The Gather's sender slice receives the Redistribute edge.
+        assert_eq!(sliced.motions[0].receiver, 0);
+        let mid = sliced.motions[0].sender;
+        assert_eq!(sliced.slices[mid].inputs, vec![1]);
+        assert_eq!(sliced.slices[mid].output, Some(0));
+        assert_eq!(sliced.motions[1].receiver, mid);
+        let bottom = sliced.motions[1].sender;
+        assert_eq!(sliced.slices[bottom].inputs, Vec::<usize>::new());
+        assert_eq!(sliced.slices[bottom].output, Some(1));
+    }
+
+    #[test]
+    fn sibling_motions_share_a_receiver() {
+        // A two-input operator with a motion under each child.
+        let join = PhysicalPlan::new(
+            PhysicalOp::UnionAll {
+                output: vec![ColId(0)],
+                input_cols: vec![vec![ColId(0)], vec![ColId(0)]],
+            },
+            vec![
+                motion(MotionKind::Broadcast, leaf()),
+                motion(MotionKind::GatherMerge(OrderSpec::by(&[ColId(0)])), leaf()),
+            ],
+        );
+        let sliced = slice_plan(&join);
+        assert_eq!(sliced.slices.len(), 3);
+        assert_eq!(sliced.slices[0].inputs, vec![0, 1]);
+        assert!(sliced.motions.iter().all(|m| m.receiver == 0));
+    }
+
+    #[test]
+    fn cte_split_across_slices_is_detected() {
+        use orca_common::CteId;
+        let produce = PhysicalPlan::new(
+            PhysicalOp::CteProducer {
+                id: CteId(7),
+                cols: vec![ColId(0)],
+            },
+            vec![leaf()],
+        );
+        let scan = PhysicalPlan::leaf(PhysicalOp::CteScan {
+            id: CteId(7),
+            cols: vec![ColId(1)],
+            producer_cols: vec![ColId(0)],
+        });
+        // Same slice: fine.
+        let local = PhysicalPlan::new(
+            PhysicalOp::Sequence { id: CteId(7) },
+            vec![produce.clone(), scan.clone()],
+        );
+        assert!(cte_local(&slice_plan(&local)));
+        // Motion between producer and consumer: consumer slice reads a
+        // CTE it never materialized.
+        let split = PhysicalPlan::new(
+            PhysicalOp::Sequence { id: CteId(7) },
+            vec![produce, motion(MotionKind::Gather, scan)],
+        );
+        assert!(!cte_local(&slice_plan(&split)));
+    }
+}

@@ -118,6 +118,12 @@ pub enum PhysicalOp {
     },
     /// Unary **enforcer**: data movement.
     Motion { kind: MotionKind },
+    /// Leaf: the receiving end of a sliced Motion. Never produced by the
+    /// optimizer — the parallel executor's slicer replaces each Motion
+    /// child with this placeholder when it cuts a plan into slices, and
+    /// the interpreter resolves it against the interconnect's delivered
+    /// stream for `motion`.
+    ExchangeRecv { motion: usize },
     /// Unary: materialize child output (rewindability for NLJoin inners).
     Spool,
     /// Binary: run child 0 (CTE producer), then child 1 (consumer tree).
@@ -178,6 +184,7 @@ impl PhysicalOp {
                 MotionKind::GatherMerge(o) => format!("GatherMerge{o}"),
                 k => k.name().into(),
             },
+            PhysicalOp::ExchangeRecv { motion } => format!("ExchangeRecv(m{motion})"),
             PhysicalOp::Spool => "Spool".into(),
             PhysicalOp::Sequence { id } => format!("Sequence({id})"),
             PhysicalOp::CteProducer { id, .. } => format!("CTEProducer({id})"),
@@ -194,7 +201,8 @@ impl PhysicalOp {
             PhysicalOp::TableScan { .. }
             | PhysicalOp::IndexScan { .. }
             | PhysicalOp::CteScan { .. }
-            | PhysicalOp::ConstTable { .. } => 0,
+            | PhysicalOp::ConstTable { .. }
+            | PhysicalOp::ExchangeRecv { .. } => 0,
             PhysicalOp::Filter { .. }
             | PhysicalOp::Project { .. }
             | PhysicalOp::HashAgg { .. }
@@ -229,6 +237,9 @@ impl PhysicalOp {
             | PhysicalOp::Spool
             | PhysicalOp::AssertOneRow => child_outputs[0].clone(),
             PhysicalOp::Project { exprs } => exprs.iter().map(|(c, _)| *c).collect(),
+            // The layout travels in-band with the delivered stream; it is
+            // not statically known at the placeholder.
+            PhysicalOp::ExchangeRecv { .. } => Vec::new(),
             PhysicalOp::HashJoin { kind, .. } | PhysicalOp::NLJoin { kind, .. } => {
                 let mut out = child_outputs[0].clone();
                 if kind.outputs_right() {

@@ -15,16 +15,21 @@
 use crate::ServiceStats;
 use orca::OptStats;
 use orca_common::MdId;
+use orca_expr::physical::PhysicalPlan;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// The cached payload: the serialized plan document plus the optimizer
-/// diagnostics of the run that produced it.
+/// The cached payload: the serialized plan document, the in-memory plan
+/// tree (so cache hits can go straight to the executor without
+/// re-parsing DXL), and the optimizer diagnostics of the run that
+/// produced it.
 #[derive(Debug)]
 pub struct CachedPlan {
     pub plan_dxl: String,
+    /// The physical plan itself, executable as-is on a cache hit.
+    pub plan: PhysicalPlan,
     pub cost: f64,
     pub stats: OptStats,
 }
@@ -32,10 +37,14 @@ pub struct CachedPlan {
 impl CachedPlan {
     /// Accounting size of one entry against the byte budget.
     fn bytes(&self, md_ids: &[MdId]) -> u64 {
-        // DXL text dominates; id set and fixed struct overhead are
-        // approximated.
-        self.plan_dxl.len() as u64 + md_ids.len() as u64 * 24 + 128
+        // DXL text dominates; the plan tree is charged per node, the id
+        // set and fixed struct overhead are approximated.
+        self.plan_dxl.len() as u64 + plan_nodes(&self.plan) * 96 + md_ids.len() as u64 * 24 + 128
     }
+}
+
+fn plan_nodes(p: &PhysicalPlan) -> u64 {
+    1 + p.children.iter().map(plan_nodes).sum::<u64>()
 }
 
 #[derive(Debug)]
@@ -213,6 +222,10 @@ mod tests {
     fn plan(text: &str) -> Arc<CachedPlan> {
         Arc::new(CachedPlan {
             plan_dxl: text.to_string(),
+            plan: PhysicalPlan::leaf(orca_expr::physical::PhysicalOp::ConstTable {
+                cols: Vec::new(),
+                rows: Vec::new(),
+            }),
             cost: 1.0,
             stats: OptStats::default(),
         })
@@ -239,7 +252,7 @@ mod tests {
     #[test]
     fn lru_eviction_under_byte_budget() {
         // One shard, budget fits ~2 entries of this size.
-        let c = PlanCache::new(400, 1);
+        let c = PlanCache::new(600, 1);
         c.insert(1, ids(1), plan("x"));
         c.insert(2, ids(1), plan("y"));
         // Touch 1 so 2 is the LRU victim.
@@ -253,7 +266,7 @@ mod tests {
 
     #[test]
     fn pinned_entries_survive_pressure() {
-        let c = Arc::new(PlanCache::new(400, 1));
+        let c = Arc::new(PlanCache::new(600, 1));
         c.insert(1, ids(1), plan("x"));
         let guard = c.pin(1).expect("resident");
         c.insert(2, ids(1), plan("y"));

@@ -42,13 +42,17 @@ use orca::engine::QueryReqs;
 use orca::{OptStats, Optimizer, OptimizerConfig};
 use orca_catalog::provider::MdProvider;
 use orca_catalog::MdAccessor;
-use orca_common::{MdId, OrcaError, Result};
+use orca_common::{ColId, MdId, OrcaError, Result};
 use orca_dxl::{plan_to_dxl, query_fingerprint, DxlPlan, DxlQuery};
+use orca_executor::{
+    Database, ExecEngine, ExecStats, ParallelConfig, ParallelEngine, ParallelStats, Row,
+};
 use orca_expr::logical::TableRef;
+use orca_expr::physical::PhysicalPlan;
 use orca_expr::ColumnRegistry;
 use orca_planner::LegacyPlanner;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Serving-layer configuration.
@@ -69,6 +73,9 @@ pub struct ServiceConfig {
     pub cache_bytes: u64,
     /// Plan-cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Execute plans after planning (requires [`Service::attach_database`]);
+    /// `None` = planning-only service.
+    pub execute: Option<ExecuteConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -80,8 +87,62 @@ impl Default for ServiceConfig {
             default_deadline: None,
             cache_bytes: 8 << 20,
             cache_shards: 8,
+            execute: None,
         }
     }
+}
+
+/// How the execute-after-optimize path runs plans.
+#[derive(Debug, Clone)]
+pub struct ExecuteConfig {
+    /// Run on the [`ParallelEngine`]; `false` = the serial engine.
+    pub parallel: bool,
+    /// Compute workers for the parallel engine; `0` = host parallelism.
+    pub workers: usize,
+    /// Interconnect batch size in rows.
+    pub batch_rows: usize,
+    /// Interconnect channel capacity in batches (backpressure window).
+    pub channel_capacity: usize,
+    /// Per-query execution deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ExecuteConfig {
+    fn default() -> ExecuteConfig {
+        ExecuteConfig {
+            parallel: true,
+            workers: 0,
+            batch_rows: 256,
+            channel_capacity: 4,
+            deadline: None,
+        }
+    }
+}
+
+impl ExecuteConfig {
+    fn parallel_config(&self) -> ParallelConfig {
+        let mut cfg = ParallelConfig::default();
+        if self.workers != 0 {
+            cfg.workers = self.workers;
+        }
+        cfg.batch_rows = self.batch_rows;
+        cfg.channel_capacity = self.channel_capacity;
+        cfg.deadline = self.deadline;
+        cfg
+    }
+}
+
+/// Outcome of executing a plan on the attached database.
+#[derive(Debug, Clone)]
+pub struct ExecSummary {
+    /// The query's result rows, projected to its output columns.
+    pub rows: Vec<Row>,
+    /// Wall time of the execution alone (also folded into the service's
+    /// execute-latency reservoir).
+    pub latency: Duration,
+    pub stats: ExecStats,
+    /// Parallel-engine diagnostics; `None` when the serial engine ran.
+    pub parallel: Option<ParallelStats>,
 }
 
 /// Where a response's plan came from.
@@ -115,6 +176,9 @@ pub struct PlanResponse {
     /// Diagnostics of the optimization that produced the plan (`None` for
     /// fallback plans; for cache hits, the stats of the original run).
     pub stats: Option<OptStats>,
+    /// Result of executing the plan, when the service is configured with
+    /// an [`ExecuteConfig`] and a database is attached.
+    pub execution: Option<ExecSummary>,
 }
 
 /// Receipt for one submission.
@@ -134,6 +198,9 @@ pub struct Service {
     cache: Arc<PlanCache>,
     metrics: ServiceMetrics,
     next_ticket: AtomicU64,
+    /// Execution backend for the execute-after-optimize path; absent in a
+    /// planning-only deployment.
+    database: RwLock<Option<Arc<Database>>>,
 }
 
 impl Service {
@@ -150,9 +217,17 @@ impl Service {
             metrics: ServiceMetrics::new(),
             sessions: SessionManager::new(),
             next_ticket: AtomicU64::new(0),
+            database: RwLock::new(None),
             optimizer,
             config,
         }
+    }
+
+    /// Attach (or replace) the execution backend. With
+    /// [`ServiceConfig::execute`] set, every subsequent response also
+    /// carries the executed result rows.
+    pub fn attach_database(&self, db: Arc<Database>) {
+        *self.database.write().unwrap() = Some(db);
     }
 
     pub fn optimizer(&self) -> &Optimizer {
@@ -238,6 +313,7 @@ impl Service {
         match self.cache.lookup(fingerprint, &current_ids) {
             CacheLookup::Hit(cached) => {
                 ServiceMetrics::bump(&self.metrics.cache_hits);
+                let execution = self.maybe_execute(&cached.plan, &query.output_cols)?;
                 return Ok(self.ticket(
                     ticket_id,
                     session,
@@ -250,6 +326,7 @@ impl Service {
                         queue_wait: Duration::ZERO,
                         latency: started.elapsed(),
                         stats: Some(cached.stats.clone()),
+                        execution,
                     },
                 ));
             }
@@ -298,7 +375,7 @@ impl Service {
         match result {
             Ok((plan, stats)) => {
                 let plan_dxl = plan_to_dxl(&DxlPlan {
-                    plan,
+                    plan: plan.clone(),
                     cost: stats.plan_cost,
                 });
                 let degraded = stats.timed_out;
@@ -313,12 +390,14 @@ impl Service {
                         stats.md_ids.clone(),
                         Arc::new(CachedPlan {
                             plan_dxl: plan_dxl.clone(),
+                            plan: plan.clone(),
                             cost: stats.plan_cost,
                             stats: stats.clone(),
                         }),
                     );
                 }
                 self.metrics.record_latency(started.elapsed());
+                let execution = self.maybe_execute(&plan, &query.output_cols)?;
                 Ok(self.ticket(
                     ticket_id,
                     session,
@@ -331,6 +410,7 @@ impl Service {
                         queue_wait,
                         latency: started.elapsed(),
                         stats: Some(stats),
+                        execution,
                     },
                 ))
             }
@@ -390,6 +470,7 @@ impl Service {
         let (plan, cost) =
             LegacyPlanner::new(accessor, &registry).plan(&query.expr, &query.order)?;
         ServiceMetrics::bump(&self.metrics.degraded);
+        let execution = self.maybe_execute(&plan, &query.output_cols)?;
         Ok(self.ticket(
             ticket_id,
             session,
@@ -402,8 +483,50 @@ impl Service {
                 queue_wait,
                 latency: started.elapsed(),
                 stats: None,
+                execution,
             },
         ))
+    }
+
+    /// Execute-after-optimize: run `plan` on the attached database when
+    /// the service is configured to. Quietly skipped (returns `None`)
+    /// when execution is off or no database is attached; execution
+    /// *errors* are not quiet — a plan that fails to run is a failed
+    /// request.
+    fn maybe_execute(
+        &self,
+        plan: &PhysicalPlan,
+        output_cols: &[ColId],
+    ) -> Result<Option<ExecSummary>> {
+        let Some(exec_cfg) = &self.config.execute else {
+            return Ok(None);
+        };
+        let guard = self.database.read().unwrap();
+        let Some(db) = guard.as_ref() else {
+            return Ok(None);
+        };
+        let t0 = Instant::now();
+        let summary = if exec_cfg.parallel {
+            let engine = ParallelEngine::with_config(db, exec_cfg.parallel_config());
+            let r = engine.run(plan, output_cols)?;
+            ExecSummary {
+                rows: r.rows,
+                latency: t0.elapsed(),
+                stats: r.stats,
+                parallel: Some(r.parallel),
+            }
+        } else {
+            let r = ExecEngine::new(db).run(plan, output_cols)?;
+            ExecSummary {
+                rows: r.rows,
+                latency: t0.elapsed(),
+                stats: r.stats,
+                parallel: None,
+            }
+        };
+        ServiceMetrics::bump(&self.metrics.executed);
+        self.metrics.record_exec_latency(summary.latency);
+        Ok(Some(summary))
     }
 }
 
@@ -537,6 +660,53 @@ mod tests {
         let q = two_table_query_single(&svc);
         assert!(svc.submit_query(a, &q, None).is_err());
         assert!(svc.submit_query(b, &q, None).is_ok());
+    }
+
+    #[test]
+    fn execute_after_optimize_runs_plans_and_records_latency() {
+        use orca_common::{Datum, SegmentConfig};
+
+        let p = provider_with_tables(2);
+        let cfg = ServiceConfig {
+            execute: Some(ExecuteConfig {
+                workers: 2,
+                ..ExecuteConfig::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let svc = Service::new(p.clone(), cfg);
+        let s = svc.open_session();
+        let q = two_table_query(&p);
+
+        // No database attached yet: planning succeeds, execution is
+        // quietly skipped.
+        let planned = svc.submit_query(s, &q, None).unwrap();
+        assert_eq!(planned.response.source, PlanSource::Fresh);
+        assert!(planned.response.execution.is_none());
+
+        // Attach data and resubmit: the cache hit executes the cached
+        // plan on the parallel engine.
+        let mut db = Database::new(SegmentConfig::default());
+        for name in ["t0", "t1"] {
+            let desc = p.table(p.table_by_name(name).unwrap()).unwrap();
+            let rows = (0..20i64)
+                .map(|i| vec![Datum::Int(i), Datum::Int(i * 2)])
+                .collect();
+            db.load_table(desc, rows).unwrap();
+        }
+        svc.attach_database(Arc::new(db));
+        let hit = svc.submit_query(s, &q, None).unwrap();
+        assert_eq!(hit.response.source, PlanSource::Cache);
+        let exec = hit.response.execution.expect("plan should have executed");
+        // t0 ⋈ t1 on a = a over identical 20-row tables → 20 rows.
+        assert_eq!(exec.rows.len(), 20);
+        let pstats = exec.parallel.expect("parallel engine stats");
+        assert_eq!(pstats.workers, 2);
+        assert!(pstats.num_slices >= 1);
+        let st = svc.stats();
+        assert_eq!(st.executed, 1);
+        assert_eq!(st.exec_latency_samples, 1);
+        assert!(st.p50_execute > Duration::ZERO || st.exec_latency_samples > 0);
     }
 
     fn two_table_query_single(svc: &Service) -> DxlQuery {

@@ -6,8 +6,8 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// How many optimize latencies the reservoir keeps. Old samples are
-/// overwritten ring-buffer style, so percentiles reflect recent traffic.
+/// How many latencies each reservoir keeps. Old samples are overwritten
+/// ring-buffer style, so percentiles reflect recent traffic.
 const LATENCY_SAMPLES: usize = 4096;
 
 /// Point-in-time snapshot of every service counter (the `ServiceStats` of
@@ -29,12 +29,20 @@ pub struct ServiceStats {
     pub cache_evictions: u64,
     /// Entries dropped because a referenced `MdId` version moved on.
     pub cache_invalidations: u64,
+    /// Plans executed after planning (execute-after-optimize path).
+    pub executed: u64,
     /// Median full-optimization latency (admission wait included).
     pub p50_optimize: Duration,
     /// Tail full-optimization latency.
     pub p99_optimize: Duration,
     /// Latency samples currently in the reservoir.
     pub latency_samples: usize,
+    /// Median plan-execution latency.
+    pub p50_execute: Duration,
+    /// Tail plan-execution latency.
+    pub p99_execute: Duration,
+    /// Execution latency samples currently in the reservoir.
+    pub exec_latency_samples: usize,
 }
 
 /// Shared counters. Cache-side counters (evictions/invalidations) live in
@@ -47,13 +55,42 @@ pub struct ServiceMetrics {
     pub degraded: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    pub executed: AtomicU64,
     latencies: Mutex<LatencyRing>,
+    exec_latencies: Mutex<LatencyRing>,
 }
 
 #[derive(Debug, Default)]
 struct LatencyRing {
     samples: Vec<u64>, // microseconds
     next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        if self.samples.len() < LATENCY_SAMPLES {
+            self.samples.push(us);
+        } else {
+            let slot = self.next;
+            self.samples[slot] = us;
+        }
+        self.next = (self.next + 1) % LATENCY_SAMPLES;
+    }
+
+    /// (p50, p99, sample count).
+    fn percentiles(&self) -> (Duration, Duration, usize) {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            Duration::from_micros(sorted[idx])
+        };
+        (pct(0.50), pct(0.99), sorted.len())
+    }
 }
 
 impl ServiceMetrics {
@@ -66,33 +103,18 @@ impl ServiceMetrics {
     }
 
     pub fn record_latency(&self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
-        let mut ring = self.latencies.lock();
-        if ring.samples.len() < LATENCY_SAMPLES {
-            ring.samples.push(us);
-        } else {
-            let slot = ring.next;
-            ring.samples[slot] = us;
-        }
-        ring.next = (ring.next + 1) % LATENCY_SAMPLES;
+        self.latencies.lock().record(d);
+    }
+
+    pub fn record_exec_latency(&self, d: Duration) {
+        self.exec_latencies.lock().record(d);
     }
 
     /// Snapshot counters and compute latency percentiles. Cache counters
     /// are passed in by the owner (they live next to the shards).
     pub fn snapshot(&self, cache_evictions: u64, cache_invalidations: u64) -> ServiceStats {
-        let (p50, p99, n) = {
-            let ring = self.latencies.lock();
-            let mut sorted = ring.samples.clone();
-            sorted.sort_unstable();
-            let pct = |p: f64| -> Duration {
-                if sorted.is_empty() {
-                    return Duration::ZERO;
-                }
-                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-                Duration::from_micros(sorted[idx])
-            };
-            (pct(0.50), pct(0.99), sorted.len())
-        };
+        let (p50, p99, n) = self.latencies.lock().percentiles();
+        let (ep50, ep99, en) = self.exec_latencies.lock().percentiles();
         ServiceStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             queued: self.queued.load(Ordering::Relaxed),
@@ -102,9 +124,13 @@ impl ServiceMetrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions,
             cache_invalidations,
+            executed: self.executed.load(Ordering::Relaxed),
             p50_optimize: p50,
             p99_optimize: p99,
             latency_samples: n,
+            p50_execute: ep50,
+            p99_execute: ep99,
+            exec_latency_samples: en,
         }
     }
 }
@@ -135,5 +161,18 @@ mod tests {
         let s = m.snapshot(0, 0);
         assert_eq!(s.latency_samples, LATENCY_SAMPLES);
         assert_eq!(s.p99_optimize, Duration::from_micros(7));
+    }
+
+    #[test]
+    fn exec_latencies_are_a_separate_reservoir() {
+        let m = ServiceMetrics::new();
+        m.record_latency(Duration::from_micros(100));
+        m.record_exec_latency(Duration::from_micros(7));
+        m.record_exec_latency(Duration::from_micros(9));
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.latency_samples, 1);
+        assert_eq!(s.exec_latency_samples, 2);
+        assert_eq!(s.p50_execute, Duration::from_micros(9));
+        assert_eq!(s.p99_optimize, Duration::from_micros(100));
     }
 }

@@ -1,0 +1,362 @@
+//! Differential testing of the parallel execution subsystem: random
+//! optimized plans must produce *byte-identical* results on the serial
+//! engine and on `ParallelEngine` at every worker count, and both must
+//! agree with the naive single-node reference interpreter. Plus targeted
+//! liveness tests: a mid-query abort and a tiny interconnect window must
+//! drain cleanly — no deadlock, no leaked threads.
+
+use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
+use orca_catalog::provider::MdProvider as _;
+use orca_catalog::stats::ColumnStats;
+use orca_catalog::{ColumnMeta, Distribution, MemoryProvider, TableStats};
+use orca_common::{ColId, DataType, Datum, SegmentConfig};
+use orca_executor::engine::sort_rows;
+use orca_executor::reference::run_reference;
+use orca_executor::{Database, ExecEngine, ParallelConfig, ParallelEngine};
+use orca_expr::logical::{AggStage, JoinKind, LogicalExpr, LogicalOp, TableRef};
+use orca_expr::physical::PhysicalPlan;
+use orca_expr::props::OrderSpec;
+use orca_expr::scalar::{AggFunc, CmpOp, ScalarExpr};
+use orca_expr::ColumnRegistry;
+use orca_gpos::AbortSignal;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const SEGMENTS: usize = 4;
+/// Three tables, 3 int columns each; table i owns ColIds 3i..3i+3.
+const NCOLS: u32 = 3;
+
+struct Fixture {
+    provider: Arc<MemoryProvider>,
+    db: Database,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let provider = Arc::new(MemoryProvider::new());
+        let mut db = Database::new(SegmentConfig::default().with_segments(SEGMENTS));
+        let dists = [
+            Distribution::Hashed(vec![0]),
+            Distribution::Hashed(vec![1]),
+            Distribution::Replicated,
+        ];
+        for (t, dist) in dists.into_iter().enumerate() {
+            let name = format!("dt{t}");
+            let id = provider.register(
+                &name,
+                (0..NCOLS)
+                    .map(|c| ColumnMeta::new(&format!("c{c}"), DataType::Int))
+                    .collect(),
+                dist,
+            );
+            let rows: Vec<Vec<Datum>> = (0..150)
+                .map(|i| {
+                    (0..NCOLS)
+                        .map(|c| {
+                            let v = (i * 11 + (c as i64) * 5 + (t as i64) * 7) % 19;
+                            if v == 18 {
+                                Datum::Null
+                            } else {
+                                Datum::Int(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut stats = TableStats::new(rows.len() as f64, NCOLS as usize);
+            for c in 0..NCOLS as usize {
+                let values: Vec<Datum> = rows.iter().map(|r| r[c].clone()).collect();
+                stats.columns[c] = Some(ColumnStats::from_column(&values, 8));
+            }
+            provider.set_stats(id, stats);
+            db.load_table(provider.table(id).expect("registered"), rows)
+                .expect("load");
+        }
+        Fixture { provider, db }
+    })
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    tables: Vec<usize>,
+    joins: Vec<(u32, u32, u8)>,
+    filters: Vec<(u32, u8, i64)>,
+    agg: Option<(u32, bool)>,
+    limit: Option<u64>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop::sample::subsequence(vec![0usize, 1, 2], 1..=3).prop_shuffle(),
+        prop::collection::vec((0u32..NCOLS, 0u32..NCOLS, 0u8..4), 0..2),
+        prop::collection::vec((0u32..NCOLS, 0u8..5, 0i64..18), 0..3),
+        prop::option::of((0u32..NCOLS, any::<bool>())),
+        prop::option::of(1u64..25),
+    )
+        .prop_map(|(tables, joins, filters, agg, limit)| QuerySpec {
+            tables,
+            joins,
+            filters,
+            agg,
+            limit,
+        })
+}
+
+fn col(table: usize, c: u32) -> ColId {
+    ColId(table as u32 * NCOLS + c)
+}
+
+fn build_query(spec: &QuerySpec, registry: &ColumnRegistry) -> (LogicalExpr, Vec<ColId>) {
+    let fx = fixture();
+    while registry.len() < (3 * NCOLS) as usize {
+        registry.fresh(&format!("c{}", registry.len()), DataType::Int);
+    }
+    let get = |t: usize| {
+        let mdid = fx.provider.table_by_name(&format!("dt{t}")).expect("table");
+        LogicalExpr::leaf(LogicalOp::Get {
+            table: TableRef(fx.provider.table(mdid).expect("desc")),
+            cols: (0..NCOLS).map(|c| col(t, c)).collect(),
+            parts: None,
+        })
+    };
+    let mut expr = get(spec.tables[0]);
+    let mut visible: Vec<ColId> = expr.output_cols();
+    for (i, t) in spec.tables.iter().enumerate().skip(1) {
+        let (lc, rc, kindsel) = spec.joins.get(i - 1).copied().unwrap_or((0, 0, 0));
+        let left_col = visible[(lc as usize) % visible.len()];
+        let right_col = col(*t, rc);
+        let kind = match kindsel % 4 {
+            0 => JoinKind::Inner,
+            1 => JoinKind::LeftOuter,
+            2 => JoinKind::LeftSemi,
+            _ => JoinKind::LeftAntiSemi,
+        };
+        expr = LogicalExpr::new(
+            LogicalOp::Join {
+                kind,
+                pred: ScalarExpr::col_eq_col(left_col, right_col),
+            },
+            vec![expr, get(*t)],
+        );
+        visible = expr.output_cols();
+    }
+    let mut conjuncts = Vec::new();
+    for (c, op, v) in &spec.filters {
+        let target = visible[(*c as usize) % visible.len()];
+        let op = match op % 5 {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Ge,
+            _ => CmpOp::Le,
+        };
+        conjuncts.push(ScalarExpr::cmp(
+            op,
+            ScalarExpr::col(target),
+            ScalarExpr::int(*v),
+        ));
+    }
+    if !conjuncts.is_empty() {
+        expr = LogicalExpr::new(
+            LogicalOp::Select {
+                pred: ScalarExpr::and(conjuncts),
+            },
+            vec![expr],
+        );
+    }
+    let mut output = visible.clone();
+    if let Some((gc, use_sum)) = &spec.agg {
+        let group = visible[(*gc as usize) % visible.len()];
+        let agg_col = registry.fresh("agg_out", DataType::Int);
+        let agg_arg = visible[(*gc as usize + 1) % visible.len()];
+        let func = if *use_sum {
+            AggFunc::Sum
+        } else {
+            AggFunc::Count
+        };
+        expr = LogicalExpr::new(
+            LogicalOp::GbAgg {
+                group_cols: vec![group],
+                aggs: vec![(
+                    agg_col,
+                    ScalarExpr::Agg {
+                        func,
+                        arg: Some(Box::new(ScalarExpr::col(agg_arg))),
+                        distinct: false,
+                    },
+                )],
+                stage: AggStage::Single,
+            },
+            vec![expr],
+        );
+        output = vec![group, agg_col];
+    }
+    if let Some(n) = spec.limit {
+        expr = LogicalExpr::new(
+            LogicalOp::Limit {
+                order: OrderSpec::by(&output),
+                offset: 0,
+                count: Some(n),
+            },
+            vec![expr],
+        );
+    }
+    (expr, output)
+}
+
+fn optimize(expr: &LogicalExpr, registry: &Arc<ColumnRegistry>, output: &[ColId]) -> PhysicalPlan {
+    let fx = fixture();
+    let optimizer = Optimizer::new(
+        fx.provider.clone(),
+        OptimizerConfig::default().with_cluster(SegmentConfig::default().with_segments(SEGMENTS)),
+    );
+    let reqs = QueryReqs::gather_all(output.to_vec());
+    let (plan, _) = optimizer
+        .optimize(expr, registry, &reqs)
+        .expect("optimizes");
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// For random optimized plans: serial rows == parallel rows at 1, 2
+    /// and 4 compute workers (byte-identical, order included), and the
+    /// multiset agrees with the reference interpreter. Odd batch sizes
+    /// and a tiny channel window force multi-batch streams through the
+    /// interconnect.
+    #[test]
+    fn parallel_equals_serial_at_every_worker_count(spec in spec_strategy()) {
+        let fx = fixture();
+        let registry = Arc::new(ColumnRegistry::new());
+        let (expr, output) = build_query(&spec, &registry);
+        let plan = optimize(&expr, &registry, &output);
+        let serial = ExecEngine::new(&fx.db).run(&plan, &output).expect("serial");
+        for workers in [1usize, 2, 4] {
+            let engine = ParallelEngine::with_config(&fx.db, ParallelConfig {
+                workers,
+                batch_rows: 7,
+                channel_capacity: 2,
+                deadline: None,
+            });
+            let par = engine.run(&plan, &output).expect("parallel");
+            prop_assert_eq!(
+                &par.rows,
+                &serial.rows,
+                "parallel({}) != serial\nspec {:?}\nplan:\n{}",
+                workers,
+                spec,
+                orca_expr::pretty::explain_physical(&plan)
+            );
+        }
+        let expected = run_reference(&fx.db, &expr, &output).expect("reference");
+        prop_assert_eq!(sort_rows(serial.rows), sort_rows(expected));
+    }
+}
+
+/// A deliberately motion-heavy plan: two redistributes and a gather over
+/// a three-way join with aggregation.
+fn motion_heavy_plan() -> (PhysicalPlan, Vec<ColId>) {
+    let registry = Arc::new(ColumnRegistry::new());
+    let spec = QuerySpec {
+        tables: vec![0, 1, 2],
+        joins: vec![(1, 2, 0), (2, 1, 0)],
+        filters: vec![],
+        agg: Some((1, true)),
+        limit: None,
+    };
+    let (expr, output) = build_query(&spec, &registry);
+    (optimize(&expr, &registry, &output), output)
+}
+
+/// A pre-set abort must unblock every gang promptly — senders blocked on
+/// a full two-batch window included — and surface as an "aborted" error
+/// with all threads joined (scoped spawning guarantees the join; the
+/// test guards against deadlock via an outer timeout thread).
+#[test]
+fn mid_query_abort_drains_without_deadlock() {
+    let fx = fixture();
+    let (plan, output) = motion_heavy_plan();
+    let abort = Arc::new(AbortSignal::new());
+    abort.abort();
+    let engine = ParallelEngine::with_config(
+        &fx.db,
+        ParallelConfig {
+            workers: 2,
+            batch_rows: 1,
+            channel_capacity: 1,
+            deadline: None,
+        },
+    );
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let res = engine.run_with_abort(&plan, &output, &abort);
+            let err = res.expect_err("aborted run must not succeed");
+            assert_eq!(err.kind(), "aborted");
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("aborted query deadlocked instead of draining");
+    });
+}
+
+/// An immediate deadline expires mid-flight and is reported as a timeout;
+/// the tiny interconnect window means senders are very likely parked on
+/// backpressure when the deadline fires.
+#[test]
+fn deadline_under_backpressure_times_out_cleanly() {
+    let fx = fixture();
+    let (plan, output) = motion_heavy_plan();
+    let engine = ParallelEngine::with_config(
+        &fx.db,
+        ParallelConfig {
+            workers: 2,
+            batch_rows: 1,
+            channel_capacity: 1,
+            deadline: Some(Duration::ZERO),
+        },
+    );
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let err = engine
+                .run(&plan, &output)
+                .expect_err("zero deadline must expire");
+            assert_eq!(err.kind(), "timeout");
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("deadline expiry deadlocked instead of draining");
+    });
+}
+
+/// The same motion-heavy plan completes — byte-identically — with the
+/// smallest legal interconnect window, proving backpressure alone never
+/// wedges the gang topology.
+#[test]
+fn tiny_interconnect_window_still_completes() {
+    let fx = fixture();
+    let (plan, output) = motion_heavy_plan();
+    let serial = ExecEngine::new(&fx.db).run(&plan, &output).expect("serial");
+    let engine = ParallelEngine::with_config(
+        &fx.db,
+        ParallelConfig {
+            workers: 1,
+            batch_rows: 1,
+            channel_capacity: 1,
+            deadline: Some(Duration::from_secs(60)),
+        },
+    );
+    let par = engine.run(&plan, &output).expect("parallel");
+    assert_eq!(par.rows, serial.rows);
+    assert!(par.parallel.num_slices >= 3, "plan should be motion-heavy");
+    assert!(par.parallel.motion_rows() > 0);
+}
