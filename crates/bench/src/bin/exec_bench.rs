@@ -1,19 +1,23 @@
-//! Executor benchmark: the serial engine vs the parallel slice scheduler
-//! + batched interconnect (`ParallelEngine`) over the TPC-DS-style suite.
+//! Executor benchmark: row vs columnar kernels, serial vs the parallel
+//! slice scheduler + batched interconnect, over the TPC-DS-style suite.
 //!
-//! Every suite plan is executed once on the serial engine to establish a
-//! baseline row checksum, then on the parallel engine at 1/2/4/8 compute
+//! Every suite plan is executed once on the serial **row** engine to
+//! establish a baseline row checksum, then on the serial **columnar**
+//! engine and on the parallel engine (both kernels) at 1/2/4/8 compute
 //! workers. The hard gate — enforced on every run, not just `--smoke` —
-//! is byte-identical results: the checksum at every worker count must
-//! match the serial checksum for every plan.
+//! is byte-identical results: the checksum of every configuration must
+//! match the row-serial checksum for every plan.
 //!
-//! Usage: `exec_bench [scale] [iters] [--smoke]`.
+//! Usage: `exec_bench [scale] [iters] [--smoke] [--batch-size N]`.
 //!
 //! `--smoke` (CI) runs a reduced corpus, writes no JSON, and asserts the
-//! gates: identical checksums everywhere, and (only when the host has
-//! more than one CPU) parallel throughput at the best worker count no
-//! worse than 0.8x serial. The full run writes `BENCH_exec.json`
-//! (schema in EXPERIMENTS.md).
+//! gates: identical checksums everywhere, columnar-serial throughput at
+//! least 1.2x row-serial (vectorization must actually pay for itself,
+//! even on one CPU), and (only when the host has more than one CPU)
+//! parallel throughput at the best worker count no worse than 0.8x
+//! serial. The full run writes `BENCH_exec.json` (schema in
+//! EXPERIMENTS.md), including the per-operator profile of the columnar
+//! serial pass.
 
 use orca::engine::OptimizerConfig;
 use orca::Optimizer;
@@ -24,9 +28,25 @@ use orca_common::ColId;
 use orca_executor::{ExecEngine, ParallelConfig, ParallelEngine, Row};
 use orca_expr::physical::PhysicalPlan;
 use orca_tpcds::suite;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 const WORKER_LEVELS: &[usize] = &[1, 2, 4, 8];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Row,
+    Columnar,
+}
+
+impl Kernel {
+    fn name(self) -> &'static str {
+        match self {
+            Kernel::Row => "row",
+            Kernel::Columnar => "columnar",
+        }
+    }
+}
 
 struct BenchQuery {
     id: String,
@@ -78,38 +98,56 @@ fn build_corpus(env: &BenchEnv, cap: usize) -> Vec<BenchQuery> {
     corpus
 }
 
-struct SerialBaseline {
+/// Corpus-wide per-operator profile: rows, batches, exclusive ns.
+type OpsProfile = BTreeMap<&'static str, (u64, u64, u64)>;
+
+struct SerialRun {
     wall_ms: f64,
     rows: usize,
     checksums: Vec<u64>,
+    ops: OpsProfile,
 }
 
-fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize) -> SerialBaseline {
+fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize, kernel: Kernel) -> SerialRun {
     let engine = ExecEngine::new(&env.db);
     let mut checksums = Vec::with_capacity(corpus.len());
     let mut rows = 0;
     let mut wall_ms = f64::MAX;
+    let mut ops = OpsProfile::new();
     for _ in 0..iters {
         let t0 = Instant::now();
         let mut iter_checksums = Vec::with_capacity(corpus.len());
         rows = 0;
+        ops.clear();
         for q in corpus {
-            let res = engine.run(&q.plan, &q.output_cols).expect("serial exec");
+            let res = match kernel {
+                Kernel::Row => engine.run(&q.plan, &q.output_cols),
+                Kernel::Columnar => engine.run_columnar(&q.plan, &q.output_cols),
+            }
+            .expect("serial exec");
             rows += res.rows.len();
             iter_checksums.push(checksum(&res.rows));
+            for (name, p) in &res.stats.ops {
+                let e = ops.entry(name).or_default();
+                e.0 += p.rows;
+                e.1 += p.batches;
+                e.2 += p.ns;
+            }
         }
         wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         checksums = iter_checksums;
     }
-    SerialBaseline {
+    SerialRun {
         wall_ms,
         rows,
         checksums,
+        ops,
     }
 }
 
 struct ParallelRun {
     workers: usize,
+    kernel: Kernel,
     wall_ms: f64,
     speedup: f64,
     motion_rows: u64,
@@ -117,19 +155,24 @@ struct ParallelRun {
     peak_queue_depth: usize,
     slices: usize,
     serial_fallbacks: usize,
+    batches_reused: u64,
 }
 
 fn run_parallel(
     env: &BenchEnv,
     corpus: &[BenchQuery],
-    baseline: &SerialBaseline,
+    baseline: &SerialRun,
     workers: usize,
+    kernel: Kernel,
     iters: usize,
+    batch_rows: usize,
 ) -> ParallelRun {
     let engine = ParallelEngine::with_config(
         &env.db,
         ParallelConfig {
             workers,
+            batch_rows,
+            columnar: kernel == Kernel::Columnar,
             ..ParallelConfig::default()
         },
     );
@@ -139,6 +182,7 @@ fn run_parallel(
     let mut peak_queue_depth = 0;
     let mut slices = 0;
     let mut serial_fallbacks = 0;
+    let mut batches_reused = 0;
     for _ in 0..iters {
         let t0 = Instant::now();
         motion_rows = 0;
@@ -146,24 +190,29 @@ fn run_parallel(
         peak_queue_depth = 0;
         slices = 0;
         serial_fallbacks = 0;
+        batches_reused = 0;
         for (i, q) in corpus.iter().enumerate() {
             let res = engine.run(&q.plan, &q.output_cols).expect("parallel exec");
             let sum = checksum(&res.rows);
             assert_eq!(
-                sum, baseline.checksums[i],
-                "query {} at {workers} workers diverged from the serial engine",
-                q.id
+                sum,
+                baseline.checksums[i],
+                "query {} at {workers} workers ({} kernel) diverged from the serial engine",
+                q.id,
+                kernel.name()
             );
             motion_rows += res.parallel.motion_rows();
             motion_bytes += res.parallel.motion_bytes();
             peak_queue_depth = peak_queue_depth.max(res.parallel.peak_queue_depth());
             slices += res.parallel.num_slices;
             serial_fallbacks += usize::from(res.parallel.serial_fallback);
+            batches_reused += res.parallel.batches_reused;
         }
         wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
     }
     ParallelRun {
         workers,
+        kernel,
         wall_ms,
         speedup: baseline.wall_ms / wall_ms,
         motion_rows,
@@ -171,30 +220,59 @@ fn run_parallel(
         peak_queue_depth,
         slices,
         serial_fallbacks,
+        batches_reused,
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let batch_size: usize = args
+        .iter()
+        .position(|a| a == "--batch-size")
+        .and_then(|i| args.get(i + 1).map(String::as_str))
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--batch-size="))
+        })
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    // `--batch-size N` consumes its value; drop it from the positionals.
+    let value_idx = args
+        .iter()
+        .position(|a| a == "--batch-size")
+        .map(|i| i + 1);
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != value_idx)
+        .map(|(_, a)| a)
+        .collect();
     let scale: f64 = positional
         .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(if smoke { 0.02 } else { 0.05 });
+    // Even smoke runs use several iterations: wall times take the min
+    // over iterations, which is what makes the throughput gates stable
+    // on a noisy (or single-CPU) host.
     let iters: usize = positional
         .get(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 1 } else { 3 })
+        .unwrap_or(3)
         .max(1);
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("executor bench: serial vs parallel slices (scale {scale}, {iters} iters)");
+    println!(
+        "executor bench: row vs columnar kernels, serial vs parallel slices \
+         (scale {scale}, {iters} iters, batch size {batch_size})"
+    );
     println!("host CPUs available: {cpus}");
     println!();
 
-    let env = BenchEnv::new(scale, 8);
+    let mut env = BenchEnv::new(scale, 8);
+    env.db.cluster.batch_size = batch_size.max(1);
+    env.cluster.batch_size = batch_size.max(1);
     let corpus = build_corpus(&env, if smoke { 8 } else { 16 });
     assert!(
         corpus.len() >= 4,
@@ -203,16 +281,59 @@ fn main() {
     );
     println!("corpus: {} suite queries, 8 segments", corpus.len());
 
-    let baseline = run_serial(&env, &corpus, iters);
+    let baseline = run_serial(&env, &corpus, iters, Kernel::Row);
     println!(
-        "serial: {:.1} ms for {} rows across the corpus",
+        "serial row:      {:.1} ms for {} rows across the corpus",
         baseline.wall_ms, baseline.rows
     );
+    let columnar = run_serial(&env, &corpus, iters, Kernel::Columnar);
+    assert_eq!(
+        columnar.checksums, baseline.checksums,
+        "columnar serial diverged from the row kernel"
+    );
+    let col_speedup = baseline.wall_ms / columnar.wall_ms;
+    println!(
+        "serial columnar: {:.1} ms for {} rows ({col_speedup:.2}x row serial)",
+        columnar.wall_ms, columnar.rows
+    );
+    println!();
+    if std::env::var("EXEC_BENCH_ROW_PROFILE").is_ok() {
+        println!("per-operator profile (row serial, exclusive time):");
+        for (name, (rows_n, batches, ns)) in &baseline.ops {
+            println!(
+                "{}",
+                row(&[
+                    (name, 22),
+                    (&rows_n.to_string(), 10),
+                    (&batches.to_string(), 9),
+                    (&format!("{:.2}", *ns as f64 / 1e6), 9),
+                ])
+            );
+        }
+        println!();
+    }
+    println!("per-operator profile (columnar serial, exclusive time):");
+    println!(
+        "{}",
+        row(&[("operator", 22), ("rows", 10), ("batches", 9), ("ms", 9)])
+    );
+    for (name, (rows_n, batches, ns)) in &columnar.ops {
+        println!(
+            "{}",
+            row(&[
+                (name, 22),
+                (&rows_n.to_string(), 10),
+                (&batches.to_string(), 9),
+                (&format!("{:.2}", *ns as f64 / 1e6), 9),
+            ])
+        );
+    }
     println!();
     println!(
         "{}",
         row(&[
             ("workers", 8),
+            ("kernel", 9),
             ("wall_ms", 9),
             ("speedup", 8),
             ("mot_rows", 9),
@@ -220,33 +341,46 @@ fn main() {
             ("peak_q", 7),
             ("slices", 7),
             ("fallback", 9),
+            ("reused", 8),
         ])
     );
     let mut runs = Vec::new();
-    for &workers in WORKER_LEVELS {
-        let r = run_parallel(&env, &corpus, &baseline, workers, iters);
-        println!(
-            "{}",
-            row(&[
-                (&r.workers.to_string(), 8),
-                (&format!("{:.1}", r.wall_ms), 9),
-                (&format!("{:.2}", r.speedup), 8),
-                (&r.motion_rows.to_string(), 9),
-                (&r.motion_bytes.to_string(), 10),
-                (&r.peak_queue_depth.to_string(), 7),
-                (&r.slices.to_string(), 7),
-                (&r.serial_fallbacks.to_string(), 9),
-            ])
-        );
-        runs.push(r);
+    for &kernel in &[Kernel::Row, Kernel::Columnar] {
+        for &workers in WORKER_LEVELS {
+            let r = run_parallel(&env, &corpus, &baseline, workers, kernel, iters, batch_size);
+            println!(
+                "{}",
+                row(&[
+                    (&r.workers.to_string(), 8),
+                    (r.kernel.name(), 9),
+                    (&format!("{:.1}", r.wall_ms), 9),
+                    (&format!("{:.2}", r.speedup), 8),
+                    (&r.motion_rows.to_string(), 9),
+                    (&r.motion_bytes.to_string(), 10),
+                    (&r.peak_queue_depth.to_string(), 7),
+                    (&r.slices.to_string(), 7),
+                    (&r.serial_fallbacks.to_string(), 9),
+                    (&r.batches_reused.to_string(), 8),
+                ])
+            );
+            runs.push(r);
+        }
     }
     println!();
     println!(
-        "correctness: checksums byte-identical to serial at every worker count \
-         ({} queries x {} levels)",
+        "correctness: checksums byte-identical to row serial in every configuration \
+         ({} queries x {} parallel levels x 2 kernels + columnar serial)",
         corpus.len(),
         WORKER_LEVELS.len()
     );
+
+    // Vectorization gate: the columnar kernel must beat row-at-a-time
+    // interpretation on the same single thread — no concurrency excuse.
+    assert!(
+        col_speedup >= 1.2,
+        "columnar serial only {col_speedup:.2}x row serial (< 1.2x gate)"
+    );
+    println!("vectorization gate: columnar serial {col_speedup:.2}x >= 1.2x row serial");
 
     // Throughput gate: scheduling + interconnect overhead must not sink
     // the engine. Only meaningful with real parallel hardware; on a
@@ -263,21 +397,27 @@ fn main() {
     }
 
     if smoke {
-        println!("\nsmoke gate passed: identical results at workers 1/2/4/8");
+        println!("\nsmoke gate passed: identical results, columnar serial >= 1.2x row serial");
         return;
     }
-    let json = render_json(scale, iters, cpus, corpus.len(), &baseline, &runs);
+    let json = render_json(
+        scale, iters, cpus, batch_size, corpus.len(), &baseline, &columnar, col_speedup, &runs,
+    );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     println!("\nwrote BENCH_exec.json");
 }
 
 /// Hand-rolled JSON (the build has no serde); schema in EXPERIMENTS.md.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: f64,
     iters: usize,
     cpus: usize,
+    batch_size: usize,
     queries: usize,
-    baseline: &SerialBaseline,
+    baseline: &SerialRun,
+    columnar: &SerialRun,
+    col_speedup: f64,
     runs: &[ParallelRun],
 ) -> String {
     let mut out = String::from("{\n");
@@ -286,18 +426,35 @@ fn render_json(
     out.push_str(&format!("  \"iters\": {iters},\n"));
     out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
     out.push_str("  \"segments\": 8,\n");
+    out.push_str(&format!("  \"batch_size\": {batch_size},\n"));
     out.push_str(&format!("  \"queries\": {queries},\n"));
     out.push_str(&format!(
         "  \"serial\": {{\"wall_ms\": {:.3}, \"rows\": {}}},\n",
         baseline.wall_ms, baseline.rows
     ));
+    out.push_str(&format!(
+        "  \"serial_columnar\": {{\"wall_ms\": {:.3}, \"rows\": {}, \"speedup_vs_row\": {:.3}}},\n",
+        columnar.wall_ms, columnar.rows, col_speedup
+    ));
+    out.push_str("  \"ops\": [\n");
+    let nops = columnar.ops.len();
+    for (i, (name, (rows_n, batches, ns))) in columnar.ops.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{name}\", \"rows\": {rows_n}, \"batches\": {batches}, \
+             \"ns\": {ns}}}{}\n",
+            if i + 1 < nops { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"parallel\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"motion_rows\": {}, \"motion_bytes\": {}, \"peak_queue_depth\": {}, \
-             \"slices\": {}, \"serial_fallbacks\": {}, \"checksum_ok\": true}}{}\n",
+            "    {{\"workers\": {}, \"kernel\": \"{}\", \"wall_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"motion_rows\": {}, \"motion_bytes\": {}, \
+             \"peak_queue_depth\": {}, \"slices\": {}, \"serial_fallbacks\": {}, \
+             \"batches_reused\": {}, \"checksum_ok\": true}}{}\n",
             r.workers,
+            r.kernel.name(),
             r.wall_ms,
             r.speedup,
             r.motion_rows,
@@ -305,6 +462,7 @@ fn render_json(
             r.peak_queue_depth,
             r.slices,
             r.serial_fallbacks,
+            r.batches_reused,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }

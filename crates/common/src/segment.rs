@@ -20,6 +20,9 @@ pub struct SegmentConfig {
     pub can_spill: bool,
     /// Cost multiplier applied to spilled work (disk passes).
     pub spill_penalty: f64,
+    /// Rows per columnar batch inside the execution kernels (vectorized
+    /// operators process one batch at a time).
+    pub batch_size: usize,
 }
 
 impl SegmentConfig {
@@ -54,6 +57,11 @@ impl SegmentConfig {
         self.can_spill = can_spill;
         self
     }
+
+    pub fn with_batch_size(mut self, rows: usize) -> SegmentConfig {
+        self.batch_size = rows.max(1);
+        self
+    }
 }
 
 impl Default for SegmentConfig {
@@ -65,6 +73,7 @@ impl Default for SegmentConfig {
             work_mem_bytes: 64 << 20,
             can_spill: true,
             spill_penalty: 3.0,
+            batch_size: 1024,
         }
     }
 }
@@ -78,10 +87,14 @@ mod tests {
         let c = SegmentConfig::default()
             .with_segments(4)
             .with_work_mem(1024)
-            .with_spill(false);
+            .with_spill(false)
+            .with_batch_size(64);
         assert_eq!(c.num_segments, 4);
         assert_eq!(c.work_mem_bytes, 1024);
         assert!(!c.can_spill);
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(SegmentConfig::default().batch_size, 1024);
+        assert_eq!(SegmentConfig::default().with_batch_size(0).batch_size, 1);
         assert_eq!(SegmentConfig::mpp_16().num_segments, 16);
         assert_eq!(SegmentConfig::single().num_segments, 1);
     }

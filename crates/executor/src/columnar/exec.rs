@@ -1,0 +1,1227 @@
+//! The batch kernel: the row interpreter's operator set over
+//! [`ColumnBatch`] streams.
+//!
+//! Every arm mirrors its row-kernel counterpart *exactly* in output rows,
+//! row order, simulated `avail` times and `ExecStats` counters — the row
+//! interpreter stays on as the differential-test oracle (the driver's
+//! proptests assert byte-identical `Debug` output). What changes is the
+//! work per row: filters return selection vectors, scalar expressions
+//! evaluate column-at-a-time, joins and aggregates key on column slices
+//! through a raw `u64`-hash table, and sorts permute an index vector.
+//!
+//! Cold operators stay on the row path via conversion: nested-loops join
+//! (per-pair predicate), hash set-ops (rare, dedup-heavy), and any
+//! filter/project containing an un-decorrelated subquery.
+
+use super::batch::{BatchWriter, ColStream, Column, ColumnBatch, ValRef};
+use super::veval::{veval, veval_predicate};
+use crate::eval::{accepts, compare_rows, AggAccumulator, Env};
+use crate::exec::{
+    apply_filter, apply_nl_join, apply_project, apply_setop, key_positions, op_name, ExecCtx,
+};
+use crate::storage::Row;
+use orca_common::hash::{FnvHashMap, FnvHasher};
+use orca_common::{ColId, Datum, OrcaError, Result};
+use orca_expr::logical::{AggStage, JoinKind, SetOpKind};
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
+use orca_expr::scalar::ScalarExpr;
+use orca_expr::OrderSpec;
+use std::cmp::Ordering;
+use std::hash::Hasher;
+use std::time::Instant;
+
+/// Execute a plan with the batch kernel, producing a columnar stream set.
+///
+/// Same per-operator profiling contract as [`crate::exec::exec`]; the
+/// `batches` metric counts real columnar batches here.
+pub fn cexec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
+    let start = Instant::now();
+    let snapshot = ctx.profile_child_ns;
+    let result = cexec_op(plan, ctx);
+    let total = start.elapsed().as_nanos() as u64;
+    let nested = ctx.profile_child_ns.saturating_sub(snapshot);
+    ctx.profile_child_ns = snapshot + total;
+    if let Ok(out) = &result {
+        let p = ctx.stats.ops.entry(op_name(&plan.op)).or_default();
+        p.rows += out.total_rows() as u64;
+        p.batches += out.total_batches() as u64;
+        p.ns += total.saturating_sub(nested);
+    }
+    result
+}
+
+fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
+    ctx.check_abort()?;
+    let n = ctx.seg_slots();
+    let bs = ctx.cluster.batch_size.max(1);
+    match &plan.op {
+        PhysicalOp::TableScan { table, cols, parts } => {
+            let t = ctx.db.table(table.mdid)?;
+            let mut out = ColStream::empty(cols.clone(), n);
+            out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
+            for s in 0..n {
+                let batches = t.scan_columnar(ctx.storage_segment(s), parts, bs);
+                let rows: usize = batches.iter().map(|b| b.len).sum();
+                ctx.stats.rows_processed += rows as u64;
+                out.avail[s] = ctx.tup_time(rows);
+                out.per_seg[s] = batches;
+            }
+            Ok(out)
+        }
+        PhysicalOp::IndexScan {
+            table,
+            cols,
+            key_cols,
+            parts,
+            ..
+        } => {
+            // Ordered retrieval still goes row-at-a-time through the sort
+            // (index order comes from row comparisons), then chunks.
+            let t = ctx.db.table(table.mdid)?;
+            let order = OrderSpec::by(key_cols);
+            let mut out = ColStream::empty(cols.clone(), n);
+            out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
+            for s in 0..n {
+                let mut rows = t.scan(ctx.storage_segment(s), parts);
+                rows.sort_by(|a, b| compare_rows(a, b, &order, cols));
+                ctx.stats.rows_processed += rows.len() as u64;
+                out.avail[s] = ctx.tup_time(rows.len()) * 1.6;
+                out.per_seg[s] = chunk_rows(&rows, cols.len(), bs);
+            }
+            Ok(out)
+        }
+        PhysicalOp::Filter { pred } => {
+            let input = cexec(&plan.children[0], ctx)?;
+            if pred.has_subquery() {
+                // Un-decorrelated subquery: per-row subplan execution on
+                // the row path keeps the work accounting identical.
+                let out = apply_filter(input.to_streamset(), pred, ctx)?;
+                return Ok(ColStream::from_streamset(&out, bs));
+            }
+            let mut out = ColStream::empty(input.layout.clone(), n);
+            out.replicated = input.replicated;
+            for s in 0..n {
+                let in_len = input.seg_rows(s);
+                let mut kept = Vec::new();
+                for b in &input.per_seg[s] {
+                    let sel = veval_predicate(pred, &input.layout, b)?;
+                    if sel.is_empty() {
+                        continue;
+                    }
+                    if sel.len() == b.len {
+                        kept.push(b.clone());
+                    } else {
+                        kept.push(b.select(&sel));
+                    }
+                }
+                ctx.stats.rows_processed += in_len as u64;
+                out.avail[s] = input.avail[s] + ctx.tup_time(in_len) * 0.5;
+                out.per_seg[s] = kept;
+            }
+            Ok(out)
+        }
+        PhysicalOp::Project { exprs } => {
+            let input = cexec(&plan.children[0], ctx)?;
+            if exprs.iter().any(|(_, e)| e.has_subquery()) {
+                let out = apply_project(input.to_streamset(), exprs, ctx)?;
+                return Ok(ColStream::from_streamset(&out, bs));
+            }
+            let layout: Vec<ColId> = exprs.iter().map(|(c, _)| *c).collect();
+            let mut out = ColStream::empty(layout, n);
+            out.replicated = input.replicated;
+            for s in 0..n {
+                let mut batches = Vec::with_capacity(input.per_seg[s].len());
+                let mut rows = 0usize;
+                for b in &input.per_seg[s] {
+                    let cols: Vec<Column> = exprs
+                        .iter()
+                        .map(|(_, e)| veval(e, &input.layout, b))
+                        .collect::<Result<_>>()?;
+                    rows += b.len;
+                    batches.push(ColumnBatch { cols, len: b.len });
+                }
+                ctx.stats.rows_processed += rows as u64;
+                out.avail[s] = input.avail[s] + ctx.tup_time(rows) * 0.3;
+                out.per_seg[s] = batches;
+            }
+            Ok(out)
+        }
+        PhysicalOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let left = cexec(&plan.children[0], ctx)?;
+            let right = cexec(&plan.children[1], ctx)?;
+            cexec_hash_join(
+                ctx,
+                left,
+                right,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                bs,
+            )
+        }
+        PhysicalOp::NLJoin { kind, pred } => {
+            let left = cexec(&plan.children[0], ctx)?.to_streamset();
+            let right = cexec(&plan.children[1], ctx)?.to_streamset();
+            let out = apply_nl_join(left, right, *kind, pred, ctx)?;
+            Ok(ColStream::from_streamset(&out, bs))
+        }
+        PhysicalOp::HashAgg {
+            group_cols,
+            aggs,
+            stage,
+        } => {
+            let input = cexec(&plan.children[0], ctx)?;
+            cexec_agg(ctx, input, group_cols, aggs, *stage, false, bs)
+        }
+        PhysicalOp::StreamAgg {
+            group_cols,
+            aggs,
+            stage,
+        } => {
+            let input = cexec(&plan.children[0], ctx)?;
+            cexec_agg(ctx, input, group_cols, aggs, *stage, true, bs)
+        }
+        PhysicalOp::Sort { order } => {
+            let input = cexec(&plan.children[0], ctx)?;
+            let width = input.layout.len();
+            let keys = order_positions(order, &input.layout);
+            let mut out = ColStream::empty(input.layout.clone(), n);
+            out.replicated = input.replicated;
+            for s in 0..n {
+                let big = ColumnBatch::concat(&input.per_seg[s], width);
+                let mut idx: Vec<u32> = (0..big.len as u32).collect();
+                // Stable index sort = the row kernel's stable row sort.
+                idx.sort_by(|&a, &b| cmp_rows_at(&big, a as usize, &big, b as usize, &keys));
+                let len = big.len as f64;
+                ctx.stats.rows_processed += big.len as u64;
+                out.avail[s] =
+                    input.avail[s] + ctx.tup_time(big.len) * (1.0 + len.max(2.0).log2() * 0.1);
+                out.per_seg[s] = idx.chunks(bs).map(|c| big.select(c)).collect();
+            }
+            Ok(out)
+        }
+        PhysicalOp::Limit { offset, count, .. } => {
+            let input = cexec(&plan.children[0], ctx)?;
+            let width = input.layout.len();
+            let mut out = ColStream::empty(input.layout.clone(), n);
+            // Singleton requirement means rows live on segment 0.
+            debug_assert!(input.per_seg.iter().skip(1).all(Vec::is_empty));
+            let total = input.seg_rows(0);
+            let start = (*offset as usize).min(total);
+            let end = match count {
+                Some(c) => (start + *c as usize).min(total),
+                None => total,
+            };
+            let big = ColumnBatch::concat(&input.per_seg[0], width);
+            let sel: Vec<u32> = (start as u32..end as u32).collect();
+            out.avail[0] = input.elapsed() + ctx.tup_time(end - start);
+            out.per_seg[0] = sel.chunks(bs).map(|c| big.select(c)).collect();
+            Ok(out)
+        }
+        PhysicalOp::Motion { kind } => cexec_motion(plan, ctx, kind, bs),
+        PhysicalOp::Spool => {
+            let input = cexec(&plan.children[0], ctx)?;
+            let mut out = input.clone();
+            for s in 0..n {
+                out.avail[s] += ctx.tup_time(input.seg_rows(s)) * 0.6;
+            }
+            Ok(out)
+        }
+        PhysicalOp::Sequence { .. } => {
+            // Producer side materializes its CTE; consumer side reads it.
+            cexec(&plan.children[0], ctx)?;
+            cexec(&plan.children[1], ctx)
+        }
+        PhysicalOp::CteProducer { id, cols } => {
+            let input = cexec(&plan.children[0], ctx)?;
+            let mut stored = input.clone();
+            stored.layout = cols.clone();
+            for s in 0..n {
+                stored.avail[s] += ctx.tup_time(stored.seg_rows(s)) * 0.6;
+            }
+            // Producer output layout must match its declared cols.
+            if stored.layout.len() != input.layout.len() {
+                return Err(OrcaError::Execution("CTE producer arity mismatch".into()));
+            }
+            // Reproject positionally: declared col i = input col i.
+            ctx.cte_col.insert(*id, stored.clone());
+            Ok(stored)
+        }
+        PhysicalOp::CteScan {
+            id,
+            cols,
+            producer_cols,
+        } => {
+            let stash = ctx
+                .cte_col
+                .get(id)
+                .ok_or_else(|| OrcaError::Execution(format!("CTE {id} not materialized")))?
+                .clone();
+            // Map producer columns to this consumer's ids.
+            let positions: Vec<usize> =
+                producer_cols
+                    .iter()
+                    .map(|p| {
+                        stash.layout.iter().position(|c| c == p).ok_or_else(|| {
+                            OrcaError::Execution(format!("CTE {id} missing column {p}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+            let mut out = ColStream::empty(cols.clone(), n);
+            for s in 0..n {
+                out.per_seg[s] = stash.per_seg[s]
+                    .iter()
+                    .map(|b| reproject(b, &positions))
+                    .collect();
+                let rows = out.seg_rows(s);
+                ctx.stats.rows_processed += rows as u64;
+                out.avail[s] = stash.avail[s] + ctx.tup_time(rows) * 0.5;
+            }
+            Ok(out)
+        }
+        PhysicalOp::ConstTable { cols, rows } => {
+            let mut out = ColStream::empty(cols.clone(), n);
+            // Const rows live on the master by convention; a non-master
+            // slice instance materializes an empty stream.
+            if ctx.storage_segment(0) == 0 {
+                out.per_seg[0] = chunk_rows(rows, cols.len(), bs);
+            }
+            Ok(out)
+        }
+        PhysicalOp::AssertOneRow => {
+            let input = cexec(&plan.children[0], ctx)?;
+            let width = input.layout.len();
+            let mut out = ColStream::empty(input.layout.clone(), n);
+            let total = input.total_rows();
+            if ctx.storage_segment(0) != 0 {
+                // The enforcer requires singleton input, so every row lives
+                // on the master; a non-master instance must see none.
+                if total != 0 {
+                    return Err(OrcaError::Execution(
+                        "AssertOneRow input off the master segment".into(),
+                    ));
+                }
+                return Ok(out);
+            }
+            if total > 1 {
+                return Err(OrcaError::Execution(
+                    "more than one row returned by a subquery used as an expression".into(),
+                ));
+            }
+            if total == 0 {
+                // SQL scalar-subquery semantics: empty → NULL row.
+                let null_row: Row = vec![Datum::Null; width];
+                out.per_seg[0] = vec![ColumnBatch::from_rows(&[null_row], width)];
+            } else {
+                out.per_seg[0] = gathered_batches(&input);
+            }
+            out.avail[0] = input.elapsed();
+            Ok(out)
+        }
+        PhysicalOp::UnionAll { output, input_cols } => {
+            let mut out = ColStream::empty(output.clone(), n);
+            for (i, child) in plan.children.iter().enumerate() {
+                let c = cexec(child, ctx)?;
+                let positions: Vec<usize> = input_cols[i]
+                    .iter()
+                    .map(|col| {
+                        c.layout.iter().position(|x| x == col).ok_or_else(|| {
+                            OrcaError::Execution(format!("union input missing {col}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let copies = one_copy_batches(ctx, &c);
+                for (s, seg_batches) in copies.iter().enumerate() {
+                    let seg_rows: usize = seg_batches.iter().map(|b| b.len).sum();
+                    for b in seg_batches {
+                        out.per_seg[s].push(reproject(b, &positions));
+                    }
+                    out.avail[s] =
+                        out.avail[s].max(c.avail[s]) + ctx.tup_time(seg_rows) * 0.2;
+                }
+            }
+            Ok(out)
+        }
+        PhysicalOp::HashSetOp {
+            kind,
+            output,
+            input_cols,
+        } => {
+            let mut children = Vec::with_capacity(plan.children.len());
+            for child in &plan.children {
+                children.push(cexec(child, ctx)?.to_streamset());
+            }
+            let kind: SetOpKind = *kind;
+            let out = apply_setop(children, ctx, kind, output, input_cols)?;
+            Ok(ColStream::from_streamset(&out, bs))
+        }
+        PhysicalOp::ExchangeRecv { motion } => ctx.recv_col.remove(motion).ok_or_else(|| {
+            OrcaError::Execution(format!("motion {motion} not delivered to this slice"))
+        }),
+    }
+}
+
+/// Chunk a row slice into columnar batches of at most `bs` rows.
+fn chunk_rows(rows: &[Row], width: usize, bs: usize) -> Vec<ColumnBatch> {
+    rows.chunks(bs.max(1))
+        .map(|c| ColumnBatch::from_rows(c, width))
+        .collect()
+}
+
+/// Clone out the columns at `positions` (column reprojection: no per-row
+/// work at all).
+fn reproject(b: &ColumnBatch, positions: &[usize]) -> ColumnBatch {
+    ColumnBatch {
+        cols: positions.iter().map(|&p| b.cols[p].clone()).collect(),
+        len: b.len,
+    }
+}
+
+/// Columnar analogue of `ExecCtx::one_copy_of` (see that method's docs on
+/// master-segment placement of the surviving replicated copy).
+fn one_copy_batches(ctx: &ExecCtx<'_>, s: &ColStream) -> Vec<Vec<ColumnBatch>> {
+    if !s.replicated {
+        return s.per_seg.clone();
+    }
+    match ctx.local_segment {
+        None => {
+            let mut v = vec![Vec::new(); s.per_seg.len()];
+            v[0] = s.per_seg[0].clone();
+            v
+        }
+        Some(0) => vec![s.per_seg[0].clone()],
+        Some(_) => vec![Vec::new()],
+    }
+}
+
+/// All distinct-copy batches in slot order (`StreamSet::gathered`).
+fn gathered_batches(s: &ColStream) -> Vec<ColumnBatch> {
+    if s.replicated {
+        return s.per_seg[0].clone();
+    }
+    s.per_seg.iter().flatten().cloned().collect()
+}
+
+/// Resolve an order spec to `(column position, desc)` pairs, skipping keys
+/// absent from the layout (same as `compare_rows`).
+fn order_positions(order: &OrderSpec, layout: &[ColId]) -> Vec<(usize, bool)> {
+    order
+        .0
+        .iter()
+        .filter_map(|k| {
+            layout
+                .iter()
+                .position(|c| *c == k.col)
+                .map(|p| (p, k.desc))
+        })
+        .collect()
+}
+
+/// Compare row `i` of `a` with row `j` of `b` under pre-resolved sort keys
+/// — the columnar mirror of `compare_rows`.
+fn cmp_rows_at(
+    a: &ColumnBatch,
+    i: usize,
+    b: &ColumnBatch,
+    j: usize,
+    keys: &[(usize, bool)],
+) -> Ordering {
+    for &(p, desc) in keys {
+        let ord = a.cols[p].get_ref(i).total_cmp(&b.cols[p].get_ref(j));
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// FNV over the key columns of row `i` — the same hash stream as
+/// `Datum::hash`, so bucket contents match the row kernel's map.
+fn hash_key_at(b: &ColumnBatch, pos: &[usize], i: usize) -> (u64, bool) {
+    let mut h = FnvHasher::default();
+    let mut has_null = false;
+    for &p in pos {
+        let v = b.cols[p].get_ref(i);
+        if v.is_null() {
+            has_null = true;
+        }
+        v.hash_into(&mut h);
+    }
+    (h.finish(), has_null)
+}
+
+/// Key equality across batches via `ValRef::key_eq` (mirrors `Datum`'s
+/// `PartialEq`, NULL == NULL included).
+fn keys_eq_at(
+    a: &ColumnBatch,
+    apos: &[usize],
+    ai: usize,
+    b: &ColumnBatch,
+    bpos: &[usize],
+    bi: usize,
+) -> bool {
+    apos.iter()
+        .zip(bpos.iter())
+        .all(|(&pa, &pb)| a.cols[pa].get_ref(ai).key_eq(&b.cols[pb].get_ref(bi)))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cexec_hash_join(
+    ctx: &mut ExecCtx<'_>,
+    left: ColStream,
+    right: ColStream,
+    kind: JoinKind,
+    left_keys: &[ColId],
+    right_keys: &[ColId],
+    residual: Option<&ScalarExpr>,
+    bs: usize,
+) -> Result<ColStream> {
+    let _ = bs; // output batches inherit probe-side batch boundaries
+    let n = left.per_seg.len();
+    let lpos = key_positions(&left.layout, left_keys)?;
+    let rpos = key_positions(&right.layout, right_keys)?;
+    let env = Env::default();
+    let outputs_right = kind.outputs_right();
+    let mut layout = left.layout.clone();
+    if outputs_right {
+        layout.extend_from_slice(&right.layout);
+    }
+    let combined_layout: Vec<ColId> = left
+        .layout
+        .iter()
+        .chain(right.layout.iter())
+        .copied()
+        .collect();
+    let rwidth = right.layout.len();
+    let mut out = ColStream::empty(layout, n);
+    out.replicated = left.replicated && right.replicated;
+    for s in 0..n {
+        // Build on the right side. The memory check runs before the build,
+        // like the row kernel's.
+        let build_bytes: u64 = right.per_seg[s].iter().map(ColumnBatch::bytes).sum();
+        let mut spill_factor = 1.0;
+        if build_bytes > ctx.cluster.work_mem_bytes {
+            ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(build_bytes);
+            if !ctx.cluster.can_spill {
+                return Err(OrcaError::Execution(format!(
+                    "out of memory: hash join build of {build_bytes} bytes on segment {s}"
+                )));
+            }
+            ctx.stats.spills += 1;
+            spill_factor = ctx.cluster.spill_penalty;
+        }
+        let build = ColumnBatch::concat(&right.per_seg[s], rwidth);
+        // Raw-hash buckets: candidate lists keep build order, and every
+        // candidate is verified with key_eq, so probe results match the
+        // row kernel's `Vec<Datum>`-keyed map exactly.
+        let mut table: FnvHashMap<u64, Vec<u32>> = FnvHashMap::default();
+        for i in 0..build.len {
+            let (h, has_null) = hash_key_at(&build, &rpos, i);
+            if has_null {
+                continue; // NULL keys never join.
+            }
+            table.entry(h).or_default().push(i as u32);
+        }
+        let mut batches = Vec::new();
+        let mut probe_rows = 0usize;
+        for lb in &left.per_seg[s] {
+            probe_rows += lb.len;
+            let mut sel_l: Vec<u32> = Vec::new();
+            let mut sel_r: Vec<u32> = Vec::new();
+            for i in 0..lb.len {
+                let (h, has_null) = hash_key_at(lb, &lpos, i);
+                let candidates: &[u32] = if has_null {
+                    &[]
+                } else {
+                    table.get(&h).map(|v| v.as_slice()).unwrap_or(&[])
+                };
+                let mut matched = false;
+                for &ri in candidates {
+                    if !keys_eq_at(lb, &lpos, i, &build, &rpos, ri as usize) {
+                        continue; // same hash, different key
+                    }
+                    let ok = match residual {
+                        Some(res) => {
+                            let mut joined = lb.row(i);
+                            joined.extend(build.row(ri as usize));
+                            accepts(res, &combined_layout, &joined, &env)?
+                        }
+                        None => true,
+                    };
+                    if !ok {
+                        continue;
+                    }
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => {
+                            sel_l.push(i as u32);
+                            sel_r.push(ri);
+                        }
+                        JoinKind::LeftSemi => {
+                            sel_l.push(i as u32);
+                            break;
+                        }
+                        JoinKind::LeftAntiSemi => break,
+                    }
+                }
+                if !matched {
+                    match kind {
+                        JoinKind::LeftOuter => {
+                            sel_l.push(i as u32);
+                            sel_r.push(u32::MAX); // null-extend the right side
+                        }
+                        JoinKind::LeftAntiSemi => sel_l.push(i as u32),
+                        _ => {}
+                    }
+                }
+            }
+            if sel_l.is_empty() {
+                continue;
+            }
+            let mut b = lb.select(&sel_l);
+            if outputs_right {
+                b.cols.extend(build.select(&sel_r).cols);
+            }
+            batches.push(b);
+        }
+        ctx.stats.rows_processed += (build.len + probe_rows) as u64;
+        out.avail[s] = left.avail[s].max(right.avail[s])
+            + (ctx.tup_time(build.len) * 1.8 + ctx.tup_time(probe_rows)) * spill_factor;
+        out.per_seg[s] = batches;
+    }
+    Ok(out)
+}
+
+fn cexec_agg(
+    ctx: &mut ExecCtx<'_>,
+    input: ColStream,
+    group_cols: &[ColId],
+    aggs: &[(ColId, ScalarExpr)],
+    stage: AggStage,
+    stream: bool,
+    bs: usize,
+) -> Result<ColStream> {
+    let n = input.per_seg.len();
+    let gpos = key_positions(&input.layout, group_cols)?;
+    let mut layout = group_cols.to_vec();
+    layout.extend(aggs.iter().map(|(c, _)| *c));
+    let width = layout.len();
+    let mut out = ColStream::empty(layout, n);
+    out.replicated = input.replicated;
+    for s in 0..n {
+        // First-seen group order, like the row kernel's `order` vec.
+        let mut buckets: FnvHashMap<u64, Vec<u32>> = FnvHashMap::default();
+        let mut keys: Vec<Row> = Vec::new();
+        let mut accs: Vec<Vec<AggAccumulator>> = Vec::new();
+        let mut in_len = 0usize;
+        for b in &input.per_seg[s] {
+            in_len += b.len;
+            // Vectorized argument evaluation: one column per aggregate
+            // per batch instead of one eval per (row, aggregate).
+            let mut arg_cols: Vec<Option<Column>> = Vec::with_capacity(aggs.len());
+            for (_, e) in aggs {
+                match e {
+                    ScalarExpr::Agg { arg: Some(a), .. } => {
+                        arg_cols.push(Some(veval(a, &input.layout, b)?))
+                    }
+                    _ => arg_cols.push(None),
+                }
+            }
+            for i in 0..b.len {
+                let (h, _) = hash_key_at(b, &gpos, i); // NULL groups: NULL == NULL
+                let bucket = buckets.entry(h).or_default();
+                let gid = match bucket.iter().copied().find(|&g| {
+                    gpos.iter()
+                        .enumerate()
+                        .all(|(k, &p)| ValRef::of(&keys[g as usize][k]).key_eq(&b.cols[p].get_ref(i)))
+                }) {
+                    Some(g) => g as usize,
+                    None => {
+                        let g = keys.len();
+                        keys.push(gpos.iter().map(|&p| b.cols[p].get(i)).collect());
+                        accs.push(
+                            aggs.iter()
+                                .map(|(_, e)| AggAccumulator::from_expr(e))
+                                .collect::<Result<_>>()?,
+                        );
+                        bucket.push(g as u32);
+                        g
+                    }
+                };
+                for (j, acc) in accs[gid].iter_mut().enumerate() {
+                    let value = match &arg_cols[j] {
+                        Some(c) => c.get(i),
+                        None => Datum::Int(1), // count(*)
+                    };
+                    acc.update_value(value);
+                }
+            }
+        }
+        let mut w = BatchWriter::new(width, bs);
+        for (key, group_accs) in keys.iter().zip(accs.iter()) {
+            let mut row = key.clone();
+            row.extend(group_accs.iter().map(AggAccumulator::finish));
+            w.push_row(&row);
+        }
+        // Scalar aggregates must emit a row even on empty input: on every
+        // segment for Local stage (partials), on the master otherwise.
+        if group_cols.is_empty() && keys.is_empty() {
+            let emit_here = match stage {
+                AggStage::Local => true,
+                _ => ctx.storage_segment(s) == 0,
+            };
+            if emit_here {
+                let empty_accs: Vec<AggAccumulator> = aggs
+                    .iter()
+                    .map(|(_, e)| AggAccumulator::from_expr(e))
+                    .collect::<Result<_>>()?;
+                let row: Row = empty_accs.iter().map(AggAccumulator::finish).collect();
+                w.push_row(&row);
+            }
+        }
+        ctx.stats.rows_processed += in_len as u64;
+        let factor = if stream { 0.6 } else { 1.1 };
+        out.avail[s] = input.avail[s] + ctx.tup_time(in_len) * factor;
+        out.per_seg[s] = w.finish();
+    }
+    Ok(out)
+}
+
+fn cexec_motion(
+    plan: &PhysicalPlan,
+    ctx: &mut ExecCtx<'_>,
+    kind: &MotionKind,
+    bs: usize,
+) -> Result<ColStream> {
+    if ctx.local_segment.is_some() {
+        // The slicer cuts plans at motions; a motion inside a slice means
+        // the slicer was bypassed or produced a malformed slice.
+        return Err(OrcaError::Execution(
+            "Motion executed inside a single-segment slice".into(),
+        ));
+    }
+    let n = ctx.cluster.num_segments;
+    let input = cexec(&plan.children[0], ctx)?;
+    let width = input.layout.len();
+    // One distinct copy of the stream's bytes (see `distinct_bytes`).
+    let bytes = if input.replicated {
+        input.bytes() / n as f64
+    } else {
+        input.bytes()
+    };
+    let mut out = ColStream::empty(input.layout.clone(), n);
+    match kind {
+        MotionKind::Gather => {
+            out.per_seg[0] = gathered_batches(&input);
+            ctx.stats.bytes_moved += bytes as u64;
+            out.avail[0] = input.elapsed() + ctx.net_time(bytes);
+        }
+        MotionKind::GatherMerge(order) => {
+            // Streaming k-way merge over per-segment sorted inputs,
+            // tie-breaking on the lowest source segment (same contract as
+            // the row kernel's `kway_merge`), but moving rows by index
+            // gathers instead of `Vec<Datum>` pops.
+            let sources: Vec<ColumnBatch> = one_copy_batches(ctx, &input)
+                .iter()
+                .map(|bl| ColumnBatch::concat(bl, width))
+                .collect();
+            let keys = order_positions(order, &input.layout);
+            let mut heads = vec![0usize; sources.len()];
+            let mut w = BatchWriter::new(width, bs);
+            loop {
+                let mut best: Option<usize> = None;
+                for (src, c) in sources.iter().enumerate() {
+                    if heads[src] >= c.len {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some(src),
+                        Some(b) => {
+                            if cmp_rows_at(c, heads[src], &sources[b], heads[b], &keys)
+                                == Ordering::Less
+                            {
+                                Some(src)
+                            } else {
+                                Some(b)
+                            }
+                        }
+                    };
+                }
+                let Some(b) = best else { break };
+                w.append_row_from(&sources[b], heads[b]);
+                heads[b] += 1;
+            }
+            let len = w.rows();
+            out.per_seg[0] = w.finish();
+            ctx.stats.bytes_moved += bytes as u64;
+            out.avail[0] = input.elapsed() + ctx.net_time(bytes) * 1.15 + ctx.tup_time(len) * 0.2;
+        }
+        MotionKind::Redistribute(cols) => {
+            let pos = key_positions(&input.layout, cols)?;
+            let base = input.elapsed();
+            let mut writers: Vec<BatchWriter> =
+                (0..n).map(|_| BatchWriter::new(width, bs)).collect();
+            for seg_batches in &one_copy_batches(ctx, &input) {
+                for b in seg_batches {
+                    for i in 0..b.len {
+                        // Same hash stream as `segment_for_key`.
+                        let mut h = FnvHasher::default();
+                        for &p in &pos {
+                            b.cols[p].get_ref(i).hash_into(&mut h);
+                        }
+                        let dest = (h.finish() % n as u64) as usize;
+                        writers[dest].append_row_from(b, i);
+                    }
+                }
+            }
+            for (s, wtr) in writers.into_iter().enumerate() {
+                out.per_seg[s] = wtr.finish();
+            }
+            ctx.stats.bytes_moved += bytes as u64;
+            for s in 0..n {
+                out.avail[s] = base + ctx.net_time(bytes) / n as f64;
+            }
+        }
+        MotionKind::Broadcast => {
+            let all = gathered_batches(&input);
+            out.replicated = true;
+            // n full copies leave the wire: scale in f64 *before* the
+            // integer conversion so large streams don't truncate per-copy.
+            ctx.stats.bytes_moved += (bytes * n as f64) as u64;
+            let base = input.elapsed();
+            for s in 0..n {
+                out.per_seg[s] = all.clone();
+                out.avail[s] = base + ctx.net_time(bytes);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExecEngine;
+    use crate::storage::Database;
+    use orca_catalog::{ColumnMeta, Distribution, TableDesc};
+    use orca_common::{DataType, MdId, SysId};
+    use orca_expr::logical::TableRef;
+    use orca_expr::scalar::{AggFunc, ArithOp, CmpOp};
+    use std::sync::Arc;
+
+    /// 4-segment fixture with NULL-heavy data: t1 hashed, t2 hashed on its
+    /// second column, tr replicated.
+    fn db() -> (Database, TableRef, TableRef, TableRef) {
+        let mut db = Database::new(orca_common::SegmentConfig::default().with_segments(4));
+        let mk = |oid: u64, name: &str, dist: Distribution| {
+            Arc::new(TableDesc::new(
+                MdId::new(SysId::Gpdb, oid, 1),
+                name,
+                vec![
+                    ColumnMeta::new("a", DataType::Int),
+                    ColumnMeta::new("b", DataType::Int),
+                ],
+                dist,
+            ))
+        };
+        let t1 = mk(1, "t1", Distribution::Hashed(vec![0]));
+        let t2 = mk(2, "t2", Distribution::Hashed(vec![1]));
+        let tr = mk(3, "tr", Distribution::Replicated);
+        let val = |v: i64| {
+            if v % 9 == 8 {
+                Datum::Null
+            } else {
+                Datum::Int(v)
+            }
+        };
+        let rows1: Vec<Row> = (0..120).map(|i| vec![val(i % 17), val(i)]).collect();
+        let rows2: Vec<Row> = (0..50).map(|i| vec![val(i), val(i % 17)]).collect();
+        let rowsr: Vec<Row> = (0..12).map(|i| vec![val(i % 5), val(i + 2)]).collect();
+        db.load_table(t1.clone(), rows1).unwrap();
+        db.load_table(t2.clone(), rows2).unwrap();
+        db.load_table(tr.clone(), rowsr).unwrap();
+        (db, TableRef(t1), TableRef(t2), TableRef(tr))
+    }
+
+    fn scan(t: &TableRef, first: u32) -> PhysicalPlan {
+        PhysicalPlan::leaf(PhysicalOp::TableScan {
+            table: t.clone(),
+            cols: vec![ColId(first), ColId(first + 1)],
+            parts: None,
+        })
+    }
+
+    fn gather(child: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::new(
+            PhysicalOp::Motion {
+                kind: MotionKind::Gather,
+            },
+            vec![child],
+        )
+    }
+
+    /// Every plan here runs through both kernels at batch sizes 1, 7 and
+    /// 1024 and must produce byte-identical rows, identical simulated
+    /// time, and identical counters.
+    #[test]
+    fn columnar_matches_row_kernel() {
+        let (db0, t1, t2, tr) = db();
+        let agg = |func: AggFunc, arg: Option<ColId>, distinct: bool| ScalarExpr::Agg {
+            func,
+            arg: arg.map(|c| Box::new(ScalarExpr::col(c))),
+            distinct,
+        };
+        let plans: Vec<(PhysicalPlan, Vec<ColId>)> = vec![
+            // Figure 6: join + redistribute + sort + gather-merge.
+            (
+                PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::GatherMerge(OrderSpec::by(&[ColId(0)])),
+                    },
+                    vec![PhysicalPlan::new(
+                        PhysicalOp::Sort {
+                            order: OrderSpec::by(&[ColId(0)]),
+                        },
+                        vec![PhysicalPlan::new(
+                            PhysicalOp::HashJoin {
+                                kind: JoinKind::Inner,
+                                left_keys: vec![ColId(0)],
+                                right_keys: vec![ColId(3)],
+                                residual: None,
+                            },
+                            vec![
+                                scan(&t1, 0),
+                                PhysicalPlan::new(
+                                    PhysicalOp::Motion {
+                                        kind: MotionKind::Redistribute(vec![ColId(3)]),
+                                    },
+                                    vec![scan(&t2, 2)],
+                                ),
+                            ],
+                        )],
+                    )],
+                ),
+                vec![ColId(0), ColId(1), ColId(2)],
+            ),
+            // All join kinds against a broadcast build, with a residual.
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::HashJoin {
+                        kind: JoinKind::LeftOuter,
+                        left_keys: vec![ColId(0)],
+                        right_keys: vec![ColId(3)],
+                        residual: Some(ScalarExpr::cmp(
+                            CmpOp::Lt,
+                            ScalarExpr::col(ColId(1)),
+                            ScalarExpr::int(60),
+                        )),
+                    },
+                    vec![
+                        scan(&t1, 0),
+                        PhysicalPlan::new(
+                            PhysicalOp::Motion {
+                                kind: MotionKind::Broadcast,
+                            },
+                            vec![scan(&t2, 2)],
+                        ),
+                    ],
+                )),
+                vec![ColId(0), ColId(1), ColId(2), ColId(3)],
+            ),
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::HashJoin {
+                        kind: JoinKind::LeftSemi,
+                        left_keys: vec![ColId(0)],
+                        right_keys: vec![ColId(3)],
+                        residual: None,
+                    },
+                    vec![
+                        scan(&t1, 0),
+                        PhysicalPlan::new(
+                            PhysicalOp::Motion {
+                                kind: MotionKind::Broadcast,
+                            },
+                            vec![scan(&t2, 2)],
+                        ),
+                    ],
+                )),
+                vec![ColId(0), ColId(1)],
+            ),
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::HashJoin {
+                        kind: JoinKind::LeftAntiSemi,
+                        left_keys: vec![ColId(0)],
+                        right_keys: vec![ColId(3)],
+                        residual: None,
+                    },
+                    vec![
+                        scan(&t1, 0),
+                        PhysicalPlan::new(
+                            PhysicalOp::Motion {
+                                kind: MotionKind::Broadcast,
+                            },
+                            vec![scan(&t2, 2)],
+                        ),
+                    ],
+                )),
+                vec![ColId(0), ColId(1)],
+            ),
+            // Filter + arithmetic projection (vectorized eval paths).
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::Project {
+                        exprs: vec![
+                            (ColId(10), ScalarExpr::col(ColId(0))),
+                            (
+                                ColId(11),
+                                ScalarExpr::Arith {
+                                    op: ArithOp::Mul,
+                                    left: Box::new(ScalarExpr::col(ColId(1))),
+                                    right: Box::new(ScalarExpr::int(3)),
+                                },
+                            ),
+                            (
+                                ColId(12),
+                                ScalarExpr::IsNull(Box::new(ScalarExpr::col(ColId(0)))),
+                            ),
+                        ],
+                    },
+                    vec![PhysicalPlan::new(
+                        PhysicalOp::Filter {
+                            pred: ScalarExpr::and(vec![
+                                ScalarExpr::cmp(
+                                    CmpOp::Ge,
+                                    ScalarExpr::col(ColId(1)),
+                                    ScalarExpr::int(5),
+                                ),
+                                ScalarExpr::Not(Box::new(ScalarExpr::cmp(
+                                    CmpOp::Gt,
+                                    ScalarExpr::col(ColId(0)),
+                                    ScalarExpr::int(15),
+                                ))),
+                            ]),
+                        },
+                        vec![scan(&t1, 0)],
+                    )],
+                )),
+                vec![ColId(10), ColId(11), ColId(12)],
+            ),
+            // Always-false filter: empty batches everywhere downstream.
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::Filter {
+                        pred: ScalarExpr::cmp(
+                            CmpOp::Gt,
+                            ScalarExpr::col(ColId(1)),
+                            ScalarExpr::int(1_000_000),
+                        ),
+                    },
+                    vec![scan(&t1, 0)],
+                )),
+                vec![ColId(0)],
+            ),
+            // Grouped aggregation with NULL groups and distinct.
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::HashAgg {
+                        group_cols: vec![ColId(0)],
+                        aggs: vec![
+                            (ColId(20), agg(AggFunc::Count, None, false)),
+                            (ColId(21), agg(AggFunc::Sum, Some(ColId(1)), false)),
+                            (ColId(22), agg(AggFunc::Min, Some(ColId(1)), false)),
+                            (ColId(23), agg(AggFunc::Max, Some(ColId(1)), false)),
+                            (ColId(24), agg(AggFunc::Count, Some(ColId(1)), true)),
+                        ],
+                        stage: AggStage::Single,
+                    },
+                    vec![scan(&t1, 0)],
+                )),
+                vec![ColId(0), ColId(20), ColId(21), ColId(22), ColId(23), ColId(24)],
+            ),
+            // Scalar aggregate over empty input via the split-agg path.
+            (
+                PhysicalPlan::new(
+                    PhysicalOp::HashAgg {
+                        group_cols: vec![],
+                        aggs: vec![(ColId(21), agg(AggFunc::Sum, Some(ColId(20)), false))],
+                        stage: AggStage::Global,
+                    },
+                    vec![gather(PhysicalPlan::new(
+                        PhysicalOp::HashAgg {
+                            group_cols: vec![],
+                            aggs: vec![(ColId(20), agg(AggFunc::Count, None, false))],
+                            stage: AggStage::Local,
+                        },
+                        vec![PhysicalPlan::new(
+                            PhysicalOp::Filter {
+                                pred: ScalarExpr::cmp(
+                                    CmpOp::Gt,
+                                    ScalarExpr::col(ColId(1)),
+                                    ScalarExpr::int(1_000_000),
+                                ),
+                            },
+                            vec![scan(&t1, 0)],
+                        )],
+                    ))],
+                ),
+                vec![ColId(21)],
+            ),
+            // Sort + limit over a replicated scan, with a stream agg.
+            (
+                PhysicalPlan::new(
+                    PhysicalOp::Limit {
+                        order: OrderSpec::by(&[ColId(5)]),
+                        offset: 1,
+                        count: Some(4),
+                    },
+                    vec![PhysicalPlan::new(
+                        PhysicalOp::Sort {
+                            order: OrderSpec::by(&[ColId(5)]),
+                        },
+                        vec![gather(PhysicalPlan::new(
+                            PhysicalOp::StreamAgg {
+                                group_cols: vec![ColId(4)],
+                                aggs: vec![(ColId(25), agg(AggFunc::Avg, Some(ColId(5)), false))],
+                                stage: AggStage::Single,
+                            },
+                            vec![scan(&tr, 4)],
+                        ))],
+                    )],
+                ),
+                vec![ColId(4)],
+            ),
+            // UnionAll of a hashed and a replicated input.
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::UnionAll {
+                        output: vec![ColId(30), ColId(31)],
+                        input_cols: vec![
+                            vec![ColId(0), ColId(1)],
+                            vec![ColId(4), ColId(5)],
+                        ],
+                    },
+                    vec![scan(&t1, 0), scan(&tr, 4)],
+                )),
+                vec![ColId(30), ColId(31)],
+            ),
+            // Hash set-op (row-path fallback inside the batch kernel).
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::HashSetOp {
+                        kind: SetOpKind::Intersect,
+                        output: vec![ColId(30)],
+                        input_cols: vec![vec![ColId(0)], vec![ColId(5)]],
+                    },
+                    vec![scan(&t1, 0), scan(&tr, 4)],
+                )),
+                vec![ColId(30)],
+            ),
+            // CTE self-join through Sequence + Spool-free sharing.
+            (
+                gather(PhysicalPlan::new(
+                    PhysicalOp::Sequence {
+                        id: orca_common::CteId(1),
+                    },
+                    vec![
+                        PhysicalPlan::new(
+                            PhysicalOp::CteProducer {
+                                id: orca_common::CteId(1),
+                                cols: vec![ColId(0), ColId(1)],
+                            },
+                            vec![scan(&t1, 0)],
+                        ),
+                        PhysicalPlan::new(
+                            PhysicalOp::HashJoin {
+                                kind: JoinKind::Inner,
+                                left_keys: vec![ColId(40)],
+                                right_keys: vec![ColId(50)],
+                                residual: None,
+                            },
+                            vec![
+                                PhysicalPlan::leaf(PhysicalOp::CteScan {
+                                    id: orca_common::CteId(1),
+                                    cols: vec![ColId(40), ColId(41)],
+                                    producer_cols: vec![ColId(0), ColId(1)],
+                                }),
+                                PhysicalPlan::leaf(PhysicalOp::CteScan {
+                                    id: orca_common::CteId(1),
+                                    cols: vec![ColId(50), ColId(51)],
+                                    producer_cols: vec![ColId(0), ColId(1)],
+                                }),
+                            ],
+                        ),
+                    ],
+                )),
+                vec![ColId(40), ColId(51)],
+            ),
+        ];
+        for (pi, (plan, out_cols)) in plans.iter().enumerate() {
+            for bs in [1usize, 7, 1024] {
+                let mut db = db0.clone();
+                db.cluster.batch_size = bs;
+                let engine = ExecEngine::new(&db);
+                let row = engine.run(plan, out_cols).unwrap();
+                let col = engine.run_columnar(plan, out_cols).unwrap();
+                assert_eq!(
+                    format!("{:?}", row.rows),
+                    format!("{:?}", col.rows),
+                    "plan {pi} rows diverged at batch_size {bs}"
+                );
+                assert_eq!(
+                    row.sim_seconds.to_bits(),
+                    col.sim_seconds.to_bits(),
+                    "plan {pi} sim time diverged at batch_size {bs}"
+                );
+                assert_eq!(row.stats.rows_processed, col.stats.rows_processed, "plan {pi}");
+                assert_eq!(row.stats.bytes_moved, col.stats.bytes_moved, "plan {pi}");
+                assert_eq!(row.stats.spills, col.stats.spills, "plan {pi}");
+                assert_eq!(row.stats.oom_risk_bytes, col.stats.oom_risk_bytes, "plan {pi}");
+                // Both kernels fill the per-operator profile.
+                assert!(!row.stats.ops.is_empty() && !col.stats.ops.is_empty());
+                for (name, p) in &col.stats.ops {
+                    let rp = &row.stats.ops[name];
+                    assert_eq!(p.rows, rp.rows, "plan {pi} op {name} rows");
+                }
+            }
+        }
+    }
+
+    /// The batch kernel reports the OOM failure with the same message.
+    #[test]
+    fn columnar_oom_matches_row_kernel() {
+        let (mut db, t1, t2, _) = db();
+        db.cluster.work_mem_bytes = 64;
+        db.cluster.can_spill = false;
+        let join = gather(PhysicalPlan::new(
+            PhysicalOp::HashJoin {
+                kind: JoinKind::Inner,
+                left_keys: vec![ColId(0)],
+                right_keys: vec![ColId(3)],
+                residual: None,
+            },
+            vec![
+                scan(&t1, 0),
+                PhysicalPlan::new(
+                    PhysicalOp::Motion {
+                        kind: MotionKind::Broadcast,
+                    },
+                    vec![scan(&t2, 2)],
+                ),
+            ],
+        ));
+        let engine = ExecEngine::new(&db);
+        let a = engine.run(&join, &[ColId(0)]).unwrap_err();
+        let b = engine.run_columnar(&join, &[ColId(0)]).unwrap_err();
+        assert_eq!(a.message(), b.message());
+        assert!(b.message().contains("out of memory"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Vectorized columnar execution (DESIGN.md §6g).
+//!
+//! The row interpreter in [`crate::exec`] walks `Vec<Datum>` tuples one
+//! at a time; per-row dispatch and allocation dominate its runtime. This
+//! module re-implements the within-slice kernel over [`batch::ColumnBatch`]
+//! — typed column vectors with null bitmaps — processing
+//! `SegmentConfig::batch_size` rows per operator invocation:
+//!
+//! * [`batch`] — the data plane: `BitVec` null bitmaps, typed [`batch::Column`]
+//!   vectors with a `Mixed` fallback, `ColumnBatch`, and [`batch::ColStream`]
+//!   (the columnar analogue of [`crate::exec::StreamSet`]).
+//! * [`veval`] — vectorized scalar evaluation: whole-column comparisons,
+//!   arithmetic and boolean logic, with `i64` fast paths for the
+//!   null-free integer case.
+//! * [`exec`] — the batch kernel: filters produce selection vectors,
+//!   joins and aggregates key on column slices through a raw `u64`-hash
+//!   table, sorts permute index vectors. Cold operators (nested-loops
+//!   join, hash set-ops, subquery predicates) fall back to the row
+//!   interpreter's logic on converted streams.
+//!
+//! Contract: for every plan, [`exec::cexec`] produces the **same rows in
+//! the same order** as the row interpreter, with identical simulated
+//! `avail` times and identical `ExecStats` counters — the row kernel
+//! stays on as the differential-test oracle.
+
+pub mod batch;
+pub mod exec;
+pub mod veval;
+
+pub use batch::{BatchWriter, BitVec, ColStream, Column, ColumnBatch, ValRef};
+pub use exec::cexec;

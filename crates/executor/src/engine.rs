@@ -1,5 +1,6 @@
 //! Public execution entry point.
 
+use crate::columnar::{cexec, ColStream};
 use crate::exec::{exec, ExecCtx, StreamSet};
 use crate::storage::{Database, Row};
 use orca_common::{ColId, OrcaError, Result};
@@ -40,6 +41,45 @@ impl<'a> ExecEngine<'a> {
             stats: ctx.stats,
         })
     }
+
+    /// Like [`ExecEngine::run`] but through the vectorized batch kernel
+    /// ([`crate::columnar`]): identical rows, order, simulated time and
+    /// counters — less per-row interpretation.
+    pub fn run_columnar(&self, plan: &PhysicalPlan, output_cols: &[ColId]) -> Result<ExecResult> {
+        let mut ctx = ExecCtx::new(self.db);
+        let stream = cexec(plan, &mut ctx)?;
+        let rows = project_output_col(&stream, output_cols)?;
+        Ok(ExecResult {
+            rows,
+            sim_seconds: stream.elapsed(),
+            stats: ctx.stats,
+        })
+    }
+}
+
+pub(crate) fn project_output_col(stream: &ColStream, output_cols: &[ColId]) -> Result<Vec<Row>> {
+    let positions: Vec<usize> = output_cols
+        .iter()
+        .map(|c| {
+            stream.layout.iter().position(|x| x == c).ok_or_else(|| {
+                OrcaError::Execution(format!("output column {c} missing from plan output"))
+            })
+        })
+        .collect::<Result<_>>()?;
+    let slots: &[Vec<crate::columnar::ColumnBatch>] = if stream.replicated {
+        &stream.per_seg[..1]
+    } else {
+        &stream.per_seg[..]
+    };
+    let mut out = Vec::new();
+    for batches in slots {
+        for b in batches {
+            for i in 0..b.len {
+                out.push(positions.iter().map(|&p| b.cols[p].get(i)).collect());
+            }
+        }
+    }
+    Ok(out)
 }
 
 pub(crate) fn project_output(stream: &StreamSet, output_cols: &[ColId]) -> Result<Vec<Row>> {

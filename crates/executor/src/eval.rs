@@ -234,12 +234,20 @@ impl AggAccumulator {
             Some(a) => eval(a, layout, row, env)?,
             None => Datum::Int(1), // count(*)
         };
+        self.update_value(value);
+        Ok(())
+    }
+
+    /// Fold one already-evaluated argument value into the accumulator
+    /// (the columnar kernel evaluates arguments vectorized, then feeds
+    /// values here).
+    pub fn update_value(&mut self, value: Datum) {
         if value.is_null() {
-            return Ok(());
+            return;
         }
         if self.distinct {
             if self.seen.contains(&value) {
-                return Ok(());
+                return;
             }
             self.seen.push(value.clone());
         }
@@ -266,7 +274,6 @@ impl AggAccumulator {
         if better_max {
             self.max = Some(value);
         }
-        Ok(())
     }
 
     /// Final value (SQL semantics: empty input → NULL except count → 0).

@@ -7,6 +7,7 @@
 //! `s`'s output is complete — which is how the engine produces
 //! deterministic "cluster elapsed time" measurements (DESIGN.md §2).
 
+use crate::columnar::batch::ColStream;
 use crate::eval::{accepts, compare_rows, eval, AggAccumulator, Env};
 use crate::merge::{kway_merge, VecSource};
 use crate::storage::{Database, Row};
@@ -16,7 +17,9 @@ use orca_expr::logical::{AggStage, JoinKind, SetOpKind};
 use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
 use orca_expr::scalar::ScalarExpr;
 use orca_gpos::AbortSignal;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A per-segment row stream with its layout and completion times.
 #[derive(Debug, Clone)]
@@ -81,6 +84,20 @@ impl StreamSet {
     }
 }
 
+/// Per-operator profile entry: totals over every invocation of operators
+/// with this name in one execution (exclusive time — children excluded).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Rows emitted by this operator.
+    pub rows: u64,
+    /// Output granularity: columnar batches for the batch kernel,
+    /// non-empty segment streams for the row kernel.
+    pub batches: u64,
+    /// Host-clock nanoseconds spent in this operator itself (time inside
+    /// child operators is attributed to the children).
+    pub ns: u64,
+}
+
 /// Execution counters.
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
@@ -88,6 +105,9 @@ pub struct ExecStats {
     pub bytes_moved: u64,
     pub spills: u64,
     pub oom_risk_bytes: u64,
+    /// Per-operator profile, keyed by operator name (`BTreeMap` so report
+    /// output is deterministically ordered).
+    pub ops: BTreeMap<&'static str, OpProfile>,
 }
 
 /// Per-query execution context.
@@ -114,8 +134,15 @@ pub struct ExecCtx<'a> {
     /// Streams delivered by the interconnect, keyed by motion id (consumed
     /// by `ExchangeRecv`; each motion is delivered to a slice exactly once).
     pub recv: FnvHashMap<usize, StreamSet>,
+    /// Columnar counterpart of [`ExecCtx::cte`], used by the batch kernel.
+    pub(crate) cte_col: FnvHashMap<CteId, ColStream>,
+    /// Columnar counterpart of [`ExecCtx::recv`], used by the batch kernel.
+    pub recv_col: FnvHashMap<usize, ColStream>,
     /// Cooperative cancellation: checked at every operator boundary.
     pub abort: Option<Arc<AbortSignal>>,
+    /// Nanoseconds attributed to child operators of the operator currently
+    /// executing — the bookkeeping behind exclusive-time profiling.
+    pub(crate) profile_child_ns: u64,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -127,7 +154,10 @@ impl<'a> ExecCtx<'a> {
             stats: ExecStats::default(),
             local_segment: None,
             recv: FnvHashMap::default(),
+            cte_col: FnvHashMap::default(),
+            recv_col: FnvHashMap::default(),
             abort: None,
+            profile_child_ns: 0,
         }
     }
 
@@ -145,12 +175,38 @@ impl<'a> ExecCtx<'a> {
             stats: ExecStats::default(),
             local_segment: Some(segment),
             recv,
+            cte_col: FnvHashMap::default(),
+            recv_col: FnvHashMap::default(),
             abort: Some(abort),
+            profile_child_ns: 0,
+        }
+    }
+
+    /// A single-segment *columnar* kernel context: like
+    /// [`ExecCtx::for_segment`] but interconnect deliveries stay in batch
+    /// form for [`crate::columnar::cexec`].
+    pub fn for_segment_columnar(
+        db: &'a Database,
+        segment: usize,
+        recv_col: FnvHashMap<usize, ColStream>,
+        abort: Arc<AbortSignal>,
+    ) -> ExecCtx<'a> {
+        ExecCtx {
+            db,
+            cluster: &db.cluster,
+            cte: FnvHashMap::default(),
+            stats: ExecStats::default(),
+            local_segment: Some(segment),
+            recv: FnvHashMap::default(),
+            cte_col: FnvHashMap::default(),
+            recv_col,
+            abort: Some(abort),
+            profile_child_ns: 0,
         }
     }
 
     /// Stream slots per `StreamSet` in this context (see struct docs).
-    fn seg_slots(&self) -> usize {
+    pub(crate) fn seg_slots(&self) -> usize {
         match self.local_segment {
             Some(_) => 1,
             None => self.cluster.num_segments,
@@ -158,7 +214,7 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// Physical storage segment behind stream slot `slot`.
-    fn storage_segment(&self, slot: usize) -> usize {
+    pub(crate) fn storage_segment(&self, slot: usize) -> usize {
         self.local_segment.unwrap_or(slot)
     }
 
@@ -178,24 +234,83 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// Cooperative cancellation check, called once per operator.
-    fn check_abort(&self) -> Result<()> {
+    pub(crate) fn check_abort(&self) -> Result<()> {
         match &self.abort {
             Some(a) => a.check(),
             None => Ok(()),
         }
     }
 
-    fn tup_time(&self, rows: usize) -> f64 {
+    pub(crate) fn tup_time(&self, rows: usize) -> f64 {
         rows as f64 / self.cluster.tuples_per_sec
     }
 
-    fn net_time(&self, bytes: f64) -> f64 {
+    pub(crate) fn net_time(&self, bytes: f64) -> f64 {
         bytes / self.cluster.net_bytes_per_sec
     }
 }
 
+/// Operator name for the per-operator profile ([`ExecStats::ops`]).
+pub fn op_name(op: &PhysicalOp) -> &'static str {
+    match op {
+        PhysicalOp::TableScan { .. } => "TableScan",
+        PhysicalOp::IndexScan { .. } => "IndexScan",
+        PhysicalOp::Filter { .. } => "Filter",
+        PhysicalOp::Project { .. } => "Project",
+        PhysicalOp::HashJoin { .. } => "HashJoin",
+        PhysicalOp::NLJoin { .. } => "NLJoin",
+        PhysicalOp::HashAgg { .. } => "HashAgg",
+        PhysicalOp::StreamAgg { .. } => "StreamAgg",
+        PhysicalOp::Sort { .. } => "Sort",
+        PhysicalOp::Limit { .. } => "Limit",
+        PhysicalOp::Motion {
+            kind: MotionKind::Gather,
+        } => "Motion(Gather)",
+        PhysicalOp::Motion {
+            kind: MotionKind::GatherMerge(_),
+        } => "Motion(GatherMerge)",
+        PhysicalOp::Motion {
+            kind: MotionKind::Redistribute(_),
+        } => "Motion(Redistribute)",
+        PhysicalOp::Motion {
+            kind: MotionKind::Broadcast,
+        } => "Motion(Broadcast)",
+        PhysicalOp::Spool => "Spool",
+        PhysicalOp::Sequence { .. } => "Sequence",
+        PhysicalOp::CteProducer { .. } => "CteProducer",
+        PhysicalOp::CteScan { .. } => "CteScan",
+        PhysicalOp::ConstTable { .. } => "ConstTable",
+        PhysicalOp::AssertOneRow => "AssertOneRow",
+        PhysicalOp::UnionAll { .. } => "UnionAll",
+        PhysicalOp::HashSetOp { .. } => "HashSetOp",
+        PhysicalOp::ExchangeRecv { .. } => "ExchangeRecv",
+    }
+}
+
 /// Execute a plan, producing the output stream set.
+///
+/// Wraps the interpreter proper with per-operator profiling: each
+/// operator's *exclusive* wall time is `total - nested`, where `nested`
+/// is the time its children accumulated (snapshotted through
+/// [`ExecCtx::profile_child_ns`]), so a plan's profile entries sum to
+/// roughly the query's wall time instead of multiply counting parents.
 pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
+    let start = Instant::now();
+    let snapshot = ctx.profile_child_ns;
+    let result = exec_op(plan, ctx);
+    let total = start.elapsed().as_nanos() as u64;
+    let nested = ctx.profile_child_ns.saturating_sub(snapshot);
+    ctx.profile_child_ns = snapshot + total;
+    if let Ok(out) = &result {
+        let p = ctx.stats.ops.entry(op_name(&plan.op)).or_default();
+        p.rows += out.total_rows() as u64;
+        p.batches += out.per_seg.iter().filter(|v| !v.is_empty()).count() as u64;
+        p.ns += total.saturating_sub(nested);
+    }
+    result
+}
+
+fn exec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
     ctx.check_abort()?;
     let n = ctx.seg_slots();
     match &plan.op {
@@ -235,84 +350,11 @@ pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
         }
         PhysicalOp::Filter { pred } => {
             let input = exec(&plan.children[0], ctx)?;
-            let env = Env::default();
-            let has_subplan = pred.has_subquery();
-            let mut out = StreamSet::empty(input.layout.clone(), n);
-            out.replicated = input.replicated;
-            for s in 0..n {
-                let in_len = input.per_seg[s].len();
-                let mut kept = Vec::new();
-                let mut subplan_work = 0u64;
-                for row in &input.per_seg[s] {
-                    let ok = if has_subplan {
-                        // Un-decorrelated predicate: execute the subquery
-                        // per row (the legacy Planner's SubPlan model).
-                        let mut rs = crate::reference::RefStats::default();
-                        let v = crate::reference::eval_scalar_with_subplans(
-                            ctx.db,
-                            pred,
-                            &input.layout,
-                            row,
-                            &env,
-                            &mut rs,
-                        )?;
-                        subplan_work += rs.rows_processed;
-                        v == Datum::Bool(true)
-                    } else {
-                        accepts(pred, &input.layout, row, &env)?
-                    };
-                    if ok {
-                        kept.push(row.clone());
-                    }
-                }
-                ctx.stats.rows_processed += in_len as u64 + subplan_work;
-                out.avail[s] = input.avail[s]
-                    + ctx.tup_time(in_len) * 0.5
-                    + ctx.tup_time(subplan_work as usize);
-                out.per_seg[s] = kept;
-            }
-            Ok(out)
+            apply_filter(input, pred, ctx)
         }
         PhysicalOp::Project { exprs } => {
             let input = exec(&plan.children[0], ctx)?;
-            let env = Env::default();
-            let layout: Vec<ColId> = exprs.iter().map(|(c, _)| *c).collect();
-            let has_subplan = exprs.iter().any(|(_, e)| e.has_subquery());
-            let mut out = StreamSet::empty(layout, n);
-            out.replicated = input.replicated;
-            for s in 0..n {
-                let mut rows = Vec::with_capacity(input.per_seg[s].len());
-                let mut subplan_work = 0u64;
-                for row in &input.per_seg[s] {
-                    let projected: Vec<Datum> = exprs
-                        .iter()
-                        .map(|(_, e)| {
-                            if has_subplan && e.has_subquery() {
-                                let mut rs = crate::reference::RefStats::default();
-                                let v = crate::reference::eval_scalar_with_subplans(
-                                    ctx.db,
-                                    e,
-                                    &input.layout,
-                                    row,
-                                    &env,
-                                    &mut rs,
-                                );
-                                subplan_work += rs.rows_processed;
-                                v
-                            } else {
-                                eval(e, &input.layout, row, &env)
-                            }
-                        })
-                        .collect::<Result<_>>()?;
-                    rows.push(projected);
-                }
-                ctx.stats.rows_processed += rows.len() as u64 + subplan_work;
-                out.avail[s] = input.avail[s]
-                    + ctx.tup_time(rows.len()) * 0.3
-                    + ctx.tup_time(subplan_work as usize);
-                out.per_seg[s] = rows;
-            }
-            Ok(out)
+            apply_project(input, exprs, ctx)
         }
         PhysicalOp::HashJoin {
             kind,
@@ -492,11 +534,110 @@ pub fn exec(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
     }
 }
 
-fn row_key(row: &Row, positions: &[usize]) -> Vec<Datum> {
-    positions.iter().map(|&p| row[p].clone()).collect()
+/// Filter an already-executed stream. Shared with the columnar kernel's
+/// subquery-predicate fallback, so the two kernels keep identical
+/// per-row subplan accounting.
+pub(crate) fn apply_filter(
+    input: StreamSet,
+    pred: &ScalarExpr,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<StreamSet> {
+    let n = input.per_seg.len();
+    let env = Env::default();
+    let has_subplan = pred.has_subquery();
+    let mut out = StreamSet::empty(input.layout.clone(), n);
+    out.replicated = input.replicated;
+    for s in 0..n {
+        let in_len = input.per_seg[s].len();
+        let mut kept = Vec::new();
+        let mut subplan_work = 0u64;
+        for row in &input.per_seg[s] {
+            let ok = if has_subplan {
+                // Un-decorrelated predicate: execute the subquery
+                // per row (the legacy Planner's SubPlan model).
+                let mut rs = crate::reference::RefStats::default();
+                let v = crate::reference::eval_scalar_with_subplans(
+                    ctx.db,
+                    pred,
+                    &input.layout,
+                    row,
+                    &env,
+                    &mut rs,
+                )?;
+                subplan_work += rs.rows_processed;
+                v == Datum::Bool(true)
+            } else {
+                accepts(pred, &input.layout, row, &env)?
+            };
+            if ok {
+                kept.push(row.clone());
+            }
+        }
+        ctx.stats.rows_processed += in_len as u64 + subplan_work;
+        out.avail[s] =
+            input.avail[s] + ctx.tup_time(in_len) * 0.5 + ctx.tup_time(subplan_work as usize);
+        out.per_seg[s] = kept;
+    }
+    Ok(out)
 }
 
-fn key_positions(layout: &[ColId], keys: &[ColId]) -> Result<Vec<usize>> {
+/// Project an already-executed stream (see [`apply_filter`] on sharing).
+pub(crate) fn apply_project(
+    input: StreamSet,
+    exprs: &[(ColId, ScalarExpr)],
+    ctx: &mut ExecCtx<'_>,
+) -> Result<StreamSet> {
+    let n = input.per_seg.len();
+    let env = Env::default();
+    let layout: Vec<ColId> = exprs.iter().map(|(c, _)| *c).collect();
+    let has_subplan = exprs.iter().any(|(_, e)| e.has_subquery());
+    let mut out = StreamSet::empty(layout, n);
+    out.replicated = input.replicated;
+    for s in 0..n {
+        let mut rows = Vec::with_capacity(input.per_seg[s].len());
+        let mut subplan_work = 0u64;
+        for row in &input.per_seg[s] {
+            let projected: Vec<Datum> = exprs
+                .iter()
+                .map(|(_, e)| {
+                    if has_subplan && e.has_subquery() {
+                        let mut rs = crate::reference::RefStats::default();
+                        let v = crate::reference::eval_scalar_with_subplans(
+                            ctx.db,
+                            e,
+                            &input.layout,
+                            row,
+                            &env,
+                            &mut rs,
+                        );
+                        subplan_work += rs.rows_processed;
+                        v
+                    } else {
+                        eval(e, &input.layout, row, &env)
+                    }
+                })
+                .collect::<Result<_>>()?;
+            rows.push(projected);
+        }
+        ctx.stats.rows_processed += rows.len() as u64 + subplan_work;
+        out.avail[s] = input.avail[s]
+            + ctx.tup_time(rows.len()) * 0.3
+            + ctx.tup_time(subplan_work as usize);
+        out.per_seg[s] = rows;
+    }
+    Ok(out)
+}
+
+/// Fill `scratch` with the key columns of `row`. The scratch buffer is
+/// reused across rows so hot loops (hash join build/probe, aggregation,
+/// redistribution) don't allocate a fresh `Vec<Datum>` per row; an owned
+/// key is cloned out only when a hash table actually inserts it.
+fn fill_key(scratch: &mut Vec<Datum>, row: &Row, positions: &[usize]) {
+    scratch.clear();
+    scratch.extend(positions.iter().map(|&p| row[p].clone()));
+}
+
+pub(crate) fn key_positions(layout: &[ColId], keys: &[ColId]) -> Result<Vec<usize>> {
     keys.iter()
         .map(|k| {
             layout
@@ -552,22 +693,31 @@ fn exec_hash_join(
             spill_factor = ctx.cluster.spill_penalty;
         }
         let mut table: FnvHashMap<Vec<Datum>, Vec<usize>> = FnvHashMap::default();
+        let mut scratch: Vec<Datum> = Vec::with_capacity(rpos.len().max(lpos.len()));
         for (i, row) in right.per_seg[s].iter().enumerate() {
-            let key = row_key(row, &rpos);
-            if key.iter().any(Datum::is_null) {
+            fill_key(&mut scratch, row, &rpos);
+            if scratch.iter().any(Datum::is_null) {
                 continue; // NULL keys never join.
             }
-            table.entry(key).or_default().push(i);
+            match table.get_mut(scratch.as_slice()) {
+                Some(v) => v.push(i),
+                None => {
+                    table.insert(scratch.clone(), vec![i]);
+                }
+            }
         }
         let mut rows = Vec::new();
         let mut matched_right: Vec<bool> = vec![false; right.per_seg[s].len()];
         let _ = &mut matched_right; // (right-outer unsupported; kept simple)
         for lrow in &left.per_seg[s] {
-            let key = row_key(lrow, &lpos);
-            let candidates: &[usize] = if key.iter().any(Datum::is_null) {
+            fill_key(&mut scratch, lrow, &lpos);
+            let candidates: &[usize] = if scratch.iter().any(Datum::is_null) {
                 &[]
             } else {
-                table.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+                table
+                    .get(scratch.as_slice())
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[])
             };
             let mut matched = false;
             for &ri in candidates {
@@ -618,9 +768,22 @@ fn exec_nl_join(
     kind: JoinKind,
     pred: &ScalarExpr,
 ) -> Result<StreamSet> {
-    let n = ctx.seg_slots();
     let left = exec(&plan.children[0], ctx)?;
     let right = exec(&plan.children[1], ctx)?;
+    apply_nl_join(left, right, kind, pred, ctx)
+}
+
+/// Join two already-executed streams with nested loops. Shared with the
+/// columnar kernel, which keeps this operator on the row path (it is
+/// inherently per-pair work with an arbitrary predicate).
+pub(crate) fn apply_nl_join(
+    left: StreamSet,
+    right: StreamSet,
+    kind: JoinKind,
+    pred: &ScalarExpr,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<StreamSet> {
+    let n = left.per_seg.len();
     let env = Env::default();
     let outputs_right = kind.outputs_right();
     let mut layout = left.layout.clone();
@@ -712,13 +875,15 @@ fn exec_agg(
         // the cost difference is modelled in the time term).
         let mut groups: FnvHashMap<Vec<Datum>, Vec<AggAccumulator>> = FnvHashMap::default();
         let mut order: Vec<Vec<Datum>> = Vec::new();
+        let mut scratch: Vec<Datum> = Vec::with_capacity(gpos.len());
         for row in &input.per_seg[s] {
-            let key = row_key(row, &gpos);
-            let accs = match groups.get_mut(&key) {
+            fill_key(&mut scratch, row, &gpos);
+            let accs = match groups.get_mut(scratch.as_slice()) {
                 Some(a) => a,
                 None => {
+                    let key = scratch.clone();
                     order.push(key.clone());
-                    groups.entry(key.clone()).or_insert(
+                    groups.entry(key).or_insert(
                         aggs.iter()
                             .map(|(_, e)| AggAccumulator::from_expr(e))
                             .collect::<Result<_>>()?,
@@ -805,9 +970,11 @@ fn exec_motion(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>, kind: &MotionKind) ->
         MotionKind::Redistribute(cols) => {
             let pos = key_positions(&input.layout, cols)?;
             let base = input.elapsed();
+            let mut scratch: Vec<Datum> = Vec::with_capacity(pos.len());
             for seg_rows in &input.one_copy() {
                 for row in seg_rows {
-                    let dest = segment_for_key(&row_key(row, &pos), n);
+                    fill_key(&mut scratch, row, &pos);
+                    let dest = segment_for_key(&scratch, n);
                     out.per_seg[dest].push(row.clone());
                 }
             }
@@ -839,10 +1006,25 @@ fn exec_setop(
     output: &[ColId],
     input_cols: &[Vec<ColId>],
 ) -> Result<StreamSet> {
+    let mut children: Vec<StreamSet> = Vec::with_capacity(plan.children.len());
+    for child in &plan.children {
+        children.push(exec(child, ctx)?);
+    }
+    apply_setop(children, ctx, kind, output, input_cols)
+}
+
+/// Set operation over already-executed children. Shared with the columnar
+/// kernel, which keeps set-ops on the row path (rare, dedup-heavy).
+pub(crate) fn apply_setop(
+    children: Vec<StreamSet>,
+    ctx: &mut ExecCtx<'_>,
+    kind: SetOpKind,
+    output: &[ColId],
+    input_cols: &[Vec<ColId>],
+) -> Result<StreamSet> {
     let n = ctx.seg_slots();
-    let mut aligned: Vec<StreamSet> = Vec::with_capacity(plan.children.len());
-    for (i, child) in plan.children.iter().enumerate() {
-        let c = exec(child, ctx)?;
+    let mut aligned: Vec<StreamSet> = Vec::with_capacity(children.len());
+    for (i, c) in children.into_iter().enumerate() {
         let positions: Vec<usize> = input_cols[i]
             .iter()
             .map(|col| {

@@ -13,6 +13,11 @@
 //! * [`exec`] — the operator interpreter over per-segment streams.
 //! * [`engine`] — the public entry point: run a plan, get rows, the
 //!   simulated elapsed time, and execution statistics.
+//! * [`columnar`] — the vectorized batch kernel: typed column vectors
+//!   with null bitmaps, selection-vector filters, column-at-a-time scalar
+//!   evaluation, and batch-keyed joins/aggregates. Produces byte-identical
+//!   results to [`exec`] (the row kernel is the differential oracle) with
+//!   far less per-row interpretation work.
 //! * [`merge`] — streaming k-way merge shared by the serial GatherMerge
 //!   motion and the parallel interconnect's merge receiver.
 //! * [`parallel`] — the parallel engine: plans cut into slices at motion
@@ -24,6 +29,7 @@
 //!   row). It serves as the correctness oracle for every physical plan and
 //!   doubles as the execution model of engines without decorrelation.
 
+pub mod columnar;
 pub mod engine;
 pub mod eval;
 pub mod exec;
@@ -32,6 +38,7 @@ pub mod parallel;
 pub mod reference;
 pub mod storage;
 
+pub use columnar::{ColStream, Column, ColumnBatch};
 pub use engine::{ExecEngine, ExecResult, ExecStats};
 pub use parallel::{ParallelConfig, ParallelEngine, ParallelStats};
 pub use storage::{Database, Row};

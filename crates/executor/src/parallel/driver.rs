@@ -15,10 +15,11 @@
 //! so the whole gang drains, closes its channels, and joins — no leaked
 //! threads, no deadlock. Deadlines ride the same signal.
 
+use crate::columnar::{cexec, ColStream};
 use crate::engine::{project_output, ExecEngine};
 use crate::exec::{exec, ExecCtx, ExecStats, StreamSet};
 use crate::parallel::interconnect::{
-    receive_stream, send_stream, MotionChannels, MotionCounters, Msg,
+    receive_stream, send_stream, BatchPool, MotionChannels, MotionCounters, Msg,
 };
 use crate::parallel::metrics::{MotionMetrics, ParallelStats, SliceMetrics};
 use crate::parallel::slice::{cte_local, slice_plan, Slice, SlicedPlan};
@@ -43,6 +44,11 @@ pub struct ParallelConfig {
     pub channel_capacity: usize,
     /// Overall execution deadline, enforced via the abort signal.
     pub deadline: Option<Duration>,
+    /// Run slice kernels through the vectorized batch engine
+    /// ([`crate::columnar`]) instead of the row interpreter. Results are
+    /// byte-identical either way; `false` keeps the row kernel as the
+    /// differential-test oracle.
+    pub columnar: bool,
 }
 
 impl Default for ParallelConfig {
@@ -54,6 +60,7 @@ impl Default for ParallelConfig {
             batch_rows: 256,
             channel_capacity: 4,
             deadline: None,
+            columnar: true,
         }
     }
 }
@@ -130,7 +137,12 @@ impl<'a> ParallelEngine<'a> {
             // A CTE's producer and consumer landed in different slices —
             // the stash is kernel-local, so this plan cannot be sliced.
             // Run it on the serial engine and say so in the stats.
-            let r = ExecEngine::new(self.db).run(plan, output_cols)?;
+            let engine = ExecEngine::new(self.db);
+            let r = if self.cfg.columnar {
+                engine.run_columnar(plan, output_cols)?
+            } else {
+                engine.run(plan, output_cols)?
+            };
             abort.check()?;
             return Ok(ParallelResult {
                 rows: r.rows,
@@ -156,6 +168,7 @@ impl<'a> ParallelEngine<'a> {
             .map(|_| MotionCounters::default())
             .collect();
         let gate = ComputeGate::new(workers);
+        let pool = BatchPool::new();
         let first_err: Mutex<Option<OrcaError>> = Mutex::new(None);
         let merged_stats: Mutex<ExecStats> = Mutex::new(ExecStats::default());
         let root_out: Mutex<Vec<Option<StreamSet>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -181,8 +194,10 @@ impl<'a> ParallelEngine<'a> {
                         txs,
                         rxs,
                         batch_rows: self.cfg.batch_rows,
+                        columnar: self.cfg.columnar,
                         abort,
                         gate: &gate,
+                        pool: &pool,
                         counters: &counters,
                         merged_stats: &merged_stats,
                         root_out: &root_out,
@@ -228,6 +243,7 @@ impl<'a> ParallelEngine<'a> {
             num_slices: sliced.slices.len(),
             serial_fallback: false,
             wall_seconds: 0.0, // stamped by run_with_abort
+            batches_reused: pool.reused(),
             slices: sliced
                 .slices
                 .iter()
@@ -267,8 +283,10 @@ struct TaskCtx<'env> {
     txs: Option<Vec<Sender<Msg>>>,
     rxs: Vec<(usize, Vec<Receiver<Msg>>)>,
     batch_rows: usize,
+    columnar: bool,
     abort: &'env Arc<AbortSignal>,
     gate: &'env ComputeGate,
+    pool: &'env BatchPool,
     counters: &'env [MotionCounters],
     merged_stats: &'env Mutex<ExecStats>,
     root_out: &'env Mutex<Vec<Option<StreamSet>>>,
@@ -276,40 +294,71 @@ struct TaskCtx<'env> {
     compute_ns: &'env [AtomicU64],
 }
 
+/// A task's kernel output, in whichever form the configured kernel
+/// produced it (conversion is deferred to the shipping/parking site).
+enum TaskOut {
+    Col(ColStream),
+    Rows(StreamSet),
+}
+
 fn run_task(task: TaskCtx<'_>) -> Result<()> {
     let t_start = Instant::now();
     // Phase 1 — receive every input motion (no compute slot held; a
     // blocked receive must not starve the senders feeding it).
-    let mut delivered: FnvHashMap<usize, StreamSet> = FnvHashMap::default();
+    let mut delivered: FnvHashMap<usize, ColStream> = FnvHashMap::default();
     for (m, rxs) in &task.rxs {
         let kind = &task.sliced.motions[*m].kind;
-        delivered.insert(*m, receive_stream(kind, rxs, task.abort)?);
+        delivered.insert(
+            *m,
+            receive_stream(kind, rxs, task.abort, task.pool, task.batch_rows)?,
+        );
     }
     // Phase 2 — the kernel, under the compute gate.
     task.gate.acquire(task.abort)?;
     let t_compute = Instant::now();
-    let mut ctx = ExecCtx::for_segment(task.db, task.seg, delivered, task.abort.clone());
-    let out = exec(&task.slice.root, &mut ctx);
+    let (out, stats) = if task.columnar {
+        let mut ctx =
+            ExecCtx::for_segment_columnar(task.db, task.seg, delivered, task.abort.clone());
+        let out = cexec(&task.slice.root, &mut ctx);
+        (out.map(TaskOut::Col), ctx.stats)
+    } else {
+        let rows_in: FnvHashMap<usize, StreamSet> = delivered
+            .into_iter()
+            .map(|(m, cs)| (m, cs.to_streamset()))
+            .collect();
+        let mut ctx = ExecCtx::for_segment(task.db, task.seg, rows_in, task.abort.clone());
+        let out = exec(&task.slice.root, &mut ctx);
+        (out.map(TaskOut::Rows), ctx.stats)
+    };
     let compute = t_compute.elapsed().as_nanos() as u64;
     task.gate.release();
-    merge_stats(&mut task.merged_stats.lock().unwrap(), &ctx.stats);
+    merge_stats(&mut task.merged_stats.lock().unwrap(), &stats);
     let out = out?;
     // Phase 3 — ship the output (or park it, for the root slice).
     match (&task.txs, task.slice.output) {
         (Some(txs), Some(m)) => {
             let kind = &task.sliced.motions[m].kind;
+            let cs = match out {
+                TaskOut::Col(cs) => cs,
+                TaskOut::Rows(ss) => ColStream::from_streamset(&ss, task.batch_rows),
+            };
             send_stream(
                 kind,
-                out,
+                cs,
                 task.seg,
                 txs,
                 task.batch_rows,
                 task.abort,
                 &task.counters[m],
+                task.pool,
             )?;
         }
         _ => {
-            task.root_out.lock().unwrap()[task.seg] = Some(out);
+            let ss = match out {
+                TaskOut::Col(cs) => cs.to_streamset(),
+                TaskOut::Rows(ss) => ss,
+            };
+            task.root_out.lock().unwrap()[task.seg] = Some(ss);
         }
     }
     task.compute_ns[task.slice.id].fetch_max(compute, Ordering::Relaxed);
@@ -322,6 +371,12 @@ fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
     into.bytes_moved += from.bytes_moved;
     into.spills += from.spills;
     into.oom_risk_bytes = into.oom_risk_bytes.max(from.oom_risk_bytes);
+    for (name, p) in &from.ops {
+        let e = into.ops.entry(name).or_default();
+        e.rows += p.rows;
+        e.batches += p.batches;
+        e.ns += p.ns;
+    }
 }
 
 /// Record the first task error and trip the abort so every other task
@@ -449,22 +504,29 @@ mod tests {
     }
 
     /// Assert the parallel engine matches the serial engine byte for byte
-    /// at several worker counts, and return the last parallel result.
+    /// at several worker counts — through both the row and the columnar
+    /// kernel — and return the last parallel result.
     fn assert_identical(db: &Database, plan: &PhysicalPlan, out_cols: &[ColId]) -> ParallelResult {
         let serial = ExecEngine::new(db).run(plan, out_cols).unwrap();
         let mut last = None;
-        for workers in [1, 2, 4] {
-            let cfg = ParallelConfig {
-                workers,
-                batch_rows: 7, // deliberately odd, exercises batching
-                channel_capacity: 2,
-                deadline: None,
-            };
-            let par = ParallelEngine::with_config(db, cfg)
-                .run(plan, out_cols)
-                .unwrap();
-            assert_eq!(par.rows, serial.rows, "workers={workers} diverged");
-            last = Some(par);
+        for columnar in [false, true] {
+            for workers in [1, 2, 4] {
+                let cfg = ParallelConfig {
+                    workers,
+                    batch_rows: 7, // deliberately odd, exercises batching
+                    channel_capacity: 2,
+                    deadline: None,
+                    columnar,
+                };
+                let par = ParallelEngine::with_config(db, cfg)
+                    .run(plan, out_cols)
+                    .unwrap();
+                assert_eq!(
+                    par.rows, serial.rows,
+                    "workers={workers} columnar={columnar} diverged"
+                );
+                last = Some(par);
+            }
         }
         last.unwrap()
     }
@@ -502,6 +564,9 @@ mod tests {
         assert!(par.parallel.motion_bytes() > 0);
         assert_eq!(par.parallel.slices.len(), 3);
         assert!(par.parallel.slices.iter().all(|s| s.wall_seconds > 0.0));
+        // The per-operator profile survives the cross-gang stats merge.
+        assert!(par.stats.ops.contains_key("HashJoin"));
+        assert!(par.stats.ops["HashJoin"].rows > 0);
     }
 
     #[test]
@@ -567,6 +632,10 @@ mod tests {
         let plan = motion(MotionKind::Gather, global);
         let par = assert_identical(&db, &plan, &[ColId(0), ColId(10)]);
         assert_eq!(par.parallel.num_slices, 4);
+        // The mid-plan slice receives one redistribute and sends another
+        // on the same thread, so its phase-3 builder takes are ordered
+        // after its phase-1 shell returns: reuse is guaranteed.
+        assert!(par.parallel.batches_reused > 0);
     }
 
     /// A plan with no motions still runs (single-slice gang).
@@ -636,6 +705,7 @@ mod tests {
             batch_rows: 1,
             channel_capacity: 1,
             deadline: None,
+            columnar: true,
         };
         let engine = ParallelEngine::with_config(&db, cfg);
         let abort = Arc::new(AbortSignal::new());
@@ -667,6 +737,7 @@ mod tests {
             batch_rows: 1,
             channel_capacity: 1,
             deadline: Some(Duration::from_nanos(1)),
+            columnar: true,
         };
         let err = ParallelEngine::with_config(&db, cfg)
             .run(&plan, &[ColId(0)])

@@ -7,27 +7,41 @@
 //! capacity is the backpressure mechanism: a fast sender blocks (in
 //! 10ms abort-checking slices) once `capacity` batches are in flight.
 //!
+//! Batches travel **columnar** ([`ColumnBatch`]): a Gather forwards the
+//! kernel's output columns without touching individual rows, and a
+//! Redistribute routes row-by-row into per-destination column builders.
+//! Consumed batch shells cycle through a shared [`BatchPool`] free list,
+//! so steady-state traffic allocates no new buffers (`batches_reused`
+//! in the parallel stats counts the recycled ones).
+//!
 //! Determinism: receivers drain sender channels **in sender-segment
 //! order** (GatherMerge instead merges all senders, breaking ties toward
 //! the lowest sender), which reproduces the serial engine's stream order
 //! byte for byte. A sender whose stream is replicated ships only its
 //! segment-0 copy — the parallel analogue of the serial `one_copy()`.
 
-use crate::exec::StreamSet;
+use crate::columnar::{ColStream, ColumnBatch};
 use crate::merge::{kway_merge, RowSource};
 use crate::storage::Row;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
-use orca_common::hash::segment_for_key;
-use orca_common::{ColId, Datum, OrcaError, Result};
+use orca_common::hash::FnvHasher;
+use orca_common::{ColId, OrcaError, Result};
 use orca_expr::physical::MotionKind;
 use orca_gpos::AbortSignal;
+use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// How long a blocked channel operation waits before re-checking the
 /// abort signal. Small enough that cancellation is prompt; large enough
 /// that a healthy pipeline never spins.
 const POLL: Duration = Duration::from_millis(10);
+
+/// Max batch shells kept on the free list. Enough to cover every
+/// in-flight batch of a busy gang; beyond that, dropping is cheaper
+/// than hoarding.
+const POOL_CAP: usize = 64;
 
 /// One message on an interconnect channel.
 #[derive(Debug)]
@@ -38,9 +52,47 @@ pub enum Msg {
     Open {
         layout: Vec<ColId>,
     },
-    Batch(Vec<Row>),
+    Batch(ColumnBatch),
     /// End of stream: the sender instance is done with this receiver.
     Eos,
+}
+
+/// A free list of [`ColumnBatch`] shells shared by every task of one
+/// parallel run. Receivers return consumed shells; senders and
+/// receivers take them back instead of allocating.
+#[derive(Debug, Default)]
+pub struct BatchPool {
+    free: Mutex<Vec<ColumnBatch>>,
+    reused: AtomicU64,
+}
+
+impl BatchPool {
+    pub fn new() -> BatchPool {
+        BatchPool::default()
+    }
+
+    /// An empty batch of `width` columns — recycled when available.
+    pub fn take(&self, width: usize) -> ColumnBatch {
+        if let Some(mut b) = self.free.lock().unwrap().pop() {
+            b.reset(width);
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return b;
+        }
+        ColumnBatch::new(width)
+    }
+
+    /// Return a consumed shell to the free list (dropped when full).
+    pub fn put(&self, batch: ColumnBatch) {
+        let mut free = self.free.lock().unwrap();
+        if free.len() < POOL_CAP {
+            free.push(batch);
+        }
+    }
+
+    /// How many takes were served from the free list.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
 }
 
 /// Wire counters for one motion, shared by all its channels.
@@ -80,12 +132,6 @@ impl MotionChannels {
     }
 }
 
-fn batch_bytes(rows: &[Row]) -> u64 {
-    rows.iter()
-        .map(|r| r.iter().map(Datum::width).sum::<u64>())
-        .sum()
-}
-
 fn send_msg(tx: &Sender<Msg>, mut msg: Msg, abort: &AbortSignal) -> Result<()> {
     loop {
         abort.check()?;
@@ -123,6 +169,43 @@ fn abort_error(abort: &AbortSignal, fallback: &str) -> OrcaError {
     }
 }
 
+/// Count and ship one non-empty batch.
+fn send_batch(
+    tx: &Sender<Msg>,
+    batch: ColumnBatch,
+    abort: &AbortSignal,
+    counters: &MotionCounters,
+) -> Result<()> {
+    counters.rows.fetch_add(batch.len as u64, Ordering::Relaxed);
+    counters.bytes.fetch_add(batch.bytes(), Ordering::Relaxed);
+    send_msg(tx, Msg::Batch(batch), abort)?;
+    counters.peak_queue.fetch_max(tx.len(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Ship a batch list to one receiver, re-chunking anything larger than
+/// `batch_rows` (the kernel's batch size and the wire's need not agree).
+fn send_batches(
+    tx: &Sender<Msg>,
+    batches: Vec<ColumnBatch>,
+    batch_rows: usize,
+    abort: &AbortSignal,
+    counters: &MotionCounters,
+) -> Result<()> {
+    let batch_rows = batch_rows.max(1);
+    for mut b in batches {
+        while b.len > batch_rows {
+            let tail = b.split_off(batch_rows);
+            let head = std::mem::replace(&mut b, tail);
+            send_batch(tx, head, abort, counters)?;
+        }
+        if !b.is_empty() {
+            send_batch(tx, b, abort, counters)?;
+        }
+    }
+    Ok(())
+}
+
 /// Send one slice instance's output stream into its motion.
 ///
 /// `stream` is the single-slot output of the kernel on physical segment
@@ -130,12 +213,13 @@ fn abort_error(abort: &AbortSignal, fallback: &str) -> OrcaError {
 #[allow(clippy::too_many_arguments)]
 pub fn send_stream(
     kind: &MotionKind,
-    stream: StreamSet,
+    stream: ColStream,
     segment: usize,
     txs: &[Sender<Msg>],
     batch_rows: usize,
     abort: &AbortSignal,
     counters: &MotionCounters,
+    pool: &BatchPool,
 ) -> Result<()> {
     for tx in txs {
         send_msg(
@@ -148,73 +232,65 @@ pub fn send_stream(
     }
     // One distinct copy: replicated streams ship only their master copy,
     // mirroring the serial engine's `one_copy()` / `gathered()` reads.
-    let rows: Vec<Row> = if stream.replicated && segment != 0 {
+    let layout = stream.layout;
+    let batches: Vec<ColumnBatch> = if stream.replicated && segment != 0 {
         Vec::new()
     } else {
         stream.per_seg.into_iter().next().unwrap_or_default()
     };
     match kind {
         MotionKind::Gather | MotionKind::GatherMerge(_) => {
-            // All rows land on the receiving gang's master instance.
-            send_batches(&txs[0], rows, batch_rows, abort, counters)?;
+            // All rows land on the receiving gang's master instance —
+            // whole kernel batches move onto the wire, no per-row work.
+            send_batches(&txs[0], batches, batch_rows, abort, counters)?;
         }
         MotionKind::Redistribute(cols) => {
             let pos: Vec<usize> = cols
                 .iter()
                 .map(|k| {
-                    stream.layout.iter().position(|c| c == k).ok_or_else(|| {
+                    layout.iter().position(|c| c == k).ok_or_else(|| {
                         OrcaError::Execution(format!("key column {k} not in layout"))
                     })
                 })
                 .collect::<Result<_>>()?;
-            let mut parts: Vec<Vec<Row>> = vec![Vec::new(); txs.len()];
-            for row in rows {
-                let key: Vec<Datum> = pos.iter().map(|&p| row[p].clone()).collect();
-                let dest = segment_for_key(&key, txs.len());
-                parts[dest].push(row);
+            let batch_rows = batch_rows.max(1);
+            let n = txs.len();
+            let width = layout.len();
+            // One open builder per destination; full builders ship
+            // immediately and are replaced from the pool.
+            let mut parts: Vec<ColumnBatch> = (0..n).map(|_| pool.take(width)).collect();
+            for b in batches {
+                for i in 0..b.len {
+                    let mut h = FnvHasher::default();
+                    for &p in &pos {
+                        b.cols[p].get_ref(i).hash_into(&mut h);
+                    }
+                    let dest = (h.finish() % n as u64) as usize;
+                    parts[dest].append_row_from(&b, i);
+                    if parts[dest].len >= batch_rows {
+                        let full = std::mem::replace(&mut parts[dest], pool.take(width));
+                        send_batch(&txs[dest], full, abort, counters)?;
+                    }
+                }
+                // The input batch is fully routed; recycle its shell.
+                pool.put(b);
             }
             for (dest, part) in parts.into_iter().enumerate() {
-                send_batches(&txs[dest], part, batch_rows, abort, counters)?;
+                if part.is_empty() {
+                    pool.put(part);
+                } else {
+                    send_batch(&txs[dest], part, abort, counters)?;
+                }
             }
         }
         MotionKind::Broadcast => {
             for tx in txs {
-                send_batches(tx, rows.clone(), batch_rows, abort, counters)?;
+                send_batches(tx, batches.clone(), batch_rows, abort, counters)?;
             }
         }
     }
     for tx in txs {
         send_msg(tx, Msg::Eos, abort)?;
-    }
-    Ok(())
-}
-
-fn send_batches(
-    tx: &Sender<Msg>,
-    rows: Vec<Row>,
-    batch_rows: usize,
-    abort: &AbortSignal,
-    counters: &MotionCounters,
-) -> Result<()> {
-    let batch_rows = batch_rows.max(1);
-    let mut rows = rows;
-    // Drain front-to-back in batch_rows chunks without re-allocating the
-    // remainder each time: split off the tail, send the head.
-    while !rows.is_empty() {
-        let tail = if rows.len() > batch_rows {
-            rows.split_off(batch_rows)
-        } else {
-            Vec::new()
-        };
-        let batch = std::mem::replace(&mut rows, tail);
-        counters
-            .rows
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        counters
-            .bytes
-            .fetch_add(batch_bytes(&batch), Ordering::Relaxed);
-        send_msg(tx, Msg::Batch(batch), abort)?;
-        counters.peak_queue.fetch_max(tx.len(), Ordering::Relaxed);
     }
     Ok(())
 }
@@ -226,6 +302,7 @@ struct ChannelSource<'a> {
     buf: std::vec::IntoIter<Row>,
     done: bool,
     abort: &'a AbortSignal,
+    pool: &'a BatchPool,
 }
 
 impl RowSource for ChannelSource<'_> {
@@ -238,7 +315,12 @@ impl RowSource for ChannelSource<'_> {
                 return Ok(None);
             }
             match recv_msg(self.rx, self.abort)? {
-                Msg::Batch(rows) => self.buf = rows.into_iter(),
+                Msg::Batch(b) => {
+                    let mut rows = Vec::new();
+                    b.to_rows(&mut rows);
+                    self.pool.put(b);
+                    self.buf = rows.into_iter();
+                }
                 Msg::Eos => self.done = true,
                 Msg::Open { .. } => {
                     return Err(OrcaError::Execution(
@@ -253,13 +335,18 @@ impl RowSource for ChannelSource<'_> {
 /// Receive one motion's stream for receiver instance `segment`.
 ///
 /// `rxs[s]` is the channel from sender instance `s`. Returns the
-/// delivered single-slot `StreamSet` the kernel's `ExchangeRecv` leaf
-/// will resolve to.
+/// delivered single-slot [`ColStream`] the kernel's `ExchangeRecv` leaf
+/// will resolve to, coalesced into batches of up to `batch_rows` rows.
+/// Incoming batch shells are returned to `pool` after their columns are
+/// copied out — that copy is what keeps the free list warm.
 pub fn receive_stream(
     kind: &MotionKind,
     rxs: &[Receiver<Msg>],
     abort: &AbortSignal,
-) -> Result<StreamSet> {
+    pool: &BatchPool,
+    batch_rows: usize,
+) -> Result<ColStream> {
+    let batch_rows = batch_rows.max(1);
     // Every sender opens with the (shared) layout, even when it will
     // contribute no rows.
     let mut layout: Vec<ColId> = Vec::new();
@@ -273,7 +360,8 @@ pub fn receive_stream(
             }
         }
     }
-    let mut out = StreamSet::empty(layout, 1);
+    let width = layout.len();
+    let mut out = ColStream::empty(layout, 1);
     match kind {
         MotionKind::GatherMerge(order) => {
             // True streaming k-way merge across sender channels; ties
@@ -286,18 +374,31 @@ pub fn receive_stream(
                     buf: Vec::new().into_iter(),
                     done: false,
                     abort,
+                    pool,
                 })
                 .collect();
-            let layout = out.layout.clone();
-            out.per_seg[0] = kway_merge(sources, order, &layout)?;
+            let merged = kway_merge(sources, order, &out.layout)?;
+            out.per_seg[0] = merged
+                .chunks(batch_rows)
+                .map(|c| ColumnBatch::from_rows(c, width))
+                .collect();
         }
         _ => {
-            // Concatenate sender streams in sender-segment order.
-            let mut rows: Vec<Row> = Vec::new();
+            // Concatenate sender streams in sender-segment order,
+            // coalescing small wire batches back up to `batch_rows`.
+            let mut batches: Vec<ColumnBatch> = Vec::new();
+            let mut cur = pool.take(width);
             for rx in rxs {
                 loop {
                     match recv_msg(rx, abort)? {
-                        Msg::Batch(mut b) => rows.append(&mut b),
+                        Msg::Batch(b) => {
+                            cur.extend_from_batch(&b);
+                            pool.put(b);
+                            while cur.len >= batch_rows {
+                                let tail = cur.split_off(batch_rows.min(cur.len));
+                                batches.push(std::mem::replace(&mut cur, tail));
+                            }
+                        }
                         Msg::Eos => break,
                         Msg::Open { .. } => {
                             return Err(OrcaError::Execution(
@@ -307,7 +408,12 @@ pub fn receive_stream(
                     }
                 }
             }
-            out.per_seg[0] = rows;
+            if cur.is_empty() {
+                pool.put(cur);
+            } else {
+                batches.push(cur);
+            }
+            out.per_seg[0] = batches;
         }
     }
     out.replicated = matches!(kind, MotionKind::Broadcast);
@@ -317,14 +423,17 @@ pub fn receive_stream(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::StreamSet;
+    use orca_common::hash::segment_for_key;
+    use orca_common::Datum;
     use orca_expr::props::OrderSpec;
     use std::sync::Arc;
 
-    fn stream(rows: Vec<Row>, replicated: bool) -> StreamSet {
+    fn stream(rows: Vec<Row>, replicated: bool) -> ColStream {
         let mut s = StreamSet::empty(vec![ColId(0), ColId(1)], 1);
         s.per_seg[0] = rows;
         s.replicated = replicated;
-        s
+        ColStream::from_streamset(&s, 3)
     }
 
     fn rows2(vals: &[(i64, i64)]) -> Vec<Row> {
@@ -337,37 +446,57 @@ mod tests {
     /// each receiver instance's delivered rows.
     fn round_trip(
         kind: MotionKind,
-        per_sender: Vec<StreamSet>,
+        per_sender: Vec<ColStream>,
         batch_rows: usize,
         capacity: usize,
     ) -> Vec<Vec<Row>> {
+        round_trip_pooled(kind, per_sender, batch_rows, capacity).0
+    }
+
+    fn round_trip_pooled(
+        kind: MotionKind,
+        per_sender: Vec<ColStream>,
+        batch_rows: usize,
+        capacity: usize,
+    ) -> (Vec<Vec<Row>>, u64) {
         let n = per_sender.len();
         let mut ch = MotionChannels::new(n, capacity);
         let abort = Arc::new(AbortSignal::new());
         let counters = MotionCounters::default();
-        std::thread::scope(|scope| {
+        let pool = BatchPool::new();
+        let got = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (s, stream) in per_sender.into_iter().enumerate() {
                 let txs = ch.tx[s].take().unwrap();
                 let kind = &kind;
                 let abort = &abort;
                 let counters = &counters;
+                let pool = &pool;
                 scope.spawn(move || {
-                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters).unwrap();
+                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters, pool)
+                        .unwrap();
                 });
             }
             for r in 0..n {
                 let rxs = ch.rx[r].take().unwrap();
                 let kind = &kind;
                 let abort = &abort;
-                handles.push(
-                    scope.spawn(move || {
-                        receive_stream(kind, &rxs, abort).unwrap().per_seg[0].clone()
-                    }),
-                );
+                let pool = &pool;
+                handles.push(scope.spawn(move || {
+                    let cs = receive_stream(kind, &rxs, abort, pool, batch_rows).unwrap();
+                    let mut rows = Vec::new();
+                    for b in &cs.per_seg[0] {
+                        b.to_rows(&mut rows);
+                    }
+                    rows
+                }));
             }
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        (got, pool.reused())
     }
 
     #[test]
@@ -423,6 +552,21 @@ mod tests {
         assert_eq!(all, input);
     }
 
+    /// A redistribute cycles consumed input shells back through the pool
+    /// into the per-destination builders.
+    #[test]
+    fn redistribute_reuses_pooled_batches() {
+        let input = rows2(&(0..200).map(|i| (i, i)).collect::<Vec<_>>());
+        let (got, reused) = round_trip_pooled(
+            MotionKind::Redistribute(vec![ColId(0)]),
+            vec![stream(input.clone(), false), stream(rows2(&[]), false)],
+            2,
+            2,
+        );
+        assert_eq!(got.iter().map(Vec::len).sum::<usize>(), input.len());
+        assert!(reused > 0, "free list never served a take");
+    }
+
     #[test]
     fn broadcast_replicates_and_skips_duplicate_copies() {
         // A replicated sender stream: only segment 0's copy ships.
@@ -456,14 +600,16 @@ mod tests {
         let mut ch = MotionChannels::new(1, 1);
         let abort = Arc::new(AbortSignal::new());
         let counters = MotionCounters::default();
+        let pool = BatchPool::new();
         let txs = ch.tx[0].take().unwrap();
         let _rxs = ch.rx[0].take().unwrap(); // held, never drained
         let rows: Vec<Row> = (0..100).map(|i| vec![Datum::Int(i)]).collect();
         let mut s = StreamSet::empty(vec![ColId(0)], 1);
         s.per_seg[0] = rows;
+        let s = ColStream::from_streamset(&s, 4);
         let t = std::thread::spawn({
             let abort = abort.clone();
-            move || send_stream(&MotionKind::Gather, s, 0, &txs, 1, &abort, &counters)
+            move || send_stream(&MotionKind::Gather, s, 0, &txs, 1, &abort, &counters, &pool)
         });
         std::thread::sleep(Duration::from_millis(30));
         abort.abort();

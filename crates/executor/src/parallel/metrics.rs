@@ -35,6 +35,10 @@ pub struct ParallelStats {
     pub serial_fallback: bool,
     /// End-to-end wall time of the parallel run.
     pub wall_seconds: f64,
+    /// Interconnect batch shells served from the shared free list
+    /// instead of freshly allocated (see
+    /// [`crate::parallel::interconnect::BatchPool`]).
+    pub batches_reused: u64,
     pub slices: Vec<SliceMetrics>,
     pub motions: Vec<MotionMetrics>,
 }

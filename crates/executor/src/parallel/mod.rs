@@ -9,10 +9,12 @@
 //!   **slices**; each slice is instantiated once per segment (a *gang*),
 //!   and each instance runs the unmodified serial interpreter in
 //!   single-segment mode (see [`crate::exec::ExecCtx`]).
-//! * [`interconnect`] moves row batches between gangs over bounded
-//!   channels — Gather, GatherMerge (true streaming k-way merge at the
-//!   receiver), Redistribute (hash fan-out), Broadcast — with bounded
-//!   capacity providing backpressure and EOS markers ending streams.
+//! * [`interconnect`] moves **columnar batches** between gangs over
+//!   bounded channels — Gather, GatherMerge (true streaming k-way merge
+//!   at the receiver), Redistribute (hash fan-out into per-destination
+//!   column builders), Broadcast — with bounded capacity providing
+//!   backpressure, EOS markers ending streams, and a shared
+//!   [`interconnect::BatchPool`] recycling consumed batch shells.
 //! * [`driver`] schedules the slice×segment tasks on a worker pool,
 //!   propagates errors/cancellation/deadlines through a shared
 //!   [`orca_gpos::AbortSignal`], and assembles the final result.

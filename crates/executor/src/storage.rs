@@ -90,6 +90,41 @@ impl SegmentedTable {
         }
     }
 
+    /// Rows of the selected partitions on one segment, read directly into
+    /// columnar batches of at most `batch_size` rows (the batch kernel's
+    /// scan path: no intermediate `Vec<Row>` materialization).
+    pub fn scan_columnar(
+        &self,
+        segment: usize,
+        parts: &Option<Vec<usize>>,
+        batch_size: usize,
+    ) -> Vec<crate::columnar::ColumnBatch> {
+        let batch_size = batch_size.max(1);
+        let width = self.desc.columns.len();
+        let buckets = &self.segments[segment];
+        let selected: Vec<&Vec<Row>> = match parts {
+            None => buckets.iter().collect(),
+            Some(ps) => ps.iter().filter_map(|p| buckets.get(*p)).collect(),
+        };
+        let mut out = Vec::new();
+        let mut cur = crate::columnar::ColumnBatch::new(width);
+        for bucket in selected {
+            for row in bucket {
+                cur.push_row(row);
+                if cur.len == batch_size {
+                    out.push(std::mem::replace(
+                        &mut cur,
+                        crate::columnar::ColumnBatch::new(width),
+                    ));
+                }
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
     pub fn total_rows(&self) -> usize {
         self.segments
             .iter()

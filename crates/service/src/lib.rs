@@ -105,6 +105,9 @@ pub struct ExecuteConfig {
     pub channel_capacity: usize,
     /// Per-query execution deadline.
     pub deadline: Option<Duration>,
+    /// Run kernels through the vectorized columnar engine (`false` =
+    /// row-at-a-time interpretation; results are byte-identical).
+    pub columnar: bool,
 }
 
 impl Default for ExecuteConfig {
@@ -115,6 +118,7 @@ impl Default for ExecuteConfig {
             batch_rows: 256,
             channel_capacity: 4,
             deadline: None,
+            columnar: true,
         }
     }
 }
@@ -128,6 +132,7 @@ impl ExecuteConfig {
         cfg.batch_rows = self.batch_rows;
         cfg.channel_capacity = self.channel_capacity;
         cfg.deadline = self.deadline;
+        cfg.columnar = self.columnar;
         cfg
     }
 }
@@ -516,7 +521,12 @@ impl Service {
                 parallel: Some(r.parallel),
             }
         } else {
-            let r = ExecEngine::new(db).run(plan, output_cols)?;
+            let engine = ExecEngine::new(db);
+            let r = if exec_cfg.columnar {
+                engine.run_columnar(plan, output_cols)?
+            } else {
+                engine.run(plan, output_cols)?
+            };
             ExecSummary {
                 rows: r.rows,
                 latency: t0.elapsed(),

@@ -225,11 +225,14 @@ proptest! {
         .. ProptestConfig::default()
     })]
 
-    /// For random optimized plans: serial rows == parallel rows at 1, 2
-    /// and 4 compute workers (byte-identical, order included), and the
-    /// multiset agrees with the reference interpreter. Odd batch sizes
-    /// and a tiny channel window force multi-batch streams through the
-    /// interconnect.
+    /// For random optimized plans: row-serial rows == columnar-serial
+    /// rows at batch sizes 1, 7 and 1024 (byte-identical, simulated time
+    /// bit-equal) == parallel rows through both kernels at 1, 2 and 4
+    /// compute workers, and the multiset agrees with the reference
+    /// interpreter. The fixture is null-heavy (every 19th value is NULL)
+    /// so null bitmaps and NULL join keys are exercised throughout. Odd
+    /// batch sizes and a tiny channel window force multi-batch streams
+    /// through the interconnect.
     #[test]
     fn parallel_equals_serial_at_every_worker_count(spec in spec_strategy()) {
         let fx = fixture();
@@ -237,25 +240,91 @@ proptest! {
         let (expr, output) = build_query(&spec, &registry);
         let plan = optimize(&expr, &registry, &output);
         let serial = ExecEngine::new(&fx.db).run(&plan, &output).expect("serial");
-        for workers in [1usize, 2, 4] {
-            let engine = ParallelEngine::with_config(&fx.db, ParallelConfig {
-                workers,
-                batch_rows: 7,
-                channel_capacity: 2,
-                deadline: None,
-            });
-            let par = engine.run(&plan, &output).expect("parallel");
+        for batch_size in [1usize, 7, 1024] {
+            let mut db = fx.db.clone();
+            db.cluster.batch_size = batch_size;
+            let col = ExecEngine::new(&db).run_columnar(&plan, &output).expect("columnar");
             prop_assert_eq!(
-                &par.rows,
+                &col.rows,
                 &serial.rows,
-                "parallel({}) != serial\nspec {:?}\nplan:\n{}",
-                workers,
+                "columnar(batch_size={}) != serial\nspec {:?}\nplan:\n{}",
+                batch_size,
                 spec,
                 orca_expr::pretty::explain_physical(&plan)
             );
+            prop_assert_eq!(
+                col.sim_seconds.to_bits(),
+                serial.sim_seconds.to_bits(),
+                "columnar simulated clock diverged at batch_size={}",
+                batch_size
+            );
+        }
+        for columnar in [false, true] {
+            for workers in [1usize, 2, 4] {
+                let engine = ParallelEngine::with_config(&fx.db, ParallelConfig {
+                    workers,
+                    batch_rows: 7,
+                    channel_capacity: 2,
+                    deadline: None,
+                    columnar,
+                });
+                let par = engine.run(&plan, &output).expect("parallel");
+                prop_assert_eq!(
+                    &par.rows,
+                    &serial.rows,
+                    "parallel({}, columnar={}) != serial\nspec {:?}\nplan:\n{}",
+                    workers,
+                    columnar,
+                    spec,
+                    orca_expr::pretty::explain_physical(&plan)
+                );
+            }
         }
         let expected = run_reference(&fx.db, &expr, &output).expect("reference");
         prop_assert_eq!(sort_rows(serial.rows), sort_rows(expected));
+    }
+}
+
+/// An always-false predicate drives empty batches through every stage
+/// (filters, joins, aggregation, motions) of both kernels at several
+/// batch sizes — the all-pruned edge case must stay byte-identical too.
+#[test]
+fn empty_streams_are_identical_across_kernels() {
+    let fx = fixture();
+    let registry = Arc::new(ColumnRegistry::new());
+    let spec = QuerySpec {
+        tables: vec![0, 1],
+        joins: vec![(0, 0, 0)],
+        filters: vec![(0, 0, 1), (0, 2, 1)], // c = 1 AND c < 1: unsatisfiable
+        agg: Some((0, true)),
+        limit: None,
+    };
+    let (expr, output) = build_query(&spec, &registry);
+    let plan = optimize(&expr, &registry, &output);
+    let serial = ExecEngine::new(&fx.db).run(&plan, &output).expect("serial");
+    assert!(serial.rows.is_empty(), "filter should prune every row");
+    for batch_size in [1usize, 7, 1024] {
+        let mut db = fx.db.clone();
+        db.cluster.batch_size = batch_size;
+        let col = ExecEngine::new(&db)
+            .run_columnar(&plan, &output)
+            .expect("columnar");
+        assert_eq!(col.rows, serial.rows);
+        assert_eq!(col.sim_seconds.to_bits(), serial.sim_seconds.to_bits());
+    }
+    for columnar in [false, true] {
+        let engine = ParallelEngine::with_config(
+            &fx.db,
+            ParallelConfig {
+                workers: 2,
+                batch_rows: 7,
+                channel_capacity: 2,
+                deadline: None,
+                columnar,
+            },
+        );
+        let par = engine.run(&plan, &output).expect("parallel");
+        assert_eq!(par.rows, serial.rows, "columnar={columnar}");
     }
 }
 
@@ -291,6 +360,7 @@ fn mid_query_abort_drains_without_deadlock() {
             batch_rows: 1,
             channel_capacity: 1,
             deadline: None,
+            columnar: true,
         },
     );
     let (done_tx, done_rx) = std::sync::mpsc::channel();
@@ -321,6 +391,7 @@ fn deadline_under_backpressure_times_out_cleanly() {
             batch_rows: 1,
             channel_capacity: 1,
             deadline: Some(Duration::ZERO),
+            columnar: true,
         },
     );
     let (done_tx, done_rx) = std::sync::mpsc::channel();
@@ -353,6 +424,7 @@ fn tiny_interconnect_window_still_completes() {
             batch_rows: 1,
             channel_capacity: 1,
             deadline: Some(Duration::from_secs(60)),
+            columnar: true,
         },
     );
     let par = engine.run(&plan, &output).expect("parallel");
