@@ -25,10 +25,11 @@ use orca_bench::report::row;
 use orca_bench::BenchEnv;
 use orca_common::hash::fnv_hash;
 use orca_common::ColId;
-use orca_executor::{ExecEngine, ParallelConfig, ParallelEngine, Row};
+use orca_executor::{ExecEngine, FragmentCache, ParallelConfig, ParallelEngine, Row};
 use orca_expr::physical::PhysicalPlan;
 use orca_tpcds::suite;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 const WORKER_LEVELS: &[usize] = &[1, 2, 4, 8];
@@ -145,6 +146,27 @@ fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize, kernel: Kerne
     }
 }
 
+/// One sweep of the corpus on the serial columnar engine with a shared
+/// fragment cache attached; returns (wall ms, per-query checksums).
+fn run_fragment_pass(
+    env: &BenchEnv,
+    corpus: &[BenchQuery],
+    fragments: &Arc<FragmentCache>,
+) -> (f64, Vec<u64>) {
+    let engine = ExecEngine::new(&env.db).with_fragments(Arc::clone(fragments));
+    let t0 = Instant::now();
+    let checksums = corpus
+        .iter()
+        .map(|q| {
+            let res = engine
+                .run_columnar(&q.plan, &q.output_cols)
+                .expect("fragment-cached exec");
+            checksum(&res.rows)
+        })
+        .collect();
+    (t0.elapsed().as_secs_f64() * 1e3, checksums)
+}
+
 struct ParallelRun {
     workers: usize,
     kernel: Kernel,
@@ -231,17 +253,11 @@ fn main() {
         .iter()
         .position(|a| a == "--batch-size")
         .and_then(|i| args.get(i + 1).map(String::as_str))
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix("--batch-size="))
-        })
+        .or_else(|| args.iter().find_map(|a| a.strip_prefix("--batch-size=")))
         .and_then(|s| s.parse().ok())
         .unwrap_or(1024);
     // `--batch-size N` consumes its value; drop it from the positionals.
-    let value_idx = args
-        .iter()
-        .position(|a| a == "--batch-size")
-        .map(|i| i + 1);
+    let value_idx = args.iter().position(|a| a == "--batch-size").map(|i| i + 1);
     let positional: Vec<&String> = args
         .iter()
         .enumerate()
@@ -295,6 +311,38 @@ fn main() {
     println!(
         "serial columnar: {:.1} ms for {} rows ({col_speedup:.2}x row serial)",
         columnar.wall_ms, columnar.rows
+    );
+
+    // Cross-query sharing: one fragment cache across a cold and a warm
+    // corpus sweep. The warm pass must answer its scans from the cache
+    // without perturbing a single result byte.
+    let fragments = Arc::new(FragmentCache::new(256 << 20));
+    let (frag_cold_ms, cold_sums) = run_fragment_pass(&env, &corpus, &fragments);
+    let (frag_warm_ms, warm_sums) = run_fragment_pass(&env, &corpus, &fragments);
+    assert_eq!(
+        cold_sums, baseline.checksums,
+        "fragment-cache cold pass diverged from the row oracle"
+    );
+    assert_eq!(
+        warm_sums, baseline.checksums,
+        "fragment-cache warm pass diverged from the row oracle"
+    );
+    let fshare = fragments.stats();
+    assert!(
+        fshare.inserted > 0 && fshare.reused > 0,
+        "fragment cache saw no sharing across two corpus sweeps \
+         (inserted {}, reused {})",
+        fshare.inserted,
+        fshare.reused
+    );
+    assert_eq!(fshare.evictions, 0, "budget too small for the corpus");
+    println!(
+        "fragment sharing: cold {frag_cold_ms:.1} ms, warm {frag_warm_ms:.1} ms \
+         ({:.2}x), {} fragments / {} KiB resident, {} reused",
+        frag_cold_ms / frag_warm_ms,
+        fshare.entries,
+        fshare.bytes >> 10,
+        fshare.reused
     );
     println!();
     if std::env::var("EXEC_BENCH_ROW_PROFILE").is_ok() {
@@ -374,6 +422,16 @@ fn main() {
         WORKER_LEVELS.len()
     );
 
+    // Spool gate: the parallel engine must never have dropped to the
+    // serial engine — cross-slice CTEs run through the shared spool now,
+    // so any fallback is a planning or slicing bug.
+    let total_fallbacks: usize = runs.iter().map(|r| r.serial_fallbacks).sum();
+    assert_eq!(
+        total_fallbacks, 0,
+        "parallel engine fell back to serial execution {total_fallbacks} times"
+    );
+    println!("spool gate: zero serial fallbacks across every parallel configuration");
+
     // Vectorization gate: the columnar kernel must beat row-at-a-time
     // interpretation on the same single thread — no concurrency excuse.
     assert!(
@@ -401,7 +459,16 @@ fn main() {
         return;
     }
     let json = render_json(
-        scale, iters, cpus, batch_size, corpus.len(), &baseline, &columnar, col_speedup, &runs,
+        scale,
+        iters,
+        cpus,
+        batch_size,
+        corpus.len(),
+        &baseline,
+        &columnar,
+        col_speedup,
+        &runs,
+        (frag_cold_ms, frag_warm_ms, &fshare),
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     println!("\nwrote BENCH_exec.json");
@@ -419,6 +486,7 @@ fn render_json(
     columnar: &SerialRun,
     col_speedup: f64,
     runs: &[ParallelRun],
+    sharing: (f64, f64, &orca_executor::FragmentCacheStats),
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"exec_bench\",\n");
@@ -435,6 +503,18 @@ fn render_json(
     out.push_str(&format!(
         "  \"serial_columnar\": {{\"wall_ms\": {:.3}, \"rows\": {}, \"speedup_vs_row\": {:.3}}},\n",
         columnar.wall_ms, columnar.rows, col_speedup
+    ));
+    let (frag_cold_ms, frag_warm_ms, fshare) = sharing;
+    out.push_str(&format!(
+        "  \"fragment_sharing\": {{\"cold_wall_ms\": {frag_cold_ms:.3}, \
+         \"warm_wall_ms\": {frag_warm_ms:.3}, \"warm_speedup\": {:.3}, \
+         \"fragments_inserted\": {}, \"fragments_reused\": {}, \
+         \"fragment_bytes\": {}, \"fragment_entries\": {}}},\n",
+        frag_cold_ms / frag_warm_ms,
+        fshare.inserted,
+        fshare.reused,
+        fshare.bytes,
+        fshare.entries
     ));
     out.push_str("  \"ops\": [\n");
     let nops = columnar.ops.len();

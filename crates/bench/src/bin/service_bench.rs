@@ -1,7 +1,7 @@
 //! Serving-layer benchmark: plan-cache economics and admission behavior
 //! of `orca-service` over the TPC-DS-style suite.
 //!
-//! Two phases:
+//! Three phases:
 //!
 //! 1. **Cache economics** (single session, DXL round trip per request):
 //!    cold-optimize every corpus query, then serve many repeat rounds and
@@ -11,14 +11,20 @@
 //! 2. **Concurrency sweep** (1/4/16 sessions): each session thread
 //!    replays the corpus for several rounds against one shared service;
 //!    reports throughput (QPS), cache hit rate and p99 request latency.
+//! 3. **Work-sharing sweep** (1 and 16 sessions, execute-after-optimize
+//!    on the serial columnar engine): the same repeated corpus with a
+//!    database attached, measuring in-flight request coalescing and
+//!    shared scan-fragment reuse across sessions.
 //!
 //! Usage: `service_bench [scale] [rounds] [--smoke]`.
 //!
 //! `--smoke` (CI) runs a reduced sweep, writes no JSON, and asserts the
 //! serving-layer gates: a hit rate of at least 90% on the repeated
 //! workload, zero degraded plans under no contention, byte-identical
-//! cached DXL, and a cache speed-up of at least 10x. The full run writes
-//! `BENCH_service.json` (schema in EXPERIMENTS.md).
+//! cached DXL, a cache speed-up of at least 10x, and — on the sharing
+//! sweep — coalesced requests and reused fragments both observed at 16
+//! sessions with QPS no worse than 0.8x the single-session run. The full
+//! run writes `BENCH_service.json` (schema in EXPERIMENTS.md).
 
 use orca::engine::OptimizerConfig;
 use orca::Optimizer;
@@ -26,9 +32,9 @@ use orca_bench::report::row;
 use orca_bench::BenchEnv;
 use orca_dxl::{plan_to_dxl, query_to_dxl, DxlPlan, DxlQuery};
 use orca_expr::props::DistSpec;
-use orca_service::{PlanSource, Service, ServiceConfig};
+use orca_service::{ExecuteConfig, PlanSource, Service, ServiceConfig};
 use orca_tpcds::suite;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// How many suite queries feed the corpus (enough shapes to exercise the
@@ -114,7 +120,7 @@ fn run_sweep(
                         lat.push(t0.elapsed().as_secs_f64() * 1e3);
                         assert!(matches!(
                             ticket.response.source,
-                            PlanSource::Fresh | PlanSource::Cache
+                            PlanSource::Fresh | PlanSource::Cache | PlanSource::Coalesced
                         ));
                     }
                 }
@@ -140,6 +146,86 @@ fn run_sweep(
         hit_rate: stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64,
         degraded: stats.degraded,
         rejected: stats.rejected,
+    }
+}
+
+struct ShareResult {
+    sessions: usize,
+    requests: usize,
+    wall_ms: f64,
+    qps: f64,
+    coalesced: u64,
+    fragments_reused: u64,
+    fragment_coop_attached: u64,
+    fragment_bytes: u64,
+    fragment_entries: u64,
+    plan_cache_bytes: u64,
+    plan_cache_entries: u64,
+}
+
+/// Phase 3: the sweep again, but with a database attached and the serial
+/// columnar engine executing every plan, so requests contend on real scan
+/// work — the shape in-flight coalescing and the shared fragment cache
+/// exist for. A barrier lines the sessions up so the cold corpus pass
+/// actually overlaps.
+fn run_share_sweep(
+    env: &BenchEnv,
+    corpus: &Arc<Vec<DxlQuery>>,
+    sessions: usize,
+    rounds: usize,
+) -> ShareResult {
+    let mut cfg = service_config(env);
+    cfg.execute = Some(ExecuteConfig {
+        parallel: false,
+        columnar: true,
+        ..ExecuteConfig::default()
+    });
+    let svc = Arc::new(Service::new(env.provider.clone(), cfg));
+    svc.attach_database(Arc::new(env.db.clone()));
+    let barrier = Arc::new(Barrier::new(sessions));
+    let started = Instant::now();
+    let requests: usize = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..sessions {
+            let svc = svc.clone();
+            let corpus = corpus.clone();
+            let barrier = barrier.clone();
+            handles.push(scope.spawn(move || {
+                let session = svc.open_session();
+                barrier.wait();
+                let mut n = 0;
+                for _ in 0..rounds {
+                    for q in corpus.iter() {
+                        let ticket = svc.submit_query(session, q, None).expect("submit");
+                        assert!(
+                            ticket.response.execution.is_some(),
+                            "every sharing-sweep response must carry an execution"
+                        );
+                        n += 1;
+                    }
+                }
+                n
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .sum()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = svc.stats();
+    ShareResult {
+        sessions,
+        requests,
+        wall_ms,
+        qps: requests as f64 / (wall_ms / 1e3),
+        coalesced: stats.coalesced,
+        fragments_reused: stats.fragments_reused,
+        fragment_coop_attached: stats.fragment_coop_attached,
+        fragment_bytes: stats.fragment_bytes,
+        fragment_entries: stats.fragment_entries,
+        plan_cache_bytes: stats.cache_bytes,
+        plan_cache_entries: stats.cache_entries,
     }
 }
 
@@ -290,12 +376,87 @@ fn main() {
         assert_eq!(r.degraded, 0, "{} sessions degraded plans", r.sessions);
     }
 
+    // ------------------------------------------------------------------
+    // Phase 3: cross-query work sharing under execution.
+    // ------------------------------------------------------------------
+    println!();
+    println!(
+        "{}",
+        row(&[
+            ("sessions", 9),
+            ("requests", 9),
+            ("wall_ms", 9),
+            ("qps", 9),
+            ("coalesced", 10),
+            ("frag_hit", 9),
+            ("coop", 6),
+            ("frag_KiB", 9),
+            ("frags", 6),
+        ])
+    );
+    let share_rounds = if smoke { 2 } else { 4 };
+    let shares: Vec<ShareResult> = [1usize, 16]
+        .iter()
+        .map(|&sessions| {
+            let r = run_share_sweep(&env, &corpus, sessions, share_rounds);
+            println!(
+                "{}",
+                row(&[
+                    (&r.sessions.to_string(), 9),
+                    (&r.requests.to_string(), 9),
+                    (&format!("{:.1}", r.wall_ms), 9),
+                    (&format!("{:.0}", r.qps), 9),
+                    (&r.coalesced.to_string(), 10),
+                    (&r.fragments_reused.to_string(), 9),
+                    (&r.fragment_coop_attached.to_string(), 6),
+                    (&(r.fragment_bytes >> 10).to_string(), 9),
+                    (&r.fragment_entries.to_string(), 6),
+                ])
+            );
+            r
+        })
+        .collect();
+    let (s1, s16) = (&shares[0], &shares[1]);
+    println!(
+        "occupancy at 16 sessions: plan cache {} plans / {} KiB, \
+         fragment cache {} fragments / {} KiB",
+        s16.plan_cache_entries,
+        s16.plan_cache_bytes >> 10,
+        s16.fragment_entries,
+        s16.fragment_bytes >> 10
+    );
+
+    // Sharing gates (always on): concurrent identical requests must
+    // actually coalesce, scans must actually be shared, and sharing must
+    // not sink throughput relative to a single session doing the same
+    // per-session work.
+    assert!(
+        s16.coalesced > 0,
+        "no requests coalesced across 16 sessions replaying one corpus"
+    );
+    assert!(
+        s16.fragments_reused > 0 && s1.fragments_reused > 0,
+        "no scan fragments reused on a repeated corpus"
+    );
+    assert!(
+        s16.qps >= 0.8 * s1.qps,
+        "16-session sharing QPS {:.0} < 0.8x single-session {:.0}",
+        s16.qps,
+        s1.qps
+    );
+
     if smoke {
         println!(
             "\nsmoke gate passed: hit rate {:.1}% >= 90%, zero degraded, \
-             byte-identical cached DXL, cache speedup {:.0}x >= 10x",
+             byte-identical cached DXL, cache speedup {:.0}x >= 10x, \
+             sharing at 16 sessions: {} coalesced, {} fragments reused, \
+             qps {:.0} >= 0.8x single-session {:.0}",
             hit_rate * 100.0,
-            speedup
+            speedup,
+            s16.coalesced,
+            s16.fragments_reused,
+            s16.qps,
+            s1.qps
         );
         return;
     }
@@ -309,6 +470,7 @@ fn main() {
         speedup,
         hit_rate,
         &sweeps,
+        &shares,
     );
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
     println!("\nwrote BENCH_service.json");
@@ -326,6 +488,7 @@ fn render_json(
     speedup: f64,
     hit_rate: f64,
     sweeps: &[SweepResult],
+    shares: &[ShareResult],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"service_bench\",\n");
@@ -351,6 +514,28 @@ fn render_json(
             r.degraded,
             r.rejected,
             if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sharing\": [\n");
+    for (i, r) in shares.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"requests\": {}, \"wall_ms\": {:.2}, \"qps\": {:.1}, \
+             \"coalesced\": {}, \"fragments_reused\": {}, \"fragment_coop_attached\": {}, \
+             \"fragment_bytes\": {}, \"fragment_entries\": {}, \"plan_cache_bytes\": {}, \
+             \"plan_cache_entries\": {}}}{}\n",
+            r.sessions,
+            r.requests,
+            r.wall_ms,
+            r.qps,
+            r.coalesced,
+            r.fragments_reused,
+            r.fragment_coop_attached,
+            r.fragment_bytes,
+            r.fragment_entries,
+            r.plan_cache_bytes,
+            r.plan_cache_entries,
+            if i + 1 < shares.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

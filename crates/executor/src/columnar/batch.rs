@@ -277,11 +277,26 @@ impl<'a> ValRef<'a> {
 #[derive(Debug, Clone)]
 pub enum Column {
     Null(usize),
-    Int { vals: Vec<i64>, nulls: Option<BitVec> },
-    Double { vals: Vec<f64>, nulls: Option<BitVec> },
-    Bool { vals: Vec<bool>, nulls: Option<BitVec> },
-    Str { vals: Vec<String>, nulls: Option<BitVec> },
-    Date { vals: Vec<i32>, nulls: Option<BitVec> },
+    Int {
+        vals: Vec<i64>,
+        nulls: Option<BitVec>,
+    },
+    Double {
+        vals: Vec<f64>,
+        nulls: Option<BitVec>,
+    },
+    Bool {
+        vals: Vec<bool>,
+        nulls: Option<BitVec>,
+    },
+    Str {
+        vals: Vec<String>,
+        nulls: Option<BitVec>,
+    },
+    Date {
+        vals: Vec<i32>,
+        nulls: Option<BitVec>,
+    },
     Mixed(Vec<Datum>),
 }
 
@@ -498,23 +513,53 @@ impl Column {
     pub fn append_from(&mut self, other: &Column, i: usize) {
         match (&mut *self, other) {
             (Column::Null(n), Column::Null(_)) => *n += 1,
-            (Column::Int { vals, nulls }, Column::Int { vals: ov, nulls: on }) => {
+            (
+                Column::Int { vals, nulls },
+                Column::Int {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 push_null_bit(nulls, vals.len(), null_at(on, i));
                 vals.push(ov[i]);
             }
-            (Column::Double { vals, nulls }, Column::Double { vals: ov, nulls: on }) => {
+            (
+                Column::Double { vals, nulls },
+                Column::Double {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 push_null_bit(nulls, vals.len(), null_at(on, i));
                 vals.push(ov[i]);
             }
-            (Column::Bool { vals, nulls }, Column::Bool { vals: ov, nulls: on }) => {
+            (
+                Column::Bool { vals, nulls },
+                Column::Bool {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 push_null_bit(nulls, vals.len(), null_at(on, i));
                 vals.push(ov[i]);
             }
-            (Column::Date { vals, nulls }, Column::Date { vals: ov, nulls: on }) => {
+            (
+                Column::Date { vals, nulls },
+                Column::Date {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 push_null_bit(nulls, vals.len(), null_at(on, i));
                 vals.push(ov[i]);
             }
-            (Column::Str { vals, nulls }, Column::Str { vals: ov, nulls: on }) => {
+            (
+                Column::Str { vals, nulls },
+                Column::Str {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 push_null_bit(nulls, vals.len(), null_at(on, i));
                 vals.push(ov[i].clone());
             }
@@ -526,23 +571,53 @@ impl Column {
     pub fn extend_from_column(&mut self, other: &Column) {
         match (&mut *self, other) {
             (Column::Null(n), Column::Null(m)) => *n += m,
-            (Column::Int { vals, nulls }, Column::Int { vals: ov, nulls: on }) => {
+            (
+                Column::Int { vals, nulls },
+                Column::Int {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 extend_nulls(nulls, vals.len(), on, ov.len());
                 vals.extend_from_slice(ov);
             }
-            (Column::Double { vals, nulls }, Column::Double { vals: ov, nulls: on }) => {
+            (
+                Column::Double { vals, nulls },
+                Column::Double {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 extend_nulls(nulls, vals.len(), on, ov.len());
                 vals.extend_from_slice(ov);
             }
-            (Column::Bool { vals, nulls }, Column::Bool { vals: ov, nulls: on }) => {
+            (
+                Column::Bool { vals, nulls },
+                Column::Bool {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 extend_nulls(nulls, vals.len(), on, ov.len());
                 vals.extend_from_slice(ov);
             }
-            (Column::Date { vals, nulls }, Column::Date { vals: ov, nulls: on }) => {
+            (
+                Column::Date { vals, nulls },
+                Column::Date {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 extend_nulls(nulls, vals.len(), on, ov.len());
                 vals.extend_from_slice(ov);
             }
-            (Column::Str { vals, nulls }, Column::Str { vals: ov, nulls: on }) => {
+            (
+                Column::Str { vals, nulls },
+                Column::Str {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
                 extend_nulls(nulls, vals.len(), on, ov.len());
                 vals.extend_from_slice(ov);
             }
@@ -1107,7 +1182,16 @@ mod tests {
     #[test]
     fn split_off_and_writer_chunking() {
         let rows: Vec<Row> = (0..10)
-            .map(|i| vec![Datum::Int(i), if i % 3 == 0 { Datum::Null } else { Datum::Int(-i) }])
+            .map(|i| {
+                vec![
+                    Datum::Int(i),
+                    if i % 3 == 0 {
+                        Datum::Null
+                    } else {
+                        Datum::Int(-i)
+                    },
+                ]
+            })
             .collect();
         let mut b = ColumnBatch::from_rows(&rows, 2);
         let tail = b.split_off(4);

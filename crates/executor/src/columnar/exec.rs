@@ -56,6 +56,9 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
     let bs = ctx.cluster.batch_size.max(1);
     match &plan.op {
         PhysicalOp::TableScan { table, cols, parts } => {
+            if let Some(fc) = ctx.frag.clone() {
+                return cexec_shared_scan(ctx, &fc, table, cols, parts, None, n, bs);
+            }
             let t = ctx.db.table(table.mdid)?;
             let mut out = ColStream::empty(cols.clone(), n);
             out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
@@ -91,6 +94,16 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
             Ok(out)
         }
         PhysicalOp::Filter { pred } => {
+            // Filter-over-scan with a fragment cache attached: share the
+            // *filtered* fragment, keyed on the interned predicate, so
+            // repeat queries skip both the storage read and the filter.
+            if !pred.has_subquery() {
+                if let Some(fc) = ctx.frag.clone() {
+                    if let PhysicalOp::TableScan { table, cols, parts } = &plan.children[0].op {
+                        return cexec_shared_scan(ctx, &fc, table, cols, parts, Some(pred), n, bs);
+                    }
+                }
+            }
             let input = cexec(&plan.children[0], ctx)?;
             if pred.has_subquery() {
                 // Un-decorrelated subquery: per-row subplan execution on
@@ -342,8 +355,7 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
                     for b in seg_batches {
                         out.per_seg[s].push(reproject(b, &positions));
                     }
-                    out.avail[s] =
-                        out.avail[s].max(c.avail[s]) + ctx.tup_time(seg_rows) * 0.2;
+                    out.avail[s] = out.avail[s].max(c.avail[s]) + ctx.tup_time(seg_rows) * 0.2;
                 }
             }
             Ok(out)
@@ -365,6 +377,87 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
             OrcaError::Execution(format!("motion {motion} not delivered to this slice"))
         }),
     }
+}
+
+/// A table scan (optionally with a fused filter) through the shared
+/// fragment cache: reuse a resident fragment, attach to an in-flight
+/// cooperative scan, or lead the scan and publish it.
+///
+/// Stats and simulated times are *replayed* exactly as the plain
+/// scan(+filter) arms would have accounted them, so an execution with
+/// the cache attached is indistinguishable from one without — same
+/// rows, same `rows_processed`, same `avail` clocks — minus the storage
+/// read. Sharing counters live on the cache itself, never in
+/// [`crate::exec::ExecStats`] (which differential tests assert equal
+/// between kernels).
+#[allow(clippy::too_many_arguments)]
+fn cexec_shared_scan(
+    ctx: &mut ExecCtx<'_>,
+    fc: &crate::sharing::FragmentCache,
+    table: &orca_expr::logical::TableRef,
+    cols: &[ColId],
+    parts: &Option<Vec<usize>>,
+    pred: Option<&ScalarExpr>,
+    n: usize,
+    bs: usize,
+) -> Result<ColStream> {
+    use crate::sharing::{Fragment, FragmentKey, Probe};
+    let t = ctx.db.table(table.mdid)?;
+    let fingerprint = fc.fingerprint(cols, parts, bs, pred);
+    let mut out = ColStream::empty(cols.to_vec(), n);
+    out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
+    for s in 0..n {
+        let seg = ctx.storage_segment(s);
+        let key = FragmentKey {
+            table: t.desc.name.clone(),
+            version: t.desc.mdid.version,
+            fingerprint,
+            segment: seg,
+        };
+        let frag = match fc.begin(&key, ctx.abort.as_deref())? {
+            Probe::Ready(f) => f,
+            Probe::Lead(guard) => {
+                let batches = t.scan_columnar(seg, parts, bs);
+                let scan_rows: u64 = batches.iter().map(|b| b.len as u64).sum();
+                let scan_batches = batches.len() as u64;
+                let kept = match pred {
+                    None => batches,
+                    Some(p) => {
+                        let mut kept = Vec::new();
+                        for b in &batches {
+                            let sel = veval_predicate(p, cols, b)?;
+                            if sel.is_empty() {
+                                continue;
+                            }
+                            if sel.len() == b.len {
+                                kept.push(b.clone());
+                            } else {
+                                kept.push(b.select(&sel));
+                            }
+                        }
+                        kept
+                    }
+                };
+                guard.publish(Fragment::new(kept, scan_rows, scan_batches))
+            }
+        };
+        // Replayed accounting — identical to the un-cached TableScan arm
+        // (and, when a predicate fused, the Filter arm on top of it).
+        let scanned = frag.scan_rows as usize;
+        ctx.stats.rows_processed += frag.scan_rows;
+        out.avail[s] = ctx.tup_time(scanned);
+        if pred.is_some() {
+            ctx.stats.rows_processed += frag.scan_rows;
+            out.avail[s] += ctx.tup_time(scanned) * 0.5;
+            // The fused scan's share of the per-operator profile (the
+            // cexec wrapper only credits the Filter node).
+            let p = ctx.stats.ops.entry("TableScan").or_default();
+            p.rows += frag.scan_rows;
+            p.batches += frag.scan_batches;
+        }
+        out.per_seg[s] = frag.batches.clone();
+    }
+    Ok(out)
 }
 
 /// Chunk a row slice into columnar batches of at most `bs` rows.
@@ -414,12 +507,7 @@ fn order_positions(order: &OrderSpec, layout: &[ColId]) -> Vec<(usize, bool)> {
     order
         .0
         .iter()
-        .filter_map(|k| {
-            layout
-                .iter()
-                .position(|c| *c == k.col)
-                .map(|p| (p, k.desc))
-        })
+        .filter_map(|k| layout.iter().position(|c| *c == k.col).map(|p| (p, k.desc)))
         .collect()
 }
 
@@ -638,9 +726,9 @@ fn cexec_agg(
                 let (h, _) = hash_key_at(b, &gpos, i); // NULL groups: NULL == NULL
                 let bucket = buckets.entry(h).or_default();
                 let gid = match bucket.iter().copied().find(|&g| {
-                    gpos.iter()
-                        .enumerate()
-                        .all(|(k, &p)| ValRef::of(&keys[g as usize][k]).key_eq(&b.cols[p].get_ref(i)))
+                    gpos.iter().enumerate().all(|(k, &p)| {
+                        ValRef::of(&keys[g as usize][k]).key_eq(&b.cols[p].get_ref(i))
+                    })
                 }) {
                     Some(g) => g as usize,
                     None => {
@@ -1045,7 +1133,14 @@ mod tests {
                     },
                     vec![scan(&t1, 0)],
                 )),
-                vec![ColId(0), ColId(20), ColId(21), ColId(22), ColId(23), ColId(24)],
+                vec![
+                    ColId(0),
+                    ColId(20),
+                    ColId(21),
+                    ColId(22),
+                    ColId(23),
+                    ColId(24),
+                ],
             ),
             // Scalar aggregate over empty input via the split-agg path.
             (
@@ -1104,10 +1199,7 @@ mod tests {
                 gather(PhysicalPlan::new(
                     PhysicalOp::UnionAll {
                         output: vec![ColId(30), ColId(31)],
-                        input_cols: vec![
-                            vec![ColId(0), ColId(1)],
-                            vec![ColId(4), ColId(5)],
-                        ],
+                        input_cols: vec![vec![ColId(0), ColId(1)], vec![ColId(4), ColId(5)]],
                     },
                     vec![scan(&t1, 0), scan(&tr, 4)],
                 )),
@@ -1181,10 +1273,16 @@ mod tests {
                     col.sim_seconds.to_bits(),
                     "plan {pi} sim time diverged at batch_size {bs}"
                 );
-                assert_eq!(row.stats.rows_processed, col.stats.rows_processed, "plan {pi}");
+                assert_eq!(
+                    row.stats.rows_processed, col.stats.rows_processed,
+                    "plan {pi}"
+                );
                 assert_eq!(row.stats.bytes_moved, col.stats.bytes_moved, "plan {pi}");
                 assert_eq!(row.stats.spills, col.stats.spills, "plan {pi}");
-                assert_eq!(row.stats.oom_risk_bytes, col.stats.oom_risk_bytes, "plan {pi}");
+                assert_eq!(
+                    row.stats.oom_risk_bytes, col.stats.oom_risk_bytes,
+                    "plan {pi}"
+                );
                 // Both kernels fill the per-operator profile.
                 assert!(!row.stats.ops.is_empty() && !col.stats.ops.is_empty());
                 for (name, p) in &col.stats.ops {

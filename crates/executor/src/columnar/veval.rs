@@ -42,7 +42,9 @@ impl BoolBuilder {
             }
             None => {
                 let len = self.vals.len();
-                self.nulls.get_or_insert_with(|| BitVec::zeros(len)).push(true);
+                self.nulls
+                    .get_or_insert_with(|| BitVec::zeros(len))
+                    .push(true);
                 self.vals.push(false);
             }
         }
@@ -74,8 +76,14 @@ pub fn veval(e: &ScalarExpr, layout: &[ColId], batch: &ColumnBatch) -> Result<Co
             // Null-free integer fast path. Comparison goes through the f64
             // image to reproduce `Datum::sql_cmp` exactly.
             if let (
-                Column::Int { vals: a, nulls: None },
-                Column::Int { vals: b, nulls: None },
+                Column::Int {
+                    vals: a,
+                    nulls: None,
+                },
+                Column::Int {
+                    vals: b,
+                    nulls: None,
+                },
             ) = (&l, &r)
             {
                 let vals = a
@@ -92,7 +100,11 @@ pub fn veval(e: &ScalarExpr, layout: &[ColId], batch: &ColumnBatch) -> Result<Co
             }
             let mut out = BoolBuilder::with_capacity(len);
             for i in 0..len {
-                out.push(l.get_ref(i).sql_cmp(&r.get_ref(i)).map(|ord| op.evaluate(ord)));
+                out.push(
+                    l.get_ref(i)
+                        .sql_cmp(&r.get_ref(i))
+                        .map(|ord| op.evaluate(ord)),
+                );
             }
             out.finish()
         }
@@ -193,8 +205,14 @@ pub fn veval(e: &ScalarExpr, layout: &[ColId], batch: &ColumnBatch) -> Result<Co
             let r = veval(right, layout, batch)?;
             // Null-free integer fast path for +,-,* (division changes type).
             if let (
-                Column::Int { vals: a, nulls: None },
-                Column::Int { vals: b, nulls: None },
+                Column::Int {
+                    vals: a,
+                    nulls: None,
+                },
+                Column::Int {
+                    vals: b,
+                    nulls: None,
+                },
             ) = (&l, &r)
             {
                 match op {
@@ -378,7 +396,11 @@ mod tests {
         let rows: Vec<Row> = (0..20)
             .map(|i| {
                 vec![
-                    if i % 5 == 0 { Datum::Null } else { Datum::Int(i) },
+                    if i % 5 == 0 {
+                        Datum::Null
+                    } else {
+                        Datum::Int(i)
+                    },
                     Datum::Double(i as f64 / 2.0),
                     if i % 3 == 0 {
                         Datum::Str(format!("s{i}"))

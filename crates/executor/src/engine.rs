@@ -23,11 +23,26 @@ pub struct ExecResult {
 /// Executes physical plans against a loaded [`Database`].
 pub struct ExecEngine<'a> {
     pub db: &'a Database,
+    /// Cross-query fragment cache to attach to every run ([`crate::sharing`]).
+    pub fragments: Option<std::sync::Arc<crate::sharing::FragmentCache>>,
 }
 
 impl<'a> ExecEngine<'a> {
     pub fn new(db: &'a Database) -> ExecEngine<'a> {
-        ExecEngine { db }
+        ExecEngine {
+            db,
+            fragments: None,
+        }
+    }
+
+    /// Attach a shared fragment cache; subsequent columnar runs probe and
+    /// publish scan fragments through it.
+    pub fn with_fragments(
+        mut self,
+        fragments: std::sync::Arc<crate::sharing::FragmentCache>,
+    ) -> ExecEngine<'a> {
+        self.fragments = Some(fragments);
+        self
     }
 
     /// Run a plan and project its output to `output_cols` (in order).
@@ -47,6 +62,7 @@ impl<'a> ExecEngine<'a> {
     /// counters — less per-row interpretation.
     pub fn run_columnar(&self, plan: &PhysicalPlan, output_cols: &[ColId]) -> Result<ExecResult> {
         let mut ctx = ExecCtx::new(self.db);
+        ctx.frag = self.fragments.clone();
         let stream = cexec(plan, &mut ctx)?;
         let rows = project_output_col(&stream, output_cols)?;
         Ok(ExecResult {

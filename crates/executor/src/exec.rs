@@ -140,6 +140,10 @@ pub struct ExecCtx<'a> {
     pub recv_col: FnvHashMap<usize, ColStream>,
     /// Cooperative cancellation: checked at every operator boundary.
     pub abort: Option<Arc<AbortSignal>>,
+    /// Cross-query fragment cache ([`crate::sharing`]). `None` (the
+    /// default) keeps every scan independent — the batch kernel only
+    /// probes/publishes fragments when a cache is attached.
+    pub frag: Option<Arc<crate::sharing::FragmentCache>>,
     /// Nanoseconds attributed to child operators of the operator currently
     /// executing — the bookkeeping behind exclusive-time profiling.
     pub(crate) profile_child_ns: u64,
@@ -157,6 +161,7 @@ impl<'a> ExecCtx<'a> {
             cte_col: FnvHashMap::default(),
             recv_col: FnvHashMap::default(),
             abort: None,
+            frag: None,
             profile_child_ns: 0,
         }
     }
@@ -178,6 +183,7 @@ impl<'a> ExecCtx<'a> {
             cte_col: FnvHashMap::default(),
             recv_col: FnvHashMap::default(),
             abort: Some(abort),
+            frag: None,
             profile_child_ns: 0,
         }
     }
@@ -201,6 +207,7 @@ impl<'a> ExecCtx<'a> {
             cte_col: FnvHashMap::default(),
             recv_col,
             abort: Some(abort),
+            frag: None,
             profile_child_ns: 0,
         }
     }
@@ -620,9 +627,8 @@ pub(crate) fn apply_project(
             rows.push(projected);
         }
         ctx.stats.rows_processed += rows.len() as u64 + subplan_work;
-        out.avail[s] = input.avail[s]
-            + ctx.tup_time(rows.len()) * 0.3
-            + ctx.tup_time(subplan_work as usize);
+        out.avail[s] =
+            input.avail[s] + ctx.tup_time(rows.len()) * 0.3 + ctx.tup_time(subplan_work as usize);
         out.per_seg[s] = rows;
     }
     Ok(out)

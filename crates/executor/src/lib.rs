@@ -28,6 +28,9 @@
 //!   *logical* trees (including correlated-subquery markers, evaluated per
 //!   row). It serves as the correctness oracle for every physical plan and
 //!   doubles as the execution model of engines without decorrelation.
+//! * [`sharing`] — cross-query work sharing: a byte-budgeted shared
+//!   fragment cache with cooperative scans, keyed on (table name, table
+//!   version, interned predicate/projection fingerprint, segment).
 
 pub mod columnar;
 pub mod engine;
@@ -36,9 +39,11 @@ pub mod exec;
 pub mod merge;
 pub mod parallel;
 pub mod reference;
+pub mod sharing;
 pub mod storage;
 
 pub use columnar::{ColStream, Column, ColumnBatch};
 pub use engine::{ExecEngine, ExecResult, ExecStats};
 pub use parallel::{ParallelConfig, ParallelEngine, ParallelStats};
+pub use sharing::{FragmentCache, FragmentCacheStats, FragmentKey};
 pub use storage::{Database, Row};

@@ -16,13 +16,14 @@
 //! threads, no deadlock. Deadlines ride the same signal.
 
 use crate::columnar::{cexec, ColStream};
-use crate::engine::{project_output, ExecEngine};
+use crate::engine::project_output;
 use crate::exec::{exec, ExecCtx, ExecStats, StreamSet};
 use crate::parallel::interconnect::{
     receive_stream, send_stream, BatchPool, MotionChannels, MotionCounters, Msg,
 };
 use crate::parallel::metrics::{MotionMetrics, ParallelStats, SliceMetrics};
-use crate::parallel::slice::{cte_local, slice_plan, Slice, SlicedPlan};
+use crate::parallel::slice::{slice_plan, Slice, SlicedPlan};
+use crate::parallel::spool::{SharedSpool, SpoolPayload};
 use crate::storage::{Database, Row};
 use crossbeam::channel::{Receiver, Sender};
 use orca_common::hash::FnvHashMap;
@@ -81,6 +82,9 @@ pub struct ParallelResult {
 pub struct ParallelEngine<'a> {
     pub db: &'a Database,
     pub cfg: ParallelConfig,
+    /// Cross-query fragment cache attached to every columnar slice
+    /// kernel ([`crate::sharing`]).
+    pub fragments: Option<Arc<crate::sharing::FragmentCache>>,
 }
 
 impl<'a> ParallelEngine<'a> {
@@ -88,11 +92,26 @@ impl<'a> ParallelEngine<'a> {
         ParallelEngine {
             db,
             cfg: ParallelConfig::default(),
+            fragments: None,
         }
     }
 
     pub fn with_config(db: &'a Database, cfg: ParallelConfig) -> ParallelEngine<'a> {
-        ParallelEngine { db, cfg }
+        ParallelEngine {
+            db,
+            cfg,
+            fragments: None,
+        }
+    }
+
+    /// Attach a shared fragment cache; columnar slice kernels probe and
+    /// publish scan fragments through it.
+    pub fn with_fragments(
+        mut self,
+        fragments: Arc<crate::sharing::FragmentCache>,
+    ) -> ParallelEngine<'a> {
+        self.fragments = Some(fragments);
+        self
     }
 
     /// Run a plan and project its output to `output_cols` (in order).
@@ -133,28 +152,6 @@ impl<'a> ParallelEngine<'a> {
         let sliced = slice_plan(plan);
         let n = self.db.cluster.num_segments;
         let workers = self.cfg.workers.max(1);
-        if !cte_local(&sliced) {
-            // A CTE's producer and consumer landed in different slices —
-            // the stash is kernel-local, so this plan cannot be sliced.
-            // Run it on the serial engine and say so in the stats.
-            let engine = ExecEngine::new(self.db);
-            let r = if self.cfg.columnar {
-                engine.run_columnar(plan, output_cols)?
-            } else {
-                engine.run(plan, output_cols)?
-            };
-            abort.check()?;
-            return Ok(ParallelResult {
-                rows: r.rows,
-                stats: r.stats,
-                parallel: ParallelStats {
-                    workers,
-                    num_slices: sliced.slices.len(),
-                    serial_fallback: true,
-                    ..ParallelStats::default()
-                },
-            });
-        }
 
         // Interconnect state, one channel matrix + counter block per motion.
         let mut channels: Vec<MotionChannels> = sliced
@@ -169,6 +166,7 @@ impl<'a> ParallelEngine<'a> {
             .collect();
         let gate = ComputeGate::new(workers);
         let pool = BatchPool::new();
+        let spool = SharedSpool::new();
         let first_err: Mutex<Option<OrcaError>> = Mutex::new(None);
         let merged_stats: Mutex<ExecStats> = Mutex::new(ExecStats::default());
         let root_out: Mutex<Vec<Option<StreamSet>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -198,6 +196,8 @@ impl<'a> ParallelEngine<'a> {
                         abort,
                         gate: &gate,
                         pool: &pool,
+                        spool: &spool,
+                        frag: &self.fragments,
                         counters: &counters,
                         merged_stats: &merged_stats,
                         root_out: &root_out,
@@ -244,6 +244,8 @@ impl<'a> ParallelEngine<'a> {
             serial_fallback: false,
             wall_seconds: 0.0, // stamped by run_with_abort
             batches_reused: pool.reused(),
+            cte_spools: sliced.spool_count(),
+            spool_rows: spool.rows_published(),
             slices: sliced
                 .slices
                 .iter()
@@ -287,6 +289,8 @@ struct TaskCtx<'env> {
     abort: &'env Arc<AbortSignal>,
     gate: &'env ComputeGate,
     pool: &'env BatchPool,
+    spool: &'env SharedSpool,
+    frag: &'env Option<Arc<crate::sharing::FragmentCache>>,
     counters: &'env [MotionCounters],
     merged_stats: &'env Mutex<ExecStats>,
     root_out: &'env Mutex<Vec<Option<StreamSet>>>,
@@ -299,12 +303,17 @@ struct TaskCtx<'env> {
 enum TaskOut {
     Col(ColStream),
     Rows(StreamSet),
+    /// A spool slice's materialized CTE, extracted from the kernel's
+    /// stash (the slice's nominal output stream is discarded, exactly as
+    /// `Sequence` discards its producer child's output).
+    Spool(SpoolPayload),
 }
 
 fn run_task(task: TaskCtx<'_>) -> Result<()> {
     let t_start = Instant::now();
-    // Phase 1 — receive every input motion (no compute slot held; a
-    // blocked receive must not starve the senders feeding it).
+    // Phase 1 — receive every input motion and every spooled CTE (no
+    // compute slot held; a blocked receive must not starve the senders
+    // or producers feeding it).
     let mut delivered: FnvHashMap<usize, ColStream> = FnvHashMap::default();
     for (m, rxs) in &task.rxs {
         let kind = &task.sliced.motions[*m].kind;
@@ -313,53 +322,94 @@ fn run_task(task: TaskCtx<'_>) -> Result<()> {
             receive_stream(kind, rxs, task.abort, task.pool, task.batch_rows)?,
         );
     }
-    // Phase 2 — the kernel, under the compute gate.
+    let mut spooled: Vec<(orca_common::CteId, Arc<SpoolPayload>)> = Vec::new();
+    for &id in &task.slice.spool_inputs {
+        spooled.push((id, task.spool.wait(id, task.seg, task.abort)?));
+    }
+    // Phase 2 — the kernel, under the compute gate. Spooled CTEs are
+    // seeded into the kernel's stash so its CteScan arm finds exactly
+    // the stream the serial engine would have materialized.
     task.gate.acquire(task.abort)?;
     let t_compute = Instant::now();
     let (out, stats) = if task.columnar {
         let mut ctx =
             ExecCtx::for_segment_columnar(task.db, task.seg, delivered, task.abort.clone());
-        let out = cexec(&task.slice.root, &mut ctx);
-        (out.map(TaskOut::Col), ctx.stats)
+        ctx.frag = task.frag.clone();
+        for (id, p) in &spooled {
+            ctx.cte_col.insert(*id, p.to_colstream());
+        }
+        let out = cexec(&task.slice.root, &mut ctx).and_then(|cs| match task.slice.spool_output {
+            None => Ok(TaskOut::Col(cs)),
+            Some(id) => {
+                let stash = ctx.cte_col.remove(&id).ok_or_else(|| {
+                    OrcaError::Execution(format!("spool slice did not materialize {id}"))
+                })?;
+                Ok(TaskOut::Spool(SpoolPayload::from_colstream(stash)))
+            }
+        });
+        (out, ctx.stats)
     } else {
         let rows_in: FnvHashMap<usize, StreamSet> = delivered
             .into_iter()
             .map(|(m, cs)| (m, cs.to_streamset()))
             .collect();
         let mut ctx = ExecCtx::for_segment(task.db, task.seg, rows_in, task.abort.clone());
-        let out = exec(&task.slice.root, &mut ctx);
-        (out.map(TaskOut::Rows), ctx.stats)
+        for (id, p) in &spooled {
+            ctx.cte.insert(*id, p.to_colstream().to_streamset());
+        }
+        let out = exec(&task.slice.root, &mut ctx).and_then(|ss| match task.slice.spool_output {
+            None => Ok(TaskOut::Rows(ss)),
+            Some(id) => {
+                let stash = ctx.cte.remove(&id).ok_or_else(|| {
+                    OrcaError::Execution(format!("spool slice did not materialize {id}"))
+                })?;
+                Ok(TaskOut::Spool(SpoolPayload::from_colstream(
+                    ColStream::from_streamset(&stash, task.batch_rows),
+                )))
+            }
+        });
+        (out, ctx.stats)
     };
     let compute = t_compute.elapsed().as_nanos() as u64;
     task.gate.release();
     merge_stats(&mut task.merged_stats.lock().unwrap(), &stats);
     let out = out?;
-    // Phase 3 — ship the output (or park it, for the root slice).
-    match (&task.txs, task.slice.output) {
-        (Some(txs), Some(m)) => {
-            let kind = &task.sliced.motions[m].kind;
-            let cs = match out {
-                TaskOut::Col(cs) => cs,
-                TaskOut::Rows(ss) => ColStream::from_streamset(&ss, task.batch_rows),
-            };
-            send_stream(
-                kind,
-                cs,
-                task.seg,
-                txs,
-                task.batch_rows,
-                task.abort,
-                &task.counters[m],
-                task.pool,
-            )?;
+    // Phase 3 — publish (spool slices), ship (sender slices), or park
+    // (the root slice).
+    match out {
+        TaskOut::Spool(payload) => {
+            // spool_output is Some by construction of TaskOut::Spool.
+            let id = task.slice.spool_output.unwrap();
+            task.spool.publish(id, task.seg, payload);
         }
-        _ => {
-            let ss = match out {
-                TaskOut::Col(cs) => cs.to_streamset(),
-                TaskOut::Rows(ss) => ss,
-            };
-            task.root_out.lock().unwrap()[task.seg] = Some(ss);
-        }
+        out => match (&task.txs, task.slice.output) {
+            (Some(txs), Some(m)) => {
+                let kind = &task.sliced.motions[m].kind;
+                let cs = match out {
+                    TaskOut::Col(cs) => cs,
+                    TaskOut::Rows(ss) => ColStream::from_streamset(&ss, task.batch_rows),
+                    TaskOut::Spool(_) => unreachable!(),
+                };
+                send_stream(
+                    kind,
+                    cs,
+                    task.seg,
+                    txs,
+                    task.batch_rows,
+                    task.abort,
+                    &task.counters[m],
+                    task.pool,
+                )?;
+            }
+            _ => {
+                let ss = match out {
+                    TaskOut::Col(cs) => cs.to_streamset(),
+                    TaskOut::Rows(ss) => ss,
+                    TaskOut::Spool(_) => unreachable!(),
+                };
+                task.root_out.lock().unwrap()[task.seg] = Some(ss);
+            }
+        },
     }
     task.compute_ns[task.slice.id].fetch_max(compute, Ordering::Relaxed);
     task.wall_ns[task.slice.id].fetch_max(t_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -439,6 +489,7 @@ impl ComputeGate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::ExecEngine;
     use crate::storage::Row;
     use orca_catalog::{ColumnMeta, Distribution, TableDesc};
     use orca_common::{ColId, DataType, Datum, MdId, SysId};
@@ -648,9 +699,10 @@ mod tests {
         assert!(par.parallel.motions.is_empty());
     }
 
-    /// Cross-slice CTE triggers the serial fallback, with identical rows.
+    /// Cross-slice CTE runs through the shared spool — no serial
+    /// fallback, byte-identical rows at every worker count and kernel.
     #[test]
-    fn cross_slice_cte_falls_back_to_serial() {
+    fn cross_slice_cte_runs_through_the_spool() {
         let (db, t1, _, _) = db();
         let cte = orca_common::CteId(1);
         let producer = PhysicalPlan::new(
@@ -665,7 +717,8 @@ mod tests {
             cols: vec![ColId(20), ColId(21)],
             producer_cols: vec![ColId(0), ColId(1)],
         });
-        // Motion between producer and consumer → unslicable.
+        // Motion between producer and consumer → producer is hoisted
+        // into a spool slice and materialized exactly once per segment.
         let plan = motion(
             MotionKind::Gather,
             PhysicalPlan::new(
@@ -676,10 +729,11 @@ mod tests {
                 ],
             ),
         );
-        let serial = ExecEngine::new(&db).run(&plan, &[ColId(20)]).unwrap();
-        let par = ParallelEngine::new(&db).run(&plan, &[ColId(20)]).unwrap();
-        assert!(par.parallel.serial_fallback);
-        assert_eq!(par.rows, serial.rows);
+        let par = assert_identical(&db, &plan, &[ColId(20)]);
+        assert!(!par.parallel.serial_fallback);
+        assert_eq!(par.parallel.cte_spools, 1);
+        // 100 rows in t1 → one spool copy per storage segment, total 100.
+        assert_eq!(par.parallel.spool_rows, 100);
     }
 
     /// A mid-query abort drains the gang: the run errors out promptly,

@@ -473,8 +473,7 @@ mod tests {
                 let counters = &counters;
                 let pool = &pool;
                 scope.spawn(move || {
-                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters, pool)
-                        .unwrap();
+                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters, pool).unwrap();
                 });
             }
             for r in 0..n {

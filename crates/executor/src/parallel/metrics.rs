@@ -30,9 +30,18 @@ pub struct ParallelStats {
     /// Compute-phase parallelism the run was configured with.
     pub workers: usize,
     pub num_slices: usize,
-    /// The plan could not be sliced (cross-slice CTE) and ran on the
-    /// serial engine instead; slice/motion vectors are empty.
+    /// Historical flag: the plan could not be sliced and ran on the
+    /// serial engine instead. Cross-slice CTEs — the last trigger — now
+    /// run through the shared spool, so this is always `false`; it is
+    /// kept so bench output can assert the invariant.
     pub serial_fallback: bool,
+    /// Hoisted cross-slice CTE producer slices in this plan (each one
+    /// materialized its CTE exactly once per segment into the shared
+    /// spool).
+    pub cte_spools: usize,
+    /// Total rows published into the shared spool across all spool
+    /// slices and segments.
+    pub spool_rows: u64,
     /// End-to-end wall time of the parallel run.
     pub wall_seconds: f64,
     /// Interconnect batch shells served from the shared free list

@@ -15,6 +15,10 @@
 //!   column builders), Broadcast — with bounded capacity providing
 //!   backpressure, EOS markers ending streams, and a shared
 //!   [`interconnect::BatchPool`] recycling consumed batch shells.
+//! * [`spool`] materializes cross-slice CTE producers exactly once per
+//!   segment into a shared rendezvous (hoisted by [`slice`] into spool
+//!   slices), so consumer gangs read concurrently instead of the plan
+//!   falling back to serial execution.
 //! * [`driver`] schedules the slice×segment tasks on a worker pool,
 //!   propagates errors/cancellation/deadlines through a shared
 //!   [`orca_gpos::AbortSignal`], and assembles the final result.
@@ -31,6 +35,8 @@ pub mod driver;
 pub mod interconnect;
 pub mod metrics;
 pub mod slice;
+pub mod spool;
 
 pub use driver::{ParallelConfig, ParallelEngine, ParallelResult};
 pub use metrics::{MotionMetrics, ParallelStats, SliceMetrics};
+pub use spool::{SharedSpool, SpoolPayload};

@@ -15,17 +15,29 @@
 //! * **graceful degradation** — on deadline expiry or queue rejection the
 //!   service answers with the best-so-far plan or the legacy planner's
 //!   heuristic plan, tagged `degraded: true`, instead of an error;
-//! * **metrics** ([`metrics`]) — admission/cache counters and optimize
-//!   latency percentiles.
+//! * **in-flight request coalescing** — a cache-missing request whose
+//!   fingerprint *and* versioned `MdId` set match an optimization already
+//!   in flight does not take a second admission slot: it parks on the
+//!   leader's in-flight entry and reuses the leader's response (tagged
+//!   [`PlanSource::Coalesced`]), execution result included. The leader
+//!   publishes only clean results — degraded, fallback, and error outcomes
+//!   release the followers to optimize on their own;
+//! * **a shared scan-fragment cache** ([`orca_executor::FragmentCache`]) —
+//!   one byte-budgeted cache attached to every engine the execute path
+//!   builds, so concurrent and repeated queries share materialized scan
+//!   fragments (cooperative scans) across requests;
+//! * **metrics** ([`metrics`]) — admission/cache/sharing counters and
+//!   optimize latency percentiles.
 //!
 //! ```text
 //! submit(dxl) ─ parse ─ rebind tables to current versions ─ fingerprint
 //!    ├─ cache hit (id set matches) ──────────────────────► cached plan
-//!    └─ miss/stale ─ admission gate ─┬─ admitted ─ optimize(deadline)
-//!                                    │     ├─ done ── cache + return
-//!                                    │     ├─ truncated ─ degraded plan
-//!                                    │     └─ timeout ─ fallback, degraded
-//!                                    └─ rejected/queue-timeout ─ fallback
+//!    └─ miss/stale ─┬─ identical request in flight ─ await ► coalesced
+//!                   └─ admission gate ─┬─ admitted ─ optimize(deadline)
+//!                                      │     ├─ done ── cache + return
+//!                                      │     ├─ truncated ─ degraded plan
+//!                                      │     └─ timeout ─ fallback, degraded
+//!                                      └─ rejected/queue-timeout ─ fallback
 //! ```
 
 pub mod admission;
@@ -45,14 +57,16 @@ use orca_catalog::MdAccessor;
 use orca_common::{ColId, MdId, OrcaError, Result};
 use orca_dxl::{plan_to_dxl, query_fingerprint, DxlPlan, DxlQuery};
 use orca_executor::{
-    Database, ExecEngine, ExecStats, ParallelConfig, ParallelEngine, ParallelStats, Row,
+    Database, ExecEngine, ExecStats, FragmentCache, ParallelConfig, ParallelEngine, ParallelStats,
+    Row,
 };
 use orca_expr::logical::TableRef;
 use orca_expr::physical::PhysicalPlan;
 use orca_expr::ColumnRegistry;
 use orca_planner::LegacyPlanner;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Serving-layer configuration.
@@ -73,6 +87,9 @@ pub struct ServiceConfig {
     pub cache_bytes: u64,
     /// Plan-cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Byte budget of the shared scan-fragment cache the execute path
+    /// attaches to every engine it builds.
+    pub fragment_cache_bytes: u64,
     /// Execute plans after planning (requires [`Service::attach_database`]);
     /// `None` = planning-only service.
     pub execute: Option<ExecuteConfig>,
@@ -87,6 +104,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             cache_bytes: 8 << 20,
             cache_shards: 8,
+            fragment_cache_bytes: 32 << 20,
             execute: None,
         }
     }
@@ -151,12 +169,15 @@ pub struct ExecSummary {
 }
 
 /// Where a response's plan came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanSource {
     /// Served from the plan cache (no optimization ran).
     Cache,
     /// Freshly optimized this request.
     Fresh,
+    /// Reused from an identical request that was already in flight when
+    /// this one arrived (no optimization and no execution ran here).
+    Coalesced,
     /// The legacy planner's heuristic plan (always `degraded`).
     Fallback,
 }
@@ -194,6 +215,68 @@ pub struct PlanTicket {
     pub response: PlanResponse,
 }
 
+/// One in-flight optimization that identical later requests attach to
+/// instead of taking their own admission slot.
+struct Inflight {
+    /// The exact versioned id set the leader optimizes against; a request
+    /// that resolved to different versions must not reuse the result.
+    md_ids: Vec<MdId>,
+    /// `None` until the leader finishes. Then `Some(outcome)`, where the
+    /// outcome is `None` when the leader produced nothing shareable
+    /// (degraded, fallback, or error) and followers proceed on their own.
+    done: Mutex<Option<Option<PlanResponse>>>,
+    cv: Condvar,
+}
+
+/// RAII registration of the in-flight leader. Publishing a clean result
+/// hands it to every parked follower; dropping without publishing (any
+/// degraded/fallback/error exit) releases them empty-handed so nobody
+/// hangs on a leader that went sideways.
+struct InflightLease<'a> {
+    service: &'a Service,
+    fingerprint: u64,
+    entry: Arc<Inflight>,
+    published: bool,
+}
+
+impl InflightLease<'_> {
+    fn publish(mut self, response: &PlanResponse) {
+        self.finish(Some(response.clone()));
+    }
+
+    fn finish(&mut self, outcome: Option<PlanResponse>) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        self.service
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&self.fingerprint);
+        *self.entry.done.lock().unwrap() = Some(outcome);
+        self.entry.cv.notify_all();
+    }
+}
+
+impl Drop for InflightLease<'_> {
+    fn drop(&mut self) {
+        self.finish(None);
+    }
+}
+
+/// How a cache-missing request relates to the in-flight table.
+enum InflightJoin<'a> {
+    /// First of its kind: registered, must publish (or drop) the lease.
+    Lead(InflightLease<'a>),
+    /// Attached to an identical in-flight request and got its result.
+    Shared(Box<PlanResponse>),
+    /// Proceed solo: a version-skewed twin is in flight, or the awaited
+    /// leader had nothing shareable, or the wait hit this request's
+    /// deadline.
+    Alone,
+}
+
 /// The optimizer service.
 pub struct Service {
     optimizer: Optimizer,
@@ -206,6 +289,11 @@ pub struct Service {
     /// Execution backend for the execute-after-optimize path; absent in a
     /// planning-only deployment.
     database: RwLock<Option<Arc<Database>>>,
+    /// Shared scan-fragment cache attached to every engine the execute
+    /// path builds (cross-query cooperative scans).
+    fragments: Arc<FragmentCache>,
+    /// Optimizations currently in flight, by query fingerprint.
+    inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
 }
 
 impl Service {
@@ -223,6 +311,8 @@ impl Service {
             sessions: SessionManager::new(),
             next_ticket: AtomicU64::new(0),
             database: RwLock::new(None),
+            fragments: Arc::new(FragmentCache::new(config.fragment_cache_bytes)),
+            inflight: Mutex::new(HashMap::new()),
             optimizer,
             config,
         }
@@ -231,6 +321,11 @@ impl Service {
     /// Attach (or replace) the execution backend. With
     /// [`ServiceConfig::execute`] set, every subsequent response also
     /// carries the executed result rows.
+    ///
+    /// The shared fragment cache is keyed on (table name, `MdId` version,
+    /// fingerprint), so replacing a database with one that reuses table
+    /// names *and* versions for different data must bump versions first —
+    /// otherwise stale fragments would satisfy new scans.
     pub fn attach_database(&self, db: Arc<Database>) {
         *self.database.write().unwrap() = Some(db);
     }
@@ -245,6 +340,12 @@ impl Service {
 
     pub fn cache(&self) -> &Arc<PlanCache> {
         &self.cache
+    }
+
+    /// The shared scan-fragment cache the execute path attaches to every
+    /// engine it builds.
+    pub fn fragments(&self) -> &Arc<FragmentCache> {
+        &self.fragments
     }
 
     /// Open a session: mints a per-session `MdAccessor` over the shared
@@ -340,6 +441,23 @@ impl Service {
             }
         }
 
+        // Coalesce with an identical request already in flight: same
+        // fingerprint, same versioned id set. A follower parks on the
+        // leader's entry instead of taking an admission slot, and reuses
+        // the leader's full response — execution result included.
+        let lease = match self.join_inflight(fingerprint, &current_ids, deadline) {
+            InflightJoin::Lead(lease) => Some(lease),
+            InflightJoin::Shared(response) => {
+                ServiceMetrics::bump(&self.metrics.coalesced);
+                let mut response = *response;
+                response.source = PlanSource::Coalesced;
+                response.queue_wait = Duration::ZERO;
+                response.latency = started.elapsed();
+                return Ok(self.ticket(ticket_id, session, response));
+            }
+            InflightJoin::Alone => None,
+        };
+
         let queue_wait = match self.gate.acquire(ticket_id, deadline) {
             Admission::Immediate => Duration::ZERO,
             Admission::Queued(w) => {
@@ -403,21 +521,26 @@ impl Service {
                 }
                 self.metrics.record_latency(started.elapsed());
                 let execution = self.maybe_execute(&plan, &query.output_cols)?;
-                Ok(self.ticket(
-                    ticket_id,
-                    session,
-                    PlanResponse {
-                        plan_dxl,
-                        cost: stats.plan_cost,
-                        degraded,
-                        source: PlanSource::Fresh,
-                        fingerprint,
-                        queue_wait,
-                        latency: started.elapsed(),
-                        stats: Some(stats),
-                        execution,
-                    },
-                ))
+                let response = PlanResponse {
+                    plan_dxl,
+                    cost: stats.plan_cost,
+                    degraded,
+                    source: PlanSource::Fresh,
+                    fingerprint,
+                    queue_wait,
+                    latency: started.elapsed(),
+                    stats: Some(stats),
+                    execution,
+                };
+                match lease {
+                    // Only clean results are shared; a truncated search's
+                    // best-so-far is not worth fanning out (mirrors the
+                    // don't-cache-degraded rule above). Dropping the lease
+                    // releases followers to optimize on their own.
+                    Some(lease) if !degraded => lease.publish(&response),
+                    _ => {}
+                }
+                Ok(self.ticket(ticket_id, session, response))
             }
             Err(OrcaError::Timeout(_)) => self.fallback(
                 ticket_id,
@@ -439,10 +562,77 @@ impl Service {
         self.cache.pin(fingerprint)
     }
 
+    /// Register as in-flight leader for `fingerprint`, or attach to an
+    /// identical request already in flight and await its result.
+    fn join_inflight(
+        &self,
+        fingerprint: u64,
+        md_ids: &[MdId],
+        deadline: Option<Instant>,
+    ) -> InflightJoin<'_> {
+        let entry = {
+            let mut map = self.inflight.lock().unwrap();
+            match map.get(&fingerprint) {
+                Some(e) if e.md_ids == md_ids => Arc::clone(e),
+                // Same shape against different catalog versions: neither
+                // reusable nor worth displacing — optimize solo.
+                Some(_) => return InflightJoin::Alone,
+                None => {
+                    let e = Arc::new(Inflight {
+                        md_ids: md_ids.to_vec(),
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(fingerprint, Arc::clone(&e));
+                    return InflightJoin::Lead(InflightLease {
+                        service: self,
+                        fingerprint,
+                        entry: e,
+                        published: false,
+                    });
+                }
+            }
+        };
+        match self.await_inflight(&entry, deadline) {
+            Some(response) => InflightJoin::Shared(Box::new(response)),
+            None => InflightJoin::Alone,
+        }
+    }
+
+    /// Park until the in-flight leader finishes (or this request's own
+    /// deadline expires). The 10ms re-check bounds how stale a deadline
+    /// can get; the leader's lease guarantees `done` is always set.
+    fn await_inflight(&self, entry: &Inflight, deadline: Option<Instant>) -> Option<PlanResponse> {
+        let mut done = entry.done.lock().unwrap();
+        loop {
+            if let Some(outcome) = done.as_ref() {
+                return outcome.clone();
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return None;
+            }
+            let (guard, _) = entry
+                .cv
+                .wait_timeout(done, Duration::from_millis(10))
+                .unwrap();
+            done = guard;
+        }
+    }
+
     /// Metrics snapshot.
     pub fn stats(&self) -> ServiceStats {
         let mut s = self.metrics.snapshot(0, 0);
         self.cache.fill_stats(&mut s);
+        s.cache_bytes = self.cache.bytes();
+        s.cache_entries = self.cache.len() as u64;
+        let f = self.fragments.stats();
+        s.fragment_bytes = f.bytes;
+        s.fragment_entries = f.entries;
+        s.fragments_reused = f.reused;
+        s.fragments_inserted = f.inserted;
+        s.fragment_coop_attached = f.coop_attached;
+        s.fragment_evictions = f.evictions;
+        s.fragment_invalidations = f.invalidations;
         s
     }
 
@@ -512,7 +702,8 @@ impl Service {
         };
         let t0 = Instant::now();
         let summary = if exec_cfg.parallel {
-            let engine = ParallelEngine::with_config(db, exec_cfg.parallel_config());
+            let engine = ParallelEngine::with_config(db, exec_cfg.parallel_config())
+                .with_fragments(Arc::clone(&self.fragments));
             let r = engine.run(plan, output_cols)?;
             ExecSummary {
                 rows: r.rows,
@@ -521,7 +712,7 @@ impl Service {
                 parallel: Some(r.parallel),
             }
         } else {
-            let engine = ExecEngine::new(db);
+            let engine = ExecEngine::new(db).with_fragments(Arc::clone(&self.fragments));
             let r = if exec_cfg.columnar {
                 engine.run_columnar(plan, output_cols)?
             } else {
@@ -717,6 +908,170 @@ mod tests {
         assert_eq!(st.executed, 1);
         assert_eq!(st.exec_latency_samples, 1);
         assert!(st.p50_execute > Duration::ZERO || st.exec_latency_samples > 0);
+    }
+
+    fn stub_response(fingerprint: u64) -> PlanResponse {
+        PlanResponse {
+            plan_dxl: "plan".into(),
+            cost: 1.0,
+            degraded: false,
+            source: PlanSource::Fresh,
+            fingerprint,
+            queue_wait: Duration::ZERO,
+            latency: Duration::ZERO,
+            stats: None,
+            execution: None,
+        }
+    }
+
+    #[test]
+    fn follower_reuses_a_published_inflight_result() {
+        let p = provider_with_tables(2);
+        let svc = Arc::new(Service::new(p.clone(), ServiceConfig::default()));
+        let ids = vec![p.table_by_name("t0").unwrap()];
+
+        let lease = match svc.join_inflight(42, &ids, None) {
+            InflightJoin::Lead(l) => l,
+            _ => panic!("first joiner must lead"),
+        };
+        let follower = {
+            let svc = Arc::clone(&svc);
+            let ids = ids.clone();
+            std::thread::spawn(move || match svc.join_inflight(42, &ids, None) {
+                InflightJoin::Shared(r) => r,
+                InflightJoin::Lead(_) => panic!("identical request must not re-lead"),
+                InflightJoin::Alone => panic!("identical request must coalesce"),
+            })
+        };
+        lease.publish(&stub_response(42));
+        let got = follower.join().unwrap();
+        assert_eq!(got.plan_dxl, "plan");
+        // The entry is unregistered on publish: the next arrival leads.
+        assert!(matches!(
+            svc.join_inflight(42, &ids, None),
+            InflightJoin::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn dropped_lease_releases_followers_empty_handed() {
+        let p = provider_with_tables(2);
+        let svc = Arc::new(Service::new(p.clone(), ServiceConfig::default()));
+        let ids = vec![p.table_by_name("t0").unwrap()];
+        let lease = match svc.join_inflight(7, &ids, None) {
+            InflightJoin::Lead(l) => l,
+            _ => panic!("first joiner must lead"),
+        };
+        let entry = Arc::clone(&lease.entry);
+        let follower = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || svc.await_inflight(&entry, None))
+        };
+        drop(lease); // leader went degraded/fallback/error
+        assert!(
+            follower.join().unwrap().is_none(),
+            "followers must fall through, not hang or reuse"
+        );
+        assert!(svc.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn version_skewed_twin_does_not_coalesce() {
+        let p = provider_with_tables(2);
+        let svc = Service::new(p.clone(), ServiceConfig::default());
+        let ids_a = vec![p.table_by_name("t0").unwrap()];
+        let ids_b = vec![p.table_by_name("t1").unwrap()];
+        let _lease = match svc.join_inflight(9, &ids_a, None) {
+            InflightJoin::Lead(l) => l,
+            _ => panic!("first joiner must lead"),
+        };
+        // Same fingerprint, different id set: optimize solo, unregistered.
+        assert!(matches!(
+            svc.join_inflight(9, &ids_b, None),
+            InflightJoin::Alone
+        ));
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_account_for_every_source() {
+        let p = provider_with_tables(2);
+        let svc = Arc::new(Service::new(p.clone(), ServiceConfig::default()));
+        let q = two_table_query(&p);
+        let n = 6;
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let q = q.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let s = svc.open_session();
+                    barrier.wait();
+                    svc.submit_query(s, &q, None).unwrap().response
+                })
+            })
+            .collect();
+        let responses: Vec<PlanResponse> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut counts = HashMap::new();
+        for r in &responses {
+            assert!(!r.degraded);
+            assert_eq!(r.plan_dxl, responses[0].plan_dxl, "all must get one plan");
+            *counts.entry(r.source).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.get(&PlanSource::Fallback), None);
+        let st = svc.stats();
+        // Every response source must be reflected in the counters, however
+        // the race resolved.
+        assert_eq!(
+            st.coalesced,
+            counts.get(&PlanSource::Coalesced).copied().unwrap_or(0)
+        );
+        assert_eq!(
+            st.cache_hits,
+            counts.get(&PlanSource::Cache).copied().unwrap_or(0)
+        );
+        assert!(counts.get(&PlanSource::Fresh).copied().unwrap_or(0) >= 1);
+        assert!(svc.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn execute_path_shares_scan_fragments_across_requests() {
+        use orca_common::{Datum, SegmentConfig};
+
+        let p = provider_with_tables(2);
+        let cfg = ServiceConfig {
+            execute: Some(ExecuteConfig {
+                parallel: false,
+                columnar: true,
+                ..ExecuteConfig::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let svc = Service::new(p.clone(), cfg);
+        let s = svc.open_session();
+        let mut db = Database::new(SegmentConfig::default());
+        for name in ["t0", "t1"] {
+            let desc = p.table(p.table_by_name(name).unwrap()).unwrap();
+            let rows = (0..20i64)
+                .map(|i| vec![Datum::Int(i), Datum::Int(i * 2)])
+                .collect();
+            db.load_table(desc, rows).unwrap();
+        }
+        svc.attach_database(Arc::new(db));
+        let q = two_table_query(&p);
+        let first = svc.submit_query(s, &q, None).unwrap();
+        let second = svc.submit_query(s, &q, None).unwrap();
+        let (a, b) = (
+            first.response.execution.expect("executed"),
+            second.response.execution.expect("executed"),
+        );
+        assert_eq!(a.rows, b.rows, "shared fragments must not change results");
+        let st = svc.stats();
+        assert!(st.fragments_inserted > 0, "first run must materialize");
+        assert!(st.fragments_reused > 0, "second run must reuse");
+        assert!(st.fragment_bytes > 0);
+        assert_eq!(st.fragment_entries, st.fragments_inserted);
+        assert_eq!(st.fragment_evictions, 0);
     }
 
     fn two_table_query_single(svc: &Service) -> DxlQuery {

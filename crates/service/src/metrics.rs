@@ -29,8 +29,30 @@ pub struct ServiceStats {
     pub cache_evictions: u64,
     /// Entries dropped because a referenced `MdId` version moved on.
     pub cache_invalidations: u64,
+    /// Bytes currently resident in the plan cache.
+    pub cache_bytes: u64,
+    /// Plans currently resident in the plan cache.
+    pub cache_entries: u64,
+    /// Requests that attached to an identical in-flight optimization and
+    /// reused its result instead of optimizing themselves.
+    pub coalesced: u64,
     /// Plans executed after planning (execute-after-optimize path).
     pub executed: u64,
+    /// Bytes currently resident in the shared scan-fragment cache.
+    pub fragment_bytes: u64,
+    /// Fragments currently resident in the shared scan-fragment cache.
+    pub fragment_entries: u64,
+    /// Scans answered from an already-materialized cached fragment.
+    pub fragments_reused: u64,
+    /// Fragments materialized and published by a scan leader.
+    pub fragments_inserted: u64,
+    /// Scans that attached to a fragment *while* another query was still
+    /// materializing it (cooperative scan).
+    pub fragment_coop_attached: u64,
+    /// Fragments displaced by the fragment cache's byte-budget LRU.
+    pub fragment_evictions: u64,
+    /// Fragments dropped because their table's `MdId` version moved on.
+    pub fragment_invalidations: u64,
     /// Median full-optimization latency (admission wait included).
     pub p50_optimize: Duration,
     /// Tail full-optimization latency.
@@ -55,6 +77,7 @@ pub struct ServiceMetrics {
     pub degraded: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    pub coalesced: AtomicU64,
     pub executed: AtomicU64,
     latencies: Mutex<LatencyRing>,
     exec_latencies: Mutex<LatencyRing>,
@@ -124,6 +147,7 @@ impl ServiceMetrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions,
             cache_invalidations,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             p50_optimize: p50,
             p99_optimize: p99,
@@ -131,6 +155,9 @@ impl ServiceMetrics {
             p50_execute: ep50,
             p99_execute: ep99,
             exec_latency_samples: en,
+            // Occupancy and fragment-cache counters live next to their
+            // owners; the service fills them in after snapshotting.
+            ..ServiceStats::default()
         }
     }
 }

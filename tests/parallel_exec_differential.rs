@@ -9,12 +9,12 @@ use orca::engine::{Optimizer, OptimizerConfig, QueryReqs};
 use orca_catalog::provider::MdProvider as _;
 use orca_catalog::stats::ColumnStats;
 use orca_catalog::{ColumnMeta, Distribution, MemoryProvider, TableStats};
-use orca_common::{ColId, DataType, Datum, SegmentConfig};
+use orca_common::{ColId, CteId, DataType, Datum, SegmentConfig};
 use orca_executor::engine::sort_rows;
 use orca_executor::reference::run_reference;
 use orca_executor::{Database, ExecEngine, ParallelConfig, ParallelEngine};
 use orca_expr::logical::{AggStage, JoinKind, LogicalExpr, LogicalOp, TableRef};
-use orca_expr::physical::PhysicalPlan;
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
 use orca_expr::props::OrderSpec;
 use orca_expr::scalar::{AggFunc, CmpOp, ScalarExpr};
 use orca_expr::ColumnRegistry;
@@ -407,6 +407,185 @@ fn deadline_under_backpressure_times_out_cleanly() {
             .recv_timeout(Duration::from_secs(30))
             .expect("deadline expiry deadlocked instead of draining");
     });
+}
+
+// ---------------------------------------------------------------------
+// Cross-slice CTE spooling: hand-built physical shapes whose producer
+// and consumers land in different slices. These used to drop the whole
+// query to the serial engine; now they must run through the shared
+// spool — byte-identically, with zero fallbacks — on both kernels at
+// every worker count.
+// ---------------------------------------------------------------------
+
+/// Leaf scan of fixture table `dt{t}` with output ids starting at `first`.
+fn fixture_scan(t: usize, first: u32) -> PhysicalPlan {
+    let fx = fixture();
+    let mdid = fx.provider.table_by_name(&format!("dt{t}")).expect("table");
+    PhysicalPlan::leaf(PhysicalOp::TableScan {
+        table: TableRef(fx.provider.table(mdid).expect("desc")),
+        cols: (0..NCOLS).map(|c| ColId(first + c)).collect(),
+        parts: None,
+    })
+}
+
+fn cte_producer(id: CteId, first: u32, child: PhysicalPlan) -> PhysicalPlan {
+    PhysicalPlan::new(
+        PhysicalOp::CteProducer {
+            id,
+            cols: (0..NCOLS).map(|c| ColId(first + c)).collect(),
+        },
+        vec![child],
+    )
+}
+
+fn cte_scan(id: CteId, first: u32, producer_first: u32) -> PhysicalPlan {
+    PhysicalPlan::leaf(PhysicalOp::CteScan {
+        id,
+        cols: (0..NCOLS).map(|c| ColId(first + c)).collect(),
+        producer_cols: (0..NCOLS).map(|c| ColId(producer_first + c)).collect(),
+    })
+}
+
+fn mot(kind: MotionKind, child: PhysicalPlan) -> PhysicalPlan {
+    PhysicalPlan::new(PhysicalOp::Motion { kind }, vec![child])
+}
+
+/// Row-serial oracle vs the parallel engine through both kernels at 1, 2
+/// and 4 workers: byte-identical rows, zero serial fallbacks, and the
+/// expected number of spool slices. Returns the last run's stats.
+fn assert_spooled_identical(
+    plan: &PhysicalPlan,
+    output: &[ColId],
+    expect_spools: usize,
+) -> orca_executor::ParallelStats {
+    let fx = fixture();
+    let serial = ExecEngine::new(&fx.db).run(plan, output).expect("serial");
+    let mut last = None;
+    for columnar in [false, true] {
+        for workers in [1usize, 2, 4] {
+            let engine = ParallelEngine::with_config(
+                &fx.db,
+                ParallelConfig {
+                    workers,
+                    batch_rows: 7,
+                    channel_capacity: 2,
+                    deadline: None,
+                    columnar,
+                },
+            );
+            let par = engine.run(plan, output).expect("parallel");
+            assert_eq!(
+                par.rows, serial.rows,
+                "workers={workers} columnar={columnar} diverged from serial"
+            );
+            assert!(
+                !par.parallel.serial_fallback,
+                "cross-slice CTE must spool, not fall back to serial"
+            );
+            assert_eq!(par.parallel.cte_spools, expect_spools);
+            assert!(par.parallel.spool_rows > 0, "spool must carry rows");
+            last = Some(par.parallel);
+        }
+    }
+    last.unwrap()
+}
+
+/// One producer, two consumers on opposite sides of a join, each behind
+/// its own redistribute — three slices consume one materialization.
+#[test]
+fn cte_with_two_cross_slice_consumers_is_identical() {
+    let id = CteId(7);
+    let join = PhysicalPlan::new(
+        PhysicalOp::HashJoin {
+            kind: JoinKind::Inner,
+            left_keys: vec![ColId(10)],
+            right_keys: vec![ColId(20)],
+            residual: None,
+        },
+        vec![
+            mot(
+                MotionKind::Redistribute(vec![ColId(10)]),
+                cte_scan(id, 10, 0),
+            ),
+            mot(
+                MotionKind::Redistribute(vec![ColId(20)]),
+                cte_scan(id, 20, 0),
+            ),
+        ],
+    );
+    let plan = mot(
+        MotionKind::Gather,
+        PhysicalPlan::new(
+            PhysicalOp::Sequence { id },
+            vec![cte_producer(id, 0, fixture_scan(0, 0)), join],
+        ),
+    );
+    assert_spooled_identical(&plan, &[ColId(10), ColId(21)], 1);
+}
+
+/// The consumer sits under a join against a base table in another slice:
+/// the producer is hoisted while the rest of the join pipeline stays
+/// parallel.
+#[test]
+fn cte_consumer_under_join_with_base_table_is_identical() {
+    let id = CteId(3);
+    let join = PhysicalPlan::new(
+        PhysicalOp::HashJoin {
+            kind: JoinKind::Inner,
+            left_keys: vec![ColId(20)],
+            right_keys: vec![ColId(10)],
+            residual: None,
+        },
+        vec![
+            fixture_scan(2, 20), // replicated base table
+            mot(
+                MotionKind::Redistribute(vec![ColId(10)]),
+                cte_scan(id, 10, 0),
+            ),
+        ],
+    );
+    let plan = mot(
+        MotionKind::Gather,
+        PhysicalPlan::new(
+            PhysicalOp::Sequence { id },
+            vec![cte_producer(id, 0, fixture_scan(1, 0)), join],
+        ),
+    );
+    assert_spooled_identical(&plan, &[ColId(21), ColId(12)], 1);
+}
+
+/// Nested spooling: a hoisted producer whose subtree consumes *another*
+/// CTE across a motion, so both producers must land in spool slices (the
+/// slicer's fixpoint case).
+#[test]
+fn nested_cte_producers_both_spool_identically() {
+    let a = CteId(1);
+    let b = CteId(2);
+    let inner = PhysicalPlan::new(
+        PhysicalOp::Sequence { id: b },
+        vec![
+            cte_producer(
+                b,
+                10,
+                mot(
+                    MotionKind::Redistribute(vec![ColId(10)]),
+                    cte_scan(a, 10, 0),
+                ),
+            ),
+            mot(
+                MotionKind::Redistribute(vec![ColId(21)]),
+                cte_scan(b, 20, 10),
+            ),
+        ],
+    );
+    let plan = mot(
+        MotionKind::Gather,
+        PhysicalPlan::new(
+            PhysicalOp::Sequence { id: a },
+            vec![cte_producer(a, 0, fixture_scan(0, 0)), inner],
+        ),
+    );
+    assert_spooled_identical(&plan, &[ColId(20), ColId(22)], 2);
 }
 
 /// The same motion-heavy plan completes — byte-identically — with the
