@@ -12,12 +12,13 @@
 //!
 //! `--smoke` (CI) runs a reduced corpus, writes no JSON, and asserts the
 //! gates: identical checksums everywhere, columnar-serial throughput at
-//! least 1.2x row-serial (vectorization must actually pay for itself,
-//! even on one CPU), and (only when the host has more than one CPU)
-//! parallel throughput at the best worker count no worse than 0.8x
-//! serial. The full run writes `BENCH_exec.json` (schema in
-//! EXPERIMENTS.md), including the per-operator profile of the columnar
-//! serial pass.
+//! least 1.5x row-serial (vectorization plus zone-map chunk skipping
+//! must actually pay for themselves, even on one CPU), zone maps
+//! skipping at least one chunk across the corpus, and (only when the
+//! host has more than one CPU) parallel throughput at the best worker
+//! count no worse than 0.8x serial. The full run writes
+//! `BENCH_exec.json` (schema in EXPERIMENTS.md), including the
+//! per-operator profile of the columnar serial pass.
 
 use orca::engine::OptimizerConfig;
 use orca::Optimizer;
@@ -107,6 +108,13 @@ struct SerialRun {
     rows: usize,
     checksums: Vec<u64>,
     ops: OpsProfile,
+    /// Chunks dropped by zone maps / dictionary misses across the
+    /// corpus (columnar kernel only; always 0 on the row kernel).
+    chunks_skipped: u64,
+    /// Conjuncts evaluated on dictionary codes instead of strings.
+    dict_hits: u64,
+    /// Bytes the scans materialized instead of `Arc`-sharing.
+    scan_bytes_cloned: u64,
 }
 
 fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize, kernel: Kernel) -> SerialRun {
@@ -115,11 +123,17 @@ fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize, kernel: Kerne
     let mut rows = 0;
     let mut wall_ms = f64::MAX;
     let mut ops = OpsProfile::new();
+    let mut chunks_skipped = 0;
+    let mut dict_hits = 0;
+    let mut scan_bytes_cloned = 0;
     for _ in 0..iters {
         let t0 = Instant::now();
         let mut iter_checksums = Vec::with_capacity(corpus.len());
         rows = 0;
         ops.clear();
+        chunks_skipped = 0;
+        dict_hits = 0;
+        scan_bytes_cloned = 0;
         for q in corpus {
             let res = match kernel {
                 Kernel::Row => engine.run(&q.plan, &q.output_cols),
@@ -128,6 +142,9 @@ fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize, kernel: Kerne
             .expect("serial exec");
             rows += res.rows.len();
             iter_checksums.push(checksum(&res.rows));
+            chunks_skipped += res.stats.chunks_skipped;
+            dict_hits += res.stats.dict_hits;
+            scan_bytes_cloned += res.stats.scan_bytes_cloned;
             for (name, p) in &res.stats.ops {
                 let e = ops.entry(name).or_default();
                 e.0 += p.rows;
@@ -143,6 +160,9 @@ fn run_serial(env: &BenchEnv, corpus: &[BenchQuery], iters: usize, kernel: Kerne
         rows,
         checksums,
         ops,
+        chunks_skipped,
+        dict_hits,
+        scan_bytes_cloned,
     }
 }
 
@@ -312,6 +332,13 @@ fn main() {
         "serial columnar: {:.1} ms for {} rows ({col_speedup:.2}x row serial)",
         columnar.wall_ms, columnar.rows
     );
+    println!(
+        "chunk skipping:  {} chunks zone/dict-skipped, {} dict-conjunct hits, \
+         {} KiB scan bytes cloned",
+        columnar.chunks_skipped,
+        columnar.dict_hits,
+        columnar.scan_bytes_cloned >> 10
+    );
 
     // Cross-query sharing: one fragment cache across a cold and a warm
     // corpus sweep. The warm pass must answer its scans from the cache
@@ -434,11 +461,25 @@ fn main() {
 
     // Vectorization gate: the columnar kernel must beat row-at-a-time
     // interpretation on the same single thread — no concurrency excuse.
+    // The bar is 1.5x now that scans are zero-copy and zone maps skip
+    // chunks the predicate provably rejects.
     assert!(
-        col_speedup >= 1.2,
-        "columnar serial only {col_speedup:.2}x row serial (< 1.2x gate)"
+        col_speedup >= 1.5,
+        "columnar serial only {col_speedup:.2}x row serial (< 1.5x gate)"
     );
-    println!("vectorization gate: columnar serial {col_speedup:.2}x >= 1.2x row serial");
+    println!("vectorization gate: columnar serial {col_speedup:.2}x >= 1.5x row serial");
+
+    // Chunk-skipping gate: the corpus carries selective range and
+    // string-equality scans, so zone maps / dictionaries must have
+    // dropped at least one chunk — always, not just under --smoke.
+    assert!(
+        columnar.chunks_skipped > 0,
+        "zone maps skipped no chunks across the corpus"
+    );
+    println!(
+        "chunk-skip gate: {} chunks skipped, {} dict-conjunct hits",
+        columnar.chunks_skipped, columnar.dict_hits
+    );
 
     // Throughput gate: scheduling + interconnect overhead must not sink
     // the engine. Only meaningful with real parallel hardware; on a
@@ -455,7 +496,10 @@ fn main() {
     }
 
     if smoke {
-        println!("\nsmoke gate passed: identical results, columnar serial >= 1.2x row serial");
+        println!(
+            "\nsmoke gate passed: identical results, columnar serial >= 1.5x row serial, \
+             chunks skipped"
+        );
         return;
     }
     let json = render_json(
@@ -501,8 +545,14 @@ fn render_json(
         baseline.wall_ms, baseline.rows
     ));
     out.push_str(&format!(
-        "  \"serial_columnar\": {{\"wall_ms\": {:.3}, \"rows\": {}, \"speedup_vs_row\": {:.3}}},\n",
-        columnar.wall_ms, columnar.rows, col_speedup
+        "  \"serial_columnar\": {{\"wall_ms\": {:.3}, \"rows\": {}, \"speedup_vs_row\": {:.3}, \
+         \"chunks_skipped\": {}, \"dict_hits\": {}, \"scan_bytes_cloned\": {}}},\n",
+        columnar.wall_ms,
+        columnar.rows,
+        col_speedup,
+        columnar.chunks_skipped,
+        columnar.dict_hits,
+        columnar.scan_bytes_cloned
     ));
     let (frag_cold_ms, frag_warm_ms, fshare) = sharing;
     out.push_str(&format!(

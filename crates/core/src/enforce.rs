@@ -33,8 +33,19 @@ pub fn request_alternatives(op: &PhysicalOp, req: &ReqdProps) -> Vec<Vec<ReqdPro
         // keeps this total over PhysicalOp.
         | PhysicalOp::ExchangeRecv { .. } => vec![vec![]],
 
-        // Streaming pass-through operators push the request down.
-        PhysicalOp::Filter { .. } => vec![vec![req.clone()]],
+        // Streaming pass-through operators push the request down. A filter
+        // commutes with any motion, so it also offers the child its native
+        // distribution and leaves the motion to the enforcement step above
+        // itself — the enforcer is then costed on the *filtered* row count,
+        // which is what makes predicate-below-motion plans win whenever the
+        // predicate is selective.
+        PhysicalOp::Filter { .. } => {
+            let mut alts = vec![vec![req.clone()]];
+            if !matches!(req.dist, DistSpec::Any) {
+                alts.push(vec![req.without_dist()]);
+            }
+            alts
+        }
 
         PhysicalOp::Project { exprs } => {
             // Push down only the parts whose columns survive below.

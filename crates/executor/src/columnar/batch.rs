@@ -20,6 +20,8 @@ use crate::storage::Row;
 use orca_common::{ColId, Datum};
 use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 /// A packed bit vector (LSB-first within each 64-bit word), used for
 /// null tracking.
@@ -272,32 +274,120 @@ impl<'a> ValRef<'a> {
     }
 }
 
+/// An `Arc`-shared value buffer with copy-on-write mutation.
+///
+/// Reading derefs to the inner `Vec<T>`; mutating derefs through
+/// `Arc::make_mut`, so a uniquely-owned buffer is edited in place while
+/// a shared one (e.g. a storage chunk handed out by a zero-copy scan)
+/// is cloned first. Cloning a `Buf` is a refcount bump — this is what
+/// makes `Column::clone` (and thus batch hand-out from storage, the
+/// fragment cache, and Broadcast fan-out) O(1) in the data size.
+#[derive(Debug, Clone)]
+pub struct Buf<T>(Arc<Vec<T>>);
+
+impl<T> Buf<T> {
+    pub fn new(v: Vec<T>) -> Buf<T> {
+        Buf(Arc::new(v))
+    }
+
+    /// Whether two buffers share the same allocation.
+    pub fn ptr_eq(a: &Buf<T>, b: &Buf<T>) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Allocation identity, for charge-once byte accounting.
+    pub fn addr(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    /// Empty the buffer without cloning shared contents: a uniquely
+    /// owned buffer keeps its capacity, a shared one is replaced.
+    pub fn clear_buf(&mut self) {
+        match Arc::get_mut(&mut self.0) {
+            Some(v) => v.clear(),
+            None => self.0 = Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl<T> Default for Buf<T> {
+    fn default() -> Buf<T> {
+        Buf(Arc::new(Vec::new()))
+    }
+}
+
+impl<T> Deref for Buf<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.0
+    }
+}
+
+impl<T> From<Vec<T>> for Buf<T> {
+    fn from(v: Vec<T>) -> Buf<T> {
+        Buf::new(v)
+    }
+}
+
+impl<T> FromIterator<T> for Buf<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Buf<T> {
+        Buf::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Buf<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> std::slice::Iter<'a, T> {
+        self.0.iter()
+    }
+}
+
+impl<T: Clone> DerefMut for Buf<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
 /// One typed column vector. `Null(n)` is an all-NULL column of length
-/// `n` (also the empty column); `Mixed` is the heterogeneous fallback.
+/// `n` (also the empty column); `Dict` is a dictionary-encoded string
+/// column (per-chunk sorted dict, so code order ≡ string order);
+/// `Mixed` is the heterogeneous fallback. All value buffers are
+/// `Arc`-shared [`Buf`]s: clones are refcount bumps and mutation is
+/// copy-on-write.
 #[derive(Debug, Clone)]
 pub enum Column {
     Null(usize),
     Int {
-        vals: Vec<i64>,
+        vals: Buf<i64>,
         nulls: Option<BitVec>,
     },
     Double {
-        vals: Vec<f64>,
+        vals: Buf<f64>,
         nulls: Option<BitVec>,
     },
     Bool {
-        vals: Vec<bool>,
+        vals: Buf<bool>,
         nulls: Option<BitVec>,
     },
     Str {
-        vals: Vec<String>,
+        vals: Buf<String>,
         nulls: Option<BitVec>,
     },
     Date {
-        vals: Vec<i32>,
+        vals: Buf<i32>,
         nulls: Option<BitVec>,
     },
-    Mixed(Vec<Datum>),
+    /// Dictionary-encoded strings: `dict` is sorted and deduplicated,
+    /// `codes[i]` indexes into it (0 for NULL slots, never read).
+    /// Sortedness means equality/range predicates can run on the u32
+    /// codes with the same outcome as `Datum::sql_cmp` on the strings.
+    Dict {
+        codes: Buf<u32>,
+        dict: Arc<Vec<String>>,
+        nulls: Option<BitVec>,
+    },
+    Mixed(Buf<Datum>),
 }
 
 #[inline]
@@ -331,6 +421,7 @@ impl Column {
             Column::Bool { vals, .. } => vals.len(),
             Column::Str { vals, .. } => vals.len(),
             Column::Date { vals, .. } => vals.len(),
+            Column::Dict { codes, .. } => codes.len(),
             Column::Mixed(vals) => vals.len(),
         }
     }
@@ -379,6 +470,13 @@ impl Column {
                     ValRef::Date(vals[i])
                 }
             }
+            Column::Dict { codes, dict, nulls } => {
+                if null_at(nulls, i) {
+                    ValRef::Null
+                } else {
+                    ValRef::Str(&dict[codes[i] as usize])
+                }
+            }
             Column::Mixed(vals) => ValRef::of(&vals[i]),
         }
     }
@@ -397,6 +495,11 @@ impl Column {
     /// receiving a mismatched value morphs in place when empty and falls
     /// back to `Mixed` otherwise.
     pub fn push(&mut self, d: Datum) {
+        // Dict columns are immutable storage artifacts; materialize
+        // before the first row-wise mutation.
+        if matches!(self, Column::Dict { .. }) {
+            self.undict();
+        }
         // Fast same-type paths first.
         match (&mut *self, &d) {
             (Column::Null(n), Datum::Null) => {
@@ -458,7 +561,9 @@ impl Column {
                     push_null_bit(nulls, vals.len(), true);
                     vals.push(0);
                 }
-                Column::Null(_) | Column::Mixed(_) => unreachable!("handled above"),
+                Column::Null(_) | Column::Mixed(_) | Column::Dict { .. } => {
+                    unreachable!("handled above")
+                }
             }
             return;
         }
@@ -480,29 +585,29 @@ impl Column {
         }
         let mut vals = self.to_datums();
         vals.push(d);
-        *self = Column::Mixed(vals);
+        *self = Column::Mixed(Buf::new(vals));
     }
 
     fn typed_empty(d: &Datum) -> Column {
         match d {
             Datum::Int(_) => Column::Int {
-                vals: Vec::new(),
+                vals: Buf::default(),
                 nulls: None,
             },
             Datum::Double(_) => Column::Double {
-                vals: Vec::new(),
+                vals: Buf::default(),
                 nulls: None,
             },
             Datum::Bool(_) => Column::Bool {
-                vals: Vec::new(),
+                vals: Buf::default(),
                 nulls: None,
             },
             Datum::Str(_) => Column::Str {
-                vals: Vec::new(),
+                vals: Buf::default(),
                 nulls: None,
             },
             Datum::Date(_) => Column::Date {
-                vals: Vec::new(),
+                vals: Buf::default(),
                 nulls: None,
             },
             Datum::Null => Column::Null(0),
@@ -563,6 +668,17 @@ impl Column {
                 push_null_bit(nulls, vals.len(), null_at(on, i));
                 vals.push(ov[i].clone());
             }
+            (
+                Column::Dict { codes, dict, nulls },
+                Column::Dict {
+                    codes: oc,
+                    dict: od,
+                    nulls: on,
+                },
+            ) if Arc::ptr_eq(dict, od) => {
+                push_null_bit(nulls, codes.len(), null_at(on, i));
+                codes.push(oc[i]);
+            }
             _ => self.push(other.get(i)),
         }
     }
@@ -621,8 +737,21 @@ impl Column {
                 extend_nulls(nulls, vals.len(), on, ov.len());
                 vals.extend_from_slice(ov);
             }
+            (
+                Column::Dict { codes, dict, nulls },
+                Column::Dict {
+                    codes: oc,
+                    dict: od,
+                    nulls: on,
+                },
+            ) if Arc::ptr_eq(dict, od) => {
+                extend_nulls(nulls, codes.len(), on, oc.len());
+                codes.extend_from_slice(oc);
+            }
             _ => {
-                // An empty untyped target adopts the source wholesale.
+                // An empty untyped target adopts the source wholesale
+                // (a refcount bump — this is how Dict columns survive
+                // concat and spool copies without decoding).
                 if self.is_empty() && matches!(self, Column::Null(_)) {
                     *self = other.clone();
                     return;
@@ -652,7 +781,7 @@ impl Column {
                     }
                 }
                 Column::$variant {
-                    vals: out_vals,
+                    vals: Buf::new(out_vals),
                     nulls: out_nulls,
                 }
             }};
@@ -664,7 +793,27 @@ impl Column {
             Column::Bool { vals, nulls } => gather_typed!(Bool, vals, nulls, false),
             Column::Str { vals, nulls } => gather_typed!(Str, vals, nulls, String::new()),
             Column::Date { vals, nulls } => gather_typed!(Date, vals, nulls, 0i32),
-            Column::Mixed(vals) => Column::Mixed(
+            Column::Dict { codes, dict, nulls } => {
+                // Stays dictionary-encoded: gather the codes, share the
+                // dict — string filters/joins never copy string bytes.
+                let mut out_codes = Vec::with_capacity(sel.len());
+                let mut out_nulls: Option<BitVec> = None;
+                for (k, &i) in sel.iter().enumerate() {
+                    if i == NONE || null_at(nulls, i as usize) {
+                        push_null_bit(&mut out_nulls, k, true);
+                        out_codes.push(0);
+                    } else {
+                        push_null_bit(&mut out_nulls, k, false);
+                        out_codes.push(codes[i as usize]);
+                    }
+                }
+                Column::Dict {
+                    codes: Buf::new(out_codes),
+                    dict: dict.clone(),
+                    nulls: out_nulls,
+                }
+            }
+            Column::Mixed(vals) => Column::Mixed(Buf::new(
                 sel.iter()
                     .map(|&i| {
                         if i == NONE {
@@ -674,7 +823,7 @@ impl Column {
                         }
                     })
                     .collect(),
-            ),
+            )),
         }
     }
 
@@ -687,26 +836,31 @@ impl Column {
                 Column::Null(tail)
             }
             Column::Int { vals, nulls } => Column::Int {
-                vals: vals.split_off(at),
+                vals: Buf::new(vals.split_off(at)),
                 nulls: nulls.as_mut().map(|b| b.split_off(at)),
             },
             Column::Double { vals, nulls } => Column::Double {
-                vals: vals.split_off(at),
+                vals: Buf::new(vals.split_off(at)),
                 nulls: nulls.as_mut().map(|b| b.split_off(at)),
             },
             Column::Bool { vals, nulls } => Column::Bool {
-                vals: vals.split_off(at),
+                vals: Buf::new(vals.split_off(at)),
                 nulls: nulls.as_mut().map(|b| b.split_off(at)),
             },
             Column::Str { vals, nulls } => Column::Str {
-                vals: vals.split_off(at),
+                vals: Buf::new(vals.split_off(at)),
                 nulls: nulls.as_mut().map(|b| b.split_off(at)),
             },
             Column::Date { vals, nulls } => Column::Date {
-                vals: vals.split_off(at),
+                vals: Buf::new(vals.split_off(at)),
                 nulls: nulls.as_mut().map(|b| b.split_off(at)),
             },
-            Column::Mixed(vals) => Column::Mixed(vals.split_off(at)),
+            Column::Dict { codes, dict, nulls } => Column::Dict {
+                codes: Buf::new(codes.split_off(at)),
+                dict: dict.clone(),
+                nulls: nulls.as_mut().map(|b| b.split_off(at)),
+            },
+            Column::Mixed(vals) => Column::Mixed(Buf::new(vals.split_off(at))),
         }
     }
 
@@ -715,26 +869,29 @@ impl Column {
         match self {
             Column::Null(n) => *n = 0,
             Column::Int { vals, nulls } => {
-                vals.clear();
+                vals.clear_buf();
                 *nulls = None;
             }
             Column::Double { vals, nulls } => {
-                vals.clear();
+                vals.clear_buf();
                 *nulls = None;
             }
             Column::Bool { vals, nulls } => {
-                vals.clear();
+                vals.clear_buf();
                 *nulls = None;
             }
             Column::Str { vals, nulls } => {
-                vals.clear();
+                vals.clear_buf();
                 *nulls = None;
             }
             Column::Date { vals, nulls } => {
-                vals.clear();
+                vals.clear_buf();
                 *nulls = None;
             }
-            Column::Mixed(vals) => vals.clear(),
+            // A cleared Dict drops its shared buffers and reverts to
+            // the untyped empty column.
+            Column::Dict { .. } => *self = Column::Null(0),
+            Column::Mixed(vals) => vals.clear_buf(),
         }
     }
 
@@ -745,17 +902,20 @@ impl Column {
         }
         let mut col = Column::typed_empty(d);
         match (&mut col, d) {
-            (Column::Int { vals, .. }, Datum::Int(v)) => *vals = vec![*v; len],
-            (Column::Double { vals, .. }, Datum::Double(v)) => *vals = vec![*v; len],
-            (Column::Bool { vals, .. }, Datum::Bool(v)) => *vals = vec![*v; len],
-            (Column::Str { vals, .. }, Datum::Str(v)) => *vals = vec![v.clone(); len],
-            (Column::Date { vals, .. }, Datum::Date(v)) => *vals = vec![*v; len],
+            (Column::Int { vals, .. }, Datum::Int(v)) => *vals = Buf::new(vec![*v; len]),
+            (Column::Double { vals, .. }, Datum::Double(v)) => *vals = Buf::new(vec![*v; len]),
+            (Column::Bool { vals, .. }, Datum::Bool(v)) => *vals = Buf::new(vec![*v; len]),
+            (Column::Str { vals, .. }, Datum::Str(v)) => *vals = Buf::new(vec![v.clone(); len]),
+            (Column::Date { vals, .. }, Datum::Date(v)) => *vals = Buf::new(vec![*v; len]),
             _ => unreachable!(),
         }
         col
     }
 
     /// Sum of element widths (matches the row kernel's byte accounting).
+    /// For `Dict` this is the *logical* width — decoded string widths,
+    /// not code widths — so Motion byte accounting is representation
+    /// independent.
     pub fn bytes(&self) -> u64 {
         match self {
             // Width depends on nullness for strings; the generic path is
@@ -764,8 +924,269 @@ impl Column {
             Column::Double { nulls: None, vals } => 8 * vals.len() as u64,
             Column::Bool { nulls: None, vals } => vals.len() as u64,
             Column::Date { nulls: None, vals } => 4 * vals.len() as u64,
+            Column::Dict {
+                codes,
+                dict,
+                nulls: None,
+            } => codes
+                .iter()
+                .map(|&c| dict[c as usize].len() as u64 + 4)
+                .sum(),
             Column::Null(n) => *n as u64,
             _ => (0..self.len()).map(|i| self.get_ref(i).width()).sum(),
+        }
+    }
+
+    /// Bytes this column actually holds in memory, charging each shared
+    /// allocation once: an allocation already in `seen` costs nothing.
+    /// This is the honest budget metric for the fragment cache, where
+    /// batches alias storage chunks and each other.
+    pub fn physical_bytes(&self, seen: &mut std::collections::HashSet<usize>) -> u64 {
+        fn once<T>(seen: &mut std::collections::HashSet<usize>, buf: &Buf<T>, bytes: u64) -> u64 {
+            if seen.insert(buf.addr()) {
+                bytes
+            } else {
+                0
+            }
+        }
+        let bitmap = |nulls: &Option<BitVec>| {
+            nulls.as_ref().map_or(0, |b| (b.len() as u64).div_ceil(8))
+        };
+        match self {
+            Column::Null(_) => 0,
+            Column::Int { vals, nulls } => {
+                once(seen, vals, 8 * vals.len() as u64) + bitmap(nulls)
+            }
+            Column::Double { vals, nulls } => {
+                once(seen, vals, 8 * vals.len() as u64) + bitmap(nulls)
+            }
+            Column::Bool { vals, nulls } => once(seen, vals, vals.len() as u64) + bitmap(nulls),
+            Column::Date { vals, nulls } => {
+                once(seen, vals, 4 * vals.len() as u64) + bitmap(nulls)
+            }
+            Column::Str { vals, nulls } => {
+                let sz = || vals.iter().map(|s| s.len() as u64 + 4).sum::<u64>();
+                (if seen.insert(vals.addr()) { sz() } else { 0 }) + bitmap(nulls)
+            }
+            Column::Dict { codes, dict, nulls } => {
+                let codes_b = once(seen, codes, 4 * codes.len() as u64);
+                let dict_b = if seen.insert(Arc::as_ptr(dict) as usize) {
+                    dict.iter().map(|s| s.len() as u64 + 4).sum::<u64>()
+                } else {
+                    0
+                };
+                codes_b + dict_b + bitmap(nulls)
+            }
+            Column::Mixed(vals) => {
+                if seen.insert(vals.addr()) {
+                    vals.iter().map(Datum::width).sum()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Decode a `Dict` column in place to a plain `Str` column (NULL
+    /// slots become empty-string placeholders under the null bitmap).
+    /// No-op for every other variant.
+    pub fn undict(&mut self) {
+        if let Column::Dict { codes, dict, nulls } = self {
+            let vals: Vec<String> = codes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    if null_at(nulls, i) {
+                        String::new()
+                    } else {
+                        dict[c as usize].clone()
+                    }
+                })
+                .collect();
+            *self = Column::Str {
+                vals: Buf::new(vals),
+                nulls: nulls.take(),
+            };
+        }
+    }
+
+    /// Dictionary-encode a `Str` column: sorted, deduplicated per-chunk
+    /// dict so that code order equals `Datum::sql_cmp` string order.
+    /// Returns `None` for non-string columns.
+    pub fn dict_encoded(&self) -> Option<Column> {
+        let Column::Str { vals, nulls } = self else {
+            return None;
+        };
+        let mut uniq: Vec<&String> = vals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !null_at(nulls, *i))
+            .map(|(_, s)| s)
+            .collect();
+        uniq.sort();
+        uniq.dedup();
+        let dict: Vec<String> = uniq.into_iter().cloned().collect();
+        let codes: Vec<u32> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if null_at(nulls, i) {
+                    0
+                } else {
+                    dict.binary_search(s).expect("value in dict") as u32
+                }
+            })
+            .collect();
+        Some(Column::Dict {
+            codes: Buf::new(codes),
+            dict: Arc::new(dict),
+            nulls: nulls.clone(),
+        })
+    }
+
+    /// Borrow the pieces of a `Dict` column, if this is one.
+    pub fn dict_parts(&self) -> Option<(&[u32], &[String], Option<&BitVec>)> {
+        if let Column::Dict { codes, dict, nulls } = self {
+            Some((codes, dict, nulls.as_ref()))
+        } else {
+            None
+        }
+    }
+
+    /// Fold every row's value into its per-row hasher state, exactly as
+    /// `ValRef::hash_into` would (`states.len() == self.len()`). Typed
+    /// inner loops replace the per-row `get_ref` dispatch — this is the
+    /// batch-at-a-time half of the vectorized Redistribute fan-out.
+    pub fn hash_rows_into<H: Hasher>(&self, states: &mut [H]) {
+        debug_assert_eq!(states.len(), self.len());
+        match self {
+            Column::Null(_) => {
+                for st in states.iter_mut() {
+                    0u8.hash(st);
+                }
+            }
+            Column::Int { vals, nulls: None } => {
+                for (v, st) in vals.iter().zip(states.iter_mut()) {
+                    2u8.hash(st);
+                    (*v as f64).to_bits().hash(st);
+                }
+            }
+            Column::Double { vals, nulls: None } => {
+                for (v, st) in vals.iter().zip(states.iter_mut()) {
+                    2u8.hash(st);
+                    v.to_bits().hash(st);
+                }
+            }
+            Column::Date { vals, nulls: None } => {
+                for (v, st) in vals.iter().zip(states.iter_mut()) {
+                    2u8.hash(st);
+                    (*v as f64).to_bits().hash(st);
+                }
+            }
+            Column::Bool { vals, nulls: None } => {
+                for (v, st) in vals.iter().zip(states.iter_mut()) {
+                    1u8.hash(st);
+                    v.hash(st);
+                }
+            }
+            Column::Str { vals, nulls: None } => {
+                for (v, st) in vals.iter().zip(states.iter_mut()) {
+                    4u8.hash(st);
+                    v.hash(st);
+                }
+            }
+            Column::Dict {
+                codes,
+                dict,
+                nulls: None,
+            } => {
+                for (c, st) in codes.iter().zip(states.iter_mut()) {
+                    4u8.hash(st);
+                    dict[*c as usize].hash(st);
+                }
+            }
+            _ => {
+                for (i, st) in states.iter_mut().enumerate() {
+                    self.get_ref(i).hash_into(st);
+                }
+            }
+        }
+    }
+
+    /// Append the `sel`-selected rows of `other` (typed bulk path; the
+    /// scatter half of the vectorized Redistribute). Unlike `gather`,
+    /// `u32::MAX` sentinels are not allowed.
+    pub fn extend_gather(&mut self, other: &Column, sel: &[u32]) {
+        if sel.is_empty() {
+            return;
+        }
+        if self.is_empty() && matches!(self, Column::Null(_)) {
+            *self = other.gather(sel);
+            return;
+        }
+        macro_rules! extend_typed {
+            ($vals:ident, $nulls:ident, $ov:ident, $on:ident) => {{
+                for &i in sel {
+                    push_null_bit($nulls, $vals.len(), null_at($on, i as usize));
+                    $vals.push($ov[i as usize].clone());
+                }
+            }};
+        }
+        match (&mut *self, other) {
+            (Column::Null(n), Column::Null(_)) => *n += sel.len(),
+            (
+                Column::Int { vals, nulls },
+                Column::Int {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => extend_typed!(vals, nulls, ov, on),
+            (
+                Column::Double { vals, nulls },
+                Column::Double {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => extend_typed!(vals, nulls, ov, on),
+            (
+                Column::Bool { vals, nulls },
+                Column::Bool {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => extend_typed!(vals, nulls, ov, on),
+            (
+                Column::Date { vals, nulls },
+                Column::Date {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => extend_typed!(vals, nulls, ov, on),
+            (
+                Column::Str { vals, nulls },
+                Column::Str {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => extend_typed!(vals, nulls, ov, on),
+            (
+                Column::Dict { codes, dict, nulls },
+                Column::Dict {
+                    codes: oc,
+                    dict: od,
+                    nulls: on,
+                },
+            ) if Arc::ptr_eq(dict, od) => {
+                for &i in sel {
+                    push_null_bit(nulls, codes.len(), null_at(on, i as usize));
+                    codes.push(oc[i as usize]);
+                }
+            }
+            _ => {
+                for &i in sel {
+                    self.append_from(other, i as usize);
+                }
+            }
         }
     }
 }
@@ -869,6 +1290,22 @@ impl ColumnBatch {
             cols: self.cols.iter().map(|c| c.gather(sel)).collect(),
             len: sel.len(),
         }
+    }
+
+    /// Bulk-append the `sel`-selected rows of `other` (no `u32::MAX`
+    /// sentinels) — the scatter step of vectorized fan-out.
+    pub fn extend_select(&mut self, other: &ColumnBatch, sel: &[u32]) {
+        debug_assert_eq!(self.cols.len(), other.cols.len());
+        for (col, ocol) in self.cols.iter_mut().zip(other.cols.iter()) {
+            col.extend_gather(ocol, sel);
+        }
+        self.len += sel.len();
+    }
+
+    /// Resident bytes, charging each shared allocation once across the
+    /// whole call sequence threaded through `seen`.
+    pub fn physical_bytes(&self, seen: &mut std::collections::HashSet<usize>) -> u64 {
+        self.cols.iter().map(|c| c.physical_bytes(seen)).sum()
     }
 
     pub fn split_off(&mut self, at: usize) -> ColumnBatch {
@@ -1056,6 +1493,24 @@ impl BatchWriter {
         }
     }
 
+    /// Gather `sel` rows of `src` into the accumulating batch, emitting
+    /// capacity-sized batches as they fill. Unlike [`BatchWriter::push_batch`]
+    /// this never preserves the (possibly tiny) incoming boundary, so
+    /// many small selections coalesce instead of fragmenting the output —
+    /// the redistribute fan-out depends on this to keep downstream
+    /// operators working on full batches.
+    pub fn extend_select(&mut self, src: &ColumnBatch, sel: &[u32]) {
+        let mut rest = sel;
+        while !rest.is_empty() {
+            let take = (self.cap - self.cur.len).min(rest.len());
+            self.cur.extend_select(src, &rest[..take]);
+            rest = &rest[take..];
+            if self.cur.len >= self.cap {
+                self.flush();
+            }
+        }
+    }
+
     fn flush(&mut self) {
         if !self.cur.is_empty() {
             let full = std::mem::replace(&mut self.cur, ColumnBatch::new(self.width));
@@ -1237,5 +1692,67 @@ mod tests {
             .flatten()
             .map(|r| r.iter().map(Datum::width).sum::<u64>() as f64)
             .sum()
+    }
+}
+
+#[cfg(test)]
+mod dict_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        /// Dictionary round-trip: decoding an encoded string column is
+        /// the identity (NULLs included), and comparing rows by their
+        /// u32 codes agrees with `Datum::sql_cmp` on the decoded
+        /// strings — the property the fused scan's code-space conjunct
+        /// evaluation relies on.
+        #[test]
+        fn dict_roundtrip_and_code_order(
+            vals in proptest::collection::vec(
+                proptest::option::of(proptest::sample::select(vec![
+                    String::new(), "a".into(), "ab".into(), "abc".into(),
+                    "b".into(), "bb".into(), "c".into(), "cat".into(), "e".into(),
+                ])), 1..120),
+        ) {
+            let mut col = Column::new();
+            for v in &vals {
+                col.push(match v {
+                    Some(s) => Datum::Str(s.clone()),
+                    None => Datum::Null,
+                });
+            }
+            // All-NULL inputs never build a `Str` column; nothing to encode.
+            let Some(enc) = col.dict_encoded() else { return Ok(()) };
+            let (codes, dict, nulls) = enc.dict_parts().expect("encoded to Dict");
+            prop_assert!(dict.windows(2).all(|w| w[0] < w[1]), "dict sorted + deduped");
+            // Decode ≡ identity, both via `undict` and via `get`.
+            let mut dec = enc.clone();
+            dec.undict();
+            for (i, v) in vals.iter().enumerate() {
+                let want = match v {
+                    Some(s) => Datum::Str(s.clone()),
+                    None => Datum::Null,
+                };
+                prop_assert_eq!(&dec.get(i), &want);
+                prop_assert_eq!(&enc.get(i), &want);
+            }
+            // Code-space comparison ≡ sql_cmp on the strings.
+            for i in 0..vals.len() {
+                for j in 0..vals.len() {
+                    let (Some(a), Some(b)) = (&vals[i], &vals[j]) else { continue };
+                    prop_assert!(
+                        !nulls.map_or(false, |nb| nb.get(i))
+                            && !nulls.map_or(false, |nb| nb.get(j))
+                    );
+                    prop_assert_eq!(
+                        Some(codes[i].cmp(&codes[j])),
+                        Datum::Str(a.clone()).sql_cmp(&Datum::Str(b.clone())),
+                        "code order diverged from sql_cmp at ({}, {})", i, j
+                    );
+                }
+            }
+        }
     }
 }

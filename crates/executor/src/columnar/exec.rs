@@ -19,12 +19,12 @@ use crate::eval::{accepts, compare_rows, AggAccumulator, Env};
 use crate::exec::{
     apply_filter, apply_nl_join, apply_project, apply_setop, key_positions, op_name, ExecCtx,
 };
-use crate::storage::Row;
+use crate::storage::{zone_prunes_cmp, Row, SegmentedTable, ZoneMap};
 use orca_common::hash::{FnvHashMap, FnvHasher};
 use orca_common::{ColId, Datum, OrcaError, Result};
 use orca_expr::logical::{AggStage, JoinKind, SetOpKind};
 use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
-use orca_expr::scalar::ScalarExpr;
+use orca_expr::scalar::{CmpOp, ScalarExpr};
 use orca_expr::OrderSpec;
 use std::cmp::Ordering;
 use std::hash::Hasher;
@@ -60,11 +60,17 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
                 return cexec_shared_scan(ctx, &fc, table, cols, parts, None, n, bs);
             }
             let t = ctx.db.table(table.mdid)?;
+            let width = cols.len();
             let mut out = ColStream::empty(cols.clone(), n);
             out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
             for s in 0..n {
-                let batches = t.scan_columnar(ctx.storage_segment(s), parts, bs);
+                let mut batches = Vec::new();
+                let cloned =
+                    t.scan_columnar_into(ctx.storage_segment(s), parts, bs, &mut batches, || {
+                        ctx.take_shell(width)
+                    });
                 let rows: usize = batches.iter().map(|b| b.len).sum();
+                ctx.stats.scan_bytes_cloned += cloned;
                 ctx.stats.rows_processed += rows as u64;
                 out.avail[s] = ctx.tup_time(rows);
                 out.per_seg[s] = batches;
@@ -101,6 +107,14 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
                 if let Some(fc) = ctx.frag.clone() {
                     if let PhysicalOp::TableScan { table, cols, parts } = &plan.children[0].op {
                         return cexec_shared_scan(ctx, &fc, table, cols, parts, Some(pred), n, bs);
+                    }
+                }
+                // No cache attached: fuse the filter into the scan anyway
+                // when every conjunct is zone-testable, so zone maps can
+                // drop whole chunks and dict conjuncts run in code space.
+                if let PhysicalOp::TableScan { table, cols, parts } = &plan.children[0].op {
+                    if conjunct_tests(pred, cols).is_some() {
+                        return cexec_fused_scan(ctx, table, cols, parts, pred, n, bs);
                     }
                 }
             }
@@ -417,34 +431,24 @@ fn cexec_shared_scan(
         let frag = match fc.begin(&key, ctx.abort.as_deref())? {
             Probe::Ready(f) => f,
             Probe::Lead(guard) => {
-                let batches = t.scan_columnar(seg, parts, bs);
-                let scan_rows: u64 = batches.iter().map(|b| b.len as u64).sum();
-                let scan_batches = batches.len() as u64;
-                let kept = match pred {
-                    None => batches,
-                    Some(p) => {
-                        let mut kept = Vec::new();
-                        for b in &batches {
-                            let sel = veval_predicate(p, cols, b)?;
-                            if sel.is_empty() {
-                                continue;
-                            }
-                            if sel.len() == b.len {
-                                kept.push(b.clone());
-                            } else {
-                                kept.push(b.select(&sel));
-                            }
-                        }
-                        kept
-                    }
-                };
-                guard.publish(Fragment::new(kept, scan_rows, scan_batches))
+                let so = scan_filtered(t, seg, parts, cols, pred, bs, || {
+                    ctx.take_shell(cols.len())
+                })?;
+                ctx.stats.scan_bytes_cloned += so.bytes_cloned;
+                guard.publish(
+                    Fragment::new(so.batches, so.scan_rows, so.scan_batches)
+                        .with_skips(so.chunks_skipped, so.dict_hits),
+                )
             }
         };
         // Replayed accounting — identical to the un-cached TableScan arm
         // (and, when a predicate fused, the Filter arm on top of it).
+        // Skip counters replay too: a cache hit represents the same
+        // pruned scan.
         let scanned = frag.scan_rows as usize;
         ctx.stats.rows_processed += frag.scan_rows;
+        ctx.stats.chunks_skipped += frag.chunks_skipped;
+        ctx.stats.dict_hits += frag.dict_hits;
         out.avail[s] = ctx.tup_time(scanned);
         if pred.is_some() {
             ctx.stats.rows_processed += frag.scan_rows;
@@ -456,6 +460,320 @@ fn cexec_shared_scan(
             p.batches += frag.scan_batches;
         }
         out.per_seg[s] = frag.batches.clone();
+    }
+    Ok(out)
+}
+
+/// Fused Filter-over-TableScan without a fragment cache: the
+/// chunk-skipping scan with the Filter arm's accounting stacked on the
+/// TableScan arm's (same clocks and counters the two separate arms
+/// would have charged — skipped chunks included).
+#[allow(clippy::too_many_arguments)]
+fn cexec_fused_scan(
+    ctx: &mut ExecCtx<'_>,
+    table: &orca_expr::logical::TableRef,
+    cols: &[ColId],
+    parts: &Option<Vec<usize>>,
+    pred: &ScalarExpr,
+    n: usize,
+    bs: usize,
+) -> Result<ColStream> {
+    let t = ctx.db.table(table.mdid)?;
+    let width = cols.len();
+    let mut out = ColStream::empty(cols.to_vec(), n);
+    out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
+    for s in 0..n {
+        let so = scan_filtered(t, ctx.storage_segment(s), parts, cols, Some(pred), bs, || {
+            ctx.take_shell(width)
+        })?;
+        let scanned = so.scan_rows as usize;
+        ctx.stats.rows_processed += so.scan_rows * 2;
+        ctx.stats.chunks_skipped += so.chunks_skipped;
+        ctx.stats.dict_hits += so.dict_hits;
+        ctx.stats.scan_bytes_cloned += so.bytes_cloned;
+        out.avail[s] = ctx.tup_time(scanned);
+        out.avail[s] += ctx.tup_time(scanned) * 0.5;
+        // The fused scan's share of the per-operator profile (the cexec
+        // wrapper only credits the Filter node).
+        let p = ctx.stats.ops.entry("TableScan").or_default();
+        p.rows += so.scan_rows;
+        p.batches += so.scan_batches;
+        out.per_seg[s] = so.batches;
+    }
+    Ok(out)
+}
+
+/// Output of [`scan_filtered`]: the surviving batches plus the
+/// accounting a plain scan(+filter) of the same chunks would have
+/// produced.
+struct ScanOut {
+    batches: Vec<ColumnBatch>,
+    /// Rows the unpruned scan covers — skipped chunks included, so
+    /// replayed stats match the oracle's full scan.
+    scan_rows: u64,
+    /// Batches the unpruned scan would have emitted.
+    scan_batches: u64,
+    chunks_skipped: u64,
+    dict_hits: u64,
+    bytes_cloned: u64,
+}
+
+/// Top-level conjuncts of a predicate.
+fn pred_conjuncts(pred: &ScalarExpr) -> Vec<&ScalarExpr> {
+    match pred {
+        ScalarExpr::And(parts) => parts.iter().collect(),
+        other => vec![other],
+    }
+}
+
+/// A conjunct reduced to a zone-testable shape over one scan column.
+/// Every shape here is provably side-effect-free — its evaluation can
+/// never error — which is what makes skipping the evaluation of a whole
+/// chunk indistinguishable from running it.
+enum ZoneTest<'a> {
+    Cmp {
+        pos: usize,
+        op: CmpOp,
+        lit: &'a Datum,
+    },
+    IsNull {
+        pos: usize,
+    },
+    NotNull {
+        pos: usize,
+    },
+    InList {
+        pos: usize,
+        items: Vec<&'a Datum>,
+    },
+}
+
+impl ZoneTest<'_> {
+    /// Does this conjunct provably reject every row of a chunk with
+    /// these zone maps? (`rows` = chunk length, for all-NULL detection.)
+    fn prunes(&self, zones: &[ZoneMap], rows: usize) -> bool {
+        match self {
+            ZoneTest::Cmp { pos, op, lit } => zone_prunes_cmp(&zones[*pos], *op, lit, rows),
+            ZoneTest::IsNull { pos } => zones[*pos].null_count == 0,
+            ZoneTest::NotNull { pos } => zones[*pos].null_count == rows,
+            // `x IN (a, b)` is TRUE only where some item equals x, so
+            // the chunk drops when every item's equality is
+            // zone-disjoint (NULL items never produce TRUE, only NULL).
+            ZoneTest::InList { pos, items } => items
+                .iter()
+                .all(|d| zone_prunes_cmp(&zones[*pos], CmpOp::Eq, d, rows)),
+        }
+    }
+
+    fn pos(&self) -> usize {
+        match self {
+            ZoneTest::Cmp { pos, .. }
+            | ZoneTest::IsNull { pos }
+            | ZoneTest::NotNull { pos }
+            | ZoneTest::InList { pos, .. } => *pos,
+        }
+    }
+
+    /// Evaluate the conjunct in dictionary code space, if it is an
+    /// equality/IN over a dict-encoded chunk column: returns the sorted
+    /// matching codes (possibly empty — then no row of the chunk can
+    /// pass). `None` means not dict-evaluable on this chunk.
+    fn dict_codes(&self, chunk: &ColumnBatch) -> Option<Vec<u32>> {
+        match self {
+            ZoneTest::Cmp {
+                pos,
+                op: CmpOp::Eq,
+                lit: Datum::Str(s),
+            } => {
+                let (_, dict, _) = chunk.cols[*pos].dict_parts()?;
+                Some(match dict.binary_search_by(|d| d.as_str().cmp(s)) {
+                    Ok(k) => vec![k as u32],
+                    Err(_) => Vec::new(),
+                })
+            }
+            // Non-string and NULL items can never equal a (string) dict
+            // entry, so only string items contribute codes.
+            ZoneTest::InList { pos, items } => {
+                let (_, dict, _) = chunk.cols[*pos].dict_parts()?;
+                let mut ks: Vec<u32> = items
+                    .iter()
+                    .filter_map(|d| match d {
+                        Datum::Str(s) => dict
+                            .binary_search_by(|x| x.as_str().cmp(s.as_str()))
+                            .ok()
+                            .map(|k| k as u32),
+                        _ => None,
+                    })
+                    .collect();
+                ks.sort_unstable();
+                ks.dedup();
+                Some(ks)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Reduce a conjunct to a [`ZoneTest`], or `None` if it falls outside
+/// the safe shapes.
+fn zone_test<'a>(e: &'a ScalarExpr, layout: &[ColId]) -> Option<ZoneTest<'a>> {
+    let pos_of = |c: &ColId| layout.iter().position(|x| x == c);
+    match e {
+        ScalarExpr::Cmp { op, left, right } => match (&**left, &**right) {
+            (ScalarExpr::ColRef(c), ScalarExpr::Const(d)) => Some(ZoneTest::Cmp {
+                pos: pos_of(c)?,
+                op: *op,
+                lit: d,
+            }),
+            (ScalarExpr::Const(d), ScalarExpr::ColRef(c)) => Some(ZoneTest::Cmp {
+                pos: pos_of(c)?,
+                op: op.commute(),
+                lit: d,
+            }),
+            _ => None,
+        },
+        ScalarExpr::IsNull(x) => match &**x {
+            ScalarExpr::ColRef(c) => Some(ZoneTest::IsNull { pos: pos_of(c)? }),
+            _ => None,
+        },
+        ScalarExpr::Not(x) => match &**x {
+            ScalarExpr::IsNull(y) => match &**y {
+                ScalarExpr::ColRef(c) => Some(ZoneTest::NotNull { pos: pos_of(c)? }),
+                _ => None,
+            },
+            _ => None,
+        },
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            let ScalarExpr::ColRef(c) = &**expr else {
+                return None;
+            };
+            let items = list
+                .iter()
+                .map(|i| match i {
+                    ScalarExpr::Const(d) => Some(d),
+                    _ => None,
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(ZoneTest::InList {
+                pos: pos_of(c)?,
+                items,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// All conjuncts of `pred` as zone tests, or `None` if any conjunct
+/// falls outside the safe shapes — then the scan must not skip
+/// anything, because a skipped evaluation could have raised an error
+/// the oracle raises.
+fn conjunct_tests<'a>(
+    pred: &'a ScalarExpr,
+    layout: &[ColId],
+) -> Option<Vec<(ZoneTest<'a>, &'a ScalarExpr)>> {
+    pred_conjuncts(pred)
+        .into_iter()
+        .map(|c| zone_test(c, layout).map(|t| (t, c)))
+        .collect()
+}
+
+/// Scan the chunks of `parts` on `segment`, applying `pred` (when
+/// given) chunk-at-a-time: zone maps skip provably-empty chunks,
+/// equality/IN conjuncts over dict-encoded columns run on `u32` codes,
+/// and the residue goes through [`veval_predicate`] with the surviving
+/// row sets intersected (exact under 3VL: a row passes `AND` iff every
+/// conjunct is TRUE on it).
+///
+/// When a conjunct is not zone-testable, nothing is skipped and the
+/// whole predicate evaluates at once — same work, same errors as the
+/// unfused path.
+fn scan_filtered(
+    t: &SegmentedTable,
+    segment: usize,
+    parts: &Option<Vec<usize>>,
+    layout: &[ColId],
+    pred: Option<&ScalarExpr>,
+    bs: usize,
+    mut shell: impl FnMut() -> ColumnBatch,
+) -> Result<ScanOut> {
+    let bs = bs.max(1);
+    let tests = pred.and_then(|p| conjunct_tests(p, layout));
+    let mut out = ScanOut {
+        batches: Vec::new(),
+        scan_rows: 0,
+        scan_batches: 0,
+        chunks_skipped: 0,
+        dict_hits: 0,
+        bytes_cloned: 0,
+    };
+    let mut cand: Vec<u32> = Vec::new();
+    'chunks: for chunk in t.part_chunks(segment, parts) {
+        let rows = chunk.data.len;
+        out.scan_rows += rows as u64;
+        out.scan_batches += rows.div_ceil(bs) as u64;
+        cand.clear();
+        match (pred, &tests) {
+            (None, _) => cand.extend(0..rows as u32),
+            (Some(_), Some(tests)) => {
+                if tests.iter().any(|(zt, _)| zt.prunes(&chunk.zones, rows)) {
+                    out.chunks_skipped += 1;
+                    continue;
+                }
+                cand.extend(0..rows as u32);
+                for (zt, conj) in tests {
+                    if let Some(ks) = zt.dict_codes(&chunk.data) {
+                        if ks.is_empty() {
+                            // The literal(s) are absent from this
+                            // chunk's dictionary: nothing can match.
+                            out.chunks_skipped += 1;
+                            continue 'chunks;
+                        }
+                        out.dict_hits += 1;
+                        let (codes, _, nulls) = chunk.data.cols[zt.pos()].dict_parts().unwrap();
+                        cand.retain(|&i| {
+                            let i = i as usize;
+                            nulls.map_or(true, |nb| !nb.get(i))
+                                && ks.binary_search(&codes[i]).is_ok()
+                        });
+                    } else {
+                        let sel = veval_predicate(conj, layout, &chunk.data)?;
+                        let mut mark = vec![false; rows];
+                        for &i in &sel {
+                            mark[i as usize] = true;
+                        }
+                        cand.retain(|&i| mark[i as usize]);
+                    }
+                    if cand.is_empty() {
+                        // Evaluated (not skipped) — the chunk simply
+                        // has no passing rows.
+                        continue 'chunks;
+                    }
+                }
+            }
+            (Some(p), None) => {
+                let sel = veval_predicate(p, layout, &chunk.data)?;
+                cand.extend_from_slice(&sel);
+                if cand.is_empty() {
+                    continue;
+                }
+            }
+        }
+        if cand.len() == rows && bs >= rows {
+            // Zero-copy: the whole chunk survives and fits one batch —
+            // every column moves as an `Arc` refcount bump.
+            out.batches.push(chunk.data.clone());
+            continue;
+        }
+        for piece in cand.chunks(bs) {
+            let mut b = shell();
+            b.extend_select(&chunk.data, piece);
+            out.bytes_cloned += b.bytes();
+            out.batches.push(b);
+        }
     }
     Ok(out)
 }
@@ -856,16 +1174,37 @@ fn cexec_motion(
             let base = input.elapsed();
             let mut writers: Vec<BatchWriter> =
                 (0..n).map(|_| BatchWriter::new(width, bs)).collect();
+            let mut states: Vec<FnvHasher> = Vec::new();
+            let mut sels: Vec<Vec<u32>> = vec![Vec::new(); n];
             for seg_batches in &one_copy_batches(ctx, &input) {
                 for b in seg_batches {
-                    for i in 0..b.len {
-                        // Same hash stream as `segment_for_key`.
-                        let mut h = FnvHasher::default();
-                        for &p in &pos {
-                            b.cols[p].get_ref(i).hash_into(&mut h);
+                    // Batch-at-a-time fan-out: fold each key column into
+                    // per-row hasher states column-major (same per-row
+                    // byte stream as `segment_for_key`), then scatter
+                    // rows through per-destination selection vectors
+                    // instead of per-row appends.
+                    states.clear();
+                    states.resize_with(b.len, FnvHasher::default);
+                    for &p in &pos {
+                        b.cols[p].hash_rows_into(&mut states);
+                    }
+                    for sel in sels.iter_mut() {
+                        sel.clear();
+                    }
+                    for (i, h) in states.iter().enumerate() {
+                        sels[(h.finish() % n as u64) as usize].push(i as u32);
+                    }
+                    for (dest, sel) in sels.iter().enumerate() {
+                        if sel.is_empty() {
+                            continue;
                         }
-                        let dest = (h.finish() % n as u64) as usize;
-                        writers[dest].append_row_from(b, i);
+                        if sel.len() == b.len {
+                            // Whole batch routes to one destination:
+                            // move it as `Arc` bumps.
+                            writers[dest].push_batch(b.clone());
+                        } else {
+                            writers[dest].extend_select(b, sel);
+                        }
                     }
                 }
             }

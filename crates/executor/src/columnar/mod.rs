@@ -27,5 +27,5 @@ pub mod batch;
 pub mod exec;
 pub mod veval;
 
-pub use batch::{BatchWriter, BitVec, ColStream, Column, ColumnBatch, ValRef};
+pub use batch::{BatchWriter, BitVec, Buf, ColStream, Column, ColumnBatch, ValRef};
 pub use exec::cexec;

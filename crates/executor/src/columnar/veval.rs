@@ -52,7 +52,7 @@ impl BoolBuilder {
 
     fn finish(self) -> Column {
         Column::Bool {
-            vals: self.vals,
+            vals: self.vals.into(),
             nulls: self.nulls,
         }
     }
@@ -71,6 +71,44 @@ pub fn veval(e: &ScalarExpr, layout: &[ColId], batch: &ColumnBatch) -> Result<Co
         }
         ScalarExpr::Const(d) => Column::repeat(d, len),
         ScalarExpr::Cmp { op, left, right } => {
+            // Dictionary fast path: ColRef-vs-string-const over a
+            // dict-encoded column compares u32 codes against one
+            // binary-searched pivot — the per-chunk dictionary is
+            // sorted, so code order *is* `sql_cmp` order.
+            let dict_operands = match (&**left, &**right) {
+                (ScalarExpr::ColRef(c), ScalarExpr::Const(Datum::Str(s))) => Some((c, *op, s)),
+                (ScalarExpr::Const(Datum::Str(s)), ScalarExpr::ColRef(c)) => {
+                    Some((c, op.commute(), s))
+                }
+                _ => None,
+            };
+            if let Some((c, op, s)) = dict_operands {
+                if let Some(pos) = layout.iter().position(|x| x == c) {
+                    if let Some((codes, dict, nulls)) = batch.cols[pos].dict_parts() {
+                        let pivot = dict.binary_search_by(|d| d.as_str().cmp(s.as_str()));
+                        let mut out = BoolBuilder::with_capacity(len);
+                        for i in 0..len {
+                            if nulls.map_or(false, |nb| nb.get(i)) {
+                                out.push(None);
+                                continue;
+                            }
+                            let code = codes[i] as usize;
+                            let ord = match pivot {
+                                Ok(k) => code.cmp(&k),
+                                Err(ins) => {
+                                    if code < ins {
+                                        Ordering::Less
+                                    } else {
+                                        Ordering::Greater
+                                    }
+                                }
+                            };
+                            out.push(Some(op.evaluate(ord)));
+                        }
+                        return Ok(out.finish());
+                    }
+                }
+            }
             let l = veval(left, layout, batch)?;
             let r = veval(right, layout, batch)?;
             // Null-free integer fast path. Comparison goes through the f64
@@ -273,6 +311,14 @@ pub fn veval(e: &ScalarExpr, layout: &[ColId], batch: &ColumnBatch) -> Result<Co
             list,
             negated,
         } => {
+            // Dictionary fast path: membership of a dict-encoded column
+            // in an all-const list tests u32 codes against a
+            // binary-searched code set. Non-string items can never
+            // equal a dictionary entry; NULL items only weaken a miss
+            // to NULL — exactly the generic arm's 3VL table.
+            if let Some(out) = dict_in_list(expr, list, *negated, layout, batch) {
+                return Ok(out);
+            }
             let v = veval(expr, layout, batch)?;
             let items = list
                 .iter()
@@ -318,6 +364,58 @@ pub fn veval(e: &ScalarExpr, layout: &[ColId], batch: &ColumnBatch) -> Result<Co
             ))
         }
     })
+}
+
+/// Code-space `IN`-list over a dict-encoded column, or `None` when the
+/// shape doesn't apply (expr not a bound ColRef over a `Dict` column,
+/// or a non-const list item).
+fn dict_in_list(
+    expr: &ScalarExpr,
+    list: &[ScalarExpr],
+    negated: bool,
+    layout: &[ColId],
+    batch: &ColumnBatch,
+) -> Option<Column> {
+    let ScalarExpr::ColRef(c) = expr else {
+        return None;
+    };
+    let pos = layout.iter().position(|x| x == c)?;
+    let (codes, dict, nulls) = batch.cols[pos].dict_parts()?;
+    let consts = list
+        .iter()
+        .map(|i| match i {
+            ScalarExpr::Const(d) => Some(d),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let saw_null = consts.iter().any(|d| d.is_null());
+    let mut ks: Vec<u32> = consts
+        .iter()
+        .filter_map(|d| match d {
+            Datum::Str(s) => dict
+                .binary_search_by(|x| x.as_str().cmp(s.as_str()))
+                .ok()
+                .map(|k| k as u32),
+            _ => None,
+        })
+        .collect();
+    ks.sort_unstable();
+    ks.dedup();
+    let mut out = BoolBuilder::with_capacity(batch.len);
+    for i in 0..batch.len {
+        if nulls.map_or(false, |nb| nb.get(i)) {
+            out.push(None);
+            continue;
+        }
+        let found = ks.binary_search(&codes[i]).is_ok();
+        out.push(match (found, saw_null, negated) {
+            (true, _, false) => Some(true),
+            (true, _, true) => Some(false),
+            (false, true, _) => None,
+            (false, false, n) => Some(n),
+        });
+    }
+    Some(out.finish())
 }
 
 /// Per-element mirror of the row evaluator's `eval_arith`.

@@ -63,6 +63,9 @@ impl<'a> ExecEngine<'a> {
     pub fn run_columnar(&self, plan: &PhysicalPlan, output_cols: &[ColId]) -> Result<ExecResult> {
         let mut ctx = ExecCtx::new(self.db);
         ctx.frag = self.fragments.clone();
+        // Sliced scans draw batch shells from a run-local pool instead
+        // of fresh allocations.
+        ctx.pool = Some(std::sync::Arc::new(crate::parallel::BatchPool::new()));
         let stream = cexec(plan, &mut ctx)?;
         let rows = project_output_col(&stream, output_cols)?;
         Ok(ExecResult {

@@ -105,6 +105,16 @@ pub struct ExecStats {
     pub bytes_moved: u64,
     pub spills: u64,
     pub oom_risk_bytes: u64,
+    /// Storage chunks skipped by zone-map pruning in the fused
+    /// filter-over-scan path (diagnostic; rows_processed still charges
+    /// skipped rows so timing stays comparable with the row oracle).
+    pub chunks_skipped: u64,
+    /// Chunk×conjunct predicate evaluations answered on dictionary
+    /// codes instead of decoded strings.
+    pub dict_hits: u64,
+    /// Logical bytes copied by scans that had to re-slice chunks
+    /// (zero when every scan takes the zero-copy fast path).
+    pub scan_bytes_cloned: u64,
     /// Per-operator profile, keyed by operator name (`BTreeMap` so report
     /// output is deterministically ordered).
     pub ops: BTreeMap<&'static str, OpProfile>,
@@ -147,6 +157,9 @@ pub struct ExecCtx<'a> {
     /// Nanoseconds attributed to child operators of the operator currently
     /// executing — the bookkeeping behind exclusive-time profiling.
     pub(crate) profile_child_ns: u64,
+    /// Shared batch-shell free list: scans and builders draw empty
+    /// `ColumnBatch` shells from here instead of allocating fresh ones.
+    pub pool: Option<Arc<crate::parallel::BatchPool>>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -163,6 +176,16 @@ impl<'a> ExecCtx<'a> {
             abort: None,
             frag: None,
             profile_child_ns: 0,
+            pool: None,
+        }
+    }
+
+    /// An empty batch shell of `width` columns, recycled from the shared
+    /// pool when one is attached.
+    pub(crate) fn take_shell(&self, width: usize) -> crate::columnar::ColumnBatch {
+        match &self.pool {
+            Some(p) => p.take(width),
+            None => crate::columnar::ColumnBatch::new(width),
         }
     }
 
@@ -185,6 +208,7 @@ impl<'a> ExecCtx<'a> {
             abort: Some(abort),
             frag: None,
             profile_child_ns: 0,
+            pool: None,
         }
     }
 
@@ -209,6 +233,7 @@ impl<'a> ExecCtx<'a> {
             abort: Some(abort),
             frag: None,
             profile_child_ns: 0,
+            pool: None,
         }
     }
 

@@ -165,7 +165,7 @@ impl<'a> ParallelEngine<'a> {
             .map(|_| MotionCounters::default())
             .collect();
         let gate = ComputeGate::new(workers);
-        let pool = BatchPool::new();
+        let pool = Arc::new(BatchPool::new());
         let spool = SharedSpool::new();
         let first_err: Mutex<Option<OrcaError>> = Mutex::new(None);
         let merged_stats: Mutex<ExecStats> = Mutex::new(ExecStats::default());
@@ -288,7 +288,7 @@ struct TaskCtx<'env> {
     columnar: bool,
     abort: &'env Arc<AbortSignal>,
     gate: &'env ComputeGate,
-    pool: &'env BatchPool,
+    pool: &'env Arc<BatchPool>,
     spool: &'env SharedSpool,
     frag: &'env Option<Arc<crate::sharing::FragmentCache>>,
     counters: &'env [MotionCounters],
@@ -335,6 +335,9 @@ fn run_task(task: TaskCtx<'_>) -> Result<()> {
         let mut ctx =
             ExecCtx::for_segment_columnar(task.db, task.seg, delivered, task.abort.clone());
         ctx.frag = task.frag.clone();
+        // Scans draw their batch shells from the run-wide pool, so
+        // shells recycled by the interconnect feed the kernel too.
+        ctx.pool = Some(Arc::clone(task.pool));
         for (id, p) in &spooled {
             ctx.cte_col.insert(*id, p.to_colstream());
         }
@@ -399,6 +402,7 @@ fn run_task(task: TaskCtx<'_>) -> Result<()> {
                     task.abort,
                     &task.counters[m],
                     task.pool,
+                    task.sliced.motions[m].key_pos.as_deref(),
                 )?;
             }
             _ => {
@@ -421,6 +425,9 @@ fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
     into.bytes_moved += from.bytes_moved;
     into.spills += from.spills;
     into.oom_risk_bytes = into.oom_risk_bytes.max(from.oom_risk_bytes);
+    into.chunks_skipped += from.chunks_skipped;
+    into.dict_hits += from.dict_hits;
+    into.scan_bytes_cloned += from.scan_bytes_cloned;
     for (name, p) in &from.ops {
         let e = into.ops.entry(name).or_default();
         e.rows += p.rows;

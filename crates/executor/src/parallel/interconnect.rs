@@ -220,6 +220,7 @@ pub fn send_stream(
     abort: &AbortSignal,
     counters: &MotionCounters,
     pool: &BatchPool,
+    key_pos: Option<&[usize]>,
 ) -> Result<()> {
     for tx in txs {
         send_msg(
@@ -245,31 +246,55 @@ pub fn send_stream(
             send_batches(&txs[0], batches, batch_rows, abort, counters)?;
         }
         MotionKind::Redistribute(cols) => {
-            let pos: Vec<usize> = cols
-                .iter()
-                .map(|k| {
-                    layout.iter().position(|c| c == k).ok_or_else(|| {
-                        OrcaError::Execution(format!("key column {k} not in layout"))
+            // Key positions come precomputed from the slicer when the
+            // sender layout was statically known; resolve here otherwise.
+            let pos: Vec<usize> = match key_pos {
+                Some(p) => p.to_vec(),
+                None => cols
+                    .iter()
+                    .map(|k| {
+                        layout.iter().position(|c| c == k).ok_or_else(|| {
+                            OrcaError::Execution(format!("key column {k} not in layout"))
+                        })
                     })
-                })
-                .collect::<Result<_>>()?;
+                    .collect::<Result<_>>()?,
+            };
             let batch_rows = batch_rows.max(1);
             let n = txs.len();
             let width = layout.len();
             // One open builder per destination; full builders ship
             // immediately and are replaced from the pool.
             let mut parts: Vec<ColumnBatch> = (0..n).map(|_| pool.take(width)).collect();
+            let mut states: Vec<FnvHasher> = Vec::new();
+            let mut sels: Vec<Vec<u32>> = vec![Vec::new(); n];
             for b in batches {
-                for i in 0..b.len {
-                    let mut h = FnvHasher::default();
-                    for &p in &pos {
-                        b.cols[p].get_ref(i).hash_into(&mut h);
-                    }
-                    let dest = (h.finish() % n as u64) as usize;
-                    parts[dest].append_row_from(&b, i);
-                    if parts[dest].len >= batch_rows {
-                        let full = std::mem::replace(&mut parts[dest], pool.take(width));
-                        send_batch(&txs[dest], full, abort, counters)?;
+                // Batch-at-a-time fan-out: fold each key column into
+                // per-row hasher states column-major (same per-row byte
+                // stream as the row loop), then scatter rows into the
+                // open builders through selection vectors, slicing each
+                // by the room left before a builder ships.
+                states.clear();
+                states.resize_with(b.len, FnvHasher::default);
+                for &p in &pos {
+                    b.cols[p].hash_rows_into(&mut states);
+                }
+                for sel in sels.iter_mut() {
+                    sel.clear();
+                }
+                for (i, h) in states.iter().enumerate() {
+                    sels[(h.finish() % n as u64) as usize].push(i as u32);
+                }
+                for (dest, sel) in sels.iter().enumerate() {
+                    let mut rest = &sel[..];
+                    while !rest.is_empty() {
+                        let room = batch_rows - parts[dest].len;
+                        let take = room.min(rest.len());
+                        parts[dest].extend_select(&b, &rest[..take]);
+                        rest = &rest[take..];
+                        if parts[dest].len >= batch_rows {
+                            let full = std::mem::replace(&mut parts[dest], pool.take(width));
+                            send_batch(&txs[dest], full, abort, counters)?;
+                        }
                     }
                 }
                 // The input batch is fully routed; recycle its shell.
@@ -473,7 +498,8 @@ mod tests {
                 let counters = &counters;
                 let pool = &pool;
                 scope.spawn(move || {
-                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters, pool).unwrap();
+                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters, pool, None)
+                        .unwrap();
                 });
             }
             for r in 0..n {
@@ -608,7 +634,7 @@ mod tests {
         let s = ColStream::from_streamset(&s, 4);
         let t = std::thread::spawn({
             let abort = abort.clone();
-            move || send_stream(&MotionKind::Gather, s, 0, &txs, 1, &abort, &counters, &pool)
+            move || send_stream(&MotionKind::Gather, s, 0, &txs, 1, &abort, &counters, &pool, None)
         });
         std::thread::sleep(Duration::from_millis(30));
         abort.abort();

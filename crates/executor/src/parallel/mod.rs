@@ -38,5 +38,6 @@ pub mod slice;
 pub mod spool;
 
 pub use driver::{ParallelConfig, ParallelEngine, ParallelResult};
+pub use interconnect::BatchPool;
 pub use metrics::{MotionMetrics, ParallelStats, SliceMetrics};
 pub use spool::{SharedSpool, SpoolPayload};

@@ -33,6 +33,12 @@ pub struct MotionEdge {
     pub kind: MotionKind,
     pub sender: usize,
     pub receiver: usize,
+    /// For `Redistribute` motions: positions of the hash key columns in
+    /// the sender fragment's output layout, resolved once at slice time
+    /// (the layout is identical across every sender instance). `None`
+    /// for other motion kinds, or if a key is not in the layout — the
+    /// interconnect then resolves (and reports) it per stream.
+    pub key_pos: Option<Vec<usize>>,
 }
 
 /// A motion-free plan fragment plus its interconnect endpoints.
@@ -156,11 +162,21 @@ impl Cutter {
         if let PhysicalOp::Motion { kind } = &plan.op {
             let motion = self.motions.len();
             let sender = self.slices.len();
+            let key_pos = match kind {
+                MotionKind::Redistribute(cols) => {
+                    let layout = plan.children[0].output_cols();
+                    cols.iter()
+                        .map(|k| layout.iter().position(|c| c == k))
+                        .collect::<Option<Vec<usize>>>()
+                }
+                _ => None,
+            };
             self.motions.push(MotionEdge {
                 id: motion,
                 kind: kind.clone(),
                 sender,
                 receiver: current,
+                key_pos,
             });
             let mut slice = blank_slice(sender);
             slice.output = Some(motion);

@@ -63,18 +63,38 @@ pub struct Fragment {
     pub scan_rows: u64,
     /// Batches the raw scan produced (profile accounting on replay).
     pub scan_batches: u64,
+    /// Chunks the leader's scan dropped via zone maps / dictionary
+    /// misses, and dict-conjunct evaluations it ran in code space —
+    /// replayed into `ExecStats` on every reuse, since a cache hit
+    /// stands for the same pruned scan.
+    pub chunks_skipped: u64,
+    pub dict_hits: u64,
+    /// Resident cost charged against the cache budget: *physical*
+    /// bytes, with `Arc`-shared buffers (whole table chunks entering
+    /// the fragment zero-copy, dictionary pages shared across batches)
+    /// counted once each, and dict columns priced at codes + dictionary
+    /// rather than their decoded width.
     pub bytes: u64,
 }
 
 impl Fragment {
     pub fn new(batches: Vec<ColumnBatch>, scan_rows: u64, scan_batches: u64) -> Fragment {
-        let bytes = batches.iter().map(ColumnBatch::bytes).sum();
+        let mut seen = std::collections::HashSet::new();
+        let bytes = batches.iter().map(|b| b.physical_bytes(&mut seen)).sum();
         Fragment {
             batches,
             scan_rows,
             scan_batches,
+            chunks_skipped: 0,
+            dict_hits: 0,
             bytes,
         }
+    }
+
+    pub fn with_skips(mut self, chunks_skipped: u64, dict_hits: u64) -> Fragment {
+        self.chunks_skipped = chunks_skipped;
+        self.dict_hits = dict_hits;
+        self
     }
 }
 

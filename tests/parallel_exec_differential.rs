@@ -611,3 +611,221 @@ fn tiny_interconnect_window_still_completes() {
     assert!(par.parallel.num_slices >= 3, "plan should be motion-heavy");
     assert!(par.parallel.motion_rows() > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Zone-map chunk skipping: a pruned fused scan must be observable only in
+// the `chunks_skipped` / `dict_hits` counters — rows, order and the
+// simulated clock stay byte-identical to the row kernel, at every batch
+// size and worker count.
+// ---------------------------------------------------------------------------
+
+/// 400 rows in 16-row chunks across 4 segments: z0 ascending ints (tight
+/// zone ranges), z1 ints with every 7th value NULL, z2 low-cardinality
+/// strings in runs of 40 (dictionary-encoded per chunk).
+fn zone_fixture() -> &'static (Database, TableRef) {
+    static FX: OnceLock<(Database, TableRef)> = OnceLock::new();
+    FX.get_or_init(|| {
+        let desc = Arc::new(orca_catalog::TableDesc::new(
+            orca_common::MdId::new(orca_common::SysId::Gpdb, 77, 1),
+            "zt",
+            vec![
+                ColumnMeta::new("z0", DataType::Int),
+                ColumnMeta::new("z1", DataType::Int),
+                ColumnMeta::new("z2", DataType::Str),
+            ],
+            Distribution::Hashed(vec![0]),
+        ));
+        let rows: Vec<Vec<Datum>> = (0..400i64)
+            .map(|i| {
+                vec![
+                    Datum::Int(i),
+                    if i % 7 == 0 {
+                        Datum::Null
+                    } else {
+                        Datum::Int((i * 3) % 50)
+                    },
+                    Datum::Str(format!("cat{}", i / 40)),
+                ]
+            })
+            .collect();
+        let mut db = Database::new(SegmentConfig::default().with_segments(SEGMENTS));
+        db.cluster.batch_size = 16; // chunk size at load time
+        db.load_table(desc.clone(), rows).expect("load zone table");
+        (db, TableRef(desc))
+    })
+}
+
+const Z0: ColId = ColId(90);
+const Z1: ColId = ColId(91);
+const Z2: ColId = ColId(92);
+
+fn zone_scan_plan(pred: ScalarExpr) -> PhysicalPlan {
+    let (_, table) = zone_fixture();
+    PhysicalPlan::new(
+        PhysicalOp::Filter { pred },
+        vec![PhysicalPlan::leaf(PhysicalOp::TableScan {
+            table: table.clone(),
+            cols: vec![Z0, Z1, Z2],
+            parts: None,
+        })],
+    )
+}
+
+/// One randomly generated prunable conjunct.
+#[derive(Debug, Clone)]
+enum ZConj {
+    /// `z0 <op> lit` — op index into {Lt, Le, Gt, Ge, Eq}.
+    C0(u8, i64),
+    /// `z2 = 'cat{n}'` (n up to 12: some categories don't exist).
+    C2Eq(usize),
+    /// `z2 IN ('cat..', ...)`.
+    C2In(Vec<usize>),
+    /// `z1 IS NULL` / `NOT (z1 IS NULL)`.
+    NullC1(bool),
+}
+
+fn zconj_expr(c: &ZConj) -> ScalarExpr {
+    match c {
+        ZConj::C0(o, v) => ScalarExpr::cmp(
+            [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq][(*o as usize) % 5],
+            ScalarExpr::col(Z0),
+            ScalarExpr::int(*v),
+        ),
+        ZConj::C2Eq(n) => ScalarExpr::eq(
+            ScalarExpr::col(Z2),
+            ScalarExpr::Const(Datum::Str(format!("cat{n}"))),
+        ),
+        ZConj::C2In(ns) => ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::col(Z2)),
+            list: ns
+                .iter()
+                .map(|n| ScalarExpr::Const(Datum::Str(format!("cat{n}"))))
+                .collect(),
+            negated: false,
+        },
+        ZConj::NullC1(negated) => {
+            let e = ScalarExpr::IsNull(Box::new(ScalarExpr::col(Z1)));
+            if *negated {
+                ScalarExpr::Not(Box::new(e))
+            } else {
+                e
+            }
+        }
+    }
+}
+
+fn zconj_strategy() -> impl Strategy<Value = Vec<ZConj>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..5, -10i64..450).prop_map(|(o, v)| ZConj::C0(o, v)),
+            (0usize..13).prop_map(ZConj::C2Eq),
+            prop::collection::vec(0usize..13, 1..4).prop_map(ZConj::C2In),
+            any::<bool>().prop_map(ZConj::NullC1),
+        ],
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Zone-pruned scans ≡ unpruned: for random prunable predicates over
+    /// the chunked fixture, the fused columnar scan (batch sizes 1, 7,
+    /// 1024 — below and above the 16-row chunk size) and the parallel
+    /// engine at 1/2/4 workers through both kernels all reproduce the
+    /// row-serial oracle byte for byte, with a bit-equal simulated clock.
+    #[test]
+    fn zone_pruned_scan_equals_unpruned(conjs in zconj_strategy()) {
+        let (db, _) = zone_fixture();
+        let plan = zone_scan_plan(ScalarExpr::and(conjs.iter().map(zconj_expr).collect()));
+        let output = vec![Z0, Z1, Z2];
+        let serial = ExecEngine::new(db).run(&plan, &output).expect("row serial");
+        prop_assert_eq!(serial.stats.chunks_skipped, 0, "row kernel never skips");
+        for batch_size in [1usize, 7, 1024] {
+            let mut db2 = db.clone();
+            db2.cluster.batch_size = batch_size;
+            let col = ExecEngine::new(&db2).run_columnar(&plan, &output).expect("columnar");
+            prop_assert_eq!(
+                &col.rows, &serial.rows,
+                "pruned columnar(batch_size={}) != row serial for {:?}",
+                batch_size, conjs
+            );
+            prop_assert_eq!(
+                col.sim_seconds.to_bits(),
+                serial.sim_seconds.to_bits(),
+                "simulated clock diverged at batch_size={} for {:?}",
+                batch_size, conjs
+            );
+        }
+        for columnar in [false, true] {
+            for workers in [1usize, 2, 4] {
+                let engine = ParallelEngine::with_config(db, ParallelConfig {
+                    workers,
+                    batch_rows: 7,
+                    channel_capacity: 2,
+                    deadline: None,
+                    columnar,
+                });
+                let par = engine.run(&plan, &output).expect("parallel");
+                prop_assert_eq!(
+                    &par.rows, &serial.rows,
+                    "parallel({}, columnar={}) != serial for {:?}",
+                    workers, columnar, conjs
+                );
+            }
+        }
+    }
+}
+
+/// A selective range over the ascending column must actually skip chunks
+/// (the fixture has 16-row chunks, so `z0 < 40` leaves most chunks with
+/// `min > 40`) while producing exactly the row kernel's output.
+#[test]
+fn selective_range_skips_chunks() {
+    let (db, _) = zone_fixture();
+    let plan = zone_scan_plan(ScalarExpr::cmp(
+        CmpOp::Lt,
+        ScalarExpr::col(Z0),
+        ScalarExpr::int(40),
+    ));
+    let output = vec![Z0, Z1, Z2];
+    let row = ExecEngine::new(db).run(&plan, &output).expect("row");
+    let col = ExecEngine::new(db)
+        .run_columnar(&plan, &output)
+        .expect("columnar");
+    assert_eq!(col.rows, row.rows);
+    assert_eq!(col.rows.len(), 40);
+    assert_eq!(col.sim_seconds.to_bits(), row.sim_seconds.to_bits());
+    assert!(
+        col.stats.chunks_skipped > 0,
+        "z0 < 40 should zone-prune chunks, skipped={}",
+        col.stats.chunks_skipped
+    );
+    assert_eq!(row.stats.chunks_skipped, 0);
+}
+
+/// A string-equality conjunct over the dictionary-encoded column must be
+/// answered in code space: chunks without the category are skipped
+/// outright, chunks with it count a dictionary hit — and the output is
+/// byte-identical to the row kernel either way.
+#[test]
+fn dict_equality_skips_and_counts_hits() {
+    let (db, _) = zone_fixture();
+    let plan = zone_scan_plan(ScalarExpr::eq(
+        ScalarExpr::col(Z2),
+        ScalarExpr::Const(Datum::Str("cat2".into())),
+    ));
+    let output = vec![Z0, Z1, Z2];
+    let row = ExecEngine::new(db).run(&plan, &output).expect("row");
+    let col = ExecEngine::new(db)
+        .run_columnar(&plan, &output)
+        .expect("columnar");
+    assert_eq!(col.rows, row.rows);
+    assert_eq!(col.rows.len(), 40, "one 40-row category run");
+    assert_eq!(col.sim_seconds.to_bits(), row.sim_seconds.to_bits());
+    assert!(col.stats.chunks_skipped > 0, "absent-category chunks skip");
+    assert!(col.stats.dict_hits > 0, "present-category chunks hit the dict");
+}
