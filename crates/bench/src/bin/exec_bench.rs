@@ -8,7 +8,15 @@
 //! is byte-identical results: the checksum of every configuration must
 //! match the row-serial checksum for every plan.
 //!
-//! Usage: `exec_bench [scale] [iters] [--smoke] [--batch-size N]`.
+//! Usage: `exec_bench [scale] [iters] [--smoke] [--batch-size N] [--work-mem N]`.
+//!
+//! `--work-mem N` sets the constrained working-memory setting (bytes,
+//! default 4096) for the memory-governance sweep: the whole corpus is
+//! re-run under that budget on every engine and kernel, operators must
+//! spill (not fail), checksums must stay byte-identical to the
+//! unconstrained row baseline, and the observed memory peak must respect
+//! the query's grant. A streaming-cursor pass asserts at least one
+//! corpus query delivers its first batch before the producer finishes.
 //!
 //! `--smoke` (CI) runs a reduced corpus, writes no JSON, and asserts the
 //! gates: identical checksums everywhere, columnar-serial throughput at
@@ -26,7 +34,10 @@ use orca_bench::report::row;
 use orca_bench::BenchEnv;
 use orca_common::hash::fnv_hash;
 use orca_common::ColId;
-use orca_executor::{ExecEngine, FragmentCache, ParallelConfig, ParallelEngine, Row};
+use orca_executor::{
+    Cursor, CursorOptions, ExecEngine, FragmentCache, MemoryTracker, ParallelConfig,
+    ParallelEngine, Row,
+};
 use orca_expr::physical::PhysicalPlan;
 use orca_tpcds::suite;
 use std::collections::BTreeMap;
@@ -266,22 +277,215 @@ fn run_parallel(
     }
 }
 
+struct MemorySweep {
+    work_mem: u64,
+    /// Total bytes granted to each query (`work_mem` × segments).
+    granted: u64,
+    wall_ms: f64,
+    spill_partitions: u64,
+    spill_bytes_written: u64,
+    spill_bytes_read: u64,
+    peak_mem_bytes: u64,
+}
+
+/// Re-run the corpus with `work_mem` bytes of per-segment working memory
+/// and a matching per-query grant: every engine and kernel must spill
+/// instead of failing, reproduce the unconstrained row baseline byte for
+/// byte, and keep its observed peak within the grant. Parallel runs must
+/// also reproduce the *serial* spill counters exactly — spilling is
+/// deterministic, not load-dependent.
+fn run_memory_sweep(
+    env: &mut BenchEnv,
+    corpus: &[BenchQuery],
+    baseline: &SerialRun,
+    work_mem: u64,
+) -> MemorySweep {
+    let default_wm = env.db.cluster.work_mem_bytes;
+    env.db.cluster.work_mem_bytes = work_mem;
+    let segments = env.db.cluster.num_segments;
+    let granted = work_mem * segments as u64;
+
+    let mut sweep = MemorySweep {
+        work_mem,
+        granted,
+        wall_ms: 0.0,
+        spill_partitions: 0,
+        spill_bytes_written: 0,
+        spill_bytes_read: 0,
+        peak_mem_bytes: 0,
+    };
+    let t0 = Instant::now();
+    let mut serial_counters: Vec<(u64, u64, u64)> = Vec::with_capacity(corpus.len());
+    for kernel in [Kernel::Row, Kernel::Columnar] {
+        let tracker = Arc::new(MemoryTracker::granted(granted, segments, None));
+        let engine = ExecEngine::new(&env.db).with_memory(Arc::clone(&tracker));
+        for (i, q) in corpus.iter().enumerate() {
+            let res = match kernel {
+                Kernel::Row => engine.run(&q.plan, &q.output_cols),
+                Kernel::Columnar => engine.run_columnar(&q.plan, &q.output_cols),
+            }
+            .expect("constrained exec must spill, not fail");
+            assert_eq!(
+                checksum(&res.rows),
+                baseline.checksums[i],
+                "query {} ({} kernel) diverged under work_mem={work_mem}",
+                q.id,
+                kernel.name()
+            );
+            assert!(
+                res.stats.peak_mem_bytes <= granted,
+                "query {}: peak {} bytes exceeds the {granted}-byte grant",
+                q.id,
+                res.stats.peak_mem_bytes
+            );
+            if kernel == Kernel::Row {
+                serial_counters.push((
+                    res.stats.spill_partitions,
+                    res.stats.spill_bytes_written,
+                    res.stats.spill_bytes_read,
+                ));
+                sweep.spill_partitions += res.stats.spill_partitions;
+                sweep.spill_bytes_written += res.stats.spill_bytes_written;
+                sweep.spill_bytes_read += res.stats.spill_bytes_read;
+                sweep.peak_mem_bytes = sweep.peak_mem_bytes.max(res.stats.peak_mem_bytes);
+            } else {
+                assert_eq!(
+                    (
+                        res.stats.spill_partitions,
+                        res.stats.spill_bytes_written,
+                        res.stats.spill_bytes_read,
+                    ),
+                    serial_counters[i],
+                    "query {}: columnar spill counters diverged from the row kernel",
+                    q.id
+                );
+            }
+        }
+    }
+    for kernel in [Kernel::Row, Kernel::Columnar] {
+        for &workers in WORKER_LEVELS {
+            let engine = ParallelEngine::with_config(
+                &env.db,
+                ParallelConfig {
+                    workers,
+                    columnar: kernel == Kernel::Columnar,
+                    ..ParallelConfig::default()
+                },
+            );
+            for (i, q) in corpus.iter().enumerate() {
+                let res = engine
+                    .run(&q.plan, &q.output_cols)
+                    .expect("constrained parallel exec must spill, not fail");
+                assert_eq!(
+                    checksum(&res.rows),
+                    baseline.checksums[i],
+                    "query {} at {workers} workers ({} kernel) diverged under \
+                     work_mem={work_mem}",
+                    q.id,
+                    kernel.name()
+                );
+                assert_eq!(
+                    (
+                        res.stats.spill_partitions,
+                        res.stats.spill_bytes_written,
+                        res.stats.spill_bytes_read,
+                    ),
+                    serial_counters[i],
+                    "query {} at {workers} workers ({} kernel): spill counters \
+                     diverged from the serial kernel",
+                    q.id,
+                    kernel.name()
+                );
+            }
+        }
+    }
+    sweep.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    env.db.cluster.work_mem_bytes = default_wm;
+    sweep
+}
+
+struct CursorPass {
+    /// Queries whose first batch arrived before the producer finished.
+    streamed: usize,
+    /// Wall ms to the first batch of the first streamed query.
+    first_batch_ms: f64,
+}
+
+/// Stream every corpus query through a [`Cursor`] with a small delivery
+/// batch: results must match the row baseline, and at least one query
+/// must hand over its first batch while the producer is still running —
+/// the whole point of replacing full-rowset buffering.
+fn run_cursor_pass(env: &BenchEnv, corpus: &[BenchQuery], baseline: &SerialRun) -> CursorPass {
+    let db = Arc::new(env.db.clone());
+    let mut streamed = 0;
+    let mut first_batch_ms = f64::NAN;
+    for (i, q) in corpus.iter().enumerate() {
+        let t0 = Instant::now();
+        let mut cursor = Cursor::open(
+            Arc::clone(&db),
+            &q.plan,
+            &q.output_cols,
+            CursorOptions {
+                columnar: true,
+                batch_rows: 16,
+                fragments: None,
+                mem: None,
+            },
+        );
+        let mut rows: Vec<Row> = Vec::new();
+        let mut early = false;
+        while let Some(batch) = cursor.next_batch().expect("cursor exec") {
+            if rows.is_empty() {
+                early = !cursor.producer_finished();
+                if early && streamed == 0 {
+                    first_batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+                }
+            }
+            rows.extend(batch);
+        }
+        streamed += usize::from(early);
+        assert_eq!(
+            checksum(&rows),
+            baseline.checksums[i],
+            "query {}: cursor stream diverged from the row baseline",
+            q.id
+        );
+    }
+    CursorPass {
+        streamed,
+        first_batch_ms,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let batch_size: usize = args
+    let flag_value = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).map(String::as_str))
+            .or_else(|| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&format!("{name}=")))
+            })
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let batch_size = flag_value("--batch-size", 1024);
+    // The constrained setting must actually constrain: the smoke corpus
+    // is small enough that its largest operator state fits in 4 KiB, so
+    // smoke squeezes harder.
+    let work_mem = flag_value("--work-mem", if smoke { 1024 } else { 4096 }) as u64;
+    // Value-taking flags consume their argument; drop both from the
+    // positionals.
+    let value_idxs: Vec<usize> = ["--batch-size", "--work-mem"]
         .iter()
-        .position(|a| a == "--batch-size")
-        .and_then(|i| args.get(i + 1).map(String::as_str))
-        .or_else(|| args.iter().find_map(|a| a.strip_prefix("--batch-size=")))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
-    // `--batch-size N` consumes its value; drop it from the positionals.
-    let value_idx = args.iter().position(|a| a == "--batch-size").map(|i| i + 1);
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
     let positional: Vec<&String> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != value_idx)
+        .filter(|(i, a)| !a.starts_with("--") && !value_idxs.contains(i))
         .map(|(_, a)| a)
         .collect();
     let scale: f64 = positional
@@ -495,6 +699,49 @@ fn main() {
         println!("throughput gate skipped: single-CPU host");
     }
 
+    // Memory-governance sweep: the whole corpus under a constrained
+    // working-memory budget, every engine and kernel. Operators must
+    // spill (never fail), results must stay byte-identical, peaks must
+    // respect the grant, and spill counters must be identical across
+    // every execution mode.
+    println!();
+    let memory = run_memory_sweep(&mut env, &corpus, &baseline, work_mem);
+    println!(
+        "memory sweep:    work_mem {} B, grant {} B/query: {} spill partitions, \
+         {} KiB written, {} KiB read back, peak state {} B ({:.1} ms all modes)",
+        memory.work_mem,
+        memory.granted,
+        memory.spill_partitions,
+        memory.spill_bytes_written >> 10,
+        memory.spill_bytes_read >> 10,
+        memory.peak_mem_bytes,
+        memory.wall_ms
+    );
+    assert!(
+        memory.spill_partitions > 0,
+        "work_mem={} constrained the corpus but nothing spilled",
+        memory.work_mem
+    );
+    println!(
+        "spill gate: {} partitions spilled, checksums byte-identical in every mode, \
+         peak {} B <= grant {} B",
+        memory.spill_partitions, memory.peak_mem_bytes, memory.granted
+    );
+
+    // Streaming-cursor gate: incremental delivery must be real — at
+    // least one query's first batch arrives before the producer is done.
+    let cursor = run_cursor_pass(&env, &corpus, &baseline);
+    assert!(
+        cursor.streamed > 0,
+        "no corpus query streamed its first batch before full materialization"
+    );
+    println!(
+        "cursor gate: {}/{} queries streamed first batch early (first at {:.2} ms)",
+        cursor.streamed,
+        corpus.len(),
+        cursor.first_batch_ms
+    );
+
     if smoke {
         println!(
             "\nsmoke gate passed: identical results, columnar serial >= 1.5x row serial, \
@@ -513,6 +760,8 @@ fn main() {
         col_speedup,
         &runs,
         (frag_cold_ms, frag_warm_ms, &fshare),
+        &memory,
+        &cursor,
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     println!("\nwrote BENCH_exec.json");
@@ -531,6 +780,8 @@ fn render_json(
     col_speedup: f64,
     runs: &[ParallelRun],
     sharing: (f64, f64, &orca_executor::FragmentCacheStats),
+    memory: &MemorySweep,
+    cursor: &CursorPass,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"exec_bench\",\n");
@@ -565,6 +816,21 @@ fn render_json(
         fshare.reused,
         fshare.bytes,
         fshare.entries
+    ));
+    out.push_str(&format!(
+        "  \"memory\": {{\"work_mem_bytes\": {}, \"granted_bytes\": {}, \
+         \"wall_ms\": {:.3}, \"spill_partitions\": {}, \"spill_bytes_written\": {}, \
+         \"spill_bytes_read\": {}, \"peak_mem_bytes\": {}, \"checksums_ok\": true, \
+         \"cursor_streamed_queries\": {}, \"cursor_first_batch_ms\": {:.3}}},\n",
+        memory.work_mem,
+        memory.granted,
+        memory.wall_ms,
+        memory.spill_partitions,
+        memory.spill_bytes_written,
+        memory.spill_bytes_read,
+        memory.peak_mem_bytes,
+        cursor.streamed,
+        cursor.first_batch_ms
     ));
     out.push_str("  \"ops\": [\n");
     let nops = columnar.ops.len();

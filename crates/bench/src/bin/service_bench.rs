@@ -13,8 +13,9 @@
 //!    reports throughput (QPS), cache hit rate and p99 request latency.
 //! 3. **Work-sharing sweep** (1 and 16 sessions, execute-after-optimize
 //!    on the serial columnar engine): the same repeated corpus with a
-//!    database attached, measuring in-flight request coalescing and
-//!    shared scan-fragment reuse across sessions.
+//!    database attached, measuring in-flight request coalescing, shared
+//!    scan-fragment reuse across sessions, and the memory-grant broker's
+//!    admitted/queued/degraded-grant counters.
 //!
 //! Usage: `service_bench [scale] [rounds] [--smoke]`.
 //!
@@ -23,8 +24,10 @@
 //! workload, zero degraded plans under no contention, byte-identical
 //! cached DXL, a cache speed-up of at least 10x, and — on the sharing
 //! sweep — coalesced requests and reused fragments both observed at 16
-//! sessions with QPS no worse than 0.8x the single-session run. The full
-//! run writes `BENCH_service.json` (schema in EXPERIMENTS.md).
+//! sessions with QPS no worse than 0.8x the single-session run, every
+//! execution admitted through the memory-grant broker, and zero queued
+//! or degraded grants under the generous default budget. The full run
+//! writes `BENCH_service.json` (schema in EXPERIMENTS.md).
 
 use orca::engine::OptimizerConfig;
 use orca::Optimizer;
@@ -161,6 +164,10 @@ struct ShareResult {
     fragment_entries: u64,
     plan_cache_bytes: u64,
     plan_cache_entries: u64,
+    mem_admitted: u64,
+    mem_queued: u64,
+    mem_degraded_grants: u64,
+    mem_peak_bytes: u64,
 }
 
 /// Phase 3: the sweep again, but with a database attached and the serial
@@ -226,6 +233,10 @@ fn run_share_sweep(
         fragment_entries: stats.fragment_entries,
         plan_cache_bytes: stats.cache_bytes,
         plan_cache_entries: stats.cache_entries,
+        mem_admitted: stats.mem_admitted,
+        mem_queued: stats.mem_queued,
+        mem_degraded_grants: stats.mem_degraded_grants,
+        mem_peak_bytes: stats.mem_peak_bytes,
     }
 }
 
@@ -425,6 +436,14 @@ fn main() {
         s16.fragment_entries,
         s16.fragment_bytes >> 10
     );
+    println!(
+        "memory grants at 16 sessions: {} admitted, {} queued, {} degraded, \
+         peak {} KiB charged",
+        s16.mem_admitted,
+        s16.mem_queued,
+        s16.mem_degraded_grants,
+        s16.mem_peak_bytes >> 10
+    );
 
     // Sharing gates (always on): concurrent identical requests must
     // actually coalesce, scans must actually be shared, and sharing must
@@ -444,19 +463,40 @@ fn main() {
         s16.qps,
         s1.qps
     );
+    // Memory-grant gates: every execution passes through the broker, and
+    // the generous default budget (0 = unbounded) means nothing queues
+    // for memory or runs on a degraded grant.
+    assert!(
+        s16.mem_admitted > 0,
+        "no executions were admitted through the memory-grant broker"
+    );
+    for r in &shares {
+        assert_eq!(
+            r.mem_queued, 0,
+            "{} sessions queued for memory under an unbounded budget",
+            r.sessions
+        );
+        assert_eq!(
+            r.mem_degraded_grants, 0,
+            "{} sessions got degraded grants under an unbounded budget",
+            r.sessions
+        );
+    }
 
     if smoke {
         println!(
             "\nsmoke gate passed: hit rate {:.1}% >= 90%, zero degraded, \
              byte-identical cached DXL, cache speedup {:.0}x >= 10x, \
              sharing at 16 sessions: {} coalesced, {} fragments reused, \
-             qps {:.0} >= 0.8x single-session {:.0}",
+             qps {:.0} >= 0.8x single-session {:.0}, \
+             {} grants admitted with zero queued/degraded",
             hit_rate * 100.0,
             speedup,
             s16.coalesced,
             s16.fragments_reused,
             s16.qps,
-            s1.qps
+            s1.qps,
+            s16.mem_admitted
         );
         return;
     }
@@ -523,7 +563,8 @@ fn render_json(
             "    {{\"sessions\": {}, \"requests\": {}, \"wall_ms\": {:.2}, \"qps\": {:.1}, \
              \"coalesced\": {}, \"fragments_reused\": {}, \"fragment_coop_attached\": {}, \
              \"fragment_bytes\": {}, \"fragment_entries\": {}, \"plan_cache_bytes\": {}, \
-             \"plan_cache_entries\": {}}}{}\n",
+             \"plan_cache_entries\": {}, \"mem_admitted\": {}, \"mem_queued\": {}, \
+             \"mem_degraded_grants\": {}, \"mem_peak_bytes\": {}}}{}\n",
             r.sessions,
             r.requests,
             r.wall_ms,
@@ -535,6 +576,10 @@ fn render_json(
             r.fragment_entries,
             r.plan_cache_bytes,
             r.plan_cache_entries,
+            r.mem_admitted,
+            r.mem_queued,
+            r.mem_degraded_grants,
+            r.mem_peak_bytes,
             if i + 1 < shares.len() { "," } else { "" }
         ));
     }

@@ -26,8 +26,13 @@ pub enum OrcaError {
     /// admission control: callers may degrade to a fallback plan instead of
     /// failing the request.
     Timeout(String),
-    /// Execution-time failure (e.g. simulated out-of-memory).
+    /// Execution-time failure (e.g. a malformed slice or missing stream).
     Execution(String),
+    /// A memory grant provably cannot fit and the engine cannot spill.
+    /// Raised *before* execution starts whenever the bound is provable
+    /// (preflight), and as a runtime backstop otherwise, so the service's
+    /// degradation ladder can react instead of aborting mid-query.
+    OutOfMemory(String),
     /// A feature the query needs is unsupported by the engine being driven
     /// (used by the Figure 15 support matrix).
     Unsupported(String),
@@ -48,6 +53,7 @@ impl OrcaError {
             OrcaError::Aborted(_) => "aborted",
             OrcaError::Timeout(_) => "timeout",
             OrcaError::Execution(_) => "execution",
+            OrcaError::OutOfMemory(_) => "oom",
             OrcaError::Unsupported(_) => "unsupported",
             OrcaError::InjectedFault(_) => "injected",
         }
@@ -64,6 +70,7 @@ impl OrcaError {
             | OrcaError::Aborted(m)
             | OrcaError::Timeout(m)
             | OrcaError::Execution(m)
+            | OrcaError::OutOfMemory(m)
             | OrcaError::Unsupported(m)
             | OrcaError::InjectedFault(m) => m,
         }

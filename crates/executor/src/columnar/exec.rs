@@ -221,15 +221,42 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
             let mut out = ColStream::empty(input.layout.clone(), n);
             out.replicated = input.replicated;
             for s in 0..n {
+                let input_bytes: u64 = input.per_seg[s].iter().map(ColumnBatch::bytes).sum();
+                let budget = ctx.op_budget();
+                let mut spill_factor = 1.0;
                 let big = ColumnBatch::concat(&input.per_seg[s], width);
-                let mut idx: Vec<u32> = (0..big.len as u32).collect();
-                // Stable index sort = the row kernel's stable row sort.
-                idx.sort_by(|&a, &b| cmp_rows_at(&big, a as usize, &big, b as usize, &keys));
+                let batches: Vec<ColumnBatch>;
+                if input_bytes > budget && ctx.cluster.can_spill {
+                    // Same external merge sort as the row kernel: identical
+                    // run boundaries, identical spill bytes.
+                    ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(input_bytes);
+                    ctx.stats.spills += 1;
+                    spill_factor = ctx.cluster.spill_penalty;
+                    let rows: Vec<Row> = (0..big.len).map(|i| big.row(i)).collect();
+                    let (sorted, m) = crate::spill::external_sort(
+                        rows,
+                        order,
+                        &input.layout,
+                        budget,
+                        ctx.cluster.batch_size,
+                    )?;
+                    ctx.fold_spill(&m);
+                    batches = sorted
+                        .chunks(bs)
+                        .map(|c| ColumnBatch::from_rows(c, width))
+                        .collect();
+                } else {
+                    ctx.note_state(input_bytes);
+                    let mut idx: Vec<u32> = (0..big.len as u32).collect();
+                    // Stable index sort = the row kernel's stable row sort.
+                    idx.sort_by(|&a, &b| cmp_rows_at(&big, a as usize, &big, b as usize, &keys));
+                    batches = idx.chunks(bs).map(|c| big.select(c)).collect();
+                }
                 let len = big.len as f64;
                 ctx.stats.rows_processed += big.len as u64;
-                out.avail[s] =
-                    input.avail[s] + ctx.tup_time(big.len) * (1.0 + len.max(2.0).log2() * 0.1);
-                out.per_seg[s] = idx.chunks(bs).map(|c| big.select(c)).collect();
+                out.avail[s] = input.avail[s]
+                    + ctx.tup_time(big.len) * (1.0 + len.max(2.0).log2() * 0.1) * spill_factor;
+                out.per_seg[s] = batches;
             }
             Ok(out)
         }
@@ -912,11 +939,14 @@ fn cexec_hash_join(
         // Build on the right side. The memory check runs before the build,
         // like the row kernel's.
         let build_bytes: u64 = right.per_seg[s].iter().map(ColumnBatch::bytes).sum();
+        let budget = ctx.op_budget();
         let mut spill_factor = 1.0;
-        if build_bytes > ctx.cluster.work_mem_bytes {
+        let spilling = build_bytes > budget;
+        if spilling {
             ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(build_bytes);
             if !ctx.cluster.can_spill {
-                return Err(OrcaError::Execution(format!(
+                // Same message as the row kernel's, compared in tests.
+                return Err(OrcaError::OutOfMemory(format!(
                     "out of memory: hash join build of {build_bytes} bytes on segment {s}"
                 )));
             }
@@ -924,78 +954,123 @@ fn cexec_hash_join(
             spill_factor = ctx.cluster.spill_penalty;
         }
         let build = ColumnBatch::concat(&right.per_seg[s], rwidth);
-        // Raw-hash buckets: candidate lists keep build order, and every
-        // candidate is verified with key_eq, so probe results match the
-        // row kernel's `Vec<Datum>`-keyed map exactly.
-        let mut table: FnvHashMap<u64, Vec<u32>> = FnvHashMap::default();
-        for i in 0..build.len {
-            let (h, has_null) = hash_key_at(&build, &rpos, i);
-            if has_null {
-                continue; // NULL keys never join.
-            }
-            table.entry(h).or_default().push(i as u32);
-        }
         let mut batches = Vec::new();
         let mut probe_rows = 0usize;
-        for lb in &left.per_seg[s] {
-            probe_rows += lb.len;
-            let mut sel_l: Vec<u32> = Vec::new();
-            let mut sel_r: Vec<u32> = Vec::new();
-            for i in 0..lb.len {
-                let (h, has_null) = hash_key_at(lb, &lpos, i);
-                let candidates: &[u32] = if has_null {
-                    &[]
-                } else {
-                    table.get(&h).map(|v| v.as_slice()).unwrap_or(&[])
-                };
-                let mut matched = false;
-                for &ri in candidates {
-                    if !keys_eq_at(lb, &lpos, i, &build, &rpos, ri as usize) {
-                        continue; // same hash, different key
-                    }
-                    let ok = match residual {
-                        Some(res) => {
-                            let mut joined = lb.row(i);
-                            joined.extend(build.row(ri as usize));
-                            accepts(res, &combined_layout, &joined, &env)?
-                        }
-                        None => true,
+        if spilling {
+            // Same grace helper as the row kernel: identical partition
+            // routing and probe-order output; rebuilt batches keep the
+            // probe side's batch boundaries.
+            let build_rows: Vec<Row> = (0..build.len).map(|i| build.row(i)).collect();
+            let probe: Vec<Row> = left.per_seg[s]
+                .iter()
+                .flat_map(|b| (0..b.len).map(move |i| b.row(i)))
+                .collect();
+            let (per_probe, m) = crate::spill::grace_hash_join(
+                &build_rows,
+                &probe,
+                &lpos,
+                &rpos,
+                kind,
+                residual,
+                &combined_layout,
+                rwidth,
+                &env,
+                budget,
+                ctx.cluster.batch_size,
+            )?;
+            ctx.fold_spill(&m);
+            let out_width = if outputs_right {
+                combined_layout.len()
+            } else {
+                left.layout.len()
+            };
+            let mut off = 0usize;
+            for lb in &left.per_seg[s] {
+                probe_rows += lb.len;
+                let rows: Vec<Row> = per_probe[off..off + lb.len]
+                    .iter()
+                    .flatten()
+                    .cloned()
+                    .collect();
+                off += lb.len;
+                if rows.is_empty() {
+                    continue;
+                }
+                batches.push(ColumnBatch::from_rows(&rows, out_width));
+            }
+        } else {
+            ctx.note_state(build_bytes);
+            // Raw-hash buckets: candidate lists keep build order, and every
+            // candidate is verified with key_eq, so probe results match the
+            // row kernel's `Vec<Datum>`-keyed map exactly.
+            let mut table: FnvHashMap<u64, Vec<u32>> = FnvHashMap::default();
+            for i in 0..build.len {
+                let (h, has_null) = hash_key_at(&build, &rpos, i);
+                if has_null {
+                    continue; // NULL keys never join.
+                }
+                table.entry(h).or_default().push(i as u32);
+            }
+            for lb in &left.per_seg[s] {
+                probe_rows += lb.len;
+                let mut sel_l: Vec<u32> = Vec::new();
+                let mut sel_r: Vec<u32> = Vec::new();
+                for i in 0..lb.len {
+                    let (h, has_null) = hash_key_at(lb, &lpos, i);
+                    let candidates: &[u32] = if has_null {
+                        &[]
+                    } else {
+                        table.get(&h).map(|v| v.as_slice()).unwrap_or(&[])
                     };
-                    if !ok {
-                        continue;
+                    let mut matched = false;
+                    for &ri in candidates {
+                        if !keys_eq_at(lb, &lpos, i, &build, &rpos, ri as usize) {
+                            continue; // same hash, different key
+                        }
+                        let ok = match residual {
+                            Some(res) => {
+                                let mut joined = lb.row(i);
+                                joined.extend(build.row(ri as usize));
+                                accepts(res, &combined_layout, &joined, &env)?
+                            }
+                            None => true,
+                        };
+                        if !ok {
+                            continue;
+                        }
+                        matched = true;
+                        match kind {
+                            JoinKind::Inner | JoinKind::LeftOuter => {
+                                sel_l.push(i as u32);
+                                sel_r.push(ri);
+                            }
+                            JoinKind::LeftSemi => {
+                                sel_l.push(i as u32);
+                                break;
+                            }
+                            JoinKind::LeftAntiSemi => break,
+                        }
                     }
-                    matched = true;
-                    match kind {
-                        JoinKind::Inner | JoinKind::LeftOuter => {
-                            sel_l.push(i as u32);
-                            sel_r.push(ri);
+                    if !matched {
+                        match kind {
+                            JoinKind::LeftOuter => {
+                                sel_l.push(i as u32);
+                                sel_r.push(u32::MAX); // null-extend the right side
+                            }
+                            JoinKind::LeftAntiSemi => sel_l.push(i as u32),
+                            _ => {}
                         }
-                        JoinKind::LeftSemi => {
-                            sel_l.push(i as u32);
-                            break;
-                        }
-                        JoinKind::LeftAntiSemi => break,
                     }
                 }
-                if !matched {
-                    match kind {
-                        JoinKind::LeftOuter => {
-                            sel_l.push(i as u32);
-                            sel_r.push(u32::MAX); // null-extend the right side
-                        }
-                        JoinKind::LeftAntiSemi => sel_l.push(i as u32),
-                        _ => {}
-                    }
+                if sel_l.is_empty() {
+                    continue;
                 }
+                let mut b = lb.select(&sel_l);
+                if outputs_right {
+                    b.cols.extend(build.select(&sel_r).cols);
+                }
+                batches.push(b);
             }
-            if sel_l.is_empty() {
-                continue;
-            }
-            let mut b = lb.select(&sel_l);
-            if outputs_right {
-                b.cols.extend(build.select(&sel_r).cols);
-            }
-            batches.push(b);
         }
         ctx.stats.rows_processed += (build.len + probe_rows) as u64;
         out.avail[s] = left.avail[s].max(right.avail[s])
@@ -1022,79 +1097,116 @@ fn cexec_agg(
     let mut out = ColStream::empty(layout, n);
     out.replicated = input.replicated;
     for s in 0..n {
-        // First-seen group order, like the row kernel's `order` vec.
-        let mut buckets: FnvHashMap<u64, Vec<u32>> = FnvHashMap::default();
-        let mut keys: Vec<Row> = Vec::new();
-        let mut accs: Vec<Vec<AggAccumulator>> = Vec::new();
+        // Group state is bounded by the input, so the deterministic spill
+        // trigger is input bytes over budget, like the row kernel's.
+        // Scalar aggregates hold O(1) state and never spill.
+        let input_bytes: u64 = input.per_seg[s].iter().map(ColumnBatch::bytes).sum();
+        let budget = ctx.op_budget();
+        let mut spill_factor = 1.0;
+        let spilling = !gpos.is_empty() && input_bytes > budget && ctx.cluster.can_spill;
         let mut in_len = 0usize;
-        for b in &input.per_seg[s] {
-            in_len += b.len;
-            // Vectorized argument evaluation: one column per aggregate
-            // per batch instead of one eval per (row, aggregate).
-            let mut arg_cols: Vec<Option<Column>> = Vec::with_capacity(aggs.len());
-            for (_, e) in aggs {
-                match e {
-                    ScalarExpr::Agg { arg: Some(a), .. } => {
-                        arg_cols.push(Some(veval(a, &input.layout, b)?))
-                    }
-                    _ => arg_cols.push(None),
-                }
-            }
-            for i in 0..b.len {
-                let (h, _) = hash_key_at(b, &gpos, i); // NULL groups: NULL == NULL
-                let bucket = buckets.entry(h).or_default();
-                let gid = match bucket.iter().copied().find(|&g| {
-                    gpos.iter().enumerate().all(|(k, &p)| {
-                        ValRef::of(&keys[g as usize][k]).key_eq(&b.cols[p].get_ref(i))
-                    })
-                }) {
-                    Some(g) => g as usize,
-                    None => {
-                        let g = keys.len();
-                        keys.push(gpos.iter().map(|&p| b.cols[p].get(i)).collect());
-                        accs.push(
-                            aggs.iter()
-                                .map(|(_, e)| AggAccumulator::from_expr(e))
-                                .collect::<Result<_>>()?,
-                        );
-                        bucket.push(g as u32);
-                        g
-                    }
-                };
-                for (j, acc) in accs[gid].iter_mut().enumerate() {
-                    let value = match &arg_cols[j] {
-                        Some(c) => c.get(i),
-                        None => Datum::Int(1), // count(*)
-                    };
-                    acc.update_value(value);
-                }
-            }
-        }
         let mut w = BatchWriter::new(width, bs);
-        for (key, group_accs) in keys.iter().zip(accs.iter()) {
-            let mut row = key.clone();
-            row.extend(group_accs.iter().map(AggAccumulator::finish));
-            w.push_row(&row);
-        }
-        // Scalar aggregates must emit a row even on empty input: on every
-        // segment for Local stage (partials), on the master otherwise.
-        if group_cols.is_empty() && keys.is_empty() {
-            let emit_here = match stage {
-                AggStage::Local => true,
-                _ => ctx.storage_segment(s) == 0,
-            };
-            if emit_here {
-                let empty_accs: Vec<AggAccumulator> = aggs
-                    .iter()
-                    .map(|(_, e)| AggAccumulator::from_expr(e))
-                    .collect::<Result<_>>()?;
-                let row: Row = empty_accs.iter().map(AggAccumulator::finish).collect();
+        if spilling {
+            ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(input_bytes);
+            ctx.stats.spills += 1;
+            spill_factor = ctx.cluster.spill_penalty;
+            let rows_in: Vec<Row> = input.per_seg[s]
+                .iter()
+                .flat_map(|b| (0..b.len).map(move |i| b.row(i)))
+                .collect();
+            in_len = rows_in.len();
+            let env = Env::default();
+            let (collected, m) = crate::spill::grace_hash_agg(
+                &rows_in,
+                &gpos,
+                aggs,
+                &input.layout,
+                &env,
+                budget,
+                ctx.cluster.batch_size,
+            )?;
+            ctx.fold_spill(&m);
+            for (key, group_accs) in &collected {
+                let mut row = key.clone();
+                row.extend(group_accs.iter().map(AggAccumulator::finish));
                 w.push_row(&row);
+            }
+        } else {
+            ctx.note_state(if gpos.is_empty() { 0 } else { input_bytes });
+            // First-seen group order, like the row kernel's `order` vec.
+            let mut buckets: FnvHashMap<u64, Vec<u32>> = FnvHashMap::default();
+            let mut keys: Vec<Row> = Vec::new();
+            let mut accs: Vec<Vec<AggAccumulator>> = Vec::new();
+            for b in &input.per_seg[s] {
+                in_len += b.len;
+                // Vectorized argument evaluation: one column per aggregate
+                // per batch instead of one eval per (row, aggregate).
+                let mut arg_cols: Vec<Option<Column>> = Vec::with_capacity(aggs.len());
+                for (_, e) in aggs {
+                    match e {
+                        ScalarExpr::Agg { arg: Some(a), .. } => {
+                            arg_cols.push(Some(veval(a, &input.layout, b)?))
+                        }
+                        _ => arg_cols.push(None),
+                    }
+                }
+                for i in 0..b.len {
+                    let (h, _) = hash_key_at(b, &gpos, i); // NULL groups: NULL == NULL
+                    let bucket = buckets.entry(h).or_default();
+                    let gid = match bucket.iter().copied().find(|&g| {
+                        gpos.iter().enumerate().all(|(k, &p)| {
+                            ValRef::of(&keys[g as usize][k]).key_eq(&b.cols[p].get_ref(i))
+                        })
+                    }) {
+                        Some(g) => g as usize,
+                        None => {
+                            let g = keys.len();
+                            keys.push(gpos.iter().map(|&p| b.cols[p].get(i)).collect());
+                            accs.push(
+                                aggs.iter()
+                                    .map(|(_, e)| AggAccumulator::from_expr(e))
+                                    .collect::<Result<_>>()?,
+                            );
+                            bucket.push(g as u32);
+                            g
+                        }
+                    };
+                    for (j, acc) in accs[gid].iter_mut().enumerate() {
+                        let value = match &arg_cols[j] {
+                            Some(c) => c.get(i),
+                            None => Datum::Int(1), // count(*)
+                        };
+                        acc.update_value(value);
+                    }
+                }
+            }
+            for (key, group_accs) in keys.iter().zip(accs.iter()) {
+                let mut row = key.clone();
+                row.extend(group_accs.iter().map(AggAccumulator::finish));
+                w.push_row(&row);
+            }
+            // Scalar aggregates must emit a row even on empty input: on
+            // every segment for Local stage (partials), on the master
+            // otherwise. (A spilling aggregate always has group columns,
+            // so this only applies to the in-memory branch.)
+            if group_cols.is_empty() && keys.is_empty() {
+                let emit_here = match stage {
+                    AggStage::Local => true,
+                    _ => ctx.storage_segment(s) == 0,
+                };
+                if emit_here {
+                    let empty_accs: Vec<AggAccumulator> = aggs
+                        .iter()
+                        .map(|(_, e)| AggAccumulator::from_expr(e))
+                        .collect::<Result<_>>()?;
+                    let row: Row = empty_accs.iter().map(AggAccumulator::finish).collect();
+                    w.push_row(&row);
+                }
             }
         }
         ctx.stats.rows_processed += in_len as u64;
         let factor = if stream { 0.6 } else { 1.1 };
-        out.avail[s] = input.avail[s] + ctx.tup_time(in_len) * factor;
+        out.avail[s] = input.avail[s] + ctx.tup_time(in_len) * factor * spill_factor;
         out.per_seg[s] = w.finish();
     }
     Ok(out)

@@ -25,6 +25,8 @@ pub struct ExecEngine<'a> {
     pub db: &'a Database,
     /// Cross-query fragment cache to attach to every run ([`crate::sharing`]).
     pub fragments: Option<std::sync::Arc<crate::sharing::FragmentCache>>,
+    /// Per-query memory grant ([`crate::memory`]); `None` = ungoverned.
+    pub mem: Option<std::sync::Arc<crate::memory::MemoryTracker>>,
 }
 
 impl<'a> ExecEngine<'a> {
@@ -32,6 +34,7 @@ impl<'a> ExecEngine<'a> {
         ExecEngine {
             db,
             fragments: None,
+            mem: None,
         }
     }
 
@@ -45,9 +48,42 @@ impl<'a> ExecEngine<'a> {
         self
     }
 
+    /// Attach a per-query memory grant; operators reserve state against
+    /// it and spill when they exceed `min(work_mem, per-segment grant)`.
+    pub fn with_memory(
+        mut self,
+        mem: std::sync::Arc<crate::memory::MemoryTracker>,
+    ) -> ExecEngine<'a> {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// When the engine cannot spill, reject provably-oversized plans
+    /// *before* running anything ([`crate::memory::preflight`]).
+    fn preflight(&self, plan: &PhysicalPlan) -> Result<()> {
+        if self.db.cluster.can_spill {
+            return Ok(());
+        }
+        let budget = self
+            .mem
+            .as_ref()
+            .map(|m| m.operator_budget(self.db.cluster.work_mem_bytes))
+            .unwrap_or(self.db.cluster.work_mem_bytes);
+        crate::memory::preflight(plan, self.db, budget)
+    }
+
+    fn ctx(&self) -> ExecCtx<'a> {
+        let mut ctx = ExecCtx::new(self.db);
+        if let Some(m) = &self.mem {
+            ctx.mem = std::sync::Arc::clone(m);
+        }
+        ctx
+    }
+
     /// Run a plan and project its output to `output_cols` (in order).
     pub fn run(&self, plan: &PhysicalPlan, output_cols: &[ColId]) -> Result<ExecResult> {
-        let mut ctx = ExecCtx::new(self.db);
+        self.preflight(plan)?;
+        let mut ctx = self.ctx();
         let stream = exec(plan, &mut ctx)?;
         let rows = project_output(&stream, output_cols)?;
         Ok(ExecResult {
@@ -61,7 +97,8 @@ impl<'a> ExecEngine<'a> {
     /// ([`crate::columnar`]): identical rows, order, simulated time and
     /// counters — less per-row interpretation.
     pub fn run_columnar(&self, plan: &PhysicalPlan, output_cols: &[ColId]) -> Result<ExecResult> {
-        let mut ctx = ExecCtx::new(self.db);
+        self.preflight(plan)?;
+        let mut ctx = self.ctx();
         ctx.frag = self.fragments.clone();
         // Sliced scans draw batch shells from a run-local pool instead
         // of fresh allocations.

@@ -115,6 +115,18 @@ pub struct ExecStats {
     /// Logical bytes copied by scans that had to re-slice chunks
     /// (zero when every scan takes the zero-copy fast path).
     pub scan_bytes_cloned: u64,
+    /// Spill partitions / sort runs written by memory-governed operators
+    /// ([`crate::spill`]); zero when everything fit in its grant.
+    pub spill_partitions: u64,
+    /// Bytes serialized into spill files (columnar chunk wire shape).
+    pub spill_bytes_written: u64,
+    /// Bytes deserialized back out of spill files.
+    pub spill_bytes_read: u64,
+    /// High-water mark of resident operator state (hash-join build,
+    /// aggregate groups, sort run) on any one segment. When an operator
+    /// spills this is its largest resident partition, which is how the
+    /// bench gate checks `peak ≤ grant`.
+    pub peak_mem_bytes: u64,
     /// Per-operator profile, keyed by operator name (`BTreeMap` so report
     /// output is deterministically ordered).
     pub ops: BTreeMap<&'static str, OpProfile>,
@@ -160,6 +172,11 @@ pub struct ExecCtx<'a> {
     /// Shared batch-shell free list: scans and builders draw empty
     /// `ColumnBatch` shells from here instead of allocating fresh ones.
     pub pool: Option<Arc<crate::parallel::BatchPool>>,
+    /// Per-query memory grant accounting ([`crate::memory`]): one tracker
+    /// shared by every kernel instance of the query. The default is an
+    /// ungoverned tracker, so `min(work_mem, grant)` degenerates to
+    /// `work_mem` exactly as before grants existed.
+    pub mem: Arc<crate::memory::MemoryTracker>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -177,6 +194,7 @@ impl<'a> ExecCtx<'a> {
             frag: None,
             profile_child_ns: 0,
             pool: None,
+            mem: Arc::new(crate::memory::MemoryTracker::unbounded()),
         }
     }
 
@@ -209,6 +227,7 @@ impl<'a> ExecCtx<'a> {
             frag: None,
             profile_child_ns: 0,
             pool: None,
+            mem: Arc::new(crate::memory::MemoryTracker::unbounded()),
         }
     }
 
@@ -234,7 +253,31 @@ impl<'a> ExecCtx<'a> {
             frag: None,
             profile_child_ns: 0,
             pool: None,
+            mem: Arc::new(crate::memory::MemoryTracker::unbounded()),
         }
+    }
+
+    /// Per-segment operator budget: the tighter of the cluster's
+    /// `work_mem_bytes` and this query's per-segment memory grant.
+    pub(crate) fn op_budget(&self) -> u64 {
+        self.mem.operator_budget(self.cluster.work_mem_bytes)
+    }
+
+    /// Record `bytes` of resident operator state: the stats high-water
+    /// mark plus a bracketed reserve/release on the query tracker (and
+    /// through it the process budget).
+    pub(crate) fn note_state(&mut self, bytes: u64) {
+        self.stats.peak_mem_bytes = self.stats.peak_mem_bytes.max(bytes);
+        self.mem.reserve(bytes);
+        self.mem.release(bytes);
+    }
+
+    /// Fold one spilling operator's counters into the run's stats.
+    pub(crate) fn fold_spill(&mut self, m: &crate::spill::SpillMetrics) {
+        self.stats.spill_partitions += m.partitions;
+        self.stats.spill_bytes_written += m.bytes_written;
+        self.stats.spill_bytes_read += m.bytes_read;
+        self.note_state(m.peak_state_bytes);
     }
 
     /// Stream slots per `StreamSet` in this context (see struct docs).
@@ -410,12 +453,38 @@ fn exec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
             let mut out = StreamSet::empty(input.layout.clone(), n);
             out.replicated = input.replicated;
             for s in 0..n {
-                let mut rows = input.per_seg[s].clone();
-                rows.sort_by(|a, b| compare_rows(a, b, order, &input.layout));
+                let input_bytes: u64 = input.per_seg[s]
+                    .iter()
+                    .map(|r| r.iter().map(Datum::width).sum::<u64>())
+                    .sum();
+                let budget = ctx.op_budget();
+                let mut spill_factor = 1.0;
+                let rows;
+                if input_bytes > budget && ctx.cluster.can_spill {
+                    // External merge sort: budget-sized stable runs,
+                    // k-way merged (≡ stable sort of the whole input).
+                    ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(input_bytes);
+                    ctx.stats.spills += 1;
+                    spill_factor = ctx.cluster.spill_penalty;
+                    let (sorted, m) = crate::spill::external_sort(
+                        input.per_seg[s].clone(),
+                        order,
+                        &input.layout,
+                        budget,
+                        ctx.cluster.batch_size,
+                    )?;
+                    ctx.fold_spill(&m);
+                    rows = sorted;
+                } else {
+                    ctx.note_state(input_bytes);
+                    let mut sorted = input.per_seg[s].clone();
+                    sorted.sort_by(|a, b| compare_rows(a, b, order, &input.layout));
+                    rows = sorted;
+                }
                 let len = rows.len() as f64;
                 ctx.stats.rows_processed += rows.len() as u64;
-                out.avail[s] =
-                    input.avail[s] + ctx.tup_time(rows.len()) * (1.0 + len.max(2.0).log2() * 0.1);
+                out.avail[s] = input.avail[s]
+                    + ctx.tup_time(rows.len()) * (1.0 + len.max(2.0).log2() * 0.1) * spill_factor;
                 out.per_seg[s] = rows;
             }
             Ok(out)
@@ -712,77 +781,102 @@ fn exec_hash_join(
             .iter()
             .map(|r| r.iter().map(Datum::width).sum::<u64>())
             .sum();
+        let budget = ctx.op_budget();
         let mut spill_factor = 1.0;
-        if build_bytes > ctx.cluster.work_mem_bytes {
+        let spilling = build_bytes > budget;
+        if spilling {
             ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(build_bytes);
             if !ctx.cluster.can_spill {
-                return Err(OrcaError::Execution(format!(
+                // Backstop for bounds preflight could not prove; same
+                // message as the columnar kernel's, compared in tests.
+                return Err(OrcaError::OutOfMemory(format!(
                     "out of memory: hash join build of {build_bytes} bytes on segment {s}"
                 )));
             }
             ctx.stats.spills += 1;
             spill_factor = ctx.cluster.spill_penalty;
         }
-        let mut table: FnvHashMap<Vec<Datum>, Vec<usize>> = FnvHashMap::default();
-        let mut scratch: Vec<Datum> = Vec::with_capacity(rpos.len().max(lpos.len()));
-        for (i, row) in right.per_seg[s].iter().enumerate() {
-            fill_key(&mut scratch, row, &rpos);
-            if scratch.iter().any(Datum::is_null) {
-                continue; // NULL keys never join.
-            }
-            match table.get_mut(scratch.as_slice()) {
-                Some(v) => v.push(i),
-                None => {
-                    table.insert(scratch.clone(), vec![i]);
+        let rows = if spilling {
+            // Grace spill: partition the build side to disk, probe one
+            // partition at a time, reassemble in probe order (see
+            // [`crate::spill`] for the determinism argument).
+            let (per_probe, m) = crate::spill::grace_hash_join(
+                &right.per_seg[s],
+                &left.per_seg[s],
+                &lpos,
+                &rpos,
+                kind,
+                residual,
+                &combined_layout,
+                right.layout.len(),
+                &env,
+                budget,
+                ctx.cluster.batch_size,
+            )?;
+            ctx.fold_spill(&m);
+            per_probe.into_iter().flatten().collect()
+        } else {
+            ctx.note_state(build_bytes);
+            let mut table: FnvHashMap<Vec<Datum>, Vec<usize>> = FnvHashMap::default();
+            let mut scratch: Vec<Datum> = Vec::with_capacity(rpos.len().max(lpos.len()));
+            for (i, row) in right.per_seg[s].iter().enumerate() {
+                fill_key(&mut scratch, row, &rpos);
+                if scratch.iter().any(Datum::is_null) {
+                    continue; // NULL keys never join.
+                }
+                match table.get_mut(scratch.as_slice()) {
+                    Some(v) => v.push(i),
+                    None => {
+                        table.insert(scratch.clone(), vec![i]);
+                    }
                 }
             }
-        }
-        let mut rows = Vec::new();
-        let mut matched_right: Vec<bool> = vec![false; right.per_seg[s].len()];
-        let _ = &mut matched_right; // (right-outer unsupported; kept simple)
-        for lrow in &left.per_seg[s] {
-            fill_key(&mut scratch, lrow, &lpos);
-            let candidates: &[usize] = if scratch.iter().any(Datum::is_null) {
-                &[]
-            } else {
-                table
-                    .get(scratch.as_slice())
-                    .map(|v| v.as_slice())
-                    .unwrap_or(&[])
-            };
-            let mut matched = false;
-            for &ri in candidates {
-                let rrow = &right.per_seg[s][ri];
-                let joined: Row = lrow.iter().chain(rrow.iter()).cloned().collect();
-                let ok = match residual {
-                    Some(res) => accepts(res, &combined_layout, &joined, &env)?,
-                    None => true,
+            let mut rows = Vec::new();
+            for lrow in &left.per_seg[s] {
+                fill_key(&mut scratch, lrow, &lpos);
+                let candidates: &[usize] = if scratch.iter().any(Datum::is_null) {
+                    &[]
+                } else {
+                    table
+                        .get(scratch.as_slice())
+                        .map(|v| v.as_slice())
+                        .unwrap_or(&[])
                 };
-                if !ok {
-                    continue;
-                }
-                matched = true;
-                match kind {
-                    JoinKind::Inner | JoinKind::LeftOuter => rows.push(joined),
-                    JoinKind::LeftSemi => {
-                        rows.push(lrow.clone());
-                        break;
+                let mut matched = false;
+                for &ri in candidates {
+                    let rrow = &right.per_seg[s][ri];
+                    let joined: Row = lrow.iter().chain(rrow.iter()).cloned().collect();
+                    let ok = match residual {
+                        Some(res) => accepts(res, &combined_layout, &joined, &env)?,
+                        None => true,
+                    };
+                    if !ok {
+                        continue;
                     }
-                    JoinKind::LeftAntiSemi => break,
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => rows.push(joined),
+                        JoinKind::LeftSemi => {
+                            rows.push(lrow.clone());
+                            break;
+                        }
+                        JoinKind::LeftAntiSemi => break,
+                    }
+                }
+                if !matched {
+                    match kind {
+                        JoinKind::LeftOuter => {
+                            let mut joined = lrow.clone();
+                            joined.extend(vec![Datum::Null; right.layout.len()]);
+                            rows.push(joined);
+                        }
+                        JoinKind::LeftAntiSemi => rows.push(lrow.clone()),
+                        _ => {}
+                    }
                 }
             }
-            if !matched {
-                match kind {
-                    JoinKind::LeftOuter => {
-                        let mut joined = lrow.clone();
-                        joined.extend(vec![Datum::Null; right.layout.len()]);
-                        rows.push(joined);
-                    }
-                    JoinKind::LeftAntiSemi => rows.push(lrow.clone()),
-                    _ => {}
-                }
-            }
-        }
+            rows
+        };
         let build = right.per_seg[s].len();
         let probe = left.per_seg[s].len();
         ctx.stats.rows_processed += (build + probe) as u64;
@@ -837,13 +931,17 @@ pub(crate) fn apply_nl_join(
             .map(|r| r.iter().map(Datum::width).sum::<u64>())
             .sum();
         let mut spill_factor = 1.0;
-        if inner_bytes > ctx.cluster.work_mem_bytes {
+        if inner_bytes > ctx.op_budget() {
             ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(inner_bytes);
             if !ctx.cluster.can_spill {
-                return Err(OrcaError::Execution(format!(
+                return Err(OrcaError::OutOfMemory(format!(
                     "out of memory: nested-loops inner of {inner_bytes} bytes on segment {s}"
                 )));
             }
+            // The rewind-spill for a nested-loops inner stays simulated
+            // (cost only): real spilling is implemented for the hash
+            // operators and sort, which is where the planner sends
+            // anything large.
             ctx.stats.spills += 1;
             spill_factor = ctx.cluster.spill_penalty;
         }
@@ -902,35 +1000,70 @@ fn exec_agg(
     let mut out = StreamSet::empty(layout, n);
     out.replicated = input.replicated;
     for s in 0..n {
-        // Hash grouping (stream aggregation produces identical results;
-        // the cost difference is modelled in the time term).
-        let mut groups: FnvHashMap<Vec<Datum>, Vec<AggAccumulator>> = FnvHashMap::default();
-        let mut order: Vec<Vec<Datum>> = Vec::new();
-        let mut scratch: Vec<Datum> = Vec::with_capacity(gpos.len());
-        for row in &input.per_seg[s] {
-            fill_key(&mut scratch, row, &gpos);
-            let accs = match groups.get_mut(scratch.as_slice()) {
-                Some(a) => a,
-                None => {
-                    let key = scratch.clone();
-                    order.push(key.clone());
-                    groups.entry(key).or_insert(
-                        aggs.iter()
-                            .map(|(_, e)| AggAccumulator::from_expr(e))
-                            .collect::<Result<_>>()?,
-                    )
-                }
-            };
-            for acc in accs.iter_mut() {
-                acc.update(&input.layout, row, &env)?;
+        // Group state is bounded by the input (worst case: all keys
+        // distinct), so the deterministic spill trigger is input bytes
+        // over budget. Scalar aggregates hold O(1) state and never spill.
+        let input_bytes: u64 = input.per_seg[s]
+            .iter()
+            .map(|r| r.iter().map(Datum::width).sum::<u64>())
+            .sum();
+        let budget = ctx.op_budget();
+        let mut spill_factor = 1.0;
+        let spilling = !gpos.is_empty() && input_bytes > budget && ctx.cluster.can_spill;
+        let mut rows: Vec<Row>;
+        if spilling {
+            ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(input_bytes);
+            ctx.stats.spills += 1;
+            spill_factor = ctx.cluster.spill_penalty;
+            let (collected, m) = crate::spill::grace_hash_agg(
+                &input.per_seg[s],
+                &gpos,
+                aggs,
+                &input.layout,
+                &env,
+                budget,
+                ctx.cluster.batch_size,
+            )?;
+            ctx.fold_spill(&m);
+            rows = Vec::with_capacity(collected.len());
+            for (key, accs) in &collected {
+                let mut row = key.clone();
+                row.extend(accs.iter().map(AggAccumulator::finish));
+                rows.push(row);
             }
-        }
-        let mut rows: Vec<Row> = Vec::with_capacity(order.len());
-        for key in &order {
-            let accs = &groups[key];
-            let mut row = key.clone();
-            row.extend(accs.iter().map(AggAccumulator::finish));
-            rows.push(row);
+        } else {
+            // Scalar aggregates hold O(1) accumulator state, not input.
+            ctx.note_state(if gpos.is_empty() { 0 } else { input_bytes });
+            // Hash grouping (stream aggregation produces identical
+            // results; the cost difference is modelled in the time term).
+            let mut groups: FnvHashMap<Vec<Datum>, Vec<AggAccumulator>> = FnvHashMap::default();
+            let mut order: Vec<Vec<Datum>> = Vec::new();
+            let mut scratch: Vec<Datum> = Vec::with_capacity(gpos.len());
+            for row in &input.per_seg[s] {
+                fill_key(&mut scratch, row, &gpos);
+                let accs = match groups.get_mut(scratch.as_slice()) {
+                    Some(a) => a,
+                    None => {
+                        let key = scratch.clone();
+                        order.push(key.clone());
+                        groups.entry(key).or_insert(
+                            aggs.iter()
+                                .map(|(_, e)| AggAccumulator::from_expr(e))
+                                .collect::<Result<_>>()?,
+                        )
+                    }
+                };
+                for acc in accs.iter_mut() {
+                    acc.update(&input.layout, row, &env)?;
+                }
+            }
+            rows = Vec::with_capacity(order.len());
+            for key in &order {
+                let accs = &groups[key];
+                let mut row = key.clone();
+                row.extend(accs.iter().map(AggAccumulator::finish));
+                rows.push(row);
+            }
         }
         // Scalar aggregates must emit a row even on empty input: on every
         // segment for Local stage (partials), on the master otherwise.
@@ -950,7 +1083,7 @@ fn exec_agg(
         let in_len = input.per_seg[s].len();
         ctx.stats.rows_processed += in_len as u64;
         let factor = if stream { 0.6 } else { 1.1 };
-        out.avail[s] = input.avail[s] + ctx.tup_time(in_len) * factor;
+        out.avail[s] = input.avail[s] + ctx.tup_time(in_len) * factor * spill_factor;
         out.per_seg[s] = rows;
     }
     Ok(out)
@@ -1433,7 +1566,7 @@ mod tests {
         );
         let engine = ExecEngine::new(&db_ok);
         let err = engine.run(&join, &[ColId(0)]).unwrap_err();
-        assert_eq!(err.kind(), "execution");
+        assert_eq!(err.kind(), "oom");
         assert!(err.message().contains("out of memory"), "{err}");
         // With spilling enabled the same plan succeeds (slower).
         let mut db_spill = db_ok.clone();

@@ -33,17 +33,22 @@
 //!   version, interned predicate/projection fingerprint, segment).
 
 pub mod columnar;
+pub mod cursor;
 pub mod engine;
 pub mod eval;
 pub mod exec;
+pub mod memory;
 pub mod merge;
 pub mod parallel;
 pub mod reference;
 pub mod sharing;
+pub mod spill;
 pub mod storage;
 
 pub use columnar::{ColStream, Column, ColumnBatch};
+pub use cursor::{Cursor, CursorOptions};
 pub use engine::{ExecEngine, ExecResult, ExecStats};
+pub use memory::{preflight, MemoryBudget, MemoryTracker};
 pub use parallel::{ParallelConfig, ParallelEngine, ParallelStats};
 pub use sharing::{FragmentCache, FragmentCacheStats, FragmentKey};
 pub use storage::{Database, Row};

@@ -1,0 +1,355 @@
+//! Memory governance: process-wide budget, per-query grants, preflight.
+//!
+//! Orca (§2.1) targets MPP engines whose operators run under fixed
+//! per-segment memory budgets. This module makes `work_mem_bytes` a real
+//! constraint instead of cost-model fiction:
+//!
+//! * [`MemoryBudget`] — one process-wide accounting domain shared by
+//!   live queries, the cross-query fragment cache ([`crate::sharing`])
+//!   and parallel CTE spools ([`crate::parallel`]). Charging never
+//!   blocks (enforcement is the grant broker's job in `orca-service`);
+//!   the budget records usage and high-water marks so occupancy is
+//!   observable from one place.
+//! * [`MemoryTracker`] — one per query, shared by every gang worker of
+//!   a parallel run. Carries the query's per-segment grant: the
+//!   effective operator budget is `min(work_mem_bytes, grant)`, so a
+//!   degraded (smaller) grant from the broker forces earlier spilling
+//!   without touching cluster config.
+//! * [`preflight`] — a plan walk that raises a typed
+//!   [`OrcaError::OutOfMemory`] *before* execution starts when a
+//!   hash/NL-join build side provably cannot fit and the engine cannot
+//!   spill, replacing the old mid-query `Execution` abort for every
+//!   provable case.
+
+use orca_common::{OrcaError, Result};
+use orca_expr::physical::{MotionKind, PhysicalOp, PhysicalPlan};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide memory accounting domain. Pure bookkeeping: `charge`
+/// never blocks and never fails — admission control happens before a
+/// query starts (the service's grant broker), not in the middle of an
+/// operator, which keeps the executor deadlock-free by construction.
+#[derive(Debug, Default)]
+pub struct MemoryBudget {
+    /// Budget ceiling in bytes; `0` = unbounded (accounting only).
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryBudget {
+    pub fn new(limit: u64) -> MemoryBudget {
+        MemoryBudget {
+            limit,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Accounting-only (unbounded) domain.
+    pub fn unbounded() -> MemoryBudget {
+        MemoryBudget::new(0)
+    }
+
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Record `bytes` as resident. Returns `false` when the charge takes
+    /// the domain over its limit — callers treat that as a pressure
+    /// signal (spill earlier, shed cache entries), never as an error.
+    pub fn charge(&self, bytes: u64) -> bool {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.limit == 0 || now <= self.limit
+    }
+
+    pub fn uncharge(&self, bytes: u64) {
+        // Saturating: a release can race a concurrent snapshot but must
+        // never wrap below zero.
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-query grant accounting, shared (via `Arc`) by every kernel
+/// instance of one query — the serial interpreter or all gang workers
+/// of a parallel run. Operator state (hash-join build, aggregate
+/// groups, sort buffer) is reserved here while resident and released
+/// when the operator finishes, charging through to the process budget
+/// when one is attached.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    /// Per-segment grant in bytes; `None` = ungoverned (operator budget
+    /// falls back to `work_mem_bytes` alone).
+    per_seg_grant: Option<u64>,
+    /// Total grant held for this query (released by the broker, not us).
+    granted: u64,
+    budget: Option<Arc<MemoryBudget>>,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryTracker {
+    /// Ungoverned tracker: accounting only, no grant ceiling.
+    pub fn unbounded() -> MemoryTracker {
+        MemoryTracker::default()
+    }
+
+    /// Tracker for a brokered grant of `granted` bytes split evenly
+    /// across `num_segments`, charging through to `budget`.
+    pub fn granted(
+        granted: u64,
+        num_segments: usize,
+        budget: Option<Arc<MemoryBudget>>,
+    ) -> MemoryTracker {
+        let per_seg = (granted / num_segments.max(1) as u64).max(1);
+        MemoryTracker {
+            per_seg_grant: Some(per_seg),
+            granted,
+            budget,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach a process budget without imposing a grant ceiling.
+    pub fn with_budget(budget: Arc<MemoryBudget>) -> MemoryTracker {
+        MemoryTracker {
+            budget: Some(budget),
+            ..MemoryTracker::default()
+        }
+    }
+
+    /// The per-segment operator budget: the tighter of the cluster's
+    /// `work_mem_bytes` and this query's per-segment grant. A degraded
+    /// grant lowers this below `work_mem`, forcing operators to spill
+    /// earlier — the broker's "smaller grant ⇒ forced spill" ladder.
+    pub fn operator_budget(&self, work_mem_bytes: u64) -> u64 {
+        match self.per_seg_grant {
+            Some(g) => g.min(work_mem_bytes),
+            None => work_mem_bytes,
+        }
+    }
+
+    pub fn granted_bytes(&self) -> u64 {
+        self.granted
+    }
+
+    /// Reserve `bytes` of operator state.
+    pub fn reserve(&self, bytes: u64) {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        if let Some(b) = &self.budget {
+            b.charge(bytes);
+        }
+    }
+
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        if let Some(b) = &self.budget {
+            b.uncharge(bytes);
+        }
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The process-wide domain this tracker charges into, if any.
+    pub fn budget(&self) -> Option<Arc<MemoryBudget>> {
+        self.budget.clone()
+    }
+}
+
+/// Provable per-segment byte lower bounds of a subtree's output.
+///
+/// Only subtrees whose output is fully determined by storage are bounded
+/// (scans, and motions of bounded inputs); anything that can *reduce*
+/// rows (filters, projections that narrow widths, aggregates, joins,
+/// limits) bounds to zero so preflight never rejects a query that would
+/// have fit at runtime.
+struct Bound {
+    per_seg: Vec<u64>,
+    /// Every slot holds an identical full copy (replicated table or
+    /// broadcast result); a motion of such a stream ships one copy.
+    replicated: bool,
+}
+
+impl Bound {
+    fn zero(n: usize) -> Bound {
+        Bound {
+            per_seg: vec![0; n],
+            replicated: false,
+        }
+    }
+
+    /// Bytes of one distinct copy of the stream.
+    fn distinct_total(&self) -> u64 {
+        if self.replicated {
+            self.per_seg.first().copied().unwrap_or(0)
+        } else {
+            self.per_seg.iter().sum()
+        }
+    }
+}
+
+fn bound_of(plan: &PhysicalPlan, db: &crate::storage::Database, n: usize) -> Bound {
+    match &plan.op {
+        PhysicalOp::TableScan { table, parts, .. } | PhysicalOp::IndexScan { table, parts, .. } => {
+            let Ok(t) = db.table(table.mdid) else {
+                return Bound::zero(n);
+            };
+            let per_seg: Vec<u64> = (0..n)
+                .map(|s| {
+                    t.scan(s, parts)
+                        .iter()
+                        .map(|r| r.iter().map(orca_common::Datum::width).sum::<u64>())
+                        .sum()
+                })
+                .collect();
+            let replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
+            Bound { per_seg, replicated }
+        }
+        PhysicalOp::Motion { kind } => {
+            let child = bound_of(&plan.children[0], db, n);
+            let total = child.distinct_total();
+            match kind {
+                MotionKind::Gather | MotionKind::GatherMerge(_) => {
+                    let mut per_seg = vec![0; n];
+                    per_seg[0] = total;
+                    Bound {
+                        per_seg,
+                        replicated: false,
+                    }
+                }
+                MotionKind::Broadcast => Bound {
+                    per_seg: vec![total; n],
+                    replicated: true,
+                },
+                // A redistribute conserves total bytes but the per-segment
+                // placement depends on key hashes; no provable per-segment
+                // lower bound without evaluating them.
+                MotionKind::Redistribute(_) => Bound::zero(n),
+            }
+        }
+        // Row-preserving pass-throughs.
+        PhysicalOp::Sort { .. } | PhysicalOp::Spool | PhysicalOp::CteProducer { .. } => {
+            bound_of(&plan.children[0], db, n)
+        }
+        PhysicalOp::UnionAll { .. } => {
+            let mut per_seg = vec![0u64; n];
+            for c in &plan.children {
+                let b = bound_of(c, db, n);
+                for (s, v) in b.per_seg.iter().enumerate() {
+                    per_seg[s] += v;
+                }
+            }
+            Bound {
+                per_seg,
+                replicated: false,
+            }
+        }
+        // Everything else can reduce rows or rewrite widths: unprovable.
+        _ => Bound::zero(n),
+    }
+}
+
+/// Walk `plan` and raise [`OrcaError::OutOfMemory`] for the first join
+/// whose materialized build/inner side provably exceeds `budget` bytes
+/// on some segment. Callers invoke this only when the engine cannot
+/// spill (`can_spill == false`): with spilling available no bound is
+/// fatal, and the walk (which scans storage to compute exact bounds) is
+/// skipped entirely on the normal path.
+pub fn preflight(plan: &PhysicalPlan, db: &crate::storage::Database, budget: u64) -> Result<()> {
+    let n = db.num_segments();
+    for child in &plan.children {
+        preflight(child, db, budget)?;
+    }
+    let build_side = match &plan.op {
+        PhysicalOp::HashJoin { .. } => Some(("hash join build", &plan.children[1])),
+        PhysicalOp::NLJoin { .. } => Some(("nested-loops inner", &plan.children[1])),
+        _ => None,
+    };
+    if let Some((what, side)) = build_side {
+        let bound = bound_of(side, db, n);
+        for (s, &bytes) in bound.per_seg.iter().enumerate() {
+            if bytes > budget {
+                return Err(OrcaError::OutOfMemory(format!(
+                    "out of memory: {what} of {bytes} bytes on segment {s} \
+                     exceeds the {budget}-byte grant and spilling is disabled"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_charges_and_peaks() {
+        let b = MemoryBudget::new(100);
+        assert!(b.charge(60));
+        assert!(!b.charge(60));
+        assert_eq!(b.used_bytes(), 120);
+        assert_eq!(b.peak_bytes(), 120);
+        b.uncharge(120);
+        assert_eq!(b.used_bytes(), 0);
+        assert_eq!(b.peak_bytes(), 120);
+        // Saturates instead of wrapping.
+        b.uncharge(50);
+        assert_eq!(b.used_bytes(), 0);
+    }
+
+    #[test]
+    fn tracker_grant_tightens_operator_budget() {
+        let t = MemoryTracker::unbounded();
+        assert_eq!(t.operator_budget(1 << 20), 1 << 20);
+        let budget = Arc::new(MemoryBudget::new(1 << 30));
+        let t = MemoryTracker::granted(8 << 10, 8, Some(Arc::clone(&budget)));
+        // 8 KiB over 8 segments = 1 KiB per segment, tighter than work_mem.
+        assert_eq!(t.operator_budget(1 << 20), 1 << 10);
+        t.reserve(512);
+        assert_eq!(t.used_bytes(), 512);
+        assert_eq!(budget.used_bytes(), 512);
+        t.release(512);
+        assert_eq!(t.used_bytes(), 0);
+        assert_eq!(budget.used_bytes(), 0);
+        assert_eq!(t.peak_bytes(), 512);
+    }
+}

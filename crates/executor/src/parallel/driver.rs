@@ -85,6 +85,9 @@ pub struct ParallelEngine<'a> {
     /// Cross-query fragment cache attached to every columnar slice
     /// kernel ([`crate::sharing`]).
     pub fragments: Option<Arc<crate::sharing::FragmentCache>>,
+    /// Per-query memory grant shared by every slice kernel
+    /// ([`crate::memory`]); `None` = ungoverned.
+    pub mem: Option<Arc<crate::memory::MemoryTracker>>,
 }
 
 impl<'a> ParallelEngine<'a> {
@@ -93,6 +96,7 @@ impl<'a> ParallelEngine<'a> {
             db,
             cfg: ParallelConfig::default(),
             fragments: None,
+            mem: None,
         }
     }
 
@@ -101,6 +105,7 @@ impl<'a> ParallelEngine<'a> {
             db,
             cfg,
             fragments: None,
+            mem: None,
         }
     }
 
@@ -111,6 +116,16 @@ impl<'a> ParallelEngine<'a> {
         fragments: Arc<crate::sharing::FragmentCache>,
     ) -> ParallelEngine<'a> {
         self.fragments = Some(fragments);
+        self
+    }
+
+    /// Attach a per-query memory grant; every slice kernel charges its
+    /// operator state against the same tracker.
+    pub fn with_memory(
+        mut self,
+        mem: Arc<crate::memory::MemoryTracker>,
+    ) -> ParallelEngine<'a> {
+        self.mem = Some(mem);
         self
     }
 
@@ -149,6 +164,16 @@ impl<'a> ParallelEngine<'a> {
         abort: &Arc<AbortSignal>,
     ) -> Result<ParallelResult> {
         abort.check()?;
+        // Same preflight rule as `ExecEngine`: when the cluster cannot
+        // spill, reject provably-oversized plans before spawning a gang.
+        if !self.db.cluster.can_spill {
+            let budget = self
+                .mem
+                .as_ref()
+                .map(|m| m.operator_budget(self.db.cluster.work_mem_bytes))
+                .unwrap_or(self.db.cluster.work_mem_bytes);
+            crate::memory::preflight(plan, self.db, budget)?;
+        }
         let sliced = slice_plan(plan);
         let n = self.db.cluster.num_segments;
         let workers = self.cfg.workers.max(1);
@@ -166,7 +191,12 @@ impl<'a> ParallelEngine<'a> {
             .collect();
         let gate = ComputeGate::new(workers);
         let pool = Arc::new(BatchPool::new());
-        let spool = SharedSpool::new();
+        // Spooled CTE bytes count against the process-wide budget (if the
+        // grant carries one) for the duration of the run.
+        let spool = match self.mem.as_ref().and_then(|m| m.budget()) {
+            Some(b) => SharedSpool::new().with_budget(b),
+            None => SharedSpool::new(),
+        };
         let first_err: Mutex<Option<OrcaError>> = Mutex::new(None);
         let merged_stats: Mutex<ExecStats> = Mutex::new(ExecStats::default());
         let root_out: Mutex<Vec<Option<StreamSet>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -198,6 +228,7 @@ impl<'a> ParallelEngine<'a> {
                         pool: &pool,
                         spool: &spool,
                         frag: &self.fragments,
+                        mem: &self.mem,
                         counters: &counters,
                         merged_stats: &merged_stats,
                         root_out: &root_out,
@@ -291,6 +322,7 @@ struct TaskCtx<'env> {
     pool: &'env Arc<BatchPool>,
     spool: &'env SharedSpool,
     frag: &'env Option<Arc<crate::sharing::FragmentCache>>,
+    mem: &'env Option<Arc<crate::memory::MemoryTracker>>,
     counters: &'env [MotionCounters],
     merged_stats: &'env Mutex<ExecStats>,
     root_out: &'env Mutex<Vec<Option<StreamSet>>>,
@@ -334,6 +366,9 @@ fn run_task(task: TaskCtx<'_>) -> Result<()> {
     let (out, stats) = if task.columnar {
         let mut ctx =
             ExecCtx::for_segment_columnar(task.db, task.seg, delivered, task.abort.clone());
+        if let Some(m) = task.mem {
+            ctx.mem = Arc::clone(m);
+        }
         ctx.frag = task.frag.clone();
         // Scans draw their batch shells from the run-wide pool, so
         // shells recycled by the interconnect feed the kernel too.
@@ -357,6 +392,9 @@ fn run_task(task: TaskCtx<'_>) -> Result<()> {
             .map(|(m, cs)| (m, cs.to_streamset()))
             .collect();
         let mut ctx = ExecCtx::for_segment(task.db, task.seg, rows_in, task.abort.clone());
+        if let Some(m) = task.mem {
+            ctx.mem = Arc::clone(m);
+        }
         for (id, p) in &spooled {
             ctx.cte.insert(*id, p.to_colstream().to_streamset());
         }
@@ -425,6 +463,12 @@ fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
     into.bytes_moved += from.bytes_moved;
     into.spills += from.spills;
     into.oom_risk_bytes = into.oom_risk_bytes.max(from.oom_risk_bytes);
+    into.spill_partitions += from.spill_partitions;
+    into.spill_bytes_written += from.spill_bytes_written;
+    into.spill_bytes_read += from.spill_bytes_read;
+    // A max, not a sum: the serial kernel's peak is the max over every
+    // operator's state, so max-merging per-task peaks reproduces it.
+    into.peak_mem_bytes = into.peak_mem_bytes.max(from.peak_mem_bytes);
     into.chunks_skipped += from.chunks_skipped;
     into.dict_hits += from.dict_hits;
     into.scan_bytes_cloned += from.scan_bytes_cloned;

@@ -57,6 +57,12 @@ impl SpoolPayload {
     pub fn rows(&self) -> u64 {
         self.batches.iter().map(|b| b.len as u64).sum()
     }
+
+    /// Payload size in datum bytes ([`ColumnBatch::bytes`] sums) — what a
+    /// process-wide memory budget is charged for holding it.
+    pub fn bytes(&self) -> u64 {
+        self.batches.iter().map(ColumnBatch::bytes).sum()
+    }
 }
 
 /// The per-run spool: a rendezvous map from `(cte, segment)` to the
@@ -67,6 +73,10 @@ pub struct SharedSpool {
     slots: Mutex<HashMap<(CteId, usize), Arc<SpoolPayload>>>,
     ready: Condvar,
     rows: AtomicU64,
+    /// Process-wide executor memory budget ([`crate::memory`]); spooled
+    /// CTE bytes are charged for the spool's lifetime.
+    budget: Option<Arc<crate::memory::MemoryBudget>>,
+    charged: AtomicU64,
 }
 
 impl SharedSpool {
@@ -74,9 +84,20 @@ impl SharedSpool {
         SharedSpool::default()
     }
 
+    /// Charge published payload bytes against a process-wide budget.
+    pub fn with_budget(mut self, budget: Arc<crate::memory::MemoryBudget>) -> SharedSpool {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Publish one segment's payload and wake every waiter.
     pub fn publish(&self, id: CteId, seg: usize, payload: SpoolPayload) {
         self.rows.fetch_add(payload.rows(), Ordering::Relaxed);
+        if let Some(b) = &self.budget {
+            let bytes = payload.bytes();
+            b.charge(bytes);
+            self.charged.fetch_add(bytes, Ordering::Relaxed);
+        }
         self.slots
             .lock()
             .unwrap()
@@ -103,6 +124,16 @@ impl SharedSpool {
     /// Total rows published so far.
     pub fn rows_published(&self) -> u64 {
         self.rows.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SharedSpool {
+    fn drop(&mut self) {
+        // The spool lives for one parallel run; return its bytes when the
+        // run ends.
+        if let Some(b) = &self.budget {
+            b.uncharge(self.charged.load(Ordering::Relaxed));
+        }
     }
 }
 

@@ -147,6 +147,10 @@ pub struct FragmentCache {
     inner: Mutex<Inner>,
     ready: Condvar,
     budget: u64,
+    /// Process-wide executor memory budget ([`crate::memory`]); resident
+    /// fragment bytes are charged against it so cached fragments compete
+    /// with query operator state for the same pool.
+    process: Option<Arc<crate::memory::MemoryBudget>>,
     interner: ExprInterner,
     reused: AtomicU64,
     inserted: AtomicU64,
@@ -161,6 +165,7 @@ impl FragmentCache {
             inner: Mutex::new(Inner::default()),
             ready: Condvar::new(),
             budget: budget_bytes,
+            process: None,
             interner: ExprInterner::new(),
             reused: AtomicU64::new(0),
             inserted: AtomicU64::new(0),
@@ -168,6 +173,16 @@ impl FragmentCache {
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
         }
+    }
+
+    /// Charge resident fragment bytes against a process-wide budget (in
+    /// addition to this cache's own byte budget).
+    pub fn with_process_budget(
+        mut self,
+        budget: Arc<crate::memory::MemoryBudget>,
+    ) -> FragmentCache {
+        self.process = Some(budget);
+        self
     }
 
     /// Fragment fingerprint through this cache's interner.
@@ -282,6 +297,9 @@ impl FragmentCache {
                 }) = inner.map.remove(&k)
                 {
                     inner.bytes -= f.bytes;
+                    if let Some(p) = &self.process {
+                        p.uncharge(f.bytes);
+                    }
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -291,6 +309,9 @@ impl FragmentCache {
             slot.state = SlotState::Ready(Arc::clone(&frag));
             slot.last_used = tick;
             inner.bytes += frag.bytes;
+            if let Some(p) = &self.process {
+                p.charge(frag.bytes);
+            }
             self.inserted.fetch_add(1, Ordering::Relaxed);
         }
         // LRU eviction down to budget; `Filling` slots and the entry we
@@ -306,6 +327,9 @@ impl FragmentCache {
             if let Some(slot) = inner.map.remove(&victim) {
                 if let SlotState::Ready(f) = slot.state {
                     inner.bytes -= f.bytes;
+                    if let Some(p) = &self.process {
+                        p.uncharge(f.bytes);
+                    }
                 }
             }
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -324,6 +348,15 @@ impl FragmentCache {
         }
         drop(inner);
         self.ready.notify_all();
+    }
+}
+
+impl Drop for FragmentCache {
+    fn drop(&mut self) {
+        // Return the cache's resident bytes to the process-wide budget.
+        if let Some(p) = &self.process {
+            p.uncharge(self.inner.lock().unwrap().bytes);
+        }
     }
 }
 

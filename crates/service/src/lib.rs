@@ -26,6 +26,13 @@
 //!   one byte-budgeted cache attached to every engine the execute path
 //!   builds, so concurrent and repeated queries share materialized scan
 //!   fragments (cooperative scans) across requests;
+//! * **executor memory grants** ([`grants`]) — every execute-after-optimize
+//!   request is admitted against a global executor-memory pool sized by
+//!   [`ServiceConfig::executor_memory_bytes`]; the grant (seeded from the
+//!   optimizer's cost estimate) becomes the query's
+//!   [`orca_executor::MemoryTracker`], and a degraded (smaller) grant
+//!   tightens the per-operator budget so the query spills instead of
+//!   failing;
 //! * **metrics** ([`metrics`]) — admission/cache/sharing counters and
 //!   optimize latency percentiles.
 //!
@@ -42,11 +49,13 @@
 
 pub mod admission;
 pub mod cache;
+pub mod grants;
 pub mod metrics;
 pub mod session;
 
 pub use admission::{Admission, AdmissionGate};
 pub use cache::{CacheLookup, CachedPlan, PinGuard, PlanCache};
+pub use grants::{MemoryGrant, MemoryGrantBroker};
 pub use metrics::{ServiceMetrics, ServiceStats};
 pub use session::{Session, SessionId, SessionManager};
 
@@ -57,8 +66,8 @@ use orca_catalog::MdAccessor;
 use orca_common::{ColId, MdId, OrcaError, Result};
 use orca_dxl::{plan_to_dxl, query_fingerprint, DxlPlan, DxlQuery};
 use orca_executor::{
-    Database, ExecEngine, ExecStats, FragmentCache, ParallelConfig, ParallelEngine, ParallelStats,
-    Row,
+    Cursor, CursorOptions, Database, ExecStats, FragmentCache, MemoryBudget, MemoryTracker,
+    ParallelConfig, ParallelEngine, ParallelStats, Row,
 };
 use orca_expr::logical::TableRef;
 use orca_expr::physical::PhysicalPlan;
@@ -90,6 +99,11 @@ pub struct ServiceConfig {
     /// Byte budget of the shared scan-fragment cache the execute path
     /// attaches to every engine it builds.
     pub fragment_cache_bytes: u64,
+    /// Global executor-memory pool every execution is admitted against
+    /// (grants, fragment cache, and CTE spools all draw on it). `0` =
+    /// unbounded: every request gets its full ask immediately and nothing
+    /// queues or degrades.
+    pub executor_memory_bytes: u64,
     /// Execute plans after planning (requires [`Service::attach_database`]);
     /// `None` = planning-only service.
     pub execute: Option<ExecuteConfig>,
@@ -105,6 +119,7 @@ impl Default for ServiceConfig {
             cache_bytes: 8 << 20,
             cache_shards: 8,
             fragment_cache_bytes: 32 << 20,
+            executor_memory_bytes: 0,
             execute: None,
         }
     }
@@ -166,6 +181,19 @@ pub struct ExecSummary {
     pub stats: ExecStats,
     /// Parallel-engine diagnostics; `None` when the serial engine ran.
     pub parallel: Option<ParallelStats>,
+    /// Executor-memory bytes this query was granted on admission.
+    pub mem_granted: u64,
+    /// The grant was smaller than requested — the query ran with a
+    /// tightened per-operator budget and spilled sooner.
+    pub mem_degraded: bool,
+    /// Time spent waiting in the memory-grant queue.
+    pub mem_wait: Duration,
+    /// Latency to the first delivered batch (streaming serial runs only;
+    /// `None` on the parallel engine, which materializes before merging).
+    pub first_batch: Option<Duration>,
+    /// The first batch was delivered before the producer had finished the
+    /// full result — the cursor genuinely streamed.
+    pub streamed: bool,
 }
 
 /// Where a response's plan came from.
@@ -292,6 +320,11 @@ pub struct Service {
     /// Shared scan-fragment cache attached to every engine the execute
     /// path builds (cross-query cooperative scans).
     fragments: Arc<FragmentCache>,
+    /// Admits executions against the global executor-memory pool.
+    grants: MemoryGrantBroker,
+    /// Process-wide executor-memory accounting: operator state, spooled
+    /// CTEs, and cached fragments all charge here.
+    exec_budget: Arc<MemoryBudget>,
     /// Optimizations currently in flight, by query fingerprint.
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
 }
@@ -304,6 +337,7 @@ impl Service {
         } else {
             config.max_concurrent
         };
+        let exec_budget = Arc::new(MemoryBudget::new(config.executor_memory_bytes));
         Service {
             gate: AdmissionGate::new(max_concurrent, config.queue_depth),
             cache: Arc::new(PlanCache::new(config.cache_bytes, config.cache_shards)),
@@ -311,7 +345,12 @@ impl Service {
             sessions: SessionManager::new(),
             next_ticket: AtomicU64::new(0),
             database: RwLock::new(None),
-            fragments: Arc::new(FragmentCache::new(config.fragment_cache_bytes)),
+            fragments: Arc::new(
+                FragmentCache::new(config.fragment_cache_bytes)
+                    .with_process_budget(Arc::clone(&exec_budget)),
+            ),
+            grants: MemoryGrantBroker::new(config.executor_memory_bytes),
+            exec_budget,
             inflight: Mutex::new(HashMap::new()),
             optimizer,
             config,
@@ -346,6 +385,17 @@ impl Service {
     /// engine it builds.
     pub fn fragments(&self) -> &Arc<FragmentCache> {
         &self.fragments
+    }
+
+    /// The executor-memory grant broker executions are admitted through.
+    pub fn grants(&self) -> &MemoryGrantBroker {
+        &self.grants
+    }
+
+    /// Process-wide executor-memory accounting (operator state, spooled
+    /// CTEs, cached fragments).
+    pub fn exec_budget(&self) -> &Arc<MemoryBudget> {
+        &self.exec_budget
     }
 
     /// Open a session: mints a per-session `MdAccessor` over the shared
@@ -419,7 +469,8 @@ impl Service {
         match self.cache.lookup(fingerprint, &current_ids) {
             CacheLookup::Hit(cached) => {
                 ServiceMetrics::bump(&self.metrics.cache_hits);
-                let execution = self.maybe_execute(&cached.plan, &query.output_cols)?;
+                let execution =
+                    self.maybe_execute(&cached.plan, &query.output_cols, cached.cost)?;
                 return Ok(self.ticket(
                     ticket_id,
                     session,
@@ -520,7 +571,7 @@ impl Service {
                     );
                 }
                 self.metrics.record_latency(started.elapsed());
-                let execution = self.maybe_execute(&plan, &query.output_cols)?;
+                let execution = self.maybe_execute(&plan, &query.output_cols, stats.plan_cost)?;
                 let response = PlanResponse {
                     plan_dxl,
                     cost: stats.plan_cost,
@@ -633,6 +684,12 @@ impl Service {
         s.fragment_coop_attached = f.coop_attached;
         s.fragment_evictions = f.evictions;
         s.fragment_invalidations = f.invalidations;
+        let (admitted, queued, degraded) = self.grants.counters();
+        s.mem_admitted = admitted;
+        s.mem_queued = queued;
+        s.mem_degraded_grants = degraded;
+        s.mem_used_bytes = self.exec_budget.used_bytes();
+        s.mem_peak_bytes = self.exec_budget.peak_bytes();
         s
     }
 
@@ -665,7 +722,7 @@ impl Service {
         let (plan, cost) =
             LegacyPlanner::new(accessor, &registry).plan(&query.expr, &query.order)?;
         ServiceMetrics::bump(&self.metrics.degraded);
-        let execution = self.maybe_execute(&plan, &query.output_cols)?;
+        let execution = self.maybe_execute(&plan, &query.output_cols, cost)?;
         Ok(self.ticket(
             ticket_id,
             session,
@@ -692,6 +749,7 @@ impl Service {
         &self,
         plan: &PhysicalPlan,
         output_cols: &[ColId],
+        cost: f64,
     ) -> Result<Option<ExecSummary>> {
         let Some(exec_cfg) = &self.config.execute else {
             return Ok(None);
@@ -700,34 +758,90 @@ impl Service {
         let Some(db) = guard.as_ref() else {
             return Ok(None);
         };
+        // Admission: size the initial grant from the optimizer's cost
+        // estimate, then hold it (RAII) for the whole execution. A
+        // degraded grant tightens the tracker's per-segment budget, which
+        // forces earlier spilling instead of failure.
+        let desired = Self::grant_estimate(cost, &db.cluster);
+        let grant = self.grants.request(desired);
+        let tracker = Arc::new(MemoryTracker::granted(
+            grant.bytes,
+            db.cluster.num_segments,
+            Some(Arc::clone(&self.exec_budget)),
+        ));
         let t0 = Instant::now();
         let summary = if exec_cfg.parallel {
             let engine = ParallelEngine::with_config(db, exec_cfg.parallel_config())
-                .with_fragments(Arc::clone(&self.fragments));
+                .with_fragments(Arc::clone(&self.fragments))
+                .with_memory(Arc::clone(&tracker));
             let r = engine.run(plan, output_cols)?;
             ExecSummary {
                 rows: r.rows,
                 latency: t0.elapsed(),
                 stats: r.stats,
                 parallel: Some(r.parallel),
+                mem_granted: grant.bytes,
+                mem_degraded: grant.degraded,
+                mem_wait: grant.wait,
+                first_batch: None,
+                streamed: false,
             }
         } else {
-            let engine = ExecEngine::new(db).with_fragments(Arc::clone(&self.fragments));
-            let r = if exec_cfg.columnar {
-                engine.run_columnar(plan, output_cols)?
-            } else {
-                engine.run(plan, output_cols)?
-            };
+            // The serial path streams through a cursor: rows arrive batch
+            // by batch while the producer is still running, instead of one
+            // fully-materialized rowset at the end.
+            let mut cursor = Cursor::open(
+                Arc::clone(db),
+                plan,
+                output_cols,
+                CursorOptions {
+                    columnar: exec_cfg.columnar,
+                    batch_rows: exec_cfg.batch_rows,
+                    fragments: Some(Arc::clone(&self.fragments)),
+                    mem: Some(Arc::clone(&tracker)),
+                },
+            );
+            let mut rows = Vec::new();
+            let mut first_batch = None;
+            let mut streamed = false;
+            while let Some(batch) = cursor.next_batch()? {
+                if first_batch.is_none() {
+                    first_batch = Some(t0.elapsed());
+                    streamed = !cursor.producer_finished();
+                }
+                rows.extend(batch);
+            }
+            let r = cursor
+                .summary()
+                .expect("cursor summary present after final batch")
+                .clone();
             ExecSummary {
-                rows: r.rows,
+                rows,
                 latency: t0.elapsed(),
                 stats: r.stats,
                 parallel: None,
+                mem_granted: grant.bytes,
+                mem_degraded: grant.degraded,
+                mem_wait: grant.wait,
+                first_batch,
+                streamed,
             }
         };
         ServiceMetrics::bump(&self.metrics.executed);
         self.metrics.record_exec_latency(summary.latency);
         Ok(Some(summary))
+    }
+
+    /// Initial memory grant from the optimizer's cost estimate: scale
+    /// simulated seconds to bytes, floored at one full `work_mem` per
+    /// segment so an uncontended grant never tightens the configured
+    /// operator budget below what the cluster already allows.
+    fn grant_estimate(cost: f64, cluster: &orca_common::SegmentConfig) -> u64 {
+        let floor = cluster
+            .work_mem_bytes
+            .saturating_mul(cluster.num_segments.max(1) as u64);
+        let cost_bytes = (cost.max(0.0) * (1u64 << 20) as f64).min(1e18) as u64;
+        cost_bytes.max(floor)
     }
 }
 

@@ -53,6 +53,16 @@ pub struct ServiceStats {
     pub fragment_evictions: u64,
     /// Fragments dropped because their table's `MdId` version moved on.
     pub fragment_invalidations: u64,
+    /// Executions admitted through the memory-grant broker.
+    pub mem_admitted: u64,
+    /// Grant requests that had to queue for executor memory.
+    pub mem_queued: u64,
+    /// Grants issued smaller than requested (the query spilled sooner).
+    pub mem_degraded_grants: u64,
+    /// Executor-memory bytes currently charged against the global budget.
+    pub mem_used_bytes: u64,
+    /// High-water mark of the global executor-memory budget.
+    pub mem_peak_bytes: u64,
     /// Median full-optimization latency (admission wait included).
     pub p50_optimize: Duration,
     /// Tail full-optimization latency.
