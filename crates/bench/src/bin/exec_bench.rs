@@ -18,6 +18,15 @@
 //! the query's grant. A streaming-cursor pass asserts at least one
 //! corpus query delivers its first batch before the producer finishes.
 //!
+//! `--net loopback` adds the distributed pass: for 1/2/4 worker
+//! *processes* (spawned `net_worker` binaries, plus this process as the
+//! coordinator) every corpus plan is shipped as DXL and executed as a
+//! multi-process gang over the loopback TCP interconnect. Gates:
+//! coordinator rows byte-identical to the serial row baseline,
+//! `sim_seconds` bit-equal to the same plan run in-process, zero
+//! reconnects, zero serial fallbacks, and at least one remote motion
+//! edge per run.
+//!
 //! `--smoke` (CI) runs a reduced corpus, writes no JSON, and asserts the
 //! gates: identical checksums everywhere, columnar-serial throughput at
 //! least 1.5x row-serial (vectorization plus zone-map chunk skipping
@@ -34,9 +43,10 @@ use orca_bench::report::row;
 use orca_bench::BenchEnv;
 use orca_common::hash::fnv_hash;
 use orca_common::ColId;
+use orca_dxl::{parse_plan_doc, plan_to_dxl, DxlPlan};
 use orca_executor::{
-    Cursor, CursorOptions, ExecEngine, FragmentCache, MemoryTracker, ParallelConfig,
-    ParallelEngine, Row,
+    ClusterTopology, Cursor, CursorOptions, ExecEngine, FragmentCache, MemoryTracker, NetConfig,
+    NetNode, ParallelConfig, ParallelEngine, Row,
 };
 use orca_expr::physical::PhysicalPlan;
 use orca_tpcds::suite;
@@ -457,6 +467,196 @@ fn run_cursor_pass(env: &BenchEnv, corpus: &[BenchQuery], baseline: &SerialRun) 
     }
 }
 
+struct NetPass {
+    /// Remote worker *processes* (the gang is this many peers + 1).
+    worker_procs: usize,
+    wall_ms: f64,
+    frames_tx: u64,
+    bytes_tx: u64,
+    remote_edges: u64,
+    reconnects: u64,
+    open_rtt_max_ms: f64,
+}
+
+/// The distributed pass: ship every corpus plan as DXL to `worker_procs`
+/// spawned `net_worker` processes and run it as a loopback-TCP gang with
+/// this process as the coordinator (peer 0). The coordinator executes
+/// the *parsed-back* DXL — the identical artifact the workers run — so
+/// row checksums against the serial baseline also gate the plan's DXL
+/// round trip. `sim_seconds` must be bit-equal to the same parsed plan
+/// run entirely in-process.
+fn run_net_pass(
+    env: &BenchEnv,
+    corpus: &[BenchQuery],
+    baseline: &SerialRun,
+    scale: f64,
+    worker_procs: usize,
+    batch_size: usize,
+) -> NetPass {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Child, ChildStdout, Command, Stdio};
+
+    const GANG_WORKERS: usize = 2; // compute threads per peer
+
+    let cfg = ParallelConfig {
+        workers: GANG_WORKERS,
+        batch_rows: batch_size,
+        columnar: true,
+        ..ParallelConfig::default()
+    };
+
+    // Parse back the DXL we are about to ship; every peer (coordinator
+    // included) executes this artifact.
+    let shipped: Vec<(String, PhysicalPlan)> = corpus
+        .iter()
+        .map(|q| {
+            let dxl = plan_to_dxl(&DxlPlan {
+                plan: q.plan.clone(),
+                cost: 0.0,
+            });
+            let doc = parse_plan_doc(&dxl, env.provider.as_ref()).expect("plan DXL round trip");
+            (dxl, doc.plan)
+        })
+        .collect();
+
+    // In-process reference clocks for the bit-equality gate.
+    let inproc = ParallelEngine::with_config(&env.db, cfg.clone());
+    let ref_sims: Vec<u64> = shipped
+        .iter()
+        .zip(corpus)
+        .map(|((_, plan), q)| {
+            inproc
+                .run(plan, &q.output_cols)
+                .expect("in-process reference")
+                .parallel
+                .sim_seconds
+                .to_bits()
+        })
+        .collect();
+
+    let worker_exe = std::env::current_exe()
+        .expect("current exe")
+        .with_file_name("net_worker");
+    let node = NetNode::bind("127.0.0.1:0", 0, NetConfig::default()).expect("coordinator bind");
+    let mut children: Vec<(Child, BufReader<ChildStdout>)> = Vec::new();
+    let mut peers = vec![node.addr().to_string()];
+    for rank in 1..=worker_procs {
+        let mut child = Command::new(&worker_exe)
+            .args([
+                scale.to_string(),
+                batch_size.to_string(),
+                rank.to_string(),
+                GANG_WORKERS.to_string(),
+                "1".to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn net_worker");
+        let mut out = BufReader::new(child.stdout.take().expect("worker stdout"));
+        let mut ready = String::new();
+        out.read_line(&mut ready).expect("worker READY");
+        let addr = ready
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("worker {rank} said {ready:?}, expected READY"))
+            .to_string();
+        peers.push(addr);
+        children.push((child, out));
+    }
+    let topo = ClusterTopology::round_robin(peers.clone(), env.db.cluster.num_segments);
+    let topo_line = format!("TOPO {}\n", peers.join(" "));
+    for (child, _) in &mut children {
+        let stdin = child.stdin.as_mut().expect("worker stdin");
+        stdin.write_all(topo_line.as_bytes()).expect("send TOPO");
+        stdin.flush().expect("flush TOPO");
+    }
+
+    let engine = ParallelEngine::with_config(&env.db, cfg);
+    let mut pass = NetPass {
+        worker_procs,
+        wall_ms: 0.0,
+        frames_tx: 0,
+        bytes_tx: 0,
+        remote_edges: 0,
+        reconnects: 0,
+        open_rtt_max_ms: 0.0,
+    };
+    let t0 = Instant::now();
+    for (i, ((dxl, plan), q)) in shipped.iter().zip(corpus).enumerate() {
+        let query_id = i as u64 + 1;
+        let cols = q
+            .output_cols
+            .iter()
+            .map(|c| c.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let job = format!("JOB {query_id} {cols} {}\n", dxl.len());
+        for (child, _) in &mut children {
+            let stdin = child.stdin.as_mut().expect("worker stdin");
+            stdin.write_all(job.as_bytes()).expect("send JOB");
+            stdin.write_all(dxl.as_bytes()).expect("send plan DXL");
+            stdin.flush().expect("flush JOB");
+        }
+        let res = engine
+            .run_distributed(plan, &q.output_cols, &node, &topo, query_id)
+            .expect("distributed exec");
+        for (_, out) in &mut children {
+            let mut done = String::new();
+            out.read_line(&mut done).expect("worker DONE");
+            assert!(
+                done.starts_with("DONE "),
+                "query {} on {worker_procs} worker procs: worker said {done:?}",
+                q.id
+            );
+        }
+        assert_eq!(
+            checksum(&res.rows),
+            baseline.checksums[i],
+            "query {} diverged over the loopback interconnect ({worker_procs} worker procs)",
+            q.id
+        );
+        assert_eq!(
+            res.parallel.sim_seconds.to_bits(),
+            ref_sims[i],
+            "query {}: distributed sim clock not bit-equal to in-process",
+            q.id
+        );
+        assert!(
+            !res.parallel.serial_fallback,
+            "query {} fell back to serial in the distributed pass",
+            q.id
+        );
+        pass.frames_tx += res.parallel.net.frames_tx;
+        pass.bytes_tx += res.parallel.net.bytes_tx;
+        pass.remote_edges += res.parallel.net.remote_edges;
+        pass.reconnects += res.parallel.net.reconnects;
+        pass.open_rtt_max_ms = pass
+            .open_rtt_max_ms
+            .max(res.parallel.net.open_rtt_max_seconds * 1e3);
+    }
+    pass.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (child, _) in &mut children {
+        let stdin = child.stdin.as_mut().expect("worker stdin");
+        let _ = stdin.write_all(b"EXIT\n");
+        let _ = stdin.flush();
+    }
+    for (mut child, _) in children {
+        let status = child.wait().expect("worker exit");
+        assert!(status.success(), "net_worker exited with {status}");
+    }
+    assert_eq!(
+        pass.reconnects, 0,
+        "loopback pass needed {} connect retries",
+        pass.reconnects
+    );
+    assert!(
+        pass.remote_edges > 0,
+        "loopback pass at {worker_procs} worker procs crossed no process boundary"
+    );
+    pass
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -476,9 +676,20 @@ fn main() {
     // is small enough that its largest operator state fits in 4 KiB, so
     // smoke squeezes harder.
     let work_mem = flag_value("--work-mem", if smoke { 1024 } else { 4096 }) as u64;
+    let net_mode: Option<String> = args
+        .iter()
+        .position(|a| a == "--net")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--net=").map(str::to_string))
+        });
+    if let Some(mode) = &net_mode {
+        assert_eq!(mode, "loopback", "--net only supports 'loopback'");
+    }
     // Value-taking flags consume their argument; drop both from the
     // positionals.
-    let value_idxs: Vec<usize> = ["--batch-size", "--work-mem"]
+    let value_idxs: Vec<usize> = ["--batch-size", "--work-mem", "--net"]
         .iter()
         .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
         .collect();
@@ -742,6 +953,48 @@ fn main() {
         cursor.first_batch_ms
     );
 
+    // Distributed pass: loopback-TCP multi-process gangs. Gates live
+    // inside `run_net_pass` (checksums, bit-equal sim clocks, zero
+    // reconnects, zero fallbacks, remote edges present).
+    let mut net_passes: Vec<NetPass> = Vec::new();
+    if net_mode.as_deref() == Some("loopback") {
+        println!();
+        println!(
+            "{}",
+            row(&[
+                ("wrk_procs", 10),
+                ("peers", 6),
+                ("wall_ms", 9),
+                ("frames_tx", 10),
+                ("KiB_tx", 8),
+                ("rm_edges", 9),
+                ("reconn", 7),
+                ("rtt_ms", 8),
+            ])
+        );
+        for &procs in &[1usize, 2, 4] {
+            let p = run_net_pass(&env, &corpus, &baseline, scale, procs, batch_size);
+            println!(
+                "{}",
+                row(&[
+                    (&p.worker_procs.to_string(), 10),
+                    (&(p.worker_procs + 1).to_string(), 6),
+                    (&format!("{:.1}", p.wall_ms), 9),
+                    (&p.frames_tx.to_string(), 10),
+                    (&(p.bytes_tx >> 10).to_string(), 8),
+                    (&p.remote_edges.to_string(), 9),
+                    (&p.reconnects.to_string(), 7),
+                    (&format!("{:.3}", p.open_rtt_max_ms), 8),
+                ])
+            );
+            net_passes.push(p);
+        }
+        println!(
+            "net gate: loopback gangs byte-identical and bit-equal sim clocks at \
+             1/2/4 worker processes, zero reconnects, zero fallbacks"
+        );
+    }
+
     if smoke {
         println!(
             "\nsmoke gate passed: identical results, columnar serial >= 1.5x row serial, \
@@ -762,6 +1015,7 @@ fn main() {
         (frag_cold_ms, frag_warm_ms, &fshare),
         &memory,
         &cursor,
+        &net_passes,
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     println!("\nwrote BENCH_exec.json");
@@ -782,6 +1036,7 @@ fn render_json(
     sharing: (f64, f64, &orca_executor::FragmentCacheStats),
     memory: &MemorySweep,
     cursor: &CursorPass,
+    net: &[NetPass],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"exec_bench\",\n");
@@ -839,6 +1094,25 @@ fn render_json(
             "    {{\"op\": \"{name}\", \"rows\": {rows_n}, \"batches\": {batches}, \
              \"ns\": {ns}}}{}\n",
             if i + 1 < nops { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"net\": [\n");
+    for (i, p) in net.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"worker_procs\": {}, \"peers\": {}, \"wall_ms\": {:.3}, \
+             \"frames_tx\": {}, \"bytes_tx\": {}, \"remote_edges\": {}, \
+             \"reconnects\": {}, \"open_rtt_max_ms\": {:.4}, \"checksums_ok\": true, \
+             \"sim_bit_equal\": true}}{}\n",
+            p.worker_procs,
+            p.worker_procs + 1,
+            p.wall_ms,
+            p.frames_tx,
+            p.bytes_tx,
+            p.remote_edges,
+            p.reconnects,
+            p.open_rtt_max_ms,
+            if i + 1 < net.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");

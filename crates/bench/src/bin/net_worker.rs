@@ -1,0 +1,106 @@
+//! Worker-process half of the `exec_bench --net loopback` pass: a real
+//! second process that joins a distributed gang over the loopback TCP
+//! interconnect, so the bench exercises genuine process boundaries (no
+//! shared memory, no shared clocks) rather than threads pretending.
+//!
+//! The coordinator (`exec_bench`) spawns one `net_worker` per remote
+//! peer and drives it over a line-oriented stdin/stdout control plane:
+//!
+//! ```text
+//! worker → coordinator:  READY <addr>            (after binding)
+//! coordinator → worker:  TOPO <addr0> <addr1>…   (full peer list, rank order)
+//! coordinator → worker:  JOB <id> <cols,…> <dxl_len>\n<dxl bytes>
+//! worker → coordinator:  DONE <id> | ERR <id> <message>
+//! coordinator → worker:  EXIT
+//! ```
+//!
+//! The worker rebuilds the *same* deterministic catalog and database
+//! from the scale factor (`BenchEnv` is a pure function of its inputs),
+//! parses each shipped DXL plan against it, and runs its ranks' share
+//! of the gang. Result rows flow to the coordinator through the result
+//! motion, so `DONE` carries no data — byte equality is checked on the
+//! coordinator's side.
+//!
+//! Usage (spawned, not for humans):
+//! `net_worker <scale> <batch_size> <rank> <workers> <columnar 0|1>`
+
+use orca_bench::BenchEnv;
+use orca_common::ColId;
+use orca_dxl::parse_plan_doc;
+use orca_executor::{ClusterTopology, NetConfig, NetNode, ParallelConfig, ParallelEngine};
+use std::io::{BufRead, Read, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args[0].parse().expect("scale");
+    let batch_size: usize = args[1].parse().expect("batch_size");
+    let rank: usize = args[2].parse().expect("rank");
+    let workers: usize = args[3].parse().expect("workers");
+    let columnar: bool = args[4] == "1";
+
+    let mut env = BenchEnv::new(scale, 8);
+    env.db.cluster.batch_size = batch_size.max(1);
+    env.cluster.batch_size = batch_size.max(1);
+    let node = NetNode::bind("127.0.0.1:0", rank, NetConfig::default()).expect("bind");
+
+    let stdin = std::io::stdin();
+    let mut stdin = stdin.lock();
+    let stdout = std::io::stdout();
+    let mut stdout = stdout.lock();
+    writeln!(stdout, "READY {}", node.addr()).expect("stdout");
+    stdout.flush().expect("flush");
+
+    let mut topo: Option<ClusterTopology> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if stdin.read_line(&mut line).expect("stdin") == 0 {
+            return; // coordinator went away
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("TOPO") => {
+                let peers: Vec<String> = parts.map(str::to_string).collect();
+                topo = Some(ClusterTopology::round_robin(
+                    peers,
+                    env.db.cluster.num_segments,
+                ));
+            }
+            Some("JOB") => {
+                let query_id: u64 = parts.next().expect("query id").parse().expect("id");
+                let cols: Vec<ColId> = parts
+                    .next()
+                    .expect("cols")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| ColId(s.parse().expect("col")))
+                    .collect();
+                let dxl_len: usize = parts.next().expect("dxl len").parse().expect("len");
+                let mut dxl = vec![0u8; dxl_len];
+                stdin.read_exact(&mut dxl).expect("dxl body");
+                let dxl = String::from_utf8(dxl).expect("dxl utf8");
+                let topo = topo.as_ref().expect("TOPO before JOB");
+                let outcome = parse_plan_doc(&dxl, env.provider.as_ref()).and_then(|doc| {
+                    let engine = ParallelEngine::with_config(
+                        &env.db,
+                        ParallelConfig {
+                            workers,
+                            batch_rows: batch_size,
+                            columnar,
+                            ..ParallelConfig::default()
+                        },
+                    );
+                    engine.run_distributed(&doc.plan, &cols, &node, topo, query_id)
+                });
+                match outcome {
+                    Ok(_) => writeln!(stdout, "DONE {query_id}").expect("stdout"),
+                    Err(e) => writeln!(stdout, "ERR {query_id} {}", e.message().replace('\n', " "))
+                        .expect("stdout"),
+                }
+                stdout.flush().expect("flush");
+            }
+            Some("EXIT") | None => return,
+            Some(other) => panic!("unknown control verb {other:?}"),
+        }
+    }
+}

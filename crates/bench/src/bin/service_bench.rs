@@ -16,6 +16,12 @@
 //!    database attached, measuring in-flight request coalescing, shared
 //!    scan-fragment reuse across sessions, and the memory-grant broker's
 //!    admitted/queued/degraded-grant counters.
+//! 4. **Network front-end** (§3's socket deployment): the same warm
+//!    workload through a real `ServiceServer` TCP round trip — DXL in,
+//!    streamed row frames out — gated on byte-identical rows vs the
+//!    in-process path, at least one genuinely streamed response, a
+//!    served early-close (client cancel), and a TCP p99 within 5x the
+//!    in-process p99 of the identical workload.
 //!
 //! Usage: `service_bench [scale] [rounds] [--smoke]`.
 //!
@@ -35,7 +41,9 @@ use orca_bench::report::row;
 use orca_bench::BenchEnv;
 use orca_dxl::{plan_to_dxl, query_to_dxl, DxlPlan, DxlQuery};
 use orca_expr::props::DistSpec;
-use orca_service::{ExecuteConfig, PlanSource, Service, ServiceConfig};
+use orca_service::{
+    ExecuteConfig, PlanSource, Service, ServiceClient, ServiceConfig, ServiceServer, ServiceStats,
+};
 use orca_tpcds::suite;
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -237,6 +245,94 @@ fn run_share_sweep(
         mem_queued: stats.mem_queued,
         mem_degraded_grants: stats.mem_degraded_grants,
         mem_peak_bytes: stats.mem_peak_bytes,
+    }
+}
+
+struct NetPhase {
+    requests: usize,
+    p99_inproc_ms: f64,
+    p99_tcp_ms: f64,
+    streamed: u64,
+    early_closed: u64,
+    frames_tx: u64,
+    bytes_tx: u64,
+}
+
+fn p99(latencies_ms: &mut [f64]) -> f64 {
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    latencies_ms[((latencies_ms.len() - 1) as f64 * 0.99).round() as usize]
+}
+
+/// Phase 4: the DXL round trip again, but through a real TCP socket —
+/// `ServiceServer` in front of the same execute-enabled service, with
+/// row batches streamed back as frames. The in-process reference runs
+/// the *identical* warm workload on the same service first, so the p99
+/// comparison isolates the wire, not the work.
+fn run_net_phase(env: &BenchEnv, corpus: &Arc<Vec<DxlQuery>>, rounds: usize) -> NetPhase {
+    let mut cfg = service_config(env);
+    cfg.execute = Some(ExecuteConfig {
+        parallel: false,
+        columnar: true,
+        batch_rows: 16,
+        ..ExecuteConfig::default()
+    });
+    let svc = Arc::new(Service::new(env.provider.clone(), cfg));
+    svc.attach_database(Arc::new(env.db.clone()));
+    let dxl_texts: Vec<String> = corpus.iter().map(query_to_dxl).collect();
+
+    // Cold pass warms the plan cache and pins the reference row sets.
+    let session = svc.open_session();
+    let inproc_rows: Vec<_> = dxl_texts
+        .iter()
+        .map(|dxl| {
+            let t = svc.submit(session, dxl).expect("in-process cold");
+            t.response.execution.expect("executed").rows
+        })
+        .collect();
+    let mut inproc_lat: Vec<f64> = Vec::new();
+    for _ in 0..rounds {
+        for dxl in &dxl_texts {
+            let t0 = Instant::now();
+            svc.submit(session, dxl).expect("in-process warm");
+            inproc_lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    let mut server = ServiceServer::start(Arc::clone(&svc), "127.0.0.1:0").expect("tcp server");
+    let mut client = ServiceClient::connect(server.addr()).expect("tcp client");
+    let mut tcp_lat: Vec<f64> = Vec::new();
+    for _ in 0..rounds {
+        for (i, dxl) in dxl_texts.iter().enumerate() {
+            let t0 = Instant::now();
+            let resp = client.submit(dxl, None).expect("tcp submit");
+            tcp_lat.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                resp.rows, inproc_rows[i],
+                "TCP response diverged from the in-process rows"
+            );
+            assert_eq!(resp.plan.source, PlanSource::Cache);
+        }
+    }
+    // Early-close exercise: cancel before reading — the server must
+    // tear the cursor down and still answer the receipt.
+    let cancelled = client
+        .submit_limit(&dxl_texts[0], None, Some(0))
+        .expect("tcp cancel");
+    assert!(
+        cancelled.done.early,
+        "immediate cancel was not early-closed"
+    );
+    server.shutdown();
+
+    let stats: ServiceStats = svc.stats();
+    NetPhase {
+        requests: tcp_lat.len(),
+        p99_inproc_ms: p99(&mut inproc_lat),
+        p99_tcp_ms: p99(&mut tcp_lat),
+        streamed: stats.net_streamed,
+        early_closed: stats.net_early_closed,
+        frames_tx: stats.net_frames_tx,
+        bytes_tx: stats.net_bytes_tx,
     }
 }
 
@@ -483,20 +579,58 @@ fn main() {
         );
     }
 
+    // ------------------------------------------------------------------
+    // Phase 4: the network front-end over a real TCP socket.
+    // ------------------------------------------------------------------
+    println!();
+    let net = run_net_phase(&env, &corpus, share_rounds);
+    println!(
+        "network front-end: {} requests over TCP, p99 {:.2} ms vs {:.2} ms in-process \
+         ({:.1}x), {} streamed, {} early-closed, {} frames / {} KiB sent",
+        net.requests,
+        net.p99_tcp_ms,
+        net.p99_inproc_ms,
+        net.p99_tcp_ms / net.p99_inproc_ms,
+        net.streamed,
+        net.early_closed,
+        net.frames_tx,
+        net.bytes_tx >> 10
+    );
+    // Network gates (always on): rows already asserted byte-identical
+    // inside the phase; here, streaming must be real and the socket hop
+    // must not dominate the served latency.
+    assert!(
+        net.streamed >= 1,
+        "no TCP response streamed its first batch before the producer finished"
+    );
+    assert_eq!(
+        net.early_closed, 1,
+        "the client cancel was not early-closed"
+    );
+    assert!(
+        net.p99_tcp_ms <= 5.0 * net.p99_inproc_ms,
+        "TCP p99 {:.2} ms > 5x in-process p99 {:.2} ms",
+        net.p99_tcp_ms,
+        net.p99_inproc_ms
+    );
+
     if smoke {
         println!(
             "\nsmoke gate passed: hit rate {:.1}% >= 90%, zero degraded, \
              byte-identical cached DXL, cache speedup {:.0}x >= 10x, \
              sharing at 16 sessions: {} coalesced, {} fragments reused, \
              qps {:.0} >= 0.8x single-session {:.0}, \
-             {} grants admitted with zero queued/degraded",
+             {} grants admitted with zero queued/degraded, \
+             TCP p99 {:.2} ms <= 5x in-process with {} streamed responses",
             hit_rate * 100.0,
             speedup,
             s16.coalesced,
             s16.fragments_reused,
             s16.qps,
             s1.qps,
-            s16.mem_admitted
+            s16.mem_admitted,
+            net.p99_tcp_ms,
+            net.streamed
         );
         return;
     }
@@ -511,6 +645,7 @@ fn main() {
         hit_rate,
         &sweeps,
         &shares,
+        &net,
     );
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
     println!("\nwrote BENCH_service.json");
@@ -529,6 +664,7 @@ fn render_json(
     hit_rate: f64,
     sweeps: &[SweepResult],
     shares: &[ShareResult],
+    net: &NetPhase,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"service_bench\",\n");
@@ -583,6 +719,19 @@ fn render_json(
             if i + 1 < shares.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"net\": {{\"requests\": {}, \"p99_inproc_ms\": {:.4}, \"p99_tcp_ms\": {:.4}, \
+         \"streamed\": {}, \"early_closed\": {}, \"frames_tx\": {}, \"bytes_tx\": {}, \
+         \"rows_identical\": true}}\n",
+        net.requests,
+        net.p99_inproc_ms,
+        net.p99_tcp_ms,
+        net.streamed,
+        net.early_closed,
+        net.frames_tx,
+        net.bytes_tx
+    ));
+    out.push_str("}\n");
     out
 }

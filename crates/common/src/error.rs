@@ -33,6 +33,12 @@ pub enum OrcaError {
     /// (preflight), and as a runtime backstop otherwise, so the service's
     /// degradation ladder can react instead of aborting mid-query.
     OutOfMemory(String),
+    /// A network transport failure on the socket interconnect or the
+    /// service front-end: connect retries exhausted, a peer died
+    /// mid-stream, or a malformed frame arrived. Distinguished from
+    /// [`OrcaError::Execution`] so distributed callers can tell "the plan
+    /// is wrong" from "the cluster is unhealthy" and retry elsewhere.
+    Net(String),
     /// A feature the query needs is unsupported by the engine being driven
     /// (used by the Figure 15 support matrix).
     Unsupported(String),
@@ -54,6 +60,7 @@ impl OrcaError {
             OrcaError::Timeout(_) => "timeout",
             OrcaError::Execution(_) => "execution",
             OrcaError::OutOfMemory(_) => "oom",
+            OrcaError::Net(_) => "net",
             OrcaError::Unsupported(_) => "unsupported",
             OrcaError::InjectedFault(_) => "injected",
         }
@@ -71,6 +78,7 @@ impl OrcaError {
             | OrcaError::Timeout(m)
             | OrcaError::Execution(m)
             | OrcaError::OutOfMemory(m)
+            | OrcaError::Net(m)
             | OrcaError::Unsupported(m)
             | OrcaError::InjectedFault(m) => m,
         }

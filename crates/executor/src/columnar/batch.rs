@@ -949,21 +949,16 @@ impl Column {
                 0
             }
         }
-        let bitmap = |nulls: &Option<BitVec>| {
-            nulls.as_ref().map_or(0, |b| (b.len() as u64).div_ceil(8))
-        };
+        let bitmap =
+            |nulls: &Option<BitVec>| nulls.as_ref().map_or(0, |b| (b.len() as u64).div_ceil(8));
         match self {
             Column::Null(_) => 0,
-            Column::Int { vals, nulls } => {
-                once(seen, vals, 8 * vals.len() as u64) + bitmap(nulls)
-            }
+            Column::Int { vals, nulls } => once(seen, vals, 8 * vals.len() as u64) + bitmap(nulls),
             Column::Double { vals, nulls } => {
                 once(seen, vals, 8 * vals.len() as u64) + bitmap(nulls)
             }
             Column::Bool { vals, nulls } => once(seen, vals, vals.len() as u64) + bitmap(nulls),
-            Column::Date { vals, nulls } => {
-                once(seen, vals, 4 * vals.len() as u64) + bitmap(nulls)
-            }
+            Column::Date { vals, nulls } => once(seen, vals, 4 * vals.len() as u64) + bitmap(nulls),
             Column::Str { vals, nulls } => {
                 let sz = || vals.iter().map(|s| s.len() as u64 + 4).sum::<u64>();
                 (if seen.insert(vals.addr()) { sz() } else { 0 }) + bitmap(nulls)
@@ -1743,8 +1738,8 @@ mod dict_proptests {
                 for j in 0..vals.len() {
                     let (Some(a), Some(b)) = (&vals[i], &vals[j]) else { continue };
                     prop_assert!(
-                        !nulls.map_or(false, |nb| nb.get(i))
-                            && !nulls.map_or(false, |nb| nb.get(j))
+                        !nulls.is_some_and(|nb| nb.get(i))
+                            && !nulls.is_some_and(|nb| nb.get(j))
                     );
                     prop_assert_eq!(
                         Some(codes[i].cmp(&codes[j])),

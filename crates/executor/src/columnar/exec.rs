@@ -222,7 +222,7 @@ fn cexec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<ColStream> {
             out.replicated = input.replicated;
             for s in 0..n {
                 let input_bytes: u64 = input.per_seg[s].iter().map(ColumnBatch::bytes).sum();
-                let budget = ctx.op_budget();
+                let budget = ctx.budget_for(input_bytes);
                 let mut spill_factor = 1.0;
                 let big = ColumnBatch::concat(&input.per_seg[s], width);
                 let batches: Vec<ColumnBatch>;
@@ -458,9 +458,8 @@ fn cexec_shared_scan(
         let frag = match fc.begin(&key, ctx.abort.as_deref())? {
             Probe::Ready(f) => f,
             Probe::Lead(guard) => {
-                let so = scan_filtered(t, seg, parts, cols, pred, bs, || {
-                    ctx.take_shell(cols.len())
-                })?;
+                let so =
+                    scan_filtered(t, seg, parts, cols, pred, bs, || ctx.take_shell(cols.len()))?;
                 ctx.stats.scan_bytes_cloned += so.bytes_cloned;
                 guard.publish(
                     Fragment::new(so.batches, so.scan_rows, so.scan_batches)
@@ -510,9 +509,15 @@ fn cexec_fused_scan(
     let mut out = ColStream::empty(cols.to_vec(), n);
     out.replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
     for s in 0..n {
-        let so = scan_filtered(t, ctx.storage_segment(s), parts, cols, Some(pred), bs, || {
-            ctx.take_shell(width)
-        })?;
+        let so = scan_filtered(
+            t,
+            ctx.storage_segment(s),
+            parts,
+            cols,
+            Some(pred),
+            bs,
+            || ctx.take_shell(width),
+        )?;
         let scanned = so.scan_rows as usize;
         ctx.stats.rows_processed += so.scan_rows * 2;
         ctx.stats.chunks_skipped += so.chunks_skipped;
@@ -763,8 +768,7 @@ fn scan_filtered(
                         let (codes, _, nulls) = chunk.data.cols[zt.pos()].dict_parts().unwrap();
                         cand.retain(|&i| {
                             let i = i as usize;
-                            nulls.map_or(true, |nb| !nb.get(i))
-                                && ks.binary_search(&codes[i]).is_ok()
+                            nulls.is_none_or(|nb| !nb.get(i)) && ks.binary_search(&codes[i]).is_ok()
                         });
                     } else {
                         let sel = veval_predicate(conj, layout, &chunk.data)?;
@@ -939,7 +943,7 @@ fn cexec_hash_join(
         // Build on the right side. The memory check runs before the build,
         // like the row kernel's.
         let build_bytes: u64 = right.per_seg[s].iter().map(ColumnBatch::bytes).sum();
-        let budget = ctx.op_budget();
+        let budget = ctx.budget_for(build_bytes);
         let mut spill_factor = 1.0;
         let spilling = build_bytes > budget;
         if spilling {
@@ -1101,7 +1105,7 @@ fn cexec_agg(
         // trigger is input bytes over budget, like the row kernel's.
         // Scalar aggregates hold O(1) state and never spill.
         let input_bytes: u64 = input.per_seg[s].iter().map(ColumnBatch::bytes).sum();
-        let budget = ctx.op_budget();
+        let budget = ctx.budget_for(input_bytes);
         let mut spill_factor = 1.0;
         let spilling = !gpos.is_empty() && input_bytes > budget && ctx.cluster.can_spill;
         let mut in_len = 0usize;

@@ -87,12 +87,12 @@ pub fn veval(e: &ScalarExpr, layout: &[ColId], batch: &ColumnBatch) -> Result<Co
                     if let Some((codes, dict, nulls)) = batch.cols[pos].dict_parts() {
                         let pivot = dict.binary_search_by(|d| d.as_str().cmp(s.as_str()));
                         let mut out = BoolBuilder::with_capacity(len);
-                        for i in 0..len {
-                            if nulls.map_or(false, |nb| nb.get(i)) {
+                        for (i, &code) in codes.iter().enumerate().take(len) {
+                            if nulls.is_some_and(|nb| nb.get(i)) {
                                 out.push(None);
                                 continue;
                             }
-                            let code = codes[i] as usize;
+                            let code = code as usize;
                             let ord = match pivot {
                                 Ok(k) => code.cmp(&k),
                                 Err(ins) => {
@@ -402,12 +402,12 @@ fn dict_in_list(
     ks.sort_unstable();
     ks.dedup();
     let mut out = BoolBuilder::with_capacity(batch.len);
-    for i in 0..batch.len {
-        if nulls.map_or(false, |nb| nb.get(i)) {
+    for (i, code) in codes.iter().enumerate().take(batch.len) {
+        if nulls.is_some_and(|nb| nb.get(i)) {
             out.push(None);
             continue;
         }
-        let found = ks.binary_search(&codes[i]).is_ok();
+        let found = ks.binary_search(code).is_ok();
         out.push(match (found, saw_null, negated) {
             (true, _, false) => Some(true),
             (true, _, true) => Some(false),

@@ -263,6 +263,18 @@ impl<'a> ExecCtx<'a> {
         self.mem.operator_budget(self.cluster.work_mem_bytes)
     }
 
+    /// Operator budget for state of `needed` bytes, renegotiating a
+    /// degraded grant upward (once per query) the moment the state would
+    /// not fit — i.e. immediately before the first spill. If the broker
+    /// has bytes back in its pool, the spill may be avoided entirely.
+    pub(crate) fn budget_for(&self, needed: u64) -> u64 {
+        let budget = self.op_budget();
+        if needed > budget && self.mem.try_regrant() {
+            return self.op_budget();
+        }
+        budget
+    }
+
     /// Record `bytes` of resident operator state: the stats high-water
     /// mark plus a bracketed reserve/release on the query tracker (and
     /// through it the process budget).
@@ -457,7 +469,7 @@ fn exec_op(plan: &PhysicalPlan, ctx: &mut ExecCtx<'_>) -> Result<StreamSet> {
                     .iter()
                     .map(|r| r.iter().map(Datum::width).sum::<u64>())
                     .sum();
-                let budget = ctx.op_budget();
+                let budget = ctx.budget_for(input_bytes);
                 let mut spill_factor = 1.0;
                 let rows;
                 if input_bytes > budget && ctx.cluster.can_spill {
@@ -781,7 +793,7 @@ fn exec_hash_join(
             .iter()
             .map(|r| r.iter().map(Datum::width).sum::<u64>())
             .sum();
-        let budget = ctx.op_budget();
+        let budget = ctx.budget_for(build_bytes);
         let mut spill_factor = 1.0;
         let spilling = build_bytes > budget;
         if spilling {
@@ -931,7 +943,7 @@ pub(crate) fn apply_nl_join(
             .map(|r| r.iter().map(Datum::width).sum::<u64>())
             .sum();
         let mut spill_factor = 1.0;
-        if inner_bytes > ctx.op_budget() {
+        if inner_bytes > ctx.budget_for(inner_bytes) {
             ctx.stats.oom_risk_bytes = ctx.stats.oom_risk_bytes.max(inner_bytes);
             if !ctx.cluster.can_spill {
                 return Err(OrcaError::OutOfMemory(format!(
@@ -1007,7 +1019,7 @@ fn exec_agg(
             .iter()
             .map(|r| r.iter().map(Datum::width).sum::<u64>())
             .sum();
-        let budget = ctx.op_budget();
+        let budget = ctx.budget_for(input_bytes);
         let mut spill_factor = 1.0;
         let spilling = !gpos.is_empty() && input_bytes > budget && ctx.cluster.can_spill;
         let mut rows: Vec<Row>;

@@ -31,7 +31,14 @@
 //! * [`sharing`] — cross-query work sharing: a byte-budgeted shared
 //!   fragment cache with cooperative scans, keyed on (table name, table
 //!   version, interned predicate/projection fingerprint, segment).
+//! * [`codec`] — the self-delimiting columnar batch codec shared by
+//!   spill files and the network wire format.
+//! * [`net`] — the socket interconnect: a length-prefixed frame codec
+//!   for the `Msg` protocol, a TCP transport behind the same
+//!   sender/receiver surface as the in-process channels, and the
+//!   [`net::ClusterTopology`] that maps segments onto peer processes.
 
+pub mod codec;
 pub mod columnar;
 pub mod cursor;
 pub mod engine;
@@ -39,6 +46,7 @@ pub mod eval;
 pub mod exec;
 pub mod memory;
 pub mod merge;
+pub mod net;
 pub mod parallel;
 pub mod reference;
 pub mod sharing;
@@ -49,6 +57,7 @@ pub use columnar::{ColStream, Column, ColumnBatch};
 pub use cursor::{Cursor, CursorOptions};
 pub use engine::{ExecEngine, ExecResult, ExecStats};
 pub use memory::{preflight, MemoryBudget, MemoryTracker};
+pub use net::{ClusterTopology, NetConfig, NetNode, NetStats};
 pub use parallel::{ParallelConfig, ParallelEngine, ParallelStats};
 pub use sharing::{FragmentCache, FragmentCacheStats, FragmentKey};
 pub use storage::{Database, Row};

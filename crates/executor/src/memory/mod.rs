@@ -90,22 +90,47 @@ impl MemoryBudget {
     }
 }
 
+/// A one-shot renegotiation callback installed by the grant broker:
+/// returns the query's new *total* grant in bytes, or 0 when the pool
+/// had nothing to give.
+pub type RegrantFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
 /// Per-query grant accounting, shared (via `Arc`) by every kernel
 /// instance of one query — the serial interpreter or all gang workers
 /// of a parallel run. Operator state (hash-join build, aggregate
 /// groups, sort buffer) is reserved here while resident and released
 /// when the operator finishes, charging through to the process budget
 /// when one is attached.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct MemoryTracker {
     /// Per-segment grant in bytes; `None` = ungoverned (operator budget
-    /// falls back to `work_mem_bytes` alone).
-    per_seg_grant: Option<u64>,
+    /// falls back to `work_mem_bytes` alone). Atomic so a mid-query
+    /// renegotiation can raise it under every gang worker's feet.
+    per_seg_grant: Option<AtomicU64>,
     /// Total grant held for this query (released by the broker, not us).
-    granted: u64,
+    granted: AtomicU64,
+    num_segments: usize,
     budget: Option<Arc<MemoryBudget>>,
     used: AtomicU64,
     peak: AtomicU64,
+    /// One-shot upward renegotiation of a degraded grant, consumed at
+    /// the first would-spill moment (see [`MemoryTracker::try_regrant`]).
+    regrant: std::sync::Mutex<Option<RegrantFn>>,
+}
+
+impl std::fmt::Debug for MemoryTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryTracker")
+            .field("per_seg_grant", &self.per_seg_grant)
+            .field("granted", &self.granted)
+            .field("used", &self.used)
+            .field("peak", &self.peak)
+            .field(
+                "regrant",
+                &self.regrant.lock().unwrap().as_ref().map(|_| "<hook>"),
+            )
+            .finish()
+    }
 }
 
 impl MemoryTracker {
@@ -123,11 +148,11 @@ impl MemoryTracker {
     ) -> MemoryTracker {
         let per_seg = (granted / num_segments.max(1) as u64).max(1);
         MemoryTracker {
-            per_seg_grant: Some(per_seg),
-            granted,
+            per_seg_grant: Some(AtomicU64::new(per_seg)),
+            granted: AtomicU64::new(granted),
+            num_segments,
             budget,
-            used: AtomicU64::new(0),
-            peak: AtomicU64::new(0),
+            ..MemoryTracker::default()
         }
     }
 
@@ -144,14 +169,41 @@ impl MemoryTracker {
     /// grant lowers this below `work_mem`, forcing operators to spill
     /// earlier — the broker's "smaller grant ⇒ forced spill" ladder.
     pub fn operator_budget(&self, work_mem_bytes: u64) -> u64 {
-        match self.per_seg_grant {
-            Some(g) => g.min(work_mem_bytes),
+        match &self.per_seg_grant {
+            Some(g) => g.load(Ordering::Relaxed).min(work_mem_bytes),
             None => work_mem_bytes,
         }
     }
 
     pub fn granted_bytes(&self) -> u64 {
-        self.granted
+        self.granted.load(Ordering::Relaxed)
+    }
+
+    /// Install the degraded grant's one-shot renegotiation callback.
+    pub fn set_regrant(&self, hook: RegrantFn) {
+        *self.regrant.lock().unwrap() = Some(hook);
+    }
+
+    /// Renegotiate the grant upward, once, at the first would-spill
+    /// moment. Consumes the hook whatever the outcome — a second spill
+    /// site must not retry a pool that already said no. Returns `true`
+    /// when the grant actually grew (the caller should re-read its
+    /// operator budget and may be able to skip the spill).
+    pub fn try_regrant(&self) -> bool {
+        let Some(hook) = self.regrant.lock().unwrap().take() else {
+            return false;
+        };
+        let new_total = hook();
+        let old = self.granted.load(Ordering::Relaxed);
+        if new_total <= old {
+            return false;
+        }
+        self.granted.store(new_total, Ordering::Relaxed);
+        if let Some(g) = &self.per_seg_grant {
+            let per_seg = (new_total / self.num_segments.max(1) as u64).max(1);
+            g.store(per_seg, Ordering::Relaxed);
+        }
+        true
     }
 
     /// Reserve `bytes` of operator state.
@@ -241,7 +293,10 @@ fn bound_of(plan: &PhysicalPlan, db: &crate::storage::Database, n: usize) -> Bou
                 })
                 .collect();
             let replicated = t.desc.distribution == orca_catalog::Distribution::Replicated;
-            Bound { per_seg, replicated }
+            Bound {
+                per_seg,
+                replicated,
+            }
         }
         PhysicalOp::Motion { kind } => {
             let child = bound_of(&plan.children[0], db, n);
@@ -351,5 +406,34 @@ mod tests {
         assert_eq!(t.used_bytes(), 0);
         assert_eq!(budget.used_bytes(), 0);
         assert_eq!(t.peak_bytes(), 512);
+    }
+
+    #[test]
+    fn regrant_is_one_shot_and_raises_the_operator_budget() {
+        let t = MemoryTracker::granted(8 << 10, 8, None);
+        assert_eq!(t.operator_budget(1 << 20), 1 << 10);
+        // No hook installed: nothing to renegotiate.
+        assert!(!t.try_regrant());
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        t.set_regrant(Box::new(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+            64 << 10
+        }));
+        assert!(t.try_regrant());
+        assert_eq!(t.granted_bytes(), 64 << 10);
+        assert_eq!(t.operator_budget(1 << 20), 8 << 10);
+        // The hook is consumed: a second would-spill site gets nothing.
+        assert!(!t.try_regrant());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_regrant_leaves_the_grant_alone() {
+        let t = MemoryTracker::granted(8 << 10, 8, None);
+        t.set_regrant(Box::new(|| 0));
+        assert!(!t.try_regrant());
+        assert_eq!(t.granted_bytes(), 8 << 10);
+        assert!(!t.try_regrant(), "hook consumed even on failure");
     }
 }

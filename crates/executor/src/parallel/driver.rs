@@ -18,14 +18,19 @@
 use crate::columnar::{cexec, ColStream};
 use crate::engine::project_output;
 use crate::exec::{exec, ExecCtx, ExecStats, StreamSet};
+use crate::net::{
+    ClusterTopology, EndpointKey, NetConfig, NetMotionCounters, NetNode, NetSender, NetShared,
+    RESULT_MOTION,
+};
 use crate::parallel::interconnect::{
-    receive_stream, send_stream, BatchPool, MotionChannels, MotionCounters, Msg,
+    receive_stream, send_stream, BatchPool, MotionChannels, MotionCounters, Msg, MsgReceiver,
+    MsgSender,
 };
 use crate::parallel::metrics::{MotionMetrics, ParallelStats, SliceMetrics};
 use crate::parallel::slice::{slice_plan, Slice, SlicedPlan};
 use crate::parallel::spool::{SharedSpool, SpoolPayload};
 use crate::storage::{Database, Row};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::bounded;
 use orca_common::hash::FnvHashMap;
 use orca_common::{ColId, OrcaError, Result};
 use orca_expr::physical::PhysicalPlan;
@@ -50,6 +55,8 @@ pub struct ParallelConfig {
     /// byte-identical either way; `false` keeps the row kernel as the
     /// differential-test oracle.
     pub columnar: bool,
+    /// Socket-transport tunables, used only by distributed runs.
+    pub net: NetConfig,
 }
 
 impl Default for ParallelConfig {
@@ -62,6 +69,7 @@ impl Default for ParallelConfig {
             channel_capacity: 4,
             deadline: None,
             columnar: true,
+            net: NetConfig::default(),
         }
     }
 }
@@ -121,10 +129,7 @@ impl<'a> ParallelEngine<'a> {
 
     /// Attach a per-query memory grant; every slice kernel charges its
     /// operator state against the same tracker.
-    pub fn with_memory(
-        mut self,
-        mem: Arc<crate::memory::MemoryTracker>,
-    ) -> ParallelEngine<'a> {
+    pub fn with_memory(mut self, mem: Arc<crate::memory::MemoryTracker>) -> ParallelEngine<'a> {
         self.mem = Some(mem);
         self
     }
@@ -147,10 +152,85 @@ impl<'a> ParallelEngine<'a> {
         if let Some(d) = self.cfg.deadline {
             abort.set_deadline(Instant::now() + d);
         }
-        let mut result = self.run_inner(plan, output_cols, abort);
+        let mut result = self.run_inner(plan, output_cols, abort, None);
         if self.cfg.deadline.is_some() {
             abort.clear_deadline();
         }
+        if let Ok(r) = result.as_mut() {
+            r.parallel.wall_seconds = t0.elapsed().as_secs_f64();
+        }
+        result
+    }
+
+    /// Run one instance of a distributed gang: every peer named by the
+    /// topology calls this with the *same* plan, output columns, and
+    /// `query_id`; segments owned by other peers are reached over the
+    /// socket interconnect. The coordinator (peer 0) returns the
+    /// assembled rows; workers return an empty row set but full local
+    /// statistics. A degenerate (single-peer) topology takes the
+    /// all-in-process fast path and opens no sockets.
+    pub fn run_distributed(
+        &self,
+        plan: &PhysicalPlan,
+        output_cols: &[ColId],
+        node: &NetNode,
+        topo: &ClusterTopology,
+        query_id: u64,
+    ) -> Result<ParallelResult> {
+        self.run_distributed_with_abort(
+            plan,
+            output_cols,
+            node,
+            topo,
+            query_id,
+            &Arc::new(AbortSignal::new()),
+        )
+    }
+
+    /// [`ParallelEngine::run_distributed`] under an external
+    /// cancellation token.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_distributed_with_abort(
+        &self,
+        plan: &PhysicalPlan,
+        output_cols: &[ColId],
+        node: &NetNode,
+        topo: &ClusterTopology,
+        query_id: u64,
+        abort: &Arc<AbortSignal>,
+    ) -> Result<ParallelResult> {
+        if topo.segment_peer.len() != self.db.cluster.num_segments {
+            return Err(OrcaError::Execution(format!(
+                "topology maps {} segments, cluster has {}",
+                topo.segment_peer.len(),
+                self.db.cluster.num_segments
+            )));
+        }
+        if !topo.is_distributed() {
+            return self.run_with_abort(plan, output_cols, abort);
+        }
+        let t0 = Instant::now();
+        if let Some(d) = self.cfg.deadline {
+            abort.set_deadline(Instant::now() + d);
+        }
+        let dist = DistRun {
+            node,
+            topo,
+            query_id,
+            net_cfg: self.cfg.net.clone(),
+        };
+        let mut result = self.run_inner(plan, output_cols, abort, Some(&dist));
+        if self.cfg.deadline.is_some() {
+            abort.clear_deadline();
+        }
+        // A local failure is broadcast to every peer connection of this
+        // query so remote gangs drain promptly instead of waiting out
+        // their deadlines; either way this query's network state is torn
+        // down before returning.
+        if let Err(e) = &result {
+            node.server.abort_query(query_id, e);
+        }
+        node.server.end_query(query_id);
         if let Ok(r) = result.as_mut() {
             r.parallel.wall_seconds = t0.elapsed().as_secs_f64();
         }
@@ -162,6 +242,7 @@ impl<'a> ParallelEngine<'a> {
         plan: &PhysicalPlan,
         output_cols: &[ColId],
         abort: &Arc<AbortSignal>,
+        dist: Option<&DistRun<'_>>,
     ) -> Result<ParallelResult> {
         abort.check()?;
         // Same preflight rule as `ExecEngine`: when the cluster cannot
@@ -177,18 +258,73 @@ impl<'a> ParallelEngine<'a> {
         let sliced = slice_plan(plan);
         let n = self.db.cluster.num_segments;
         let workers = self.cfg.workers.max(1);
+        let me = dist.map_or(0, |d| d.node.me);
 
         // Interconnect state, one channel matrix + counter block per motion.
-        let mut channels: Vec<MotionChannels> = sliced
+        let net_shared = Arc::new(NetShared::default());
+        let net_counters: Vec<Arc<NetMotionCounters>> = sliced
             .motions
             .iter()
-            .map(|_| MotionChannels::new(n, self.cfg.channel_capacity))
+            .map(|_| Arc::new(NetMotionCounters::default()))
             .collect();
+        let mut channels: Vec<MotionChannels> = Vec::with_capacity(sliced.motions.len());
+        for (m, net_c) in net_counters.iter().enumerate() {
+            channels.push(match dist {
+                None => MotionChannels::new(n, self.cfg.channel_capacity),
+                Some(d) => build_dist_channels(
+                    d,
+                    m,
+                    n,
+                    self.cfg.channel_capacity,
+                    net_c,
+                    &net_shared,
+                    abort,
+                )?,
+            });
+        }
         let counters: Vec<MotionCounters> = sliced
             .motions
             .iter()
             .map(|_| MotionCounters::default())
             .collect();
+
+        // The reserved result motion: remote root-slice instances ship
+        // their parked streams home; the coordinator registers a
+        // receiving endpoint per remote-owned segment.
+        let result_counters = Arc::new(NetMotionCounters::default());
+        let mut result_txs: Vec<Option<MsgSender>> = (0..n).map(|_| None).collect();
+        let mut result_rxs: Vec<Option<MsgReceiver>> = (0..n).map(|_| None).collect();
+        if let Some(d) = dist {
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..n {
+                let owner = d.topo.owner(s);
+                let key = EndpointKey {
+                    query: d.query_id,
+                    motion: RESULT_MOTION,
+                    sender: s as u32,
+                    receiver: 0,
+                };
+                if me == 0 && owner != 0 {
+                    result_rxs[s] = Some(MsgReceiver::Net(d.node.server.expect(
+                        key,
+                        Arc::clone(&result_counters),
+                        Arc::clone(&net_shared),
+                    )));
+                } else if me != 0 && owner == me {
+                    let tx = NetSender::connect(
+                        &d.topo.peers[0],
+                        key,
+                        self.cfg.channel_capacity,
+                        &d.net_cfg,
+                        abort,
+                        Arc::clone(&result_counters),
+                        Arc::clone(&net_shared),
+                    )?;
+                    tx.register(&d.node.server, d.query_id);
+                    result_txs[s] = Some(MsgSender::Net(tx));
+                }
+            }
+        }
         let gate = ComputeGate::new(workers);
         let pool = Arc::new(BatchPool::new());
         // Spooled CTE bytes count against the process-wide budget (if the
@@ -206,14 +342,23 @@ impl<'a> ParallelEngine<'a> {
 
         std::thread::scope(|scope| {
             for slice in &sliced.slices {
+                #[allow(clippy::needless_range_loop)]
                 for seg in 0..n {
-                    let txs: Option<Vec<Sender<Msg>>> =
+                    if dist.is_some_and(|d| d.topo.owner(seg) != me) {
+                        continue;
+                    }
+                    let txs: Option<Vec<MsgSender>> =
                         slice.output.map(|m| channels[m].tx[seg].take().unwrap());
-                    let rxs: Vec<(usize, Vec<Receiver<Msg>>)> = slice
+                    let rxs: Vec<(usize, Vec<MsgReceiver>)> = slice
                         .inputs
                         .iter()
                         .map(|&m| (m, channels[m].rx[seg].take().unwrap()))
                         .collect();
+                    let result_tx = if slice.output.is_none() && slice.spool_output.is_none() {
+                        result_txs[seg].take()
+                    } else {
+                        None
+                    };
                     let task = TaskCtx {
                         db: self.db,
                         sliced: &sliced,
@@ -221,6 +366,7 @@ impl<'a> ParallelEngine<'a> {
                         seg,
                         txs,
                         rxs,
+                        result_tx,
                         batch_rows: self.cfg.batch_rows,
                         columnar: self.cfg.columnar,
                         abort,
@@ -253,16 +399,37 @@ impl<'a> ParallelEngine<'a> {
         }
         abort.check()?;
 
-        let streams = root_out.into_inner().unwrap();
-        let mut combined = StreamSet::empty(Vec::new(), n);
-        for (s, stream) in streams.into_iter().enumerate() {
-            let stream = stream
-                .ok_or_else(|| OrcaError::Execution("root slice produced no stream".into()))?;
-            combined.layout = stream.layout.clone();
-            combined.replicated = stream.replicated;
-            combined.per_seg[s] = stream.per_seg.into_iter().next().unwrap_or_default();
-        }
-        let rows = project_output(&combined, output_cols)?;
+        // Assembly (coordinator only): stitch locally parked streams and
+        // remotely shipped result streams back into the full StreamSet.
+        // Each instance's clock lands in its segment's `avail` slot, so
+        // `sim_seconds` — the max over slots — reproduces the serial
+        // engine's bit for bit.
+        let mut sim_seconds = 0.0;
+        let rows = if me == 0 {
+            let streams = root_out.into_inner().unwrap();
+            let mut combined = StreamSet::empty(Vec::new(), n);
+            for (s, stream) in streams.into_iter().enumerate() {
+                let stream = match stream {
+                    Some(ss) => ss,
+                    None => match &result_rxs[s] {
+                        Some(rx) => read_result(rx, abort)?,
+                        None => {
+                            return Err(OrcaError::Execution(
+                                "root slice produced no stream".into(),
+                            ))
+                        }
+                    },
+                };
+                combined.layout = stream.layout.clone();
+                combined.replicated = stream.replicated;
+                combined.avail[s] = stream.avail[0];
+                combined.per_seg[s] = stream.per_seg.into_iter().next().unwrap_or_default();
+            }
+            sim_seconds = combined.elapsed();
+            project_output(&combined, output_cols)?
+        } else {
+            Vec::new()
+        };
 
         let mut stats = merged_stats.into_inner().unwrap();
         stats.bytes_moved += counters
@@ -274,6 +441,8 @@ impl<'a> ParallelEngine<'a> {
             num_slices: sliced.slices.len(),
             serial_fallback: false,
             wall_seconds: 0.0, // stamped by run_with_abort
+            sim_seconds,
+            net: net_shared.snapshot(),
             batches_reused: pool.reused(),
             cte_spools: sliced.spool_count(),
             spool_rows: spool.rows_published(),
@@ -295,6 +464,10 @@ impl<'a> ParallelEngine<'a> {
                     rows: counters[m.id].rows.load(Ordering::Relaxed),
                     bytes: counters[m.id].bytes.load(Ordering::Relaxed),
                     peak_queue_depth: counters[m.id].peak_queue.load(Ordering::Relaxed),
+                    net_frames_tx: net_counters[m.id].frames_tx.load(Ordering::Relaxed),
+                    net_bytes_tx: net_counters[m.id].bytes_tx.load(Ordering::Relaxed),
+                    net_frames_rx: net_counters[m.id].frames_rx.load(Ordering::Relaxed),
+                    net_bytes_rx: net_counters[m.id].bytes_rx.load(Ordering::Relaxed),
                 })
                 .collect(),
         };
@@ -313,8 +486,11 @@ struct TaskCtx<'env> {
     sliced: &'env SlicedPlan,
     slice: &'env Slice,
     seg: usize,
-    txs: Option<Vec<Sender<Msg>>>,
-    rxs: Vec<(usize, Vec<Receiver<Msg>>)>,
+    txs: Option<Vec<MsgSender>>,
+    rxs: Vec<(usize, Vec<MsgReceiver>)>,
+    /// Root-slice instances on worker peers ship their parked stream to
+    /// the coordinator through this instead of `root_out`.
+    result_tx: Option<MsgSender>,
     batch_rows: usize,
     columnar: bool,
     abort: &'env Arc<AbortSignal>,
@@ -351,7 +527,15 @@ fn run_task(task: TaskCtx<'_>) -> Result<()> {
         let kind = &task.sliced.motions[*m].kind;
         delivered.insert(
             *m,
-            receive_stream(kind, rxs, task.abort, task.pool, task.batch_rows)?,
+            receive_stream(
+                kind,
+                rxs,
+                task.seg,
+                &task.db.cluster,
+                task.abort,
+                task.pool,
+                task.batch_rows,
+            )?,
         );
     }
     let mut spooled: Vec<(orca_common::CteId, Arc<SpoolPayload>)> = Vec::new();
@@ -443,19 +627,166 @@ fn run_task(task: TaskCtx<'_>) -> Result<()> {
                     task.sliced.motions[m].key_pos.as_deref(),
                 )?;
             }
-            _ => {
-                let ss = match out {
-                    TaskOut::Col(cs) => cs.to_streamset(),
-                    TaskOut::Rows(ss) => ss,
-                    TaskOut::Spool(_) => unreachable!(),
-                };
-                task.root_out.lock().unwrap()[task.seg] = Some(ss);
-            }
+            _ => match &task.result_tx {
+                // A root instance on a worker peer: ship the finished
+                // stream home over the reserved result motion.
+                Some(tx) => {
+                    let cs = match out {
+                        TaskOut::Col(cs) => cs,
+                        TaskOut::Rows(ss) => ColStream::from_streamset(&ss, task.batch_rows),
+                        TaskOut::Spool(_) => unreachable!(),
+                    };
+                    ship_result(tx, cs, task.abort)?;
+                }
+                None => {
+                    let ss = match out {
+                        TaskOut::Col(cs) => cs.to_streamset(),
+                        TaskOut::Rows(ss) => ss,
+                        TaskOut::Spool(_) => unreachable!(),
+                    };
+                    task.root_out.lock().unwrap()[task.seg] = Some(ss);
+                }
+            },
         },
     }
     task.compute_ns[task.slice.id].fetch_max(compute, Ordering::Relaxed);
     task.wall_ns[task.slice.id].fetch_max(t_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     Ok(())
+}
+
+/// How a distributed run plugs into the cluster: this peer's server and
+/// identity, the static topology, and the query id that names this
+/// run's edges on the wire.
+struct DistRun<'a> {
+    node: &'a NetNode,
+    topo: &'a ClusterTopology,
+    query_id: u64,
+    net_cfg: NetConfig,
+}
+
+/// Build one motion's channel matrix for a distributed run: in-process
+/// bounded channels for peer-local edges, TCP endpoints for edges whose
+/// two instances live on different peers. Rows belonging to instances
+/// hosted elsewhere stay `None` (their tasks are not spawned here).
+#[allow(clippy::needless_range_loop)]
+fn build_dist_channels(
+    d: &DistRun<'_>,
+    motion: usize,
+    n: usize,
+    capacity: usize,
+    counters: &Arc<NetMotionCounters>,
+    shared: &Arc<NetShared>,
+    abort: &AbortSignal,
+) -> Result<MotionChannels> {
+    let me = d.node.me;
+    let key = |s: usize, r: usize| EndpointKey {
+        query: d.query_id,
+        motion: motion as u32,
+        sender: s as u32,
+        receiver: r as u32,
+    };
+    let mut tx: Vec<Option<Vec<MsgSender>>> = (0..n).map(|_| None).collect();
+    let mut rx: Vec<Option<Vec<MsgReceiver>>> = (0..n).map(|_| None).collect();
+    // Local↔local edges share one bounded channel; stage the sender
+    // halves so tx rows can be assembled in receiver order afterwards.
+    let mut staged: Vec<Vec<Option<MsgSender>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    // Receiver rows first: inbound remote edges must be registered with
+    // the local server before peers' handshakes can complete.
+    for r in (0..n).filter(|&r| d.topo.owner(r) == me) {
+        let mut row = Vec::with_capacity(n);
+        for s in 0..n {
+            if d.topo.owner(s) == me {
+                let (a, b) = bounded(capacity);
+                staged[s][r] = Some(MsgSender::Local(a));
+                row.push(MsgReceiver::Local(b));
+            } else {
+                row.push(MsgReceiver::Net(d.node.server.expect(
+                    key(s, r),
+                    Arc::clone(counters),
+                    Arc::clone(shared),
+                )));
+            }
+        }
+        rx[r] = Some(row);
+    }
+    // Sender rows: local halves staged above; remote edges dial out.
+    for s in (0..n).filter(|&s| d.topo.owner(s) == me) {
+        let mut row = Vec::with_capacity(n);
+        for r in 0..n {
+            match staged[s][r].take() {
+                Some(local) => row.push(local),
+                None => {
+                    let peer = &d.topo.peers[d.topo.owner(r)];
+                    let sender = NetSender::connect(
+                        peer,
+                        key(s, r),
+                        capacity,
+                        &d.net_cfg,
+                        abort,
+                        Arc::clone(counters),
+                        Arc::clone(shared),
+                    )?;
+                    sender.register(&d.node.server, d.query_id);
+                    row.push(MsgSender::Net(sender));
+                }
+            }
+        }
+        tx[s] = Some(row);
+    }
+    Ok(MotionChannels { tx, rx })
+}
+
+/// Ship a remote root-slice instance's parked stream to the coordinator
+/// over the reserved result motion: a raw transfer — no motion-cost
+/// replay — whose `Open` carries the stream clock for final assembly.
+fn ship_result(tx: &MsgSender, cs: ColStream, abort: &AbortSignal) -> Result<()> {
+    tx.send(
+        Msg::Open {
+            layout: cs.layout.clone(),
+            avail: cs.avail[0],
+            bytes: cs.bytes(),
+            replicated: cs.replicated,
+        },
+        abort,
+    )?;
+    for b in cs.per_seg.into_iter().next().unwrap_or_default() {
+        if !b.is_empty() {
+            tx.send(Msg::Batch(b), abort)?;
+        }
+    }
+    tx.send(Msg::Eos, abort)
+}
+
+/// Coordinator-side counterpart of [`ship_result`]: rebuild the remote
+/// instance's single-slot stream, clock included.
+fn read_result(rx: &MsgReceiver, abort: &AbortSignal) -> Result<StreamSet> {
+    let (layout, avail, replicated) = match rx.recv(abort)? {
+        Msg::Open {
+            layout,
+            avail,
+            replicated,
+            ..
+        } => (layout, avail, replicated),
+        _ => {
+            return Err(OrcaError::Net(
+                "result stream did not start with Open".into(),
+            ))
+        }
+    };
+    let mut ss = StreamSet::empty(layout, 1);
+    ss.avail[0] = avail;
+    ss.replicated = replicated;
+    loop {
+        match rx.recv(abort)? {
+            Msg::Batch(b) => b.to_rows(&mut ss.per_seg[0]),
+            Msg::Eos => break,
+            Msg::Open { .. } => {
+                return Err(OrcaError::Net("duplicate Open on result stream".into()))
+            }
+        }
+    }
+    Ok(ss)
 }
 
 fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
@@ -607,7 +938,9 @@ mod tests {
 
     /// Assert the parallel engine matches the serial engine byte for byte
     /// at several worker counts — through both the row and the columnar
-    /// kernel — and return the last parallel result.
+    /// kernel — and return the last parallel result. The simulated
+    /// cluster clock must match bit for bit too: the interconnect
+    /// replays the serial motion-cost formulas from the wire headers.
     fn assert_identical(db: &Database, plan: &PhysicalPlan, out_cols: &[ColId]) -> ParallelResult {
         let serial = ExecEngine::new(db).run(plan, out_cols).unwrap();
         let mut last = None;
@@ -619,6 +952,7 @@ mod tests {
                     channel_capacity: 2,
                     deadline: None,
                     columnar,
+                    net: NetConfig::default(),
                 };
                 let par = ParallelEngine::with_config(db, cfg)
                     .run(plan, out_cols)
@@ -627,10 +961,249 @@ mod tests {
                     par.rows, serial.rows,
                     "workers={workers} columnar={columnar} diverged"
                 );
+                assert_eq!(
+                    par.parallel.sim_seconds.to_bits(),
+                    serial.sim_seconds.to_bits(),
+                    "workers={workers} columnar={columnar} sim clock diverged: \
+                     parallel {} vs serial {}",
+                    par.parallel.sim_seconds,
+                    serial.sim_seconds,
+                );
+                assert_eq!(par.parallel.net, crate::net::NetStats::default());
                 last = Some(par);
             }
         }
         last.unwrap()
+    }
+
+    /// Run the same plan as a real loopback-TCP cluster: each peer is a
+    /// thread with its own rendezvous server, sharing the database the
+    /// way separate processes would share identically-loaded storage.
+    /// Returns every peer's result, coordinator first.
+    fn run_loopback(
+        db: &Database,
+        plan: &PhysicalPlan,
+        out_cols: &[ColId],
+        npeers: usize,
+        cfg: &ParallelConfig,
+        query_id: u64,
+    ) -> Vec<Result<ParallelResult>> {
+        let n = db.cluster.num_segments;
+        let nodes: Vec<NetNode> = (0..npeers)
+            .map(|me| NetNode::bind("127.0.0.1:0", me, cfg.net.clone()).unwrap())
+            .collect();
+        let peers: Vec<String> = nodes.iter().map(|nd| nd.addr().to_string()).collect();
+        let topo = ClusterTopology::round_robin(peers, n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .iter()
+                .map(|node| {
+                    let topo = &topo;
+                    let cfg = cfg.clone();
+                    scope.spawn(move || {
+                        ParallelEngine::with_config(db, cfg)
+                            .run_distributed(plan, out_cols, node, topo, query_id)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    /// The distributed gang over loopback TCP produces byte-identical
+    /// rows and a bit-equal simulated clock vs the in-process
+    /// interconnect — across peer counts, worker counts, and kernels —
+    /// with zero connect retries on a healthy cluster.
+    #[test]
+    fn loopback_tcp_matches_in_process() {
+        let (db, t1, t2, _) = db();
+        let join = PhysicalPlan::new(
+            PhysicalOp::HashJoin {
+                kind: JoinKind::Inner,
+                left_keys: vec![ColId(0)],
+                right_keys: vec![ColId(3)],
+                residual: None,
+            },
+            vec![
+                scan(&t1, 0),
+                motion(MotionKind::Redistribute(vec![ColId(3)]), scan(&t2, 2)),
+            ],
+        );
+        let plan = motion(
+            MotionKind::GatherMerge(OrderSpec::by(&[ColId(0)])),
+            PhysicalPlan::new(
+                PhysicalOp::Sort {
+                    order: OrderSpec::by(&[ColId(0)]),
+                },
+                vec![join],
+            ),
+        );
+        let out_cols = [ColId(0), ColId(2)];
+        let serial = ExecEngine::new(&db).run(&plan, &out_cols).unwrap();
+        let mut query_id = 100;
+        for columnar in [false, true] {
+            for workers in [1, 2, 4] {
+                for npeers in [2, 3] {
+                    let cfg = ParallelConfig {
+                        workers,
+                        batch_rows: 7,
+                        channel_capacity: 2,
+                        columnar,
+                        ..ParallelConfig::default()
+                    };
+                    let inproc = ParallelEngine::with_config(&db, cfg.clone())
+                        .run(&plan, &out_cols)
+                        .unwrap();
+                    query_id += 1;
+                    let mut results = run_loopback(&db, &plan, &out_cols, npeers, &cfg, query_id);
+                    let tag = format!("workers={workers} columnar={columnar} peers={npeers}");
+                    for r in &results[1..] {
+                        let r = r.as_ref().expect("worker peer failed");
+                        assert!(r.rows.is_empty(), "{tag}: worker returned rows");
+                    }
+                    let coord = results.remove(0).expect("coordinator failed");
+                    assert_eq!(coord.rows, serial.rows, "{tag}: rows diverged");
+                    assert_eq!(coord.rows, inproc.rows, "{tag}: net vs in-process rows");
+                    assert_eq!(
+                        coord.parallel.sim_seconds.to_bits(),
+                        inproc.parallel.sim_seconds.to_bits(),
+                        "{tag}: sim clock diverged over TCP"
+                    );
+                    assert!(!coord.parallel.serial_fallback, "{tag}: serial fallback");
+                    assert_eq!(coord.parallel.net.reconnects, 0, "{tag}: reconnects");
+                    assert!(
+                        coord.parallel.net.remote_edges > 0,
+                        "{tag}: no remote edges on a {npeers}-peer topology"
+                    );
+                    assert!(coord.parallel.net.frames_tx > 0, "{tag}: no frames sent");
+                    assert!(
+                        coord.parallel.net.open_rtt_max_seconds > 0.0,
+                        "{tag}: open RTT not measured"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Broadcast + replicated inputs keep their accounting across the
+    /// wire (the `distinct_bytes` replay divides the summed copies).
+    #[test]
+    fn loopback_tcp_broadcast_and_replicated_match() {
+        let (db, t1, t2, tr) = db();
+        let plans = [
+            (
+                motion(
+                    MotionKind::Gather,
+                    PhysicalPlan::new(
+                        PhysicalOp::HashJoin {
+                            kind: JoinKind::LeftOuter,
+                            left_keys: vec![ColId(0)],
+                            right_keys: vec![ColId(3)],
+                            residual: None,
+                        },
+                        vec![scan(&t1, 0), motion(MotionKind::Broadcast, scan(&t2, 2))],
+                    ),
+                ),
+                vec![ColId(0), ColId(1), ColId(2)],
+            ),
+            (
+                motion(MotionKind::Gather, scan(&tr, 0)),
+                vec![ColId(0), ColId(1)],
+            ),
+        ];
+        for (i, (plan, out_cols)) in plans.iter().enumerate() {
+            let serial = ExecEngine::new(&db).run(plan, out_cols).unwrap();
+            let cfg = ParallelConfig {
+                workers: 2,
+                batch_rows: 7,
+                channel_capacity: 2,
+                ..ParallelConfig::default()
+            };
+            let inproc = ParallelEngine::with_config(&db, cfg.clone())
+                .run(plan, out_cols)
+                .unwrap();
+            let mut results = run_loopback(&db, plan, out_cols, 2, &cfg, 200 + i as u64);
+            let coord = results.remove(0).expect("coordinator failed");
+            results
+                .into_iter()
+                .for_each(|r| drop(r.expect("worker failed")));
+            assert_eq!(coord.rows, serial.rows, "plan {i}: rows diverged");
+            assert_eq!(
+                coord.parallel.sim_seconds.to_bits(),
+                inproc.parallel.sim_seconds.to_bits(),
+                "plan {i}: sim clock diverged over TCP"
+            );
+        }
+    }
+
+    /// A deadline expiring mid-distributed-run surfaces as a typed
+    /// timeout on the coordinator and never hangs; the abort broadcast
+    /// drains the worker peers promptly too.
+    #[test]
+    fn loopback_tcp_deadline_expiry_is_live() {
+        let (db, t1, t2, _) = db();
+        let plan = motion(
+            MotionKind::Gather,
+            PhysicalPlan::new(
+                PhysicalOp::HashJoin {
+                    kind: JoinKind::Inner,
+                    left_keys: vec![ColId(0)],
+                    right_keys: vec![ColId(3)],
+                    residual: None,
+                },
+                vec![scan(&t1, 0), motion(MotionKind::Broadcast, scan(&t2, 2))],
+            ),
+        );
+        let cfg = ParallelConfig {
+            workers: 1,
+            batch_rows: 1,
+            channel_capacity: 1,
+            // Already expired when the gang starts: the run must still
+            // tear down promptly rather than hang on a socket.
+            deadline: Some(Duration::ZERO),
+            ..ParallelConfig::default()
+        };
+        let results = run_loopback(&db, &plan, &[ColId(0)], 2, &cfg, 300);
+        // Every peer must come back (no hang); the coordinator reports
+        // the deadline. Workers race the broadcast abort and may
+        // land on either side of their own deadline.
+        let coord_err = results
+            .into_iter()
+            .next()
+            .unwrap()
+            .expect_err("deadline did not fire");
+        assert_eq!(coord_err.kind(), "timeout");
+    }
+
+    /// A peer that never joins the gang (its server is up, but it never
+    /// registers endpoints or connects) surfaces as a typed Net error
+    /// within the transport's handshake budget — never a hang.
+    #[test]
+    fn loopback_tcp_dead_peer_is_a_net_error() {
+        let (db, t1, _, _) = db();
+        let plan = motion(MotionKind::Gather, scan(&t1, 0));
+        let n = db.cluster.num_segments;
+        let net = NetConfig {
+            connect_timeout: Duration::from_millis(300),
+            handshake_timeout: Duration::from_millis(300),
+        };
+        let coord = NetNode::bind("127.0.0.1:0", 0, net.clone()).unwrap();
+        // The "dead" peer: bound and accepting, but it never runs the
+        // query, so handshakes are never acknowledged.
+        let ghost = NetNode::bind("127.0.0.1:0", 1, net.clone()).unwrap();
+        let topo = ClusterTopology::round_robin(
+            vec![coord.addr().to_string(), ghost.addr().to_string()],
+            n,
+        );
+        let cfg = ParallelConfig {
+            workers: 2,
+            net,
+            ..ParallelConfig::default()
+        };
+        let err = ParallelEngine::with_config(&db, cfg)
+            .run_distributed(&plan, &[ColId(0), ColId(1)], &coord, &topo, 400)
+            .unwrap_err();
+        assert_eq!(err.kind(), "net", "expected typed Net error, got: {err}");
     }
 
     /// The paper's Figure 6 shape: join with a redistribute under one
@@ -811,6 +1384,7 @@ mod tests {
             channel_capacity: 1,
             deadline: None,
             columnar: true,
+            net: NetConfig::default(),
         };
         let engine = ParallelEngine::with_config(&db, cfg);
         let abort = Arc::new(AbortSignal::new());
@@ -843,6 +1417,7 @@ mod tests {
             channel_capacity: 1,
             deadline: Some(Duration::from_nanos(1)),
             columnar: true,
+            net: NetConfig::default(),
         };
         let err = ParallelEngine::with_config(&db, cfg)
             .run(&plan, &[ColId(0)])

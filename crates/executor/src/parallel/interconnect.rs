@@ -22,10 +22,11 @@
 
 use crate::columnar::{ColStream, ColumnBatch};
 use crate::merge::{kway_merge, RowSource};
+use crate::net::{NetReceiver, NetSender};
 use crate::storage::Row;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use orca_common::hash::FnvHasher;
-use orca_common::{ColId, OrcaError, Result};
+use orca_common::{ColId, OrcaError, Result, SegmentConfig};
 use orca_expr::physical::MotionKind;
 use orca_gpos::AbortSignal;
 use std::hash::Hasher;
@@ -46,15 +47,68 @@ const POOL_CAP: usize = 64;
 /// One message on an interconnect channel.
 #[derive(Debug)]
 pub enum Msg {
-    /// Stream prologue: the row layout (sent by every sender instance,
-    /// identical across a motion — layouts travel in-band so empty
-    /// streams still carry their schema).
+    /// Stream prologue, sent by every sender instance: the row layout
+    /// (identical across a motion — layouts travel in-band so empty
+    /// streams still carry their schema) plus the sender's simulated
+    /// clock and byte accounting, from which the receiver replays the
+    /// serial engine's motion-cost formulas. The `f64`s cross process
+    /// boundaries bit-exact, so `sim_seconds` is identical whether an
+    /// edge is a channel or a socket.
     Open {
         layout: Vec<ColId>,
+        /// The sender instance's stream clock (`ColStream::avail[0]`).
+        avail: f64,
+        /// Bytes of the sender's distinct copy (`ColStream::bytes()`).
+        bytes: f64,
+        /// Whether the sender's stream was replicated (every sender of a
+        /// motion reports the same value).
+        replicated: bool,
     },
     Batch(ColumnBatch),
     /// End of stream: the sender instance is done with this receiver.
     Eos,
+}
+
+/// The sending half of one directed motion edge: an in-process bounded
+/// channel, or a TCP connection when the receiving instance lives in
+/// another process. Both block in abort-checking poll slices and bound
+/// the number of in-flight batches at the matrix capacity.
+pub enum MsgSender {
+    Local(Sender<Msg>),
+    Net(NetSender),
+}
+
+impl MsgSender {
+    pub fn send(&self, msg: Msg, abort: &AbortSignal) -> Result<()> {
+        match self {
+            MsgSender::Local(tx) => send_msg(tx, msg, abort),
+            MsgSender::Net(tx) => tx.send(msg, abort),
+        }
+    }
+
+    /// Batches currently in flight toward the receiver (channel depth or
+    /// consumed credit-window slots).
+    pub fn queued(&self) -> usize {
+        match self {
+            MsgSender::Local(tx) => tx.len(),
+            MsgSender::Net(tx) => tx.queued(),
+        }
+    }
+}
+
+/// The receiving half of one directed motion edge.
+pub enum MsgReceiver {
+    Local(Receiver<Msg>),
+    Net(NetReceiver),
+}
+
+impl MsgReceiver {
+    pub fn recv(&self, abort: &AbortSignal) -> Result<Msg> {
+        match self {
+            MsgReceiver::Local(rx) => recv_msg(rx, abort),
+            MsgReceiver::Net(rx) => rx.recv(abort),
+        }
+    }
 }
 
 /// A free list of [`ColumnBatch`] shells shared by every task of one
@@ -108,21 +162,23 @@ pub struct MotionCounters {
 /// The channel matrix for one motion: `n` sender instances × `n`
 /// receiver instances.
 pub struct MotionChannels {
-    /// `tx[sender][receiver]`, handed out to sender tasks.
-    pub tx: Vec<Option<Vec<Sender<Msg>>>>,
+    /// `tx[sender][receiver]`, handed out to sender tasks. `None` rows
+    /// belong to instances hosted by another peer process.
+    pub tx: Vec<Option<Vec<MsgSender>>>,
     /// `rx[receiver][sender]`, handed out to receiver tasks.
-    pub rx: Vec<Option<Vec<Receiver<Msg>>>>,
+    pub rx: Vec<Option<Vec<MsgReceiver>>>,
 }
 
 impl MotionChannels {
+    /// An all-local matrix: every edge is an in-process bounded channel.
     pub fn new(n: usize, capacity: usize) -> MotionChannels {
-        let mut tx: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        let mut rx: Vec<Vec<Receiver<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut tx: Vec<Vec<MsgSender>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rx: Vec<Vec<MsgReceiver>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
         for tx_row in tx.iter_mut() {
             for rx_row in rx.iter_mut() {
                 let (s, r) = bounded(capacity);
-                tx_row.push(s);
-                rx_row.push(r);
+                tx_row.push(MsgSender::Local(s));
+                rx_row.push(MsgReceiver::Local(r));
             }
         }
         MotionChannels {
@@ -171,22 +227,24 @@ fn abort_error(abort: &AbortSignal, fallback: &str) -> OrcaError {
 
 /// Count and ship one non-empty batch.
 fn send_batch(
-    tx: &Sender<Msg>,
+    tx: &MsgSender,
     batch: ColumnBatch,
     abort: &AbortSignal,
     counters: &MotionCounters,
 ) -> Result<()> {
     counters.rows.fetch_add(batch.len as u64, Ordering::Relaxed);
     counters.bytes.fetch_add(batch.bytes(), Ordering::Relaxed);
-    send_msg(tx, Msg::Batch(batch), abort)?;
-    counters.peak_queue.fetch_max(tx.len(), Ordering::Relaxed);
+    tx.send(Msg::Batch(batch), abort)?;
+    counters
+        .peak_queue
+        .fetch_max(tx.queued(), Ordering::Relaxed);
     Ok(())
 }
 
 /// Ship a batch list to one receiver, re-chunking anything larger than
 /// `batch_rows` (the kernel's batch size and the wire's need not agree).
 fn send_batches(
-    tx: &Sender<Msg>,
+    tx: &MsgSender,
     batches: Vec<ColumnBatch>,
     batch_rows: usize,
     abort: &AbortSignal,
@@ -215,18 +273,27 @@ pub fn send_stream(
     kind: &MotionKind,
     stream: ColStream,
     segment: usize,
-    txs: &[Sender<Msg>],
+    txs: &[MsgSender],
     batch_rows: usize,
     abort: &AbortSignal,
     counters: &MotionCounters,
     pool: &BatchPool,
     key_pos: Option<&[usize]>,
 ) -> Result<()> {
+    // The Open carries this instance's simulated clock and its copy's
+    // byte count; receivers fold these into the serial motion-cost
+    // replay. Replicated streams report their copy's bytes from *every*
+    // sender (the receiver divides the sum back down by `n`, mirroring
+    // `distinct_bytes`), even though only segment 0 ships rows.
+    let avail = stream.avail[0];
+    let bytes = stream.bytes();
     for tx in txs {
-        send_msg(
-            tx,
+        tx.send(
             Msg::Open {
                 layout: stream.layout.clone(),
+                avail,
+                bytes,
+                replicated: stream.replicated,
             },
             abort,
         )?;
@@ -315,7 +382,7 @@ pub fn send_stream(
         }
     }
     for tx in txs {
-        send_msg(tx, Msg::Eos, abort)?;
+        tx.send(Msg::Eos, abort)?;
     }
     Ok(())
 }
@@ -323,7 +390,7 @@ pub fn send_stream(
 /// A streaming [`RowSource`] over one sender's channel (post-`Open`),
 /// used by the GatherMerge receiver to merge without materializing.
 struct ChannelSource<'a> {
-    rx: &'a Receiver<Msg>,
+    rx: &'a MsgReceiver,
     buf: std::vec::IntoIter<Row>,
     done: bool,
     abort: &'a AbortSignal,
@@ -339,7 +406,7 @@ impl RowSource for ChannelSource<'_> {
             if self.done {
                 return Ok(None);
             }
-            match recv_msg(self.rx, self.abort)? {
+            match self.rx.recv(self.abort)? {
                 Msg::Batch(b) => {
                     let mut rows = Vec::new();
                     b.to_rows(&mut rows);
@@ -364,9 +431,21 @@ impl RowSource for ChannelSource<'_> {
 /// will resolve to, coalesced into batches of up to `batch_rows` rows.
 /// Incoming batch shells are returned to `pool` after their columns are
 /// copied out — that copy is what keeps the free list warm.
+///
+/// Besides the rows, this replays the serial engine's simulated motion
+/// clock (`exec_motion`) from the senders' `Open` headers: `base` is the
+/// max sender clock (the serial `input.elapsed()` fold), `bytes` is the
+/// sum of per-sender copies divided back down by `n` for replicated
+/// inputs (the serial `distinct_bytes`). The formulas and fold order
+/// match the serial engine exactly, and f64 sums of integer byte widths
+/// are exact, so the delivered `avail` — and therefore `sim_seconds` —
+/// is bit-equal to the serial engine's, whether the edge was a channel
+/// or a socket.
 pub fn receive_stream(
     kind: &MotionKind,
-    rxs: &[Receiver<Msg>],
+    rxs: &[MsgReceiver],
+    segment: usize,
+    cluster: &SegmentConfig,
     abort: &AbortSignal,
     pool: &BatchPool,
     batch_rows: usize,
@@ -375,9 +454,22 @@ pub fn receive_stream(
     // Every sender opens with the (shared) layout, even when it will
     // contribute no rows.
     let mut layout: Vec<ColId> = Vec::new();
+    let mut base = 0.0_f64;
+    let mut total_bytes = 0.0_f64;
+    let mut replicated_in = false;
     for rx in rxs {
-        match recv_msg(rx, abort)? {
-            Msg::Open { layout: l } => layout = l,
+        match rx.recv(abort)? {
+            Msg::Open {
+                layout: l,
+                avail,
+                bytes,
+                replicated,
+            } => {
+                layout = l;
+                base = base.max(avail);
+                total_bytes += bytes;
+                replicated_in = replicated;
+            }
             _ => {
                 return Err(OrcaError::Execution(
                     "interconnect protocol error: stream did not start with Open".into(),
@@ -385,8 +477,17 @@ pub fn receive_stream(
             }
         }
     }
+    let n = cluster.num_segments;
+    let bytes = if replicated_in {
+        total_bytes / n as f64
+    } else {
+        total_bytes
+    };
+    let net_time = |b: f64| b / cluster.net_bytes_per_sec;
+    let tup_time = |rows: usize| rows as f64 / cluster.tuples_per_sec;
     let width = layout.len();
     let mut out = ColStream::empty(layout, 1);
+    let mut merged_len = 0usize;
     match kind {
         MotionKind::GatherMerge(order) => {
             // True streaming k-way merge across sender channels; ties
@@ -403,6 +504,7 @@ pub fn receive_stream(
                 })
                 .collect();
             let merged = kway_merge(sources, order, &out.layout)?;
+            merged_len = merged.len();
             out.per_seg[0] = merged
                 .chunks(batch_rows)
                 .map(|c| ColumnBatch::from_rows(c, width))
@@ -415,7 +517,7 @@ pub fn receive_stream(
             let mut cur = pool.take(width);
             for rx in rxs {
                 loop {
-                    match recv_msg(rx, abort)? {
+                    match rx.recv(abort)? {
                         Msg::Batch(b) => {
                             cur.extend_from_batch(&b);
                             pool.put(b);
@@ -439,6 +541,27 @@ pub fn receive_stream(
                 batches.push(cur);
             }
             out.per_seg[0] = batches;
+        }
+    }
+    // Serial clock replay — same expressions, same evaluation order as
+    // `exec_motion`. Gather variants only stamp the master instance;
+    // every other instance keeps the serial engine's unset 0.0 slot.
+    match kind {
+        MotionKind::Gather => {
+            if segment == 0 {
+                out.avail[0] = base + net_time(bytes);
+            }
+        }
+        MotionKind::GatherMerge(_) => {
+            if segment == 0 {
+                out.avail[0] = base + net_time(bytes) * 1.15 + tup_time(merged_len) * 0.2;
+            }
+        }
+        MotionKind::Redistribute(_) => {
+            out.avail[0] = base + net_time(bytes) / n as f64;
+        }
+        MotionKind::Broadcast => {
+            out.avail[0] = base + net_time(bytes);
         }
     }
     out.replicated = matches!(kind, MotionKind::Broadcast);
@@ -489,6 +612,10 @@ mod tests {
         let abort = Arc::new(AbortSignal::new());
         let counters = MotionCounters::default();
         let pool = BatchPool::new();
+        let cluster = SegmentConfig {
+            num_segments: n,
+            ..SegmentConfig::default()
+        };
         let got = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (s, stream) in per_sender.into_iter().enumerate() {
@@ -498,8 +625,10 @@ mod tests {
                 let counters = &counters;
                 let pool = &pool;
                 scope.spawn(move || {
-                    send_stream(kind, stream, s, &txs, batch_rows, abort, counters, pool, None)
-                        .unwrap();
+                    send_stream(
+                        kind, stream, s, &txs, batch_rows, abort, counters, pool, None,
+                    )
+                    .unwrap();
                 });
             }
             for r in 0..n {
@@ -507,8 +636,10 @@ mod tests {
                 let kind = &kind;
                 let abort = &abort;
                 let pool = &pool;
+                let cluster = &cluster;
                 handles.push(scope.spawn(move || {
-                    let cs = receive_stream(kind, &rxs, abort, pool, batch_rows).unwrap();
+                    let cs =
+                        receive_stream(kind, &rxs, r, cluster, abort, pool, batch_rows).unwrap();
                     let mut rows = Vec::new();
                     for b in &cs.per_seg[0] {
                         b.to_rows(&mut rows);
@@ -634,7 +765,19 @@ mod tests {
         let s = ColStream::from_streamset(&s, 4);
         let t = std::thread::spawn({
             let abort = abort.clone();
-            move || send_stream(&MotionKind::Gather, s, 0, &txs, 1, &abort, &counters, &pool, None)
+            move || {
+                send_stream(
+                    &MotionKind::Gather,
+                    s,
+                    0,
+                    &txs,
+                    1,
+                    &abort,
+                    &counters,
+                    &pool,
+                    None,
+                )
+            }
         });
         std::thread::sleep(Duration::from_millis(30));
         abort.abort();

@@ -1,5 +1,7 @@
 //! Observability for parallel execution.
 
+use crate::net::NetStats;
+
 /// Timing for one slice, taken as the maximum over its gang instances
 /// (the slice is done when its slowest instance is).
 #[derive(Debug, Clone, Default)]
@@ -22,6 +24,15 @@ pub struct MotionMetrics {
     /// Highest observed in-flight batch count on any single channel.
     /// Equal to the configured channel capacity ⇒ backpressure engaged.
     pub peak_queue_depth: usize,
+    /// Frames this process wrote to sockets for this motion's remote
+    /// edges (zero when every edge was in-process).
+    pub net_frames_tx: u64,
+    /// Socket bytes written for this motion, frame headers included.
+    pub net_bytes_tx: u64,
+    /// Frames this process read off sockets for this motion.
+    pub net_frames_rx: u64,
+    /// Socket bytes read for this motion.
+    pub net_bytes_rx: u64,
 }
 
 /// Execution-wide parallel statistics, returned alongside the rows.
@@ -44,6 +55,15 @@ pub struct ParallelStats {
     pub spool_rows: u64,
     /// End-to-end wall time of the parallel run.
     pub wall_seconds: f64,
+    /// The simulated cluster clock of the assembled output stream —
+    /// bit-equal to the serial engine's `sim_seconds` on the same plan,
+    /// whether the gang ran in one process or across the socket
+    /// interconnect (the receivers replay the serial motion-cost
+    /// formulas from bit-exact wire headers).
+    pub sim_seconds: f64,
+    /// Socket-transport counters for this run; all zeros when the
+    /// topology kept every motion edge in-process.
+    pub net: NetStats,
     /// Interconnect batch shells served from the shared free list
     /// instead of freshly allocated (see
     /// [`crate::parallel::interconnect::BatchPool`]).

@@ -34,7 +34,7 @@
 //! every depth) and is processed over-budget — recorded in
 //! `peak_mem_bytes` rather than hidden.
 
-use crate::columnar::{BitVec, Buf, Column, ColumnBatch};
+use crate::columnar::ColumnBatch;
 use crate::eval::{accepts, compare_rows, AggAccumulator, Env};
 use crate::merge::{kway_merge, RowSource};
 use crate::storage::Row;
@@ -48,6 +48,11 @@ use std::hash::{Hash, Hasher};
 use std::io::{Read as IoRead, Seek, SeekFrom, Write as IoWrite};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+// The columnar chunk codec lived here until the wire format needed it
+// too; it is now the shared `crate::codec`. Re-exported so spill-side
+// callers keep their historical path.
+pub use crate::codec::{decode_batch, encode_batch};
 
 /// Recursive repartitioning depth cap (initial pass + 3 rescues).
 pub const MAX_DEPTH: u32 = 3;
@@ -143,11 +148,8 @@ pub struct SpillFile {
 impl SpillFile {
     pub fn create() -> Result<SpillFile> {
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "orca-spill-{}-{}.tmp",
-            std::process::id(),
-            seq
-        ));
+        let path =
+            std::env::temp_dir().join(format!("orca-spill-{}-{}.tmp", std::process::id(), seq));
         let file = OpenOptions::new()
             .create_new(true)
             .read(true)
@@ -185,7 +187,8 @@ impl SpillFile {
             .seek(SeekFrom::Start(chunk.offset))
             .and_then(|_| self.file.read_exact(&mut buf))
             .map_err(|e| io_err("read", e))?;
-        self.bytes_read.set(self.bytes_read.get() + buf.len() as u64);
+        self.bytes_read
+            .set(self.bytes_read.get() + buf.len() as u64);
         decode_batch(&buf)
     }
 }
@@ -194,296 +197,6 @@ impl Drop for SpillFile {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.path);
     }
-}
-
-// ---------------------------------------------------------------------
-// Columnar chunk codec (little-endian, self-describing per column).
-// ---------------------------------------------------------------------
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn put_nulls(out: &mut Vec<u8>, nulls: &Option<BitVec>, len: usize) {
-    match nulls {
-        None => out.push(0),
-        Some(b) => {
-            out.push(1);
-            let mut word = 0u64;
-            for i in 0..len {
-                if b.get(i) {
-                    word |= 1 << (i % 64);
-                }
-                if i % 64 == 63 {
-                    put_u64(out, word);
-                    word = 0;
-                }
-            }
-            if len % 64 != 0 {
-                put_u64(out, word);
-            }
-        }
-    }
-}
-
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(OrcaError::Execution("spill decode: truncated chunk".into()));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn str(&mut self) -> Result<String> {
-        let n = self.u32()? as usize;
-        let raw = self.take(n)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| OrcaError::Execution("spill decode: invalid utf8".into()))
-    }
-
-    fn nulls(&mut self, len: usize) -> Result<Option<BitVec>> {
-        if self.u8()? == 0 {
-            return Ok(None);
-        }
-        let words = len.div_ceil(64);
-        let mut bits = BitVec::new();
-        let mut w = 0u64;
-        for i in 0..len {
-            if i % 64 == 0 {
-                w = self.u64()?;
-            }
-            bits.push((w >> (i % 64)) & 1 == 1);
-        }
-        let _ = words;
-        Ok(Some(bits))
-    }
-}
-
-const TAG_NULL: u8 = 0;
-const TAG_INT: u8 = 1;
-const TAG_DOUBLE: u8 = 2;
-const TAG_BOOL: u8 = 3;
-const TAG_STR: u8 = 4;
-const TAG_DATE: u8 = 5;
-const TAG_DICT: u8 = 6;
-const TAG_MIXED: u8 = 7;
-
-fn encode_datum(out: &mut Vec<u8>, d: &Datum) {
-    match d {
-        Datum::Null => out.push(TAG_NULL),
-        Datum::Int(v) => {
-            out.push(TAG_INT);
-            put_u64(out, *v as u64);
-        }
-        Datum::Double(v) => {
-            out.push(TAG_DOUBLE);
-            put_u64(out, v.to_bits());
-        }
-        Datum::Bool(v) => {
-            out.push(TAG_BOOL);
-            out.push(*v as u8);
-        }
-        Datum::Str(s) => {
-            out.push(TAG_STR);
-            put_str(out, s);
-        }
-        Datum::Date(v) => {
-            out.push(TAG_DATE);
-            put_u32(out, *v as u32);
-        }
-    }
-}
-
-fn decode_datum(c: &mut Cursor<'_>) -> Result<Datum> {
-    Ok(match c.u8()? {
-        TAG_NULL => Datum::Null,
-        TAG_INT => Datum::Int(c.u64()? as i64),
-        TAG_DOUBLE => Datum::Double(f64::from_bits(c.u64()?)),
-        TAG_BOOL => Datum::Bool(c.u8()? != 0),
-        TAG_STR => Datum::Str(c.str()?),
-        TAG_DATE => Datum::Date(c.u32()? as i32),
-        t => {
-            return Err(OrcaError::Execution(format!(
-                "spill decode: bad datum tag {t}"
-            )))
-        }
-    })
-}
-
-/// Serialize one batch: `nrows`, `ncols`, then each column tagged with
-/// its representation. Dictionary columns stay encoded (dictionary +
-/// codes), so a dictionary-bearing chunk costs its encoded size, not
-/// its decoded one.
-pub fn encode_batch(b: &ColumnBatch) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + b.len * b.cols.len() * 8);
-    put_u32(&mut out, b.len as u32);
-    put_u32(&mut out, b.cols.len() as u32);
-    for col in &b.cols {
-        match col {
-            Column::Null(_) => out.push(TAG_NULL),
-            Column::Int { vals, nulls } => {
-                out.push(TAG_INT);
-                put_nulls(&mut out, nulls, vals.len());
-                for v in vals.iter() {
-                    put_u64(&mut out, *v as u64);
-                }
-            }
-            Column::Double { vals, nulls } => {
-                out.push(TAG_DOUBLE);
-                put_nulls(&mut out, nulls, vals.len());
-                for v in vals.iter() {
-                    put_u64(&mut out, v.to_bits());
-                }
-            }
-            Column::Bool { vals, nulls } => {
-                out.push(TAG_BOOL);
-                put_nulls(&mut out, nulls, vals.len());
-                out.extend(vals.iter().map(|&v| v as u8));
-            }
-            Column::Str { vals, nulls } => {
-                out.push(TAG_STR);
-                put_nulls(&mut out, nulls, vals.len());
-                for s in vals.iter() {
-                    put_str(&mut out, s);
-                }
-            }
-            Column::Date { vals, nulls } => {
-                out.push(TAG_DATE);
-                put_nulls(&mut out, nulls, vals.len());
-                for v in vals.iter() {
-                    put_u32(&mut out, *v as u32);
-                }
-            }
-            Column::Dict { codes, dict, nulls } => {
-                out.push(TAG_DICT);
-                put_u32(&mut out, dict.len() as u32);
-                for s in dict.iter() {
-                    put_str(&mut out, s);
-                }
-                put_nulls(&mut out, nulls, codes.len());
-                for c in codes.iter() {
-                    put_u32(&mut out, *c);
-                }
-            }
-            Column::Mixed(vals) => {
-                out.push(TAG_MIXED);
-                for d in vals.iter() {
-                    encode_datum(&mut out, d);
-                }
-            }
-        }
-    }
-    out
-}
-
-pub fn decode_batch(buf: &[u8]) -> Result<ColumnBatch> {
-    let mut c = Cursor { buf, pos: 0 };
-    let nrows = c.u32()? as usize;
-    let ncols = c.u32()? as usize;
-    let mut cols = Vec::with_capacity(ncols);
-    for _ in 0..ncols {
-        let col = match c.u8()? {
-            TAG_NULL => Column::Null(nrows),
-            TAG_INT => {
-                let nulls = c.nulls(nrows)?;
-                let vals: Vec<i64> = (0..nrows)
-                    .map(|_| c.u64().map(|v| v as i64))
-                    .collect::<Result<_>>()?;
-                Column::Int {
-                    vals: Buf::new(vals),
-                    nulls,
-                }
-            }
-            TAG_DOUBLE => {
-                let nulls = c.nulls(nrows)?;
-                let vals: Vec<f64> = (0..nrows)
-                    .map(|_| c.u64().map(f64::from_bits))
-                    .collect::<Result<_>>()?;
-                Column::Double {
-                    vals: Buf::new(vals),
-                    nulls,
-                }
-            }
-            TAG_BOOL => {
-                let nulls = c.nulls(nrows)?;
-                let vals: Vec<bool> = (0..nrows)
-                    .map(|_| c.u8().map(|v| v != 0))
-                    .collect::<Result<_>>()?;
-                Column::Bool {
-                    vals: Buf::new(vals),
-                    nulls,
-                }
-            }
-            TAG_STR => {
-                let nulls = c.nulls(nrows)?;
-                let vals: Vec<String> = (0..nrows).map(|_| c.str()).collect::<Result<_>>()?;
-                Column::Str {
-                    vals: Buf::new(vals),
-                    nulls,
-                }
-            }
-            TAG_DATE => {
-                let nulls = c.nulls(nrows)?;
-                let vals: Vec<i32> = (0..nrows)
-                    .map(|_| c.u32().map(|v| v as i32))
-                    .collect::<Result<_>>()?;
-                Column::Date {
-                    vals: Buf::new(vals),
-                    nulls,
-                }
-            }
-            TAG_DICT => {
-                let dict_len = c.u32()? as usize;
-                let dict: Vec<String> = (0..dict_len).map(|_| c.str()).collect::<Result<_>>()?;
-                let nulls = c.nulls(nrows)?;
-                let codes: Vec<u32> = (0..nrows).map(|_| c.u32()).collect::<Result<_>>()?;
-                Column::Dict {
-                    codes: Buf::new(codes),
-                    dict: std::sync::Arc::new(dict),
-                    nulls,
-                }
-            }
-            TAG_MIXED => {
-                let vals: Vec<Datum> = (0..nrows).map(|_| decode_datum(&mut c)).collect::<Result<_>>()?;
-                Column::Mixed(Buf::new(vals))
-            }
-            t => {
-                return Err(OrcaError::Execution(format!(
-                    "spill decode: bad column tag {t}"
-                )))
-            }
-        };
-        cols.push(col);
-    }
-    Ok(ColumnBatch { cols, len: nrows })
 }
 
 // ---------------------------------------------------------------------
@@ -652,8 +365,8 @@ pub(crate) fn grace_hash_join(
         }
     }
 
-    for leaf in 0..set.leaves.len() {
-        if probes_for[leaf].is_empty() && set.leaves[leaf].rows == 0 {
+    for (leaf, probes) in probes_for.iter().enumerate() {
+        if probes.is_empty() && set.leaves[leaf].rows == 0 {
             continue;
         }
         let rows = set.read_leaf(leaf)?;
@@ -673,7 +386,7 @@ pub(crate) fn grace_hash_join(
                 }
             }
         }
-        for &pi in &probes_for[leaf] {
+        for &pi in probes {
             let lrow = &probe[pi as usize];
             scratch.clear();
             scratch.extend(lpos.iter().map(|&p| lrow[p].clone()));
@@ -728,6 +441,10 @@ fn unmatched_output(out: &mut Vec<Row>, lrow: &Row, kind: JoinKind, right_width:
 /// (the global input index rides along as a trailing `Int` column), each
 /// partition is aggregated independently, and the collected groups are
 /// re-ordered by first-seen input index — the in-memory emission order.
+/// Grace-agg output: the merged (group key, accumulators) pairs plus the
+/// spill metrics of the partitioning passes.
+type GraceAggResult = Result<(Vec<(Vec<Datum>, Vec<AggAccumulator>)>, SpillMetrics)>;
+
 pub(crate) fn grace_hash_agg(
     input: &[Row],
     gpos: &[usize],
@@ -736,7 +453,7 @@ pub(crate) fn grace_hash_agg(
     env: &Env,
     budget: u64,
     batch_rows: usize,
-) -> Result<(Vec<(Vec<Datum>, Vec<AggAccumulator>)>, SpillMetrics)> {
+) -> GraceAggResult {
     let width = layout.len() + 1; // + global index column
     let mut tagged: Vec<(u64, Row)> = Vec::with_capacity(input.len());
     let mut total = 0u64;
@@ -845,23 +562,26 @@ pub(crate) fn external_sort(
     let mut metrics = SpillMetrics::default();
     let mut run: Vec<Row> = Vec::new();
     let mut run_sz = 0u64;
-    let flush =
-        |run: &mut Vec<Row>, run_sz: &mut u64, runs: &mut Vec<Vec<Chunk>>, metrics: &mut SpillMetrics| -> Result<()> {
-            if run.is_empty() {
-                return Ok(());
-            }
-            run.sort_by(|a, b| compare_rows(a, b, order, layout));
-            let mut chunks = Vec::new();
-            for part in run.chunks(batch_rows.max(1)) {
-                let b = ColumnBatch::from_rows(part, width);
-                chunks.push(file.borrow_mut().write_batch(&b)?);
-            }
-            metrics.peak_state_bytes = metrics.peak_state_bytes.max(*run_sz);
-            runs.push(chunks);
-            run.clear();
-            *run_sz = 0;
-            Ok(())
-        };
+    let flush = |run: &mut Vec<Row>,
+                 run_sz: &mut u64,
+                 runs: &mut Vec<Vec<Chunk>>,
+                 metrics: &mut SpillMetrics|
+     -> Result<()> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        run.sort_by(|a, b| compare_rows(a, b, order, layout));
+        let mut chunks = Vec::new();
+        for part in run.chunks(batch_rows.max(1)) {
+            let b = ColumnBatch::from_rows(part, width);
+            chunks.push(file.borrow_mut().write_batch(&b)?);
+        }
+        metrics.peak_state_bytes = metrics.peak_state_bytes.max(*run_sz);
+        runs.push(chunks);
+        run.clear();
+        *run_sz = 0;
+        Ok(())
+    };
     for row in rows {
         let rb = row_bytes(&row);
         if !run.is_empty() && run_sz + rb > budget {
@@ -892,70 +612,9 @@ pub(crate) fn external_sort(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn batch_of(rows: &[Row], width: usize) -> ColumnBatch {
         ColumnBatch::from_rows(rows, width)
-    }
-
-    #[test]
-    fn codec_round_trips_typed_columns() {
-        let rows: Vec<Row> = vec![
-            vec![
-                Datum::Int(1),
-                Datum::Str("ab".into()),
-                Datum::Double(1.5),
-                Datum::Bool(true),
-                Datum::Date(19000),
-            ],
-            vec![
-                Datum::Null,
-                Datum::Null,
-                Datum::Double(-0.0),
-                Datum::Null,
-                Datum::Date(-5),
-            ],
-            vec![
-                Datum::Int(-7),
-                Datum::Str("".into()),
-                Datum::Null,
-                Datum::Bool(false),
-                Datum::Null,
-            ],
-        ];
-        let b = batch_of(&rows, 5);
-        let back = decode_batch(&encode_batch(&b)).unwrap();
-        assert_eq!(back.len, b.len);
-        for i in 0..rows.len() {
-            assert_eq!(back.row(i), rows[i], "row {i}");
-        }
-    }
-
-    #[test]
-    fn codec_keeps_dictionary_encoding() {
-        let mut nulls = BitVec::new();
-        for i in 0..4 {
-            nulls.push(i == 2);
-        }
-        let dict = Column::Dict {
-            codes: Buf::new(vec![1, 0, 0, 1]),
-            dict: Arc::new(vec!["x".into(), "yy".into()]),
-            nulls: Some(nulls),
-        };
-        let b = ColumnBatch {
-            cols: vec![dict],
-            len: 4,
-        };
-        let bytes = encode_batch(&b);
-        let back = decode_batch(&bytes).unwrap();
-        // Still dictionary-encoded after the round trip, same values.
-        assert!(matches!(back.cols[0], Column::Dict { .. }));
-        for i in 0..4 {
-            assert_eq!(back.cols[0].get(i), b.cols[0].get(i));
-        }
-        // The wire shape carries codes + dictionary, not decoded strings:
-        // 4 codes beat 4 decoded copies of "yy"/"x" for longer columns.
-        assert!(bytes.len() < 80);
     }
 
     #[test]
@@ -965,7 +624,10 @@ mod tests {
         let b = batch_of(&[vec![Datum::Str("q".into())]], 1);
         let ca = f.write_batch(&a).unwrap();
         let cb = f.write_batch(&b).unwrap();
-        assert_eq!(f.read_batch(&cb).unwrap().row(0), vec![Datum::Str("q".into())]);
+        assert_eq!(
+            f.read_batch(&cb).unwrap().row(0),
+            vec![Datum::Str("q".into())]
+        );
         assert_eq!(f.read_batch(&ca).unwrap().row(1), vec![Datum::Int(2)]);
         assert!(f.bytes_written > 0 && f.bytes_read.get() > 0);
     }
@@ -1006,10 +668,7 @@ mod tests {
         let (groups, m) = grace_hash_agg(&input, &[0], &aggs, &layout, &env, 48, 4).unwrap();
         assert!(m.partitions > 1);
         // First-seen order of (i*11)%7 for i=0..: 0,4,1,5,2,6,3
-        let keys: Vec<i64> = groups
-            .iter()
-            .map(|(k, _)| k[0].as_i64().unwrap())
-            .collect();
+        let keys: Vec<i64> = groups.iter().map(|(k, _)| k[0].as_i64().unwrap()).collect();
         assert_eq!(keys, vec![0, 4, 1, 5, 2, 6, 3]);
         let total: i64 = groups
             .iter()

@@ -11,7 +11,7 @@
 //! its `Vec<Row>` view from the same chunks (so it stays the
 //! representation-blind differential reference).
 
-use crate::columnar::{ColumnBatch, Column, ValRef};
+use crate::columnar::{Column, ColumnBatch, ValRef};
 use orca_catalog::{Distribution, TableDesc};
 use orca_common::hash::{segment_for_key, FnvHashMap};
 use orca_common::{Datum, MdId, OrcaError, Result, SegmentConfig};
@@ -217,7 +217,11 @@ impl SegmentedTable {
 
     /// The chunks of the selected partitions on one segment, in scan
     /// order (partitions in the order given, chunks in row order).
-    pub fn part_chunks(&self, segment: usize, parts: &Option<Vec<usize>>) -> Vec<&Arc<ColumnChunk>> {
+    pub fn part_chunks(
+        &self,
+        segment: usize,
+        parts: &Option<Vec<usize>>,
+    ) -> Vec<&Arc<ColumnChunk>> {
         let buckets = &self.chunks[segment];
         match parts {
             None => buckets.iter().flatten().collect(),
@@ -299,12 +303,7 @@ impl SegmentedTable {
     pub fn total_rows(&self) -> usize {
         self.chunks
             .iter()
-            .map(|s| {
-                s.iter()
-                    .flatten()
-                    .map(|c| c.data.len)
-                    .sum::<usize>()
-            })
+            .map(|s| s.iter().flatten().map(|c| c.data.len).sum::<usize>())
             .sum()
     }
 
@@ -336,7 +335,7 @@ impl Database {
     }
 
     pub fn load_table(&mut self, desc: Arc<TableDesc>, rows: Vec<Row>) -> Result<()> {
-        let chunk_rows = self.cluster.batch_size.max(1).min(MAX_CHUNK_ROWS);
+        let chunk_rows = self.cluster.batch_size.clamp(1, MAX_CHUNK_ROWS);
         let t = SegmentedTable::load_chunked(
             desc.clone(),
             rows,
@@ -589,7 +588,12 @@ mod tests {
         assert!(!zone_prunes_cmp(&zone, CmpOp::Ne, &Datum::Int(7), rows));
         // NULL literal and class mismatches prune (all-NULL predicate).
         assert!(zone_prunes_cmp(&zone, CmpOp::Eq, &Datum::Null, rows));
-        assert!(zone_prunes_cmp(&zone, CmpOp::Lt, &Datum::Str("x".into()), rows));
+        assert!(zone_prunes_cmp(
+            &zone,
+            CmpOp::Lt,
+            &Datum::Str("x".into()),
+            rows
+        ));
         // All-null chunk prunes any comparison.
         let nulls = ZoneMap {
             min: None,

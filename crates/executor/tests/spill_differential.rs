@@ -56,7 +56,11 @@ fn make_db(
             .map(|&(a, b)| {
                 // A sprinkle of NULLs and strings exercises the spill
                 // codec's full datum range, dictionary page included.
-                let key = if a % 11 == 10 { Datum::Null } else { Datum::Int(a) };
+                let key = if a % 11 == 10 {
+                    Datum::Null
+                } else {
+                    Datum::Int(a)
+                };
                 let payload = if b % 7 == 3 {
                     Datum::Str(format!("p{}", b % 19))
                 } else {
@@ -156,7 +160,10 @@ fn assert_differential(db: &Arc<Database>, plan: &PhysicalPlan, out: &[ColId]) -
     );
     assert_eq!(col.stats.spills, oracle.stats.spills);
     assert_eq!(col.stats.spill_partitions, oracle.stats.spill_partitions);
-    assert_eq!(col.stats.spill_bytes_written, oracle.stats.spill_bytes_written);
+    assert_eq!(
+        col.stats.spill_bytes_written,
+        oracle.stats.spill_bytes_written
+    );
     assert_eq!(col.stats.spill_bytes_read, oracle.stats.spill_bytes_read);
     assert_eq!(col.stats.peak_mem_bytes, oracle.stats.peak_mem_bytes);
 
@@ -173,7 +180,10 @@ fn assert_differential(db: &Arc<Database>, plan: &PhysicalPlan, out: &[ColId]) -
             },
         );
         let (rows, summary) = cursor.collect().unwrap();
-        assert_eq!(rows, oracle.rows, "cursor(columnar={columnar}) rows diverged");
+        assert_eq!(
+            rows, oracle.rows,
+            "cursor(columnar={columnar}) rows diverged"
+        );
         assert_eq!(
             summary.sim_seconds.to_bits(),
             oracle.sim_seconds.to_bits(),
@@ -187,8 +197,8 @@ fn assert_differential(db: &Arc<Database>, plan: &PhysicalPlan, out: &[ColId]) -
                 workers,
                 batch_rows: 7,
                 channel_capacity: 2,
-                deadline: None,
                 columnar,
+                ..ParallelConfig::default()
             };
             let par = ParallelEngine::with_config(db, cfg).run(plan, out).unwrap();
             let tag = format!("parallel workers={workers} columnar={columnar}");

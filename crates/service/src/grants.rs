@@ -18,10 +18,17 @@
 //! with the minimum grant and spill its way through, which is exactly
 //! the §7.3.2 contrast with engines that fall over under memory
 //! pressure.
+//!
+//! A **degraded** grant additionally carries a one-shot renegotiation
+//! right ([`MemoryGrant::regrant_hook`]): the instant the executor is
+//! about to take its first spill, it may ask the broker once whether
+//! other queries have since drained their grants back into the pool. If
+//! bytes are free (and nobody is queued ahead), the grant upgrades
+//! toward its original ask and the spill may be avoided entirely.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Floor for any grant: even a degraded query gets this much. Keeps the
@@ -44,24 +51,53 @@ pub struct MemoryGrantBroker {
     admitted: AtomicU64,
     queued: AtomicU64,
     degraded: AtomicU64,
+    regranted: AtomicU64,
+}
+
+/// The mutable half of a grant, shared with the upgrade hook handed to
+/// the executor (which outlives no grant but runs on other threads).
+struct GrantInner {
+    bytes: AtomicU64,
 }
 
 /// One admitted execution's share of the pool. Dropping it releases the
 /// bytes and wakes queued requests.
-pub struct MemoryGrant<'a> {
-    broker: &'a MemoryGrantBroker,
-    /// Bytes actually granted (≤ the request).
-    pub bytes: u64,
-    /// The grant is smaller than requested — the executor will spill
-    /// sooner than the estimate assumed.
+pub struct MemoryGrant {
+    broker: Arc<MemoryGrantBroker>,
+    inner: Arc<GrantInner>,
+    /// What the query originally asked for (clamped to the pool size).
+    desired: u64,
+    /// The grant started smaller than requested — the executor will
+    /// spill sooner than the estimate assumed (a later renegotiation may
+    /// have raised [`MemoryGrant::bytes`] since).
     pub degraded: bool,
     /// Time spent queued waiting for bytes.
     pub wait: Duration,
 }
 
-impl Drop for MemoryGrant<'_> {
+impl Drop for MemoryGrant {
     fn drop(&mut self) {
-        self.broker.release(self.bytes);
+        self.broker
+            .release(self.inner.bytes.load(Ordering::Relaxed));
+    }
+}
+
+impl MemoryGrant {
+    /// Bytes currently granted (≤ the request; can grow once via
+    /// renegotiation).
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// A renegotiation closure for the executor's memory tracker: called
+    /// at most once, at the moment the query would otherwise take its
+    /// first spill. Returns the new *total* grant in bytes, or 0 when
+    /// the pool had nothing to give (the spill proceeds).
+    pub fn regrant_hook(&self) -> Box<dyn Fn() -> u64 + Send + Sync> {
+        let broker = Arc::clone(&self.broker);
+        let inner = Arc::clone(&self.inner);
+        let desired = self.desired;
+        Box::new(move || broker.upgrade(&inner, desired))
     }
 }
 
@@ -81,20 +117,35 @@ impl MemoryGrantBroker {
             admitted: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            regranted: AtomicU64::new(0),
+        }
+    }
+
+    fn grant(
+        self: &Arc<Self>,
+        bytes: u64,
+        desired: u64,
+        degraded: bool,
+        wait: Duration,
+    ) -> MemoryGrant {
+        MemoryGrant {
+            broker: Arc::clone(self),
+            inner: Arc::new(GrantInner {
+                bytes: AtomicU64::new(bytes),
+            }),
+            desired,
+            degraded,
+            wait,
         }
     }
 
     /// Acquire a grant of up to `desired` bytes; blocks (FIFO) only while
     /// the pool cannot cover even the minimum grant. Never fails.
-    pub fn request(&self, desired: u64) -> MemoryGrant<'_> {
+    pub fn request(self: &Arc<Self>, desired: u64) -> MemoryGrant {
         if self.total == 0 {
             self.admitted.fetch_add(1, Ordering::Relaxed);
-            return MemoryGrant {
-                broker: self,
-                bytes: desired.max(1),
-                degraded: false,
-                wait: Duration::ZERO,
-            };
+            let bytes = desired.max(1);
+            return self.grant(bytes, bytes, false, Duration::ZERO);
         }
         let desired = desired.clamp(self.min_grant, self.total);
         let t0 = Instant::now();
@@ -103,12 +154,7 @@ impl MemoryGrantBroker {
         if pool.queue.is_empty() && pool.available >= desired {
             pool.available -= desired;
             self.admitted.fetch_add(1, Ordering::Relaxed);
-            return MemoryGrant {
-                broker: self,
-                bytes: desired,
-                degraded: false,
-                wait: Duration::ZERO,
-            };
+            return self.grant(desired, desired, false, Duration::ZERO);
         }
         // Slow path: park in FIFO order until the head can take at least
         // the minimum grant.
@@ -129,12 +175,8 @@ impl MemoryGrantBroker {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
                 // The next waiter may also be satisfiable.
                 self.ready.notify_all();
-                return MemoryGrant {
-                    broker: self,
-                    bytes,
-                    degraded,
-                    wait: t0.elapsed(),
-                };
+                drop(pool);
+                return self.grant(bytes, desired, degraded, t0.elapsed());
             }
             let (guard, _) = self
                 .ready
@@ -142,6 +184,31 @@ impl MemoryGrantBroker {
                 .unwrap();
             pool = guard;
         }
+    }
+
+    /// Renegotiate a degraded grant upward toward its original ask:
+    /// claim whatever the pool can spare *now* (other queries may have
+    /// drained their grants back since admission). Queued requests keep
+    /// strict priority — an upgrade never starves the FIFO head. Returns
+    /// the grant's new total in bytes, or 0 when nothing was free.
+    fn upgrade(&self, inner: &GrantInner, desired: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let mut pool = self.pool.lock().unwrap();
+        if !pool.queue.is_empty() || pool.available == 0 {
+            return 0;
+        }
+        let current = inner.bytes.load(Ordering::Relaxed);
+        let want = desired.saturating_sub(current);
+        if want == 0 {
+            return 0;
+        }
+        let extra = pool.available.min(want);
+        pool.available -= extra;
+        inner.bytes.fetch_add(extra, Ordering::Relaxed);
+        self.regranted.fetch_add(1, Ordering::Relaxed);
+        current + extra
     }
 
     fn release(&self, bytes: u64) {
@@ -161,6 +228,11 @@ impl MemoryGrantBroker {
             self.queued.load(Ordering::Relaxed),
             self.degraded.load(Ordering::Relaxed),
         )
+    }
+
+    /// Degraded grants that successfully renegotiated upward mid-query.
+    pub fn regranted(&self) -> u64 {
+        self.regranted.load(Ordering::Relaxed)
     }
 
     /// Bytes currently uncommitted.
@@ -183,9 +255,9 @@ mod tests {
 
     #[test]
     fn full_grant_when_pool_covers() {
-        let b = MemoryGrantBroker::new(1 << 20);
+        let b = Arc::new(MemoryGrantBroker::new(1 << 20));
         let g = b.request(512 * 1024);
-        assert_eq!(g.bytes, 512 * 1024);
+        assert_eq!(g.bytes(), 512 * 1024);
         assert!(!g.degraded);
         assert_eq!(b.available_bytes(), 512 * 1024);
         drop(g);
@@ -195,7 +267,7 @@ mod tests {
 
     #[test]
     fn degraded_grant_under_pressure() {
-        let b = MemoryGrantBroker::new(1 << 20);
+        let b = Arc::new(MemoryGrantBroker::new(1 << 20));
         let hog = b.request(1 << 20); // drains to ~0... not quite: full pool
         assert_eq!(b.available_bytes(), 0);
         drop(hog);
@@ -203,11 +275,54 @@ mod tests {
         // 124KiB left; a 500KiB ask degrades to what's available.
         let g = b.request(500 * 1024);
         assert!(g.degraded);
-        assert_eq!(g.bytes, (1 << 20) - 900 * 1024);
+        assert_eq!(g.bytes(), (1 << 20) - 900 * 1024);
         drop(g);
         drop(hold);
         let (_, _, degraded) = b.counters();
         assert_eq!(degraded, 1);
+    }
+
+    #[test]
+    fn degraded_grant_renegotiates_after_the_pool_refills() {
+        let b = Arc::new(MemoryGrantBroker::new(1 << 20));
+        let hog = b.request(900 * 1024);
+        let g = b.request(500 * 1024); // degrades to 124 KiB
+        assert!(g.degraded);
+        let hook = g.regrant_hook();
+        // Nothing free yet: renegotiation yields nothing, grant unchanged.
+        assert_eq!(hook(), 0);
+        assert_eq!(b.regranted(), 0);
+        // The hog finishes; its bytes drain back into the pool.
+        drop(hog);
+        let new_total = hook();
+        assert_eq!(new_total, 500 * 1024, "upgrade tops up to the original ask");
+        assert_eq!(g.bytes(), 500 * 1024);
+        assert_eq!(b.regranted(), 1);
+        assert_eq!(b.available_bytes(), (1 << 20) - 500 * 1024);
+        // Dropping the upgraded grant returns the *upgraded* total.
+        drop(g);
+        assert_eq!(b.available_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn upgrade_never_starves_the_queue() {
+        let b = Arc::new(MemoryGrantBroker::new(256 * 1024));
+        let hog = b.request(180 * 1024);
+        let g = b.request(100 * 1024); // degraded to the 76 KiB remainder
+        assert!(g.degraded);
+        let hook = g.regrant_hook();
+        // A third request parks in the FIFO (pool is drained to zero).
+        let (tx, rx) = std::sync::mpsc::channel();
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || tx.send(b2.request(200 * 1024)).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        drop(hog); // bytes free up, but the queued request has priority
+        assert_eq!(hook(), 0, "upgrade must yield to the queued request");
+        let queued_grant = rx.recv().unwrap();
+        waiter.join().unwrap();
+        assert_eq!(b.regranted(), 0);
+        drop(queued_grant);
+        assert_eq!(b.available_bytes(), 180 * 1024);
     }
 
     #[test]
@@ -217,7 +332,7 @@ mod tests {
         let b2 = Arc::clone(&b);
         let waiter = std::thread::spawn(move || {
             let g = b2.request(128 * 1024);
-            (g.bytes, g.degraded)
+            (g.bytes(), g.degraded)
         });
         std::thread::sleep(Duration::from_millis(30));
         drop(g); // release; the waiter's full ask now fits
@@ -231,9 +346,9 @@ mod tests {
 
     #[test]
     fn unbounded_broker_grants_everything() {
-        let b = MemoryGrantBroker::new(0);
+        let b = Arc::new(MemoryGrantBroker::new(0));
         let g = b.request(u64::MAX / 2);
         assert!(!g.degraded);
-        assert_eq!(g.bytes, u64::MAX / 2);
+        assert_eq!(g.bytes(), u64::MAX / 2);
     }
 }

@@ -51,12 +51,14 @@ pub mod admission;
 pub mod cache;
 pub mod grants;
 pub mod metrics;
+pub mod server;
 pub mod session;
 
 pub use admission::{Admission, AdmissionGate};
 pub use cache::{CacheLookup, CachedPlan, PinGuard, PlanCache};
 pub use grants::{MemoryGrant, MemoryGrantBroker};
 pub use metrics::{ServiceMetrics, ServiceStats};
+pub use server::{ServiceClient, ServiceServer};
 pub use session::{Session, SessionId, SessionManager};
 
 use orca::engine::QueryReqs;
@@ -243,6 +245,33 @@ pub struct PlanTicket {
     pub response: PlanResponse,
 }
 
+/// The streaming response header: everything about the plan that is
+/// known before the first result row, sent to a [`StreamSink`] ahead of
+/// the rows.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanHeader<'a> {
+    pub plan_dxl: &'a str,
+    pub cost: f64,
+    pub degraded: bool,
+    pub source: PlanSource,
+    pub fingerprint: u64,
+}
+
+/// Receives a streaming response: the plan header first, then result
+/// rows batch by batch *as execution produces them* (the serial cursor
+/// path genuinely streams; the parallel engine materializes first and
+/// replays in batch-sized chunks). Implemented by the TCP front-end's
+/// connection writer ([`server`]); any in-process consumer that wants
+/// incremental delivery can implement it too.
+pub trait StreamSink {
+    /// The response header, exactly once, before any rows.
+    fn on_plan(&mut self, header: &PlanHeader<'_>) -> Result<()>;
+    /// One batch of result rows. Return `Ok(false)` to close the stream
+    /// early: the producer stops, the request still succeeds, and the
+    /// rows delivered so far are the response.
+    fn on_rows(&mut self, rows: &[Row]) -> Result<bool>;
+}
+
 /// One in-flight optimization that identical later requests attach to
 /// instead of taking their own admission slot.
 struct Inflight {
@@ -321,7 +350,7 @@ pub struct Service {
     /// path builds (cross-query cooperative scans).
     fragments: Arc<FragmentCache>,
     /// Admits executions against the global executor-memory pool.
-    grants: MemoryGrantBroker,
+    grants: Arc<MemoryGrantBroker>,
     /// Process-wide executor-memory accounting: operator state, spooled
     /// CTEs, and cached fragments all charge here.
     exec_budget: Arc<MemoryBudget>,
@@ -349,7 +378,7 @@ impl Service {
                 FragmentCache::new(config.fragment_cache_bytes)
                     .with_process_budget(Arc::clone(&exec_budget)),
             ),
-            grants: MemoryGrantBroker::new(config.executor_memory_bytes),
+            grants: Arc::new(MemoryGrantBroker::new(config.executor_memory_bytes)),
             exec_budget,
             inflight: Mutex::new(HashMap::new()),
             optimizer,
@@ -388,7 +417,7 @@ impl Service {
     }
 
     /// The executor-memory grant broker executions are admitted through.
-    pub fn grants(&self) -> &MemoryGrantBroker {
+    pub fn grants(&self) -> &Arc<MemoryGrantBroker> {
         &self.grants
     }
 
@@ -440,6 +469,41 @@ impl Service {
         query: &DxlQuery,
         budget: Option<Duration>,
     ) -> Result<PlanTicket> {
+        self.submit_query_inner(session, query, budget, None)
+    }
+
+    /// Submit a DXL document and stream the response through `sink`: the
+    /// plan header first, then result rows batch by batch. The returned
+    /// ticket's `execution.rows` is empty — the rows went to the sink.
+    pub fn submit_streaming(
+        &self,
+        session: SessionId,
+        dxl: &str,
+        budget: Option<Duration>,
+        sink: &mut dyn StreamSink,
+    ) -> Result<PlanTicket> {
+        let query = orca_dxl::parse_query(dxl, self.optimizer.provider().as_ref())?;
+        self.submit_query_inner(session, &query, budget, Some(sink))
+    }
+
+    /// [`Service::submit_streaming`] for an already-parsed document.
+    pub fn submit_query_streaming(
+        &self,
+        session: SessionId,
+        query: &DxlQuery,
+        budget: Option<Duration>,
+        sink: &mut dyn StreamSink,
+    ) -> Result<PlanTicket> {
+        self.submit_query_inner(session, query, budget, Some(sink))
+    }
+
+    fn submit_query_inner(
+        &self,
+        session: SessionId,
+        query: &DxlQuery,
+        budget: Option<Duration>,
+        mut sink: Option<&mut dyn StreamSink>,
+    ) -> Result<PlanTicket> {
         let started = Instant::now();
         let deadline = budget.map(|b| started + b);
         let sess = self.sessions.get(session)?;
@@ -469,8 +533,17 @@ impl Service {
         match self.cache.lookup(fingerprint, &current_ids) {
             CacheLookup::Hit(cached) => {
                 ServiceMetrics::bump(&self.metrics.cache_hits);
+                if let Some(s) = sink.as_deref_mut() {
+                    s.on_plan(&PlanHeader {
+                        plan_dxl: &cached.plan_dxl,
+                        cost: cached.cost,
+                        degraded: false,
+                        source: PlanSource::Cache,
+                        fingerprint,
+                    })?;
+                }
                 let execution =
-                    self.maybe_execute(&cached.plan, &query.output_cols, cached.cost)?;
+                    self.maybe_execute(&cached.plan, &query.output_cols, cached.cost, sink)?;
                 return Ok(self.ticket(
                     ticket_id,
                     session,
@@ -496,17 +569,24 @@ impl Service {
         // fingerprint, same versioned id set. A follower parks on the
         // leader's entry instead of taking an admission slot, and reuses
         // the leader's full response — execution result included.
-        let lease = match self.join_inflight(fingerprint, &current_ids, deadline) {
-            InflightJoin::Lead(lease) => Some(lease),
-            InflightJoin::Shared(response) => {
-                ServiceMetrics::bump(&self.metrics.coalesced);
-                let mut response = *response;
-                response.source = PlanSource::Coalesced;
-                response.queue_wait = Duration::ZERO;
-                response.latency = started.elapsed();
-                return Ok(self.ticket(ticket_id, session, response));
+        // Streaming submissions bypass the in-flight table on both sides:
+        // their rows go to the wire as they are produced, so there is no
+        // materialized response to share and nothing to replay.
+        let lease = if sink.is_some() {
+            None
+        } else {
+            match self.join_inflight(fingerprint, &current_ids, deadline) {
+                InflightJoin::Lead(lease) => Some(lease),
+                InflightJoin::Shared(response) => {
+                    ServiceMetrics::bump(&self.metrics.coalesced);
+                    let mut response = *response;
+                    response.source = PlanSource::Coalesced;
+                    response.queue_wait = Duration::ZERO;
+                    response.latency = started.elapsed();
+                    return Ok(self.ticket(ticket_id, session, response));
+                }
+                InflightJoin::Alone => None,
             }
-            InflightJoin::Alone => None,
         };
 
         let queue_wait = match self.gate.acquire(ticket_id, deadline) {
@@ -525,6 +605,7 @@ impl Service {
                     fingerprint,
                     started,
                     Duration::ZERO,
+                    sink,
                 );
             }
             Admission::TimedOut => {
@@ -537,6 +618,7 @@ impl Service {
                     fingerprint,
                     started,
                     started.elapsed(),
+                    sink,
                 );
             }
         };
@@ -571,7 +653,17 @@ impl Service {
                     );
                 }
                 self.metrics.record_latency(started.elapsed());
-                let execution = self.maybe_execute(&plan, &query.output_cols, stats.plan_cost)?;
+                if let Some(s) = sink.as_deref_mut() {
+                    s.on_plan(&PlanHeader {
+                        plan_dxl: &plan_dxl,
+                        cost: stats.plan_cost,
+                        degraded,
+                        source: PlanSource::Fresh,
+                        fingerprint,
+                    })?;
+                }
+                let execution =
+                    self.maybe_execute(&plan, &query.output_cols, stats.plan_cost, sink)?;
                 let response = PlanResponse {
                     plan_dxl,
                     cost: stats.plan_cost,
@@ -601,6 +693,7 @@ impl Service {
                 fingerprint,
                 started,
                 queue_wait,
+                sink,
             ),
             Err(e) => Err(e),
         }
@@ -688,6 +781,7 @@ impl Service {
         s.mem_admitted = admitted;
         s.mem_queued = queued;
         s.mem_degraded_grants = degraded;
+        s.mem_regranted = self.grants.regranted();
         s.mem_used_bytes = self.exec_budget.used_bytes();
         s.mem_peak_bytes = self.exec_budget.peak_bytes();
         s
@@ -714,6 +808,7 @@ impl Service {
         fingerprint: u64,
         started: Instant,
         queue_wait: Duration,
+        mut sink: Option<&mut dyn StreamSink>,
     ) -> Result<PlanTicket> {
         let registry = ColumnRegistry::new();
         for (name, ty) in &query.columns {
@@ -722,12 +817,25 @@ impl Service {
         let (plan, cost) =
             LegacyPlanner::new(accessor, &registry).plan(&query.expr, &query.order)?;
         ServiceMetrics::bump(&self.metrics.degraded);
-        let execution = self.maybe_execute(&plan, &query.output_cols, cost)?;
+        let plan_dxl = plan_to_dxl(&DxlPlan {
+            plan: plan.clone(),
+            cost,
+        });
+        if let Some(s) = sink.as_deref_mut() {
+            s.on_plan(&PlanHeader {
+                plan_dxl: &plan_dxl,
+                cost,
+                degraded: true,
+                source: PlanSource::Fallback,
+                fingerprint,
+            })?;
+        }
+        let execution = self.maybe_execute(&plan, &query.output_cols, cost, sink)?;
         Ok(self.ticket(
             ticket_id,
             session,
             PlanResponse {
-                plan_dxl: plan_to_dxl(&DxlPlan { plan, cost }),
+                plan_dxl,
                 cost,
                 degraded: true,
                 source: PlanSource::Fallback,
@@ -750,6 +858,7 @@ impl Service {
         plan: &PhysicalPlan,
         output_cols: &[ColId],
         cost: f64,
+        mut sink: Option<&mut dyn StreamSink>,
     ) -> Result<Option<ExecSummary>> {
         let Some(exec_cfg) = &self.config.execute else {
             return Ok(None);
@@ -765,22 +874,40 @@ impl Service {
         let desired = Self::grant_estimate(cost, &db.cluster);
         let grant = self.grants.request(desired);
         let tracker = Arc::new(MemoryTracker::granted(
-            grant.bytes,
+            grant.bytes(),
             db.cluster.num_segments,
             Some(Arc::clone(&self.exec_budget)),
         ));
+        if grant.degraded {
+            // A degraded grant may renegotiate upward once, at the first
+            // would-spill moment, if other queries have drained their
+            // grants back into the pool by then.
+            tracker.set_regrant(grant.regrant_hook());
+        }
         let t0 = Instant::now();
         let summary = if exec_cfg.parallel {
             let engine = ParallelEngine::with_config(db, exec_cfg.parallel_config())
                 .with_fragments(Arc::clone(&self.fragments))
                 .with_memory(Arc::clone(&tracker));
             let r = engine.run(plan, output_cols)?;
+            let mut rows = r.rows;
+            if let Some(s) = sink.as_deref_mut() {
+                // The gang merge materialized the rowset; replay it to
+                // the sink in batch-sized frames so clients see one
+                // response shape regardless of engine.
+                for chunk in rows.chunks(exec_cfg.batch_rows.max(1)) {
+                    if !s.on_rows(chunk)? {
+                        break;
+                    }
+                }
+                rows = Vec::new();
+            }
             ExecSummary {
-                rows: r.rows,
+                rows,
                 latency: t0.elapsed(),
                 stats: r.stats,
                 parallel: Some(r.parallel),
-                mem_granted: grant.bytes,
+                mem_granted: grant.bytes(),
                 mem_degraded: grant.degraded,
                 mem_wait: grant.wait,
                 first_batch: None,
@@ -789,7 +916,8 @@ impl Service {
         } else {
             // The serial path streams through a cursor: rows arrive batch
             // by batch while the producer is still running, instead of one
-            // fully-materialized rowset at the end.
+            // fully-materialized rowset at the end. With a sink attached
+            // the batches go straight out and are never buffered here.
             let mut cursor = Cursor::open(
                 Arc::clone(db),
                 plan,
@@ -804,23 +932,40 @@ impl Service {
             let mut rows = Vec::new();
             let mut first_batch = None;
             let mut streamed = false;
+            let mut early_closed = false;
             while let Some(batch) = cursor.next_batch()? {
                 if first_batch.is_none() {
                     first_batch = Some(t0.elapsed());
                     streamed = !cursor.producer_finished();
                 }
-                rows.extend(batch);
+                match sink.as_deref_mut() {
+                    Some(s) => {
+                        if !s.on_rows(&batch)? {
+                            early_closed = true;
+                            break;
+                        }
+                    }
+                    None => rows.extend(batch),
+                }
             }
-            let r = cursor
-                .summary()
-                .expect("cursor summary present after final batch")
-                .clone();
+            if early_closed {
+                // Client closed the stream: cancel the producer and
+                // discard what it had queued. The request still counts
+                // as executed; the summary reports what actually ran.
+                cursor.close();
+            }
+            let stats = match cursor.summary() {
+                Some(r) => r.stats.clone(),
+                // Early close raced the producer's abort: no final
+                // report exists, and that is fine.
+                None => ExecStats::default(),
+            };
             ExecSummary {
                 rows,
                 latency: t0.elapsed(),
-                stats: r.stats,
+                stats,
                 parallel: None,
-                mem_granted: grant.bytes,
+                mem_granted: grant.bytes(),
                 mem_degraded: grant.degraded,
                 mem_wait: grant.wait,
                 first_batch,

@@ -59,10 +59,30 @@ pub struct ServiceStats {
     pub mem_queued: u64,
     /// Grants issued smaller than requested (the query spilled sooner).
     pub mem_degraded_grants: u64,
+    /// Degraded grants that renegotiated upward mid-query (the pool had
+    /// refilled by the first would-spill moment).
+    pub mem_regranted: u64,
     /// Executor-memory bytes currently charged against the global budget.
     pub mem_used_bytes: u64,
     /// High-water mark of the global executor-memory budget.
     pub mem_peak_bytes: u64,
+    /// TCP connections the network front-end has accepted.
+    pub net_connections: u64,
+    /// Requests that arrived over the network front-end.
+    pub net_requests: u64,
+    /// Network responses whose first row frame was written before the
+    /// producer finished (genuinely streamed to the client).
+    pub net_streamed: u64,
+    /// Streaming responses the client closed early (cursor early-close).
+    pub net_early_closed: u64,
+    /// Frames written to service clients (plan, row, done, error).
+    pub net_frames_tx: u64,
+    /// Socket bytes written to service clients, frame headers included.
+    pub net_bytes_tx: u64,
+    /// Frames read from service clients.
+    pub net_frames_rx: u64,
+    /// Socket bytes read from service clients.
+    pub net_bytes_rx: u64,
     /// Median full-optimization latency (admission wait included).
     pub p50_optimize: Duration,
     /// Tail full-optimization latency.
@@ -89,6 +109,14 @@ pub struct ServiceMetrics {
     pub cache_misses: AtomicU64,
     pub coalesced: AtomicU64,
     pub executed: AtomicU64,
+    pub net_connections: AtomicU64,
+    pub net_requests: AtomicU64,
+    pub net_streamed: AtomicU64,
+    pub net_early_closed: AtomicU64,
+    pub net_frames_tx: AtomicU64,
+    pub net_bytes_tx: AtomicU64,
+    pub net_frames_rx: AtomicU64,
+    pub net_bytes_rx: AtomicU64,
     latencies: Mutex<LatencyRing>,
     exec_latencies: Mutex<LatencyRing>,
 }
@@ -159,6 +187,14 @@ impl ServiceMetrics {
             cache_invalidations,
             coalesced: self.coalesced.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
+            net_connections: self.net_connections.load(Ordering::Relaxed),
+            net_requests: self.net_requests.load(Ordering::Relaxed),
+            net_streamed: self.net_streamed.load(Ordering::Relaxed),
+            net_early_closed: self.net_early_closed.load(Ordering::Relaxed),
+            net_frames_tx: self.net_frames_tx.load(Ordering::Relaxed),
+            net_bytes_tx: self.net_bytes_tx.load(Ordering::Relaxed),
+            net_frames_rx: self.net_frames_rx.load(Ordering::Relaxed),
+            net_bytes_rx: self.net_bytes_rx.load(Ordering::Relaxed),
             p50_optimize: p50,
             p99_optimize: p99,
             latency_samples: n,

@@ -267,6 +267,7 @@ proptest! {
                     channel_capacity: 2,
                     deadline: None,
                     columnar,
+                    ..ParallelConfig::default()
                 });
                 let par = engine.run(&plan, &output).expect("parallel");
                 prop_assert_eq!(
@@ -321,6 +322,7 @@ fn empty_streams_are_identical_across_kernels() {
                 channel_capacity: 2,
                 deadline: None,
                 columnar,
+                ..ParallelConfig::default()
             },
         );
         let par = engine.run(&plan, &output).expect("parallel");
@@ -361,6 +363,7 @@ fn mid_query_abort_drains_without_deadlock() {
             channel_capacity: 1,
             deadline: None,
             columnar: true,
+            ..ParallelConfig::default()
         },
     );
     let (done_tx, done_rx) = std::sync::mpsc::channel();
@@ -392,6 +395,7 @@ fn deadline_under_backpressure_times_out_cleanly() {
             channel_capacity: 1,
             deadline: Some(Duration::ZERO),
             columnar: true,
+            ..ParallelConfig::default()
         },
     );
     let (done_tx, done_rx) = std::sync::mpsc::channel();
@@ -471,6 +475,7 @@ fn assert_spooled_identical(
                     channel_capacity: 2,
                     deadline: None,
                     columnar,
+                    ..ParallelConfig::default()
                 },
             );
             let par = engine.run(plan, output).expect("parallel");
@@ -604,6 +609,7 @@ fn tiny_interconnect_window_still_completes() {
             channel_capacity: 1,
             deadline: Some(Duration::from_secs(60)),
             columnar: true,
+            ..ParallelConfig::default()
         },
     );
     let par = engine.run(&plan, &output).expect("parallel");
@@ -768,6 +774,7 @@ proptest! {
                     channel_capacity: 2,
                     deadline: None,
                     columnar,
+                    ..ParallelConfig::default()
                 });
                 let par = engine.run(&plan, &output).expect("parallel");
                 prop_assert_eq!(
@@ -827,5 +834,8 @@ fn dict_equality_skips_and_counts_hits() {
     assert_eq!(col.rows.len(), 40, "one 40-row category run");
     assert_eq!(col.sim_seconds.to_bits(), row.sim_seconds.to_bits());
     assert!(col.stats.chunks_skipped > 0, "absent-category chunks skip");
-    assert!(col.stats.dict_hits > 0, "present-category chunks hit the dict");
+    assert!(
+        col.stats.dict_hits > 0,
+        "present-category chunks hit the dict"
+    );
 }
